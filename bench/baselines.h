@@ -1,0 +1,46 @@
+// Baseline path evaluators for the ablation benchmarks.
+//
+// Section 4 argues G-CORE's path semantics was *chosen* for tractability:
+// arbitrary-walk shortest paths are polynomial (product automaton +
+// Dijkstra), whereas (a) materializing all conforming walks explodes and
+// (b) simple-path semantics is NP-complete [Mendelzon & Wood 1995].
+// These baselines realize the rejected alternatives so the benches can
+// exhibit the blow-up the language design avoids.
+#ifndef GCORE_BENCH_BASELINES_H_
+#define GCORE_BENCH_BASELINES_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/adjacency.h"
+#include "paths/nfa.h"
+
+namespace gcore {
+namespace bench {
+
+/// Counts conforming walks from src to dst up to `max_hops` hops by naive
+/// enumeration (DFS over walks). Exponential in max_hops on dense graphs;
+/// stops early after `budget` expansions and reports how many were used.
+struct EnumerationStats {
+  uint64_t walks_found = 0;
+  uint64_t expansions = 0;
+  bool budget_exhausted = false;
+};
+EnumerationStats EnumerateConformingWalks(const AdjacencyIndex& adj,
+                                          const Nfa& nfa, NodeId src,
+                                          NodeId dst, size_t max_hops,
+                                          uint64_t budget);
+
+/// Shortest *simple* path (no repeated node) from src to dst conforming to
+/// the regex, by exhaustive backtracking — the NP-hard semantics Cypher 9
+/// uses and G-CORE deliberately avoids. Returns its length, or nullopt.
+/// Stops after `budget` expansions (sets stats.budget_exhausted).
+std::optional<size_t> ShortestSimplePath(const AdjacencyIndex& adj,
+                                         const Nfa& nfa, NodeId src,
+                                         NodeId dst, uint64_t budget,
+                                         EnumerationStats* stats);
+
+}  // namespace bench
+}  // namespace gcore
+
+#endif  // GCORE_BENCH_BASELINES_H_

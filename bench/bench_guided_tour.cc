@@ -1,0 +1,123 @@
+// Benchmarks every guided-tour query (Section 3) end to end — parse +
+// plan + evaluate — on the Figure 4 toy instance and on a generated
+// SNB graph, and prints the result shape of each query on the toy data
+// (the golden values of EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include "engine/engine.h"
+#include "paper_queries.h"
+#include "parser/parser.h"
+#include "snb/generator.h"
+#include "snb/toy_graphs.h"
+
+namespace gcore {
+namespace {
+
+using bench::kPaperQueries;
+
+/// Fresh catalog with toy data; Q11/Q12 need the views of Q10/Q11, so the
+/// whole prefix of view-defining queries runs first.
+void PrepareCatalog(GraphCatalog* catalog, const char* upto_id) {
+  snb::RegisterToyData(catalog);
+  QueryEngine engine(catalog);
+  for (const auto& pq : kPaperQueries) {
+    if (std::string(pq.id) == upto_id) break;
+    if (std::string(pq.id) == "Q10" || std::string(pq.id) == "Q11") {
+      auto r = engine.Execute(pq.text);
+      if (!r.ok()) {
+        std::fprintf(stderr, "prepare %s: %s\n", pq.id,
+                     r.status().ToString().c_str());
+      }
+    }
+  }
+}
+
+void BM_GuidedTourQuery(benchmark::State& state) {
+  const auto& pq = kPaperQueries[static_cast<size_t>(state.range(0))];
+  GraphCatalog catalog;
+  PrepareCatalog(&catalog, pq.id);
+  QueryEngine engine(&catalog);
+
+  size_t nodes = 0, edges = 0, paths = 0, rows = 0;
+  for (auto _ : state) {
+    auto r = engine.Execute(pq.text);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    if (r->IsGraph()) {
+      nodes = r->graph->NumNodes();
+      edges = r->graph->NumEdges();
+      paths = r->graph->NumPaths();
+    } else {
+      rows = r->table->NumRows();
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::string(pq.id) + " (lines " + pq.lines + ")");
+  state.counters["out_nodes"] = static_cast<double>(nodes);
+  state.counters["out_edges"] = static_cast<double>(edges);
+  state.counters["out_paths"] = static_cast<double>(paths);
+  state.counters["out_rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_GuidedTourQuery)
+    ->DenseRange(0, static_cast<int>(std::size(kPaperQueries)) - 1)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The same language features on a generated SNB graph (SF-equivalent
+/// workload): pattern match, aggregation, reachability, k-shortest.
+void BM_SnbWorkload(benchmark::State& state) {
+  static const char* kQueries[] = {
+      // pattern matching + filter
+      "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme'",
+      // graph aggregation
+      "CONSTRUCT (x GROUP e :Emp {name:=e}) MATCH (n:Person {employer=e})",
+      // two-hop join
+      "CONSTRUCT (n)-[:coloc]->(m) "
+      "MATCH (n:Person)-[:isLocatedIn]->(c)<-[:isLocatedIn]-(m:Person) "
+      "WHERE n.firstName = 'John'",
+      // reachability from one person
+      "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) "
+      "WHERE n.firstName = 'John' AND n.lastName = 'Doe'",
+  };
+  const char* query = kQueries[state.range(0)];
+
+  GraphCatalog catalog;
+  snb::GeneratorOptions options;
+  options.num_persons = 800;
+  catalog.RegisterGraph("snb", snb::Generate(options, catalog.ids()));
+  catalog.SetDefaultGraph("snb");
+  QueryEngine engine(&catalog);
+
+  for (auto _ : state) {
+    auto r = engine.Execute(query);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  static const char* kLabels[] = {"filter_match", "aggregation",
+                                  "two_hop_join", "reachability"};
+  state.SetLabel(std::string("snb800/") + kLabels[state.range(0)]);
+}
+BENCHMARK(BM_SnbWorkload)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+/// Parse-only throughput over the full query corpus (the "parsing tooling
+/// heavier" axis of the reproduction).
+void BM_ParseCorpus(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const auto& pq : kPaperQueries) {
+      auto q = ParseQuery(pq.text);
+      benchmark::DoNotOptimize(q);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(std::size(kPaperQueries)));
+}
+BENCHMARK(BM_ParseCorpus)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace gcore
+
+BENCHMARK_MAIN();

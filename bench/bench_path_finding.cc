@@ -1,0 +1,186 @@
+// Path-machinery micro-benchmarks: the evaluation cost of the paper's
+// path features in isolation — reachability, 1/k-shortest, weighted view
+// traversal, ALL-paths projection — as graph size and regex complexity
+// grow (the "most powerful path query functionality ... while carefully
+// avoiding intractable complexity" claim).
+#include <benchmark/benchmark.h>
+
+#include "parser/parser.h"
+#include "paths/all_paths.h"
+#include "paths/k_shortest.h"
+#include "paths/product_bfs.h"
+#include "snb/generator.h"
+#include "snb/schema.h"
+
+namespace gcore {
+namespace {
+
+struct PathFixture {
+  IdAllocator ids;
+  PathPropertyGraph graph;
+  std::unique_ptr<AdjacencyIndex> adj;
+  NodeId src;
+  NodeId dst;
+
+  explicit PathFixture(size_t persons) {
+    snb::GeneratorOptions options;
+    options.num_persons = persons;
+    graph = snb::Generate(options, &ids);
+    adj = std::make_unique<AdjacencyIndex>(graph);
+    // First and last Person nodes as endpoints.
+    graph.ForEachNode([&](NodeId n) {
+      if (!graph.Labels(n).Contains(snb::kPerson)) return;
+      if (!src.valid()) src = n;
+      dst = n;
+    });
+  }
+
+  PathSearchContext Ctx(const Nfa* nfa) const {
+    PathSearchContext ctx;
+    ctx.adj = adj.get();
+    ctx.nfa = nfa;
+    return ctx;
+  }
+};
+
+Nfa CompileOrDie(const char* regex) {
+  auto r = ParseRpq(regex);
+  if (!r.ok()) std::abort();
+  return Nfa::Compile(**r);
+}
+
+void BM_Reachability(benchmark::State& state) {
+  PathFixture f(static_cast<size_t>(state.range(0)));
+  Nfa nfa = CompileOrDie(":knows*");
+  size_t reached = 0;
+  for (auto _ : state) {
+    auto r = ReachableFrom(f.Ctx(&nfa), f.src);
+    if (!r.ok()) state.SkipWithError("reachability failed");
+    reached = r->size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["reached"] = static_cast<double>(reached);
+}
+BENCHMARK(BM_Reachability)
+    ->RangeMultiplier(4)
+    ->Range(200, 12800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SingleSourceShortest(benchmark::State& state) {
+  PathFixture f(static_cast<size_t>(state.range(0)));
+  Nfa nfa = CompileOrDie(":knows*");
+  for (auto _ : state) {
+    auto r = ShortestPathsFrom(f.Ctx(&nfa), f.src);
+    if (!r.ok()) state.SkipWithError("shortest failed");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SingleSourceShortest)
+    ->RangeMultiplier(4)
+    ->Range(200, 12800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KShortest(benchmark::State& state) {
+  PathFixture f(1600);
+  const size_t k = static_cast<size_t>(state.range(0));
+  Nfa nfa = CompileOrDie(":knows*");
+  for (auto _ : state) {
+    auto r = KShortestPathsFrom(f.Ctx(&nfa), f.src, k);
+    if (!r.ok()) state.SkipWithError("k-shortest failed");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("k=" + std::to_string(k) + ", persons=1600");
+}
+BENCHMARK(BM_KShortest)->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
+
+void BM_RegexComplexity(benchmark::State& state) {
+  // Regex alternatives of increasing automaton size over a fixed graph:
+  // evaluation is O(product) = graph × NFA states, so growth must be
+  // proportional to NFA size, not exponential.
+  static const char* kRegexes[] = {
+      ":knows",
+      ":knows :knows",
+      ":knows*",
+      "(:knows|:isLocatedIn)*",
+      "(:knows :knows)* :isLocatedIn?",
+      "!Person (:knows !Person)*",
+  };
+  PathFixture f(1600);
+  Nfa nfa = CompileOrDie(kRegexes[state.range(0)]);
+  for (auto _ : state) {
+    auto r = ReachableFrom(f.Ctx(&nfa), f.src);
+    if (!r.ok()) state.SkipWithError("reachability failed");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::string(kRegexes[state.range(0)]) +
+                 " (nfa states: " + std::to_string(nfa.num_states()) + ")");
+}
+BENCHMARK(BM_RegexComplexity)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+void BM_AllPathsProjection(benchmark::State& state) {
+  PathFixture f(static_cast<size_t>(state.range(0)));
+  Nfa nfa = CompileOrDie(":knows*");
+  for (auto _ : state) {
+    auto r = AllPathsProjection(f.Ctx(&nfa), f.src, f.dst);
+    if (!r.ok()) state.SkipWithError("projection failed");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AllPathsProjection)
+    ->RangeMultiplier(4)
+    ->Range(200, 3200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WeightedViewTraversal(benchmark::State& state) {
+  // A wKnows-style view over every knows edge with property-derived cost,
+  // then Dijkstra over <~w*>.
+  PathFixture f(static_cast<size_t>(state.range(0)));
+  PathViewRegistry views;
+  PathViewRelation rel("w");
+  uint64_t i = 0;
+  f.graph.ForEachEdge([&](EdgeId e, NodeId src, NodeId dst) {
+    if (!f.graph.Labels(e).Contains(snb::kKnows)) return;
+    PathViewSegment seg;
+    seg.src = src;
+    seg.dst = dst;
+    seg.cost = 1.0 / (1.0 + static_cast<double>(i++ % 7));
+    seg.body.nodes = {src, dst};
+    seg.body.edges = {e};
+    if (!rel.AddSegment(std::move(seg)).ok()) std::abort();
+  });
+  views.Register(std::move(rel));
+
+  Nfa nfa = CompileOrDie("~w*");
+  PathSearchContext ctx = f.Ctx(&nfa);
+  ctx.views = &views;
+  for (auto _ : state) {
+    auto r = ShortestPathsFrom(ctx, f.src);
+    if (!r.ok()) state.SkipWithError("weighted traversal failed");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_WeightedViewTraversal)
+    ->RangeMultiplier(4)
+    ->Range(200, 3200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AdjacencyBuild(benchmark::State& state) {
+  IdAllocator ids;
+  snb::GeneratorOptions options;
+  options.num_persons = static_cast<size_t>(state.range(0));
+  PathPropertyGraph graph = snb::Generate(options, &ids);
+  for (auto _ : state) {
+    AdjacencyIndex adj(graph);
+    benchmark::DoNotOptimize(adj);
+  }
+  state.counters["edges"] = static_cast<double>(graph.NumEdges());
+}
+BENCHMARK(BM_AdjacencyBuild)
+    ->RangeMultiplier(4)
+    ->Range(200, 12800)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gcore
+
+BENCHMARK_MAIN();

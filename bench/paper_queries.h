@@ -1,0 +1,96 @@
+// The paper's example queries as executable text, shared by benches and
+// the Table 1 report. Line numbers refer to the paper's listing.
+#ifndef GCORE_BENCH_PAPER_QUERIES_H_
+#define GCORE_BENCH_PAPER_QUERIES_H_
+
+namespace gcore {
+namespace bench {
+
+struct PaperQuery {
+  const char* id;     // experiment id (EXPERIMENTS.md)
+  const char* lines;  // paper listing lines
+  const char* text;
+};
+
+inline constexpr PaperQuery kPaperQueries[] = {
+    {"Q1", "1-4",
+     "CONSTRUCT (n) MATCH (n:Person) ON social_graph "
+     "WHERE n.employer = 'Acme'"},
+    {"Q2", "5-9",
+     "CONSTRUCT (c)<-[:worksAt]-(n) "
+     "MATCH (c:Company) ON company_graph, (n:Person) ON social_graph "
+     "WHERE c.name = n.employer UNION social_graph"},
+    {"Q3", "10-14",
+     "CONSTRUCT (c)<-[:worksAt]-(n) "
+     "MATCH (c:Company) ON company_graph, (n:Person) ON social_graph "
+     "WHERE c.name IN n.employer UNION social_graph"},
+    {"Q4", "15-19",
+     "CONSTRUCT (c)<-[:worksAt]-(n) "
+     "MATCH (c:Company) ON company_graph, "
+     "(n:Person {employer=e}) ON social_graph "
+     "WHERE c.name = e UNION social_graph"},
+    {"Q5", "20-22",
+     "CONSTRUCT social_graph, "
+     "(x GROUP e :Company {name:=e})<-[y:worksAt]-(n) "
+     "MATCH (n:Person {employer=e})"},
+    {"Q6", "23-27",
+     "CONSTRUCT (n)-/@p:localPeople{distance:=c}/->(m) "
+     "MATCH (n)-/3 SHORTEST p<:knows*> COST c/->(m) "
+     "WHERE (n:Person) AND (m:Person) "
+     "AND n.firstName = 'John' AND n.lastName = 'Doe' "
+     "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)"},
+    {"Q7", "28-31",
+     "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) "
+     "WHERE n.firstName = 'John' AND n.lastName = 'Doe' "
+     "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)"},
+    {"Q8", "32-35",
+     "CONSTRUCT (n)-/p/->(m) "
+     "MATCH (n:Person)-/ALL p<:knows*>/->(m:Person) "
+     "WHERE n.firstName = 'John' AND n.lastName = 'Doe' "
+     "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)"},
+    {"Q9", "36-38",
+     "CONSTRUCT (m) MATCH (m:Person), (n:Person) "
+     "WHERE n.firstName = 'John' AND n.lastName = 'Doe' "
+     "AND EXISTS ( CONSTRUCT () "
+     "MATCH (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m) )"},
+    {"Q10", "39-47",
+     "GRAPH VIEW social_graph1 AS ( "
+     "CONSTRUCT social_graph, (n)-[e]->(m) SET e.nr_messages := COUNT(*) "
+     "MATCH (n)-[e:knows]->(m) WHERE (n:Person) AND (m:Person) "
+     "OPTIONAL (n)<-[c1]-(msg1:Post|Comment), (msg1)-[:reply_of]-(msg2), "
+     "(msg2:Post|Comment)-[c2]->(m) "
+     "WHERE (c1:has_creator) AND (c2:has_creator) )"},
+    {"Q11", "57-66",
+     "GRAPH VIEW social_graph2 AS ( "
+     "PATH wKnows = (x)-[e:knows]->(y) "
+     "WHERE NOT 'Acme' IN y.employer "
+     "COST 1 / (1 + e.nr_messages) "
+     "CONSTRUCT social_graph1, (n)-/@p:toWagner/->(m) "
+     "MATCH (n:Person)-/p<~wKnows*>/->(m:Person) ON social_graph1 "
+     "WHERE (m)-[:hasInterest]->(:Tag {name='Wagner'}) "
+     "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m) "
+     "AND n.firstName = 'John' AND n.lastName = 'Doe')"},
+    {"Q12", "67-71",
+     "CONSTRUCT (n)-[e:wagnerFriend {score:=COUNT(*)}]->(m) "
+     "WHEN e.score > 0 "
+     "MATCH (n:Person)-/@p:toWagner/->(), (m:Person) ON social_graph2 "
+     "WHERE m = nodes(p)[1]"},
+    {"SELECT", "72-75",
+     "SELECT m.lastName + ', ' + m.firstName AS friendName "
+     "MATCH (n:Person)-/<:knows*>/->(m:Person) "
+     "WHERE n.firstName = 'John' AND n.lastName = 'Doe' "
+     "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)"},
+    {"FROM", "76-80",
+     "CONSTRUCT (cust GROUP custName :Customer {name:=custName}), "
+     "(prod GROUP prodCode :Product {code:=prodCode}), "
+     "(cust)-[:bought]->(prod) FROM orders"},
+    {"ON-TABLE", "81-85",
+     "CONSTRUCT (cust GROUP o.custName :Customer {name:=o.custName}), "
+     "(prod GROUP o.prodCode :Product {code:=o.prodCode}), "
+     "(cust)-[:bought]->(prod) MATCH (o) ON orders"},
+};
+
+}  // namespace bench
+}  // namespace gcore
+
+#endif  // GCORE_BENCH_PAPER_QUERIES_H_

@@ -1,0 +1,18 @@
+#include "ast/ast.h"
+
+namespace gcore {
+
+Query::Query() = default;
+Query::~Query() = default;
+Query::Query(Query&&) noexcept = default;
+Query& Query::operator=(Query&&) noexcept = default;
+
+bool Query::IsTabular() const {
+  const QueryBody* b = body.get();
+  while (b != nullptr && b->kind != QueryBody::Kind::kBasic) {
+    b = b->left.get();
+  }
+  return b != nullptr && b->basic != nullptr && b->basic->select.has_value();
+}
+
+}  // namespace gcore

@@ -1,0 +1,142 @@
+// Top-level query AST: the grammar of Section 4.
+//
+//   query          ::= headClause fullGraphQuery
+//   headClause     ::= ε | pathClause headClause | graphClause headClause
+//   fullGraphQuery ::= basicGraphQuery
+//                    | fullGraphQuery setOp fullGraphQuery
+//   setOp          ::= UNION | INTERSECT | MINUS
+//   basicGraphQuery::= constructClause matchClause
+//
+// plus the Section 5 extensions (SELECT projection, FROM <table>) and the
+// graph-name shorthand inside set operations (`... UNION social_graph`).
+#ifndef GCORE_AST_AST_H_
+#define GCORE_AST_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/pattern.h"
+
+namespace gcore {
+
+/// SET / REMOVE statements attached to a CONSTRUCT (Appendix A.3
+// "Set and Remove Assignments").
+struct SetStatement {
+  enum class Kind {
+    kSetProperty,     // SET x.k := ξ
+    kSetLabel,        // SET x:ℓ
+    kCopy,            // SET x = y  (copy labels+properties of y's binding)
+    kRemoveProperty,  // REMOVE x.k
+    kRemoveLabel,     // REMOVE x:ℓ
+  };
+  Kind kind{};
+  std::string var;
+  std::string key;    // property kinds
+  std::string label;  // label kinds
+  std::string from_var;          // kCopy
+  std::unique_ptr<Expr> value;   // kSetProperty
+};
+
+/// One comma-separated item of a CONSTRUCT clause: either a graph-name
+/// shorthand (union with that graph) or a pattern chain with optional WHEN
+/// condition and SET/REMOVE statements.
+struct ConstructItem {
+  std::string graph_ref;  // non-empty -> shorthand `CONSTRUCT social_graph`
+  std::optional<GraphPattern> pattern;
+  std::unique_ptr<Expr> when;  // may be null
+  std::vector<SetStatement> sets;
+};
+
+struct ConstructClause {
+  std::vector<ConstructItem> items;
+};
+
+struct MatchClause {
+  std::vector<GraphPattern> patterns;
+  std::unique_ptr<Expr> where;  // may be null
+  std::vector<OptionalBlock> optionals;
+};
+
+/// SELECT projection item (Section 5): expression plus alias.
+struct SelectItem {
+  std::unique_ptr<Expr> expr;
+  std::string alias;
+};
+
+/// ORDER BY key (the "sorting" extension Section 5 names).
+struct OrderKey {
+  std::unique_ptr<Expr> expr;
+  bool descending = false;
+};
+
+struct SelectClause {
+  std::vector<SelectItem> items;
+  /// Deduplicate result rows.
+  bool distinct = false;
+  std::vector<OrderKey> order_by;
+  /// Row cap ("slicing"); negative = no limit.
+  int64_t limit = -1;
+};
+
+/// constructClause matchClause, or the tabular variants of Section 5.
+struct BasicQuery {
+  /// Exactly one of construct / select is set.
+  std::optional<ConstructClause> construct;
+  std::optional<SelectClause> select;
+  /// Exactly one of match / from_table is set.
+  std::optional<MatchClause> match;
+  std::string from_table;  // FROM <table>
+};
+
+/// Tree of set operations over basic queries / graph references.
+struct QueryBody {
+  enum class Kind { kBasic, kGraphRef, kUnion, kIntersect, kMinus };
+  Kind kind{};
+  std::unique_ptr<BasicQuery> basic;     // kBasic
+  std::string graph_ref;                 // kGraphRef
+  std::unique_ptr<QueryBody> left;       // set ops
+  std::unique_ptr<QueryBody> right;
+};
+
+/// PATH head clause (Appendix A.4):
+///   PATH name = <patterns> [WHERE ξ] [COST ξ]
+struct PathClause {
+  std::string name;
+  /// First pattern supplies the start/end nodes of the segment; additional
+  /// comma-separated patterns constrain it (non-linear path patterns,
+  /// footnote 3 of the paper).
+  std::vector<GraphPattern> patterns;
+  std::unique_ptr<Expr> where;  // may be null
+  std::unique_ptr<Expr> cost;   // may be null -> cost 1 per segment
+};
+
+/// GRAPH name AS (query) — query-local; GRAPH VIEW name AS (query) —
+/// catalog-persistent (Appendix A.6).
+struct GraphClause {
+  std::string name;
+  bool is_view = false;
+  std::unique_ptr<Query> query;
+};
+
+/// A full G-CORE query.
+struct Query {
+  std::vector<PathClause> path_clauses;
+  std::vector<GraphClause> graph_clauses;
+  std::unique_ptr<QueryBody> body;
+
+  Query();
+  ~Query();
+  Query(Query&&) noexcept;
+  Query& operator=(Query&&) noexcept;
+
+  /// True when the query produces a table (SELECT) rather than a graph.
+  bool IsTabular() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace gcore
+
+#endif  // GCORE_AST_AST_H_

@@ -1,0 +1,109 @@
+#include "common/date.h"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace gcore {
+
+bool IsLeapYear(int32_t year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int32_t year, int month) {
+  static constexpr std::array<int, 13> kDays = {0,  31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[static_cast<size_t>(month)];
+}
+
+bool Date::IsValid() const {
+  return month >= 1 && month <= 12 && day >= 1 &&
+         day <= DaysInMonth(year, month);
+}
+
+int64_t Date::ToEpochDays() const {
+  // Howard Hinnant's days_from_civil algorithm.
+  int32_t y = year;
+  const int32_t m = month;
+  const int32_t d = day;
+  y -= m <= 2;
+  const int32_t era = (y >= 0 ? y : y - 399) / 400;
+  const uint32_t yoe = static_cast<uint32_t>(y - era * 400);
+  const uint32_t doy =
+      static_cast<uint32_t>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const uint32_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<int64_t>(doe) - 719468LL;
+}
+
+Date Date::FromEpochDays(int64_t days) {
+  // Howard Hinnant's civil_from_days algorithm.
+  days += 719468;
+  const int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const uint64_t doe = static_cast<uint64_t>(days - era * 146097);
+  const uint64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const uint64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const uint64_t mp = (5 * doy + 2) / 153;
+  const uint64_t d = doy - (153 * mp + 2) / 5 + 1;
+  const uint64_t m = mp + (mp < 10 ? 3 : -9);
+  Date out;
+  out.year = static_cast<int32_t>(y + (m <= 2));
+  out.month = static_cast<uint8_t>(m);
+  out.day = static_cast<uint8_t>(d);
+  return out;
+}
+
+namespace {
+
+bool ParseInt(std::string_view text, int32_t* out) {
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+Result<Date> Date::Parse(const std::string& text) {
+  // Try ISO yyyy-mm-dd first, then d/m/yyyy.
+  char sep = '\0';
+  if (text.find('-') != std::string::npos) sep = '-';
+  else if (text.find('/') != std::string::npos) sep = '/';
+  if (sep == '\0') {
+    return Status::InvalidArgument("not a date literal: '" + text + "'");
+  }
+  const size_t p1 = text.find(sep);
+  const size_t p2 = text.find(sep, p1 + 1);
+  if (p2 == std::string::npos || text.find(sep, p2 + 1) != std::string::npos) {
+    return Status::InvalidArgument("malformed date literal: '" + text + "'");
+  }
+  int32_t a, b, c;
+  if (!ParseInt(std::string_view(text).substr(0, p1), &a) ||
+      !ParseInt(std::string_view(text).substr(p1 + 1, p2 - p1 - 1), &b) ||
+      !ParseInt(std::string_view(text).substr(p2 + 1), &c)) {
+    return Status::InvalidArgument("malformed date literal: '" + text + "'");
+  }
+  Date date;
+  if (sep == '-') {
+    date.year = a;
+    date.month = static_cast<uint8_t>(b);
+    date.day = static_cast<uint8_t>(c);
+  } else {
+    date.day = static_cast<uint8_t>(a);
+    date.month = static_cast<uint8_t>(b);
+    date.year = c;
+  }
+  if (!date.IsValid()) {
+    return Status::InvalidArgument("invalid calendar date: '" + text + "'");
+  }
+  return date;
+}
+
+std::string Date::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", year, month, day);
+  return buf;
+}
+
+}  // namespace gcore

@@ -1,0 +1,54 @@
+// Calendar date literal type.
+//
+// The PPG model's literal domain V includes dates (Section 2); the paper's
+// toy data uses values such as `1/12/2014` (day/month/year) for the `since`
+// property. We support that form plus ISO `2014-12-01`.
+#ifndef GCORE_COMMON_DATE_H_
+#define GCORE_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace gcore {
+
+/// A proleptic-Gregorian calendar date. Ordered chronologically.
+struct Date {
+  int32_t year = 1970;
+  uint8_t month = 1;  // 1..12
+  uint8_t day = 1;    // 1..31
+
+  /// Days since 1970-01-01 (may be negative). Used for ordering and
+  /// arithmetic.
+  int64_t ToEpochDays() const;
+  static Date FromEpochDays(int64_t days);
+
+  /// Parses either `d/m/yyyy` (paper style) or `yyyy-mm-dd` (ISO).
+  static Result<Date> Parse(const std::string& text);
+
+  /// ISO `yyyy-mm-dd`.
+  std::string ToString() const;
+
+  /// True when (year, month, day) denotes a real calendar date.
+  bool IsValid() const;
+
+  friend bool operator==(const Date& a, const Date& b) {
+    return a.year == b.year && a.month == b.month && a.day == b.day;
+  }
+  friend bool operator<(const Date& a, const Date& b) {
+    if (a.year != b.year) return a.year < b.year;
+    if (a.month != b.month) return a.month < b.month;
+    return a.day < b.day;
+  }
+};
+
+/// Number of days in `month` of `year`, accounting for leap years.
+int DaysInMonth(int32_t year, int month);
+
+/// Gregorian leap-year predicate.
+bool IsLeapYear(int32_t year);
+
+}  // namespace gcore
+
+#endif  // GCORE_COMMON_DATE_H_

@@ -1,0 +1,76 @@
+// Strongly typed object identifiers for the Path Property Graph model.
+//
+// Definition 2.1 requires N, E and P to be pairwise disjoint identifier
+// sets; distinct C++ types enforce that statically.
+#ifndef GCORE_COMMON_ID_H_
+#define GCORE_COMMON_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gcore {
+
+namespace internal {
+
+/// CRTP-free tagged id. Tag makes NodeId/EdgeId/PathId distinct types.
+template <typename Tag>
+class ObjectId {
+ public:
+  static constexpr uint64_t kInvalidValue = ~uint64_t{0};
+
+  constexpr ObjectId() : value_(kInvalidValue) {}
+  constexpr explicit ObjectId(uint64_t value) : value_(value) {}
+
+  constexpr uint64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  friend constexpr bool operator==(ObjectId a, ObjectId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(ObjectId a, ObjectId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(ObjectId a, ObjectId b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  uint64_t value_;
+};
+
+struct NodeTag {};
+struct EdgeTag {};
+struct PathTag {};
+
+}  // namespace internal
+
+/// Identifier of a node (element of N).
+using NodeId = internal::ObjectId<internal::NodeTag>;
+/// Identifier of an edge (element of E).
+using EdgeId = internal::ObjectId<internal::EdgeTag>;
+/// Identifier of a stored path (element of P).
+using PathId = internal::ObjectId<internal::PathTag>;
+
+inline std::string ToString(NodeId id) {
+  return "#n" + std::to_string(id.value());
+}
+inline std::string ToString(EdgeId id) {
+  return "#e" + std::to_string(id.value());
+}
+inline std::string ToString(PathId id) {
+  return "#p" + std::to_string(id.value());
+}
+
+}  // namespace gcore
+
+namespace std {
+template <typename Tag>
+struct hash<gcore::internal::ObjectId<Tag>> {
+  size_t operator()(gcore::internal::ObjectId<Tag> id) const {
+    return std::hash<uint64_t>{}(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // GCORE_COMMON_ID_H_

@@ -1,0 +1,75 @@
+// Result<T>: value-or-Status, the companion of status.h.
+#ifndef GCORE_COMMON_RESULT_H_
+#define GCORE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gcore {
+
+/// Holds either a T or a non-OK Status. Construction from a value yields an
+/// OK result; construction from a Status requires the status to be an error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (OK).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace gcore
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status. Usage: GCORE_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define GCORE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define GCORE_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define GCORE_ASSIGN_OR_RETURN_NAME(a, b) GCORE_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define GCORE_ASSIGN_OR_RETURN(lhs, expr) \
+  GCORE_ASSIGN_OR_RETURN_IMPL(            \
+      GCORE_ASSIGN_OR_RETURN_NAME(_result_, __COUNTER__), lhs, expr)
+
+#endif  // GCORE_COMMON_RESULT_H_

@@ -1,0 +1,73 @@
+#include "common/status.h"
+
+namespace gcore {
+
+namespace {
+const std::string kEmpty;
+}  // namespace
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kBindError:
+      return "BindError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kEvaluationError:
+      return "EvaluationError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message)
+    : state_(std::make_shared<const State>(State{code, std::move(message)})) {}
+
+Status Status::ParseError(std::string msg) {
+  return Status(StatusCode::kParseError, std::move(msg));
+}
+Status Status::BindError(std::string msg) {
+  return Status(StatusCode::kBindError, std::move(msg));
+}
+Status Status::TypeError(std::string msg) {
+  return Status(StatusCode::kTypeError, std::move(msg));
+}
+Status Status::EvaluationError(std::string msg) {
+  return Status(StatusCode::kEvaluationError, std::move(msg));
+}
+Status Status::NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+Status Status::AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status Status::InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status Status::Unsupported(std::string msg) {
+  return Status(StatusCode::kUnsupported, std::move(msg));
+}
+
+const std::string& Status::message() const {
+  return ok() ? kEmpty : state_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(state_->code);
+  out += ": ";
+  out += state_->message;
+  return out;
+}
+
+}  // namespace gcore

@@ -1,0 +1,100 @@
+// Status: error propagation without exceptions, in the Arrow/RocksDB idiom.
+//
+// Every fallible public API in gcore-cpp returns either a Status or a
+// Result<T> (see result.h). Exceptions are not used across module
+// boundaries.
+#ifndef GCORE_COMMON_STATUS_H_
+#define GCORE_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace gcore {
+
+/// Machine-readable error category.
+enum class StatusCode {
+  kOk = 0,
+  /// Lexical or syntactic error in query text.
+  kParseError,
+  /// Query is syntactically valid but violates a semantic rule
+  /// (e.g. unbound construct endpoint, OPTIONAL shared-variable restriction).
+  kBindError,
+  /// Type mismatch during expression evaluation.
+  kTypeError,
+  /// Runtime evaluation failure (e.g. non-positive PATH cost, Appendix A.4).
+  kEvaluationError,
+  /// Lookup of a named graph, view, path view or table failed.
+  kNotFound,
+  /// Attempt to register a name that already exists in a catalog.
+  kAlreadyExists,
+  /// Argument outside the accepted domain.
+  kInvalidArgument,
+  /// Feature recognized but deliberately unsupported (paper: ALL with a
+  /// used path variable is rejected as intractable).
+  kUnsupported,
+};
+
+/// Human-readable name of a StatusCode (e.g. "ParseError").
+const char* StatusCodeToString(StatusCode code);
+
+/// An operation outcome: OK (cheap, no allocation) or an error carrying a
+/// code and message. Movable and copyable; copies share the error state.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string msg);
+  static Status BindError(std::string msg);
+  static Status TypeError(std::string msg);
+  static Status EvaluationError(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status InvalidArgument(std::string msg);
+  static Status Unsupported(std::string msg);
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Error message; empty for OK.
+  const std::string& message() const;
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsBindError() const { return code() == StatusCode::kBindError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsEvaluationError() const {
+    return code() == StatusCode::kEvaluationError;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const {
+    return code() == StatusCode::kAlreadyExists;
+  }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const State> state_;  // nullptr == OK
+};
+
+}  // namespace gcore
+
+/// Propagates a non-OK Status to the caller.
+#define GCORE_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::gcore::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#endif  // GCORE_COMMON_STATUS_H_

@@ -1,0 +1,185 @@
+#include "common/value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gcore {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOLEAN";
+    case ValueType::kInt:
+      return "INTEGER";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kDate:
+      return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+/// Rank collapsing kInt/kDouble into one numeric class so they compare by
+/// value.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 2;
+    case ValueType::kString:
+      return 3;
+    case ValueType::kDate:
+      return 4;
+  }
+  return 5;
+}
+
+template <typename T>
+int Cmp(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const int ra = TypeRank(type());
+  const int rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return Cmp(AsBool(), other.AsBool());
+    case ValueType::kInt:
+      if (other.is_int()) return Cmp(AsInt(), other.AsInt());
+      return Cmp(NumericAsDouble(), other.NumericAsDouble());
+    case ValueType::kDouble:
+      return Cmp(NumericAsDouble(), other.NumericAsDouble());
+    case ValueType::kString:
+      return Cmp(AsString(), other.AsString());
+    case ValueType::kDate:
+      return Cmp(AsDate().ToEpochDays(), other.AsDate().ToEpochDays());
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kBool:
+      return std::hash<bool>{}(AsBool()) ^ 0x1;
+    case ValueType::kInt:
+      // Hash ints via double so Int(1) and Double(1.0) (which compare
+      // equal) hash identically.
+      return std::hash<double>{}(static_cast<double>(AsInt())) ^ 0x2;
+    case ValueType::kDouble:
+      return std::hash<double>{}(AsDouble()) ^ 0x2;
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString()) ^ 0x3;
+    case ValueType::kDate:
+      return std::hash<int64_t>{}(AsDate().ToEpochDays()) ^ 0x4;
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      const double d = AsDouble();
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f", d);
+        return buf;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", d);
+      return buf;
+    }
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kDate:
+      return AsDate().ToString();
+  }
+  return "?";
+}
+
+ValueSet::ValueSet(std::vector<Value> values) : values_(std::move(values)) {
+  std::sort(values_.begin(), values_.end());
+  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+}
+
+void ValueSet::Insert(Value v) {
+  auto it = std::lower_bound(values_.begin(), values_.end(), v);
+  if (it != values_.end() && *it == v) return;
+  values_.insert(it, std::move(v));
+}
+
+bool ValueSet::Contains(const Value& v) const {
+  return std::binary_search(values_.begin(), values_.end(), v);
+}
+
+bool ValueSet::SubsetOf(const ValueSet& other) const {
+  return std::includes(other.values_.begin(), other.values_.end(),
+                       values_.begin(), values_.end());
+}
+
+size_t ValueSet::Hash() const {
+  size_t h = 0x51ed270b;
+  for (const Value& v : values_) {
+    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string ValueSet::ToString() const {
+  if (empty()) return "{}";
+  if (is_singleton()) return single().ToString();
+  std::string out = "{";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+ValueSet Union(const ValueSet& a, const ValueSet& b) {
+  std::vector<Value> merged;
+  merged.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(merged));
+  ValueSet out;
+  for (Value& v : merged) out.Insert(std::move(v));
+  return out;
+}
+
+ValueSet Intersect(const ValueSet& a, const ValueSet& b) {
+  std::vector<Value> merged;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(merged));
+  ValueSet out;
+  for (Value& v : merged) out.Insert(std::move(v));
+  return out;
+}
+
+}  // namespace gcore

@@ -1,0 +1,171 @@
+// The literal domain V of the PPG model, and finite sets over it (FSET(V)).
+//
+// Section 2 (Definition 2.1) makes the property assignment σ a map into
+// FSET(V): a property holds a *set* of literals, possibly empty (absent)
+// and possibly with more than one element ("Frank works for both MIT and
+// CWI"). The comparison semantics of pp. 8-9 — `=` between a singleton and
+// a larger set is FALSE, `IN` tests membership, `SUBSET` tests containment
+// — live here.
+#ifndef GCORE_COMMON_VALUE_H_
+#define GCORE_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/date.h"
+#include "common/result.h"
+
+namespace gcore {
+
+/// Type tag of a Value.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kDate,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// A single literal from V: null, boolean, 64-bit integer, double, string
+/// or date. Values are immutable, ordered (by type rank then content, with
+/// int/double compared numerically) and hashable.
+class Value {
+ public:
+  /// Null literal.
+  Value() : data_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Data(v)); }
+  static Value Int(int64_t v) { return Value(Data(v)); }
+  static Value Double(double v) { return Value(Data(v)); }
+  static Value String(std::string v) { return Value(Data(std::move(v))); }
+  static Value OfDate(Date v) { return Value(Data(v)); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_date() const { return type() == ValueType::kDate; }
+  /// True for kInt or kDouble.
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Typed accessors; must match type().
+  bool AsBool() const { return std::get<bool>(data_); }
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  const Date& AsDate() const { return std::get<Date>(data_); }
+
+  /// Numeric content as double; requires is_numeric().
+  double NumericAsDouble() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  /// Three-way comparison defining a total order over V: type rank first
+  /// (null < bool < numeric < string < date), content second. Int and
+  /// double compare numerically within the shared "numeric" rank.
+  int Compare(const Value& other) const;
+
+  /// Equality under the total order (so Int(1) == Double(1.0)).
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return a.Compare(b) != 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+
+  size_t Hash() const;
+
+  /// Display form: strings unquoted ("Acme"), booleans TRUE/FALSE, dates
+  /// ISO, doubles shortest round-trip.
+  std::string ToString() const;
+
+ private:
+  using Data =
+      std::variant<std::monostate, bool, int64_t, double, std::string, Date>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+  Data data_;
+};
+
+/// A finite set of literals: an element of FSET(V). Kept sorted and
+/// deduplicated. The empty set denotes an absent property (Section 3,
+/// "In case of an absent property, its evaluation results in the empty
+/// set").
+class ValueSet {
+ public:
+  ValueSet() = default;
+  /// Singleton set.
+  explicit ValueSet(Value v) { values_.push_back(std::move(v)); }
+  /// From arbitrary values; sorts and deduplicates.
+  explicit ValueSet(std::vector<Value> values);
+
+  static ValueSet Empty() { return ValueSet(); }
+
+  bool empty() const { return values_.empty(); }
+  size_t size() const { return values_.size(); }
+  bool is_singleton() const { return values_.size() == 1; }
+  /// The sole element; requires is_singleton().
+  const Value& single() const { return values_.front(); }
+
+  const std::vector<Value>& values() const { return values_; }
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+
+  /// Inserts preserving sortedness/uniqueness.
+  void Insert(Value v);
+
+  bool Contains(const Value& v) const;
+  /// True when every element of this set is in `other`.
+  bool SubsetOf(const ValueSet& other) const;
+
+  /// Set equality.
+  friend bool operator==(const ValueSet& a, const ValueSet& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const ValueSet& a, const ValueSet& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const ValueSet& a, const ValueSet& b) {
+    return a.values_ < b.values_;
+  }
+
+  size_t Hash() const;
+
+  /// Singleton prints bare ("MIT"); otherwise {a, b} with sorted elements
+  /// — matching the paper's table rendering on p.8.
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Set union.
+ValueSet Union(const ValueSet& a, const ValueSet& b);
+/// Set intersection.
+ValueSet Intersect(const ValueSet& a, const ValueSet& b);
+
+}  // namespace gcore
+
+namespace std {
+template <>
+struct hash<gcore::Value> {
+  size_t operator()(const gcore::Value& v) const { return v.Hash(); }
+};
+template <>
+struct hash<gcore::ValueSet> {
+  size_t operator()(const gcore::ValueSet& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // GCORE_COMMON_VALUE_H_

@@ -1,0 +1,523 @@
+#include "engine/engine.h"
+
+#include <cmath>
+#include <set>
+
+#include "engine/tabular.h"
+#include "engine/validator.h"
+#include "eval/binding_ops.h"
+#include "eval/constructor.h"
+#include "graph/graph_ops.h"
+#include "parser/parser.h"
+
+namespace gcore {
+
+std::string QueryResult::ToString() const {
+  if (graph.has_value()) return graph->ToString();
+  if (table.has_value()) return table->ToString();
+  return "<empty result>";
+}
+
+namespace {
+
+/// Collects the names of PATH views referenced by the regexes of a
+/// pattern (first-occurrence order).
+void CollectPatternViewRefs(const GraphPattern& pattern,
+                            std::vector<std::string>* out) {
+  for (const auto& hop : pattern.hops) {
+    if (hop.kind == PatternHop::Kind::kPath && hop.path.rpq != nullptr) {
+      hop.path.rpq->CollectViewRefs(out);
+    }
+  }
+}
+
+void CollectPatternViewRefs(const std::vector<GraphPattern>& patterns,
+                            std::vector<std::string>* out) {
+  for (const auto& pattern : patterns) CollectPatternViewRefs(pattern, out);
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(GraphCatalog* catalog) : catalog_(catalog) {}
+
+Matcher QueryEngine::MakeMatcher(Scope* scope) {
+  MatcherContext ctx;
+  ctx.catalog = catalog_;
+  ctx.views = &scope->views;
+  ctx.default_graph = catalog_->default_graph();
+  ctx.exists_cb = [this, scope](const Query& subquery,
+                                const BindingTable& outer,
+                                size_t row) -> Result<bool> {
+    return EvalExists(subquery, outer, row, scope);
+  };
+  return Matcher(ctx);
+}
+
+Result<QueryResult> QueryEngine::Execute(const std::string& query_text) {
+  GCORE_ASSIGN_OR_RETURN(auto query, ParseQuery(query_text));
+  return Execute(*query);
+}
+
+Result<QueryResult> QueryEngine::Execute(const Query& query) {
+  GCORE_RETURN_NOT_OK(ValidateQuery(query));
+  Scope scope;
+  auto result = ExecuteWithScope(query, &scope);
+  // Query-local GRAPH names do not outlive the query.
+  for (const auto& name : scope.local_graphs) {
+    catalog_->DropGraph(name);
+  }
+  return result;
+}
+
+Result<QueryResult> QueryEngine::ExecuteWithScope(const Query& query,
+                                                  Scope* scope) {
+  for (const auto& path_clause : query.path_clauses) {
+    // Lazy: materialized on first use against the graph actually matched.
+    scope->pending_paths.push_back(&path_clause);
+  }
+  std::string last_graph_clause;
+  for (const auto& graph_clause : query.graph_clauses) {
+    GCORE_RETURN_NOT_OK(EvalGraphClause(graph_clause, scope));
+    last_graph_clause = graph_clause.name;
+  }
+
+  QueryResult result;
+  if (query.body == nullptr) {
+    // Head-only statement (e.g. a bare GRAPH VIEW definition, lines
+    // 39-47): the result is the last defined graph, or the empty graph.
+    if (!last_graph_clause.empty()) {
+      GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* g,
+                             catalog_->Lookup(last_graph_clause));
+      result.graph = *g;
+    } else {
+      result.graph = PathPropertyGraph();
+    }
+    return result;
+  }
+
+  if (query.body->kind == QueryBody::Kind::kBasic &&
+      query.body->basic->select.has_value()) {
+    return EvalBasic(*query.body->basic, scope);
+  }
+  GCORE_ASSIGN_OR_RETURN(PathPropertyGraph graph,
+                         EvalBody(*query.body, scope));
+  result.graph = std::move(graph);
+  return result;
+}
+
+Status QueryEngine::EvalGraphClause(const GraphClause& clause, Scope* scope) {
+  // The subquery sees already-registered graphs and the enclosing PATH
+  // clauses.
+  auto result = ExecuteWithScope(*clause.query, scope);
+  GCORE_RETURN_NOT_OK(result.status());
+  if (!result->graph.has_value()) {
+    return Status::BindError("GRAPH clause '" + clause.name +
+                             "' requires a graph-typed query");
+  }
+  catalog_->RegisterGraph(clause.name, std::move(*result->graph));
+  if (!clause.is_view) scope->local_graphs.push_back(clause.name);
+  return Status::OK();
+}
+
+Status QueryEngine::MaterializePathViewsFor(const MatchClause& match,
+                                            Scope* scope) {
+  std::vector<std::string> refs;
+  CollectPatternViewRefs(match.patterns, &refs);
+  for (const auto& block : match.optionals) {
+    CollectPatternViewRefs(block.patterns, &refs);
+  }
+  if (refs.empty()) return Status::OK();
+
+  // Target graph: the ON graph of the first pattern referencing a view
+  // (the default graph when none).
+  std::string target_graph;
+  for (const auto& p : match.patterns) {
+    std::vector<std::string> local;
+    CollectPatternViewRefs(p, &local);
+    if (!local.empty()) {
+      target_graph = p.on_graph;
+      break;
+    }
+  }
+  if (target_graph.empty()) target_graph = catalog_->default_graph();
+
+  // Transitive closure over view references.
+  auto find_pending = [&](const std::string& name) -> const PathClause* {
+    for (const PathClause* c : scope->pending_paths) {
+      if (c->name == name) return c;
+    }
+    return nullptr;
+  };
+  std::set<std::string> needed;
+  std::vector<std::string> queue = refs;
+  while (!queue.empty()) {
+    const std::string name = queue.back();
+    queue.pop_back();
+    if (needed.count(name) > 0 || scope->views.Has(name)) continue;
+    const PathClause* clause = find_pending(name);
+    if (clause == nullptr) {
+      return Status::NotFound("PATH view '" + name + "' is not defined");
+    }
+    needed.insert(name);
+    CollectPatternViewRefs(clause->patterns, &queue);
+  }
+
+  // Materialize in head-clause order so nested references resolve first.
+  for (const PathClause* clause : scope->pending_paths) {
+    if (needed.count(clause->name) == 0 || scope->views.Has(clause->name)) {
+      continue;
+    }
+    GCORE_ASSIGN_OR_RETURN(PathViewRelation relation,
+                           MaterializePathView(*clause, target_graph, scope));
+    scope->views.Register(std::move(relation));
+  }
+  return Status::OK();
+}
+
+Result<PathViewRelation> QueryEngine::MaterializePathView(
+    const PathClause& clause, const std::string& graph_name, Scope* scope) {
+  if (clause.patterns.empty()) {
+    return Status::BindError("PATH clause '" + clause.name +
+                             "' has no pattern");
+  }
+  MatcherContext ctx;
+  ctx.catalog = catalog_;
+  ctx.views = &scope->views;
+  ctx.default_graph = graph_name;
+  ctx.exists_cb = [this, scope](const Query& subquery,
+                                const BindingTable& outer,
+                                size_t row) -> Result<bool> {
+    return EvalExists(subquery, outer, row, scope);
+  };
+  Matcher matcher(ctx);
+
+  // First pattern is the walk pattern: its elements form the segment body.
+  GCORE_ASSIGN_OR_RETURN(ChainResult detail,
+                         matcher.EvalChainDetailed(clause.patterns.front()));
+  BindingTable table = std::move(detail.table);
+  // Additional comma-separated patterns (non-linear path patterns,
+  // footnote 3) constrain via join.
+  for (size_t i = 1; i < clause.patterns.size(); ++i) {
+    GCORE_ASSIGN_OR_RETURN(ChainResult extra,
+                           matcher.EvalChainDetailed(clause.patterns[i]));
+    table = TableJoin(table, extra.table);
+  }
+
+  GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* view_graph,
+                         matcher.ResolveGraph(""));
+  ExprEvaluator eval(view_graph, catalog_);
+  ctx.exists_cb = nullptr;
+
+  if (clause.where != nullptr) {
+    BindingTable filtered(table.columns());
+    for (const auto& [v, g] : table.column_graphs()) {
+      filtered.SetColumnGraph(v, g);
+    }
+    for (size_t r = 0; r < table.NumRows(); ++r) {
+      GCORE_ASSIGN_OR_RETURN(bool keep,
+                             eval.EvalPredicate(*clause.where, table, r));
+      if (keep) {
+        Status st = filtered.AddRow(table.Row(r));
+        (void)st;
+      }
+    }
+    table = std::move(filtered);
+  }
+
+  PathViewRelation relation(clause.name);
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    double cost = 1.0;  // default hop cost (Appendix A.4)
+    if (clause.cost != nullptr) {
+      GCORE_ASSIGN_OR_RETURN(Datum d, eval.Eval(*clause.cost, table, r));
+      if (d.kind() != Datum::Kind::kValues || !d.values().is_singleton() ||
+          !d.values().single().is_numeric()) {
+        return Status::EvaluationError("PATH '" + clause.name +
+                                       "' COST must evaluate to a number");
+      }
+      cost = d.values().single().NumericAsDouble();
+      if (!(cost > 0.0)) {
+        return Status::EvaluationError(
+            "PATH '" + clause.name +
+            "' COST must be numerical and > 0 (Appendix A.4)");
+      }
+    }
+
+    // Segment body: walk the chain's element columns. They alternate
+    // node, connector, node, connector, ..., node.
+    PathViewSegment segment;
+    segment.cost = cost;
+    const auto& cols = detail.element_columns;
+    {
+      const Datum& first = table.Get(r, cols.front());
+      if (first.kind() != Datum::Kind::kNode) {
+        return Status::BindError("PATH pattern start is not a node");
+      }
+      segment.body.nodes.push_back(first.node());
+    }
+    for (size_t i = 1; i + 1 < cols.size(); i += 2) {
+      const Datum& connector = table.Get(r, cols[i]);
+      const Datum& target = table.Get(r, cols[i + 1]);
+      if (target.kind() != Datum::Kind::kNode) {
+        return Status::BindError("PATH pattern element is not a node");
+      }
+      if (connector.kind() == Datum::Kind::kEdge) {
+        segment.body.edges.push_back(connector.edge());
+        segment.body.nodes.push_back(target.node());
+      } else if (connector.kind() == Datum::Kind::kPath) {
+        // Splice a nested path view walk (skip the junction node).
+        const PathBody& nested = connector.path().body;
+        for (size_t j = 0; j < nested.edges.size(); ++j) {
+          segment.body.edges.push_back(nested.edges[j]);
+          segment.body.nodes.push_back(nested.nodes[j + 1]);
+        }
+      } else {
+        return Status::BindError(
+            "PATH pattern connector is neither edge nor path");
+      }
+    }
+    segment.src = segment.body.nodes.front();
+    segment.dst = segment.body.nodes.back();
+    GCORE_RETURN_NOT_OK(relation.AddSegment(std::move(segment)));
+  }
+  return relation;
+}
+
+Result<BindingTable> QueryEngine::EvalBindings(const BasicQuery& basic,
+                                               Scope* scope) {
+  if (basic.match.has_value()) {
+    GCORE_RETURN_NOT_OK(MaterializePathViewsFor(*basic.match, scope));
+
+    // ON (subquery) locations: evaluate each to a temporary catalog graph
+    // (Appendix A.2: ⟦α ON Q⟧_G = ⟦α⟧_{⟦Q⟧_G}).
+    std::map<const GraphPattern*, std::string> overrides;
+    auto materialize_locations =
+        [&](const std::vector<GraphPattern>& patterns) -> Status {
+      for (const auto& p : patterns) {
+        if (p.on_subquery == nullptr) continue;
+        GCORE_ASSIGN_OR_RETURN(QueryResult sub,
+                               ([&]() -> Result<QueryResult> {
+                                 return ExecuteWithScope(*p.on_subquery,
+                                                         scope);
+                               })());
+        if (!sub.graph.has_value()) {
+          return Status::BindError(
+              "ON (subquery) must produce a graph, not a table");
+        }
+        const std::string name =
+            "__location" + std::to_string(overrides.size());
+        catalog_->RegisterGraph(name, std::move(*sub.graph));
+        scope->local_graphs.push_back(name);
+        overrides.emplace(&p, name);
+      }
+      return Status::OK();
+    };
+    GCORE_RETURN_NOT_OK(materialize_locations(basic.match->patterns));
+    for (const auto& block : basic.match->optionals) {
+      GCORE_RETURN_NOT_OK(materialize_locations(block.patterns));
+    }
+
+    Matcher matcher = MakeMatcher(scope);
+    if (!overrides.empty()) {
+      MatcherContext ctx = matcher.context();
+      ctx.location_overrides = &overrides;
+      Matcher located(std::move(ctx));
+      return located.EvalMatchClause(*basic.match);
+    }
+    return matcher.EvalMatchClause(*basic.match);
+  }
+  if (!basic.from_table.empty()) {
+    GCORE_ASSIGN_OR_RETURN(const Table* table,
+                           catalog_->LookupTable(basic.from_table));
+    return TableAsBindings(*table);
+  }
+  return BindingTable::Unit();
+}
+
+Result<QueryResult> QueryEngine::EvalBasic(const BasicQuery& basic,
+                                           Scope* scope) {
+  GCORE_ASSIGN_OR_RETURN(BindingTable bindings, EvalBindings(basic, scope));
+
+  QueryResult result;
+  if (basic.select.has_value()) {
+    const SelectClause& select = *basic.select;
+    std::vector<std::string> columns;
+    bool any_aggregate = false;
+    for (const auto& item : select.items) {
+      columns.push_back(!item.alias.empty() ? item.alias
+                                            : item.expr->ToString());
+      if (item.expr->ContainsAggregate()) any_aggregate = true;
+    }
+    Table table(columns);
+
+    // λ/σ lookups resolve through per-column provenance; the default
+    // graph is only a fallback and may legitimately be absent (e.g. all
+    // patterns carry ON).
+    const PathPropertyGraph* default_graph = nullptr;
+    {
+      Matcher matcher = MakeMatcher(scope);
+      auto resolved = matcher.ResolveGraph("");
+      if (resolved.ok()) default_graph = *resolved;
+    }
+    ExprEvaluator eval(default_graph, catalog_);
+    eval.set_exists_callback([this, scope](const Query& subquery,
+                                           const BindingTable& outer,
+                                           size_t row) -> Result<bool> {
+      return EvalExists(subquery, outer, row, scope);
+    });
+
+    auto cell_of = [](const Datum& d) -> Value {
+      if (d.kind() == Datum::Kind::kValues && d.values().is_singleton()) {
+        return d.values().single();
+      }
+      if (d.IsUnbound() ||
+          (d.kind() == Datum::Kind::kValues && d.values().empty())) {
+        return Value::Null();
+      }
+      return Value::String(d.ToString());
+    };
+
+    if (any_aggregate) {
+      std::vector<size_t> all_rows(bindings.NumRows());
+      for (size_t r = 0; r < all_rows.size(); ++r) all_rows[r] = r;
+      std::vector<Value> row;
+      for (const auto& item : select.items) {
+        GCORE_ASSIGN_OR_RETURN(
+            Datum d, eval.EvalWithGroup(*item.expr, bindings, all_rows));
+        row.push_back(cell_of(d));
+      }
+      Status st = table.AddRow(std::move(row));
+      (void)st;
+    } else {
+      // Projection with the Section 5 "slicing, sorting" extensions:
+      // ORDER BY keys are evaluated against the binding rows, then
+      // DISTINCT and LIMIT apply to the projected cells.
+      struct ProjectedRow {
+        std::vector<Value> keys;
+        std::vector<Value> cells;
+      };
+      std::vector<ProjectedRow> rows;
+      rows.reserve(bindings.NumRows());
+      for (size_t r = 0; r < bindings.NumRows(); ++r) {
+        ProjectedRow out;
+        for (const auto& key : select.order_by) {
+          GCORE_ASSIGN_OR_RETURN(Datum d, eval.Eval(*key.expr, bindings, r));
+          out.keys.push_back(cell_of(d));
+        }
+        for (const auto& item : select.items) {
+          GCORE_ASSIGN_OR_RETURN(Datum d, eval.Eval(*item.expr, bindings, r));
+          out.cells.push_back(cell_of(d));
+        }
+        rows.push_back(std::move(out));
+      }
+      if (!select.order_by.empty()) {
+        std::stable_sort(
+            rows.begin(), rows.end(),
+            [&](const ProjectedRow& a, const ProjectedRow& b) {
+              for (size_t k = 0; k < select.order_by.size(); ++k) {
+                const int cmp = a.keys[k].Compare(b.keys[k]);
+                if (cmp != 0) {
+                  return select.order_by[k].descending ? cmp > 0 : cmp < 0;
+                }
+              }
+              return false;
+            });
+      }
+      std::set<std::vector<Value>> seen;
+      int64_t emitted = 0;
+      for (auto& row : rows) {
+        if (select.limit >= 0 && emitted >= select.limit) break;
+        if (select.distinct && !seen.insert(row.cells).second) continue;
+        ++emitted;
+        Status st = table.AddRow(std::move(row.cells));
+        (void)st;
+      }
+    }
+    result.table = std::move(table);
+    return result;
+  }
+
+  if (!basic.construct.has_value()) {
+    return Status::BindError("basic query lacks a CONSTRUCT clause");
+  }
+  ConstructorContext ctx;
+  ctx.catalog = catalog_;
+  ctx.default_graph = catalog_->default_graph();
+  ctx.exists_cb = [this, scope](const Query& subquery,
+                                const BindingTable& outer,
+                                size_t row) -> Result<bool> {
+    return EvalExists(subquery, outer, row, scope);
+  };
+  Constructor constructor(ctx);
+  GCORE_ASSIGN_OR_RETURN(PathPropertyGraph graph,
+                         constructor.EvalConstruct(*basic.construct,
+                                                   bindings));
+  result.graph = std::move(graph);
+  return result;
+}
+
+Result<PathPropertyGraph> QueryEngine::EvalBody(const QueryBody& body,
+                                                Scope* scope) {
+  switch (body.kind) {
+    case QueryBody::Kind::kBasic: {
+      GCORE_ASSIGN_OR_RETURN(QueryResult r, EvalBasic(*body.basic, scope));
+      if (!r.graph.has_value()) {
+        return Status::BindError(
+            "SELECT queries cannot participate in graph set operations");
+      }
+      return std::move(*r.graph);
+    }
+    case QueryBody::Kind::kGraphRef: {
+      GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* g,
+                             catalog_->Lookup(body.graph_ref));
+      return PathPropertyGraph(*g);
+    }
+    case QueryBody::Kind::kUnion:
+    case QueryBody::Kind::kIntersect:
+    case QueryBody::Kind::kMinus: {
+      GCORE_ASSIGN_OR_RETURN(PathPropertyGraph left,
+                             EvalBody(*body.left, scope));
+      GCORE_ASSIGN_OR_RETURN(PathPropertyGraph right,
+                             EvalBody(*body.right, scope));
+      switch (body.kind) {
+        case QueryBody::Kind::kUnion:
+          return GraphUnion(left, right);
+        case QueryBody::Kind::kIntersect:
+          return GraphIntersect(left, right);
+        default:
+          return GraphMinus(left, right);
+      }
+    }
+  }
+  return Status::EvaluationError("unhandled query body kind");
+}
+
+Result<bool> QueryEngine::EvalExists(const Query& subquery,
+                                     const BindingTable& outer, size_t row,
+                                     Scope* scope) {
+  // Correlated evaluation (Appendix A.2): ⟦γ⟧Ω,G = ⟦γ⟧G ⋉ Ω. The
+  // subquery's bindings are semijoined with the outer row; EXISTS is true
+  // iff any survive (CONSTRUCT over a non-empty binding set yields a
+  // non-empty graph).
+  const QueryBody* body = subquery.body.get();
+  if (body == nullptr) return false;
+  if (body->kind == QueryBody::Kind::kGraphRef) {
+    GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* g,
+                           catalog_->Lookup(body->graph_ref));
+    return !(*g).Empty();
+  }
+  if (body->kind != QueryBody::Kind::kBasic) {
+    // Full set-operation subquery: evaluate uncorrelated.
+    auto result = ExecuteWithScope(subquery, scope);
+    GCORE_RETURN_NOT_OK(result.status());
+    return result->graph.has_value() && !result->graph->Empty();
+  }
+  GCORE_ASSIGN_OR_RETURN(BindingTable inner_bindings,
+                         EvalBindings(*body->basic, scope));
+  BindingTable outer_row(outer.columns());
+  Status st = outer_row.AddRow(outer.Row(row));
+  (void)st;
+  BindingTable joined = TableSemijoin(outer_row, inner_bindings);
+  return !joined.Empty();
+}
+
+}  // namespace gcore

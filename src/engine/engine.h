@@ -1,0 +1,94 @@
+// The G-CORE query engine: the public entry point of gcore-cpp.
+//
+//   GraphCatalog catalog;
+//   catalog.RegisterGraph("social_graph", MakeSocialGraph(catalog.ids()));
+//   catalog.SetDefaultGraph("social_graph");
+//   QueryEngine engine(&catalog);
+//   auto result = engine.Execute(
+//       "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme'");
+//
+// Execution follows Appendix A: PATH head clauses become weighted path
+// views, GRAPH / GRAPH VIEW clauses register (materialized) graphs, the
+// body evaluates CONSTRUCT∘MATCH per basic query and combines full graph
+// queries with the set operations of A.5. The Section 5 extensions
+// (SELECT, FROM <table>, ON <table>) produce/consume tables.
+#ifndef GCORE_ENGINE_ENGINE_H_
+#define GCORE_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "eval/matcher.h"
+#include "graph/catalog.h"
+#include "paths/path_view.h"
+#include "snb/table.h"
+
+namespace gcore {
+
+/// Outcome of a query: a graph (the normal, closed case) or a table
+/// (SELECT extension).
+struct QueryResult {
+  std::optional<PathPropertyGraph> graph;
+  std::optional<Table> table;
+
+  bool IsGraph() const { return graph.has_value(); }
+  bool IsTable() const { return table.has_value(); }
+  std::string ToString() const;
+};
+
+class QueryEngine {
+ public:
+  /// The engine does not own the catalog; GRAPH VIEW definitions persist
+  /// into it across Execute calls.
+  explicit QueryEngine(GraphCatalog* catalog);
+
+  /// Parses and executes `query_text`.
+  Result<QueryResult> Execute(const std::string& query_text);
+
+  /// Executes an already-parsed query.
+  Result<QueryResult> Execute(const Query& query);
+
+  GraphCatalog* catalog() { return catalog_; }
+
+ private:
+  /// Per-execution scope: path views (materialized + pending clause ASTs)
+  /// and query-local graph names.
+  struct Scope {
+    PathViewRegistry views;
+    std::vector<const PathClause*> pending_paths;
+    std::vector<std::string> local_graphs;
+  };
+
+  Result<QueryResult> ExecuteWithScope(const Query& query, Scope* scope);
+  Result<PathPropertyGraph> EvalBody(const QueryBody& body, Scope* scope);
+  Result<QueryResult> EvalBasic(const BasicQuery& basic, Scope* scope);
+  Status EvalGraphClause(const GraphClause& clause, Scope* scope);
+
+  /// Binding-producing part of a basic query (MATCH / FROM / unit).
+  Result<BindingTable> EvalBindings(const BasicQuery& basic, Scope* scope);
+
+  /// Materializes every pending PATH view (transitively) referenced by the
+  /// match clause, against the graph its first referencing pattern runs
+  /// on. PATH views read properties of the graph they are applied to
+  /// (wKnows reads nr_messages of social_graph1), hence the laziness.
+  Status MaterializePathViewsFor(const MatchClause& match, Scope* scope);
+  Result<PathViewRelation> MaterializePathView(const PathClause& clause,
+                                               const std::string& graph_name,
+                                               Scope* scope);
+
+  /// Correlated EXISTS: evaluates the subquery's bindings semijoined with
+  /// the outer row; TRUE iff non-empty.
+  Result<bool> EvalExists(const Query& subquery, const BindingTable& outer,
+                          size_t row, Scope* scope);
+
+  Matcher MakeMatcher(Scope* scope);
+
+  GraphCatalog* catalog_;
+};
+
+}  // namespace gcore
+
+#endif  // GCORE_ENGINE_ENGINE_H_

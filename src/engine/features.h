@@ -1,0 +1,59 @@
+// Feature taxonomy of Table 1, detected from parsed queries.
+//
+// The bench target bench_table1_features parses the paper's example
+// queries and regenerates the feature ↔ query matrix of Table 1 (and the
+// feature column of Figure 1) from this analysis.
+#ifndef GCORE_ENGINE_FEATURES_H_
+#define GCORE_ENGINE_FEATURES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace gcore {
+
+/// The features of Table 1.
+enum class QueryFeature {
+  // Matching
+  kHomomorphicMatching,        // all MATCH queries
+  kLiteralMatching,            // property filters / value equality
+  kKShortestPaths,             // k SHORTEST
+  kAllShortestPaths,           // reachability / ALL over Kleene star
+  kWeightedShortestPaths,      // ~view refs with COST
+  kOptionalMatching,           // OPTIONAL
+  // Querying
+  kMultipleGraphs,             // >1 distinct ON graphs
+  kQueriesOnPaths,             // stored-path matching (@p)
+  kFilteringMatches,           // WHERE
+  kFilteringPathExpressions,   // PATH ... WHERE
+  kValueJoins,                 // WHERE var.prop = var.prop across patterns
+  kCartesianProduct,           // multiple patterns without shared variables
+  kListMembership,             // IN
+  // Subqueries
+  kGraphSetOperations,         // UNION/INTERSECT/MINUS
+  kImplicitExistential,        // pattern predicate in WHERE
+  kExplicitExistential,        // EXISTS (...)
+  // Construction
+  kGraphConstruction,          // all CONSTRUCT queries
+  kGraphAggregation,           // GROUP in CONSTRUCT
+  kGraphProjection,            // stored path construction / ALL projection
+  kGraphViews,                 // GRAPH VIEW / GRAPH AS
+  kPropertyAddition,           // SET / := assignments
+  // Extensions (Section 5)
+  kTabularProjection,          // SELECT
+  kTabularImport,              // FROM table / ON table
+};
+
+const char* QueryFeatureToString(QueryFeature feature);
+
+/// All features detected in `query` (recursing into subqueries and views).
+std::set<QueryFeature> DetectFeatures(const Query& query);
+
+/// Human-readable report line set, e.g. for the Table 1 bench.
+std::vector<std::string> FeatureReport(const Query& query);
+
+}  // namespace gcore
+
+#endif  // GCORE_ENGINE_FEATURES_H_

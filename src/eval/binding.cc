@@ -1,0 +1,232 @@
+#include "eval/binding.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace gcore {
+
+namespace {
+const Datum kUnboundDatum;
+const std::string kEmptyString;
+}  // namespace
+
+Datum Datum::OfNode(NodeId id) {
+  Datum d;
+  d.kind_ = Kind::kNode;
+  d.node_ = id;
+  return d;
+}
+
+Datum Datum::OfEdge(EdgeId id) {
+  Datum d;
+  d.kind_ = Kind::kEdge;
+  d.edge_ = id;
+  return d;
+}
+
+Datum Datum::OfPath(std::shared_ptr<const PathValue> path) {
+  Datum d;
+  d.kind_ = Kind::kPath;
+  d.path_ = std::move(path);
+  return d;
+}
+
+Datum Datum::OfValues(ValueSet values) {
+  Datum d;
+  d.kind_ = Kind::kValues;
+  d.values_ = std::move(values);
+  return d;
+}
+
+Datum Datum::OfNodeList(std::vector<NodeId> nodes) {
+  Datum d;
+  d.kind_ = Kind::kNodeList;
+  d.nodes_ = std::move(nodes);
+  return d;
+}
+
+Datum Datum::OfEdgeList(std::vector<EdgeId> edges) {
+  Datum d;
+  d.kind_ = Kind::kEdgeList;
+  d.edges_ = std::move(edges);
+  return d;
+}
+
+bool operator==(const Datum& a, const Datum& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Datum::Kind::kUnbound:
+      return true;
+    case Datum::Kind::kNode:
+      return a.node_ == b.node_;
+    case Datum::Kind::kEdge:
+      return a.edge_ == b.edge_;
+    case Datum::Kind::kPath:
+      return a.path_->id == b.path_->id;
+    case Datum::Kind::kValues:
+      return a.values_ == b.values_;
+    case Datum::Kind::kNodeList:
+      return a.nodes_ == b.nodes_;
+    case Datum::Kind::kEdgeList:
+      return a.edges_ == b.edges_;
+  }
+  return false;
+}
+
+size_t Datum::Hash() const {
+  switch (kind_) {
+    case Kind::kUnbound:
+      return 0x5bd1e995;
+    case Kind::kNode:
+      return std::hash<NodeId>{}(node_) ^ 0x10;
+    case Kind::kEdge:
+      return std::hash<EdgeId>{}(edge_) ^ 0x20;
+    case Kind::kPath:
+      return std::hash<PathId>{}(path_->id) ^ 0x30;
+    case Kind::kValues:
+      return values_.Hash() ^ 0x40;
+    case Kind::kNodeList: {
+      size_t h = 0x50;
+      for (NodeId n : nodes_) h = h * 31 + std::hash<NodeId>{}(n);
+      return h;
+    }
+    case Kind::kEdgeList: {
+      size_t h = 0x60;
+      for (EdgeId e : edges_) h = h * 31 + std::hash<EdgeId>{}(e);
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string Datum::ToString() const {
+  switch (kind_) {
+    case Kind::kUnbound:
+      return "⊥";
+    case Kind::kNode:
+      return gcore::ToString(node_);
+    case Kind::kEdge:
+      return gcore::ToString(edge_);
+    case Kind::kPath:
+      return gcore::ToString(path_->id);
+    case Kind::kValues:
+      return values_.ToString();
+    case Kind::kNodeList: {
+      std::string out = "[";
+      for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += gcore::ToString(nodes_[i]);
+      }
+      return out + "]";
+    }
+    case Kind::kEdgeList: {
+      std::string out = "[";
+      for (size_t i = 0; i < edges_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += gcore::ToString(edges_[i]);
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+BindingTable BindingTable::Unit() {
+  BindingTable t;
+  t.rows_.emplace_back();
+  return t;
+}
+
+size_t BindingTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  return kNpos;
+}
+
+size_t BindingTable::AddColumn(const std::string& name) {
+  const size_t existing = ColumnIndex(name);
+  if (existing != kNpos) return existing;
+  columns_.push_back(name);
+  for (auto& row : rows_) row.emplace_back();
+  return columns_.size() - 1;
+}
+
+Status BindingTable::AddRow(BindingRow row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "binding row has " + std::to_string(row.size()) +
+        " entries, table has " + std::to_string(columns_.size()) +
+        " columns");
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const Datum& BindingTable::Get(size_t row, const std::string& var) const {
+  const size_t col = ColumnIndex(var);
+  return col == kNpos ? kUnboundDatum : rows_[row][col];
+}
+
+namespace {
+struct RowHash {
+  size_t operator()(const BindingRow* row) const {
+    size_t h = 0;
+    for (const Datum& d : *row) {
+      h ^= d.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+struct RowEq {
+  bool operator()(const BindingRow* a, const BindingRow* b) const {
+    return *a == *b;
+  }
+};
+}  // namespace
+
+void BindingTable::Deduplicate() {
+  std::unordered_set<const BindingRow*, RowHash, RowEq> seen;
+  std::vector<BindingRow> kept;
+  kept.reserve(rows_.size());
+  for (auto& row : rows_) {
+    if (seen.count(&row) > 0) continue;
+    kept.push_back(row);
+    seen.insert(&kept.back());
+  }
+  // Re-hash over the stable `kept` storage: the inserted pointers above
+  // pointed into `kept`, which does not reallocate after reserve... but
+  // reserve(rows_.size()) guarantees capacity, so pointers stay valid.
+  rows_ = std::move(kept);
+}
+
+void BindingTable::SetColumnGraph(const std::string& var,
+                                  const std::string& graph) {
+  if (graph.empty()) return;
+  column_graphs_[var] = graph;
+}
+
+const std::string& BindingTable::ColumnGraph(const std::string& var) const {
+  auto it = column_graphs_.find(var);
+  return it == column_graphs_.end() ? kEmptyString : it->second;
+}
+
+std::string BindingTable::ToString() const {
+  std::ostringstream out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out << " | ";
+    out << columns_[c];
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << " | ";
+      out << row[c].ToString();
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gcore

@@ -1,0 +1,153 @@
+// Bindings and binding tables: the Ω of Appendix A.1.
+//
+// A binding µ is a partial function from variables to graph objects and
+// literal sets; a BindingTable is a finite set of bindings with a shared
+// column schema (a row stores kUnbound for variables outside dom(µ),
+// which is how OPTIONAL's left outer join represents missing matches).
+#ifndef GCORE_EVAL_BINDING_H_
+#define GCORE_EVAL_BINDING_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/id.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "graph/ppg.h"
+
+namespace gcore {
+
+/// A path bound to a variable. MATCH allocates *fresh* path identifiers
+/// for computed paths (Appendix A.2, "µ(w) is a fresh path identifier
+/// associated to the shortest path L"); stored paths keep their graph
+/// identity. ALL-mode bindings carry the projection sets instead of a
+/// single body.
+struct PathValue {
+  PathId id;
+  PathBody body;
+  double cost = 0.0;
+  /// True when `id` identifies a stored path of the matched graph.
+  bool from_graph = false;
+  /// ALL-paths projection (mode kAll): every node/edge on some conforming
+  /// walk. When set, `body` is empty.
+  std::optional<std::pair<std::vector<NodeId>, std::vector<EdgeId>>>
+      projection;
+};
+
+/// What one variable is bound to.
+class Datum {
+ public:
+  enum class Kind : uint8_t {
+    kUnbound,
+    kNode,
+    kEdge,
+    kPath,
+    kValues,    // a finite set of literals (singleton for scalars)
+    kNodeList,  // nodes(p)
+    kEdgeList,  // edges(p)
+  };
+
+  Datum() : kind_(Kind::kUnbound) {}
+  static Datum Unbound() { return Datum(); }
+  static Datum OfNode(NodeId id);
+  static Datum OfEdge(EdgeId id);
+  static Datum OfPath(std::shared_ptr<const PathValue> path);
+  static Datum OfValues(ValueSet values);
+  static Datum OfValue(Value value) { return OfValues(ValueSet(value)); }
+  static Datum OfBool(bool b) { return OfValue(Value::Bool(b)); }
+  static Datum OfNodeList(std::vector<NodeId> nodes);
+  static Datum OfEdgeList(std::vector<EdgeId> edges);
+
+  Kind kind() const { return kind_; }
+  bool IsUnbound() const { return kind_ == Kind::kUnbound; }
+  bool IsBound() const { return kind_ != Kind::kUnbound; }
+
+  NodeId node() const { return node_; }
+  EdgeId edge() const { return edge_; }
+  const PathValue& path() const { return *path_; }
+  std::shared_ptr<const PathValue> path_ptr() const { return path_; }
+  const ValueSet& values() const { return values_; }
+  const std::vector<NodeId>& node_list() const { return nodes_; }
+  const std::vector<EdgeId>& edge_list() const { return edges_; }
+
+  /// Compatibility equality (µ1 ∼ µ2 on a shared variable). Paths compare
+  /// by identifier.
+  friend bool operator==(const Datum& a, const Datum& b);
+  friend bool operator!=(const Datum& a, const Datum& b) { return !(a == b); }
+
+  size_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  NodeId node_;
+  EdgeId edge_;
+  std::shared_ptr<const PathValue> path_;
+  ValueSet values_;
+  std::vector<NodeId> nodes_;
+  std::vector<EdgeId> edges_;
+};
+
+/// One row = one binding µ.
+using BindingRow = std::vector<Datum>;
+
+/// A set of bindings over a fixed column schema.
+class BindingTable {
+ public:
+  BindingTable() = default;
+  explicit BindingTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// The canonical singleton {µ∅}: one row, no columns — the identity for
+  /// the join operator.
+  static BindingTable Unit();
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t NumColumns() const { return columns_.size(); }
+  size_t NumRows() const { return rows_.size(); }
+  bool Empty() const { return rows_.empty(); }
+
+  static constexpr size_t kNpos = ~size_t{0};
+  size_t ColumnIndex(const std::string& name) const;
+  bool HasColumn(const std::string& name) const {
+    return ColumnIndex(name) != kNpos;
+  }
+  /// Appends a column (existing rows get kUnbound); returns its index.
+  size_t AddColumn(const std::string& name);
+
+  Status AddRow(BindingRow row);
+  const BindingRow& Row(size_t i) const { return rows_[i]; }
+  const std::vector<BindingRow>& rows() const { return rows_; }
+  std::vector<BindingRow>& mutable_rows() { return rows_; }
+
+  const Datum& At(size_t row, size_t col) const { return rows_[row][col]; }
+  /// Datum of `var` in row `row`; kUnbound when the column is absent.
+  const Datum& Get(size_t row, const std::string& var) const;
+
+  /// Removes duplicate rows (bindings form a *set*).
+  void Deduplicate();
+
+  /// Which graph each object column was matched on; used by CONSTRUCT to
+  /// copy λ/σ of bound objects (Section 3, "labels and properties ... are
+  /// preserved in the returned result graph").
+  void SetColumnGraph(const std::string& var, const std::string& graph);
+  /// Empty string when unknown.
+  const std::string& ColumnGraph(const std::string& var) const;
+  const std::map<std::string, std::string>& column_graphs() const {
+    return column_graphs_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<BindingRow> rows_;
+  std::map<std::string, std::string> column_graphs_;
+};
+
+}  // namespace gcore
+
+#endif  // GCORE_EVAL_BINDING_H_

@@ -1,0 +1,223 @@
+#include "eval/binding_ops.h"
+
+#include <unordered_map>
+
+namespace gcore {
+
+namespace {
+
+/// Column positions shared by two schemas: pairs (col in a, col in b).
+std::vector<std::pair<size_t, size_t>> SharedColumns(const BindingTable& a,
+                                                     const BindingTable& b) {
+  std::vector<std::pair<size_t, size_t>> shared;
+  for (size_t i = 0; i < a.columns().size(); ++i) {
+    const size_t j = b.ColumnIndex(a.columns()[i]);
+    if (j != BindingTable::kNpos) shared.emplace_back(i, j);
+  }
+  return shared;
+}
+
+bool Compatible(const BindingRow& ra, const BindingRow& rb,
+                const std::vector<std::pair<size_t, size_t>>& shared) {
+  for (const auto& [ia, ib] : shared) {
+    const Datum& da = ra[ia];
+    const Datum& db = rb[ib];
+    if (da.IsBound() && db.IsBound() && da != db) return false;
+  }
+  return true;
+}
+
+/// Output schema of a join: a's columns then b's extra columns, with
+/// provenance merged.
+BindingTable JoinSchema(const BindingTable& a, const BindingTable& b,
+                        std::vector<size_t>* b_extra) {
+  std::vector<std::string> columns = a.columns();
+  for (size_t j = 0; j < b.columns().size(); ++j) {
+    if (a.ColumnIndex(b.columns()[j]) == BindingTable::kNpos) {
+      b_extra->push_back(j);
+      columns.push_back(b.columns()[j]);
+    }
+  }
+  BindingTable out(std::move(columns));
+  for (const auto& [var, graph] : a.column_graphs()) {
+    out.SetColumnGraph(var, graph);
+  }
+  for (const auto& [var, graph] : b.column_graphs()) {
+    if (out.ColumnGraph(var).empty()) out.SetColumnGraph(var, graph);
+  }
+  return out;
+}
+
+/// µ1 ∪ µ2 under the joined schema. On shared columns a bound value wins
+/// over unbound.
+BindingRow MergeRows(const BindingRow& ra, const BindingRow& rb,
+                     const std::vector<std::pair<size_t, size_t>>& shared,
+                     const std::vector<size_t>& b_extra) {
+  BindingRow merged = ra;
+  for (const auto& [ia, ib] : shared) {
+    if (merged[ia].IsUnbound()) merged[ia] = rb[ib];
+  }
+  for (size_t j : b_extra) merged.push_back(rb[j]);
+  return merged;
+}
+
+struct KeyHash {
+  size_t operator()(const std::vector<Datum>& key) const {
+    size_t h = 0;
+    for (const Datum& d : key) {
+      h ^= d.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// Hash index over b's rows where all shared columns are bound; rows with
+/// an unbound shared column must be checked linearly against everything.
+struct ProbeIndex {
+  std::unordered_map<std::vector<Datum>, std::vector<size_t>, KeyHash> keyed;
+  std::vector<size_t> wildcard;
+
+  ProbeIndex(const BindingTable& b,
+             const std::vector<std::pair<size_t, size_t>>& shared) {
+    for (size_t r = 0; r < b.NumRows(); ++r) {
+      const BindingRow& row = b.Row(r);
+      std::vector<Datum> key;
+      key.reserve(shared.size());
+      bool all_bound = true;
+      for (const auto& [ia, ib] : shared) {
+        if (row[ib].IsUnbound()) {
+          all_bound = false;
+          break;
+        }
+        key.push_back(row[ib]);
+      }
+      if (all_bound) {
+        keyed[std::move(key)].push_back(r);
+      } else {
+        wildcard.push_back(r);
+      }
+    }
+  }
+
+  /// Calls fn(row index in b) for each candidate compatible with `ra`.
+  template <typename Fn>
+  void ForEachCandidate(const BindingRow& ra,
+                        const std::vector<std::pair<size_t, size_t>>& shared,
+                        Fn fn) const {
+    bool a_all_bound = true;
+    std::vector<Datum> key;
+    key.reserve(shared.size());
+    for (const auto& [ia, ib] : shared) {
+      if (ra[ia].IsUnbound()) {
+        a_all_bound = false;
+        break;
+      }
+      key.push_back(ra[ia]);
+    }
+    if (a_all_bound) {
+      auto it = keyed.find(key);
+      if (it != keyed.end()) {
+        for (size_t r : it->second) fn(r);
+      }
+    } else {
+      // Some a-side shared column unbound: any keyed bucket may match.
+      for (const auto& [k, rows] : keyed) {
+        for (size_t r : rows) fn(r);
+      }
+    }
+    for (size_t r : wildcard) fn(r);
+  }
+};
+
+}  // namespace
+
+BindingTable TableUnion(const BindingTable& a, const BindingTable& b) {
+  std::vector<size_t> b_extra;
+  BindingTable out = JoinSchema(a, b, &b_extra);
+  const auto shared = SharedColumns(a, b);
+  for (const auto& ra : a.rows()) {
+    BindingRow row = ra;
+    row.resize(out.NumColumns());
+    Status st = out.AddRow(std::move(row));
+    (void)st;
+  }
+  for (const auto& rb : b.rows()) {
+    BindingRow row(out.NumColumns());
+    for (size_t j = 0; j < b.columns().size(); ++j) {
+      const size_t col = out.ColumnIndex(b.columns()[j]);
+      row[col] = rb[j];
+    }
+    Status st = out.AddRow(std::move(row));
+    (void)st;
+  }
+  out.Deduplicate();
+  return out;
+}
+
+BindingTable TableJoin(const BindingTable& a, const BindingTable& b) {
+  std::vector<size_t> b_extra;
+  BindingTable out = JoinSchema(a, b, &b_extra);
+  const auto shared = SharedColumns(a, b);
+  const ProbeIndex index(b, shared);
+  for (const auto& ra : a.rows()) {
+    index.ForEachCandidate(ra, shared, [&](size_t rb_idx) {
+      const BindingRow& rb = b.Row(rb_idx);
+      if (!Compatible(ra, rb, shared)) return;
+      Status st = out.AddRow(MergeRows(ra, rb, shared, b_extra));
+      (void)st;
+    });
+  }
+  out.Deduplicate();
+  return out;
+}
+
+BindingTable TableSemijoin(const BindingTable& a, const BindingTable& b) {
+  BindingTable out(a.columns());
+  for (const auto& [var, graph] : a.column_graphs()) {
+    out.SetColumnGraph(var, graph);
+  }
+  const auto shared = SharedColumns(a, b);
+  const ProbeIndex index(b, shared);
+  for (const auto& ra : a.rows()) {
+    bool found = false;
+    index.ForEachCandidate(ra, shared, [&](size_t rb_idx) {
+      if (found) return;
+      if (Compatible(ra, b.Row(rb_idx), shared)) found = true;
+    });
+    if (found) {
+      Status st = out.AddRow(ra);
+      (void)st;
+    }
+  }
+  return out;
+}
+
+BindingTable TableAntijoin(const BindingTable& a, const BindingTable& b) {
+  BindingTable out(a.columns());
+  for (const auto& [var, graph] : a.column_graphs()) {
+    out.SetColumnGraph(var, graph);
+  }
+  const auto shared = SharedColumns(a, b);
+  const ProbeIndex index(b, shared);
+  for (const auto& ra : a.rows()) {
+    bool found = false;
+    index.ForEachCandidate(ra, shared, [&](size_t rb_idx) {
+      if (found) return;
+      if (Compatible(ra, b.Row(rb_idx), shared)) found = true;
+    });
+    if (!found) {
+      Status st = out.AddRow(ra);
+      (void)st;
+    }
+  }
+  return out;
+}
+
+BindingTable TableLeftOuterJoin(const BindingTable& a,
+                                const BindingTable& b) {
+  BindingTable joined = TableJoin(a, b);
+  BindingTable missing = TableAntijoin(a, b);
+  return TableUnion(joined, missing);
+}
+
+}  // namespace gcore

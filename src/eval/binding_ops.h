@@ -1,0 +1,35 @@
+// The binding-set algebra of Appendix A.1:
+//
+//   Ω1 ∪ Ω2   union
+//   Ω1 ⋈ Ω2   natural join over compatible bindings
+//   Ω1 ⋉ Ω2   semijoin (filter Ω1 by compatibility with Ω2)
+//   Ω1 ∖ Ω2   anti-semijoin
+//   Ω1 ⟕ Ω2   left outer join = (Ω1 ⋈ Ω2) ∪ (Ω1 ∖ Ω2)
+//
+// Compatibility: µ1 ∼ µ2 iff they agree on every variable bound in both.
+// An unbound entry (variable outside dom(µ)) is compatible with anything.
+#ifndef GCORE_EVAL_BINDING_OPS_H_
+#define GCORE_EVAL_BINDING_OPS_H_
+
+#include "eval/binding.h"
+
+namespace gcore {
+
+/// Ω1 ∪ Ω2 over the merged schema.
+BindingTable TableUnion(const BindingTable& a, const BindingTable& b);
+
+/// Ω1 ⋈ Ω2: one output row µ1 ∪ µ2 per compatible pair.
+BindingTable TableJoin(const BindingTable& a, const BindingTable& b);
+
+/// Ω1 ⋉ Ω2: rows of Ω1 with at least one compatible row in Ω2.
+BindingTable TableSemijoin(const BindingTable& a, const BindingTable& b);
+
+/// Ω1 ∖ Ω2: rows of Ω1 with no compatible row in Ω2.
+BindingTable TableAntijoin(const BindingTable& a, const BindingTable& b);
+
+/// Ω1 ⟕ Ω2.
+BindingTable TableLeftOuterJoin(const BindingTable& a, const BindingTable& b);
+
+}  // namespace gcore
+
+#endif  // GCORE_EVAL_BINDING_OPS_H_

@@ -1,0 +1,867 @@
+#include "eval/constructor.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "graph/graph_ops.h"
+
+namespace gcore {
+
+namespace {
+
+/// Canonical, collision-free serialization of a datum for group keys.
+std::string DatumKey(const Datum& d) {
+  switch (d.kind()) {
+    case Datum::Kind::kUnbound:
+      return "U";
+    case Datum::Kind::kNode:
+      return "N" + std::to_string(d.node().value());
+    case Datum::Kind::kEdge:
+      return "E" + std::to_string(d.edge().value());
+    case Datum::Kind::kPath:
+      return "P" + std::to_string(d.path().id.value());
+    case Datum::Kind::kValues: {
+      std::string key = "V";
+      for (const Value& v : d.values()) {
+        key += std::to_string(static_cast<int>(v.type()));
+        key += ":";
+        key += v.ToString();
+        key += "|";
+      }
+      return key;
+    }
+    case Datum::Kind::kNodeList: {
+      std::string key = "NL";
+      for (NodeId n : d.node_list()) key += std::to_string(n.value()) + ",";
+      return key;
+    }
+    case Datum::Kind::kEdgeList: {
+      std::string key = "EL";
+      for (EdgeId e : d.edge_list()) key += std::to_string(e.value()) + ",";
+      return key;
+    }
+  }
+  return "?";
+}
+
+/// All labels mentioned by construct-side label groups (flattened: the
+/// construct attaches every listed label).
+std::vector<std::string> FlattenLabels(
+    const std::vector<std::vector<std::string>>& groups) {
+  std::vector<std::string> out;
+  for (const auto& g : groups) {
+    for (const auto& l : g) out.push_back(l);
+  }
+  return out;
+}
+
+struct GroupInfo {
+  std::vector<size_t> rows;
+};
+
+}  // namespace
+
+Constructor::Constructor(ConstructorContext ctx) : ctx_(std::move(ctx)) {}
+
+// Per-item construction state and logic.
+struct Constructor::ItemState {
+  Constructor* owner;
+  const ConstructItem& item;
+  const BindingTable& bindings;
+  std::vector<size_t> rows;  // binding rows participating (post pre-filter)
+
+  // Effective (possibly generated) names per chain element.
+  struct NodeCtor {
+    const NodePattern* pattern;
+    std::string name;
+  };
+  struct EdgeCtor {
+    const EdgePattern* pattern;
+    std::string name;
+    size_t from_ctor;  // index into node_ctors
+    size_t to_ctor;
+  };
+  struct PathCtor {
+    const PathPattern* pattern;
+    std::string name;
+    size_t from_ctor;
+    size_t to_ctor;
+  };
+  std::vector<NodeCtor> node_ctors;
+  std::vector<EdgeCtor> edge_ctors;
+  std::vector<PathCtor> path_ctors;
+
+  // Build products.
+  struct NodeBuild {
+    NodeId id;
+    LabelSet labels;
+    PropertyMap props;
+    std::vector<size_t> rows;
+    std::string var;
+    bool dropped = false;
+  };
+  struct EdgeBuild {
+    EdgeId id;
+    NodeId src;
+    NodeId dst;
+    LabelSet labels;
+    PropertyMap props;
+    std::vector<size_t> rows;
+    std::string var;
+    bool dropped = false;
+  };
+  struct PathBuild {
+    PathId id;
+    bool make_object = false;  // @p vs plain projection
+    PathBody body;
+    std::vector<NodeId> extra_nodes;  // projection mode (ALL)
+    std::vector<EdgeId> extra_edges;
+    LabelSet labels;
+    PropertyMap props;
+    std::vector<size_t> rows;
+    std::string var;
+    const PathPropertyGraph* source;  // λ/σ source for body elements
+    bool dropped = false;
+  };
+  std::vector<NodeBuild> node_builds;
+  std::vector<EdgeBuild> edge_builds;
+  std::vector<PathBuild> path_builds;
+
+  // Per node-constructor: row -> assigned node id.
+  std::vector<std::unordered_map<size_t, NodeId>> node_assign;
+
+  ItemState(Constructor* owner, const ConstructItem& item,
+            const BindingTable& bindings)
+      : owner(owner), item(item), bindings(bindings) {}
+
+  IdAllocator* ids() { return owner->ctx_.catalog->ids(); }
+
+  const PathPropertyGraph* ProvenanceGraph(const std::string& var) const {
+    const std::string& name = bindings.ColumnGraph(var);
+    const std::string& resolved =
+        name.empty() ? owner->ctx_.default_graph : name;
+    if (!resolved.empty()) {
+      auto g = owner->ctx_.catalog->Lookup(resolved);
+      if (g.ok()) return *g;
+    }
+    return nullptr;
+  }
+
+  ExprEvaluator MakeEvaluator(const PathPropertyGraph* graph) const {
+    ExprEvaluator eval(graph, owner->ctx_.catalog);
+    if (owner->ctx_.exists_cb) {
+      eval.set_exists_callback(owner->ctx_.exists_cb);
+    }
+    return eval;
+  }
+
+  // --- setup -----------------------------------------------------------------
+
+  void CollectConstructors() {
+    int anon = 0;
+    auto name_of = [&](const std::string& var) {
+      return var.empty() ? "__ctor" + std::to_string(anon++) : var;
+    };
+    const GraphPattern& chain = *item.pattern;
+    node_ctors.push_back({&chain.start, name_of(chain.start.var)});
+    size_t prev = 0;
+    for (const auto& hop : chain.hops) {
+      node_ctors.push_back({&hop.to, name_of(hop.to.var)});
+      const size_t to_idx = node_ctors.size() - 1;
+      if (hop.kind == PatternHop::Kind::kEdge) {
+        edge_ctors.push_back(
+            {&hop.edge, name_of(hop.edge.var), prev, to_idx});
+      } else {
+        path_ctors.push_back(
+            {&hop.path, name_of(hop.path.var), prev, to_idx});
+      }
+      prev = to_idx;
+    }
+    node_assign.resize(node_ctors.size());
+  }
+
+  /// Names of variables this item creates or assigns properties to; WHEN
+  /// conditions over these must be evaluated after construction.
+  std::set<std::string> ConstructDefinedVars() const {
+    std::set<std::string> defined;
+    auto add_assigned = [&](const std::vector<PropPattern>& props,
+                            const std::string& name) {
+      for (const auto& p : props) {
+        if (p.mode == PropPattern::Mode::kAssign) {
+          defined.insert(name);
+          return;
+        }
+      }
+    };
+    for (const auto& nc : node_ctors) {
+      if (!bindings.HasColumn(nc.name) || nc.pattern->is_copy) {
+        defined.insert(nc.name);
+      }
+      add_assigned(nc.pattern->props, nc.name);
+    }
+    for (const auto& ec : edge_ctors) {
+      if (!bindings.HasColumn(ec.name) || ec.pattern->is_copy) {
+        defined.insert(ec.name);
+      }
+      add_assigned(ec.pattern->props, ec.name);
+    }
+    for (const auto& pc : path_ctors) {
+      add_assigned(pc.pattern->props, pc.name);
+    }
+    for (const auto& s : item.sets) defined.insert(s.var);
+    return defined;
+  }
+
+  std::string FullRowKey(size_t row) const {
+    std::string key;
+    for (size_t c = 0; c < bindings.NumColumns(); ++c) {
+      key += DatumKey(bindings.At(row, c));
+      key += ";";
+    }
+    return key;
+  }
+
+  Result<std::string> GroupExprKey(
+      const std::vector<std::unique_ptr<Expr>>& group_by, size_t row) const {
+    ExprEvaluator eval = MakeEvaluator(nullptr);
+    std::string key;
+    for (const auto& g : group_by) {
+      GCORE_ASSIGN_OR_RETURN(Datum d, eval.Eval(*g, bindings, row));
+      key += DatumKey(d);
+      key += ";";
+    }
+    return key;
+  }
+
+  // --- property/label application ---------------------------------------------
+
+  Status ApplyAssignments(const std::vector<PropPattern>& props,
+                          const std::vector<size_t>& group_rows,
+                          const PathPropertyGraph* eval_graph,
+                          PropertyMap* out) const {
+    ExprEvaluator eval = MakeEvaluator(eval_graph);
+    for (const auto& p : props) {
+      if (p.mode != PropPattern::Mode::kAssign) {
+        return Status::BindError(
+            "MATCH-style property pattern in CONSTRUCT; use ':='");
+      }
+      GCORE_ASSIGN_OR_RETURN(Datum d,
+                             eval.EvalWithGroup(*p.value, bindings,
+                                                group_rows));
+      if (d.IsUnbound()) continue;
+      if (d.kind() != Datum::Kind::kValues) {
+        return Status::TypeError("property assignment '" + p.key +
+                                 "' did not evaluate to a literal");
+      }
+      out->Set(p.key, d.values());
+    }
+    return Status::OK();
+  }
+
+  // --- phase 1: nodes -----------------------------------------------------------
+
+  Status BuildNodes() {
+    for (size_t ci = 0; ci < node_ctors.size(); ++ci) {
+      const NodeCtor& nc = node_ctors[ci];
+      const NodePattern& pat = *nc.pattern;
+      const bool column_bound = bindings.HasColumn(nc.name);
+      const bool identity_bound = column_bound && !pat.is_copy;
+
+      std::map<std::string, GroupInfo> groups;
+      for (size_t r : rows) {
+        std::string key;
+        if (identity_bound || pat.is_copy) {
+          const Datum& d = bindings.Get(r, nc.name);
+          if (d.IsUnbound()) continue;  // Ω'(x) undefined -> G∅ contribution
+          if (d.kind() != Datum::Kind::kNode) {
+            return Status::TypeError("variable '" + nc.name +
+                                     "' is not a node in CONSTRUCT");
+          }
+          key = DatumKey(d);
+        } else if (!pat.group_by.empty()) {
+          GCORE_ASSIGN_OR_RETURN(key, GroupExprKey(pat.group_by, r));
+        } else if (auto cg = owner->clause_groups_.find(nc.name);
+                   cg != owner->clause_groups_.end()) {
+          // Grouping declared at another occurrence of this variable.
+          GCORE_ASSIGN_OR_RETURN(key, GroupExprKey(*cg->second, r));
+        } else {
+          key = FullRowKey(r);
+        }
+        groups[key].rows.push_back(r);
+      }
+
+      for (auto& [key, info] : groups) {
+        NodeBuild build;
+        build.var = nc.name;
+        build.rows = info.rows;
+        const size_t rep = info.rows.front();
+
+        const PathPropertyGraph* source = nullptr;
+        if (identity_bound) {
+          build.id = bindings.Get(rep, nc.name).node();
+          source = ProvenanceGraph(nc.name);
+        } else if (pat.is_copy) {
+          auto skolem_key = std::make_pair(nc.name + "(copy)", key);
+          auto it = owner->node_skolems_.find(skolem_key);
+          if (it == owner->node_skolems_.end()) {
+            it = owner->node_skolems_
+                     .emplace(skolem_key, ids()->NextNode())
+                     .first;
+          }
+          build.id = it->second;
+          source = ProvenanceGraph(nc.name);
+        } else {
+          auto skolem_key = std::make_pair(nc.name, key);
+          auto it = owner->node_skolems_.find(skolem_key);
+          if (it == owner->node_skolems_.end()) {
+            it = owner->node_skolems_
+                     .emplace(skolem_key, ids()->NextNode())
+                     .first;
+          }
+          build.id = it->second;
+        }
+
+        // λ|v ∪ λS: existing labels/properties of the source object first.
+        if (source != nullptr) {
+          const NodeId src_id = bindings.Get(rep, nc.name).node();
+          if (source->HasNode(src_id)) {
+            build.labels = source->Labels(src_id);
+            build.props = source->Properties(src_id);
+          }
+        }
+        for (const auto& l : FlattenLabels(pat.label_groups)) {
+          build.labels.Insert(l);
+        }
+        GCORE_RETURN_NOT_OK(ApplyAssignments(pat.props, info.rows,
+                                             source, &build.props));
+
+        for (size_t r : info.rows) node_assign[ci][r] = build.id;
+        node_builds.push_back(std::move(build));
+      }
+    }
+    return Status::OK();
+  }
+
+  // --- phase 2: edges -------------------------------------------------------------
+
+  Status BuildEdges() {
+    for (const EdgeCtor& ec : edge_ctors) {
+      const EdgePattern& pat = *ec.pattern;
+      const bool column_bound = bindings.HasColumn(ec.name);
+      const bool identity_bound = column_bound && !pat.is_copy;
+
+      struct EdgeGroup {
+        std::vector<size_t> rows;
+        NodeId src;
+        NodeId dst;
+      };
+      std::map<std::string, EdgeGroup> groups;
+
+      for (size_t r : rows) {
+        auto from_it = node_assign[ec.from_ctor].find(r);
+        auto to_it = node_assign[ec.to_ctor].find(r);
+        if (from_it == node_assign[ec.from_ctor].end() ||
+            to_it == node_assign[ec.to_ctor].end()) {
+          continue;  // dangling-edge prevention
+        }
+        // Arrow orientation decides ρ.
+        NodeId src = from_it->second;
+        NodeId dst = to_it->second;
+        if (pat.direction == EdgePattern::Direction::kLeft) {
+          std::swap(src, dst);
+        }
+
+        std::string key;
+        if (identity_bound) {
+          const Datum& d = bindings.Get(r, ec.name);
+          if (d.IsUnbound()) continue;
+          if (d.kind() != Datum::Kind::kEdge) {
+            return Status::TypeError("variable '" + ec.name +
+                                     "' is not an edge in CONSTRUCT");
+          }
+          // Re-using a bound edge requires its endpoints to be exactly the
+          // endpoint bindings (Section 3: changing them violates identity).
+          const PathPropertyGraph* source = ProvenanceGraph(ec.name);
+          if (source != nullptr && source->HasEdge(d.edge())) {
+            const auto [s, t] = source->EdgeEndpoints(d.edge());
+            if (s != src || t != dst) {
+              return Status::BindError(
+                  "bound edge '" + ec.name +
+                  "' constructed with different endpoints (identity "
+                  "violation); use -[=" +
+                  ec.name + "]- to copy instead");
+            }
+          }
+          key = DatumKey(d);
+        } else {
+          key = "S" + std::to_string(src.value()) + ">D" +
+                std::to_string(dst.value()) + ";";
+          if (!pat.group_by.empty()) {
+            GCORE_ASSIGN_OR_RETURN(std::string extra,
+                                   GroupExprKey(pat.group_by, r));
+            key += extra;
+          }
+          if (pat.is_copy) {
+            key += "|copy:" + DatumKey(bindings.Get(r, ec.name));
+          }
+        }
+        auto& group = groups[key];
+        group.rows.push_back(r);
+        group.src = src;
+        group.dst = dst;
+      }
+
+      for (auto& [key, group] : groups) {
+        EdgeBuild build;
+        build.var = ec.name;
+        build.rows = group.rows;
+        build.src = group.src;
+        build.dst = group.dst;
+        const size_t rep = group.rows.front();
+
+        const PathPropertyGraph* source = nullptr;
+        if (identity_bound) {
+          build.id = bindings.Get(rep, ec.name).edge();
+          source = ProvenanceGraph(ec.name);
+        } else {
+          auto skolem_key = std::make_pair("[e]" + ec.name, key);
+          auto it = owner->edge_skolems_.find(skolem_key);
+          if (it == owner->edge_skolems_.end()) {
+            it = owner->edge_skolems_
+                     .emplace(skolem_key, ids()->NextEdge())
+                     .first;
+          }
+          build.id = it->second;
+          if (pat.is_copy) source = ProvenanceGraph(ec.name);
+        }
+
+        if (source != nullptr) {
+          const Datum& d = bindings.Get(rep, ec.name);
+          if (d.kind() == Datum::Kind::kEdge && source->HasEdge(d.edge())) {
+            build.labels = source->Labels(d.edge());
+            build.props = source->Properties(d.edge());
+          }
+        }
+        for (const auto& l : FlattenLabels(pat.label_groups)) {
+          build.labels.Insert(l);
+        }
+        GCORE_RETURN_NOT_OK(ApplyAssignments(pat.props, group.rows,
+                                             source, &build.props));
+        edge_builds.push_back(std::move(build));
+      }
+    }
+    return Status::OK();
+  }
+
+  // --- phase 3: paths --------------------------------------------------------------
+
+  Status BuildPaths() {
+    for (const PathCtor& pc : path_ctors) {
+      const PathPattern& pat = *pc.pattern;
+      if (!bindings.HasColumn(pc.name)) {
+        return Status::BindError(
+            "path construct '/" + pc.name +
+            "/' requires the variable to be bound in MATCH");
+      }
+
+      std::map<std::string, GroupInfo> groups;
+      for (size_t r : rows) {
+        const Datum& d = bindings.Get(r, pc.name);
+        if (d.IsUnbound()) continue;
+        if (d.kind() != Datum::Kind::kPath) {
+          return Status::TypeError("variable '" + pc.name +
+                                   "' is not a path in CONSTRUCT");
+        }
+        groups[DatumKey(d)].rows.push_back(r);
+      }
+
+      for (auto& [key, info] : groups) {
+        const size_t rep = info.rows.front();
+        const PathValue& pv = bindings.Get(rep, pc.name).path();
+
+        PathBuild build;
+        build.var = pc.name;
+        build.rows = info.rows;
+        build.make_object = pat.stored;
+        build.source = ProvenanceGraph(pc.name);
+        if (build.source == nullptr) {
+          return Status::BindError(
+              "cannot resolve source graph for path variable '" + pc.name +
+              "'");
+        }
+
+        if (pv.projection.has_value()) {
+          if (pat.stored) {
+            return Status::Unsupported(
+                "storing ALL-paths bindings (@" + pc.name +
+                ") is intractable; bind the variable without @ to project "
+                "the paths into a graph");
+          }
+          build.extra_nodes = pv.projection->first;
+          build.extra_edges = pv.projection->second;
+        } else {
+          build.body = pv.body;
+        }
+
+        if (pat.stored) {
+          build.id = pv.id;
+          if (pv.from_graph && build.source->HasPath(pv.id)) {
+            build.labels = build.source->Labels(pv.id);
+            build.props = build.source->Properties(pv.id);
+          }
+          for (const auto& l : FlattenLabels(pat.label_groups)) {
+            build.labels.Insert(l);
+          }
+          GCORE_RETURN_NOT_OK(ApplyAssignments(pat.props, info.rows,
+                                               build.source, &build.props));
+        }
+        path_builds.push_back(std::move(build));
+      }
+    }
+    return Status::OK();
+  }
+
+  // --- SET / REMOVE statements -----------------------------------------------------
+
+  Status ApplySetStatements() {
+    for (const auto& stmt : item.sets) {
+      bool found = false;
+      for (auto& build : node_builds) {
+        if (build.var != stmt.var) continue;
+        found = true;
+        GCORE_RETURN_NOT_OK(ApplyOneSet(stmt, build.rows, &build.labels,
+                                        &build.props));
+      }
+      for (auto& build : edge_builds) {
+        if (build.var != stmt.var) continue;
+        found = true;
+        GCORE_RETURN_NOT_OK(ApplyOneSet(stmt, build.rows, &build.labels,
+                                        &build.props));
+      }
+      for (auto& build : path_builds) {
+        if (build.var != stmt.var) continue;
+        found = true;
+        GCORE_RETURN_NOT_OK(ApplyOneSet(stmt, build.rows, &build.labels,
+                                        &build.props));
+      }
+      if (!found) {
+        return Status::BindError("SET/REMOVE on '" + stmt.var +
+                                 "' which is not constructed by this item");
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ApplyOneSet(const SetStatement& stmt,
+                     const std::vector<size_t>& group_rows, LabelSet* labels,
+                     PropertyMap* props) const {
+    switch (stmt.kind) {
+      case SetStatement::Kind::kSetProperty: {
+        ExprEvaluator eval = MakeEvaluator(nullptr);
+        GCORE_ASSIGN_OR_RETURN(
+            Datum d, eval.EvalWithGroup(*stmt.value, bindings, group_rows));
+        if (d.kind() != Datum::Kind::kValues) {
+          return Status::TypeError("SET " + stmt.var + "." + stmt.key +
+                                   " did not evaluate to a literal");
+        }
+        props->Set(stmt.key, d.values());
+        return Status::OK();
+      }
+      case SetStatement::Kind::kSetLabel:
+        labels->Insert(stmt.label);
+        return Status::OK();
+      case SetStatement::Kind::kCopy: {
+        const size_t rep = group_rows.front();
+        const Datum& from = bindings.Get(rep, stmt.from_var);
+        const PathPropertyGraph* source = ProvenanceGraph(stmt.from_var);
+        if (source == nullptr || from.IsUnbound()) return Status::OK();
+        const LabelSet src_labels = DatumLabels(from, *source);
+        labels->UnionWith(src_labels);
+        switch (from.kind()) {
+          case Datum::Kind::kNode:
+            props->UnionWith(source->Properties(from.node()));
+            break;
+          case Datum::Kind::kEdge:
+            props->UnionWith(source->Properties(from.edge()));
+            break;
+          case Datum::Kind::kPath:
+            if (from.path().from_graph) {
+              props->UnionWith(source->Properties(from.path().id));
+            }
+            break;
+          default:
+            break;
+        }
+        return Status::OK();
+      }
+      case SetStatement::Kind::kRemoveProperty:
+        props->Remove(stmt.key);
+        return Status::OK();
+      case SetStatement::Kind::kRemoveLabel:
+        labels->Remove(stmt.label);
+        return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  // --- WHEN (post-construction form) -------------------------------------------------
+
+  Status ApplyPostWhen() {
+    if (item.when == nullptr) return Status::OK();
+    // Scratch graph with the constructed objects so property lookups on
+    // construct variables see the assigned values.
+    PathPropertyGraph scratch;
+    for (const auto& b : node_builds) {
+      scratch.AddNode(b.id);
+      scratch.SetLabels(b.id, b.labels);
+      scratch.SetProperties(b.id, b.props);
+    }
+    for (const auto& b : edge_builds) {
+      scratch.AddNode(b.src);
+      scratch.AddNode(b.dst);
+      Status st = scratch.AddEdge(b.id, b.src, b.dst);
+      (void)st;
+      scratch.SetLabels(b.id, b.labels);
+      scratch.SetProperties(b.id, b.props);
+    }
+
+    // Extended binding table: original columns plus construct variables.
+    BindingTable extended(bindings.columns());
+    for (const auto& [v, g] : bindings.column_graphs()) {
+      extended.SetColumnGraph(v, g);
+    }
+    std::map<std::string, size_t> ctor_cols;
+    for (const auto& b : node_builds) {
+      if (ctor_cols.count(b.var) == 0 && !bindings.HasColumn(b.var)) {
+        ctor_cols[b.var] = extended.AddColumn(b.var);
+      }
+    }
+    for (const auto& b : edge_builds) {
+      if (ctor_cols.count(b.var) == 0 && !bindings.HasColumn(b.var)) {
+        ctor_cols[b.var] = extended.AddColumn(b.var);
+      }
+    }
+    // Row index map original -> extended.
+    std::unordered_map<size_t, size_t> row_map;
+    for (size_t r : rows) {
+      BindingRow row = bindings.Row(r);
+      row.resize(extended.NumColumns());
+      row_map[r] = extended.NumRows();
+      Status st = extended.AddRow(std::move(row));
+      (void)st;
+    }
+    for (const auto& b : node_builds) {
+      auto it = ctor_cols.find(b.var);
+      if (it == ctor_cols.end()) continue;
+      for (size_t r : b.rows) {
+        extended.mutable_rows()[row_map[r]][it->second] = Datum::OfNode(b.id);
+      }
+    }
+    for (const auto& b : edge_builds) {
+      auto it = ctor_cols.find(b.var);
+      if (it == ctor_cols.end()) continue;
+      for (size_t r : b.rows) {
+        extended.mutable_rows()[row_map[r]][it->second] = Datum::OfEdge(b.id);
+      }
+    }
+
+    ExprEvaluator eval(&scratch, owner->ctx_.catalog);
+    if (owner->ctx_.exists_cb) eval.set_exists_callback(owner->ctx_.exists_cb);
+
+    auto group_passes = [&](const std::vector<size_t>& group_rows)
+        -> Result<bool> {
+      const size_t rep = row_map[group_rows.front()];
+      return eval.EvalPredicate(*item.when, extended, rep);
+    };
+
+    for (auto& b : edge_builds) {
+      GCORE_ASSIGN_OR_RETURN(bool keep, group_passes(b.rows));
+      if (!keep) b.dropped = true;
+    }
+    for (auto& b : node_builds) {
+      GCORE_ASSIGN_OR_RETURN(bool keep, group_passes(b.rows));
+      if (!keep) {
+        b.dropped = true;
+        // Drop edges touching the dropped node (dangling prevention).
+        for (auto& e : edge_builds) {
+          if (e.src == b.id || e.dst == b.id) e.dropped = true;
+        }
+      }
+    }
+    for (auto& b : path_builds) {
+      GCORE_ASSIGN_OR_RETURN(bool keep, group_passes(b.rows));
+      if (!keep) b.dropped = true;
+    }
+    return Status::OK();
+  }
+
+  // --- assembly ----------------------------------------------------------------------
+
+  /// Copies a node's λ/σ from `source` into `graph` if not already richer.
+  static void ImportNode(const PathPropertyGraph& source, NodeId id,
+                         PathPropertyGraph* graph) {
+    graph->AddNode(id);
+    if (source.HasNode(id)) {
+      LabelSet labels = graph->Labels(id);
+      labels.UnionWith(source.Labels(id));
+      graph->SetLabels(id, std::move(labels));
+      PropertyMap props = graph->Properties(id);
+      props.UnionWith(source.Properties(id));
+      graph->SetProperties(id, std::move(props));
+    }
+  }
+
+  static void ImportEdge(const PathPropertyGraph& source, EdgeId id,
+                         PathPropertyGraph* graph) {
+    if (!source.HasEdge(id)) return;
+    const auto [s, d] = source.EdgeEndpoints(id);
+    ImportNode(source, s, graph);
+    ImportNode(source, d, graph);
+    Status st = graph->AddEdge(id, s, d);
+    (void)st;
+    LabelSet labels = graph->Labels(id);
+    labels.UnionWith(source.Labels(id));
+    graph->SetLabels(id, std::move(labels));
+    PropertyMap props = graph->Properties(id);
+    props.UnionWith(source.Properties(id));
+    graph->SetProperties(id, std::move(props));
+  }
+
+  Result<PathPropertyGraph> Assemble() {
+    PathPropertyGraph graph;
+    for (const auto& b : node_builds) {
+      if (b.dropped) continue;
+      graph.AddNode(b.id);
+      LabelSet labels = graph.Labels(b.id);
+      labels.UnionWith(b.labels);
+      graph.SetLabels(b.id, std::move(labels));
+      PropertyMap props = graph.Properties(b.id);
+      props.UnionWith(b.props);
+      graph.SetProperties(b.id, std::move(props));
+    }
+    for (const auto& b : edge_builds) {
+      if (b.dropped) continue;
+      if (!graph.HasNode(b.src) || !graph.HasNode(b.dst)) continue;
+      GCORE_RETURN_NOT_OK(graph.AddEdge(b.id, b.src, b.dst));
+      LabelSet labels = graph.Labels(b.id);
+      labels.UnionWith(b.labels);
+      graph.SetLabels(b.id, std::move(labels));
+      PropertyMap props = graph.Properties(b.id);
+      props.UnionWith(b.props);
+      graph.SetProperties(b.id, std::move(props));
+    }
+    for (const auto& b : path_builds) {
+      if (b.dropped) continue;
+      // Materialize the walk's nodes and edges with λ/σ from the source
+      // graph.
+      for (NodeId n : b.body.nodes) ImportNode(*b.source, n, &graph);
+      for (EdgeId e : b.body.edges) ImportEdge(*b.source, e, &graph);
+      for (NodeId n : b.extra_nodes) ImportNode(*b.source, n, &graph);
+      for (EdgeId e : b.extra_edges) ImportEdge(*b.source, e, &graph);
+      if (b.make_object) {
+        GCORE_RETURN_NOT_OK(graph.AddPath(b.id, b.body));
+        graph.SetLabels(b.id, b.labels);
+        graph.SetProperties(b.id, b.props);
+      }
+    }
+    return graph;
+  }
+
+  // --- driver ------------------------------------------------------------------------
+
+  Result<PathPropertyGraph> Run() {
+    CollectConstructors();
+
+    rows.clear();
+    rows.reserve(bindings.NumRows());
+    for (size_t r = 0; r < bindings.NumRows(); ++r) rows.push_back(r);
+
+    // WHEN over match-bound data only: pre-filter rows.
+    bool post_when = false;
+    if (item.when != nullptr) {
+      std::set<std::string> defined = ConstructDefinedVars();
+      std::vector<std::string> mentioned;
+      item.when->CollectVariables(&mentioned);
+      for (const auto& v : mentioned) {
+        if (defined.count(v) > 0) {
+          post_when = true;
+          break;
+        }
+      }
+      if (!post_when) {
+        ExprEvaluator eval = MakeEvaluator(nullptr);
+        std::vector<size_t> kept;
+        for (size_t r : rows) {
+          GCORE_ASSIGN_OR_RETURN(bool keep,
+                                 eval.EvalPredicate(*item.when, bindings, r));
+          if (keep) kept.push_back(r);
+        }
+        rows = std::move(kept);
+      }
+    }
+
+    GCORE_RETURN_NOT_OK(BuildNodes());
+    GCORE_RETURN_NOT_OK(BuildEdges());
+    GCORE_RETURN_NOT_OK(BuildPaths());
+    GCORE_RETURN_NOT_OK(ApplySetStatements());
+    if (post_when) {
+      GCORE_RETURN_NOT_OK(ApplyPostWhen());
+    }
+    return Assemble();
+  }
+};
+
+Result<PathPropertyGraph> Constructor::EvalItem(const ConstructItem& item,
+                                                const BindingTable& bindings) {
+  if (!item.graph_ref.empty()) {
+    GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* g,
+                           ctx_.catalog->Lookup(item.graph_ref));
+    return PathPropertyGraph(*g);
+  }
+  if (!item.pattern.has_value()) {
+    return Status::BindError("construct item has neither pattern nor graph");
+  }
+  ItemState state(this, item, bindings);
+  return state.Run();
+}
+
+Result<PathPropertyGraph> Constructor::EvalConstruct(
+    const ConstructClause& construct, const BindingTable& bindings) {
+  node_skolems_.clear();
+  edge_skolems_.clear();
+  clause_groups_.clear();
+  // Collect explicit GROUP declarations per construct variable across the
+  // whole clause so later bare occurrences reuse them.
+  for (const auto& item : construct.items) {
+    if (!item.pattern.has_value()) continue;
+    auto record = [&](const std::string& var,
+                      const std::vector<std::unique_ptr<Expr>>& group_by) {
+      if (!var.empty() && !group_by.empty()) {
+        clause_groups_.emplace(var, &group_by);
+      }
+    };
+    record(item.pattern->start.var, item.pattern->start.group_by);
+    for (const auto& hop : item.pattern->hops) {
+      record(hop.to.var, hop.to.group_by);
+      if (hop.kind == PatternHop::Kind::kEdge) {
+        record(hop.edge.var, hop.edge.group_by);
+      }
+    }
+  }
+  PathPropertyGraph result;
+  bool first = true;
+  for (const auto& item : construct.items) {
+    GCORE_ASSIGN_OR_RETURN(PathPropertyGraph piece, EvalItem(item, bindings));
+    if (first) {
+      result = std::move(piece);
+      first = false;
+    } else {
+      result = GraphUnion(result, piece);
+    }
+  }
+  return result;
+}
+
+}  // namespace gcore

@@ -1,0 +1,67 @@
+// The CONSTRUCT evaluator: Appendix A.3.
+//
+// Takes the binding set Ω produced by MATCH plus the input graph(s) and
+// builds the result PPG:
+//   * bound object variables keep their identities, and their labels and
+//     properties are copied from the graph they were matched on;
+//   * unbound construct variables are instantiated once per group — by the
+//     explicit GROUP list, or by node identity / (source, destination)
+//     identity by default — through a skolem function new(x, Ω'(Γ)) shared
+//     across the whole clause so repeated occurrences of a variable refer
+//     to the same new object;
+//   * property assignments ({k := ξ} and SET x.k := ξ) may aggregate over
+//     the rows of the group (COUNT(*) etc.);
+//   * WHEN conditions suppress construction; conditions over assigned
+//     properties (line 68: WHEN e.score > 0) are applied per group after
+//     property computation;
+//   * stored-path constructs (@p) materialize the bound walk and its path
+//     object; plain path constructs project the walk's nodes and edges.
+#ifndef GCORE_EVAL_CONSTRUCTOR_H_
+#define GCORE_EVAL_CONSTRUCTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "eval/binding.h"
+#include "eval/expr_eval.h"
+#include "graph/catalog.h"
+
+namespace gcore {
+
+struct ConstructorContext {
+  GraphCatalog* catalog = nullptr;
+  std::string default_graph;
+  ExprEvaluator::ExistsCallback exists_cb;
+};
+
+class Constructor {
+ public:
+  explicit Constructor(ConstructorContext ctx);
+
+  /// ⟦CONSTRUCT f⟧ over the bindings Ω.
+  Result<PathPropertyGraph> EvalConstruct(const ConstructClause& construct,
+                                          const BindingTable& bindings);
+
+ private:
+  struct ItemState;
+
+  Result<PathPropertyGraph> EvalItem(const ConstructItem& item,
+                                     const BindingTable& bindings);
+
+  ConstructorContext ctx_;
+
+  /// Clause-level skolem memory: (construct var, group key) -> identity.
+  std::map<std::pair<std::string, std::string>, NodeId> node_skolems_;
+  std::map<std::pair<std::string, std::string>, EdgeId> edge_skolems_;
+  /// Clause-level grouping: a variable's GROUP list is declared at one
+  /// occurrence and shared by all others (line 79 of the paper writes
+  /// `(cust)-[:bought]->(prod)` after declaring GROUP on cust/prod).
+  std::map<std::string, const std::vector<std::unique_ptr<Expr>>*>
+      clause_groups_;
+};
+
+}  // namespace gcore
+
+#endif  // GCORE_EVAL_CONSTRUCTOR_H_

@@ -1,0 +1,85 @@
+// Expression evaluation (Appendix A.1 "Expressions").
+//
+// ⟦ξ⟧ is computed per binding row; property access σ(x, k) yields a
+// *set* of literals, and the comparison/membership semantics of pp. 8-9
+// (singleton unwrap, `=` as set equality, `IN`, `SUBSET`, absent = ∅)
+// are implemented here. EXISTS subqueries and implicit pattern
+// predicates are delegated through callbacks wired by the engine.
+#ifndef GCORE_EVAL_EXPR_EVAL_H_
+#define GCORE_EVAL_EXPR_EVAL_H_
+
+#include <functional>
+#include <string>
+
+#include "ast/ast.h"
+#include "eval/binding.h"
+#include "graph/catalog.h"
+
+namespace gcore {
+
+class ExprEvaluator {
+ public:
+  /// Returns whether the subquery/pattern has at least one result when
+  /// correlated with the given row.
+  using ExistsCallback = std::function<Result<bool>(
+      const Query&, const BindingTable&, size_t row)>;
+  using PatternCallback = std::function<Result<bool>(
+      const GraphPattern&, const BindingTable&, size_t row)>;
+
+  /// `default_graph` resolves λ/σ lookups for columns without provenance;
+  /// `catalog` (optional) resolves provenance graph names.
+  ExprEvaluator(const PathPropertyGraph* default_graph,
+                const GraphCatalog* catalog);
+
+  void set_exists_callback(ExistsCallback cb) { exists_cb_ = std::move(cb); }
+  void set_pattern_callback(PatternCallback cb) {
+    pattern_cb_ = std::move(cb);
+  }
+
+  /// ⟦expr⟧ on one row. Aggregates are errors here (use EvalWithGroup).
+  Result<Datum> Eval(const Expr& expr, const BindingTable& table,
+                     size_t row) const;
+
+  /// ⟦expr⟧ where aggregates range over `group_rows` and scalar parts are
+  /// evaluated on the group representative (first row).
+  Result<Datum> EvalWithGroup(const Expr& expr, const BindingTable& table,
+                              const std::vector<size_t>& group_rows) const;
+
+  /// Two-valued truthiness of a WHERE/WHEN condition: TRUE only for the
+  /// singleton {⊤}; the empty set (absent data) is falsy.
+  Result<bool> EvalPredicate(const Expr& expr, const BindingTable& table,
+                             size_t row) const;
+
+  /// λ/σ source graph for variable `var` of `table` (provenance column
+  /// graph when recorded, else the default graph).
+  const PathPropertyGraph* GraphFor(const BindingTable& table,
+                                    const std::string& var) const;
+
+  /// Truthiness of an already-computed datum.
+  static Result<bool> Truthy(const Datum& datum);
+
+ private:
+  Result<Datum> EvalAggregate(const Expr& expr, const BindingTable& table,
+                              const std::vector<size_t>& group_rows) const;
+  Result<Datum> EvalBinary(const Expr& expr, const BindingTable& table,
+                           size_t row) const;
+  Result<Datum> EvalFunction(const Expr& expr, const BindingTable& table,
+                             size_t row) const;
+
+  const PathPropertyGraph* default_graph_;
+  const GraphCatalog* catalog_;
+  ExistsCallback exists_cb_;
+  PatternCallback pattern_cb_;
+};
+
+/// Property lookup on whatever object `datum` denotes, against `graph`.
+/// For computed (non-stored) paths, the only virtual property is "cost".
+ValueSet DatumProperty(const Datum& datum, const std::string& key,
+                       const PathPropertyGraph& graph);
+
+/// Label set of the object `datum` denotes in `graph`.
+LabelSet DatumLabels(const Datum& datum, const PathPropertyGraph& graph);
+
+}  // namespace gcore
+
+#endif  // GCORE_EVAL_EXPR_EVAL_H_

@@ -1,0 +1,696 @@
+#include "eval/matcher.h"
+
+#include <algorithm>
+#include <set>
+
+#include "engine/tabular.h"
+#include "eval/binding_ops.h"
+#include "paths/all_paths.h"
+#include "paths/product_bfs.h"
+
+namespace gcore {
+
+namespace {
+constexpr const char* kAnonPrefix = "__anon";
+}  // namespace
+
+bool IsInternalColumn(const std::string& name) {
+  return name.rfind(kAnonPrefix, 0) == 0;
+}
+
+Matcher::Matcher(MatcherContext ctx) : ctx_(std::move(ctx)) {}
+
+std::string Matcher::FreshAnonName() {
+  return kAnonPrefix + std::to_string(anon_counter_++);
+}
+
+ExprEvaluator Matcher::MakeEvaluator(const PathPropertyGraph* graph) {
+  ExprEvaluator eval(graph, ctx_.catalog);
+  eval.set_pattern_callback(
+      [this](const GraphPattern& pattern, const BindingTable& outer,
+             size_t row) { return PatternHasMatch(pattern, outer, row); });
+  if (ctx_.exists_cb) eval.set_exists_callback(ctx_.exists_cb);
+  return eval;
+}
+
+Result<const PathPropertyGraph*> Matcher::ResolveGraph(
+    const std::string& name) {
+  const std::string& fallback =
+      clause_on_override_.empty() ? ctx_.default_graph : clause_on_override_;
+  const std::string& resolved = name.empty() ? fallback : name;
+  if (resolved.empty()) {
+    return Status::BindError(
+        "no ON graph given and no default graph is set");
+  }
+  if (ctx_.catalog->HasGraph(resolved)) {
+    return ctx_.catalog->Lookup(resolved);
+  }
+  // Section 5: a table name after ON denotes a graph of isolated nodes.
+  // The synthesized graph is registered in the catalog (under the table's
+  // name) so provenance-based λ/σ lookups resolve during CONSTRUCT.
+  if (ctx_.catalog->HasTable(resolved)) {
+    GCORE_ASSIGN_OR_RETURN(const Table* table,
+                           ctx_.catalog->LookupTable(resolved));
+    PathPropertyGraph graph = TableAsGraph(*table, ctx_.catalog->ids());
+    ctx_.catalog->RegisterGraph(resolved, std::move(graph));
+    return ctx_.catalog->Lookup(resolved);
+  }
+  return Status::NotFound("graph '" + resolved + "' is not in the catalog");
+}
+
+const AdjacencyIndex& Matcher::Adjacency(const PathPropertyGraph& graph) {
+  auto it = adj_cache_.find(&graph);
+  if (it == adj_cache_.end()) {
+    it = adj_cache_
+             .emplace(&graph, std::make_unique<AdjacencyIndex>(graph))
+             .first;
+  }
+  return *it->second;
+}
+
+bool Matcher::LabelsMatch(
+    const LabelSet& labels,
+    const std::vector<std::vector<std::string>>& groups) {
+  for (const auto& group : groups) {
+    bool any = false;
+    for (const auto& l : group) {
+      if (labels.Contains(l)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+Result<bool> Matcher::NodeAdmits(const NodePattern& node, NodeId id,
+                                 const PathPropertyGraph& graph) {
+  if (!LabelsMatch(graph.Labels(id), node.label_groups)) return false;
+  // Filter-mode props are checked here; bind-mode props are applied by
+  // ApplyPropPatterns after the column exists.
+  for (const auto& p : node.props) {
+    if (p.mode != PropPattern::Mode::kFilter) continue;
+    if (p.value->kind != Expr::Kind::kLiteral) continue;  // row-dependent
+    const ValueSet& stored = graph.Property(id, p.key);
+    if (!stored.Contains(p.value->value)) return false;
+  }
+  return true;
+}
+
+Result<BindingTable> Matcher::MatchStartNode(const NodePattern& node,
+                                             const PathPropertyGraph& graph,
+                                             const std::string& graph_name,
+                                             const std::string& var) {
+  BindingTable table({var});
+  table.SetColumnGraph(var, graph_name);
+  Status st = Status::OK();
+  graph.ForEachNode([&](NodeId id) {
+    if (!st.ok()) return;
+    auto admits = NodeAdmits(node, id, graph);
+    if (!admits.ok()) {
+      st = admits.status();
+      return;
+    }
+    if (*admits) {
+      st = table.AddRow({Datum::OfNode(id)});
+    }
+  });
+  GCORE_RETURN_NOT_OK(st);
+  return ApplyPropPatterns(std::move(table), var, node.props, graph);
+}
+
+Result<BindingTable> Matcher::ApplyPropPatterns(
+    BindingTable table, const std::string& var,
+    const std::vector<PropPattern>& props, const PathPropertyGraph& graph) {
+  ExprEvaluator eval = MakeEvaluator(&graph);
+  for (const auto& p : props) {
+    const size_t obj_col = table.ColumnIndex(var);
+    if (obj_col == BindingTable::kNpos) {
+      return Status::BindError("property pattern on unbound variable " + var);
+    }
+    if (p.mode == PropPattern::Mode::kAssign) {
+      return Status::BindError(
+          "':=' assignment is only valid in CONSTRUCT patterns");
+    }
+    BindingTable next(table.columns());
+    for (const auto& [v, g] : table.column_graphs()) next.SetColumnGraph(v, g);
+    size_t bind_col = BindingTable::kNpos;
+    if (p.mode == PropPattern::Mode::kBindVariable) {
+      bind_col = next.AddColumn(p.bind_var);
+    }
+    for (size_t r = 0; r < table.NumRows(); ++r) {
+      const Datum& obj = table.At(r, obj_col);
+      const ValueSet stored = DatumProperty(obj, p.key, graph);
+      if (p.mode == PropPattern::Mode::kFilter) {
+        GCORE_ASSIGN_OR_RETURN(Datum want, eval.Eval(*p.value, table, r));
+        if (want.kind() != Datum::Kind::kValues) continue;
+        const ValueSet& w = want.values();
+        const bool ok = w.is_singleton() ? stored.Contains(w.single())
+                                         : stored == w;
+        if (ok) {
+          Status st = next.AddRow(table.Row(r));
+          (void)st;
+        }
+        continue;
+      }
+      // kBindVariable: unroll each stored value into its own binding
+      // (p.9); an existing binding of the variable acts as a filter
+      // (natural-join semantics).
+      const size_t existing = table.ColumnIndex(p.bind_var);
+      const Datum* bound =
+          existing != BindingTable::kNpos && table.At(r, existing).IsBound()
+              ? &table.At(r, existing)
+              : nullptr;
+      for (const Value& value : stored) {
+        if (bound != nullptr) {
+          if (bound->kind() != Datum::Kind::kValues ||
+              !(bound->values() == ValueSet(value))) {
+            continue;
+          }
+        }
+        BindingRow row = table.Row(r);
+        row.resize(next.NumColumns());
+        row[bind_col] = Datum::OfValue(value);
+        Status st = next.AddRow(std::move(row));
+        (void)st;
+      }
+    }
+    table = std::move(next);
+  }
+  return table;
+}
+
+Result<BindingTable> Matcher::ExpandEdgeHop(
+    BindingTable table, const std::string& from_var, const EdgePattern& edge,
+    const std::string& edge_var, const NodePattern& to,
+    const std::string& to_var, const PathPropertyGraph& graph,
+    const std::string& graph_name) {
+  if (edge.is_copy) {
+    return Status::BindError(
+        "copy syntax -[=y]- is only valid in CONSTRUCT patterns");
+  }
+  const AdjacencyIndex& adj = Adjacency(graph);
+
+  BindingTable next(table.columns());
+  for (const auto& [v, g] : table.column_graphs()) next.SetColumnGraph(v, g);
+  const size_t edge_col = next.AddColumn(edge_var);
+  const size_t to_col = next.AddColumn(to_var);
+  next.SetColumnGraph(edge_var, graph_name);
+  next.SetColumnGraph(to_var, graph_name);
+
+  const size_t from_col = table.ColumnIndex(from_var);
+  const size_t to_existing = table.ColumnIndex(to_var);
+  const size_t edge_existing = table.ColumnIndex(edge_var);
+
+  Status st = Status::OK();
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    const Datum& from = table.At(r, from_col);
+    if (from.kind() != Datum::Kind::kNode) continue;
+    if (!adj.Contains(from.node())) continue;
+    const DenseNodeIndex n = adj.IndexOf(from.node());
+
+    auto try_entry = [&](const AdjacencyEntry& entry) {
+      if (!st.ok()) return;
+      if (!LabelsMatch(graph.Labels(entry.edge), edge.label_groups)) return;
+      if (edge_existing != BindingTable::kNpos &&
+          table.At(r, edge_existing).IsBound() &&
+          !(table.At(r, edge_existing) == Datum::OfEdge(entry.edge))) {
+        return;
+      }
+      const NodeId target = adj.IdOf(entry.neighbor);
+      if (to_existing != BindingTable::kNpos &&
+          table.At(r, to_existing).IsBound() &&
+          !(table.At(r, to_existing) == Datum::OfNode(target))) {
+        return;
+      }
+      auto admits = NodeAdmits(to, target, graph);
+      if (!admits.ok()) {
+        st = admits.status();
+        return;
+      }
+      if (!*admits) return;
+      BindingRow row = table.Row(r);
+      row.resize(next.NumColumns());
+      row[edge_col] = Datum::OfEdge(entry.edge);
+      row[to_col] = Datum::OfNode(target);
+      st = next.AddRow(std::move(row));
+    };
+
+    if (edge.direction == EdgePattern::Direction::kRight ||
+        edge.direction == EdgePattern::Direction::kUndirected) {
+      auto [b, e] = adj.Out(n);
+      for (const AdjacencyEntry* it = b; it != e; ++it) try_entry(*it);
+    }
+    if (edge.direction == EdgePattern::Direction::kLeft ||
+        edge.direction == EdgePattern::Direction::kUndirected) {
+      auto [b, e] = adj.In(n);
+      for (const AdjacencyEntry* it = b; it != e; ++it) try_entry(*it);
+    }
+    GCORE_RETURN_NOT_OK(st);
+  }
+
+  GCORE_ASSIGN_OR_RETURN(
+      next, ApplyPropPatterns(std::move(next), edge_var, edge.props, graph));
+  return ApplyPropPatterns(std::move(next), to_var, to.props, graph);
+}
+
+Result<BindingTable> Matcher::ExpandPathHop(
+    BindingTable table, const std::string& from_var, const PathPattern& path,
+    const std::string& path_var, const NodePattern& to,
+    const std::string& to_var, const PathPropertyGraph& graph,
+    const std::string& graph_name) {
+  BindingTable next(table.columns());
+  for (const auto& [v, g] : table.column_graphs()) next.SetColumnGraph(v, g);
+  const bool has_var = !path_var.empty();
+  const size_t path_col = has_var ? next.AddColumn(path_var)
+                                  : BindingTable::kNpos;
+  const size_t to_col = next.AddColumn(to_var);
+  next.SetColumnGraph(to_var, graph_name);
+  const bool has_cost = !path.cost_var.empty();
+  const size_t cost_col =
+      has_cost ? next.AddColumn(path.cost_var) : BindingTable::kNpos;
+
+  const size_t from_col = table.ColumnIndex(from_var);
+  const size_t to_existing = table.ColumnIndex(to_var);
+
+  // --- stored-path matching: -/@p[:label][<regex>]/-> ---------------------------
+  if (path.mode == PathPattern::Mode::kStoredMatch) {
+    if (has_var) next.SetColumnGraph(path_var, graph_name);
+    std::optional<Nfa> conform_nfa;
+    if (path.rpq != nullptr) conform_nfa = Nfa::Compile(*path.rpq);
+    Status st = Status::OK();
+    for (size_t r = 0; r < table.NumRows(); ++r) {
+      const Datum& from = table.At(r, from_col);
+      if (from.kind() != Datum::Kind::kNode) continue;
+      graph.ForEachPath([&](PathId pid, const PathBody& body) {
+        if (!st.ok()) return;
+        if (body.nodes.empty() || body.nodes.front() != from.node()) return;
+        if (!LabelsMatch(graph.Labels(pid), path.label_groups)) return;
+        if (conform_nfa.has_value() &&
+            !BodyConformsToRegex(body, *conform_nfa, graph)) {
+          return;
+        }
+        const NodeId target = body.nodes.back();
+        if (to_existing != BindingTable::kNpos &&
+            table.At(r, to_existing).IsBound() &&
+            !(table.At(r, to_existing) == Datum::OfNode(target))) {
+          return;
+        }
+        auto admits = NodeAdmits(to, target, graph);
+        if (!admits.ok()) {
+          st = admits.status();
+          return;
+        }
+        if (!*admits) return;
+        BindingRow row = table.Row(r);
+        row.resize(next.NumColumns());
+        if (has_var) {
+          auto pv = std::make_shared<PathValue>();
+          pv->id = pid;
+          pv->body = body;
+          pv->cost = static_cast<double>(body.edges.size());
+          pv->from_graph = true;
+          row[path_col] = Datum::OfPath(std::move(pv));
+        }
+        row[to_col] = Datum::OfNode(target);
+        if (has_cost) {
+          row[cost_col] = Datum::OfValue(
+              Value::Int(static_cast<int64_t>(body.edges.size())));
+        }
+        st = next.AddRow(std::move(row));
+      });
+      GCORE_RETURN_NOT_OK(st);
+    }
+    return next;
+  }
+
+  if (path.rpq == nullptr) {
+    return Status::BindError("path pattern requires a regular expression");
+  }
+  const Nfa nfa = Nfa::Compile(*path.rpq);
+  PathSearchContext ctx;
+  ctx.adj = &Adjacency(graph);
+  ctx.nfa = &nfa;
+  ctx.views = ctx_.views;
+
+  auto admit_target = [&](NodeId target, const BindingRow& base_row,
+                          size_t r) -> Result<bool> {
+    if (to_existing != BindingTable::kNpos &&
+        table.At(r, to_existing).IsBound() &&
+        !(table.At(r, to_existing) == Datum::OfNode(target))) {
+      return false;
+    }
+    (void)base_row;
+    return NodeAdmits(to, target, graph);
+  };
+
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    const Datum& from = table.At(r, from_col);
+    if (from.kind() != Datum::Kind::kNode) continue;
+    if (!ctx.adj->Contains(from.node())) continue;
+    const NodeId src = from.node();
+
+    switch (path.mode) {
+      case PathPattern::Mode::kReachability: {
+        GCORE_ASSIGN_OR_RETURN(auto reachable, ReachableFrom(ctx, src));
+        for (NodeId target : reachable) {
+          GCORE_ASSIGN_OR_RETURN(bool ok, admit_target(target, table.Row(r), r));
+          if (!ok) continue;
+          BindingRow row = table.Row(r);
+          row.resize(next.NumColumns());
+          row[to_col] = Datum::OfNode(target);
+          Status st = next.AddRow(std::move(row));
+          (void)st;
+        }
+        break;
+      }
+
+      case PathPattern::Mode::kShortest: {
+        GCORE_ASSIGN_OR_RETURN(
+            auto per_dst,
+            KShortestPathsFrom(ctx, src, static_cast<size_t>(path.k)));
+        for (auto& [target, paths] : per_dst) {
+          GCORE_ASSIGN_OR_RETURN(bool ok, admit_target(target, table.Row(r), r));
+          if (!ok) continue;
+          for (FoundPath& found : paths) {
+            BindingRow row = table.Row(r);
+            row.resize(next.NumColumns());
+            if (has_var) {
+              auto pv = std::make_shared<PathValue>();
+              pv->id = ctx_.catalog->ids()->NextPath();
+              pv->body = std::move(found.body);
+              pv->cost = found.cost;
+              pv->from_graph = false;
+              row[path_col] = Datum::OfPath(std::move(pv));
+            }
+            row[to_col] = Datum::OfNode(target);
+            if (has_cost) {
+              const double c = found.cost;
+              row[cost_col] =
+                  c == static_cast<int64_t>(c)
+                      ? Datum::OfValue(Value::Int(static_cast<int64_t>(c)))
+                      : Datum::OfValue(Value::Double(c));
+            }
+            Status st = next.AddRow(std::move(row));
+            (void)st;
+          }
+        }
+        break;
+      }
+
+      case PathPattern::Mode::kAll: {
+        // ALL with a bound path variable is only legal when the variable
+        // is used for graph projection (Section 3); the binding carries
+        // the projection sets, not materialized walks.
+        GCORE_ASSIGN_OR_RETURN(auto reachable, ReachableFrom(ctx, src));
+        for (NodeId target : reachable) {
+          GCORE_ASSIGN_OR_RETURN(bool ok, admit_target(target, table.Row(r), r));
+          if (!ok) continue;
+          GCORE_ASSIGN_OR_RETURN(PathProjection proj,
+                                 AllPathsProjection(ctx, src, target));
+          BindingRow row = table.Row(r);
+          row.resize(next.NumColumns());
+          if (has_var) {
+            auto pv = std::make_shared<PathValue>();
+            pv->id = ctx_.catalog->ids()->NextPath();
+            pv->from_graph = false;
+            pv->projection = std::make_pair(
+                std::vector<NodeId>(proj.nodes.begin(), proj.nodes.end()),
+                std::vector<EdgeId>(proj.edges.begin(), proj.edges.end()));
+            row[path_col] = Datum::OfPath(std::move(pv));
+          }
+          row[to_col] = Datum::OfNode(target);
+          Status st = next.AddRow(std::move(row));
+          (void)st;
+        }
+        break;
+      }
+
+      case PathPattern::Mode::kStoredMatch:
+        break;  // handled above
+    }
+  }
+  return next;
+}
+
+Result<BindingTable> Matcher::ApplyPushdownFilters(
+    BindingTable table, const std::string& var,
+    const PathPropertyGraph* graph) {
+  auto it = pushdown_filters_.find(var);
+  if (it == pushdown_filters_.end()) return table;
+  ExprEvaluator eval = MakeEvaluator(graph);
+  BindingTable filtered(table.columns());
+  for (const auto& [v, g] : table.column_graphs()) {
+    filtered.SetColumnGraph(v, g);
+  }
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    bool keep = true;
+    for (const Expr* conjunct : it->second) {
+      GCORE_ASSIGN_OR_RETURN(keep, eval.EvalPredicate(*conjunct, table, r));
+      if (!keep) break;
+    }
+    if (keep) {
+      Status st = filtered.AddRow(table.Row(r));
+      (void)st;
+    }
+  }
+  return filtered;
+}
+
+Result<BindingTable> Matcher::EvalChainInternal(const GraphPattern& pattern,
+                                                ChainResult* detail) {
+  std::string location = pattern.on_graph;
+  if (ctx_.location_overrides != nullptr) {
+    auto it = ctx_.location_overrides->find(&pattern);
+    if (it != ctx_.location_overrides->end()) location = it->second;
+  }
+  GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* graph,
+                         ResolveGraph(location));
+  const std::string graph_name = graph->name();
+
+  const std::string start_var =
+      pattern.start.var.empty() ? FreshAnonName() : pattern.start.var;
+  if (detail != nullptr) detail->element_columns.push_back(start_var);
+
+  GCORE_ASSIGN_OR_RETURN(
+      BindingTable table,
+      MatchStartNode(pattern.start, *graph, graph_name, start_var));
+  GCORE_ASSIGN_OR_RETURN(
+      table, ApplyPushdownFilters(std::move(table), start_var, graph));
+
+  std::string prev_var = start_var;
+  for (const auto& hop : pattern.hops) {
+    const std::string to_var =
+        hop.to.var.empty() ? FreshAnonName() : hop.to.var;
+    if (hop.kind == PatternHop::Kind::kEdge) {
+      const std::string edge_var =
+          hop.edge.var.empty() ? FreshAnonName() : hop.edge.var;
+      if (detail != nullptr) {
+        detail->element_columns.push_back(edge_var);
+        detail->element_columns.push_back(to_var);
+      }
+      GCORE_ASSIGN_OR_RETURN(
+          table, ExpandEdgeHop(std::move(table), prev_var, hop.edge, edge_var,
+                               hop.to, to_var, *graph, graph_name));
+      GCORE_ASSIGN_OR_RETURN(
+          table, ApplyPushdownFilters(std::move(table), edge_var, graph));
+      GCORE_ASSIGN_OR_RETURN(
+          table, ApplyPushdownFilters(std::move(table), to_var, graph));
+    } else {
+      const std::string path_var =
+          hop.path.var.empty() ? (hop.path.mode == PathPattern::Mode::kReachability
+                                      ? std::string()
+                                      : FreshAnonName())
+                               : hop.path.var;
+      if (detail != nullptr) {
+        detail->element_columns.push_back(
+            path_var.empty() ? FreshAnonName() : path_var);
+        detail->element_columns.push_back(to_var);
+      }
+      GCORE_ASSIGN_OR_RETURN(
+          table, ExpandPathHop(std::move(table), prev_var, hop.path, path_var,
+                               hop.to, to_var, *graph, graph_name));
+      GCORE_ASSIGN_OR_RETURN(
+          table, ApplyPushdownFilters(std::move(table), to_var, graph));
+    }
+    prev_var = to_var;
+  }
+  return table;
+}
+
+Result<ChainResult> Matcher::EvalChainDetailed(const GraphPattern& pattern) {
+  ChainResult detail;
+  GCORE_ASSIGN_OR_RETURN(detail.table, EvalChainInternal(pattern, &detail));
+  return detail;
+}
+
+Result<BindingTable> Matcher::EvalPatterns(
+    const std::vector<GraphPattern>& patterns) {
+  BindingTable result = BindingTable::Unit();
+  for (const auto& pattern : patterns) {
+    GCORE_ASSIGN_OR_RETURN(BindingTable t,
+                           EvalChainInternal(pattern, nullptr));
+    result = TableJoin(result, t);
+  }
+  return result;
+}
+
+Result<BindingTable> Matcher::ApplyWhere(BindingTable table,
+                                         const Expr& where,
+                                         const PathPropertyGraph* graph) {
+  ExprEvaluator eval = MakeEvaluator(graph);
+  BindingTable filtered(table.columns());
+  for (const auto& [v, g] : table.column_graphs()) {
+    filtered.SetColumnGraph(v, g);
+  }
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    GCORE_ASSIGN_OR_RETURN(bool keep, eval.EvalPredicate(where, table, r));
+    if (keep) {
+      Status st = filtered.AddRow(table.Row(r));
+      (void)st;
+    }
+  }
+  return filtered;
+}
+
+Result<BindingTable> Matcher::EvalMatchClause(const MatchClause& match) {
+  // Clause-level ON: when the patterns name exactly one distinct graph,
+  // patterns without their own ON run on it too.
+  {
+    std::set<std::string> named;
+    for (const auto& p : match.patterns) {
+      if (!p.on_graph.empty()) named.insert(p.on_graph);
+    }
+    for (const auto& block : match.optionals) {
+      for (const auto& p : block.patterns) {
+        if (!p.on_graph.empty()) named.insert(p.on_graph);
+      }
+    }
+    if (named.size() == 1) clause_on_override_ = *named.begin();
+  }
+
+  GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* default_graph,
+                         ResolveGraph(""));
+
+  // Selection pushdown: register single-variable AND-conjuncts of the
+  // WHERE clause so chain evaluation filters as early as possible.
+  pushdown_filters_.clear();
+  if (match.where != nullptr && ctx_.enable_pushdown) {
+    std::vector<const Expr*> conjuncts;
+    std::vector<const Expr*> stack{match.where.get()};
+    while (!stack.empty()) {
+      const Expr* e = stack.back();
+      stack.pop_back();
+      if (e->kind == Expr::Kind::kBinary &&
+          e->binary_op == BinaryOp::kAnd) {
+        stack.push_back(e->args[0].get());
+        stack.push_back(e->args[1].get());
+      } else {
+        conjuncts.push_back(e);
+      }
+    }
+    for (const Expr* conjunct : conjuncts) {
+      if (conjunct->ContainsAggregate()) continue;
+      if (conjunct->kind == Expr::Kind::kExists) continue;
+      std::vector<std::string> vars;
+      conjunct->CollectVariables(&vars);
+      if (vars.size() == 1) {
+        pushdown_filters_[vars.front()].push_back(conjunct);
+      }
+    }
+  }
+
+  GCORE_ASSIGN_OR_RETURN(BindingTable table, EvalPatterns(match.patterns));
+  pushdown_filters_.clear();
+  if (match.where != nullptr) {
+    GCORE_ASSIGN_OR_RETURN(table,
+                           ApplyWhere(std::move(table), *match.where,
+                                      default_graph));
+  }
+
+  // The syntactic restriction of [31] (end of Section 3): variables shared
+  // between OPTIONAL blocks must appear in the main pattern, making the
+  // evaluation order immaterial.
+  if (match.optionals.size() > 1) {
+    std::vector<std::string> main_vars;
+    for (const auto& p : match.patterns) p.CollectBoundVariables(&main_vars);
+    std::set<std::string> main_set(main_vars.begin(), main_vars.end());
+    std::vector<std::set<std::string>> block_vars;
+    for (const auto& block : match.optionals) {
+      std::vector<std::string> vars;
+      for (const auto& p : block.patterns) p.CollectBoundVariables(&vars);
+      block_vars.emplace_back(vars.begin(), vars.end());
+    }
+    for (size_t i = 0; i < block_vars.size(); ++i) {
+      for (size_t j = i + 1; j < block_vars.size(); ++j) {
+        for (const auto& v : block_vars[i]) {
+          if (block_vars[j].count(v) > 0 && main_set.count(v) == 0) {
+            return Status::BindError(
+                "variable '" + v +
+                "' is shared by OPTIONAL blocks but absent from the "
+                "enclosing pattern (evaluation-order ambiguity)");
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& block : match.optionals) {
+    GCORE_ASSIGN_OR_RETURN(BindingTable block_table,
+                           EvalPatterns(block.patterns));
+    if (block.where != nullptr) {
+      GCORE_ASSIGN_OR_RETURN(
+          block_table,
+          ApplyWhere(std::move(block_table), *block.where, default_graph));
+    }
+    table = TableLeftOuterJoin(table, block_table);
+  }
+
+  // Drop matcher-internal columns and restore set semantics.
+  BindingTable result;
+  std::vector<size_t> kept;
+  {
+    std::vector<std::string> columns;
+    for (size_t c = 0; c < table.columns().size(); ++c) {
+      if (!IsInternalColumn(table.columns()[c])) {
+        kept.push_back(c);
+        columns.push_back(table.columns()[c]);
+      }
+    }
+    result = BindingTable(std::move(columns));
+    for (const auto& [v, g] : table.column_graphs()) {
+      if (!IsInternalColumn(v)) result.SetColumnGraph(v, g);
+    }
+  }
+  for (const auto& row : table.rows()) {
+    BindingRow slim;
+    slim.reserve(kept.size());
+    for (size_t c : kept) slim.push_back(row[c]);
+    Status st = result.AddRow(std::move(slim));
+    (void)st;
+  }
+  result.Deduplicate();
+  return result;
+}
+
+Result<bool> Matcher::PatternHasMatch(const GraphPattern& pattern,
+                                      const BindingTable& outer, size_t row) {
+  // Pattern predicates may themselves be pushdown filters; disable
+  // pushdown while evaluating them to avoid re-entering ourselves.
+  std::map<std::string, std::vector<const Expr*>> saved;
+  saved.swap(pushdown_filters_);
+  auto restore = [&]() { pushdown_filters_.swap(saved); };
+  auto chain = EvalChainInternal(pattern, nullptr);
+  restore();
+  if (!chain.ok()) return chain.status();
+  BindingTable t = std::move(*chain);
+  // Correlate: keep only matches compatible with the outer row.
+  BindingTable outer_row(outer.columns());
+  Status st = outer_row.AddRow(outer.Row(row));
+  (void)st;
+  BindingTable joined = TableSemijoin(std::move(outer_row), t);
+  return !joined.Empty();
+}
+
+}  // namespace gcore

@@ -1,0 +1,157 @@
+// The MATCH evaluator: Appendix A.2.
+//
+// Evaluates full graph patterns (chains of node/edge/path patterns over
+// possibly different graphs) into binding tables, applies WHERE filters
+// (including EXISTS subqueries and implicit pattern predicates), and
+// chains OPTIONAL blocks with left outer joins in source order.
+#ifndef GCORE_EVAL_MATCHER_H_
+#define GCORE_EVAL_MATCHER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ast/ast.h"
+#include "eval/binding.h"
+#include "eval/expr_eval.h"
+#include "graph/adjacency.h"
+#include "graph/catalog.h"
+#include "paths/k_shortest.h"
+#include "paths/path_view.h"
+
+namespace gcore {
+
+/// Everything a match evaluation needs from its surroundings.
+struct MatcherContext {
+  GraphCatalog* catalog = nullptr;
+  /// PATH views in scope (query head clauses). May be null.
+  const PathViewRegistry* views = nullptr;
+  /// Graph used when a pattern has no ON clause.
+  std::string default_graph;
+  /// Correlated-EXISTS hook (wired by the engine; may be empty — EXISTS
+  /// then errors).
+  ExprEvaluator::ExistsCallback exists_cb;
+  /// Selection pushdown of single-variable WHERE conjuncts into chain
+  /// evaluation. On by default; the ablation bench turns it off to show
+  /// the blow-up on selective path queries.
+  bool enable_pushdown = true;
+  /// Resolved ON-(subquery) locations: the engine evaluates each
+  /// pattern's subquery to a temporary catalog graph and records its name
+  /// here before matching. May be null.
+  const std::map<const GraphPattern*, std::string>* location_overrides =
+      nullptr;
+};
+
+/// Result of evaluating one pattern chain with full element detail; used
+/// by the engine to assemble PATH-view segment bodies.
+struct ChainResult {
+  BindingTable table;
+  /// Column name of every chain element in order: node, connector, node,
+  /// connector, ... (anonymous elements get generated "__anonN" names).
+  std::vector<std::string> element_columns;
+};
+
+class Matcher {
+ public:
+  explicit Matcher(MatcherContext ctx);
+
+  /// ⟦MATCH γ WHERE ξ OPTIONAL ...⟧. Internal (anonymous) columns are
+  /// dropped from the result.
+  Result<BindingTable> EvalMatchClause(const MatchClause& match);
+
+  /// Joined evaluation of comma-separated patterns (no WHERE).
+  Result<BindingTable> EvalPatterns(
+      const std::vector<GraphPattern>& patterns);
+
+  /// Chain evaluation preserving anonymous element columns.
+  Result<ChainResult> EvalChainDetailed(const GraphPattern& pattern);
+
+  /// True when `pattern` has at least one match compatible with row
+  /// `row` of `outer` (the ⋉ of correlated predicates).
+  Result<bool> PatternHasMatch(const GraphPattern& pattern,
+                               const BindingTable& outer, size_t row);
+
+  /// Resolves a graph name (or the default when empty); a registered
+  /// *table* of that name is interpreted as a graph of isolated nodes
+  /// (Section 5, "Interpreting tables as graphs").
+  Result<const PathPropertyGraph*> ResolveGraph(const std::string& name);
+
+  /// Adjacency snapshot for `graph` (cached).
+  const AdjacencyIndex& Adjacency(const PathPropertyGraph& graph);
+
+  const MatcherContext& context() const { return ctx_; }
+
+ private:
+  Result<BindingTable> EvalChainInternal(const GraphPattern& pattern,
+                                         ChainResult* detail);
+  Result<BindingTable> ApplyWhere(BindingTable table, const Expr& where,
+                                  const PathPropertyGraph* graph);
+
+  // Pattern-element helpers. All of them extend/filter `table` in place.
+  Result<BindingTable> MatchStartNode(const NodePattern& node,
+                                      const PathPropertyGraph& graph,
+                                      const std::string& graph_name,
+                                      const std::string& var);
+  Result<BindingTable> ExpandEdgeHop(BindingTable table,
+                                     const std::string& from_var,
+                                     const EdgePattern& edge,
+                                     const std::string& edge_var,
+                                     const NodePattern& to,
+                                     const std::string& to_var,
+                                     const PathPropertyGraph& graph,
+                                     const std::string& graph_name);
+  Result<BindingTable> ExpandPathHop(BindingTable table,
+                                     const std::string& from_var,
+                                     const PathPattern& path,
+                                     const std::string& path_var,
+                                     const NodePattern& to,
+                                     const std::string& to_var,
+                                     const PathPropertyGraph& graph,
+                                     const std::string& graph_name);
+
+  /// Label-group test: every group must have at least one matching label.
+  static bool LabelsMatch(const LabelSet& labels,
+                          const std::vector<std::vector<std::string>>& groups);
+
+  /// Applies `{k = ...}` entries of a node/edge to rows of `table` whose
+  /// column `var` holds the object; filters and unrolls bind-variables.
+  Result<BindingTable> ApplyPropPatterns(BindingTable table,
+                                         const std::string& var,
+                                         const std::vector<PropPattern>& props,
+                                         const PathPropertyGraph& graph);
+
+  /// Target-node admission check used inside hop expansion.
+  Result<bool> NodeAdmits(const NodePattern& node, NodeId id,
+                          const PathPropertyGraph& graph);
+
+  std::string FreshAnonName();
+  ExprEvaluator MakeEvaluator(const PathPropertyGraph* graph);
+
+  /// Applies pushed-down single-variable WHERE conjuncts for `var` (no-op
+  /// when none are registered).
+  Result<BindingTable> ApplyPushdownFilters(BindingTable table,
+                                            const std::string& var,
+                                            const PathPropertyGraph* graph);
+
+  MatcherContext ctx_;
+  /// When a MATCH clause names exactly one distinct ON graph, patterns
+  /// without their own ON use it (the paper writes clause-level ON, e.g.
+  /// line 70: `MATCH (n)-/@p:toWagner/->(), (m:Person) ON social_graph2`).
+  std::string clause_on_override_;
+  /// Selection pushdown: single-variable conjuncts of the clause's WHERE,
+  /// applied as soon as their variable is bound during chain evaluation —
+  /// essential so `WHERE n.firstName = 'John'` restricts the *sources* of
+  /// an expensive path hop instead of filtering afterwards. The full
+  /// WHERE still runs afterwards (re-checking is harmless).
+  std::map<std::string, std::vector<const Expr*>> pushdown_filters_;
+  std::map<const PathPropertyGraph*, std::unique_ptr<AdjacencyIndex>>
+      adj_cache_;
+  int anon_counter_ = 0;
+};
+
+/// True for matcher-internal generated column names.
+bool IsInternalColumn(const std::string& name);
+
+}  // namespace gcore
+
+#endif  // GCORE_EVAL_MATCHER_H_

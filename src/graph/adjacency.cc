@@ -1,0 +1,67 @@
+#include "graph/adjacency.h"
+
+#include <algorithm>
+
+namespace gcore {
+
+AdjacencyIndex::AdjacencyIndex(const PathPropertyGraph& graph)
+    : graph_(&graph) {
+  node_ids_ = graph.NodeIds();  // already ascending (map iteration)
+  index_of_.reserve(node_ids_.size());
+  for (size_t i = 0; i < node_ids_.size(); ++i) {
+    index_of_.emplace(node_ids_[i], static_cast<DenseNodeIndex>(i));
+  }
+
+  const size_t n = node_ids_.size();
+  std::vector<uint32_t> out_deg(n, 0);
+  std::vector<uint32_t> in_deg(n, 0);
+  graph.ForEachEdge([&](EdgeId, NodeId src, NodeId dst) {
+    ++out_deg[index_of_[src]];
+    ++in_deg[index_of_[dst]];
+  });
+
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    out_offsets_[i + 1] = out_offsets_[i] + out_deg[i];
+    in_offsets_[i + 1] = in_offsets_[i] + in_deg[i];
+  }
+  out_entries_.resize(out_offsets_[n]);
+  in_entries_.resize(in_offsets_[n]);
+
+  std::vector<uint32_t> out_pos(out_offsets_.begin(), out_offsets_.end() - 1);
+  std::vector<uint32_t> in_pos(in_offsets_.begin(), in_offsets_.end() - 1);
+  graph.ForEachEdge([&](EdgeId e, NodeId src, NodeId dst) {
+    const DenseNodeIndex s = index_of_[src];
+    const DenseNodeIndex d = index_of_[dst];
+    out_entries_[out_pos[s]++] = AdjacencyEntry{d, e, /*forward=*/true};
+    in_entries_[in_pos[d]++] = AdjacencyEntry{s, e, /*forward=*/false};
+  });
+
+  // Deterministic neighbor order: by neighbor index, then edge id. This is
+  // what makes "the" shortest path well-defined across runs (Appendix A.1
+  // footnote 4 allows any fixed criterion).
+  auto cmp = [](const AdjacencyEntry& a, const AdjacencyEntry& b) {
+    if (a.neighbor != b.neighbor) return a.neighbor < b.neighbor;
+    return a.edge < b.edge;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    std::sort(out_entries_.begin() + out_offsets_[i],
+              out_entries_.begin() + out_offsets_[i + 1], cmp);
+    std::sort(in_entries_.begin() + in_offsets_[i],
+              in_entries_.begin() + in_offsets_[i + 1], cmp);
+  }
+}
+
+std::vector<AdjacencyEntry> AdjacencyIndex::AllNeighbors(
+    DenseNodeIndex n) const {
+  std::vector<AdjacencyEntry> all;
+  auto [ob, oe] = Out(n);
+  auto [ib, ie] = In(n);
+  all.reserve(static_cast<size_t>(oe - ob) + static_cast<size_t>(ie - ib));
+  all.insert(all.end(), ob, oe);
+  all.insert(all.end(), ib, ie);
+  return all;
+}
+
+}  // namespace gcore

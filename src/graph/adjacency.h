@@ -1,0 +1,75 @@
+// CSR adjacency snapshot of a PPG, used by the matcher and path finders.
+//
+// Path evaluation (Appendix A.1) is defined over graph traversal in both
+// edge directions (an edge e with ρ(e) = (a, b) may be crossed a→b as ℓ or
+// b→a as ℓ⁻), so the index stores forward and backward lists. The index
+// also fixes the dense node numbering that realizes the paper's "fixed
+// lexicographical order on nodes" used to pick deterministic shortest
+// paths.
+#ifndef GCORE_GRAPH_ADJACENCY_H_
+#define GCORE_GRAPH_ADJACENCY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/ppg.h"
+
+namespace gcore {
+
+/// Dense index of a node inside an AdjacencyIndex.
+using DenseNodeIndex = uint32_t;
+
+/// One traversable half-edge.
+struct AdjacencyEntry {
+  DenseNodeIndex neighbor;
+  EdgeId edge;
+  /// True when the traversal follows ρ(e) = (here, neighbor); false when it
+  /// crosses the edge against its direction (matches ℓ⁻ in path regexes).
+  bool forward;
+};
+
+/// Immutable CSR over one PPG. Invalidated by any mutation of the graph.
+class AdjacencyIndex {
+ public:
+  explicit AdjacencyIndex(const PathPropertyGraph& graph);
+
+  size_t num_nodes() const { return node_ids_.size(); }
+  size_t num_edges() const { return graph_->NumEdges(); }
+  const PathPropertyGraph& graph() const { return *graph_; }
+
+  /// Dense index of `id`; nodes are numbered in increasing id order.
+  DenseNodeIndex IndexOf(NodeId id) const { return index_of_.at(id); }
+  bool Contains(NodeId id) const { return index_of_.count(id) > 0; }
+  NodeId IdOf(DenseNodeIndex idx) const { return node_ids_[idx]; }
+
+  /// Outgoing half-edges of `n` in forward direction.
+  std::pair<const AdjacencyEntry*, const AdjacencyEntry*> Out(
+      DenseNodeIndex n) const {
+    return {out_entries_.data() + out_offsets_[n],
+            out_entries_.data() + out_offsets_[n + 1]};
+  }
+  /// Incoming half-edges of `n` (traversals against edge direction).
+  std::pair<const AdjacencyEntry*, const AdjacencyEntry*> In(
+      DenseNodeIndex n) const {
+    return {in_entries_.data() + in_offsets_[n],
+            in_entries_.data() + in_offsets_[n + 1]};
+  }
+
+  /// All traversable half-edges (Out followed by In) — use when direction
+  /// is unconstrained.
+  std::vector<AdjacencyEntry> AllNeighbors(DenseNodeIndex n) const;
+
+ private:
+  const PathPropertyGraph* graph_;
+  std::vector<NodeId> node_ids_;  // dense -> id, sorted ascending
+  std::unordered_map<NodeId, DenseNodeIndex> index_of_;
+  std::vector<uint32_t> out_offsets_;
+  std::vector<AdjacencyEntry> out_entries_;
+  std::vector<uint32_t> in_offsets_;
+  std::vector<AdjacencyEntry> in_entries_;
+};
+
+}  // namespace gcore
+
+#endif  // GCORE_GRAPH_ADJACENCY_H_

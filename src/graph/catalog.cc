@@ -1,0 +1,49 @@
+#include "graph/catalog.h"
+
+namespace gcore {
+
+void GraphCatalog::RegisterGraph(const std::string& name,
+                                 PathPropertyGraph graph) {
+  graph.set_name(name);
+  graphs_.insert_or_assign(name, std::move(graph));
+}
+
+Result<const PathPropertyGraph*> GraphCatalog::Lookup(
+    const std::string& name) const {
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    return Status::NotFound("graph '" + name + "' is not in the catalog");
+  }
+  return &it->second;
+}
+
+bool GraphCatalog::HasGraph(const std::string& name) const {
+  return graphs_.count(name) > 0;
+}
+
+void GraphCatalog::DropGraph(const std::string& name) { graphs_.erase(name); }
+
+std::vector<std::string> GraphCatalog::GraphNames() const {
+  std::vector<std::string> names;
+  names.reserve(graphs_.size());
+  for (const auto& [name, graph] : graphs_) names.push_back(name);
+  return names;
+}
+
+void GraphCatalog::RegisterTable(const std::string& name, Table table) {
+  tables_.insert_or_assign(name, std::move(table));
+}
+
+Result<const Table*> GraphCatalog::LookupTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' is not in the catalog");
+  }
+  return &it->second;
+}
+
+bool GraphCatalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+}  // namespace gcore

@@ -1,0 +1,60 @@
+// The graph catalog: the `gr` function of Appendix A (graph identifiers →
+// graphs), plus tables for the Section 5 extensions and the session-wide
+// id allocator.
+//
+// GRAPH VIEW creates a persistent catalog entry; GRAPH ... AS creates a
+// query-local one (the engine scopes those by snapshotting/restoring).
+// Both are materialized at registration time, which matches the paper's
+// presentation (Figure 5 shows the views as concrete graphs).
+#ifndef GCORE_GRAPH_CATALOG_H_
+#define GCORE_GRAPH_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/ppg.h"
+#include "snb/table.h"
+
+namespace gcore {
+
+class GraphCatalog {
+ public:
+  GraphCatalog() : ids_(std::make_shared<IdAllocator>()) {}
+
+  /// Registers (or replaces) a named graph.
+  void RegisterGraph(const std::string& name, PathPropertyGraph graph);
+
+  /// gr(gid). NotFound when unregistered.
+  Result<const PathPropertyGraph*> Lookup(const std::string& name) const;
+  bool HasGraph(const std::string& name) const;
+  void DropGraph(const std::string& name);
+  std::vector<std::string> GraphNames() const;
+
+  /// Default graph used when MATCH has no ON clause (Section 3: "Systems
+  /// may omit ON if there is a default graph").
+  void SetDefaultGraph(const std::string& name) { default_graph_ = name; }
+  const std::string& default_graph() const { return default_graph_; }
+
+  /// Tabular inputs for the Section 5 extensions (FROM <table>,
+  /// MATCH (o) ON <table>).
+  void RegisterTable(const std::string& name, Table table);
+  Result<const Table*> LookupTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  /// Session-wide identifier allocator shared by all graphs.
+  IdAllocator* ids() { return ids_.get(); }
+  std::shared_ptr<IdAllocator> ids_ptr() { return ids_; }
+
+ private:
+  std::shared_ptr<IdAllocator> ids_;
+  std::map<std::string, PathPropertyGraph> graphs_;
+  std::map<std::string, Table> tables_;
+  std::string default_graph_;
+};
+
+}  // namespace gcore
+
+#endif  // GCORE_GRAPH_CATALOG_H_

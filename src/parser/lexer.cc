@@ -1,0 +1,242 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace gcore {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      GCORE_ASSIGN_OR_RETURN(Token tok, Next());
+      tokens.push_back(std::move(tok));
+    }
+    Token eof;
+    eof.type = TokenType::kEof;
+    eof.offset = pos_;
+    eof.line = line_;
+    eof.column = column_;
+    tokens.push_back(eof);
+    return tokens;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && Peek(1) == '-' &&
+                 (Peek(2) == ' ' || Peek(2) == '\t' || Peek(2) == '-')) {
+        // `-- comment` to end of line. Requires a space after `--` so that
+        // `x--y` arithmetic is unaffected.
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token Start() const {
+    Token t;
+    t.offset = pos_;
+    t.line = line_;
+    t.column = column_;
+    return t;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(line_) +
+                              ", column " + std::to_string(column_));
+  }
+
+  Result<Token> Next() {
+    Token tok = Start();
+    const char c = Peek();
+
+    if (IsIdentStart(c)) return Identifier(tok);
+    if (std::isdigit(static_cast<unsigned char>(c))) return Number(tok);
+    if (c == '\'' || c == '"') return StringLiteral(tok);
+
+    Advance();
+    switch (c) {
+      case '(': tok.type = TokenType::kLParen; return tok;
+      case ')': tok.type = TokenType::kRParen; return tok;
+      case '[': tok.type = TokenType::kLBracket; return tok;
+      case ']': tok.type = TokenType::kRBracket; return tok;
+      case '{': tok.type = TokenType::kLBrace; return tok;
+      case '}': tok.type = TokenType::kRBrace; return tok;
+      case ',': tok.type = TokenType::kComma; return tok;
+      case '.': tok.type = TokenType::kDot; return tok;
+      case '@': tok.type = TokenType::kAt; return tok;
+      case '~': tok.type = TokenType::kTilde; return tok;
+      case '!': tok.type = TokenType::kBang; return tok;
+      case '|': tok.type = TokenType::kPipe; return tok;
+      case '*': tok.type = TokenType::kStar; return tok;
+      case '+': tok.type = TokenType::kPlus; return tok;
+      case '/': tok.type = TokenType::kSlash; return tok;
+      case '%': tok.type = TokenType::kPercent; return tok;
+      case '?': tok.type = TokenType::kQuestion; return tok;
+      case '=': tok.type = TokenType::kEq; return tok;
+      case ':':
+        if (Peek() == '=') {
+          Advance();
+          tok.type = TokenType::kAssign;
+        } else {
+          tok.type = TokenType::kColon;
+        }
+        return tok;
+      case '-':
+        if (Peek() == '>') {
+          Advance();
+          tok.type = TokenType::kArrowRight;
+        } else {
+          tok.type = TokenType::kMinus;
+        }
+        return tok;
+      case '<':
+        if (Peek() == '-') {
+          Advance();
+          tok.type = TokenType::kArrowLeft;
+        } else if (Peek() == '=') {
+          Advance();
+          tok.type = TokenType::kLe;
+        } else if (Peek() == '>') {
+          Advance();
+          tok.type = TokenType::kNeq;
+        } else {
+          tok.type = TokenType::kLt;
+        }
+        return tok;
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          tok.type = TokenType::kGe;
+        } else {
+          tok.type = TokenType::kGt;
+        }
+        return tok;
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Result<Token> Identifier(Token tok) {
+    std::string text;
+    while (!AtEnd() && IsIdentChar(Peek())) text += Advance();
+    if (text == "_") {
+      tok.type = TokenType::kUnderscore;
+      tok.text = text;
+      return tok;
+    }
+    std::string upper = text;
+    for (char& ch : upper) {
+      ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    }
+    tok.type = KeywordOrIdentifier(upper);
+    tok.text = text;
+    return tok;
+  }
+
+  Result<Token> Number(Token tok) {
+    std::string digits;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits += Advance();
+    }
+    // A fraction only when a digit follows the dot; `nodes(p)[1].name`
+    // style chains keep the dot as a separate token.
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      digits += Advance();  // '.'
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits += Advance();
+      }
+      tok.type = TokenType::kDouble;
+      tok.double_value = std::stod(digits);
+      tok.text = digits;
+      return tok;
+    }
+    tok.type = TokenType::kInteger;
+    tok.int_value = std::stoll(digits);
+    tok.text = digits;
+    return tok;
+  }
+
+  Result<Token> StringLiteral(Token tok) {
+    const char quote = Advance();
+    std::string text;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string literal");
+      const char c = Advance();
+      if (c == quote) {
+        if (Peek() == quote) {
+          // SQL-style doubled quote escape.
+          Advance();
+          text += quote;
+          continue;
+        }
+        break;
+      }
+      if (c == '\\' && !AtEnd()) {
+        const char esc = Advance();
+        switch (esc) {
+          case 'n': text += '\n'; break;
+          case 't': text += '\t'; break;
+          case '\\': text += '\\'; break;
+          case '\'': text += '\''; break;
+          case '"': text += '"'; break;
+          default:
+            text += esc;
+            break;
+        }
+        continue;
+      }
+      text += c;
+    }
+    tok.type = TokenType::kString;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  Lexer lexer(text);
+  return lexer.Run();
+}
+
+}  // namespace gcore

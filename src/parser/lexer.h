@@ -1,0 +1,25 @@
+// Lexer for the G-CORE surface syntax.
+//
+// Tokenizes the full query text up front (the parser backtracks over the
+// token stream when disambiguating WHERE-clause patterns from expressions).
+// Compound tokens: `:=`, `<-`, `->`, `<=`, `>=`, `<>`. `<-` is only fused
+// when `-` directly follows `<`; write `a < -1` with a space to compare
+// against a negative literal.
+#ifndef GCORE_PARSER_LEXER_H_
+#define GCORE_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "parser/token.h"
+
+namespace gcore {
+
+/// Tokenizes `text`; the final token is always kEof. A trailing `--`
+/// comment runs to end of line.
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+}  // namespace gcore
+
+#endif  // GCORE_PARSER_LEXER_H_

@@ -1,0 +1,1006 @@
+#include "parser/parser.h"
+
+#include <optional>
+
+#include "parser/lexer.h"
+
+namespace gcore {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Query>> ParseFullQuery() {
+    GCORE_ASSIGN_OR_RETURN(auto query, ParseQueryInner());
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kEof));
+    return query;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseStandaloneExpression() {
+    GCORE_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kEof));
+    return expr;
+  }
+
+  Result<std::unique_ptr<RpqExpr>> ParseStandaloneRpq() {
+    GCORE_ASSIGN_OR_RETURN(auto rpq, ParseRpqAlt());
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kEof));
+    return rpq;
+  }
+
+ private:
+  // --- token plumbing -------------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool Check(TokenType t, size_t ahead = 0) const {
+    return Peek(ahead).Is(t);
+  }
+  const Token& Advance() {
+    const Token& t = Peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool Match(TokenType t) {
+    if (!Check(t)) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(TokenType t) {
+    if (Match(t)) return Status::OK();
+    return ErrorHere(std::string("expected ") + TokenTypeToString(t) +
+                     " but found " + Peek().ToString());
+  }
+  Status ErrorHere(const std::string& msg) const {
+    const Token& t = Peek();
+    return Status::ParseError(msg + " (line " + std::to_string(t.line) +
+                              ", column " + std::to_string(t.column) + ")");
+  }
+  size_t Save() const { return pos_; }
+  void Restore(size_t saved) { pos_ = saved; }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (!Check(TokenType::kIdentifier)) {
+      return Status(StatusCode::kParseError,
+                    std::string("expected ") + what + " but found " +
+                        Peek().ToString() + " (line " +
+                        std::to_string(Peek().line) + ")");
+    }
+    return Advance().text;
+  }
+
+  /// Identifier-or-unreserved-keyword in name positions (property keys may
+  /// collide with keywords like `cost`).
+  Result<std::string> ExpectName(const char* what) {
+    const Token& t = Peek();
+    if (t.Is(TokenType::kIdentifier)) return Advance().text;
+    switch (t.type) {
+      case TokenType::kCost:
+      case TokenType::kCount:
+      case TokenType::kSum:
+      case TokenType::kMin:
+      case TokenType::kMax:
+      case TokenType::kAvg:
+      case TokenType::kCollect:
+      case TokenType::kView:
+      case TokenType::kGroup:
+      case TokenType::kAll:
+        return Advance().text;
+      default:
+        return Status(StatusCode::kParseError,
+                      std::string("expected ") + what + " but found " +
+                          t.ToString() + " (line " + std::to_string(t.line) +
+                          ")");
+    }
+  }
+
+  // --- query structure ------------------------------------------------------
+
+  Result<std::unique_ptr<Query>> ParseQueryInner() {
+    auto query = std::make_unique<Query>();
+    // Head clauses in any interleaving.
+    while (true) {
+      if (Check(TokenType::kPath)) {
+        GCORE_ASSIGN_OR_RETURN(PathClause clause, ParsePathClause());
+        query->path_clauses.push_back(std::move(clause));
+      } else if (Check(TokenType::kGraph)) {
+        GCORE_ASSIGN_OR_RETURN(GraphClause clause, ParseGraphClause());
+        query->graph_clauses.push_back(std::move(clause));
+      } else {
+        break;
+      }
+    }
+    // Body is optional: a statement may consist of head clauses only
+    // (e.g. the GRAPH VIEW definitions on lines 39-47 / 57-66).
+    if (!Check(TokenType::kEof) && !Check(TokenType::kRParen)) {
+      GCORE_ASSIGN_OR_RETURN(query->body, ParseQueryBody());
+    }
+    if (query->body == nullptr && query->graph_clauses.empty() &&
+        query->path_clauses.empty()) {
+      return ErrorHere("empty query");
+    }
+    return query;
+  }
+
+  Result<std::unique_ptr<QueryBody>> ParseQueryBody() {
+    GCORE_ASSIGN_OR_RETURN(auto left, ParseQueryTerm());
+    while (true) {
+      QueryBody::Kind kind;
+      if (Match(TokenType::kUnion)) {
+        kind = QueryBody::Kind::kUnion;
+      } else if (Match(TokenType::kIntersect)) {
+        kind = QueryBody::Kind::kIntersect;
+      } else if (Match(TokenType::kMinusKw)) {
+        kind = QueryBody::Kind::kMinus;
+      } else {
+        break;
+      }
+      GCORE_ASSIGN_OR_RETURN(auto right, ParseQueryTerm());
+      auto combined = std::make_unique<QueryBody>();
+      combined->kind = kind;
+      combined->left = std::move(left);
+      combined->right = std::move(right);
+      left = std::move(combined);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<QueryBody>> ParseQueryTerm() {
+    if (Check(TokenType::kLParen)) {
+      // Could be a parenthesized full graph query.
+      const size_t saved = Save();
+      Advance();
+      if (Check(TokenType::kConstruct) || Check(TokenType::kSelect) ||
+          Check(TokenType::kPath) || Check(TokenType::kGraph)) {
+        GCORE_ASSIGN_OR_RETURN(auto inner, ParseQueryBody());
+        GCORE_RETURN_NOT_OK(Expect(TokenType::kRParen));
+        return inner;
+      }
+      Restore(saved);
+    }
+    if (Check(TokenType::kConstruct) || Check(TokenType::kSelect)) {
+      GCORE_ASSIGN_OR_RETURN(BasicQuery basic, ParseBasicQuery());
+      auto body = std::make_unique<QueryBody>();
+      body->kind = QueryBody::Kind::kBasic;
+      body->basic = std::make_unique<BasicQuery>(std::move(basic));
+      return body;
+    }
+    if (Check(TokenType::kIdentifier)) {
+      auto body = std::make_unique<QueryBody>();
+      body->kind = QueryBody::Kind::kGraphRef;
+      body->graph_ref = Advance().text;
+      return body;
+    }
+    return ErrorHere("expected CONSTRUCT, SELECT or a graph name");
+  }
+
+  Result<BasicQuery> ParseBasicQuery() {
+    BasicQuery basic;
+    if (Check(TokenType::kSelect)) {
+      GCORE_ASSIGN_OR_RETURN(SelectClause select, ParseSelectClause());
+      basic.select = std::move(select);
+    } else {
+      GCORE_ASSIGN_OR_RETURN(ConstructClause construct,
+                             ParseConstructClause());
+      basic.construct = std::move(construct);
+    }
+    if (Check(TokenType::kMatch)) {
+      GCORE_ASSIGN_OR_RETURN(MatchClause match, ParseMatchClause());
+      basic.match = std::move(match);
+    } else if (Match(TokenType::kFrom)) {
+      GCORE_ASSIGN_OR_RETURN(basic.from_table, ExpectIdentifier("table name"));
+    }
+    // Trailing ORDER BY / LIMIT belong to the SELECT (Section 5's
+    // "slicing, sorting" extensions).
+    if (basic.select.has_value()) {
+      if (Match(TokenType::kOrder)) {
+        GCORE_RETURN_NOT_OK(Expect(TokenType::kBy));
+        do {
+          OrderKey key;
+          GCORE_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+          if (Match(TokenType::kDesc)) {
+            key.descending = true;
+          } else {
+            Match(TokenType::kAsc);
+          }
+          basic.select->order_by.push_back(std::move(key));
+        } while (Match(TokenType::kComma));
+      }
+      if (Match(TokenType::kLimit)) {
+        if (!Check(TokenType::kInteger)) {
+          return ErrorHere("LIMIT expects an integer");
+        }
+        basic.select->limit = Advance().int_value;
+      }
+    }
+    return basic;
+  }
+
+  // --- SELECT (Section 5 extension) ------------------------------------------
+
+  Result<SelectClause> ParseSelectClause() {
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kSelect));
+    SelectClause select;
+    select.distinct = Match(TokenType::kDistinct);
+    do {
+      SelectItem item;
+      GCORE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (Match(TokenType::kAs)) {
+        GCORE_ASSIGN_OR_RETURN(item.alias, ExpectName("alias"));
+      }
+      select.items.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+    return select;
+  }
+
+  // --- CONSTRUCT --------------------------------------------------------------
+
+  Result<ConstructClause> ParseConstructClause() {
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kConstruct));
+    ConstructClause construct;
+    do {
+      GCORE_ASSIGN_OR_RETURN(ConstructItem item, ParseConstructItem());
+      construct.items.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+    return construct;
+  }
+
+  Result<ConstructItem> ParseConstructItem() {
+    ConstructItem item;
+    if (Check(TokenType::kIdentifier)) {
+      item.graph_ref = Advance().text;
+      return item;
+    }
+    GCORE_ASSIGN_OR_RETURN(GraphPattern pattern,
+                           ParsePatternChain(/*in_construct=*/true));
+    item.pattern = std::move(pattern);
+    // Trailing SET/REMOVE statements and a WHEN condition, any interleaving.
+    while (true) {
+      if (Check(TokenType::kSet) || Check(TokenType::kRemove)) {
+        GCORE_ASSIGN_OR_RETURN(SetStatement stmt, ParseSetStatement());
+        item.sets.push_back(std::move(stmt));
+      } else if (Check(TokenType::kWhen) && item.when == nullptr) {
+        Advance();
+        GCORE_ASSIGN_OR_RETURN(item.when, ParseExpr());
+      } else {
+        break;
+      }
+    }
+    return item;
+  }
+
+  Result<SetStatement> ParseSetStatement() {
+    SetStatement stmt;
+    const bool is_set = Match(TokenType::kSet);
+    if (!is_set) GCORE_RETURN_NOT_OK(Expect(TokenType::kRemove));
+    GCORE_ASSIGN_OR_RETURN(stmt.var, ExpectIdentifier("variable"));
+    if (Match(TokenType::kDot)) {
+      GCORE_ASSIGN_OR_RETURN(stmt.key, ExpectName("property key"));
+      if (is_set) {
+        stmt.kind = SetStatement::Kind::kSetProperty;
+        GCORE_RETURN_NOT_OK(Expect(TokenType::kAssign));
+        GCORE_ASSIGN_OR_RETURN(stmt.value, ParseExpr());
+      } else {
+        stmt.kind = SetStatement::Kind::kRemoveProperty;
+      }
+      return stmt;
+    }
+    if (Match(TokenType::kColon)) {
+      GCORE_ASSIGN_OR_RETURN(stmt.label, ExpectName("label"));
+      stmt.kind = is_set ? SetStatement::Kind::kSetLabel
+                         : SetStatement::Kind::kRemoveLabel;
+      return stmt;
+    }
+    if (is_set && Match(TokenType::kEq)) {
+      stmt.kind = SetStatement::Kind::kCopy;
+      GCORE_ASSIGN_OR_RETURN(stmt.from_var, ExpectIdentifier("variable"));
+      return stmt;
+    }
+    return ErrorHere("malformed SET/REMOVE statement");
+  }
+
+  // --- MATCH ------------------------------------------------------------------
+
+  Result<MatchClause> ParseMatchClause() {
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kMatch));
+    MatchClause match;
+    GCORE_ASSIGN_OR_RETURN(match.patterns, ParsePatternList());
+    if (Match(TokenType::kWhere)) {
+      GCORE_ASSIGN_OR_RETURN(match.where, ParseExpr());
+    }
+    while (Match(TokenType::kOptional)) {
+      OptionalBlock block;
+      GCORE_ASSIGN_OR_RETURN(block.patterns, ParsePatternList());
+      if (Match(TokenType::kWhere)) {
+        GCORE_ASSIGN_OR_RETURN(block.where, ParseExpr());
+      }
+      match.optionals.push_back(std::move(block));
+    }
+    return match;
+  }
+
+  Result<std::vector<GraphPattern>> ParsePatternList() {
+    std::vector<GraphPattern> patterns;
+    do {
+      GCORE_ASSIGN_OR_RETURN(GraphPattern pattern,
+                             ParsePatternChain(/*in_construct=*/false));
+      if (Match(TokenType::kOn)) {
+        if (Match(TokenType::kLParen)) {
+          // ON (fullGraphQuery) — Appendix A.2 locations.
+          GCORE_ASSIGN_OR_RETURN(pattern.on_subquery, ParseQueryInner());
+          GCORE_RETURN_NOT_OK(Expect(TokenType::kRParen));
+        } else {
+          GCORE_ASSIGN_OR_RETURN(pattern.on_graph,
+                                 ExpectIdentifier("graph name"));
+        }
+      }
+      patterns.push_back(std::move(pattern));
+    } while (Match(TokenType::kComma));
+    return patterns;
+  }
+
+  // --- pattern chains ---------------------------------------------------------
+
+  Result<GraphPattern> ParsePatternChain(bool in_construct) {
+    GraphPattern chain;
+    GCORE_ASSIGN_OR_RETURN(chain.start, ParseNodePattern(in_construct));
+    while (true) {
+      GCORE_ASSIGN_OR_RETURN(std::optional<PatternHop> hop,
+                             TryParseHop(in_construct));
+      if (!hop.has_value()) break;
+      chain.hops.push_back(std::move(*hop));
+    }
+    return chain;
+  }
+
+  /// Parses an edge/path connector plus its target node, or nothing when
+  /// the chain ends here.
+  Result<std::optional<PatternHop>> TryParseHop(bool in_construct) {
+    // Right edge or undirected: -[ ... ]-> / -[ ... ]-
+    // Path: -/ ... /->
+    if (Check(TokenType::kMinus) && Check(TokenType::kLBracket, 1)) {
+      Advance();
+      Advance();
+      PatternHop hop;
+      hop.kind = PatternHop::Kind::kEdge;
+      GCORE_RETURN_NOT_OK(ParseEdgeInner(&hop.edge, in_construct));
+      GCORE_RETURN_NOT_OK(Expect(TokenType::kRBracket));
+      if (Match(TokenType::kArrowRight)) {
+        hop.edge.direction = EdgePattern::Direction::kRight;
+      } else if (Match(TokenType::kMinus)) {
+        hop.edge.direction = EdgePattern::Direction::kUndirected;
+      } else {
+        return ErrorHere("expected -> or - after edge pattern");
+      }
+      GCORE_ASSIGN_OR_RETURN(hop.to, ParseNodePattern(in_construct));
+      return std::optional<PatternHop>(std::move(hop));
+    }
+    if (Check(TokenType::kArrowLeft) && Check(TokenType::kLBracket, 1)) {
+      Advance();
+      Advance();
+      PatternHop hop;
+      hop.kind = PatternHop::Kind::kEdge;
+      GCORE_RETURN_NOT_OK(ParseEdgeInner(&hop.edge, in_construct));
+      hop.edge.direction = EdgePattern::Direction::kLeft;
+      GCORE_RETURN_NOT_OK(Expect(TokenType::kRBracket));
+      GCORE_RETURN_NOT_OK(Expect(TokenType::kMinus));
+      GCORE_ASSIGN_OR_RETURN(hop.to, ParseNodePattern(in_construct));
+      return std::optional<PatternHop>(std::move(hop));
+    }
+    // Abbreviated edges without brackets: -> and <- and - () ... The paper
+    // uses (msg1)-[:reply_of]-(msg2) style; abbreviated (a)->(b) is also
+    // accepted for convenience.
+    if (Check(TokenType::kArrowRight) && Check(TokenType::kLParen, 1)) {
+      Advance();
+      PatternHop hop;
+      hop.kind = PatternHop::Kind::kEdge;
+      hop.edge.direction = EdgePattern::Direction::kRight;
+      GCORE_ASSIGN_OR_RETURN(hop.to, ParseNodePattern(in_construct));
+      return std::optional<PatternHop>(std::move(hop));
+    }
+    if (Check(TokenType::kArrowLeft) && Check(TokenType::kLParen, 1)) {
+      Advance();
+      PatternHop hop;
+      hop.kind = PatternHop::Kind::kEdge;
+      hop.edge.direction = EdgePattern::Direction::kLeft;
+      GCORE_ASSIGN_OR_RETURN(hop.to, ParseNodePattern(in_construct));
+      return std::optional<PatternHop>(std::move(hop));
+    }
+    if (Check(TokenType::kMinus) && Check(TokenType::kLParen, 1)) {
+      Advance();
+      PatternHop hop;
+      hop.kind = PatternHop::Kind::kEdge;
+      hop.edge.direction = EdgePattern::Direction::kUndirected;
+      GCORE_ASSIGN_OR_RETURN(hop.to, ParseNodePattern(in_construct));
+      return std::optional<PatternHop>(std::move(hop));
+    }
+    if (Check(TokenType::kMinus) && Check(TokenType::kSlash, 1)) {
+      Advance();
+      Advance();
+      PatternHop hop;
+      hop.kind = PatternHop::Kind::kPath;
+      GCORE_RETURN_NOT_OK(ParsePathInner(&hop.path, in_construct));
+      GCORE_RETURN_NOT_OK(Expect(TokenType::kSlash));
+      if (!Match(TokenType::kArrowRight)) {
+        return ErrorHere("expected /-> to close path pattern");
+      }
+      GCORE_ASSIGN_OR_RETURN(hop.to, ParseNodePattern(in_construct));
+      return std::optional<PatternHop>(std::move(hop));
+    }
+    return std::optional<PatternHop>{};
+  }
+
+  Result<NodePattern> ParseNodePattern(bool in_construct) {
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kLParen));
+    NodePattern node;
+    if (Match(TokenType::kEq)) {
+      node.is_copy = true;
+      GCORE_ASSIGN_OR_RETURN(node.var, ExpectIdentifier("variable"));
+    } else if (Check(TokenType::kIdentifier)) {
+      node.var = Advance().text;
+    }
+    if (Match(TokenType::kGroup)) {
+      do {
+        GCORE_ASSIGN_OR_RETURN(auto expr, ParseGroupExpr());
+        node.group_by.push_back(std::move(expr));
+      } while (Match(TokenType::kComma));
+    }
+    GCORE_RETURN_NOT_OK(ParseLabelGroups(&node.label_groups));
+    GCORE_RETURN_NOT_OK(ParsePropBlock(&node.props, in_construct));
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    return node;
+  }
+
+  /// GROUP expressions are variables or property accesses only — a full
+  /// expression parse would swallow the following `:Label` group as a
+  /// label-test postfix (`GROUP e :Company` in line 21 of the paper).
+  Result<std::unique_ptr<Expr>> ParseGroupExpr() {
+    GCORE_ASSIGN_OR_RETURN(std::string var, ExpectIdentifier("variable"));
+    if (Match(TokenType::kDot)) {
+      GCORE_ASSIGN_OR_RETURN(std::string key, ExpectName("property key"));
+      return Expr::Property(std::move(var), std::move(key));
+    }
+    return Expr::Variable(std::move(var));
+  }
+
+  Status ParseEdgeInner(EdgePattern* edge, bool in_construct) {
+    if (Match(TokenType::kEq)) {
+      edge->is_copy = true;
+      GCORE_ASSIGN_OR_RETURN(edge->var, ExpectIdentifier("variable"));
+    } else if (Check(TokenType::kIdentifier)) {
+      edge->var = Advance().text;
+    }
+    if (Match(TokenType::kGroup)) {
+      do {
+        GCORE_ASSIGN_OR_RETURN(auto expr, ParseGroupExpr());
+        edge->group_by.push_back(std::move(expr));
+      } while (Match(TokenType::kComma));
+    }
+    GCORE_RETURN_NOT_OK(ParseLabelGroups(&edge->label_groups));
+    GCORE_RETURN_NOT_OK(ParsePropBlock(&edge->props, in_construct));
+    return Status::OK();
+  }
+
+  Status ParsePathInner(PathPattern* path, bool in_construct) {
+    // MATCH: [int] SHORTEST | ALL prefix.
+    if (Check(TokenType::kInteger) && Check(TokenType::kShortest, 1)) {
+      path->k = Advance().int_value;
+      Advance();
+      path->mode = PathPattern::Mode::kShortest;
+    } else if (Match(TokenType::kShortest)) {
+      path->mode = PathPattern::Mode::kShortest;
+    } else if (Match(TokenType::kAll)) {
+      path->mode = PathPattern::Mode::kAll;
+    } else {
+      path->mode = PathPattern::Mode::kReachability;
+    }
+    if (Match(TokenType::kAt)) {
+      path->stored = true;
+      GCORE_ASSIGN_OR_RETURN(path->var, ExpectIdentifier("path variable"));
+    } else if (Check(TokenType::kIdentifier)) {
+      path->var = Advance().text;
+    }
+    GCORE_RETURN_NOT_OK(ParseLabelGroups(&path->label_groups));
+    if (Match(TokenType::kLt)) {
+      GCORE_ASSIGN_OR_RETURN(path->rpq, ParseRpqAlt());
+      GCORE_RETURN_NOT_OK(ExpectRegexClose());
+    }
+    GCORE_RETURN_NOT_OK(ParsePropBlock(&path->props, in_construct));
+    if (Match(TokenType::kCost)) {
+      GCORE_ASSIGN_OR_RETURN(path->cost_var,
+                             ExpectIdentifier("cost variable"));
+    }
+    // Mode fixups for the match side: `@p` matches stored paths (with an
+    // optional regex conformance test, Appendix A.2); a bare regex without
+    // SHORTEST/ALL and without a variable is a reachability test; with a
+    // variable it is 1-SHORTEST.
+    if (!in_construct) {
+      if (path->stored) {
+        path->mode = PathPattern::Mode::kStoredMatch;
+      } else if (path->mode == PathPattern::Mode::kReachability &&
+                 !path->var.empty() && path->rpq != nullptr) {
+        path->mode = PathPattern::Mode::kShortest;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseLabelGroups(std::vector<std::vector<std::string>>* groups) {
+    while (Check(TokenType::kColon)) {
+      Advance();
+      std::vector<std::string> group;
+      GCORE_ASSIGN_OR_RETURN(std::string label, ExpectName("label"));
+      group.push_back(std::move(label));
+      while (Match(TokenType::kPipe)) {
+        GCORE_ASSIGN_OR_RETURN(std::string next, ExpectName("label"));
+        group.push_back(std::move(next));
+      }
+      groups->push_back(std::move(group));
+    }
+    return Status::OK();
+  }
+
+  Status ParsePropBlock(std::vector<PropPattern>* props, bool in_construct) {
+    if (!Match(TokenType::kLBrace)) return Status::OK();
+    if (!Check(TokenType::kRBrace)) {
+      do {
+        PropPattern prop;
+        GCORE_ASSIGN_OR_RETURN(prop.key, ExpectName("property key"));
+        if (Match(TokenType::kAssign)) {
+          prop.mode = PropPattern::Mode::kAssign;
+          GCORE_ASSIGN_OR_RETURN(prop.value, ParseExpr());
+        } else if (Match(TokenType::kEq) || Match(TokenType::kColon)) {
+          GCORE_ASSIGN_OR_RETURN(auto value, ParseExpr());
+          if (!in_construct && value->kind == Expr::Kind::kVariable) {
+            // `{employer = e}`: binds/joins e per property value (p.9).
+            prop.mode = PropPattern::Mode::kBindVariable;
+            prop.bind_var = value->var;
+          } else if (in_construct) {
+            prop.mode = PropPattern::Mode::kAssign;
+            prop.value = std::move(value);
+          } else {
+            prop.mode = PropPattern::Mode::kFilter;
+            prop.value = std::move(value);
+          }
+        } else {
+          return ErrorHere("expected =, := or : in property block");
+        }
+        props->push_back(std::move(prop));
+      } while (Match(TokenType::kComma));
+    }
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kRBrace));
+    return Status::OK();
+  }
+
+  // --- regular path expressions ----------------------------------------------
+
+  /// The closing `>` of a regex may have fused with a preceding `-` into
+  /// `->` (e.g. `<:knows->`); ParseRpqPostfix already consumed the `-` as
+  /// an inverse marker in that case, leaving kArrowRight impossible here —
+  /// only a plain `>` remains.
+  Status ExpectRegexClose() { return Expect(TokenType::kGt); }
+
+  Result<std::unique_ptr<RpqExpr>> ParseRpqAlt() {
+    std::vector<std::unique_ptr<RpqExpr>> alts;
+    GCORE_ASSIGN_OR_RETURN(auto first, ParseRpqConcat());
+    alts.push_back(std::move(first));
+    while (Match(TokenType::kPipe)) {
+      GCORE_ASSIGN_OR_RETURN(auto next, ParseRpqConcat());
+      alts.push_back(std::move(next));
+    }
+    if (alts.size() == 1) return std::move(alts.front());
+    return RpqExpr::Alt(std::move(alts));
+  }
+
+  Result<std::unique_ptr<RpqExpr>> ParseRpqConcat() {
+    std::vector<std::unique_ptr<RpqExpr>> parts;
+    GCORE_ASSIGN_OR_RETURN(auto first, ParseRpqPostfix());
+    parts.push_back(std::move(first));
+    while (Check(TokenType::kColon) || Check(TokenType::kBang) ||
+           Check(TokenType::kTilde) || Check(TokenType::kUnderscore) ||
+           Check(TokenType::kLParen)) {
+      GCORE_ASSIGN_OR_RETURN(auto next, ParseRpqPostfix());
+      parts.push_back(std::move(next));
+    }
+    if (parts.size() == 1) return std::move(parts.front());
+    return RpqExpr::Concat(std::move(parts));
+  }
+
+  Result<std::unique_ptr<RpqExpr>> ParseRpqPostfix() {
+    GCORE_ASSIGN_OR_RETURN(auto atom, ParseRpqAtom());
+    while (true) {
+      if (Match(TokenType::kStar)) {
+        atom = RpqExpr::Star(std::move(atom));
+      } else if (Match(TokenType::kPlus)) {
+        atom = RpqExpr::Plus(std::move(atom));
+      } else if (Match(TokenType::kQuestion)) {
+        atom = RpqExpr::Optional(std::move(atom));
+      } else {
+        break;
+      }
+    }
+    return atom;
+  }
+
+  Result<std::unique_ptr<RpqExpr>> ParseRpqAtom() {
+    if (Match(TokenType::kColon)) {
+      GCORE_ASSIGN_OR_RETURN(std::string label, ExpectName("edge label"));
+      // Inverse marker: a `-` suffix. It may appear as kMinus, or fused
+      // with the regex-closing `>` as kArrowRight (`<:knows->`), in which
+      // case rewrite the token to the remaining `>`.
+      if (Check(TokenType::kMinus)) {
+        Advance();
+        return RpqExpr::InverseEdgeLabel(std::move(label));
+      }
+      if (Check(TokenType::kArrowRight)) {
+        tokens_[pos_].type = TokenType::kGt;
+        return RpqExpr::InverseEdgeLabel(std::move(label));
+      }
+      return RpqExpr::EdgeLabel(std::move(label));
+    }
+    if (Match(TokenType::kBang)) {
+      GCORE_ASSIGN_OR_RETURN(std::string label, ExpectName("node label"));
+      return RpqExpr::NodeLabel(std::move(label));
+    }
+    if (Match(TokenType::kTilde)) {
+      GCORE_ASSIGN_OR_RETURN(std::string name, ExpectName("path view name"));
+      return RpqExpr::ViewRef(std::move(name));
+    }
+    if (Match(TokenType::kUnderscore)) {
+      return RpqExpr::AnyEdge();
+    }
+    if (Match(TokenType::kLParen)) {
+      GCORE_ASSIGN_OR_RETURN(auto inner, ParseRpqAlt());
+      GCORE_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      return inner;
+    }
+    return ErrorHere("expected a path expression atom (:label, !label, "
+                     "~view, _ or parenthesized expression)");
+  }
+
+  // --- PATH / GRAPH head clauses ----------------------------------------------
+
+  Result<PathClause> ParsePathClause() {
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kPath));
+    PathClause clause;
+    GCORE_ASSIGN_OR_RETURN(clause.name, ExpectIdentifier("path view name"));
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kEq));
+    do {
+      GCORE_ASSIGN_OR_RETURN(GraphPattern pattern,
+                             ParsePatternChain(/*in_construct=*/false));
+      clause.patterns.push_back(std::move(pattern));
+    } while (Match(TokenType::kComma));
+    if (Match(TokenType::kWhere)) {
+      GCORE_ASSIGN_OR_RETURN(clause.where, ParseExpr());
+    }
+    if (Match(TokenType::kCost)) {
+      GCORE_ASSIGN_OR_RETURN(clause.cost, ParseExpr());
+    }
+    return clause;
+  }
+
+  Result<GraphClause> ParseGraphClause() {
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kGraph));
+    GraphClause clause;
+    clause.is_view = Match(TokenType::kView);
+    GCORE_ASSIGN_OR_RETURN(clause.name, ExpectIdentifier("graph name"));
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kAs));
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kLParen));
+    GCORE_ASSIGN_OR_RETURN(clause.query, ParseQueryInner());
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    return clause;
+  }
+
+  // --- expressions -------------------------------------------------------------
+
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    GCORE_ASSIGN_OR_RETURN(auto left, ParseAnd());
+    while (Match(TokenType::kOr)) {
+      GCORE_ASSIGN_OR_RETURN(auto right, ParseAnd());
+      left = Expr::Binary(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    GCORE_ASSIGN_OR_RETURN(auto left, ParseNot());
+    while (Match(TokenType::kAnd)) {
+      GCORE_ASSIGN_OR_RETURN(auto right, ParseNot());
+      left = Expr::Binary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (Match(TokenType::kNot)) {
+      GCORE_ASSIGN_OR_RETURN(auto inner, ParseNot());
+      return Expr::Unary(UnaryOp::kNot, std::move(inner));
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    GCORE_ASSIGN_OR_RETURN(auto left, ParseAdditive());
+    while (true) {
+      BinaryOp op;
+      if (Match(TokenType::kEq)) {
+        op = BinaryOp::kEq;
+      } else if (Match(TokenType::kNeq)) {
+        op = BinaryOp::kNe;
+      } else if (Match(TokenType::kLt)) {
+        op = BinaryOp::kLt;
+      } else if (Match(TokenType::kLe)) {
+        op = BinaryOp::kLe;
+      } else if (Match(TokenType::kGt)) {
+        op = BinaryOp::kGt;
+      } else if (Match(TokenType::kGe)) {
+        op = BinaryOp::kGe;
+      } else if (Match(TokenType::kIn)) {
+        op = BinaryOp::kIn;
+      } else if (Match(TokenType::kSubset)) {
+        op = BinaryOp::kSubsetOf;
+      } else {
+        break;
+      }
+      GCORE_ASSIGN_OR_RETURN(auto right, ParseAdditive());
+      left = Expr::Binary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    GCORE_ASSIGN_OR_RETURN(auto left, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (Match(TokenType::kPlus)) {
+        op = BinaryOp::kAdd;
+      } else if (Match(TokenType::kMinus)) {
+        op = BinaryOp::kSub;
+      } else {
+        break;
+      }
+      GCORE_ASSIGN_OR_RETURN(auto right, ParseMultiplicative());
+      left = Expr::Binary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    GCORE_ASSIGN_OR_RETURN(auto left, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (Match(TokenType::kStar)) {
+        op = BinaryOp::kMul;
+      } else if (Match(TokenType::kSlash)) {
+        op = BinaryOp::kDiv;
+      } else if (Match(TokenType::kPercent)) {
+        op = BinaryOp::kMod;
+      } else {
+        break;
+      }
+      GCORE_ASSIGN_OR_RETURN(auto right, ParseUnary());
+      left = Expr::Binary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (Match(TokenType::kMinus)) {
+      GCORE_ASSIGN_OR_RETURN(auto inner, ParseUnary());
+      return Expr::Unary(UnaryOp::kNeg, std::move(inner));
+    }
+    return ParsePostfix();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePostfix() {
+    GCORE_ASSIGN_OR_RETURN(auto expr, ParsePrimary());
+    while (true) {
+      if (Match(TokenType::kDot)) {
+        GCORE_ASSIGN_OR_RETURN(std::string key, ExpectName("property key"));
+        if (expr->kind == Expr::Kind::kVariable) {
+          expr = Expr::Property(expr->var, key);
+        } else {
+          // General form: property access on a computed object (e.g.
+          // nodes(p)[1].name) is modeled as a function.
+          std::vector<std::unique_ptr<Expr>> args;
+          args.push_back(std::move(expr));
+          args.push_back(Expr::Literal(Value::String(key)));
+          expr = Expr::Function("property", std::move(args));
+        }
+      } else if (Check(TokenType::kLBracket)) {
+        Advance();
+        GCORE_ASSIGN_OR_RETURN(auto index, ParseExpr());
+        GCORE_RETURN_NOT_OK(Expect(TokenType::kRBracket));
+        expr = Expr::Index(std::move(expr), std::move(index));
+      } else if (Check(TokenType::kColon) &&
+                 expr->kind == Expr::Kind::kVariable &&
+                 (Check(TokenType::kIdentifier, 1) ||
+                  Check(TokenType::kCost, 1))) {
+        Advance();
+        std::vector<std::string> labels;
+        GCORE_ASSIGN_OR_RETURN(std::string label, ExpectName("label"));
+        labels.push_back(std::move(label));
+        while (Match(TokenType::kPipe)) {
+          GCORE_ASSIGN_OR_RETURN(std::string next, ExpectName("label"));
+          labels.push_back(std::move(next));
+        }
+        expr = Expr::LabelTest(expr->var, std::move(labels));
+      } else {
+        break;
+      }
+    }
+    return expr;
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kInteger:
+        Advance();
+        return Expr::Literal(Value::Int(tok.int_value));
+      case TokenType::kDouble:
+        Advance();
+        return Expr::Literal(Value::Double(tok.double_value));
+      case TokenType::kString:
+        Advance();
+        return Expr::Literal(Value::String(tok.text));
+      case TokenType::kTrue:
+        Advance();
+        return Expr::Literal(Value::Bool(true));
+      case TokenType::kFalse:
+        Advance();
+        return Expr::Literal(Value::Bool(false));
+      case TokenType::kNull:
+        Advance();
+        return Expr::Literal(Value::Null());
+      case TokenType::kCount:
+      case TokenType::kSum:
+      case TokenType::kMin:
+      case TokenType::kMax:
+      case TokenType::kAvg:
+      case TokenType::kCollect:
+        return ParseAggregate();
+      case TokenType::kCase:
+        return ParseCase();
+      case TokenType::kExists:
+        return ParseExists();
+      case TokenType::kCost:
+        // COST doubles as the path-cost function, COST(p).
+        if (Check(TokenType::kLParen, 1)) {
+          Advance();
+          Advance();
+          GCORE_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+          GCORE_RETURN_NOT_OK(Expect(TokenType::kRParen));
+          std::vector<std::unique_ptr<Expr>> args;
+          args.push_back(std::move(arg));
+          return Expr::Function("cost", std::move(args));
+        }
+        return ErrorHere("unexpected COST");
+      case TokenType::kIdentifier:
+        if (Check(TokenType::kLParen, 1)) return ParseFunctionCall();
+        Advance();
+        return Expr::Variable(tok.text);
+      case TokenType::kLParen:
+        return ParseParenOrPattern();
+      default:
+        return ErrorHere("expected an expression but found " +
+                         tok.ToString());
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAggregate() {
+    const TokenType agg = Advance().type;
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kLParen));
+    AggregateOp op;
+    switch (agg) {
+      case TokenType::kCount: op = AggregateOp::kCount; break;
+      case TokenType::kSum: op = AggregateOp::kSum; break;
+      case TokenType::kMin: op = AggregateOp::kMin; break;
+      case TokenType::kMax: op = AggregateOp::kMax; break;
+      case TokenType::kAvg: op = AggregateOp::kAvg; break;
+      default: op = AggregateOp::kCollect; break;
+    }
+    if (op == AggregateOp::kCount && Match(TokenType::kStar)) {
+      GCORE_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      return Expr::CountStar();
+    }
+    Match(TokenType::kDistinct);  // accepted and currently ignored
+    GCORE_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    return Expr::Aggregate(op, std::move(arg));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseCase() {
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kCase));
+    auto expr = std::make_unique<Expr>();
+    expr->kind = Expr::Kind::kCase;
+    while (Match(TokenType::kWhen)) {
+      CaseArm arm;
+      GCORE_ASSIGN_OR_RETURN(arm.condition, ParseExpr());
+      GCORE_RETURN_NOT_OK(Expect(TokenType::kThen));
+      GCORE_ASSIGN_OR_RETURN(arm.result, ParseExpr());
+      expr->case_arms.push_back(std::move(arm));
+    }
+    if (expr->case_arms.empty()) {
+      return ErrorHere("CASE requires at least one WHEN arm");
+    }
+    if (Match(TokenType::kElse)) {
+      GCORE_ASSIGN_OR_RETURN(expr->case_else, ParseExpr());
+    }
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kEnd));
+    return expr;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseExists() {
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kExists));
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kLParen));
+    GCORE_ASSIGN_OR_RETURN(auto subquery, ParseQueryInner());
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    return Expr::Exists(std::move(subquery));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseFunctionCall() {
+    GCORE_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("function"));
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kLParen));
+    std::vector<std::unique_ptr<Expr>> args;
+    if (!Check(TokenType::kRParen)) {
+      do {
+        GCORE_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+        args.push_back(std::move(arg));
+      } while (Match(TokenType::kComma));
+    }
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    return Expr::Function(std::move(name), std::move(args));
+  }
+
+  /// Disambiguates `(expr)` from an implicit existential pattern such as
+  /// `(n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)` inside WHERE.
+  Result<std::unique_ptr<Expr>> ParseParenOrPattern() {
+    const size_t saved = Save();
+    // Attempt a pattern chain; succeed only when it has at least one hop
+    // (a bare `(n)` or `(n:Person)` parses better as an expression).
+    {
+      auto chain = ParsePatternChain(/*in_construct=*/false);
+      if (chain.ok() && !chain->hops.empty()) {
+        auto pattern = std::make_unique<GraphPattern>(std::move(*chain));
+        return Expr::PatternPredicate(std::move(pattern));
+      }
+    }
+    Restore(saved);
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kLParen));
+    GCORE_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+    GCORE_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    return inner;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Query>> ParseQuery(const std::string& text) {
+  GCORE_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseFullQuery();
+}
+
+Result<std::unique_ptr<Expr>> ParseExpression(const std::string& text) {
+  GCORE_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpression();
+}
+
+Result<std::unique_ptr<RpqExpr>> ParseRpq(const std::string& text) {
+  GCORE_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneRpq();
+}
+
+}  // namespace gcore

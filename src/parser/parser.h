@@ -1,0 +1,36 @@
+// Recursive-descent parser for G-CORE.
+//
+// Accepts the full surface syntax of the paper: every numbered query of
+// Section 3 (lines 1-85) parses unmodified. Entry point: ParseQuery.
+//
+// Notable syntax decisions (documented in README):
+//  * Regex alternation is written `|` (the abstract syntax of Appendix A
+//    uses `+`; surface `+` is one-or-more).
+//  * Edge-label inversion is a `-` suffix inside the regex brackets:
+//    `<(:knows|:knows-)*>`.
+//  * `{k = v}` in MATCH binds/joins v per value (property unrolling);
+//    `{k := e}` in CONSTRUCT assigns.
+#ifndef GCORE_PARSER_PARSER_H_
+#define GCORE_PARSER_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "ast/ast.h"
+#include "common/result.h"
+
+namespace gcore {
+
+/// Parses one full G-CORE query (head clauses + optional body).
+Result<std::unique_ptr<Query>> ParseQuery(const std::string& text);
+
+/// Parses a standalone expression (testing aid).
+Result<std::unique_ptr<Expr>> ParseExpression(const std::string& text);
+
+/// Parses a standalone regular path expression, e.g. ":knows*" (testing
+/// aid; the text is the regex body without the `<` `>` brackets).
+Result<std::unique_ptr<RpqExpr>> ParseRpq(const std::string& text);
+
+}  // namespace gcore
+
+#endif  // GCORE_PARSER_PARSER_H_

@@ -1,0 +1,161 @@
+#include "parser/token.h"
+
+#include <map>
+
+namespace gcore {
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kInteger: return "integer";
+    case TokenType::kDouble: return "double";
+    case TokenType::kString: return "string";
+    case TokenType::kConstruct: return "CONSTRUCT";
+    case TokenType::kMatch: return "MATCH";
+    case TokenType::kWhere: return "WHERE";
+    case TokenType::kOptional: return "OPTIONAL";
+    case TokenType::kOn: return "ON";
+    case TokenType::kUnion: return "UNION";
+    case TokenType::kIntersect: return "INTERSECT";
+    case TokenType::kMinusKw: return "MINUS";
+    case TokenType::kGraph: return "GRAPH";
+    case TokenType::kView: return "VIEW";
+    case TokenType::kAs: return "AS";
+    case TokenType::kPath: return "PATH";
+    case TokenType::kCost: return "COST";
+    case TokenType::kShortest: return "SHORTEST";
+    case TokenType::kAll: return "ALL";
+    case TokenType::kWhen: return "WHEN";
+    case TokenType::kSet: return "SET";
+    case TokenType::kRemove: return "REMOVE";
+    case TokenType::kGroup: return "GROUP";
+    case TokenType::kExists: return "EXISTS";
+    case TokenType::kSelect: return "SELECT";
+    case TokenType::kFrom: return "FROM";
+    case TokenType::kIn: return "IN";
+    case TokenType::kSubset: return "SUBSET";
+    case TokenType::kAnd: return "AND";
+    case TokenType::kOr: return "OR";
+    case TokenType::kNot: return "NOT";
+    case TokenType::kTrue: return "TRUE";
+    case TokenType::kFalse: return "FALSE";
+    case TokenType::kNull: return "NULL";
+    case TokenType::kCase: return "CASE";
+    case TokenType::kThen: return "THEN";
+    case TokenType::kElse: return "ELSE";
+    case TokenType::kEnd: return "END";
+    case TokenType::kDistinct: return "DISTINCT";
+    case TokenType::kOrder: return "ORDER";
+    case TokenType::kBy: return "BY";
+    case TokenType::kAsc: return "ASC";
+    case TokenType::kDesc: return "DESC";
+    case TokenType::kLimit: return "LIMIT";
+    case TokenType::kCount: return "COUNT";
+    case TokenType::kSum: return "SUM";
+    case TokenType::kMin: return "MIN";
+    case TokenType::kMax: return "MAX";
+    case TokenType::kAvg: return "AVG";
+    case TokenType::kCollect: return "COLLECT";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kLBracket: return "[";
+    case TokenType::kRBracket: return "]";
+    case TokenType::kLBrace: return "{";
+    case TokenType::kRBrace: return "}";
+    case TokenType::kComma: return ",";
+    case TokenType::kDot: return ".";
+    case TokenType::kColon: return ":";
+    case TokenType::kAssign: return ":=";
+    case TokenType::kAt: return "@";
+    case TokenType::kTilde: return "~";
+    case TokenType::kBang: return "!";
+    case TokenType::kPipe: return "|";
+    case TokenType::kStar: return "*";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kSlash: return "/";
+    case TokenType::kPercent: return "%";
+    case TokenType::kQuestion: return "?";
+    case TokenType::kEq: return "=";
+    case TokenType::kNeq: return "<>";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+    case TokenType::kArrowRight: return "->";
+    case TokenType::kArrowLeft: return "<-";
+    case TokenType::kUnderscore: return "_";
+    case TokenType::kEof: return "<eof>";
+  }
+  return "?";
+}
+
+TokenType KeywordOrIdentifier(const std::string& upper) {
+  static const std::map<std::string, TokenType> kKeywords = {
+      {"CONSTRUCT", TokenType::kConstruct},
+      {"MATCH", TokenType::kMatch},
+      {"WHERE", TokenType::kWhere},
+      {"OPTIONAL", TokenType::kOptional},
+      {"ON", TokenType::kOn},
+      {"UNION", TokenType::kUnion},
+      {"INTERSECT", TokenType::kIntersect},
+      {"MINUS", TokenType::kMinusKw},
+      {"GRAPH", TokenType::kGraph},
+      {"VIEW", TokenType::kView},
+      {"AS", TokenType::kAs},
+      {"PATH", TokenType::kPath},
+      {"COST", TokenType::kCost},
+      {"SHORTEST", TokenType::kShortest},
+      {"ALL", TokenType::kAll},
+      {"WHEN", TokenType::kWhen},
+      {"SET", TokenType::kSet},
+      {"REMOVE", TokenType::kRemove},
+      {"GROUP", TokenType::kGroup},
+      {"EXISTS", TokenType::kExists},
+      {"SELECT", TokenType::kSelect},
+      {"FROM", TokenType::kFrom},
+      {"IN", TokenType::kIn},
+      {"SUBSET", TokenType::kSubset},
+      {"AND", TokenType::kAnd},
+      {"OR", TokenType::kOr},
+      {"NOT", TokenType::kNot},
+      {"TRUE", TokenType::kTrue},
+      {"FALSE", TokenType::kFalse},
+      {"NULL", TokenType::kNull},
+      {"CASE", TokenType::kCase},
+      {"THEN", TokenType::kThen},
+      {"ELSE", TokenType::kElse},
+      {"END", TokenType::kEnd},
+      {"DISTINCT", TokenType::kDistinct},
+      {"ORDER", TokenType::kOrder},
+      {"BY", TokenType::kBy},
+      {"ASC", TokenType::kAsc},
+      {"DESC", TokenType::kDesc},
+      {"LIMIT", TokenType::kLimit},
+      {"COUNT", TokenType::kCount},
+      {"SUM", TokenType::kSum},
+      {"MIN", TokenType::kMin},
+      {"MAX", TokenType::kMax},
+      {"AVG", TokenType::kAvg},
+      {"COLLECT", TokenType::kCollect},
+  };
+  auto it = kKeywords.find(upper);
+  return it == kKeywords.end() ? TokenType::kIdentifier : it->second;
+}
+
+std::string Token::ToString() const {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenType::kInteger:
+      return "integer " + std::to_string(int_value);
+    case TokenType::kDouble:
+      return "double " + std::to_string(double_value);
+    case TokenType::kString:
+      return "string '" + text + "'";
+    default:
+      return std::string("'") + TokenTypeToString(type) + "'";
+  }
+}
+
+}  // namespace gcore

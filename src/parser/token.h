@@ -1,0 +1,79 @@
+// Token vocabulary of the G-CORE surface syntax.
+#ifndef GCORE_PARSER_TOKEN_H_
+#define GCORE_PARSER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gcore {
+
+enum class TokenType : uint8_t {
+  // literals / names
+  kIdentifier,   // person, social_graph — case-sensitive
+  kInteger,      // 42
+  kDouble,       // 0.95
+  kString,       // 'Acme' or "Acme"
+  // keywords (case-insensitive in source text)
+  kConstruct, kMatch, kWhere, kOptional, kOn, kUnion, kIntersect, kMinusKw,
+  kGraph, kView, kAs, kPath, kCost, kShortest, kAll, kWhen, kSet, kRemove,
+  kGroup, kExists, kSelect, kFrom, kIn, kSubset, kAnd, kOr, kNot, kTrue,
+  kFalse, kNull, kCase, kThen, kElse, kEnd, kDistinct,
+  kOrder, kBy, kAsc, kDesc, kLimit,
+  kCount, kSum, kMin, kMax, kAvg, kCollect,
+  // punctuation / operators
+  kLParen,     // (
+  kRParen,     // )
+  kLBracket,   // [
+  kRBracket,   // ]
+  kLBrace,     // {
+  kRBrace,     // }
+  kComma,      // ,
+  kDot,        // .
+  kColon,      // :
+  kAssign,     // :=
+  kAt,         // @
+  kTilde,      // ~
+  kBang,       // !
+  kPipe,       // |
+  kStar,       // *
+  kPlus,       // +
+  kMinus,      // -
+  kSlash,      // /
+  kPercent,    // %
+  kQuestion,   // ?
+  kEq,         // =
+  kNeq,        // <>
+  kLt,         // <
+  kLe,         // <=
+  kGt,         // >
+  kGe,         // >=
+  kArrowRight, // ->
+  kArrowLeft,  // <-
+  kUnderscore, // _  (regex wildcard)
+  kEof,
+};
+
+const char* TokenTypeToString(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  /// Raw text (identifier spelling, keyword as written, literal content
+  /// for strings without quotes).
+  std::string text;
+  int64_t int_value = 0;     // kInteger
+  double double_value = 0;   // kDouble
+  size_t offset = 0;         // byte offset into the query text
+  uint32_t line = 1;
+  uint32_t column = 1;
+
+  bool Is(TokenType t) const { return type == t; }
+  std::string ToString() const;
+};
+
+/// Keyword lookup (case-insensitive); returns kIdentifier when not a
+/// keyword.
+TokenType KeywordOrIdentifier(const std::string& upper);
+
+}  // namespace gcore
+
+#endif  // GCORE_PARSER_TOKEN_H_

@@ -1,0 +1,34 @@
+// ALL-paths graph projection (lines 32-35 of the guided tour).
+//
+// `MATCH (n)-/ALL p <r>/->(m)` with the path variable used only to project
+// a graph avoids materializing the (possibly infinite) set of conforming
+// walks: following Barceló et al. [10], the walks are summarized by the
+// subgraph of nodes and edges that lie on *some* conforming walk. That
+// subgraph is computable in polynomial time as
+//   forward-reachable(src, start) ∩ backward-reachable(dst, accept)
+// in the graph × NFA product.
+#ifndef GCORE_PATHS_ALL_PATHS_H_
+#define GCORE_PATHS_ALL_PATHS_H_
+
+#include <set>
+
+#include "common/result.h"
+#include "paths/k_shortest.h"
+
+namespace gcore {
+
+/// The node/edge sets participating in at least one conforming walk from
+/// `src` to `dst`.
+struct PathProjection {
+  std::set<NodeId> nodes;
+  std::set<EdgeId> edges;
+  bool Empty() const { return nodes.empty(); }
+};
+
+/// Computes the ALL-paths projection for one (src, dst) pair.
+Result<PathProjection> AllPathsProjection(const PathSearchContext& ctx,
+                                          NodeId src, NodeId dst);
+
+}  // namespace gcore
+
+#endif  // GCORE_PATHS_ALL_PATHS_H_

@@ -1,0 +1,121 @@
+#include "paths/dijkstra.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+namespace gcore {
+
+namespace {
+
+SsspResult MakeResult(size_t n) {
+  SsspResult r;
+  r.distance.assign(n, SsspResult::kUnreachable);
+  r.parent.assign(n, -1);
+  r.parent_edge.assign(n, EdgeId());
+  return r;
+}
+
+}  // namespace
+
+SsspResult BfsFrom(const AdjacencyIndex& adj, NodeId src, bool follow_forward,
+                   bool follow_backward) {
+  SsspResult r = MakeResult(adj.num_nodes());
+  const DenseNodeIndex s = adj.IndexOf(src);
+  r.distance[s] = 0.0;
+  std::deque<DenseNodeIndex> queue{s};
+  while (!queue.empty()) {
+    const DenseNodeIndex n = queue.front();
+    queue.pop_front();
+    auto visit = [&](const AdjacencyEntry* begin, const AdjacencyEntry* end) {
+      for (const AdjacencyEntry* e = begin; e != end; ++e) {
+        if (r.distance[e->neighbor] != SsspResult::kUnreachable) continue;
+        r.distance[e->neighbor] = r.distance[n] + 1.0;
+        r.parent[e->neighbor] = n;
+        r.parent_edge[e->neighbor] = e->edge;
+        queue.push_back(e->neighbor);
+      }
+    };
+    if (follow_forward) {
+      auto [b, e] = adj.Out(n);
+      visit(b, e);
+    }
+    if (follow_backward) {
+      auto [b, e] = adj.In(n);
+      visit(b, e);
+    }
+  }
+  return r;
+}
+
+Result<SsspResult> DijkstraFrom(const AdjacencyIndex& adj, NodeId src,
+                                const EdgeWeightFn& weight,
+                                bool follow_forward, bool follow_backward) {
+  SsspResult r = MakeResult(adj.num_nodes());
+  const DenseNodeIndex s = adj.IndexOf(src);
+  r.distance[s] = 0.0;
+
+  using Entry = std::pair<double, DenseNodeIndex>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  heap.emplace(0.0, s);
+  std::vector<bool> settled(adj.num_nodes(), false);
+
+  Status error = Status::OK();
+  while (!heap.empty()) {
+    auto [dist, n] = heap.top();
+    heap.pop();
+    if (settled[n]) continue;
+    settled[n] = true;
+
+    auto visit = [&](const AdjacencyEntry* begin, const AdjacencyEntry* end) {
+      for (const AdjacencyEntry* e = begin; e != end; ++e) {
+        std::optional<double> w = weight(e->edge, e->forward);
+        if (!w.has_value()) continue;
+        if (*w < 0.0) {
+          error = Status::EvaluationError(
+              "Dijkstra requires non-negative edge weights");
+          return;
+        }
+        const double nd = dist + *w;
+        if (nd < r.distance[e->neighbor]) {
+          r.distance[e->neighbor] = nd;
+          r.parent[e->neighbor] = n;
+          r.parent_edge[e->neighbor] = e->edge;
+          heap.emplace(nd, e->neighbor);
+        }
+      }
+    };
+    if (follow_forward) {
+      auto [b, e] = adj.Out(n);
+      visit(b, e);
+    }
+    if (!error.ok()) return error;
+    if (follow_backward) {
+      auto [b, e] = adj.In(n);
+      visit(b, e);
+    }
+    if (!error.ok()) return error;
+  }
+  return r;
+}
+
+std::optional<PathBody> ReconstructWalk(const AdjacencyIndex& adj,
+                                        const SsspResult& sssp, NodeId src,
+                                        NodeId dst) {
+  const DenseNodeIndex s = adj.IndexOf(src);
+  const DenseNodeIndex d = adj.IndexOf(dst);
+  if (!sssp.Reached(d)) return std::nullopt;
+  PathBody body;
+  DenseNodeIndex cur = d;
+  while (cur != s) {
+    body.nodes.push_back(adj.IdOf(cur));
+    body.edges.push_back(sssp.parent_edge[cur]);
+    cur = static_cast<DenseNodeIndex>(sssp.parent[cur]);
+  }
+  body.nodes.push_back(adj.IdOf(s));
+  std::reverse(body.nodes.begin(), body.nodes.end());
+  std::reverse(body.edges.begin(), body.edges.end());
+  return body;
+}
+
+}  // namespace gcore

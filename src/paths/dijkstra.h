@@ -1,0 +1,57 @@
+// Plain single-source shortest paths over a PPG (no regex): classic BFS /
+// Dijkstra utilities.
+//
+// Used by examples, benchmarks and as the simple substrate the product
+// search specializes. Edge weights come from a caller-supplied functional
+// so property-derived weights (e.g. 1/(1+nr_messages)) are possible
+// without coupling to the evaluator.
+#ifndef GCORE_PATHS_DIJKSTRA_H_
+#define GCORE_PATHS_DIJKSTRA_H_
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/adjacency.h"
+
+namespace gcore {
+
+/// Weight of traversing `edge` in the given direction, or nullopt when the
+/// traversal is not allowed.
+using EdgeWeightFn =
+    std::function<std::optional<double>(EdgeId edge, bool forward)>;
+
+/// Result of a single-source run; indexed by dense node index.
+struct SsspResult {
+  static constexpr double kUnreachable =
+      std::numeric_limits<double>::infinity();
+  std::vector<double> distance;   // kUnreachable when not reached
+  std::vector<int64_t> parent;    // dense parent node, -1 for source/unreached
+  std::vector<EdgeId> parent_edge;
+
+  bool Reached(DenseNodeIndex n) const {
+    return distance[n] != kUnreachable;
+  }
+};
+
+/// Unit-weight BFS over all edges (both directions optional).
+SsspResult BfsFrom(const AdjacencyIndex& adj, NodeId src,
+                   bool follow_forward = true, bool follow_backward = false);
+
+/// Dijkstra with per-edge weights; negative weights are an error.
+Result<SsspResult> DijkstraFrom(const AdjacencyIndex& adj, NodeId src,
+                                const EdgeWeightFn& weight,
+                                bool follow_forward = true,
+                                bool follow_backward = false);
+
+/// Reconstructs the node/edge walk from `src` to `dst` out of an SSSP
+/// result; nullopt when unreached.
+std::optional<PathBody> ReconstructWalk(const AdjacencyIndex& adj,
+                                        const SsspResult& sssp, NodeId src,
+                                        NodeId dst);
+
+}  // namespace gcore
+
+#endif  // GCORE_PATHS_DIJKSTRA_H_

@@ -1,0 +1,178 @@
+#include "paths/nfa.h"
+
+#include <deque>
+#include <sstream>
+
+namespace gcore {
+
+NfaStateId Nfa::AddState() {
+  transitions_.emplace_back();
+  return static_cast<NfaStateId>(transitions_.size() - 1);
+}
+
+void Nfa::AddTransition(NfaStateId from, NfaTransition t) {
+  transitions_[from].push_back(std::move(t));
+}
+
+std::pair<NfaStateId, NfaStateId> Nfa::Build(const RpqExpr& expr) {
+  using Kind = RpqExpr::Kind;
+  using Type = NfaTransition::Type;
+  switch (expr.kind()) {
+    case Kind::kAnyEdge: {
+      NfaStateId a = AddState(), b = AddState();
+      AddTransition(a, {Type::kAnyEdge, b, ""});
+      return {a, b};
+    }
+    case Kind::kEdgeLabel: {
+      NfaStateId a = AddState(), b = AddState();
+      AddTransition(a, {Type::kEdgeForward, b, expr.label()});
+      return {a, b};
+    }
+    case Kind::kInverseEdgeLabel: {
+      NfaStateId a = AddState(), b = AddState();
+      AddTransition(a, {Type::kEdgeBackward, b, expr.label()});
+      return {a, b};
+    }
+    case Kind::kNodeLabel: {
+      NfaStateId a = AddState(), b = AddState();
+      AddTransition(a, {Type::kNodeTest, b, expr.label()});
+      return {a, b};
+    }
+    case Kind::kViewRef: {
+      NfaStateId a = AddState(), b = AddState();
+      AddTransition(a, {Type::kViewRef, b, expr.label()});
+      return {a, b};
+    }
+    case Kind::kConcat: {
+      if (expr.children().empty()) {
+        NfaStateId a = AddState();
+        return {a, a};
+      }
+      auto [entry, exit] = Build(*expr.children()[0]);
+      for (size_t i = 1; i < expr.children().size(); ++i) {
+        auto [e2, x2] = Build(*expr.children()[i]);
+        AddTransition(exit, {Type::kEpsilon, e2, ""});
+        exit = x2;
+      }
+      return {entry, exit};
+    }
+    case Kind::kAlt: {
+      NfaStateId a = AddState(), b = AddState();
+      for (const auto& child : expr.children()) {
+        auto [e, x] = Build(*child);
+        AddTransition(a, {Type::kEpsilon, e, ""});
+        AddTransition(x, {Type::kEpsilon, b, ""});
+      }
+      return {a, b};
+    }
+    case Kind::kStar: {
+      NfaStateId a = AddState(), b = AddState();
+      auto [e, x] = Build(*expr.children()[0]);
+      AddTransition(a, {Type::kEpsilon, e, ""});
+      AddTransition(a, {Type::kEpsilon, b, ""});
+      AddTransition(x, {Type::kEpsilon, e, ""});
+      AddTransition(x, {Type::kEpsilon, b, ""});
+      return {a, b};
+    }
+    case Kind::kPlus: {
+      NfaStateId a = AddState(), b = AddState();
+      auto [e, x] = Build(*expr.children()[0]);
+      AddTransition(a, {Type::kEpsilon, e, ""});
+      AddTransition(x, {Type::kEpsilon, e, ""});
+      AddTransition(x, {Type::kEpsilon, b, ""});
+      return {a, b};
+    }
+    case Kind::kOptional: {
+      NfaStateId a = AddState(), b = AddState();
+      auto [e, x] = Build(*expr.children()[0]);
+      AddTransition(a, {Type::kEpsilon, e, ""});
+      AddTransition(a, {Type::kEpsilon, b, ""});
+      AddTransition(x, {Type::kEpsilon, b, ""});
+      return {a, b};
+    }
+  }
+  NfaStateId a = AddState();
+  return {a, a};
+}
+
+Nfa Nfa::Compile(const RpqExpr& expr) {
+  Nfa nfa;
+  auto [entry, exit] = nfa.Build(expr);
+  nfa.start_ = entry;
+  nfa.accept_ = exit;
+  return nfa;
+}
+
+bool Nfa::AcceptsFromViaEpsilon(NfaStateId s) const {
+  for (NfaStateId q : EpsilonClosure(s)) {
+    if (q == accept_) return true;
+  }
+  return false;
+}
+
+std::vector<NfaStateId> Nfa::EpsilonClosure(NfaStateId s) const {
+  std::vector<bool> seen(num_states(), false);
+  std::vector<NfaStateId> closure;
+  std::deque<NfaStateId> queue{s};
+  seen[s] = true;
+  while (!queue.empty()) {
+    const NfaStateId q = queue.front();
+    queue.pop_front();
+    closure.push_back(q);
+    for (const auto& t : transitions_[q]) {
+      if (t.type == NfaTransition::Type::kEpsilon && !seen[t.target]) {
+        seen[t.target] = true;
+        queue.push_back(t.target);
+      }
+    }
+  }
+  return closure;
+}
+
+Nfa Nfa::Reversed() const {
+  Nfa rev;
+  rev.transitions_.resize(num_states());
+  for (NfaStateId s = 0; s < num_states(); ++s) {
+    for (const auto& t : transitions_[s]) {
+      rev.transitions_[t.target].push_back(
+          NfaTransition{t.type, s, t.label});
+    }
+  }
+  rev.start_ = accept_;
+  rev.accept_ = start_;
+  return rev;
+}
+
+std::string Nfa::ToString() const {
+  std::ostringstream out;
+  out << "NFA(start=" << start_ << ", accept=" << accept_ << ")\n";
+  for (NfaStateId s = 0; s < num_states(); ++s) {
+    for (const auto& t : transitions_[s]) {
+      out << "  " << s << " -";
+      switch (t.type) {
+        case NfaTransition::Type::kEpsilon:
+          out << "eps";
+          break;
+        case NfaTransition::Type::kAnyEdge:
+          out << "_";
+          break;
+        case NfaTransition::Type::kEdgeForward:
+          out << ":" << t.label;
+          break;
+        case NfaTransition::Type::kEdgeBackward:
+          out << ":" << t.label << "^";
+          break;
+        case NfaTransition::Type::kNodeTest:
+          out << "!" << t.label;
+          break;
+        case NfaTransition::Type::kViewRef:
+          out << "~" << t.label;
+          break;
+      }
+      out << "-> " << t.target << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace gcore

@@ -1,0 +1,82 @@
+// Thompson construction of a nondeterministic finite automaton from a
+// regular path expression.
+//
+// The automaton runs over alternating node/edge positions of a graph walk:
+// edge transitions consume one graph edge (with direction and label
+// constraints), node-test transitions are zero-width assertions on the
+// current node, view-ref transitions consume one whole segment of a PATH
+// view, and epsilon transitions consume nothing. The product of graph ×
+// NFA is what makes shortest-path-conforming-to-r polynomial (Section 4).
+#ifndef GCORE_PATHS_NFA_H_
+#define GCORE_PATHS_NFA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "paths/rpq.h"
+
+namespace gcore {
+
+/// Index of an NFA state.
+using NfaStateId = uint32_t;
+
+/// One NFA transition.
+struct NfaTransition {
+  enum class Type : uint8_t {
+    kEpsilon,       // consumes nothing
+    kAnyEdge,       // any edge, either direction
+    kEdgeForward,   // edge with `label`, along its direction
+    kEdgeBackward,  // edge with `label`, against its direction (ℓ⁻)
+    kNodeTest,      // current node must carry `label`; zero-width
+    kViewRef,       // one segment of PATH view `label`
+  };
+
+  Type type;
+  NfaStateId target;
+  std::string label;
+};
+
+/// An NFA with a single start and single accept state.
+class Nfa {
+ public:
+  /// Compiles `expr` via Thompson's construction.
+  static Nfa Compile(const RpqExpr& expr);
+
+  NfaStateId start() const { return start_; }
+  NfaStateId accept() const { return accept_; }
+  size_t num_states() const { return transitions_.size(); }
+
+  const std::vector<NfaTransition>& TransitionsFrom(NfaStateId s) const {
+    return transitions_[s];
+  }
+
+  /// True when the empty walk (a single node, zero edges) can be accepted
+  /// starting from `s` using only epsilon transitions (node tests excluded
+  /// — they depend on the node).
+  bool AcceptsFromViaEpsilon(NfaStateId s) const;
+
+  /// States reachable from `s` via epsilon transitions only (includes s).
+  std::vector<NfaStateId> EpsilonClosure(NfaStateId s) const;
+
+  /// A reversed copy: transition direction flipped, start/accept swapped.
+  /// Edge transitions keep their labels but their graph-direction meaning
+  /// flips (used by the ALL-paths backward sweep).
+  Nfa Reversed() const;
+
+  std::string ToString() const;
+
+ private:
+  NfaStateId AddState();
+  void AddTransition(NfaStateId from, NfaTransition t);
+  /// Builds states for `expr`; returns (entry, exit).
+  std::pair<NfaStateId, NfaStateId> Build(const RpqExpr& expr);
+
+  NfaStateId start_ = 0;
+  NfaStateId accept_ = 0;
+  std::vector<std::vector<NfaTransition>> transitions_;
+};
+
+}  // namespace gcore
+
+#endif  // GCORE_PATHS_NFA_H_

@@ -1,0 +1,165 @@
+#include "paths/product_bfs.h"
+
+#include <deque>
+
+namespace gcore {
+
+Status ProductReachability(const PathSearchContext& ctx, NodeId src,
+                           std::vector<bool>* marks) {
+  if (ctx.adj == nullptr || ctx.nfa == nullptr) {
+    return Status::InvalidArgument("path search context is incomplete");
+  }
+  if (!ctx.adj->Contains(src)) {
+    return Status::InvalidArgument("source node is not in the graph");
+  }
+  const size_t num_states = ctx.nfa->num_states();
+  marks->assign(ctx.adj->num_nodes() * num_states, false);
+
+  auto mark_index = [&](DenseNodeIndex n, NfaStateId q) {
+    return static_cast<size_t>(n) * num_states + q;
+  };
+
+  std::deque<std::pair<DenseNodeIndex, NfaStateId>> queue;
+  auto push = [&](DenseNodeIndex n, NfaStateId q) {
+    const size_t idx = mark_index(n, q);
+    if ((*marks)[idx]) return;
+    (*marks)[idx] = true;
+    queue.emplace_back(n, q);
+  };
+
+  push(ctx.adj->IndexOf(src), ctx.nfa->start());
+
+  const PathPropertyGraph& graph = ctx.adj->graph();
+  while (!queue.empty()) {
+    auto [n, q] = queue.front();
+    queue.pop_front();
+    const NodeId here = ctx.adj->IdOf(n);
+    const LabelSet& node_labels = graph.Labels(here);
+
+    for (const NfaTransition& t : ctx.nfa->TransitionsFrom(q)) {
+      switch (t.type) {
+        case NfaTransition::Type::kEpsilon:
+          push(n, t.target);
+          break;
+        case NfaTransition::Type::kNodeTest:
+          if (node_labels.Contains(t.label)) push(n, t.target);
+          break;
+        case NfaTransition::Type::kAnyEdge:
+        case NfaTransition::Type::kEdgeForward:
+        case NfaTransition::Type::kEdgeBackward: {
+          auto try_entries = [&](const AdjacencyEntry* begin,
+                                 const AdjacencyEntry* end) {
+            for (const AdjacencyEntry* e = begin; e != end; ++e) {
+              if (t.type != NfaTransition::Type::kAnyEdge &&
+                  !graph.Labels(e->edge).Contains(t.label)) {
+                continue;
+              }
+              push(e->neighbor, t.target);
+            }
+          };
+          if (t.type != NfaTransition::Type::kEdgeBackward) {
+            auto [b, e] = ctx.adj->Out(n);
+            try_entries(b, e);
+          }
+          if (t.type != NfaTransition::Type::kEdgeForward) {
+            auto [b, e] = ctx.adj->In(n);
+            try_entries(b, e);
+          }
+          break;
+        }
+        case NfaTransition::Type::kViewRef: {
+          if (ctx.views == nullptr) {
+            return Status::EvaluationError(
+                "regex references PATH view '~" + t.label +
+                "' but no views are in scope");
+          }
+          auto rel = ctx.views->Lookup(t.label);
+          if (!rel.ok()) return rel.status();
+          for (const PathViewSegment& seg : (*rel)->SegmentsFrom(here)) {
+            if (!ctx.adj->Contains(seg.dst)) continue;
+            push(ctx.adj->IndexOf(seg.dst), t.target);
+          }
+          break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool BodyConformsToRegex(const PathBody& body, const Nfa& nfa,
+                         const PathPropertyGraph& graph) {
+  if (body.nodes.empty()) return false;
+  // Zero-width closure at a node: epsilon transitions plus node tests
+  // satisfied by the node's labels.
+  auto closure_at = [&](std::vector<bool>& states, NodeId node) {
+    const LabelSet& labels = graph.Labels(node);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (NfaStateId s = 0; s < nfa.num_states(); ++s) {
+        if (!states[s]) continue;
+        for (const NfaTransition& t : nfa.TransitionsFrom(s)) {
+          const bool zero_width =
+              t.type == NfaTransition::Type::kEpsilon ||
+              (t.type == NfaTransition::Type::kNodeTest &&
+               labels.Contains(t.label));
+          if (zero_width && !states[t.target]) {
+            states[t.target] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<bool> states(nfa.num_states(), false);
+  states[nfa.start()] = true;
+  closure_at(states, body.nodes.front());
+
+  for (size_t i = 0; i < body.edges.size(); ++i) {
+    const EdgeId edge = body.edges[i];
+    const auto [s, d] = graph.EdgeEndpoints(edge);
+    const bool forward = s == body.nodes[i] && d == body.nodes[i + 1];
+    const LabelSet& labels = graph.Labels(edge);
+    std::vector<bool> next(nfa.num_states(), false);
+    for (NfaStateId q = 0; q < nfa.num_states(); ++q) {
+      if (!states[q]) continue;
+      for (const NfaTransition& t : nfa.TransitionsFrom(q)) {
+        const bool matches =
+            t.type == NfaTransition::Type::kAnyEdge ||
+            (t.type == NfaTransition::Type::kEdgeForward && forward &&
+             labels.Contains(t.label)) ||
+            (t.type == NfaTransition::Type::kEdgeBackward && !forward &&
+             labels.Contains(t.label));
+        if (matches) next[t.target] = true;
+      }
+    }
+    states = std::move(next);
+    closure_at(states, body.nodes[i + 1]);
+  }
+  return states[nfa.accept()];
+}
+
+Result<std::set<NodeId>> ReachableFrom(const PathSearchContext& ctx,
+                                       NodeId src) {
+  std::vector<bool> marks;
+  GCORE_RETURN_NOT_OK(ProductReachability(ctx, src, &marks));
+  const size_t num_states = ctx.nfa->num_states();
+  const NfaStateId accept = ctx.nfa->accept();
+  std::set<NodeId> out;
+  for (size_t n = 0; n < ctx.adj->num_nodes(); ++n) {
+    if (marks[n * num_states + accept]) {
+      out.insert(ctx.adj->IdOf(static_cast<DenseNodeIndex>(n)));
+    }
+  }
+  return out;
+}
+
+Result<bool> IsReachable(const PathSearchContext& ctx, NodeId src,
+                         NodeId dst) {
+  GCORE_ASSIGN_OR_RETURN(auto reachable, ReachableFrom(ctx, src));
+  return reachable.count(dst) > 0;
+}
+
+}  // namespace gcore

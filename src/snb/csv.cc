@@ -1,0 +1,171 @@
+#include "snb/csv.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/date.h"
+
+namespace gcore {
+
+namespace {
+
+/// Splits one logical CSV record (quote-aware); advances *pos past the
+/// record's trailing newline.
+Result<std::vector<std::string>> ParseRecord(const std::string& text,
+                                             size_t* pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool any = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c != '\n' && c != '\r') any = true;  // blank lines yield no record
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      ++i;
+      break;
+    } else {
+      field += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  *pos = i;
+  if (!any) return std::vector<std::string>{};
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool LooksNumeric(const std::string& s, bool* is_double) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  bool dot = false, digits = false;
+  for (; i < s.size(); ++i) {
+    if (s[i] == '.') {
+      if (dot) return false;
+      dot = true;
+    } else if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+      digits = true;
+    } else {
+      return false;
+    }
+  }
+  *is_double = dot;
+  return digits;
+}
+
+}  // namespace
+
+Value InferCsvValue(const std::string& cell) {
+  if (cell.empty()) return Value::Null();
+  if (cell == "TRUE" || cell == "true") return Value::Bool(true);
+  if (cell == "FALSE" || cell == "false") return Value::Bool(false);
+  bool is_double = false;
+  if (LooksNumeric(cell, &is_double)) {
+    if (is_double) return Value::Double(std::stod(cell));
+    try {
+      return Value::Int(std::stoll(cell));
+    } catch (...) {
+      return Value::String(cell);
+    }
+  }
+  // Dates: must contain a separator and parse cleanly.
+  if (cell.find('-') != std::string::npos ||
+      cell.find('/') != std::string::npos) {
+    auto date = Date::Parse(cell);
+    if (date.ok()) return Value::OfDate(*date);
+  }
+  return Value::String(cell);
+}
+
+Result<Table> ParseCsv(const std::string& text) {
+  size_t pos = 0;
+  GCORE_ASSIGN_OR_RETURN(auto header, ParseRecord(text, &pos));
+  if (header.empty()) {
+    return Status::InvalidArgument("CSV input has no header line");
+  }
+  Table table(header);
+  while (pos < text.size()) {
+    GCORE_ASSIGN_OR_RETURN(auto record, ParseRecord(text, &pos));
+    if (record.empty()) continue;  // blank line
+    if (record.size() != header.size()) {
+      return Status::InvalidArgument(
+          "CSV row has " + std::to_string(record.size()) +
+          " fields, header has " + std::to_string(header.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(record.size());
+    for (const auto& cell : record) row.push_back(InferCsvValue(cell));
+    GCORE_RETURN_NOT_OK(table.AddRow(std::move(row)));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+namespace {
+
+std::string QuoteIfNeeded(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string WriteCsv(const Table& table) {
+  std::string out;
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    if (c > 0) out += ',';
+    out += QuoteIfNeeded(table.columns()[c]);
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      if (c > 0) out += ',';
+      const Value& v = table.At(r, c);
+      if (v.is_null()) continue;  // empty field
+      out += QuoteIfNeeded(v.ToString());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gcore

@@ -1,0 +1,35 @@
+// CSV import/export for tables — the practical entry point for the
+// Section 5 "importing tabular data" workflows (FROM <table>,
+// MATCH (o) ON <table>).
+//
+// Dialect: comma-separated, first line is the header, RFC-4180-style
+// double-quote quoting ("" escapes a quote inside a quoted field). Cell
+// typing is inferred per cell: integer, double, TRUE/FALSE, date
+// (ISO or d/m/yyyy), empty = NULL, otherwise string.
+#ifndef GCORE_SNB_CSV_H_
+#define GCORE_SNB_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "snb/table.h"
+
+namespace gcore {
+
+/// Parses CSV text into a table. Fails on ragged rows or unterminated
+/// quotes.
+Result<Table> ParseCsv(const std::string& text);
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path);
+
+/// Serializes a table to CSV (header + rows; strings quoted when they
+/// contain separators/quotes/newlines; NULL cells are empty).
+std::string WriteCsv(const Table& table);
+
+/// Infers a typed Value from one raw CSV cell.
+Value InferCsvValue(const std::string& cell);
+
+}  // namespace gcore
+
+#endif  // GCORE_SNB_CSV_H_

@@ -1,0 +1,183 @@
+#include "snb/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "snb/schema.h"
+
+namespace gcore {
+namespace snb {
+
+namespace {
+
+const char* kFirstNames[] = {"John",  "Alice",  "Peter", "Celine", "Frank",
+                             "Maria", "Wei",    "Amina", "Louis",  "Sofia",
+                             "Ivan",  "Noor",   "Hugo",  "Emma",   "Raj",
+                             "Yuki",  "Omar",   "Lena",  "Carlos", "Nina"};
+const char* kLastNames[] = {"Doe",    "Alba",   "Park",   "Mayer", "Gold",
+                            "Silva",  "Chen",   "Diallo", "Brun",  "Rossi",
+                            "Petrov", "Haddad", "Klein",  "Svens", "Patel",
+                            "Sato",   "Nasser", "Weber",  "Lopez", "Novak"};
+const char* kCityNames[] = {"Houston", "Austin", "Leiden", "Santiago",
+                            "Talca",   "Delft",  "Dresden", "Eindhoven",
+                            "Oslo",    "Kyoto",  "Lagos",   "Quito"};
+const char* kCompanyNames[] = {"Acme", "HAL",    "CWI",    "MIT",
+                               "Ldbc", "Orcl",   "Neo",    "Sap",
+                               "Tuc",  "Sparsity", "Huawei", "Capsenta"};
+const char* kTagNames[] = {"Wagner", "Verdi",  "Mahler", "Bach",  "Chess",
+                           "Go",     "Cycling", "Hiking", "Jazz",  "Sushi",
+                           "Coffee", "Trains",  "Graphs", "Paths", "Opera"};
+
+std::string Numbered(const char* base, size_t i) {
+  return std::string(base) + "_" + std::to_string(i);
+}
+
+}  // namespace
+
+GeneratorOptions ScaleFactor(int sf) {
+  GeneratorOptions options;
+  options.num_persons = 100;
+  for (int i = 0; i < sf; ++i) options.num_persons *= 4;
+  return options;
+}
+
+PathPropertyGraph Generate(const GeneratorOptions& options,
+                           IdAllocator* ids) {
+  std::mt19937_64 rng(options.seed);
+  GraphBuilder b("snb", ids);
+
+  const size_t n = options.num_persons;
+  const size_t sqrt_n = static_cast<size_t>(std::sqrt(static_cast<double>(n)));
+  const size_t num_cities = std::max(options.min_cities, sqrt_n / 2);
+  const size_t num_companies = std::max(options.min_companies, sqrt_n / 2);
+  const size_t num_tags = std::max(options.min_tags, sqrt_n);
+
+  // --- entity nodes ----------------------------------------------------------
+  std::vector<NodeId> cities;
+  cities.reserve(num_cities);
+  for (size_t i = 0; i < num_cities; ++i) {
+    const std::string name =
+        i < std::size(kCityNames) ? kCityNames[i] : Numbered("City", i);
+    cities.push_back(b.AddNode({kCity}, {{kName, name}}));
+  }
+  std::vector<NodeId> companies;
+  std::vector<std::string> company_names;
+  companies.reserve(num_companies);
+  for (size_t i = 0; i < num_companies; ++i) {
+    const std::string name = i < std::size(kCompanyNames)
+                                 ? kCompanyNames[i]
+                                 : Numbered("Co", i);
+    company_names.push_back(name);
+    companies.push_back(b.AddNode({kCompany}, {{kName, name}}));
+  }
+  std::vector<NodeId> tags;
+  tags.reserve(num_tags);
+  for (size_t i = 0; i < num_tags; ++i) {
+    const std::string name =
+        i < std::size(kTagNames) ? kTagNames[i] : Numbered("Tag", i);
+    tags.push_back(b.AddNode({kTag}, {{kName, name}}));
+  }
+
+  // --- persons ----------------------------------------------------------------
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<NodeId> persons;
+  persons.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string first = kFirstNames[i % std::size(kFirstNames)];
+    const std::string last =
+        std::string(kLastNames[(i / std::size(kFirstNames)) %
+                               std::size(kLastNames)]) +
+        (i >= 400 ? "_" + std::to_string(i / 400) : "");
+    const NodeId person =
+        b.AddNode({kPerson}, {{kFirstName, first}, {kLastName, last}});
+    persons.push_back(person);
+
+    // City: skewed (population-like) distribution.
+    const size_t city_idx = std::min<size_t>(
+        static_cast<size_t>(std::pow(unit(rng), 2.0) *
+                            static_cast<double>(num_cities)),
+        num_cities - 1);
+    b.AddEdge(person, cities[city_idx], kIsLocatedIn);
+
+    // Employment: employer as a string property (like the guided tour)
+    // plus a worksAt edge (like the real SNB).
+    if (unit(rng) < options.employed_fraction) {
+      const size_t c = static_cast<size_t>(unit(rng) *
+                                           static_cast<double>(num_companies));
+      const size_t ci = std::min(c, num_companies - 1);
+      b.AddNodePropertyValue(person, kEmployer,
+                             Value::String(company_names[ci]));
+      b.AddEdge(person, companies[ci], kWorksAt);
+      if (unit(rng) < options.dual_employer_fraction) {
+        const size_t c2 = (ci + 1) % num_companies;
+        b.AddNodePropertyValue(person, kEmployer,
+                               Value::String(company_names[c2]));
+        b.AddEdge(person, companies[c2], kWorksAt);
+      }
+    }
+
+    // Interests: 1-3 tags, zipf-ish.
+    const int num_interests = 1 + static_cast<int>(unit(rng) * 3.0);
+    for (int t = 0; t < num_interests; ++t) {
+      const size_t tag_idx = std::min<size_t>(
+          static_cast<size_t>(std::pow(unit(rng), 1.5) *
+                              static_cast<double>(num_tags)),
+          num_tags - 1);
+      b.AddEdge(person, tags[tag_idx], kHasInterest);
+    }
+  }
+
+  // --- knows edges (skewed degree, bidirectional pairs) -------------------------
+  const size_t num_pairs = static_cast<size_t>(
+      static_cast<double>(n) * options.avg_knows_degree / 2.0);
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  auto pick_skewed = [&]() {
+    // Quadratic skew toward low indices produces hub-like degrees.
+    const double u = unit(rng);
+    return std::min<size_t>(
+        static_cast<size_t>(u * u * static_cast<double>(n)), n - 1);
+  };
+  for (size_t i = 0; i < num_pairs; ++i) {
+    const size_t a = pick_skewed();
+    size_t c = static_cast<size_t>(unit(rng) * static_cast<double>(n));
+    c = std::min(c, n - 1);
+    if (a == c) continue;
+    const uint64_t ua = persons[a].value();
+    const uint64_t uc = persons[c].value();
+    const std::pair<uint64_t, uint64_t> key{std::min(ua, uc),
+                                            std::max(ua, uc)};
+    if (!seen.insert(key).second) continue;
+    b.AddEdge(persons[a], persons[c], kKnows);
+    b.AddEdge(persons[c], persons[a], kKnows);
+  }
+
+  // --- messages ------------------------------------------------------------------
+  const size_t num_messages = static_cast<size_t>(
+      static_cast<double>(n) * options.messages_per_person);
+  std::vector<NodeId> messages;
+  messages.reserve(num_messages);
+  for (size_t i = 0; i < num_messages; ++i) {
+    const bool is_post = messages.empty() || unit(rng) < 0.3;
+    const size_t author = std::min(
+        static_cast<size_t>(unit(rng) * static_cast<double>(n)), n - 1);
+    const NodeId msg =
+        b.AddNode({is_post ? kPost : kComment},
+                  {{kContent, Numbered(is_post ? "post" : "comment", i)}});
+    b.AddEdge(msg, persons[author], kHasCreator);
+    if (!is_post) {
+      const size_t parent = std::min(
+          static_cast<size_t>(unit(rng) * static_cast<double>(messages.size())),
+          messages.size() - 1);
+      b.AddEdge(msg, messages[parent], kReplyOf);
+    }
+    messages.push_back(msg);
+  }
+
+  return b.Build();
+}
+
+}  // namespace snb
+}  // namespace gcore

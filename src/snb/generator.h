@@ -1,0 +1,48 @@
+// Deterministic LDBC-SNB-like synthetic data generator.
+//
+// Substitute for the LDBC SNB datagen (see DESIGN.md §3): same schema as
+// Figure 3 (Person/City/Company/Tag/Post/Comment; knows/isLocatedIn/
+// hasInterest/worksAt/has_creator/reply_of), deterministic under a seed,
+// parameterized by person count so the benchmarks can sweep data size for
+// the Section 4 complexity-shape experiments.
+#ifndef GCORE_SNB_GENERATOR_H_
+#define GCORE_SNB_GENERATOR_H_
+
+#include <cstdint>
+
+#include "graph/graph_builder.h"
+
+namespace gcore {
+namespace snb {
+
+struct GeneratorOptions {
+  /// Number of Person nodes; other entity counts derive from it.
+  size_t num_persons = 1000;
+  /// Average knows degree (bidirectional pairs ≈ num_persons * avg / 2).
+  double avg_knows_degree = 8.0;
+  /// Messages (posts+comments) per person on average.
+  double messages_per_person = 3.0;
+  /// Tags, cities and companies scale with sqrt(num_persons), clamped to
+  /// at least these minimums.
+  size_t min_tags = 10;
+  size_t min_cities = 5;
+  size_t min_companies = 8;
+  /// RNG seed: identical options produce identical graphs.
+  uint64_t seed = 42;
+  /// Fraction of persons with a (single) employer property; a small slice
+  /// additionally gets a second employer value (multi-valued, like Frank).
+  double employed_fraction = 0.7;
+  double dual_employer_fraction = 0.05;
+};
+
+/// Generates the graph. Degree distribution of knows is skewed (a few
+/// hubs, many low-degree nodes) approximating SNB's social topology.
+PathPropertyGraph Generate(const GeneratorOptions& options, IdAllocator* ids);
+
+/// Convenience scale factors for benches: persons = 100 * 4^sf.
+GeneratorOptions ScaleFactor(int sf);
+
+}  // namespace snb
+}  // namespace gcore
+
+#endif  // GCORE_SNB_GENERATOR_H_

@@ -1,0 +1,40 @@
+// Label and property vocabulary of the (simplified) LDBC SNB schema of
+// Figure 3. Centralizing the strings keeps the generator, toy graphs,
+// tests and benches consistent.
+#ifndef GCORE_SNB_SCHEMA_H_
+#define GCORE_SNB_SCHEMA_H_
+
+namespace gcore {
+namespace snb {
+
+// Node labels.
+inline constexpr const char* kPerson = "Person";
+inline constexpr const char* kCity = "City";
+inline constexpr const char* kCompany = "Company";
+inline constexpr const char* kTag = "Tag";
+inline constexpr const char* kPost = "Post";
+inline constexpr const char* kComment = "Comment";
+inline constexpr const char* kManager = "Manager";
+
+// Edge labels.
+inline constexpr const char* kKnows = "knows";
+inline constexpr const char* kIsLocatedIn = "isLocatedIn";
+inline constexpr const char* kHasInterest = "hasInterest";
+inline constexpr const char* kWorksAt = "worksAt";
+inline constexpr const char* kHasCreator = "has_creator";
+inline constexpr const char* kReplyOf = "reply_of";
+
+// Property keys.
+inline constexpr const char* kFirstName = "firstName";
+inline constexpr const char* kLastName = "lastName";
+inline constexpr const char* kEmployer = "employer";
+inline constexpr const char* kName = "name";
+inline constexpr const char* kContent = "content";
+inline constexpr const char* kSince = "since";
+inline constexpr const char* kNrMessages = "nr_messages";
+inline constexpr const char* kTrust = "trust";
+
+}  // namespace snb
+}  // namespace gcore
+
+#endif  // GCORE_SNB_SCHEMA_H_

@@ -1,0 +1,69 @@
+#include "snb/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gcore {
+
+size_t Table::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == column) return i;
+  }
+  return kNpos;
+}
+
+Status Table::AddRow(std::vector<Value> row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " cells, table has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+void Table::SortRows() {
+  std::sort(rows_.begin(), rows_.end(),
+            [](const std::vector<Value>& a, const std::vector<Value>& b) {
+              return std::lexicographical_compare(a.begin(), a.end(),
+                                                  b.begin(), b.end());
+            });
+}
+
+std::string Table::ToString() const {
+  // Compute column widths over header + cells.
+  std::vector<size_t> widths(columns_.size());
+  std::vector<std::vector<std::string>> cells(rows_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    cells[r].reserve(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      cells[r].push_back(rows_[r][c].ToString());
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::ostringstream out;
+  auto pad = [&](const std::string& s, size_t w) {
+    out << s << std::string(w - s.size(), ' ');
+  };
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out << " | ";
+    pad(columns_[c], widths[c]);
+  }
+  out << "\n";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out << "-+-";
+    out << std::string(widths[c], '-');
+  }
+  out << "\n";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out << " | ";
+      pad(cells[r][c], widths[c]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gcore

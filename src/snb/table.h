@@ -1,0 +1,53 @@
+// A plain in-memory table: the tabular side of the Section 5 extensions.
+//
+// Tables feed queries through `FROM <table>` (binding inputs) and
+// `MATCH (o) ON <table>` (table interpreted as a graph of isolated nodes),
+// and queries can produce tables through the SELECT projection extension.
+#ifndef GCORE_SNB_TABLE_H_
+#define GCORE_SNB_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace gcore {
+
+/// Column-named, row-oriented table of single literals.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t NumColumns() const { return columns_.size(); }
+  size_t NumRows() const { return rows_.size(); }
+  bool Empty() const { return rows_.empty(); }
+
+  /// Index of `column`, or npos.
+  static constexpr size_t kNpos = ~size_t{0};
+  size_t ColumnIndex(const std::string& column) const;
+
+  /// Appends a row; must have NumColumns() cells.
+  Status AddRow(std::vector<Value> row);
+
+  const std::vector<Value>& Row(size_t i) const { return rows_[i]; }
+  const Value& At(size_t row, size_t col) const { return rows_[row][col]; }
+  const std::vector<std::vector<Value>>& rows() const { return rows_; }
+
+  /// Sorts rows lexicographically (deterministic output for tests/benches).
+  void SortRows();
+
+  /// Pretty ASCII rendering with a header line.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace gcore
+
+#endif  // GCORE_SNB_TABLE_H_

@@ -1,0 +1,147 @@
+#include "snb/toy_graphs.h"
+
+#include "snb/schema.h"
+
+namespace gcore {
+namespace snb {
+
+PathPropertyGraph MakeExampleGraph(IdAllocator* ids) {
+  GraphBuilder b("example_graph", ids);
+  const NodeId tag = b.AddNodeWithId(101, {kTag}, {{kName, "Wagner"}});
+  const NodeId anna =
+      b.AddNodeWithId(102, {kPerson, kManager}, {{kName, "Anna"}});
+  const NodeId ben = b.AddNodeWithId(103, {kPerson}, {{kName, "Ben"}});
+  const NodeId clara = b.AddNodeWithId(104, {kPerson}, {{kName, "Clara"}});
+  const NodeId dana = b.AddNodeWithId(105, {kPerson}, {{kName, "Dana"}});
+  const NodeId houston = b.AddNodeWithId(106, {kCity}, {{kName, "Houston"}});
+
+  b.AddEdgeWithId(201, anna, tag, kHasInterest);
+  b.AddEdgeWithId(202, ben, anna, kKnows);
+  b.AddEdgeWithId(203, dana, houston, "locatedIn");
+  b.AddEdgeWithId(204, anna, houston, "locatedIn");
+  b.AddEdgeWithId(205, clara, dana, kKnows,
+                  {{kSince, Value::OfDate(Date{2014, 12, 1})}});
+  b.AddEdgeWithId(206, dana, tag, kHasInterest);
+  b.AddEdgeWithId(207, dana, ben, kKnows);
+
+  // δ(301) = [105, 207, 103, 202, 102]: Dana —knows→ Ben —knows→ Anna,
+  // traversing 202 against its direction.
+  auto path = b.AddPathWithId(301, {dana, ben, anna},
+                              {EdgeId(207), EdgeId(202)}, {"toWagner"},
+                              {{kTrust, 0.95}});
+  (void)path;
+  return b.Build();
+}
+
+PathPropertyGraph MakeSocialGraph(IdAllocator* ids) {
+  GraphBuilder b("social_graph", ids);
+
+  const NodeId john = b.AddNodeWithId(
+      kJohnId, {kPerson},
+      {{kFirstName, "John"}, {kLastName, "Doe"}, {kEmployer, "Acme"}});
+  const NodeId peter = b.AddNodeWithId(
+      kPeterId, {kPerson}, {{kFirstName, "Peter"}, {kLastName, "Park"}});
+  const NodeId alice = b.AddNodeWithId(
+      kAliceId, {kPerson},
+      {{kFirstName, "Alice"}, {kLastName, "Alba"}, {kEmployer, "Acme"}});
+  const NodeId celine = b.AddNodeWithId(
+      kCelineId, {kPerson},
+      {{kFirstName, "Celine"}, {kLastName, "Mayer"}, {kEmployer, "HAL"}});
+  const NodeId frank = b.AddNodeWithId(
+      kFrankId, {kPerson}, {{kFirstName, "Frank"}, {kLastName, "Gold"}});
+  // Frank works for both MIT and CWI: the multi-valued employer property
+  // driving the pp. 8-9 discussion.
+  b.AddNodePropertyValue(frank, kEmployer, Value::String("CWI"));
+  b.AddNodePropertyValue(frank, kEmployer, Value::String("MIT"));
+
+  const NodeId houston =
+      b.AddNodeWithId(kHoustonId, {kCity}, {{kName, "Houston"}});
+  const NodeId austin =
+      b.AddNodeWithId(kAustinId, {kCity}, {{kName, "Austin"}});
+  const NodeId wagner =
+      b.AddNodeWithId(kWagnerTagId, {kTag}, {{kName, "Wagner"}});
+
+  // isLocatedIn: everyone but Alice lives in Houston.
+  b.AddEdge(john, houston, kIsLocatedIn);
+  b.AddEdge(peter, houston, kIsLocatedIn);
+  b.AddEdge(celine, houston, kIsLocatedIn);
+  b.AddEdge(frank, houston, kIsLocatedIn);
+  b.AddEdge(alice, austin, kIsLocatedIn);
+
+  // knows edges are bidirectional: one edge in each direction (Figure 4
+  // caption).
+  auto knows_pair = [&](NodeId a, NodeId c) {
+    b.AddEdge(a, c, kKnows);
+    b.AddEdge(c, a, kKnows);
+  };
+  knows_pair(john, peter);
+  knows_pair(john, alice);
+  knows_pair(peter, celine);
+  knows_pair(peter, frank);
+
+  // The two Wagner lovers, both reachable from John only via Peter.
+  b.AddEdge(celine, wagner, kHasInterest);
+  b.AddEdge(frank, wagner, kHasInterest);
+
+  // Message threads (posts/comments with has_creator and reply_of),
+  // chosen so that social_graph1's nr_messages are:
+  //   John-Peter: 2 each way, Peter-Celine: 1 each way, others: 0.
+  const NodeId post1 =
+      b.AddNodeWithId(1120, {kPost}, {{kContent, "opera season"}});
+  const NodeId comment1 =
+      b.AddNodeWithId(1121, {kComment}, {{kContent, "which one?"}});
+  const NodeId comment2 =
+      b.AddNodeWithId(1122, {kComment}, {{kContent, "the Ring"}});
+  const NodeId post2 =
+      b.AddNodeWithId(1123, {kPost}, {{kContent, "concert hall"}});
+  const NodeId comment3 =
+      b.AddNodeWithId(1124, {kComment}, {{kContent, "lovely"}});
+
+  b.AddEdge(post1, peter, kHasCreator);
+  b.AddEdge(comment1, john, kHasCreator);
+  b.AddEdge(comment2, peter, kHasCreator);
+  b.AddEdge(post2, celine, kHasCreator);
+  b.AddEdge(comment3, peter, kHasCreator);
+
+  b.AddEdge(comment1, post1, kReplyOf);
+  b.AddEdge(comment2, comment1, kReplyOf);
+  b.AddEdge(comment3, post2, kReplyOf);
+
+  return b.Build();
+}
+
+PathPropertyGraph MakeCompanyGraph(IdAllocator* ids) {
+  GraphBuilder b("company_graph", ids);
+  b.AddNodeWithId(2101, {kCompany}, {{kName, "Acme"}});
+  b.AddNodeWithId(2102, {kCompany}, {{kName, "HAL"}});
+  b.AddNodeWithId(2103, {kCompany}, {{kName, "CWI"}});
+  b.AddNodeWithId(2104, {kCompany}, {{kName, "MIT"}});
+  return b.Build();
+}
+
+Table MakeOrdersTable() {
+  Table orders({"custName", "prodCode"});
+  Status st = Status::OK();
+  auto add = [&](const char* cust, const char* prod) {
+    st = orders.AddRow({Value::String(cust), Value::String(prod)});
+  };
+  add("Ada", "P100");
+  add("Ada", "P200");
+  add("Bob", "P100");
+  add("Cyd", "P300");
+  add("Bob", "P300");
+  add("Ada", "P100");  // duplicate order line: grouping must not duplicate
+  (void)st;
+  return orders;
+}
+
+void RegisterToyData(GraphCatalog* catalog) {
+  catalog->RegisterGraph("example_graph", MakeExampleGraph(catalog->ids()));
+  catalog->RegisterGraph("social_graph", MakeSocialGraph(catalog->ids()));
+  catalog->RegisterGraph("company_graph", MakeCompanyGraph(catalog->ids()));
+  catalog->RegisterTable("orders", MakeOrdersTable());
+  catalog->SetDefaultGraph("social_graph");
+}
+
+}  // namespace snb
+}  // namespace gcore

@@ -1,0 +1,58 @@
+// The paper's concrete toy instances, reconstructed so that every printed
+// result of the guided tour and the formal appendix reproduces exactly.
+#ifndef GCORE_SNB_TOY_GRAPHS_H_
+#define GCORE_SNB_TOY_GRAPHS_H_
+
+#include "graph/catalog.h"
+#include "graph/graph_builder.h"
+#include "snb/table.h"
+
+namespace gcore {
+namespace snb {
+
+/// Figure 2 / Example 2.2: the small social network with stored path 301
+/// (:toWagner, trust 0.95). Node ids 101..106, edge ids 201..207, path
+/// id 301 — exactly as printed.
+///
+///   101 Tag{name:Wagner}        102 Person,Manager (in Houston)
+///   103 Person                  104 Person
+///   105 Person (in Houston)     106 City{name:Houston}
+///   201 hasInterest 102→101     202 knows 103→102
+///   203 locatedIn   105→106     204 locatedIn 102→106
+///   205 knows 104→105 {since:1/12/2014}
+///   206 hasInterest 105→101     207 knows 105→103
+///   301 = [105, 207, 103, 202, 102]  :toWagner {trust: 0.95}
+PathPropertyGraph MakeExampleGraph(IdAllocator* ids);
+
+/// Figure 4: `social_graph`, the guided-tour instance. Five persons
+/// (John Doe, Peter, Alice, Celine, Frank Gold — Frank's employer is the
+/// set {"CWI","MIT"}, Peter has none), bidirectional knows edges, cities,
+/// the Wagner tag with two lovers (Celine, Frank) reachable via Peter, and
+/// the post/comment threads that give the nr_messages counts of Figure 5.
+PathPropertyGraph MakeSocialGraph(IdAllocator* ids);
+
+/// The temporary `company_graph` of the data-integration example
+/// (lines 5-9): isolated Company nodes Acme, HAL, CWI, MIT.
+PathPropertyGraph MakeCompanyGraph(IdAllocator* ids);
+
+/// The `orders` table of the Section 5 import examples (lines 76-85).
+Table MakeOrdersTable();
+
+/// Registers example_graph, social_graph (as default), company_graph and
+/// the orders table into `catalog`.
+void RegisterToyData(GraphCatalog* catalog);
+
+// Stable node ids inside social_graph, for tests.
+inline constexpr uint64_t kJohnId = 1101;
+inline constexpr uint64_t kPeterId = 1102;
+inline constexpr uint64_t kAliceId = 1103;
+inline constexpr uint64_t kCelineId = 1104;
+inline constexpr uint64_t kFrankId = 1105;
+inline constexpr uint64_t kHoustonId = 1106;
+inline constexpr uint64_t kAustinId = 1107;
+inline constexpr uint64_t kWagnerTagId = 1108;
+
+}  // namespace snb
+}  // namespace gcore
+
+#endif  // GCORE_SNB_TOY_GRAPHS_H_

@@ -1,0 +1,88 @@
+// Unit tests for the Date literal type.
+#include "common/date.h"
+
+#include <gtest/gtest.h>
+
+namespace gcore {
+namespace {
+
+TEST(Date, ParsePaperStyle) {
+  // The toy instance uses `1/12/2014` (day/month/year) for `since`.
+  auto d = Date::Parse("1/12/2014");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->day, 1);
+  EXPECT_EQ(d->month, 12);
+  EXPECT_EQ(d->year, 2014);
+}
+
+TEST(Date, ParseIso) {
+  auto d = Date::Parse("2014-12-01");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, (Date{2014, 12, 1}));
+}
+
+TEST(Date, ParseRejectsGarbage) {
+  EXPECT_FALSE(Date::Parse("notadate").ok());
+  EXPECT_FALSE(Date::Parse("2014-12").ok());
+  EXPECT_FALSE(Date::Parse("2014-12-01-05").ok());
+  EXPECT_FALSE(Date::Parse("a/b/c").ok());
+}
+
+TEST(Date, ParseRejectsInvalidCalendarDates) {
+  EXPECT_FALSE(Date::Parse("2014-02-30").ok());
+  EXPECT_FALSE(Date::Parse("2014-13-01").ok());
+  EXPECT_FALSE(Date::Parse("32/1/2014").ok());
+  EXPECT_FALSE(Date::Parse("0/1/2014").ok());
+}
+
+TEST(Date, LeapYearRules) {
+  EXPECT_TRUE(IsLeapYear(2016));
+  EXPECT_FALSE(IsLeapYear(2015));
+  EXPECT_FALSE(IsLeapYear(1900));  // century, not divisible by 400
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_TRUE(Date::Parse("29/2/2016").ok());
+  EXPECT_FALSE(Date::Parse("29/2/2015").ok());
+}
+
+TEST(Date, DaysInMonth) {
+  EXPECT_EQ(DaysInMonth(2015, 2), 28);
+  EXPECT_EQ(DaysInMonth(2016, 2), 29);
+  EXPECT_EQ(DaysInMonth(2016, 4), 30);
+  EXPECT_EQ(DaysInMonth(2016, 12), 31);
+  EXPECT_EQ(DaysInMonth(2016, 13), 0);
+}
+
+TEST(Date, EpochDaysKnownValues) {
+  EXPECT_EQ((Date{1970, 1, 1}).ToEpochDays(), 0);
+  EXPECT_EQ((Date{1970, 1, 2}).ToEpochDays(), 1);
+  EXPECT_EQ((Date{1969, 12, 31}).ToEpochDays(), -1);
+  EXPECT_EQ((Date{2000, 3, 1}).ToEpochDays(), 11017);
+}
+
+TEST(Date, Ordering) {
+  EXPECT_LT((Date{2014, 11, 30}), (Date{2014, 12, 1}));
+  EXPECT_LT((Date{2013, 12, 31}), (Date{2014, 1, 1}));
+  EXPECT_FALSE((Date{2014, 1, 1}) < (Date{2014, 1, 1}));
+}
+
+TEST(Date, ToStringIso) {
+  EXPECT_EQ((Date{2014, 12, 1}).ToString(), "2014-12-01");
+  EXPECT_EQ((Date{99, 1, 5}).ToString(), "0099-01-05");
+}
+
+class DateRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DateRoundTrip, EpochDaysRoundTrips) {
+  const int64_t days = GetParam();
+  const Date d = Date::FromEpochDays(days);
+  EXPECT_TRUE(d.IsValid());
+  EXPECT_EQ(d.ToEpochDays(), days);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampledEpochs, DateRoundTrip,
+                         ::testing::Values(-719162, -1, 0, 1, 59, 60, 365,
+                                           10957, 11016, 11017, 16436, 20000,
+                                           2932896));
+
+}  // namespace
+}  // namespace gcore

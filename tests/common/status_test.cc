@@ -1,0 +1,95 @@
+// Unit tests for the Status/Result error model.
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace gcore {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status st = Status::ParseError("bad token");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsParseError());
+  EXPECT_EQ(st.message(), "bad token");
+  EXPECT_EQ(st.ToString(), "ParseError: bad token");
+}
+
+TEST(Status, AllFactoryPredicates) {
+  EXPECT_TRUE(Status::BindError("x").IsBindError());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::EvaluationError("x").IsEvaluationError());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
+}
+
+TEST(Status, CopySharesState) {
+  Status a = Status::NotFound("gone");
+  Status b = a;
+  EXPECT_TRUE(b.IsNotFound());
+  EXPECT_EQ(b.message(), "gone");
+}
+
+Status Fails() { return Status::TypeError("no"); }
+Status Propagates() {
+  GCORE_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+
+TEST(Status, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Propagates().IsTypeError());
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(0), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  GCORE_ASSIGN_OR_RETURN(int h, Half(x));
+  GCORE_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(Result, AssignOrReturnChains) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());  // 6/2=3 is odd
+  EXPECT_TRUE(Quarter(5).status().IsInvalidArgument());
+}
+
+TEST(Result, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+}  // namespace
+}  // namespace gcore

@@ -1,0 +1,173 @@
+// Unit tests for the literal domain V and FSET(V) (Section 2 + pp. 8-9).
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace gcore {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(Value, TypedConstruction) {
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_TRUE(Value::Int(7).is_int());
+  EXPECT_TRUE(Value::Double(1.5).is_double());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_TRUE(Value::OfDate(Date{2014, 12, 1}).is_date());
+}
+
+TEST(Value, Accessors) {
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(0.95).AsDouble(), 0.95);
+  EXPECT_EQ(Value::String("Acme").AsString(), "Acme");
+  EXPECT_EQ(Value::OfDate(Date{2014, 12, 1}).AsDate().year, 2014);
+}
+
+TEST(Value, IntDoubleCompareNumerically) {
+  EXPECT_EQ(Value::Int(1), Value::Double(1.0));
+  EXPECT_LT(Value::Int(1), Value::Double(1.5));
+  EXPECT_LT(Value::Double(0.5), Value::Int(1));
+}
+
+TEST(Value, IntDoubleHashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+}
+
+TEST(Value, CrossTypeOrderIsByRank) {
+  // null < bool < numeric < string < date.
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(999), Value::String("a"));
+  EXPECT_LT(Value::String("zzz"), Value::OfDate(Date{1970, 1, 1}));
+}
+
+TEST(Value, StringOrder) {
+  EXPECT_LT(Value::String("Acme"), Value::String("CWI"));
+  EXPECT_EQ(Value::String("MIT"), Value::String("MIT"));
+  EXPECT_NE(Value::String("MIT"), Value::String("mit"));
+}
+
+TEST(Value, DateOrderChronological) {
+  EXPECT_LT(Value::OfDate(Date{2014, 11, 30}), Value::OfDate(Date{2014, 12, 1}));
+  EXPECT_LT(Value::OfDate(Date{2013, 12, 31}), Value::OfDate(Date{2014, 1, 1}));
+}
+
+TEST(Value, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Double(0.5).ToString(), "0.5");
+  EXPECT_EQ(Value::String("Acme").ToString(), "Acme");
+  EXPECT_EQ(Value::OfDate(Date{2014, 12, 1}).ToString(), "2014-12-01");
+}
+
+TEST(ValueSet, EmptyMeansAbsentProperty) {
+  ValueSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_FALSE(empty.Contains(Value::Int(1)));
+}
+
+TEST(ValueSet, SingletonUnwrapInToString) {
+  // p.8: "in the case c.name is a singleton set, we omit curly braces".
+  EXPECT_EQ(ValueSet(Value::String("MIT")).ToString(), "MIT");
+}
+
+TEST(ValueSet, MultiValuedToStringSortedWithBraces) {
+  ValueSet s({Value::String("MIT"), Value::String("CWI")});
+  EXPECT_EQ(s.ToString(), "{CWI, MIT}");
+}
+
+TEST(ValueSet, ConstructionDeduplicates) {
+  ValueSet s({Value::Int(1), Value::Int(2), Value::Int(1)});
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(ValueSet, InsertKeepsSortedUnique) {
+  ValueSet s;
+  s.Insert(Value::Int(2));
+  s.Insert(Value::Int(1));
+  s.Insert(Value::Int(2));
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.values()[0], Value::Int(1));
+  EXPECT_EQ(s.values()[1], Value::Int(2));
+}
+
+TEST(ValueSet, PaperSetEqualitySemantics) {
+  // "MIT" = {"CWI","MIT"} evaluates to FALSE (p.8).
+  ValueSet mit(Value::String("MIT"));
+  ValueSet frank({Value::String("CWI"), Value::String("MIT")});
+  EXPECT_FALSE(mit == frank);
+  EXPECT_TRUE(frank == ValueSet({Value::String("MIT"), Value::String("CWI")}));
+}
+
+TEST(ValueSet, ContainsForInOperator) {
+  ValueSet frank({Value::String("CWI"), Value::String("MIT")});
+  EXPECT_TRUE(frank.Contains(Value::String("MIT")));
+  EXPECT_TRUE(frank.Contains(Value::String("CWI")));
+  EXPECT_FALSE(frank.Contains(Value::String("Acme")));
+}
+
+TEST(ValueSet, SubsetOf) {
+  ValueSet frank({Value::String("CWI"), Value::String("MIT")});
+  EXPECT_TRUE(ValueSet(Value::String("MIT")).SubsetOf(frank));
+  EXPECT_TRUE(frank.SubsetOf(frank));
+  EXPECT_TRUE(ValueSet().SubsetOf(frank));
+  EXPECT_FALSE(frank.SubsetOf(ValueSet(Value::String("MIT"))));
+}
+
+TEST(ValueSet, UnionIntersect) {
+  ValueSet a({Value::Int(1), Value::Int(2)});
+  ValueSet b({Value::Int(2), Value::Int(3)});
+  EXPECT_EQ(Union(a, b), ValueSet({Value::Int(1), Value::Int(2), Value::Int(3)}));
+  EXPECT_EQ(Intersect(a, b), ValueSet(Value::Int(2)));
+  EXPECT_TRUE(Intersect(a, ValueSet()).empty());
+}
+
+TEST(ValueSet, HashEqualSetsEqualHash) {
+  ValueSet a({Value::Int(1), Value::String("x")});
+  ValueSet b({Value::String("x"), Value::Int(1)});
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ValueSet, SingletonAccess) {
+  ValueSet s(Value::Double(0.95));
+  ASSERT_TRUE(s.is_singleton());
+  EXPECT_DOUBLE_EQ(s.single().AsDouble(), 0.95);
+}
+
+class ValueOrderTotality : public ::testing::TestWithParam<int> {};
+
+// Total order sanity over a mixed sample: antisymmetry and transitivity
+// spot checks by pairwise comparison.
+TEST_P(ValueOrderTotality, PairwiseConsistent) {
+  const std::vector<Value> sample = {
+      Value::Null(),        Value::Bool(false),     Value::Bool(true),
+      Value::Int(-3),       Value::Int(0),          Value::Int(7),
+      Value::Double(-2.5),  Value::Double(6.9),     Value::Double(7.0),
+      Value::String(""),    Value::String("Acme"),  Value::String("CWI"),
+      Value::OfDate(Date{2014, 12, 1}),
+      Value::OfDate(Date{2017, 1, 1}),
+  };
+  const size_t i = static_cast<size_t>(GetParam()) % sample.size();
+  const Value& a = sample[i];
+  for (const Value& b : sample) {
+    const int ab = a.Compare(b);
+    const int ba = b.Compare(a);
+    EXPECT_EQ(ab == 0, ba == 0);
+    EXPECT_EQ(ab < 0, ba > 0);
+    if (ab == 0) EXPECT_EQ(a.Hash(), b.Hash());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSampleIndices, ValueOrderTotality,
+                         ::testing::Range(0, 14));
+
+}  // namespace
+}  // namespace gcore

@@ -1,0 +1,121 @@
+// Tests for the Table 1 feature detector.
+#include "engine/features.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace gcore {
+namespace {
+
+std::set<QueryFeature> Detect(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return DetectFeatures(**q);
+}
+
+TEST(Features, EveryMatchIsHomomorphicAndEveryConstructConstructs) {
+  auto f = Detect("CONSTRUCT (n) MATCH (n:Person)");
+  EXPECT_TRUE(f.count(QueryFeature::kHomomorphicMatching));
+  EXPECT_TRUE(f.count(QueryFeature::kGraphConstruction));
+}
+
+TEST(Features, LiteralAndFiltering) {
+  auto f = Detect("CONSTRUCT (n) MATCH (n) WHERE n.employer = 'Acme'");
+  EXPECT_TRUE(f.count(QueryFeature::kFilteringMatches));
+  EXPECT_TRUE(f.count(QueryFeature::kLiteralMatching));
+}
+
+TEST(Features, PathModes) {
+  EXPECT_TRUE(
+      Detect("CONSTRUCT (m) MATCH (n)-/3 SHORTEST p<:knows*>/->(m)")
+          .count(QueryFeature::kKShortestPaths));
+  EXPECT_TRUE(Detect("CONSTRUCT (m) MATCH (n)-/<:knows*>/->(m)")
+                  .count(QueryFeature::kAllShortestPaths));
+  EXPECT_TRUE(Detect("CONSTRUCT (m) MATCH (n)-/@p:toWagner/->(m)")
+                  .count(QueryFeature::kQueriesOnPaths));
+  EXPECT_TRUE(Detect("CONSTRUCT (m) MATCH (n)-/p<~wKnows*>/->(m)")
+                  .count(QueryFeature::kWeightedShortestPaths));
+}
+
+TEST(Features, MultiGraphAndCartesian) {
+  auto f = Detect(
+      "CONSTRUCT (c) MATCH (c:Company) ON g1, (n:Person) ON g2");
+  EXPECT_TRUE(f.count(QueryFeature::kMultipleGraphs));
+  EXPECT_TRUE(f.count(QueryFeature::kCartesianProduct));
+  auto joined = Detect("CONSTRUCT (a) MATCH (a)-[e]->(b), (b)-[f]->(c)");
+  EXPECT_FALSE(joined.count(QueryFeature::kCartesianProduct));
+}
+
+TEST(Features, ValueJoinAndMembership) {
+  auto f = Detect(
+      "CONSTRUCT (c) MATCH (c), (n) WHERE c.name = n.employer");
+  EXPECT_TRUE(f.count(QueryFeature::kValueJoins));
+  EXPECT_TRUE(Detect("CONSTRUCT (c) MATCH (c), (n) "
+                     "WHERE c.name IN n.employer")
+                  .count(QueryFeature::kListMembership));
+}
+
+TEST(Features, Subqueries) {
+  EXPECT_TRUE(
+      Detect("CONSTRUCT (m) MATCH (n), (m) "
+             "WHERE (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)")
+          .count(QueryFeature::kImplicitExistential));
+  EXPECT_TRUE(Detect("CONSTRUCT (m) MATCH (n), (m) WHERE EXISTS "
+                     "( CONSTRUCT () MATCH (n)-[:x]->(m) )")
+                  .count(QueryFeature::kExplicitExistential));
+}
+
+TEST(Features, ConstructionFamily) {
+  auto agg = Detect(
+      "CONSTRUCT (x GROUP e :Company {name:=e}) MATCH (n {employer=e})");
+  EXPECT_TRUE(agg.count(QueryFeature::kGraphAggregation));
+  EXPECT_TRUE(agg.count(QueryFeature::kPropertyAddition));
+  EXPECT_TRUE(Detect("CONSTRUCT (n)-/@p:x/->(m) "
+                     "MATCH (n)-/p<:knows*>/->(m)")
+                  .count(QueryFeature::kGraphProjection));
+  EXPECT_TRUE(Detect("GRAPH VIEW v AS (CONSTRUCT (n) MATCH (n))")
+                  .count(QueryFeature::kGraphViews));
+  EXPECT_TRUE(Detect("CONSTRUCT (n) SET n.x := 1 MATCH (n)")
+                  .count(QueryFeature::kPropertyAddition));
+}
+
+TEST(Features, SetOperations) {
+  EXPECT_TRUE(Detect("g1 UNION g2").count(QueryFeature::kGraphSetOperations));
+  EXPECT_TRUE(Detect("CONSTRUCT social_graph, (n) MATCH (n)")
+                  .count(QueryFeature::kGraphSetOperations));
+}
+
+TEST(Features, Extensions) {
+  EXPECT_TRUE(Detect("SELECT n.x AS y MATCH (n)")
+                  .count(QueryFeature::kTabularProjection));
+  EXPECT_TRUE(Detect("CONSTRUCT (x GROUP c :T {v:=c}) FROM orders")
+                  .count(QueryFeature::kTabularImport));
+}
+
+TEST(Features, OptionalAndPathFilter) {
+  EXPECT_TRUE(Detect("CONSTRUCT (n) MATCH (n) OPTIONAL (n)-[:x]->(c)")
+                  .count(QueryFeature::kOptionalMatching));
+  auto f = Detect(
+      "PATH w = (x)-[e:knows]->(y) WHERE e.v > 0 COST 1 "
+      "CONSTRUCT (m) MATCH (n)-/p<~w*>/->(m)");
+  EXPECT_TRUE(f.count(QueryFeature::kFilteringPathExpressions));
+  EXPECT_TRUE(f.count(QueryFeature::kWeightedShortestPaths));
+}
+
+TEST(Features, ReportIsSortedAndNamed) {
+  auto q = ParseQuery("CONSTRUCT (n) MATCH (n:Person) WHERE n.x = 1");
+  ASSERT_TRUE(q.ok());
+  auto lines = FeatureReport(**q);
+  EXPECT_FALSE(lines.empty());
+  EXPECT_TRUE(std::is_sorted(lines.begin(), lines.end()));
+}
+
+TEST(Features, AllEnumValuesHaveNames) {
+  for (int i = 0; i <= static_cast<int>(QueryFeature::kTabularImport); ++i) {
+    EXPECT_STRNE(QueryFeatureToString(static_cast<QueryFeature>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace gcore

@@ -1,0 +1,136 @@
+// Tests for the static semantic validator (paper well-formedness rules).
+#include "engine/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "parser/parser.h"
+#include "snb/toy_graphs.h"
+
+namespace gcore {
+namespace {
+
+Status Validate(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  if (!q.ok()) return q.status();
+  return ValidateQuery(**q);
+}
+
+TEST(Validator, AcceptsAllPaperQueries) {
+  const char* queries[] = {
+      "CONSTRUCT (n) MATCH (n:Person) ON g WHERE n.employer = 'Acme'",
+      "CONSTRUCT (c)<-[:worksAt]-(n) MATCH (c:Company) ON g1, "
+      "(n:Person) ON g2 WHERE c.name IN n.employer UNION g2",
+      "CONSTRUCT social_graph, (x GROUP e :Company {name:=e})"
+      "<-[y:worksAt]-(n) MATCH (n:Person {employer=e})",
+      "CONSTRUCT (n)-/@p:lp{d:=c}/->(m) "
+      "MATCH (n)-/3 SHORTEST p<:knows*> COST c/->(m)",
+      "PATH w = (x)-[e:knows]->(y) COST 1/(1+e.m) "
+      "CONSTRUCT (n)-/@p:t/->(m) MATCH (n)-/p<~w*>/->(m)",
+      "SELECT m.lastName AS l MATCH (m:Person)",
+  };
+  for (const char* q : queries) {
+    EXPECT_TRUE(Validate(q).ok()) << q;
+  }
+}
+
+TEST(Validator, SortConflictNodeVsEdge) {
+  // "it would be illegal to use n (a node) in the place of y (an edge)".
+  auto st = Validate("CONSTRUCT (a)-[n]->(b) MATCH (n), (a)-[e]->(b)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsBindError());
+}
+
+TEST(Validator, SortConflictNodeVsPath) {
+  auto st = Validate(
+      "CONSTRUCT (m) MATCH (p), (n)-/p<:knows*>/->(m)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsBindError());
+}
+
+TEST(Validator, SortConflictEdgeVsValue) {
+  auto st = Validate(
+      "CONSTRUCT (n) MATCH (n {employer=e})-[e:knows]->(m)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsBindError());
+}
+
+TEST(Validator, AllPathVarInWhereRejected) {
+  // ALL bindings may only be projected, never used in expressions.
+  auto st = Validate(
+      "CONSTRUCT (n)-/p/->(m) "
+      "MATCH (n)-/ALL p<:knows*>/->(m) WHERE SIZE(NODES(p)) > 2");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsUnsupported());
+}
+
+TEST(Validator, AllPathVarInSelectRejected) {
+  auto st = Validate(
+      "SELECT NODES(p)[0] AS first "
+      "MATCH (n)-/ALL p<:knows*>/->(m)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsUnsupported());
+}
+
+TEST(Validator, AllPathVarProjectionAllowed) {
+  EXPECT_TRUE(Validate("CONSTRUCT (n)-/p/->(m) "
+                       "MATCH (n)-/ALL p<:knows*>/->(m)")
+                  .ok());
+}
+
+TEST(Validator, StoredAllRejectedStatically) {
+  auto st = Validate(
+      "CONSTRUCT (n)-/@p/->(m) MATCH (n)-/ALL p<:knows*>/->(m)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsUnsupported());
+}
+
+TEST(Validator, ConstructPathVarMustBeBound) {
+  auto st = Validate("CONSTRUCT (n)-/@q:lbl/->(m) MATCH (n)-[e]->(m)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsBindError());
+}
+
+TEST(Validator, UnknownPathViewRejected) {
+  auto st = Validate("CONSTRUCT (m) MATCH (n)-/p<~nope*>/->(m)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsBindError());
+}
+
+TEST(Validator, DuplicatePathViewRejected) {
+  auto st = Validate(
+      "PATH w = (x)-[e:a]->(y) PATH w = (x)-[e:b]->(y) "
+      "CONSTRUCT (m) MATCH (n)-/p<~w*>/->(m)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsBindError());
+}
+
+TEST(Validator, OuterPathViewVisibleInGraphClause) {
+  EXPECT_TRUE(Validate("PATH w = (x)-[e:knows]->(y) "
+                       "GRAPH g2 AS (CONSTRUCT (m) "
+                       "MATCH (n)-/p<~w*>/->(m)) "
+                       "CONSTRUCT (z) MATCH (z) ON g2")
+                  .ok());
+}
+
+TEST(Validator, SubqueriesValidatedRecursively) {
+  auto st = Validate(
+      "CONSTRUCT (n) MATCH (n) WHERE EXISTS ( "
+      "CONSTRUCT (a)-[x]->(b) MATCH (x), (a)-[e]->(b) )");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsBindError());
+}
+
+TEST(Validator, EngineRunsValidationBeforeEvaluation) {
+  GraphCatalog catalog;
+  snb::RegisterToyData(&catalog);
+  QueryEngine engine(&catalog);
+  auto r = engine.Execute(
+      "CONSTRUCT (a)-[n]->(b) MATCH (n:Person), (a)-[e:knows]->(b)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsBindError());
+}
+
+}  // namespace
+}  // namespace gcore

@@ -1,0 +1,216 @@
+// Tests for bindings and the binding-set algebra of Appendix A.1.
+#include "eval/binding.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/binding_ops.h"
+
+namespace gcore {
+namespace {
+
+Datum N(uint64_t id) { return Datum::OfNode(NodeId(id)); }
+Datum V(const char* s) { return Datum::OfValue(Value::String(s)); }
+
+BindingTable Make(std::vector<std::string> columns,
+                  std::vector<BindingRow> rows) {
+  BindingTable t(std::move(columns));
+  for (auto& row : rows) {
+    EXPECT_TRUE(t.AddRow(std::move(row)).ok());
+  }
+  return t;
+}
+
+TEST(Datum, KindsAndEquality) {
+  EXPECT_TRUE(Datum().IsUnbound());
+  EXPECT_EQ(N(1), N(1));
+  EXPECT_NE(N(1), N(2));
+  EXPECT_NE(N(1), Datum::OfEdge(EdgeId(1)));  // different kinds never equal
+  EXPECT_EQ(V("x"), V("x"));
+  EXPECT_EQ(Datum(), Datum());
+}
+
+TEST(Datum, PathComparesByIdentity) {
+  auto p1 = std::make_shared<PathValue>();
+  p1->id = PathId(7);
+  auto p2 = std::make_shared<PathValue>();
+  p2->id = PathId(7);
+  p2->cost = 99;  // identity only
+  EXPECT_EQ(Datum::OfPath(p1), Datum::OfPath(p2));
+}
+
+TEST(Datum, HashConsistency) {
+  EXPECT_EQ(N(5).Hash(), N(5).Hash());
+  EXPECT_EQ(V("a").Hash(), V("a").Hash());
+}
+
+TEST(BindingTable, UnitIsJoinIdentity) {
+  BindingTable unit = BindingTable::Unit();
+  EXPECT_EQ(unit.NumRows(), 1u);
+  EXPECT_EQ(unit.NumColumns(), 0u);
+  BindingTable t = Make({"x"}, {{N(1)}, {N(2)}});
+  BindingTable joined = TableJoin(unit, t);
+  EXPECT_EQ(joined.NumRows(), 2u);
+  EXPECT_EQ(joined.NumColumns(), 1u);
+}
+
+TEST(BindingTable, GetAbsentColumnIsUnbound) {
+  BindingTable t = Make({"x"}, {{N(1)}});
+  EXPECT_TRUE(t.Get(0, "nope").IsUnbound());
+  EXPECT_EQ(t.Get(0, "x"), N(1));
+}
+
+TEST(BindingTable, AddColumnExtendsRows) {
+  BindingTable t = Make({"x"}, {{N(1)}});
+  t.AddColumn("y");
+  EXPECT_TRUE(t.Get(0, "y").IsUnbound());
+}
+
+TEST(BindingTable, RowArityChecked) {
+  BindingTable t({"x", "y"});
+  EXPECT_FALSE(t.AddRow({N(1)}).ok());
+}
+
+TEST(BindingTable, DeduplicateSetSemantics) {
+  BindingTable t = Make({"x"}, {{N(1)}, {N(1)}, {N(2)}});
+  t.Deduplicate();
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(BindingTable, ColumnGraphProvenance) {
+  BindingTable t({"x"});
+  t.SetColumnGraph("x", "social_graph");
+  EXPECT_EQ(t.ColumnGraph("x"), "social_graph");
+  EXPECT_EQ(t.ColumnGraph("y"), "");
+}
+
+// --- ⋈ ------------------------------------------------------------------------
+
+TEST(TableJoin, NaturalJoinOnSharedColumn) {
+  BindingTable a = Make({"x", "y"}, {{N(1), N(10)}, {N(2), N(20)}});
+  BindingTable b = Make({"y", "z"}, {{N(10), V("a")}, {N(99), V("b")}});
+  BindingTable j = TableJoin(a, b);
+  ASSERT_EQ(j.NumRows(), 1u);
+  EXPECT_EQ(j.Get(0, "x"), N(1));
+  EXPECT_EQ(j.Get(0, "z"), V("a"));
+}
+
+TEST(TableJoin, DisjointColumnsIsCartesianProduct) {
+  // "Graph patterns that do not have variables in common lead to the
+  // Cartesian product of variable bindings" (Section 3).
+  BindingTable a = Make({"x"}, {{N(1)}, {N(2)}});
+  BindingTable b = Make({"y"}, {{N(10)}, {N(20)}, {N(30)}});
+  EXPECT_EQ(TableJoin(a, b).NumRows(), 6u);
+}
+
+TEST(TableJoin, UnboundSharedColumnIsCompatible) {
+  BindingTable a = Make({"x", "y"}, {{N(1), Datum()}});
+  BindingTable b = Make({"y"}, {{N(10)}});
+  BindingTable j = TableJoin(a, b);
+  ASSERT_EQ(j.NumRows(), 1u);
+  // Merged row takes the bound value.
+  EXPECT_EQ(j.Get(0, "y"), N(10));
+}
+
+TEST(TableJoin, EmptyOperandYieldsEmpty) {
+  BindingTable a = Make({"x"}, {});
+  BindingTable b = Make({"x"}, {{N(1)}});
+  EXPECT_TRUE(TableJoin(a, b).Empty());
+  EXPECT_TRUE(TableJoin(b, a).Empty());
+}
+
+// --- ∪ -------------------------------------------------------------------------
+
+TEST(TableUnion, MergesSchemasAndDeduplicates) {
+  BindingTable a = Make({"x"}, {{N(1)}});
+  BindingTable b = Make({"x", "y"}, {{N(1), Datum()}, {N(2), N(20)}});
+  BindingTable u = TableUnion(a, b);
+  // {x:1} from a equals {x:1,y:⊥} from b after schema alignment.
+  EXPECT_EQ(u.NumRows(), 2u);
+  EXPECT_EQ(u.NumColumns(), 2u);
+}
+
+// --- ⋉ and ∖ ---------------------------------------------------------------------
+
+TEST(TableSemijoin, KeepsCompatibleRows) {
+  BindingTable a = Make({"x", "y"}, {{N(1), N(10)}, {N(2), N(20)}});
+  BindingTable b = Make({"y"}, {{N(10)}});
+  BindingTable s = TableSemijoin(a, b);
+  ASSERT_EQ(s.NumRows(), 1u);
+  EXPECT_EQ(s.Get(0, "x"), N(1));
+  EXPECT_EQ(s.NumColumns(), 2u);  // schema of the left side only
+}
+
+TEST(TableAntijoin, KeepsIncompatibleRows) {
+  BindingTable a = Make({"x", "y"}, {{N(1), N(10)}, {N(2), N(20)}});
+  BindingTable b = Make({"y"}, {{N(10)}});
+  BindingTable s = TableAntijoin(a, b);
+  ASSERT_EQ(s.NumRows(), 1u);
+  EXPECT_EQ(s.Get(0, "x"), N(2));
+}
+
+TEST(TableAntijoin, EmptyRightKeepsAll) {
+  BindingTable a = Make({"x"}, {{N(1)}, {N(2)}});
+  BindingTable b = Make({"x"}, {});
+  EXPECT_EQ(TableAntijoin(a, b).NumRows(), 2u);
+}
+
+// --- ⟕ -----------------------------------------------------------------------------
+
+TEST(TableLeftOuterJoin, PreservesUnmatchedLeftRows) {
+  BindingTable a = Make({"x"}, {{N(1)}, {N(2)}});
+  BindingTable b = Make({"x", "msg"}, {{N(1), V("hello")}});
+  BindingTable j = TableLeftOuterJoin(a, b);
+  ASSERT_EQ(j.NumRows(), 2u);
+  // Row for x=2 exists with msg unbound.
+  bool found_unmatched = false;
+  for (size_t r = 0; r < j.NumRows(); ++r) {
+    if (j.Get(r, "x") == N(2)) {
+      EXPECT_TRUE(j.Get(r, "msg").IsUnbound());
+      found_unmatched = true;
+    }
+  }
+  EXPECT_TRUE(found_unmatched);
+}
+
+TEST(TableLeftOuterJoin, EquivalentToJoinWhenAllMatch) {
+  BindingTable a = Make({"x"}, {{N(1)}});
+  BindingTable b = Make({"x", "y"}, {{N(1), N(5)}});
+  BindingTable outer = TableLeftOuterJoin(a, b);
+  BindingTable inner = TableJoin(a, b);
+  EXPECT_EQ(outer.NumRows(), inner.NumRows());
+}
+
+TEST(TableLeftOuterJoin, MultipleMatchesMultiplyRows) {
+  BindingTable a = Make({"x"}, {{N(1)}});
+  BindingTable b = Make({"x", "y"}, {{N(1), N(5)}, {N(1), N(6)}});
+  EXPECT_EQ(TableLeftOuterJoin(a, b).NumRows(), 2u);
+}
+
+// Parameterized algebraic law: ⟕ = ⋈ ∪ ∖ (the defining identity).
+class OuterJoinLaw : public ::testing::TestWithParam<int> {};
+
+TEST_P(OuterJoinLaw, DefinitionHolds) {
+  const int seed = GetParam();
+  auto rnd_table = [&](int salt) {
+    BindingTable t({"x", "y"});
+    for (int i = 0; i < 6; ++i) {
+      const uint64_t vx = static_cast<uint64_t>((seed * 7 + salt * 3 + i) % 4);
+      const uint64_t vy = static_cast<uint64_t>((seed * 5 + salt + i * 2) % 4);
+      EXPECT_TRUE(t.AddRow({N(vx + 1), N(vy + 1)}).ok());
+    }
+    t.Deduplicate();
+    return t;
+  };
+  BindingTable a = rnd_table(1);
+  BindingTable b = rnd_table(2);
+  BindingTable lhs = TableLeftOuterJoin(a, b);
+  BindingTable rhs = TableUnion(TableJoin(a, b), TableAntijoin(a, b));
+  lhs.Deduplicate();
+  rhs.Deduplicate();
+  EXPECT_EQ(lhs.NumRows(), rhs.NumRows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OuterJoinLaw, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace gcore

@@ -1,0 +1,318 @@
+// Expression-semantics tests: the multi-valued comparison rules of
+// pp. 8-9, functions, aggregation, CASE, and truthiness.
+#include "eval/expr_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "snb/toy_graphs.h"
+
+namespace gcore {
+namespace {
+
+class ExprEvalTest : public ::testing::Test {
+ protected:
+  ExprEvalTest() {
+    catalog.RegisterGraph("social_graph",
+                          snb::MakeSocialGraph(catalog.ids()));
+    catalog.SetDefaultGraph("social_graph");
+    graph = *catalog.Lookup("social_graph");
+  }
+
+  // Evaluates `text` against a single-row table binding the toy persons.
+  Result<Datum> Eval(const std::string& text) {
+    BindingTable table({"john", "peter", "frank", "alice"});
+    table.SetColumnGraph("john", "social_graph");
+    table.SetColumnGraph("peter", "social_graph");
+    table.SetColumnGraph("frank", "social_graph");
+    table.SetColumnGraph("alice", "social_graph");
+    Status st = table.AddRow({Datum::OfNode(NodeId(snb::kJohnId)),
+                              Datum::OfNode(NodeId(snb::kPeterId)),
+                              Datum::OfNode(NodeId(snb::kFrankId)),
+                              Datum::OfNode(NodeId(snb::kAliceId))});
+    (void)st;
+    auto expr = ParseExpression(text);
+    if (!expr.ok()) return expr.status();
+    ExprEvaluator eval(graph, &catalog);
+    return eval.Eval(**expr, table, 0);
+  }
+
+  bool EvalBool(const std::string& text) {
+    auto d = Eval(text);
+    EXPECT_TRUE(d.ok()) << text << ": " << d.status().ToString();
+    auto b = ExprEvaluator::Truthy(*d);
+    EXPECT_TRUE(b.ok()) << text;
+    return b.ok() && *b;
+  }
+
+  Value EvalValue(const std::string& text) {
+    auto d = Eval(text);
+    EXPECT_TRUE(d.ok()) << text << ": " << d.status().ToString();
+    EXPECT_EQ(d->kind(), Datum::Kind::kValues) << text;
+    EXPECT_TRUE(d->values().is_singleton()) << text;
+    return d->values().single();
+  }
+
+  GraphCatalog catalog;
+  const PathPropertyGraph* graph = nullptr;
+};
+
+// --- pp. 8-9 comparison semantics ---------------------------------------------
+
+TEST_F(ExprEvalTest, SingletonEqualsMultiValuedIsFalse) {
+  // "MIT" = {"CWI","MIT"} evaluates to FALSE.
+  EXPECT_FALSE(EvalBool("'MIT' = frank.employer"));
+  EXPECT_FALSE(EvalBool("'CWI' = frank.employer"));
+}
+
+TEST_F(ExprEvalTest, InTestsMembership) {
+  EXPECT_TRUE(EvalBool("'MIT' IN frank.employer"));
+  EXPECT_TRUE(EvalBool("'CWI' IN frank.employer"));
+  EXPECT_FALSE(EvalBool("'Acme' IN frank.employer"));
+}
+
+TEST_F(ExprEvalTest, SubsetComparesSets) {
+  EXPECT_TRUE(EvalBool("john.employer SUBSET frank.employer = FALSE"));
+  EXPECT_TRUE(EvalBool("frank.employer SUBSET frank.employer"));
+}
+
+TEST_F(ExprEvalTest, AbsentPropertyIsEmptySet) {
+  // Peter is unemployed: his employer evaluates to ∅.
+  auto d = Eval("peter.employer");
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->values().empty());
+  // Length test can detect it (Section 3).
+  EXPECT_TRUE(EvalBool("SIZE(peter.employer) = 0"));
+  EXPECT_TRUE(EvalBool("SIZE(frank.employer) = 2"));
+}
+
+TEST_F(ExprEvalTest, ComparisonWithAbsentIsFalseNotError) {
+  EXPECT_FALSE(EvalBool("peter.employer = 'Acme'"));
+  EXPECT_FALSE(EvalBool("'Acme' IN peter.employer"));
+  EXPECT_FALSE(EvalBool("peter.employer < 'Acme'"));
+}
+
+TEST_F(ExprEvalTest, SingletonComparisons) {
+  EXPECT_TRUE(EvalBool("john.employer = 'Acme'"));
+  EXPECT_TRUE(EvalBool("john.firstName <> 'Peter'"));
+  EXPECT_TRUE(EvalBool("1 < 2"));
+  EXPECT_TRUE(EvalBool("2 <= 2"));
+  EXPECT_TRUE(EvalBool("3 > 2.5"));
+  EXPECT_TRUE(EvalBool("'Acme' < 'HAL'"));
+}
+
+// --- labels -----------------------------------------------------------------------
+
+TEST_F(ExprEvalTest, LabelTest) {
+  EXPECT_TRUE(EvalBool("john:Person"));
+  EXPECT_FALSE(EvalBool("john:Company"));
+  EXPECT_TRUE(EvalBool("john:Company|Person"));  // disjunction
+}
+
+TEST_F(ExprEvalTest, LabelsFunction) {
+  auto d = Eval("LABELS(john)");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->values(), ValueSet(Value::String("Person")));
+}
+
+// --- arithmetic / strings ------------------------------------------------------------
+
+TEST_F(ExprEvalTest, IntegerArithmeticStaysIntegral) {
+  EXPECT_EQ(EvalValue("1 + 2"), Value::Int(3));
+  EXPECT_EQ(EvalValue("7 - 9"), Value::Int(-2));
+  EXPECT_EQ(EvalValue("6 * 7"), Value::Int(42));
+  EXPECT_EQ(EvalValue("7 % 3"), Value::Int(1));
+}
+
+TEST_F(ExprEvalTest, DivisionAlwaysDouble) {
+  // The paper's cost expression 1 / (1 + e.nr_messages) must not truncate.
+  EXPECT_EQ(EvalValue("1 / (1 + 2)").type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(EvalValue("1 / (1 + 2)").AsDouble(), 1.0 / 3.0);
+}
+
+TEST_F(ExprEvalTest, DivisionByZeroIsError) {
+  EXPECT_TRUE(Eval("1 / 0").status().IsEvaluationError());
+}
+
+TEST_F(ExprEvalTest, StringConcatenation) {
+  // Line 72: m.lastName + ', ' + m.firstName.
+  EXPECT_EQ(EvalValue("john.lastName + ', ' + john.firstName"),
+            Value::String("Doe, John"));
+}
+
+TEST_F(ExprEvalTest, UnaryOperators) {
+  EXPECT_EQ(EvalValue("-(3)"), Value::Int(-3));
+  EXPECT_TRUE(EvalBool("NOT FALSE"));
+  EXPECT_TRUE(EvalBool("NOT 'Acme' IN peter.employer"));
+}
+
+TEST_F(ExprEvalTest, BooleanShortCircuit) {
+  EXPECT_TRUE(EvalBool("TRUE OR 1"));     // rhs never evaluated
+  EXPECT_FALSE(EvalBool("FALSE AND 1"));
+}
+
+// --- CASE / coalescing -----------------------------------------------------------------
+
+TEST_F(ExprEvalTest, CaseCoalescesMissingData) {
+  EXPECT_EQ(EvalValue("CASE WHEN SIZE(peter.employer) = 0 THEN 'unemployed' "
+                      "ELSE 'employed' END"),
+            Value::String("unemployed"));
+  EXPECT_EQ(EvalValue("CASE WHEN SIZE(john.employer) = 0 THEN 'unemployed' "
+                      "ELSE 'employed' END"),
+            Value::String("employed"));
+}
+
+TEST_F(ExprEvalTest, CaseWithoutElseYieldsEmpty) {
+  auto d = Eval("CASE WHEN FALSE THEN 1 END");
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->values().empty());
+}
+
+TEST_F(ExprEvalTest, CoalesceFunction) {
+  EXPECT_EQ(EvalValue("COALESCE(peter.employer, 'none')"),
+            Value::String("none"));
+  EXPECT_EQ(EvalValue("COALESCE(john.employer, 'none')"),
+            Value::String("Acme"));
+}
+
+// --- functions ---------------------------------------------------------------------------
+
+TEST_F(ExprEvalTest, IdAndToString) {
+  EXPECT_EQ(EvalValue("ID(john)"),
+            Value::Int(static_cast<int64_t>(snb::kJohnId)));
+  EXPECT_EQ(EvalValue("TOSTRING(42)"), Value::String("42"));
+  EXPECT_EQ(EvalValue("TOINTEGER('17')"), Value::Int(17));
+}
+
+TEST_F(ExprEvalTest, DateFunctionAndComparison) {
+  EXPECT_TRUE(EvalBool("DATE('2014-12-01') < DATE('2015-01-01')"));
+  EXPECT_TRUE(EvalBool("DATE('1/12/2014') = DATE('2014-12-01')"));
+}
+
+TEST_F(ExprEvalTest, UnknownFunctionIsError) {
+  EXPECT_FALSE(Eval("FROBNICATE(1)").ok());
+}
+
+TEST_F(ExprEvalTest, TruthyRejectsNonBoolean) {
+  auto d = Eval("1 + 1");
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(ExprEvaluator::Truthy(*d).ok());
+}
+
+// --- nodes()/edges() and indexing -----------------------------------------------------------
+
+TEST_F(ExprEvalTest, PathFunctions) {
+  auto pv = std::make_shared<PathValue>();
+  pv->id = PathId(900);
+  pv->body.nodes = {NodeId(snb::kJohnId), NodeId(snb::kPeterId),
+                    NodeId(snb::kCelineId)};
+  pv->body.edges = {EdgeId(1), EdgeId(2)};
+  pv->cost = 2;
+  BindingTable table({"p"});
+  ASSERT_TRUE(table.AddRow({Datum::OfPath(pv)}).ok());
+  ExprEvaluator eval(graph, &catalog);
+
+  auto nodes = ParseExpression("NODES(p)[1]");
+  ASSERT_TRUE(nodes.ok());
+  auto d = eval.Eval(**nodes, table, 0);
+  ASSERT_TRUE(d.ok());
+  // 0-based: nodes(p)[1] is the second node (Section 3).
+  EXPECT_EQ(d->node(), NodeId(snb::kPeterId));
+
+  auto len = ParseExpression("SIZE(EDGES(p))");
+  ASSERT_TRUE(len.ok());
+  auto l = eval.Eval(**len, table, 0);
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(l->values().single(), Value::Int(2));
+
+  auto cost = ParseExpression("COST(p)");
+  ASSERT_TRUE(cost.ok());
+  auto c = eval.Eval(**cost, table, 0);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->values().single(), Value::Int(2));
+
+  auto oob = ParseExpression("NODES(p)[9]");
+  ASSERT_TRUE(oob.ok());
+  auto o = eval.Eval(**oob, table, 0);
+  ASSERT_TRUE(o.ok());
+  EXPECT_TRUE(o->IsUnbound());
+}
+
+// --- aggregates -------------------------------------------------------------------------------
+
+class AggregateTest : public ExprEvalTest {
+ protected:
+  BindingTable MakeGroups() {
+    BindingTable t({"x", "v"});
+    auto add = [&](uint64_t x, int64_t v) {
+      Status st = t.AddRow({Datum::OfNode(NodeId(x)),
+                            Datum::OfValue(Value::Int(v))});
+      (void)st;
+    };
+    add(1, 10);
+    add(1, 20);
+    add(2, 5);
+    return t;
+  }
+
+  Result<Datum> Agg(const std::string& text,
+                    const std::vector<size_t>& rows) {
+    auto expr = ParseExpression(text);
+    if (!expr.ok()) return expr.status();
+    ExprEvaluator eval(graph, &catalog);
+    return eval.EvalWithGroup(**expr, MakeGroups(), rows);
+  }
+};
+
+TEST_F(AggregateTest, CountStar) {
+  auto d = Agg("COUNT(*)", {0, 1});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->values().single(), Value::Int(2));
+}
+
+TEST_F(AggregateTest, CountStarSkipsIncompleteRows) {
+  BindingTable t({"x", "v"});
+  ASSERT_TRUE(t.AddRow({Datum::OfNode(NodeId(1)), Datum()}).ok());
+  auto expr = ParseExpression("COUNT(*)");
+  ASSERT_TRUE(expr.ok());
+  ExprEvaluator eval(graph, &catalog);
+  auto d = eval.EvalWithGroup(**expr, t, {0});
+  ASSERT_TRUE(d.ok());
+  // OPTIONAL non-match (unbound column) does not count: nr_messages = 0.
+  EXPECT_EQ(d->values().single(), Value::Int(0));
+}
+
+TEST_F(AggregateTest, SumMinMaxAvgCollect) {
+  auto sum = Agg("SUM(v)", {0, 1, 2});
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->values().single(), Value::Int(35));
+  auto mn = Agg("MIN(v)", {0, 1, 2});
+  ASSERT_TRUE(mn.ok());
+  EXPECT_EQ(mn->values().single(), Value::Int(5));
+  auto mx = Agg("MAX(v)", {0, 1, 2});
+  ASSERT_TRUE(mx.ok());
+  EXPECT_EQ(mx->values().single(), Value::Int(20));
+  auto avg = Agg("AVG(v)", {0, 1});
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(avg->values().single().AsDouble(), 15.0);
+  auto col = Agg("COLLECT(v)", {0, 1, 2});
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->values().size(), 3u);
+}
+
+TEST_F(AggregateTest, MixedScalarAggregateTree) {
+  auto d = Agg("COUNT(*) + 100", {0, 1, 2});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->values().single(), Value::Int(103));
+}
+
+TEST_F(AggregateTest, AggregateOutsideGroupIsError) {
+  auto expr = ParseExpression("COUNT(*)");
+  ASSERT_TRUE(expr.ok());
+  ExprEvaluator eval(graph, &catalog);
+  BindingTable t = MakeGroups();
+  EXPECT_TRUE(eval.Eval(**expr, t, 0).status().IsEvaluationError());
+}
+
+}  // namespace
+}  // namespace gcore

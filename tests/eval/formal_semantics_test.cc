@@ -1,0 +1,177 @@
+// The worked examples of Appendix A, evaluated on the Figure 2 instance:
+//  * A.2: ⟦MATCH γ WHERE w.name = Houston⟧ = {{x→105, y→102, w→106, z→301}}
+//  * A.3: the CONSTRUCT {f, g, h} company-grouping denotation.
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "eval/matcher.h"
+#include "parser/parser.h"
+#include "snb/toy_graphs.h"
+
+namespace gcore {
+namespace {
+
+class FormalSemantics : public ::testing::Test {
+ protected:
+  FormalSemantics() {
+    snb::RegisterToyData(&catalog);
+    catalog.SetDefaultGraph("example_graph");
+  }
+  GraphCatalog catalog;
+};
+
+TEST_F(FormalSemantics, A2_SubpatternLocatedIn) {
+  // ⟦x -locatedIn-> w⟧ = {{x→105, w→106}, {x→102, w→106}}.
+  MatcherContext ctx;
+  ctx.catalog = &catalog;
+  ctx.default_graph = "example_graph";
+  Matcher matcher(ctx);
+  auto parsed = ParseQuery("CONSTRUCT (x) MATCH (x)-[:locatedIn]->(w)");
+  ASSERT_TRUE(parsed.ok());
+  const MatchClause& match = *(*parsed)->body->basic->match;
+  auto table = matcher.EvalMatchClause(match);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ(table->NumRows(), 2u);
+  std::set<uint64_t> xs;
+  for (size_t r = 0; r < table->NumRows(); ++r) {
+    xs.insert(table->Get(r, "x").node().value());
+    EXPECT_EQ(table->Get(r, "w").node(), NodeId(106));
+  }
+  EXPECT_EQ(xs, (std::set<uint64_t>{102, 105}));
+}
+
+TEST_F(FormalSemantics, A2_StoredPathConformingToRegex) {
+  // ⟦x @z in (knows+knows⁻)* y⟧ = {{z→301, x→105, y→102}}.
+  MatcherContext ctx;
+  ctx.catalog = &catalog;
+  ctx.default_graph = "example_graph";
+  Matcher matcher(ctx);
+  auto parsed = ParseQuery(
+      "CONSTRUCT (x) MATCH (x)-/@z <(:knows|:knows-)*>/->(y)");
+  ASSERT_TRUE(parsed.ok());
+  const MatchClause& match = *(*parsed)->body->basic->match;
+  auto table = matcher.EvalMatchClause(match);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ(table->NumRows(), 1u);
+  EXPECT_EQ(table->Get(0, "x").node(), NodeId(105));
+  EXPECT_EQ(table->Get(0, "y").node(), NodeId(102));
+  EXPECT_EQ(table->Get(0, "z").path().id, PathId(301));
+}
+
+TEST_F(FormalSemantics, A2_FullExampleSingleBinding) {
+  // The full γ of the A.2 example plus WHERE w.name = 'Houston'.
+  QueryEngine engine(&catalog);
+  auto result = engine.Execute(
+      "SELECT ID(x) AS x, ID(y) AS y, ID(w) AS w, ID(z) AS z "
+      "MATCH (x)-[:locatedIn]->(w), (y)-[:locatedIn]->(w), "
+      "(x)-/@z <(:knows|:knows-)*>/->(y) "
+      "WHERE w.name = 'Houston'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->IsTable());
+  const Table& t = *result->table;
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.At(0, t.ColumnIndex("x")), Value::Int(105));
+  EXPECT_EQ(t.At(0, t.ColumnIndex("y")), Value::Int(102));
+  EXPECT_EQ(t.At(0, t.ColumnIndex("w")), Value::Int(106));
+  EXPECT_EQ(t.At(0, t.ColumnIndex("z")), Value::Int(301));
+}
+
+TEST_F(FormalSemantics, A2_WhereFilterRemovesNonHouston) {
+  // Without a second city no binding matches a different name.
+  QueryEngine engine(&catalog);
+  auto result = engine.Execute(
+      "SELECT ID(x) AS x MATCH (x)-[:locatedIn]->(w) "
+      "WHERE w.name = 'Paris'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table->NumRows(), 0u);
+}
+
+TEST_F(FormalSemantics, A3_ConstructCompaniesFromBindings) {
+  // The A.3 example over the social_graph employer bindings: node
+  // construct (x GROUP e :Company {name := e}), node construct (n), and
+  // edge construct n -[y GROUP x,e,n :worksAt]-> x. Five bindings yield
+  // four companies and five edges.
+  catalog.SetDefaultGraph("social_graph");
+  QueryEngine engine(&catalog);
+  auto result = engine.Execute(
+      "CONSTRUCT (n)-[y:worksAt]->(x GROUP e :Company {name:=e}) "
+      "MATCH (n:Person {employer=e})");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const PathPropertyGraph& g = *result->graph;
+  // 4 persons with employers + 4 companies.
+  EXPECT_EQ(g.NumNodes(), 8u);
+  EXPECT_EQ(g.NumEdges(), 5u);
+  // Frank has two worksAt edges (one per employer value).
+  int frank_edges = 0;
+  std::set<std::string> frank_companies;
+  g.ForEachEdge([&](EdgeId e, NodeId src, NodeId dst) {
+    EXPECT_TRUE(g.Labels(e).Contains("worksAt"));
+    if (src == NodeId(snb::kFrankId)) {
+      ++frank_edges;
+      frank_companies.insert(
+          g.Property(dst, "name").single().AsString());
+    }
+  });
+  EXPECT_EQ(frank_edges, 2);
+  EXPECT_EQ(frank_companies, (std::set<std::string>{"CWI", "MIT"}));
+}
+
+TEST_F(FormalSemantics, A3_SkolemSharedAcrossItems) {
+  // An unbound variable occurring in several construct items denotes the
+  // same new object ("to ensure that the same identities will be used").
+  catalog.SetDefaultGraph("social_graph");
+  QueryEngine engine(&catalog);
+  auto result = engine.Execute(
+      "CONSTRUCT (hub GROUP c :City2 {name:=c.name}), "
+      "(n)-[:cityOf]->(hub GROUP c) "
+      "MATCH (n:Person)-[:isLocatedIn]->(c)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const PathPropertyGraph& g = *result->graph;
+  // Two cities -> two hubs; 5 persons -> 5 edges into exactly those hubs.
+  size_t hubs = 0;
+  g.ForEachNode([&](NodeId n) {
+    if (g.Labels(n).Contains("City2")) ++hubs;
+  });
+  EXPECT_EQ(hubs, 2u);
+  EXPECT_EQ(g.NumEdges(), 5u);
+}
+
+TEST_F(FormalSemantics, A5_QueryLevelSetOps) {
+  catalog.SetDefaultGraph("social_graph");
+  QueryEngine engine(&catalog);
+  // (social ∪ company) ∖ company = social (they are disjoint).
+  auto result = engine.Execute(
+      "social_graph UNION company_graph MINUS company_graph");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto social = catalog.Lookup("social_graph");
+  ASSERT_TRUE(social.ok());
+  EXPECT_EQ(result->graph->NumNodes(), (*social)->NumNodes());
+  EXPECT_EQ(result->graph->NumEdges(), (*social)->NumEdges());
+}
+
+TEST_F(FormalSemantics, A6_GraphClauseIsQueryLocal) {
+  catalog.SetDefaultGraph("social_graph");
+  QueryEngine engine(&catalog);
+  auto result = engine.Execute(
+      "GRAPH tmp AS (CONSTRUCT (n) MATCH (n:Person)) "
+      "CONSTRUCT (m) MATCH (m) ON tmp");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->graph->NumNodes(), 5u);
+  // tmp does not persist.
+  EXPECT_FALSE(catalog.HasGraph("tmp"));
+}
+
+TEST_F(FormalSemantics, A6_GraphViewPersists) {
+  catalog.SetDefaultGraph("social_graph");
+  QueryEngine engine(&catalog);
+  auto result = engine.Execute(
+      "GRAPH VIEW persons_view AS (CONSTRUCT (n) MATCH (n:Person))");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(catalog.HasGraph("persons_view"));
+  auto view = catalog.Lookup("persons_view");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->NumNodes(), 5u);
+}
+
+}  // namespace
+}  // namespace gcore

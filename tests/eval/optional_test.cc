@@ -1,0 +1,139 @@
+// OPTIONAL semantics (lines 44-56 of the paper): chained left outer
+// joins, per-block WHERE, order independence, and the shared-variable
+// syntactic restriction of [31].
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "graph/graph_builder.h"
+#include "snb/schema.h"
+
+namespace gcore {
+namespace {
+
+class OptionalTest : public ::testing::Test {
+ protected:
+  OptionalTest() {
+    GraphBuilder b("g", catalog.ids());
+    // Persons: one with employer+city, one with employer only, one bare.
+    const NodeId full = b.AddNode({"Person"}, {{"name", "Full"}});
+    const NodeId half = b.AddNode({"Person"}, {{"name", "Half"}});
+    b.AddNode({"Person"}, {{"name", "Bare"}});
+    const NodeId acme = b.AddNode({"Company"}, {{"name", "Acme"}});
+    const NodeId houston = b.AddNode({"City"}, {{"name", "Houston"}});
+    b.AddEdge(full, acme, "worksAt");
+    b.AddEdge(full, houston, "livesIn");
+    b.AddEdge(half, acme, "worksAt");
+    catalog.RegisterGraph("g", b.Build());
+    catalog.SetDefaultGraph("g");
+  }
+
+  Result<Table> Select(const std::string& q) {
+    QueryEngine engine(&catalog);
+    auto r = engine.Execute(q);
+    if (!r.ok()) return r.status();
+    EXPECT_TRUE(r->IsTable());
+    Table t = std::move(*r->table);
+    t.SortRows();
+    return t;
+  }
+
+  GraphCatalog catalog;
+};
+
+TEST_F(OptionalTest, UnmatchedOptionalKeepsRow) {
+  auto t = Select(
+      "SELECT n.name AS name, c.name AS company "
+      "MATCH (n:Person) OPTIONAL (n)-[:worksAt]->(c)");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->NumRows(), 3u);
+  // Bare has no company: NULL cell.
+  EXPECT_EQ(t->At(0, 0), Value::String("Bare"));
+  EXPECT_TRUE(t->At(0, 1).is_null());
+  EXPECT_EQ(t->At(1, 1), Value::String("Acme"));
+  EXPECT_EQ(t->At(2, 1), Value::String("Acme"));
+}
+
+TEST_F(OptionalTest, TwoBlocksChainLeftToRight) {
+  auto t = Select(
+      "SELECT n.name AS name, c.name AS company, a.name AS city "
+      "MATCH (n:Person) "
+      "OPTIONAL (n)-[:worksAt]->(c) "
+      "OPTIONAL (n)-[:livesIn]->(a)");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->NumRows(), 3u);
+  // Full has both, Half company only, Bare neither.
+  EXPECT_TRUE(t->At(0, 1).is_null());   // Bare
+  EXPECT_TRUE(t->At(0, 2).is_null());
+  EXPECT_EQ(t->At(1, 0), Value::String("Full"));
+  EXPECT_EQ(t->At(1, 1), Value::String("Acme"));
+  EXPECT_EQ(t->At(1, 2), Value::String("Houston"));
+  EXPECT_EQ(t->At(2, 0), Value::String("Half"));
+  EXPECT_TRUE(t->At(2, 2).is_null());
+}
+
+TEST_F(OptionalTest, OrderIndependentWhenRestrictionHolds) {
+  // Lines 48-56: swapping independent OPTIONAL blocks does not change the
+  // result.
+  auto t1 = Select(
+      "SELECT n.name AS name, c.name AS company, a.name AS city "
+      "MATCH (n:Person) OPTIONAL (n)-[:worksAt]->(c) "
+      "OPTIONAL (n)-[:livesIn]->(a)");
+  auto t2 = Select(
+      "SELECT n.name AS name, c.name AS company, a.name AS city "
+      "MATCH (n:Person) OPTIONAL (n)-[:livesIn]->(a) "
+      "OPTIONAL (n)-[:worksAt]->(c)");
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t1->ToString(), t2->ToString());
+}
+
+TEST_F(OptionalTest, SharedVariableRestrictionRejected) {
+  // Lines 54-56: `a` is shared by the blocks but absent from the enclosing
+  // pattern — rejected to keep the semantics evaluation-order free.
+  QueryEngine engine(&catalog);
+  auto r = engine.Execute(
+      "CONSTRUCT (n) MATCH (n:Person) "
+      "OPTIONAL (n)-[:worksAt]->(a) "
+      "OPTIONAL (n)-[:livesIn]->(a)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsBindError());
+}
+
+TEST_F(OptionalTest, SharedVariableAllowedWhenInMainPattern) {
+  QueryEngine engine(&catalog);
+  auto r = engine.Execute(
+      "CONSTRUCT (n) MATCH (n:Person), (a) "
+      "OPTIONAL (n)-[:worksAt]->(a) "
+      "OPTIONAL (n)-[:livesIn]->(a)");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST_F(OptionalTest, OptionalBlockWithOwnWhere) {
+  auto t = Select(
+      "SELECT n.name AS name, c.name AS company "
+      "MATCH (n:Person) "
+      "OPTIONAL (n)-[:worksAt]->(c) WHERE c.name = 'NotAcme'");
+  ASSERT_TRUE(t.ok());
+  // The block filters to empty, so every person keeps a NULL company.
+  ASSERT_EQ(t->NumRows(), 3u);
+  for (size_t r = 0; r < 3; ++r) EXPECT_TRUE(t->At(r, 1).is_null());
+}
+
+TEST_F(OptionalTest, MultiSegmentOptionalAllPatternsMustMatch) {
+  // "All patterns separated by comma in an OPTIONAL block must match."
+  auto t = Select(
+      "SELECT n.name AS name, c.name AS company, a.name AS city "
+      "MATCH (n:Person) "
+      "OPTIONAL (n)-[:worksAt]->(c), (n)-[:livesIn]->(a)");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->NumRows(), 3u);
+  // Only Full satisfies both segments; Half gets NULLs for the whole block.
+  for (size_t r = 0; r < 3; ++r) {
+    const bool is_full = t->At(r, 0) == Value::String("Full");
+    EXPECT_EQ(!t->At(r, 1).is_null(), is_full);
+    EXPECT_EQ(!t->At(r, 2).is_null(), is_full);
+  }
+}
+
+}  // namespace
+}  // namespace gcore

@@ -1,0 +1,273 @@
+// Tests of the PPG data model (Definition 2.1) including the exact
+// Example 2.2 instance of Figure 2.
+#include "graph/ppg.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "snb/toy_graphs.h"
+
+namespace gcore {
+namespace {
+
+TEST(LabelSet, InsertRemoveContains) {
+  LabelSet s;
+  s.Insert("Person");
+  s.Insert("Manager");
+  s.Insert("Person");
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains("Person"));
+  EXPECT_TRUE(s.Contains("Manager"));
+  s.Remove("Person");
+  EXPECT_FALSE(s.Contains("Person"));
+  s.Remove("NotThere");
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(LabelSet, UnionIntersect) {
+  LabelSet a({"A", "B"});
+  LabelSet b({"B", "C"});
+  LabelSet u = a;
+  u.UnionWith(b);
+  EXPECT_EQ(u, LabelSet({"A", "B", "C"}));
+  LabelSet i = a;
+  i.IntersectWith(b);
+  EXPECT_EQ(i, LabelSet({"B"}));
+}
+
+TEST(LabelSet, ToStringColonForm) {
+  EXPECT_EQ(LabelSet({"Person", "Manager"}).ToString(), ":Manager:Person");
+  EXPECT_EQ(LabelSet().ToString(), "");
+}
+
+TEST(PropertyMap, AbsentKeyIsEmptySet) {
+  PropertyMap m;
+  EXPECT_TRUE(m.Get("name").empty());
+  EXPECT_FALSE(m.Has("name"));
+}
+
+TEST(PropertyMap, SetGetRemove) {
+  PropertyMap m;
+  m.Set("name", ValueSet(Value::String("Wagner")));
+  EXPECT_TRUE(m.Has("name"));
+  EXPECT_EQ(m.Get("name").single(), Value::String("Wagner"));
+  m.Remove("name");
+  EXPECT_FALSE(m.Has("name"));
+}
+
+TEST(PropertyMap, SettingEmptyErases) {
+  PropertyMap m;
+  m.Set("k", ValueSet(Value::Int(1)));
+  m.Set("k", ValueSet());
+  EXPECT_FALSE(m.Has("k"));
+}
+
+TEST(PropertyMap, AddBuildsMultiValued) {
+  PropertyMap m;
+  m.Add("employer", Value::String("CWI"));
+  m.Add("employer", Value::String("MIT"));
+  m.Add("employer", Value::String("CWI"));
+  EXPECT_EQ(m.Get("employer").size(), 2u);
+}
+
+TEST(PropertyMap, UnionIntersectPerKey) {
+  PropertyMap a;
+  a.Set("k", ValueSet({Value::Int(1), Value::Int(2)}));
+  a.Set("only_a", ValueSet(Value::Int(9)));
+  PropertyMap b;
+  b.Set("k", ValueSet({Value::Int(2), Value::Int(3)}));
+
+  PropertyMap u = a;
+  u.UnionWith(b);
+  EXPECT_EQ(u.Get("k").size(), 3u);
+  EXPECT_TRUE(u.Has("only_a"));
+
+  PropertyMap i = a;
+  i.IntersectWith(b);
+  EXPECT_EQ(i.Get("k"), ValueSet(Value::Int(2)));
+  EXPECT_FALSE(i.Has("only_a"));
+}
+
+TEST(PathPropertyGraph, AddNodeIdempotent) {
+  PathPropertyGraph g;
+  g.AddNode(NodeId(1));
+  g.AddLabel(NodeId(1), "Person");
+  g.AddNode(NodeId(1));
+  EXPECT_EQ(g.NumNodes(), 1u);
+  EXPECT_TRUE(g.Labels(NodeId(1)).Contains("Person"));
+}
+
+TEST(PathPropertyGraph, EdgeRequiresMemberEndpoints) {
+  PathPropertyGraph g;
+  g.AddNode(NodeId(1));
+  EXPECT_FALSE(g.AddEdge(EdgeId(10), NodeId(1), NodeId(2)).ok());
+  g.AddNode(NodeId(2));
+  EXPECT_TRUE(g.AddEdge(EdgeId(10), NodeId(1), NodeId(2)).ok());
+  EXPECT_EQ(g.EdgeEndpoints(EdgeId(10)), std::make_pair(NodeId(1), NodeId(2)));
+}
+
+TEST(PathPropertyGraph, EdgeIdentityViolationRejected) {
+  PathPropertyGraph g;
+  g.AddNode(NodeId(1));
+  g.AddNode(NodeId(2));
+  ASSERT_TRUE(g.AddEdge(EdgeId(10), NodeId(1), NodeId(2)).ok());
+  // Same id, same ρ: fine. Different ρ: identity violation.
+  EXPECT_TRUE(g.AddEdge(EdgeId(10), NodeId(1), NodeId(2)).ok());
+  EXPECT_FALSE(g.AddEdge(EdgeId(10), NodeId(2), NodeId(1)).ok());
+}
+
+TEST(PathPropertyGraph, MultipleEdgesBetweenSamePair) {
+  // "The function ρ allows us to have several edges between the same pairs
+  // of nodes" (Section 2).
+  PathPropertyGraph g;
+  g.AddNode(NodeId(1));
+  g.AddNode(NodeId(2));
+  ASSERT_TRUE(g.AddEdge(EdgeId(10), NodeId(1), NodeId(2)).ok());
+  ASSERT_TRUE(g.AddEdge(EdgeId(11), NodeId(1), NodeId(2)).ok());
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(PathPropertyGraph, PathValidationConditionThree) {
+  // δ(p) must concatenate adjacent member edges, traversable in either
+  // direction (condition (3) of Definition 2.1).
+  PathPropertyGraph g;
+  for (uint64_t i = 1; i <= 3; ++i) g.AddNode(NodeId(i));
+  ASSERT_TRUE(g.AddEdge(EdgeId(10), NodeId(1), NodeId(2)).ok());
+  ASSERT_TRUE(g.AddEdge(EdgeId(11), NodeId(3), NodeId(2)).ok());  // reversed
+
+  PathBody ok_body;
+  ok_body.nodes = {NodeId(1), NodeId(2), NodeId(3)};
+  ok_body.edges = {EdgeId(10), EdgeId(11)};  // 11 crossed backwards
+  EXPECT_TRUE(g.AddPath(PathId(100), ok_body).ok());
+
+  PathBody bad_nodes;
+  bad_nodes.nodes = {NodeId(1), NodeId(3)};
+  bad_nodes.edges = {EdgeId(10)};  // 10 does not connect 1-3
+  EXPECT_FALSE(g.AddPath(PathId(101), bad_nodes).ok());
+
+  PathBody bad_arity;
+  bad_arity.nodes = {NodeId(1)};
+  bad_arity.edges = {EdgeId(10)};
+  EXPECT_FALSE(g.AddPath(PathId(102), bad_arity).ok());
+}
+
+TEST(PathPropertyGraph, ZeroLengthPathAllowed) {
+  PathPropertyGraph g;
+  g.AddNode(NodeId(1));
+  PathBody body;
+  body.nodes = {NodeId(1)};
+  EXPECT_TRUE(g.AddPath(PathId(100), body).ok());
+  EXPECT_EQ(g.Path(PathId(100)).Length(), 0u);
+}
+
+TEST(PathPropertyGraph, PathsHaveLabelsAndProperties) {
+  PathPropertyGraph g;
+  g.AddNode(NodeId(1));
+  PathBody body;
+  body.nodes = {NodeId(1)};
+  ASSERT_TRUE(g.AddPath(PathId(100), body).ok());
+  g.AddLabel(PathId(100), "toWagner");
+  g.SetProperty(PathId(100), "trust", ValueSet(Value::Double(0.95)));
+  EXPECT_TRUE(g.Labels(PathId(100)).Contains("toWagner"));
+  EXPECT_DOUBLE_EQ(g.Property(PathId(100), "trust").single().AsDouble(), 0.95);
+}
+
+TEST(PathPropertyGraph, ValidateDetectsWellFormedness) {
+  PathPropertyGraph g;
+  g.AddNode(NodeId(1));
+  g.AddNode(NodeId(2));
+  ASSERT_TRUE(g.AddEdge(EdgeId(10), NodeId(1), NodeId(2)).ok());
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+// --- Example 2.2 (Figure 2) ----------------------------------------------------
+
+class Example22 : public ::testing::Test {
+ protected:
+  IdAllocator ids;
+  PathPropertyGraph g = snb::MakeExampleGraph(&ids);
+};
+
+TEST_F(Example22, IdentifierSets) {
+  EXPECT_EQ(g.NumNodes(), 6u);
+  EXPECT_EQ(g.NumEdges(), 7u);
+  EXPECT_EQ(g.NumPaths(), 1u);
+  for (uint64_t n = 101; n <= 106; ++n) EXPECT_TRUE(g.HasNode(NodeId(n)));
+  for (uint64_t e = 201; e <= 207; ++e) EXPECT_TRUE(g.HasEdge(EdgeId(e)));
+  EXPECT_TRUE(g.HasPath(PathId(301)));
+}
+
+TEST_F(Example22, LabelAssignments) {
+  EXPECT_TRUE(g.Labels(NodeId(101)).Contains("Tag"));
+  EXPECT_TRUE(g.Labels(NodeId(102)).Contains("Person"));
+  EXPECT_TRUE(g.Labels(NodeId(102)).Contains("Manager"));
+  EXPECT_TRUE(g.Labels(EdgeId(201)).Contains("hasInterest"));
+  EXPECT_TRUE(g.Labels(PathId(301)).Contains("toWagner"));
+}
+
+TEST_F(Example22, PropertyAssignments) {
+  EXPECT_EQ(g.Property(NodeId(101), "name").single(), Value::String("Wagner"));
+  EXPECT_EQ(g.Property(EdgeId(205), "since").single(),
+            Value::OfDate(Date{2014, 12, 1}));
+  EXPECT_DOUBLE_EQ(g.Property(PathId(301), "trust").single().AsDouble(), 0.95);
+}
+
+TEST_F(Example22, RhoAssignments) {
+  EXPECT_EQ(g.EdgeEndpoints(EdgeId(201)),
+            std::make_pair(NodeId(102), NodeId(101)));
+  EXPECT_EQ(g.EdgeEndpoints(EdgeId(207)),
+            std::make_pair(NodeId(105), NodeId(103)));
+}
+
+TEST_F(Example22, DeltaAndNodesEdgesFunctions) {
+  // δ(301) = [105, 207, 103, 202, 102]; nodes(301) and edges(301) are the
+  // projections (Section 2).
+  const PathBody& body = g.Path(PathId(301));
+  EXPECT_EQ(body.nodes,
+            (std::vector<NodeId>{NodeId(105), NodeId(103), NodeId(102)}));
+  EXPECT_EQ(body.edges, (std::vector<EdgeId>{EdgeId(207), EdgeId(202)}));
+  EXPECT_EQ(body.Length(), 2u);
+}
+
+TEST_F(Example22, ValidatesAsWellFormedPpg) {
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+// --- builder -------------------------------------------------------------------
+
+TEST(GraphBuilder, FreshIdsAreDistinct) {
+  IdAllocator ids;
+  GraphBuilder b("t", &ids);
+  const NodeId a = b.AddNode({"A"});
+  const NodeId c = b.AddNode({"B"});
+  EXPECT_NE(a, c);
+}
+
+TEST(GraphBuilder, ReservedIdsDoNotCollide) {
+  IdAllocator ids;
+  GraphBuilder b("t", &ids);
+  b.AddNodeWithId(100, {"X"});
+  const NodeId fresh = b.AddNode();
+  EXPECT_GT(fresh.value(), 100u);
+}
+
+TEST(GraphBuilder, PropsViaInitializerList) {
+  IdAllocator ids;
+  GraphBuilder b("t", &ids);
+  const NodeId n = b.AddNode({"Person"}, {{"name", "Ada"}, {"age", 36}});
+  EXPECT_EQ(b.graph().Property(n, "name").single(), Value::String("Ada"));
+  EXPECT_EQ(b.graph().Property(n, "age").single(), Value::Int(36));
+}
+
+TEST(IdAllocator, TypedCountersIndependent) {
+  IdAllocator ids;
+  const NodeId n = ids.NextNode();
+  const EdgeId e = ids.NextEdge();
+  const PathId p = ids.NextPath();
+  EXPECT_EQ(n.value(), 1u);
+  EXPECT_EQ(e.value(), 1u);
+  EXPECT_EQ(p.value(), 1u);
+}
+
+}  // namespace
+}  // namespace gcore

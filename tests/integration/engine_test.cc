@@ -1,0 +1,184 @@
+// Engine-level integration tests: errors surface as proper Status codes,
+// views persist and compose, ON (subquery) locations, set operations
+// through the engine, and catalog sharing.
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_ops.h"
+#include "snb/toy_graphs.h"
+
+namespace gcore {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() { snb::RegisterToyData(&catalog); }
+  GraphCatalog catalog;
+};
+
+TEST_F(EngineTest, ParseErrorsPropagate) {
+  QueryEngine engine(&catalog);
+  auto r = engine.Execute("CONSTRUCT (n MATCH");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST_F(EngineTest, UnknownGraphIsNotFound) {
+  QueryEngine engine(&catalog);
+  auto r = engine.Execute("CONSTRUCT (n) MATCH (n) ON nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(EngineTest, NoDefaultGraphIsBindError) {
+  GraphCatalog empty;
+  QueryEngine engine(&empty);
+  auto r = engine.Execute("CONSTRUCT (n) MATCH (n)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsBindError());
+}
+
+TEST_F(EngineTest, BareGraphNameQueryReturnsThatGraph) {
+  QueryEngine engine(&catalog);
+  auto r = engine.Execute("social_graph");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto original = catalog.Lookup("social_graph");
+  ASSERT_TRUE(original.ok());
+  EXPECT_TRUE(GraphEquals(*r->graph, **original));
+}
+
+TEST_F(EngineTest, IntersectAndMinusThroughEngine) {
+  QueryEngine engine(&catalog);
+  // persons ∩ houston-residents, as two construct queries intersected.
+  auto r = engine.Execute(
+      "(CONSTRUCT (n) MATCH (n:Person)) INTERSECT "
+      "(CONSTRUCT (m) MATCH (m:Person)-[:isLocatedIn]->(c:City) "
+      "WHERE c.name = 'Houston')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->graph->NumNodes(), 4u);  // all but Alice
+  auto minus = engine.Execute(
+      "(CONSTRUCT (n) MATCH (n:Person)) MINUS "
+      "(CONSTRUCT (m) MATCH (m:Person)-[:isLocatedIn]->(c:City) "
+      "WHERE c.name = 'Houston')");
+  ASSERT_TRUE(minus.ok());
+  EXPECT_EQ(minus->graph->NumNodes(), 1u);  // Alice
+  EXPECT_TRUE(minus->graph->HasNode(NodeId(snb::kAliceId)));
+}
+
+TEST_F(EngineTest, OnSubqueryLocation) {
+  QueryEngine engine(&catalog);
+  // Match directly against an inline subquery result (Appendix A.2:
+  // basicGraphPattern ON fullGraphQuery).
+  auto r = engine.Execute(
+      "SELECT m.firstName AS name "
+      "MATCH (m) ON (CONSTRUCT (n) MATCH (n:Person) "
+      "WHERE n.employer = 'Acme')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->IsTable());
+  r->table->SortRows();
+  ASSERT_EQ(r->table->NumRows(), 2u);
+  EXPECT_EQ(r->table->At(0, 0), Value::String("Alice"));
+  EXPECT_EQ(r->table->At(1, 0), Value::String("John"));
+  // The temporary location graph does not leak into the catalog.
+  EXPECT_FALSE(catalog.HasGraph("__location0"));
+}
+
+TEST_F(EngineTest, OnSubqueryMixedWithNamedGraph) {
+  QueryEngine engine(&catalog);
+  auto r = engine.Execute(
+      "SELECT c.name AS company, m.firstName AS person "
+      "MATCH (c:Company) ON company_graph, "
+      "(m) ON (CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'HAL') "
+      "WHERE c.name IN m.employer");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->table->NumRows(), 1u);
+  EXPECT_EQ(r->table->At(0, 1), Value::String("Celine"));
+}
+
+TEST_F(EngineTest, ViewsComposeAcrossExecutes) {
+  QueryEngine engine(&catalog);
+  ASSERT_TRUE(engine
+                  .Execute("GRAPH VIEW v1 AS (CONSTRUCT (n) "
+                           "MATCH (n:Person))")
+                  .ok());
+  ASSERT_TRUE(engine
+                  .Execute("GRAPH VIEW v2 AS (CONSTRUCT (n) MATCH (n) ON v1 "
+                           "WHERE n.employer = 'Acme')")
+                  .ok());
+  auto r = engine.Execute("SELECT COUNT(*) AS c MATCH (n) ON v2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->table->At(0, 0), Value::Int(2));
+}
+
+TEST_F(EngineTest, CatalogSharedBetweenEngines) {
+  QueryEngine engine1(&catalog);
+  ASSERT_TRUE(engine1
+                  .Execute("GRAPH VIEW shared AS (CONSTRUCT (n) "
+                           "MATCH (n:Tag))")
+                  .ok());
+  QueryEngine engine2(&catalog);
+  auto r = engine2.Execute("SELECT COUNT(*) AS c MATCH (t) ON shared");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table->At(0, 0), Value::Int(1));
+}
+
+TEST_F(EngineTest, ViewRedefinitionReplaces) {
+  QueryEngine engine(&catalog);
+  ASSERT_TRUE(engine
+                  .Execute("GRAPH VIEW w AS (CONSTRUCT (n) MATCH (n:Person))")
+                  .ok());
+  ASSERT_TRUE(engine
+                  .Execute("GRAPH VIEW w AS (CONSTRUCT (n) MATCH (n:Tag))")
+                  .ok());
+  auto r = engine.Execute("SELECT COUNT(*) AS c MATCH (x) ON w");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table->At(0, 0), Value::Int(1));
+}
+
+TEST_F(EngineTest, EmptyMatchYieldsEmptyGraphNotError) {
+  QueryEngine engine(&catalog);
+  auto r = engine.Execute(
+      "CONSTRUCT (n) MATCH (n:Person) WHERE n.firstName = 'Nobody'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->graph->Empty());
+}
+
+TEST_F(EngineTest, ExistsOverEmptySubqueryIsFalse) {
+  QueryEngine engine(&catalog);
+  auto r = engine.Execute(
+      "SELECT COUNT(*) AS c MATCH (n:Person) "
+      "WHERE EXISTS ( CONSTRUCT () MATCH (n)-[:worksAt]->(x) )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->table->At(0, 0), Value::Int(0));  // no worksAt edges yet
+}
+
+TEST_F(EngineTest, RuntimeErrorsCarryEvaluationCode) {
+  QueryEngine engine(&catalog);
+  // PATH cost of zero violates Appendix A.4's "> 0" rule at runtime.
+  auto r = engine.Execute(
+      "PATH w = (x)-[e:knows]->(y) COST 0 "
+      "CONSTRUCT (m) MATCH (n)-/p<~w*>/->(m)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsEvaluationError());
+}
+
+TEST_F(EngineTest, DivisionByZeroSurfaces) {
+  QueryEngine engine(&catalog);
+  auto r = engine.Execute("SELECT 1/0 AS boom MATCH (n:Person)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsEvaluationError());
+}
+
+TEST_F(EngineTest, QueryResultToString) {
+  QueryEngine engine(&catalog);
+  auto g = engine.Execute("CONSTRUCT (n) MATCH (n:Tag)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_NE(g->ToString().find("Tag"), std::string::npos);
+  auto t = engine.Execute("SELECT COUNT(*) AS c MATCH (n:Tag)");
+  ASSERT_TRUE(t.ok());
+  EXPECT_NE(t->ToString().find("c"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gcore

@@ -1,0 +1,120 @@
+// Tests for the SELECT slicing/sorting extensions Section 5 names as the
+// natural additions to tabular projection: DISTINCT, ORDER BY, LIMIT.
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "parser/parser.h"
+#include "snb/toy_graphs.h"
+
+namespace gcore {
+namespace {
+
+class SelectExtensions : public ::testing::Test {
+ protected:
+  SelectExtensions() { snb::RegisterToyData(&catalog); }
+
+  Result<Table> Run(const std::string& q) {
+    QueryEngine engine(&catalog);
+    auto r = engine.Execute(q);
+    if (!r.ok()) return r.status();
+    EXPECT_TRUE(r->IsTable());
+    return std::move(*r->table);
+  }
+
+  GraphCatalog catalog;
+};
+
+TEST_F(SelectExtensions, OrderByAscendingDefault) {
+  auto t = Run("SELECT n.firstName AS name MATCH (n:Person) "
+               "ORDER BY n.firstName");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->NumRows(), 5u);
+  EXPECT_EQ(t->At(0, 0), Value::String("Alice"));
+  EXPECT_EQ(t->At(4, 0), Value::String("Peter"));
+}
+
+TEST_F(SelectExtensions, OrderByDescending) {
+  auto t = Run("SELECT n.firstName AS name MATCH (n:Person) "
+               "ORDER BY n.firstName DESC");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->At(0, 0), Value::String("Peter"));
+  EXPECT_EQ(t->At(4, 0), Value::String("Alice"));
+}
+
+TEST_F(SelectExtensions, OrderByMultipleKeys) {
+  // Sort by city then name: Austin's Alice first.
+  auto t = Run(
+      "SELECT c.name AS city, n.firstName AS name "
+      "MATCH (n:Person)-[:isLocatedIn]->(c) "
+      "ORDER BY c.name, n.firstName DESC");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->NumRows(), 5u);
+  EXPECT_EQ(t->At(0, 0), Value::String("Austin"));
+  EXPECT_EQ(t->At(1, 0), Value::String("Houston"));
+  EXPECT_EQ(t->At(1, 1), Value::String("Peter"));  // DESC within Houston
+}
+
+TEST_F(SelectExtensions, Limit) {
+  auto t = Run("SELECT n.firstName AS name MATCH (n:Person) "
+               "ORDER BY n.firstName LIMIT 2");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->NumRows(), 2u);
+  EXPECT_EQ(t->At(0, 0), Value::String("Alice"));
+  EXPECT_EQ(t->At(1, 0), Value::String("Celine"));
+}
+
+TEST_F(SelectExtensions, LimitZero) {
+  auto t = Run("SELECT n.firstName AS name MATCH (n:Person) LIMIT 0");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumRows(), 0u);
+}
+
+TEST_F(SelectExtensions, Distinct) {
+  // Each person's city, deduplicated: Houston + Austin.
+  auto t = Run(
+      "SELECT DISTINCT c.name AS city "
+      "MATCH (n:Person)-[:isLocatedIn]->(c) ORDER BY c.name");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->NumRows(), 2u);
+  EXPECT_EQ(t->At(0, 0), Value::String("Austin"));
+  EXPECT_EQ(t->At(1, 0), Value::String("Houston"));
+}
+
+TEST_F(SelectExtensions, DistinctWithLimit) {
+  auto t = Run(
+      "SELECT DISTINCT c.name AS city "
+      "MATCH (n:Person)-[:isLocatedIn]->(c) ORDER BY c.name LIMIT 1");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->NumRows(), 1u);
+  EXPECT_EQ(t->At(0, 0), Value::String("Austin"));
+}
+
+TEST_F(SelectExtensions, OrderByExpressionNotProjected) {
+  // Sorting by a key that is not among the projected columns.
+  auto t = Run(
+      "SELECT n.firstName AS name MATCH (n:Person) "
+      "ORDER BY SIZE(n.employer) DESC, n.firstName");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->At(0, 0), Value::String("Frank"));  // two employers
+  EXPECT_EQ(t->At(4, 0), Value::String("Peter"));  // none
+}
+
+TEST_F(SelectExtensions, LimitRequiresInteger) {
+  auto t = Run("SELECT n.firstName AS f MATCH (n) LIMIT 'x'");
+  ASSERT_FALSE(t.ok());
+  EXPECT_TRUE(t.status().IsParseError());
+}
+
+TEST_F(SelectExtensions, RoundTripThroughPrinter) {
+  auto q = ParseQuery(
+      "SELECT DISTINCT n.firstName AS name MATCH (n:Person) "
+      "ORDER BY n.firstName DESC LIMIT 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const std::string printed = (*q)->ToString();
+  auto q2 = ParseQuery(printed);
+  ASSERT_TRUE(q2.ok()) << printed << "\n" << q2.status().ToString();
+  EXPECT_EQ((*q2)->ToString(), printed);
+}
+
+}  // namespace
+}  // namespace gcore

@@ -1,0 +1,157 @@
+// Tests for the G-CORE lexer.
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace gcore {
+namespace {
+
+std::vector<TokenType> Types(const std::string& text) {
+  auto tokens = Tokenize(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenType> types;
+  for (const auto& t : *tokens) types.push_back(t.type);
+  return types;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  EXPECT_EQ(Types(""), std::vector<TokenType>{TokenType::kEof});
+  EXPECT_EQ(Types("   \n\t "), std::vector<TokenType>{TokenType::kEof});
+}
+
+TEST(Lexer, KeywordsCaseInsensitive) {
+  EXPECT_EQ(Types("CONSTRUCT construct Construct"),
+            (std::vector<TokenType>{TokenType::kConstruct,
+                                    TokenType::kConstruct,
+                                    TokenType::kConstruct, TokenType::kEof}));
+}
+
+TEST(Lexer, IdentifiersCaseSensitive) {
+  auto tokens = Tokenize("social_graph Social_Graph");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "social_graph");
+  EXPECT_EQ((*tokens)[1].text, "Social_Graph");
+}
+
+TEST(Lexer, NumbersIntAndDouble) {
+  auto tokens = Tokenize("42 0.95 7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kDouble);
+  EXPECT_DOUBLE_EQ((*tokens)[1].double_value, 0.95);
+  EXPECT_EQ((*tokens)[2].int_value, 7);
+}
+
+TEST(Lexer, DotAfterIntStaysSeparateWithoutDigit) {
+  // `nodes(p)[1].name` must not lex `1.` as a double prefix.
+  EXPECT_EQ(Types("1.name"),
+            (std::vector<TokenType>{TokenType::kInteger, TokenType::kDot,
+                                    TokenType::kIdentifier, TokenType::kEof}));
+}
+
+TEST(Lexer, StringsSingleAndDoubleQuoted) {
+  auto tokens = Tokenize("'Acme' \"HAL\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "Acme");
+  EXPECT_EQ((*tokens)[1].text, "HAL");
+}
+
+TEST(Lexer, StringEscapes) {
+  auto tokens = Tokenize(R"('a\'b' 'x''y' 'n\nl')");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "a'b");
+  EXPECT_EQ((*tokens)[1].text, "x'y");  // SQL doubled-quote escape
+  EXPECT_EQ((*tokens)[2].text, "n\nl");
+}
+
+TEST(Lexer, UnterminatedStringIsError) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(Lexer, CompoundOperators) {
+  EXPECT_EQ(Types(":= <- -> <= >= <>"),
+            (std::vector<TokenType>{TokenType::kAssign, TokenType::kArrowLeft,
+                                    TokenType::kArrowRight, TokenType::kLe,
+                                    TokenType::kGe, TokenType::kNeq,
+                                    TokenType::kEof}));
+}
+
+TEST(Lexer, EdgePatternTokenization) {
+  EXPECT_EQ(Types("-[e:knows]->"),
+            (std::vector<TokenType>{TokenType::kMinus, TokenType::kLBracket,
+                                    TokenType::kIdentifier, TokenType::kColon,
+                                    TokenType::kIdentifier,
+                                    TokenType::kRBracket,
+                                    TokenType::kArrowRight, TokenType::kEof}));
+}
+
+TEST(Lexer, PathPatternTokenization) {
+  EXPECT_EQ(Types("-/@p:toWagner/->"),
+            (std::vector<TokenType>{
+                TokenType::kMinus, TokenType::kSlash, TokenType::kAt,
+                TokenType::kIdentifier, TokenType::kColon,
+                TokenType::kIdentifier, TokenType::kSlash,
+                TokenType::kArrowRight, TokenType::kEof}));
+}
+
+TEST(Lexer, RegexTokenization) {
+  EXPECT_EQ(Types("<:knows*>"),
+            (std::vector<TokenType>{TokenType::kLt, TokenType::kColon,
+                                    TokenType::kIdentifier, TokenType::kStar,
+                                    TokenType::kGt, TokenType::kEof}));
+  EXPECT_EQ(Types("<~wKnows*>"),
+            (std::vector<TokenType>{TokenType::kLt, TokenType::kTilde,
+                                    TokenType::kIdentifier, TokenType::kStar,
+                                    TokenType::kGt, TokenType::kEof}));
+}
+
+TEST(Lexer, UnderscoreIsWildcardToken) {
+  EXPECT_EQ(Types("_"),
+            (std::vector<TokenType>{TokenType::kUnderscore, TokenType::kEof}));
+  // But underscore-prefixed identifiers stay identifiers.
+  auto tokens = Tokenize("_x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+}
+
+TEST(Lexer, LineComments) {
+  EXPECT_EQ(Types("1 -- a comment\n2"),
+            (std::vector<TokenType>{TokenType::kInteger, TokenType::kInteger,
+                                    TokenType::kEof}));
+}
+
+TEST(Lexer, MinusMinusWithoutSpaceIsArithmetic) {
+  EXPECT_EQ(Types("a--b"),
+            (std::vector<TokenType>{TokenType::kIdentifier, TokenType::kMinus,
+                                    TokenType::kMinus, TokenType::kIdentifier,
+                                    TokenType::kEof}));
+}
+
+TEST(Lexer, PositionTracking) {
+  auto tokens = Tokenize("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1u);
+  EXPECT_EQ((*tokens)[0].column, 1u);
+  EXPECT_EQ((*tokens)[1].line, 2u);
+  EXPECT_EQ((*tokens)[1].column, 3u);
+}
+
+TEST(Lexer, UnexpectedCharacterError) {
+  auto r = Tokenize("a $ b");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(Lexer, AllKeywordsRecognized) {
+  EXPECT_EQ(Types("MATCH WHERE OPTIONAL ON UNION INTERSECT MINUS GRAPH VIEW "
+                  "AS PATH COST SHORTEST ALL WHEN SET REMOVE GROUP EXISTS "
+                  "SELECT FROM IN SUBSET AND OR NOT TRUE FALSE NULL CASE "
+                  "THEN ELSE END DISTINCT COUNT SUM MIN MAX AVG COLLECT")
+                .size(),
+            41u);  // 40 keywords + EOF
+}
+
+}  // namespace
+}  // namespace gcore

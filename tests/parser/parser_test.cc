@@ -1,0 +1,395 @@
+// Parser tests: every numbered query of the paper (lines 1-85) parses,
+// with structural assertions and print→reparse round-trips.
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+
+namespace gcore {
+namespace {
+
+std::unique_ptr<Query> MustParse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << "query: " << text << "\n"
+                      << q.status().ToString();
+  return q.ok() ? std::move(*q) : nullptr;
+}
+
+const BasicQuery& FirstBasic(const Query& q) {
+  const QueryBody* body = q.body.get();
+  while (body->kind != QueryBody::Kind::kBasic) body = body->left.get();
+  return *body->basic;
+}
+
+// --- the guided tour, verbatim (modulo whitespace) ---------------------------------
+
+TEST(PaperQueries, Q1_Lines1to4) {
+  auto q = MustParse(
+      "CONSTRUCT (n) MATCH (n:Person) ON social_graph "
+      "WHERE n.employer = 'Acme'");
+  ASSERT_NE(q, nullptr);
+  const BasicQuery& basic = FirstBasic(*q);
+  ASSERT_TRUE(basic.construct.has_value());
+  ASSERT_TRUE(basic.match.has_value());
+  EXPECT_EQ(basic.match->patterns[0].on_graph, "social_graph");
+  ASSERT_NE(basic.match->where, nullptr);
+  EXPECT_EQ(basic.match->where->kind, Expr::Kind::kBinary);
+}
+
+TEST(PaperQueries, Q2_Lines5to9_MultiGraphUnion) {
+  auto q = MustParse(
+      "CONSTRUCT (c)<-[:worksAt]-(n) "
+      "MATCH (c:Company) ON company_graph, (n:Person) ON social_graph "
+      "WHERE c.name = n.employer "
+      "UNION social_graph");
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->body->kind, QueryBody::Kind::kUnion);
+  EXPECT_EQ(q->body->right->kind, QueryBody::Kind::kGraphRef);
+  EXPECT_EQ(q->body->right->graph_ref, "social_graph");
+  const BasicQuery& basic = *q->body->left->basic;
+  ASSERT_EQ(basic.match->patterns.size(), 2u);
+  EXPECT_EQ(basic.match->patterns[0].on_graph, "company_graph");
+  EXPECT_EQ(basic.match->patterns[1].on_graph, "social_graph");
+  // Construct chain: (c)<-[:worksAt]-(n).
+  const GraphPattern& chain = *basic.construct->items[0].pattern;
+  ASSERT_EQ(chain.hops.size(), 1u);
+  EXPECT_EQ(chain.hops[0].edge.direction, EdgePattern::Direction::kLeft);
+  EXPECT_EQ(chain.hops[0].edge.label_groups[0][0], "worksAt");
+}
+
+TEST(PaperQueries, Q3_Lines10to14_InOperator) {
+  auto q = MustParse(
+      "CONSTRUCT (c)<-[:worksAt]-(n) "
+      "MATCH (c:Company) ON company_graph, (n:Person) ON social_graph "
+      "WHERE c.name IN n.employer "
+      "UNION social_graph");
+  ASSERT_NE(q, nullptr);
+  const BasicQuery& basic = *q->body->left->basic;
+  EXPECT_EQ(basic.match->where->binary_op, BinaryOp::kIn);
+}
+
+TEST(PaperQueries, Q4_Lines15to19_PropertyUnrolling) {
+  auto q = MustParse(
+      "CONSTRUCT (c)<-[:worksAt]-(n) "
+      "MATCH (c:Company) ON company_graph, "
+      "(n:Person {employer=e}) ON social_graph "
+      "WHERE c.name = e UNION social_graph");
+  ASSERT_NE(q, nullptr);
+  const BasicQuery& basic = *q->body->left->basic;
+  const NodePattern& n = basic.match->patterns[1].start;
+  ASSERT_EQ(n.props.size(), 1u);
+  EXPECT_EQ(n.props[0].mode, PropPattern::Mode::kBindVariable);
+  EXPECT_EQ(n.props[0].key, "employer");
+  EXPECT_EQ(n.props[0].bind_var, "e");
+}
+
+TEST(PaperQueries, Q5_Lines20to22_GraphAggregation) {
+  auto q = MustParse(
+      "CONSTRUCT social_graph, "
+      "(x GROUP e :Company {name:=e})<-[y:worksAt]-(n) "
+      "MATCH (n:Person {employer=e})");
+  ASSERT_NE(q, nullptr);
+  const BasicQuery& basic = FirstBasic(*q);
+  ASSERT_EQ(basic.construct->items.size(), 2u);
+  EXPECT_EQ(basic.construct->items[0].graph_ref, "social_graph");
+  const GraphPattern& chain = *basic.construct->items[1].pattern;
+  ASSERT_EQ(chain.start.group_by.size(), 1u);
+  EXPECT_EQ(chain.start.group_by[0]->var, "e");
+  EXPECT_EQ(chain.start.label_groups[0][0], "Company");
+  ASSERT_EQ(chain.start.props.size(), 1u);
+  EXPECT_EQ(chain.start.props[0].mode, PropPattern::Mode::kAssign);
+}
+
+TEST(PaperQueries, Q6_Lines23to27_KShortestStoredPaths) {
+  auto q = MustParse(
+      "CONSTRUCT (n)-/@p:localPeople{distance:=c}/->(m) "
+      "MATCH (n)-/3 SHORTEST p<:knows*> COST c/->(m) "
+      "WHERE (n:Person) AND (m:Person) "
+      "AND n.firstName = 'John' AND n.lastName = 'Doe' "
+      "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)");
+  ASSERT_NE(q, nullptr);
+  const BasicQuery& basic = FirstBasic(*q);
+  // Construct side: stored path with label + property assignment.
+  const PathPattern& cpath = basic.construct->items[0].pattern->hops[0].path;
+  EXPECT_TRUE(cpath.stored);
+  EXPECT_EQ(cpath.var, "p");
+  EXPECT_EQ(cpath.label_groups[0][0], "localPeople");
+  EXPECT_EQ(cpath.props[0].key, "distance");
+  // Match side: 3 SHORTEST with COST variable.
+  const PathPattern& mpath = basic.match->patterns[0].hops[0].path;
+  EXPECT_EQ(mpath.mode, PathPattern::Mode::kShortest);
+  EXPECT_EQ(mpath.k, 3);
+  EXPECT_EQ(mpath.cost_var, "c");
+  ASSERT_NE(mpath.rpq, nullptr);
+  EXPECT_EQ(mpath.rpq->kind(), RpqExpr::Kind::kStar);
+}
+
+TEST(PaperQueries, Q7_Lines28to31_Reachability) {
+  auto q = MustParse(
+      "CONSTRUCT (m) "
+      "MATCH (n:Person)-/<:knows*>/->(m:Person) "
+      "WHERE n.firstName = 'John' AND n.lastName = 'Doe' "
+      "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)");
+  ASSERT_NE(q, nullptr);
+  const PathPattern& path =
+      FirstBasic(*q).match->patterns[0].hops[0].path;
+  EXPECT_EQ(path.mode, PathPattern::Mode::kReachability);
+  EXPECT_TRUE(path.var.empty());
+}
+
+TEST(PaperQueries, Q8_Lines32to35_AllPaths) {
+  auto q = MustParse(
+      "CONSTRUCT (n)-/p/->(m) "
+      "MATCH (n:Person)-/ALL p<:knows*>/->(m:Person) "
+      "WHERE n.firstName = 'John' AND n.lastName = 'Doe' "
+      "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)");
+  ASSERT_NE(q, nullptr);
+  const BasicQuery& basic = FirstBasic(*q);
+  EXPECT_EQ(basic.match->patterns[0].hops[0].path.mode,
+            PathPattern::Mode::kAll);
+  // Construct side: plain projection, not stored.
+  EXPECT_FALSE(basic.construct->items[0].pattern->hops[0].path.stored);
+}
+
+TEST(PaperQueries, Q9_Lines36to38_ExplicitExists) {
+  auto q = MustParse(
+      "CONSTRUCT (x) MATCH (n), (m) WHERE EXISTS ( CONSTRUCT () "
+      "MATCH (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m) )");
+  ASSERT_NE(q, nullptr);
+  const Expr& where = *FirstBasic(*q).match->where;
+  EXPECT_EQ(where.kind, Expr::Kind::kExists);
+  ASSERT_NE(where.subquery, nullptr);
+}
+
+TEST(PaperQueries, Q10_Lines39to47_GraphViewOptional) {
+  auto q = MustParse(
+      "GRAPH VIEW social_graph1 AS ( "
+      "CONSTRUCT social_graph, (n)-[e]->(m) SET e.nr_messages := COUNT(*) "
+      "MATCH (n)-[e:knows]->(m) WHERE (n:Person) AND (m:Person) "
+      "OPTIONAL (n)<-[c1]-(msg1:Post|Comment), (msg1)-[:reply_of]-(msg2), "
+      "(msg2:Post|Comment)-[c2]->(m) "
+      "WHERE (c1:has_creator) AND (c2:has_creator) )");
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->graph_clauses.size(), 1u);
+  EXPECT_TRUE(q->graph_clauses[0].is_view);
+  EXPECT_EQ(q->graph_clauses[0].name, "social_graph1");
+  const Query& inner = *q->graph_clauses[0].query;
+  const BasicQuery& basic = FirstBasic(inner);
+  ASSERT_EQ(basic.construct->items[1].sets.size(), 1u);
+  EXPECT_EQ(basic.construct->items[1].sets[0].kind,
+            SetStatement::Kind::kSetProperty);
+  ASSERT_EQ(basic.match->optionals.size(), 1u);
+  EXPECT_EQ(basic.match->optionals[0].patterns.size(), 3u);
+  ASSERT_NE(basic.match->optionals[0].where, nullptr);
+  // Disjunctive label test (msg1:Post|Comment).
+  const NodePattern& msg1 =
+      basic.match->optionals[0].patterns[0].hops[0].to;
+  ASSERT_EQ(msg1.label_groups.size(), 1u);
+  EXPECT_EQ(msg1.label_groups[0],
+            (std::vector<std::string>{"Post", "Comment"}));
+}
+
+TEST(PaperQueries, OptionalChains_Lines48to56) {
+  auto q = MustParse(
+      "CONSTRUCT (n) MATCH (n:Person) "
+      "OPTIONAL (n)-[:worksAt]->(c) "
+      "OPTIONAL (n)-[:livesIn]->(a)");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(FirstBasic(*q).match->optionals.size(), 2u);
+}
+
+TEST(PaperQueries, Q11_Lines57to66_PathClauseWeighted) {
+  auto q = MustParse(
+      "GRAPH VIEW social_graph2 AS ( "
+      "PATH wKnows = (x)-[e:knows]->(y) "
+      "WHERE NOT 'Acme' IN y.employer "
+      "COST 1 / (1 + e.nr_messages) "
+      "CONSTRUCT social_graph1, (n)-/@p:toWagner/->(m) "
+      "MATCH (n:Person)-/p<~wKnows*>/->(m:Person) ON social_graph1 "
+      "WHERE (m)-[:hasInterest]->(:Tag {name='Wagner'}) "
+      "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m) "
+      "AND n.firstName = 'John' AND n.lastName = 'Doe')");
+  ASSERT_NE(q, nullptr);
+  const Query& inner = *q->graph_clauses[0].query;
+  ASSERT_EQ(inner.path_clauses.size(), 1u);
+  const PathClause& wknows = inner.path_clauses[0];
+  EXPECT_EQ(wknows.name, "wKnows");
+  ASSERT_NE(wknows.where, nullptr);
+  ASSERT_NE(wknows.cost, nullptr);
+  EXPECT_EQ(wknows.cost->binary_op, BinaryOp::kDiv);
+  // The match regex references the view.
+  const PathPattern& path = FirstBasic(inner).match->patterns[0].hops[0].path;
+  ASSERT_NE(path.rpq, nullptr);
+  EXPECT_TRUE(path.rpq->ReferencesView());
+}
+
+TEST(PaperQueries, Q12_Lines67to71_WhenAndPathIndexing) {
+  auto q = MustParse(
+      "CONSTRUCT (n)-[e:wagnerFriend {score:=COUNT(*)}]->(m) "
+      "WHEN e.score > 0 "
+      "MATCH (n:Person)-/@p:toWagner/->(), (m:Person) ON social_graph2 "
+      "WHERE n = nodes(p)[1]");
+  ASSERT_NE(q, nullptr);
+  const BasicQuery& basic = FirstBasic(*q);
+  ASSERT_NE(basic.construct->items[0].when, nullptr);
+  EXPECT_EQ(basic.construct->items[0].when->binary_op, BinaryOp::kGt);
+  // Stored-path match with anonymous target.
+  const PathPattern& path = basic.match->patterns[0].hops[0].path;
+  EXPECT_EQ(path.mode, PathPattern::Mode::kStoredMatch);
+  EXPECT_TRUE(path.stored);
+  // nodes(p)[1] parses as Index(Function).
+  const Expr& where = *basic.match->where;
+  EXPECT_EQ(where.args[1]->kind, Expr::Kind::kIndex);
+}
+
+TEST(PaperQueries, Select_Lines72to75) {
+  auto q = MustParse(
+      "SELECT m.lastName + ', ' + m.firstName AS friendName "
+      "MATCH (n:Person)-/<:knows*>/->(m:Person) "
+      "WHERE n.firstName = 'John' AND n.lastName = 'Doe' "
+      "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)");
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(q->IsTabular());
+  const SelectClause& select = *FirstBasic(*q).select;
+  ASSERT_EQ(select.items.size(), 1u);
+  EXPECT_EQ(select.items[0].alias, "friendName");
+}
+
+TEST(PaperQueries, From_Lines76to80) {
+  auto q = MustParse(
+      "CONSTRUCT "
+      "(cust GROUP custName :Customer {name:=custName}), "
+      "(prod GROUP prodCode :Product {code:=prodCode}), "
+      "(cust)-[:bought]->(prod) "
+      "FROM orders");
+  ASSERT_NE(q, nullptr);
+  const BasicQuery& basic = FirstBasic(*q);
+  EXPECT_EQ(basic.from_table, "orders");
+  EXPECT_EQ(basic.construct->items.size(), 3u);
+}
+
+TEST(PaperQueries, OnTable_Lines81to85) {
+  auto q = MustParse(
+      "CONSTRUCT "
+      "(cust GROUP o.custName :Customer {name:=o.custName}), "
+      "(prod GROUP o.prodCode :Product {code:=o.prodCode}), "
+      "(cust)-[:bought]->(prod) "
+      "MATCH (o) ON orders");
+  ASSERT_NE(q, nullptr);
+  const BasicQuery& basic = FirstBasic(*q);
+  EXPECT_EQ(basic.match->patterns[0].on_graph, "orders");
+  // GROUP by property access.
+  EXPECT_EQ(basic.construct->items[0].pattern->start.group_by[0]->kind,
+            Expr::Kind::kProperty);
+}
+
+// --- additional structural coverage --------------------------------------------------
+
+TEST(Parser, SetOperationsLeftAssociative) {
+  auto q = MustParse("g1 UNION g2 INTERSECT g3 MINUS g4");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->body->kind, QueryBody::Kind::kMinus);
+  EXPECT_EQ(q->body->left->kind, QueryBody::Kind::kIntersect);
+  EXPECT_EQ(q->body->left->left->kind, QueryBody::Kind::kUnion);
+}
+
+TEST(Parser, ParenthesizedBody) {
+  auto q = MustParse("(CONSTRUCT (n) MATCH (n)) UNION g2");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->body->kind, QueryBody::Kind::kUnion);
+}
+
+TEST(Parser, GraphClauseNonView) {
+  auto q = MustParse(
+      "GRAPH tmp AS (CONSTRUCT (n) MATCH (n:Person)) CONSTRUCT (m) "
+      "MATCH (m) ON tmp");
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->graph_clauses.size(), 1u);
+  EXPECT_FALSE(q->graph_clauses[0].is_view);
+}
+
+TEST(Parser, CopySyntax) {
+  auto q = MustParse("CONSTRUCT (=n)-[=y]->(m) MATCH (n)-[y]->(m)");
+  ASSERT_NE(q, nullptr);
+  const GraphPattern& chain = *FirstBasic(*q).construct->items[0].pattern;
+  EXPECT_TRUE(chain.start.is_copy);
+  EXPECT_TRUE(chain.hops[0].edge.is_copy);
+}
+
+TEST(Parser, CaseExpression) {
+  auto q = MustParse(
+      "SELECT CASE WHEN SIZE(n.employer) = 0 THEN 'none' "
+      "ELSE 'some' END AS status MATCH (n:Person)");
+  ASSERT_NE(q, nullptr);
+  const Expr& e = *FirstBasic(*q).select->items[0].expr;
+  EXPECT_EQ(e.kind, Expr::Kind::kCase);
+  ASSERT_EQ(e.case_arms.size(), 1u);
+  ASSERT_NE(e.case_else, nullptr);
+}
+
+TEST(Parser, UndirectedEdge) {
+  auto q = MustParse("CONSTRUCT (a) MATCH (a)-[e:knows]-(b)");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(FirstBasic(*q).match->patterns[0].hops[0].edge.direction,
+            EdgePattern::Direction::kUndirected);
+}
+
+TEST(Parser, RemoveStatement) {
+  auto q = MustParse(
+      "CONSTRUCT (n) REMOVE n.secret REMOVE n:Internal MATCH (n)");
+  ASSERT_NE(q, nullptr);
+  const auto& sets = FirstBasic(*q).construct->items[0].sets;
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].kind, SetStatement::Kind::kRemoveProperty);
+  EXPECT_EQ(sets[1].kind, SetStatement::Kind::kRemoveLabel);
+}
+
+TEST(Parser, ErrorsHaveParseErrorCode) {
+  for (const char* bad :
+       {"", "CONSTRUCT", "MATCH (n)", "CONSTRUCT (n MATCH (n)",
+        "CONSTRUCT (n) MATCH (n) WHERE", "CONSTRUCT (n) MATCH (n)-[e]",
+        "GRAPH VIEW AS (CONSTRUCT (n) MATCH (n))"}) {
+    auto q = ParseQuery(bad);
+    EXPECT_FALSE(q.ok()) << "should not parse: " << bad;
+    if (!q.ok()) EXPECT_TRUE(q.status().IsParseError()) << bad;
+  }
+}
+
+TEST(Parser, KeywordsUsableAsPropertyKeys) {
+  auto q = MustParse("CONSTRUCT (n) MATCH (n) WHERE n.cost > 1 AND n.count = 2");
+  EXPECT_NE(q, nullptr);
+}
+
+// Round-trip: print → reparse → print must be a fixed point.
+class PrintRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrintRoundTrip, PrintReparsePrintIsStable) {
+  auto q1 = MustParse(GetParam());
+  ASSERT_NE(q1, nullptr);
+  const std::string printed1 = PrintQuery(*q1);
+  auto q2 = ParseQuery(printed1);
+  ASSERT_TRUE(q2.ok()) << "reparse failed for: " << printed1 << "\n"
+                       << q2.status().ToString();
+  EXPECT_EQ(PrintQuery(**q2), printed1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperAndVariants, PrintRoundTrip,
+    ::testing::Values(
+        "CONSTRUCT (n) MATCH (n:Person) ON social_graph WHERE n.employer = 'Acme'",
+        "CONSTRUCT (c)<-[:worksAt]-(n) MATCH (c:Company) ON company_graph, "
+        "(n:Person) ON social_graph WHERE c.name IN n.employer UNION social_graph",
+        "CONSTRUCT social_graph, (x GROUP e :Company {name:=e})<-[y:worksAt]-(n) "
+        "MATCH (n:Person {employer=e})",
+        "CONSTRUCT (n)-/@p:localPeople{distance:=c}/->(m) "
+        "MATCH (n)-/3 SHORTEST p<:knows*> COST c/->(m) WHERE (n:Person)",
+        "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person)",
+        "CONSTRUCT (n)-/p/->(m) MATCH (n:Person)-/ALL p<:knows*>/->(m:Person)",
+        "SELECT m.lastName + ', ' + m.firstName AS friendName MATCH (m:Person)",
+        "CONSTRUCT (cust GROUP custName :Customer {name:=custName}) FROM orders",
+        "g1 UNION g2 MINUS g3",
+        "CONSTRUCT (a)-[e:x]->(b) WHEN e.score > 0 MATCH (a)-[e0:y]-(b)"));
+
+}  // namespace
+}  // namespace gcore

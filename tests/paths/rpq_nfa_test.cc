@@ -1,0 +1,198 @@
+// Tests for regular path expressions (Appendix A.1) and their NFA
+// compilation.
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "paths/nfa.h"
+#include "paths/rpq.h"
+
+namespace gcore {
+namespace {
+
+TEST(Rpq, Factories) {
+  auto e = RpqExpr::EdgeLabel("knows");
+  EXPECT_EQ(e->kind(), RpqExpr::Kind::kEdgeLabel);
+  EXPECT_EQ(e->label(), "knows");
+  auto inv = RpqExpr::InverseEdgeLabel("knows");
+  EXPECT_EQ(inv->kind(), RpqExpr::Kind::kInverseEdgeLabel);
+  auto node = RpqExpr::NodeLabel("Person");
+  EXPECT_EQ(node->kind(), RpqExpr::Kind::kNodeLabel);
+  auto view = RpqExpr::ViewRef("wKnows");
+  EXPECT_EQ(view->kind(), RpqExpr::Kind::kViewRef);
+}
+
+TEST(Rpq, ToStringRoundTrips) {
+  auto star = RpqExpr::Star(RpqExpr::EdgeLabel("knows"));
+  EXPECT_EQ(star->ToString(), "(:knows)*");
+  auto parsed = ParseRpq(star->ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)->ToString(), star->ToString());
+}
+
+TEST(Rpq, CloneIsDeep) {
+  auto orig = RpqExpr::Star(RpqExpr::EdgeLabel("knows"));
+  auto copy = orig->Clone();
+  EXPECT_EQ(copy->ToString(), orig->ToString());
+  EXPECT_NE(copy.get(), orig.get());
+  EXPECT_NE(copy->children()[0].get(), orig->children()[0].get());
+}
+
+TEST(Rpq, ReferencesView) {
+  auto plain = ParseRpq(":knows*");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE((*plain)->ReferencesView());
+  auto with_view = ParseRpq("(~wKnows)*");
+  ASSERT_TRUE(with_view.ok());
+  EXPECT_TRUE((*with_view)->ReferencesView());
+  std::vector<std::string> refs;
+  (*with_view)->CollectViewRefs(&refs);
+  EXPECT_EQ(refs, std::vector<std::string>{"wKnows"});
+}
+
+TEST(RpqParse, PaperSurfaceForms) {
+  EXPECT_TRUE(ParseRpq(":knows*").ok());        // line 24
+  EXPECT_TRUE(ParseRpq("~wKnows*").ok());       // line 62
+  EXPECT_TRUE(ParseRpq("(:knows|:knows-)*").ok());  // A.2 (knows+knows⁻)*
+  EXPECT_TRUE(ParseRpq("_").ok());
+  EXPECT_TRUE(ParseRpq("!Person :knows !Person").ok());
+  EXPECT_TRUE(ParseRpq(":a :b :c").ok());
+  EXPECT_TRUE(ParseRpq(":a+").ok());
+  EXPECT_TRUE(ParseRpq(":a?").ok());
+  EXPECT_TRUE(ParseRpq("(:a | :b)+ :c").ok());
+}
+
+TEST(RpqParse, RejectsMalformed) {
+  EXPECT_FALSE(ParseRpq("").ok());
+  EXPECT_FALSE(ParseRpq("*").ok());
+  EXPECT_FALSE(ParseRpq("(:a").ok());
+  EXPECT_FALSE(ParseRpq(":a |").ok());
+}
+
+TEST(RpqParse, InverseMarker) {
+  auto r = ParseRpq(":knows-");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind(), RpqExpr::Kind::kInverseEdgeLabel);
+}
+
+TEST(RpqParse, StarBindsToAtom) {
+  auto r = ParseRpq(":a :b*");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->kind(), RpqExpr::Kind::kConcat);
+  EXPECT_EQ((*r)->children()[0]->kind(), RpqExpr::Kind::kEdgeLabel);
+  EXPECT_EQ((*r)->children()[1]->kind(), RpqExpr::Kind::kStar);
+}
+
+TEST(RpqParse, AlternationLowerPrecedenceThanConcat) {
+  auto r = ParseRpq(":a :b | :c");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->kind(), RpqExpr::Kind::kAlt);
+  EXPECT_EQ((*r)->children()[0]->kind(), RpqExpr::Kind::kConcat);
+  EXPECT_EQ((*r)->children()[1]->kind(), RpqExpr::Kind::kEdgeLabel);
+}
+
+// --- NFA compilation -------------------------------------------------------------
+
+TEST(Nfa, SingleAtom) {
+  auto r = ParseRpq(":knows");
+  Nfa nfa = Nfa::Compile(**r);
+  EXPECT_EQ(nfa.num_states(), 2u);
+  const auto& ts = nfa.TransitionsFrom(nfa.start());
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].type, NfaTransition::Type::kEdgeForward);
+  EXPECT_EQ(ts[0].label, "knows");
+  EXPECT_EQ(ts[0].target, nfa.accept());
+}
+
+TEST(Nfa, StarAcceptsEmptyViaEpsilon) {
+  auto r = ParseRpq(":knows*");
+  Nfa nfa = Nfa::Compile(**r);
+  EXPECT_TRUE(nfa.AcceptsFromViaEpsilon(nfa.start()));
+}
+
+TEST(Nfa, PlusDoesNotAcceptEmpty) {
+  auto r = ParseRpq(":knows+");
+  Nfa nfa = Nfa::Compile(**r);
+  EXPECT_FALSE(nfa.AcceptsFromViaEpsilon(nfa.start()));
+}
+
+TEST(Nfa, OptionalAcceptsEmpty) {
+  auto r = ParseRpq(":knows?");
+  Nfa nfa = Nfa::Compile(**r);
+  EXPECT_TRUE(nfa.AcceptsFromViaEpsilon(nfa.start()));
+}
+
+TEST(Nfa, EpsilonClosureIncludesSelf) {
+  auto r = ParseRpq(":a");
+  Nfa nfa = Nfa::Compile(**r);
+  auto closure = nfa.EpsilonClosure(nfa.start());
+  EXPECT_EQ(closure.size(), 1u);
+  EXPECT_EQ(closure[0], nfa.start());
+}
+
+TEST(Nfa, ReversedSwapsStartAndAccept) {
+  auto r = ParseRpq(":a :b");
+  Nfa nfa = Nfa::Compile(**r);
+  Nfa rev = nfa.Reversed();
+  EXPECT_EQ(rev.start(), nfa.accept());
+  EXPECT_EQ(rev.accept(), nfa.start());
+  EXPECT_EQ(rev.num_states(), nfa.num_states());
+}
+
+TEST(Nfa, ReversedPreservesTransitionCount) {
+  auto r = ParseRpq("(:a | :b)* :c");
+  Nfa nfa = Nfa::Compile(**r);
+  Nfa rev = nfa.Reversed();
+  size_t fwd = 0, bwd = 0;
+  for (NfaStateId s = 0; s < nfa.num_states(); ++s) {
+    fwd += nfa.TransitionsFrom(s).size();
+  }
+  for (NfaStateId s = 0; s < rev.num_states(); ++s) {
+    bwd += rev.TransitionsFrom(s).size();
+  }
+  EXPECT_EQ(fwd, bwd);
+}
+
+TEST(Nfa, NodeTestTransitionType) {
+  auto r = ParseRpq("!Person");
+  Nfa nfa = Nfa::Compile(**r);
+  const auto& ts = nfa.TransitionsFrom(nfa.start());
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].type, NfaTransition::Type::kNodeTest);
+  EXPECT_EQ(ts[0].label, "Person");
+}
+
+TEST(Nfa, ViewRefTransitionType) {
+  auto r = ParseRpq("~wKnows");
+  Nfa nfa = Nfa::Compile(**r);
+  const auto& ts = nfa.TransitionsFrom(nfa.start());
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].type, NfaTransition::Type::kViewRef);
+  EXPECT_EQ(ts[0].label, "wKnows");
+}
+
+// Parameterized: every surface regex compiles into an NFA whose start and
+// accept are in range and all transition targets are valid.
+class NfaWellFormed : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NfaWellFormed, AllTargetsInRange) {
+  auto r = ParseRpq(GetParam());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Nfa nfa = Nfa::Compile(**r);
+  EXPECT_LT(nfa.start(), nfa.num_states());
+  EXPECT_LT(nfa.accept(), nfa.num_states());
+  for (NfaStateId s = 0; s < nfa.num_states(); ++s) {
+    for (const auto& t : nfa.TransitionsFrom(s)) {
+      EXPECT_LT(t.target, nfa.num_states());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SurfaceForms, NfaWellFormed,
+    ::testing::Values(":knows", ":knows*", ":knows+", ":knows?", "_",
+                      "!Person", "~wKnows*", "(:a|:b)*", ":a :b :c",
+                      "(:knows|:knows-)*", "((:a :b)|(:c))* :d",
+                      "!Person (:knows !Person)*", "(:a?)*", "_* :x _*"));
+
+}  // namespace
+}  // namespace gcore

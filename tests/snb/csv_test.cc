@@ -1,0 +1,124 @@
+// Tests for CSV table import/export.
+#include <fstream>
+#include "snb/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "graph/catalog.h"
+
+namespace gcore {
+namespace {
+
+TEST(Csv, ParsesHeaderAndTypedCells) {
+  auto t = ParseCsv("name,age,score,member,since\n"
+                    "Ada,36,9.5,TRUE,2014-12-01\n"
+                    "Bob,41,7.25,false,1/2/2015\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->NumColumns(), 5u);
+  ASSERT_EQ(t->NumRows(), 2u);
+  EXPECT_EQ(t->At(0, 0), Value::String("Ada"));
+  EXPECT_EQ(t->At(0, 1), Value::Int(36));
+  EXPECT_EQ(t->At(0, 2), Value::Double(9.5));
+  EXPECT_EQ(t->At(0, 3), Value::Bool(true));
+  EXPECT_EQ(t->At(0, 4), Value::OfDate(Date{2014, 12, 1}));
+  EXPECT_EQ(t->At(1, 4), Value::OfDate(Date{2015, 2, 1}));
+}
+
+TEST(Csv, EmptyCellIsNull) {
+  auto t = ParseCsv("a,b\n1,\n,2\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->At(0, 1).is_null());
+  EXPECT_TRUE(t->At(1, 0).is_null());
+}
+
+TEST(Csv, QuotedFieldsWithSeparatorsAndEscapes) {
+  auto t = ParseCsv("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->At(0, 0), Value::String("x,y"));
+  EXPECT_EQ(t->At(0, 1), Value::String("he said \"hi\""));
+}
+
+TEST(Csv, CrLfAndBlankLines) {
+  auto t = ParseCsv("a,b\r\n1,2\r\n\r\n3,4\r\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumRows(), 2u);
+}
+
+TEST(Csv, RaggedRowRejected) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());
+  EXPECT_FALSE(ParseCsv("a,b\n1,2,3\n").ok());
+}
+
+TEST(Csv, UnterminatedQuoteRejected) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(Csv, NumbersWithSignsAndEdgeCases) {
+  auto t = ParseCsv("v\n-5\n+3\n1.0\n-2.5\n1.2.3\n007\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->At(0, 0), Value::Int(-5));
+  EXPECT_EQ(t->At(1, 0), Value::Int(3));
+  EXPECT_EQ(t->At(2, 0), Value::Double(1.0));
+  EXPECT_EQ(t->At(3, 0), Value::Double(-2.5));
+  EXPECT_EQ(t->At(4, 0), Value::String("1.2.3"));  // not a number
+  EXPECT_EQ(t->At(5, 0), Value::Int(7));
+}
+
+TEST(Csv, NonDateSlashesStayStrings) {
+  auto t = ParseCsv("v\na/b/c\n32/13/2020\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->At(0, 0).is_string());
+  EXPECT_TRUE(t->At(1, 0).is_string());  // invalid calendar date
+}
+
+TEST(Csv, RoundTripWriteParse) {
+  Table t({"name", "qty", "note"});
+  ASSERT_TRUE(t.AddRow({Value::String("widget,large"), Value::Int(3),
+                        Value::Null()})
+                  .ok());
+  ASSERT_TRUE(t.AddRow({Value::String("he said \"go\""), Value::Double(2.5),
+                        Value::String("ok")})
+                  .ok());
+  auto back = ParseCsv(WriteCsv(t));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->NumRows(), 2u);
+  EXPECT_EQ(back->At(0, 0), Value::String("widget,large"));
+  EXPECT_TRUE(back->At(0, 2).is_null());
+  EXPECT_EQ(back->At(1, 0), Value::String("he said \"go\""));
+  EXPECT_EQ(back->At(1, 1), Value::Double(2.5));
+}
+
+TEST(Csv, EndToEndCsvToGraphQuery) {
+  // CSV -> catalog table -> FROM <table> -> graph (the full Section 5
+  // import pipeline).
+  auto orders = ParseCsv("custName,prodCode\nAda,P1\nBob,P1\nAda,P2\n");
+  ASSERT_TRUE(orders.ok());
+  GraphCatalog catalog;
+  catalog.RegisterTable("csv_orders", std::move(*orders));
+  QueryEngine engine(&catalog);
+  auto r = engine.Execute(
+      "CONSTRUCT (c GROUP custName :Customer {name:=custName}), "
+      "(p GROUP prodCode :Product {code:=prodCode}), "
+      "(c)-[:bought]->(p) FROM csv_orders");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->graph->NumNodes(), 4u);  // 2 customers + 2 products
+  EXPECT_EQ(r->graph->NumEdges(), 3u);
+}
+
+TEST(Csv, FileRoundTrip) {
+  Table t({"x"});
+  ASSERT_TRUE(t.AddRow({Value::Int(42)}).ok());
+  const std::string path = ::testing::TempDir() + "/gcore_csv_test.csv";
+  {
+    std::ofstream out(path);
+    out << WriteCsv(t);
+  }
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->At(0, 0), Value::Int(42));
+  EXPECT_FALSE(ReadCsvFile("/definitely/not/here.csv").ok());
+}
+
+}  // namespace
+}  // namespace gcore

@@ -1,0 +1,187 @@
+// Tests for the SNB-like synthetic generator (DESIGN.md S13): Figure 3
+// schema conformance, determinism, scaling, and queryability.
+#include "snb/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "graph/graph_ops.h"
+#include "snb/schema.h"
+
+namespace gcore {
+namespace {
+
+snb::GeneratorOptions SmallOptions() {
+  snb::GeneratorOptions options;
+  options.num_persons = 200;
+  return options;
+}
+
+TEST(Generator, DeterministicUnderSeed) {
+  IdAllocator ids1, ids2;
+  PathPropertyGraph g1 = snb::Generate(SmallOptions(), &ids1);
+  PathPropertyGraph g2 = snb::Generate(SmallOptions(), &ids2);
+  EXPECT_TRUE(GraphEquals(g1, g2));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  IdAllocator ids1, ids2;
+  snb::GeneratorOptions other = SmallOptions();
+  other.seed = 7;
+  PathPropertyGraph g1 = snb::Generate(SmallOptions(), &ids1);
+  PathPropertyGraph g2 = snb::Generate(other, &ids2);
+  EXPECT_FALSE(GraphEquals(g1, g2));
+}
+
+TEST(Generator, ProducesWellFormedPpg) {
+  IdAllocator ids;
+  PathPropertyGraph g = snb::Generate(SmallOptions(), &ids);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(Generator, SchemaLabelsPresent) {
+  IdAllocator ids;
+  PathPropertyGraph g = snb::Generate(SmallOptions(), &ids);
+  std::map<std::string, int> node_labels;
+  g.ForEachNode([&](NodeId n) {
+    for (const auto& l : g.Labels(n)) ++node_labels[l];
+  });
+  EXPECT_EQ(node_labels[snb::kPerson], 200);
+  EXPECT_GT(node_labels[snb::kCity], 0);
+  EXPECT_GT(node_labels[snb::kCompany], 0);
+  EXPECT_GT(node_labels[snb::kTag], 0);
+  EXPECT_GT(node_labels[snb::kPost], 0);
+  EXPECT_GT(node_labels[snb::kComment], 0);
+}
+
+TEST(Generator, EdgeSchemaConformsToFigure3) {
+  IdAllocator ids;
+  PathPropertyGraph g = snb::Generate(SmallOptions(), &ids);
+  Status st = Status::OK();
+  g.ForEachEdge([&](EdgeId e, NodeId src, NodeId dst) {
+    const LabelSet& l = g.Labels(e);
+    auto has = [&](const char* label) { return l.Contains(label); };
+    if (has(snb::kKnows)) {
+      EXPECT_TRUE(g.Labels(src).Contains(snb::kPerson));
+      EXPECT_TRUE(g.Labels(dst).Contains(snb::kPerson));
+    } else if (has(snb::kIsLocatedIn)) {
+      EXPECT_TRUE(g.Labels(dst).Contains(snb::kCity));
+    } else if (has(snb::kWorksAt)) {
+      EXPECT_TRUE(g.Labels(dst).Contains(snb::kCompany));
+    } else if (has(snb::kHasInterest)) {
+      EXPECT_TRUE(g.Labels(dst).Contains(snb::kTag));
+    } else if (has(snb::kHasCreator)) {
+      EXPECT_TRUE(g.Labels(dst).Contains(snb::kPerson));
+      EXPECT_TRUE(g.Labels(src).Contains(snb::kPost) ||
+                  g.Labels(src).Contains(snb::kComment));
+    } else if (has(snb::kReplyOf)) {
+      EXPECT_TRUE(g.Labels(src).Contains(snb::kComment));
+    } else {
+      ADD_FAILURE() << "unexpected edge label " << l.ToString();
+    }
+  });
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(Generator, KnowsEdgesAreBidirectionalPairs) {
+  IdAllocator ids;
+  PathPropertyGraph g = snb::Generate(SmallOptions(), &ids);
+  std::set<std::pair<uint64_t, uint64_t>> knows;
+  g.ForEachEdge([&](EdgeId e, NodeId src, NodeId dst) {
+    if (g.Labels(e).Contains(snb::kKnows)) {
+      knows.insert({src.value(), dst.value()});
+    }
+  });
+  for (const auto& [a, b] : knows) {
+    EXPECT_TRUE(knows.count({b, a}) > 0) << a << "->" << b;
+  }
+}
+
+TEST(Generator, EveryPersonHasACity) {
+  IdAllocator ids;
+  PathPropertyGraph g = snb::Generate(SmallOptions(), &ids);
+  std::set<NodeId> with_city;
+  g.ForEachEdge([&](EdgeId e, NodeId src, NodeId) {
+    if (g.Labels(e).Contains(snb::kIsLocatedIn)) with_city.insert(src);
+  });
+  size_t persons = 0;
+  g.ForEachNode([&](NodeId n) {
+    if (g.Labels(n).Contains(snb::kPerson)) {
+      ++persons;
+      EXPECT_TRUE(with_city.count(n) > 0);
+    }
+  });
+  EXPECT_EQ(persons, 200u);
+}
+
+TEST(Generator, SomePersonsMultiValuedEmployer) {
+  IdAllocator ids;
+  snb::GeneratorOptions options = SmallOptions();
+  options.num_persons = 500;
+  options.dual_employer_fraction = 0.2;
+  PathPropertyGraph g = snb::Generate(options, &ids);
+  int dual = 0;
+  g.ForEachNode([&](NodeId n) {
+    if (g.Property(n, snb::kEmployer).size() >= 2) ++dual;
+  });
+  EXPECT_GT(dual, 0);
+}
+
+TEST(Generator, ScaleFactorQuadruples) {
+  EXPECT_EQ(snb::ScaleFactor(0).num_persons, 100u);
+  EXPECT_EQ(snb::ScaleFactor(1).num_persons, 400u);
+  EXPECT_EQ(snb::ScaleFactor(2).num_persons, 1600u);
+}
+
+TEST(Generator, PaperQueriesRunOnGeneratedData) {
+  GraphCatalog catalog;
+  snb::GeneratorOptions options = SmallOptions();
+  catalog.RegisterGraph("snb", snb::Generate(options, catalog.ids()));
+  catalog.SetDefaultGraph("snb");
+  QueryEngine engine(&catalog);
+
+  auto q1 = engine.Execute(
+      "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme'");
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  EXPECT_GT(q1->graph->NumNodes(), 0u);
+
+  auto agg = engine.Execute(
+      "CONSTRUCT (x GROUP e :Company2 {name:=e}) "
+      "MATCH (n:Person {employer=e})");
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  EXPECT_GT(agg->graph->NumNodes(), 0u);
+
+  auto reach = engine.Execute(
+      "SELECT COUNT(*) AS reachable "
+      "MATCH (n:Person)-/<:knows*>/->(m:Person) "
+      "WHERE n.firstName = 'John'");
+  ASSERT_TRUE(reach.ok()) << reach.status().ToString();
+}
+
+class GeneratorScaling : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GeneratorScaling, EntityCountsScale) {
+  IdAllocator ids;
+  snb::GeneratorOptions options;
+  options.num_persons = GetParam();
+  PathPropertyGraph g = snb::Generate(options, &ids);
+  size_t persons = 0;
+  g.ForEachNode([&](NodeId n) {
+    if (g.Labels(n).Contains(snb::kPerson)) ++persons;
+  });
+  EXPECT_EQ(persons, GetParam());
+  // knows pairs ≈ persons * avg/2 (deduplicated, so at most).
+  size_t knows = 0;
+  g.ForEachEdge([&](EdgeId e, NodeId, NodeId) {
+    if (g.Labels(e).Contains(snb::kKnows)) ++knows;
+  });
+  EXPECT_GT(knows, GetParam());  // degree > 1 on average
+  EXPECT_LE(knows, GetParam() * options.avg_knows_degree);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorScaling,
+                         ::testing::Values(50, 100, 400, 1000));
+
+}  // namespace
+}  // namespace gcore
