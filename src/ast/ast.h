@@ -125,6 +125,9 @@ struct Query {
   std::vector<PathClause> path_clauses;
   std::vector<GraphClause> graph_clauses;
   std::unique_ptr<QueryBody> body;
+  /// EXPLAIN <query>: plan and print the optimized evaluation plan
+  /// instead of executing. Only meaningful on the outermost query.
+  bool explain = false;
 
   Query();
   ~Query();

@@ -137,6 +137,7 @@ std::string PrintGraphClause(const GraphClause& graph) {
 
 std::string PrintQuery(const Query& query) {
   std::string out;
+  if (query.explain) out += "EXPLAIN ";
   for (const auto& p : query.path_clauses) {
     out += PrintPathClause(p) + " ";
   }

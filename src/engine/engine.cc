@@ -9,6 +9,7 @@
 #include "eval/constructor.h"
 #include "graph/graph_ops.h"
 #include "parser/parser.h"
+#include "plan/explain.h"
 
 namespace gcore {
 
@@ -45,6 +46,9 @@ Matcher QueryEngine::MakeMatcher(Scope* scope) {
   ctx.catalog = catalog_;
   ctx.views = &scope->views;
   ctx.default_graph = catalog_->default_graph();
+  ctx.use_planner = use_planner_;
+  ctx.enable_pushdown = enable_pushdown_;
+  ctx.reorder_joins = reorder_joins_;
   ctx.exists_cb = [this, scope](const Query& subquery,
                                 const BindingTable& outer,
                                 size_t row) -> Result<bool> {
@@ -61,11 +65,28 @@ Result<QueryResult> QueryEngine::Execute(const std::string& query_text) {
 Result<QueryResult> QueryEngine::Execute(const Query& query) {
   GCORE_RETURN_NOT_OK(ValidateQuery(query));
   Scope scope;
+  if (query.explain) return Explain(query, &scope);
   auto result = ExecuteWithScope(query, &scope);
   // Query-local GRAPH names do not outlive the query.
   for (const auto& name : scope.local_graphs) {
     catalog_->DropGraph(name);
   }
+  return result;
+}
+
+Result<QueryResult> QueryEngine::Explain(const Query& query, Scope* scope) {
+  // Planning never executes: head clauses, ON subqueries and path views
+  // stay unmaterialized, so their locations degrade to unknown estimates.
+  Matcher matcher = MakeMatcher(scope);
+  GCORE_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                         ExplainQuery(query, &matcher));
+  Table table({"plan"});
+  for (auto& line : lines) {
+    Status st = table.AddRow({Value::String(std::move(line))});
+    (void)st;
+  }
+  QueryResult result;
+  result.table = std::move(table);
   return result;
 }
 

@@ -53,6 +53,13 @@ class QueryEngine {
 
   GraphCatalog* catalog() { return catalog_; }
 
+  /// Evaluation knobs forwarded into every MatcherContext the engine
+  /// creates (planner on/off for differential testing, optimizer rules
+  /// for ablation).
+  void set_use_planner(bool on) { use_planner_ = on; }
+  void set_enable_pushdown(bool on) { enable_pushdown_ = on; }
+  void set_reorder_joins(bool on) { reorder_joins_ = on; }
+
  private:
   /// Per-execution scope: path views (materialized + pending clause ASTs)
   /// and query-local graph names.
@@ -86,7 +93,14 @@ class QueryEngine {
 
   Matcher MakeMatcher(Scope* scope);
 
+  /// EXPLAIN: plans (without executing) and renders the optimized plan
+  /// as a one-column table.
+  Result<QueryResult> Explain(const Query& query, Scope* scope);
+
   GraphCatalog* catalog_;
+  bool use_planner_ = true;
+  bool enable_pushdown_ = true;
+  bool reorder_joins_ = true;
 };
 
 }  // namespace gcore

@@ -188,6 +188,7 @@ struct RowEq {
 
 void BindingTable::Deduplicate() {
   std::unordered_set<const BindingRow*, RowHash, RowEq> seen;
+  seen.reserve(rows_.size());
   std::vector<BindingRow> kept;
   kept.reserve(rows_.size());
   for (auto& row : rows_) {

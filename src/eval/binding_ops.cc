@@ -53,7 +53,9 @@ BindingTable JoinSchema(const BindingTable& a, const BindingTable& b,
 BindingRow MergeRows(const BindingRow& ra, const BindingRow& rb,
                      const std::vector<std::pair<size_t, size_t>>& shared,
                      const std::vector<size_t>& b_extra) {
-  BindingRow merged = ra;
+  BindingRow merged;
+  merged.reserve(ra.size() + b_extra.size());
+  merged.insert(merged.end(), ra.begin(), ra.end());
   for (const auto& [ia, ib] : shared) {
     if (merged[ia].IsUnbound()) merged[ia] = rb[ib];
   }
@@ -61,61 +63,56 @@ BindingRow MergeRows(const BindingRow& ra, const BindingRow& rb,
   return merged;
 }
 
-struct KeyHash {
-  size_t operator()(const std::vector<Datum>& key) const {
-    size_t h = 0;
-    for (const Datum& d : key) {
-      h ^= d.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
-    }
-    return h;
-  }
-};
-
 /// Hash index over b's rows where all shared columns are bound; rows with
 /// an unbound shared column must be checked linearly against everything.
+///
+/// Buckets are keyed by the *combined hash* of the shared Datums rather
+/// than by owned key vectors: probing and building never copy a Datum
+/// (ValueSets and path shared_ptrs stay untouched on this hot path), and
+/// hash collisions are harmless because every candidate is re-verified
+/// with Compatible() by the caller.
 struct ProbeIndex {
-  std::unordered_map<std::vector<Datum>, std::vector<size_t>, KeyHash> keyed;
+  std::unordered_map<size_t, std::vector<size_t>> keyed;
   std::vector<size_t> wildcard;
+
+  /// Combined hash of the shared columns of `row` on side `ib` (or `ia`);
+  /// false when any of them is unbound.
+  template <size_t kPairMember>
+  static bool HashShared(const BindingRow& row,
+                         const std::vector<std::pair<size_t, size_t>>& shared,
+                         size_t* hash) {
+    size_t h = 0;
+    for (const auto& cols : shared) {
+      const Datum& d = row[std::get<kPairMember>(cols)];
+      if (d.IsUnbound()) return false;
+      h ^= d.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    *hash = h;
+    return true;
+  }
 
   ProbeIndex(const BindingTable& b,
              const std::vector<std::pair<size_t, size_t>>& shared) {
+    keyed.reserve(b.NumRows());
     for (size_t r = 0; r < b.NumRows(); ++r) {
-      const BindingRow& row = b.Row(r);
-      std::vector<Datum> key;
-      key.reserve(shared.size());
-      bool all_bound = true;
-      for (const auto& [ia, ib] : shared) {
-        if (row[ib].IsUnbound()) {
-          all_bound = false;
-          break;
-        }
-        key.push_back(row[ib]);
-      }
-      if (all_bound) {
-        keyed[std::move(key)].push_back(r);
+      size_t h = 0;
+      if (HashShared<1>(b.Row(r), shared, &h)) {
+        keyed[h].push_back(r);
       } else {
         wildcard.push_back(r);
       }
     }
   }
 
-  /// Calls fn(row index in b) for each candidate compatible with `ra`.
+  /// Calls fn(row index in b) for each candidate potentially compatible
+  /// with `ra`; the caller must still verify with Compatible().
   template <typename Fn>
   void ForEachCandidate(const BindingRow& ra,
                         const std::vector<std::pair<size_t, size_t>>& shared,
                         Fn fn) const {
-    bool a_all_bound = true;
-    std::vector<Datum> key;
-    key.reserve(shared.size());
-    for (const auto& [ia, ib] : shared) {
-      if (ra[ia].IsUnbound()) {
-        a_all_bound = false;
-        break;
-      }
-      key.push_back(ra[ia]);
-    }
-    if (a_all_bound) {
-      auto it = keyed.find(key);
+    size_t h = 0;
+    if (HashShared<0>(ra, shared, &h)) {
+      auto it = keyed.find(h);
       if (it != keyed.end()) {
         for (size_t r : it->second) fn(r);
       }

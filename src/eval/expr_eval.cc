@@ -215,7 +215,9 @@ Result<Datum> ExprEvaluator::Eval(const Expr& expr, const BindingTable& table,
     case Expr::Kind::kExists: {
       if (!exists_cb_) {
         return Status::EvaluationError(
-            "EXISTS subquery is not supported in this context");
+            "EXISTS subquery 'EXISTS (" + expr.subquery->ToString() +
+            ")' cannot be evaluated here: no subquery evaluator is wired "
+            "into this context (engine-level evaluation required)");
       }
       GCORE_ASSIGN_OR_RETURN(bool nonempty,
                              exists_cb_(*expr.subquery, table, row));

@@ -7,6 +7,8 @@
 #include "eval/binding_ops.h"
 #include "paths/all_paths.h"
 #include "paths/product_bfs.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
 
 namespace gcore {
 
@@ -16,6 +18,71 @@ constexpr const char* kAnonPrefix = "__anon";
 
 bool IsInternalColumn(const std::string& name) {
   return name.rfind(kAnonPrefix, 0) == 0;
+}
+
+void CollectSingleVarConjuncts(
+    const Expr& where,
+    std::map<std::string, std::vector<const Expr*>>* out) {
+  std::vector<const Expr*> conjuncts;
+  std::vector<const Expr*> stack{&where};
+  while (!stack.empty()) {
+    const Expr* e = stack.back();
+    stack.pop_back();
+    if (e->kind == Expr::Kind::kBinary && e->binary_op == BinaryOp::kAnd) {
+      stack.push_back(e->args[0].get());
+      stack.push_back(e->args[1].get());
+    } else {
+      conjuncts.push_back(e);
+    }
+  }
+  for (const Expr* conjunct : conjuncts) {
+    if (conjunct->ContainsAggregate()) continue;
+    if (conjunct->kind == Expr::Kind::kExists) continue;
+    std::vector<std::string> vars;
+    conjunct->CollectVariables(&vars);
+    if (vars.size() == 1) {
+      (*out)[vars.front()].push_back(conjunct);
+    }
+  }
+}
+
+std::string ClauseOnOverride(const MatchClause& match) {
+  std::set<std::string> named;
+  for (const auto& p : match.patterns) {
+    if (!p.on_graph.empty()) named.insert(p.on_graph);
+  }
+  for (const auto& block : match.optionals) {
+    for (const auto& p : block.patterns) {
+      if (!p.on_graph.empty()) named.insert(p.on_graph);
+    }
+  }
+  return named.size() == 1 ? *named.begin() : std::string();
+}
+
+Status CheckOptionalVariableSharing(const MatchClause& match) {
+  if (match.optionals.size() <= 1) return Status::OK();
+  std::vector<std::string> main_vars;
+  for (const auto& p : match.patterns) p.CollectBoundVariables(&main_vars);
+  std::set<std::string> main_set(main_vars.begin(), main_vars.end());
+  std::vector<std::set<std::string>> block_vars;
+  for (const auto& block : match.optionals) {
+    std::vector<std::string> vars;
+    for (const auto& p : block.patterns) p.CollectBoundVariables(&vars);
+    block_vars.emplace_back(vars.begin(), vars.end());
+  }
+  for (size_t i = 0; i < block_vars.size(); ++i) {
+    for (size_t j = i + 1; j < block_vars.size(); ++j) {
+      for (const auto& v : block_vars[i]) {
+        if (block_vars[j].count(v) > 0 && main_set.count(v) == 0) {
+          return Status::BindError(
+              "variable '" + v +
+              "' is shared by OPTIONAL blocks but absent from the "
+              "enclosing pattern (evaluation-order ambiguity)");
+        }
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Matcher::Matcher(MatcherContext ctx) : ctx_(std::move(ctx)) {}
@@ -439,6 +506,13 @@ Result<BindingTable> Matcher::ApplyPushdownFilters(
     const PathPropertyGraph* graph) {
   auto it = pushdown_filters_.find(var);
   if (it == pushdown_filters_.end()) return table;
+  return FilterByConjuncts(std::move(table), it->second, graph);
+}
+
+Result<BindingTable> Matcher::FilterByConjuncts(
+    BindingTable table, const std::vector<const Expr*>& conjuncts,
+    const PathPropertyGraph* graph) {
+  if (conjuncts.empty()) return table;
   ExprEvaluator eval = MakeEvaluator(graph);
   BindingTable filtered(table.columns());
   for (const auto& [v, g] : table.column_graphs()) {
@@ -446,7 +520,7 @@ Result<BindingTable> Matcher::ApplyPushdownFilters(
   }
   for (size_t r = 0; r < table.NumRows(); ++r) {
     bool keep = true;
-    for (const Expr* conjunct : it->second) {
+    for (const Expr* conjunct : conjuncts) {
       GCORE_ASSIGN_OR_RETURN(keep, eval.EvalPredicate(*conjunct, table, r));
       if (!keep) break;
     }
@@ -536,9 +610,9 @@ Result<BindingTable> Matcher::EvalPatterns(
   return result;
 }
 
-Result<BindingTable> Matcher::ApplyWhere(BindingTable table,
-                                         const Expr& where,
-                                         const PathPropertyGraph* graph) {
+Result<BindingTable> Matcher::FilterTable(BindingTable table,
+                                          const Expr& where,
+                                          const PathPropertyGraph* graph) {
   ExprEvaluator eval = MakeEvaluator(graph);
   BindingTable filtered(table.columns());
   for (const auto& [v, g] : table.column_graphs()) {
@@ -557,19 +631,25 @@ Result<BindingTable> Matcher::ApplyWhere(BindingTable table,
 Result<BindingTable> Matcher::EvalMatchClause(const MatchClause& match) {
   // Clause-level ON: when the patterns name exactly one distinct graph,
   // patterns without their own ON run on it too.
-  {
-    std::set<std::string> named;
-    for (const auto& p : match.patterns) {
-      if (!p.on_graph.empty()) named.insert(p.on_graph);
-    }
-    for (const auto& block : match.optionals) {
-      for (const auto& p : block.patterns) {
-        if (!p.on_graph.empty()) named.insert(p.on_graph);
-      }
-    }
-    if (named.size() == 1) clause_on_override_ = *named.begin();
-  }
+  clause_on_override_ = ClauseOnOverride(match);
+  if (ctx_.use_planner) return PlanAndRunMatchClause(match);
+  return LegacyEvalMatchClause(match);
+}
 
+Result<BindingTable> Matcher::PlanAndRunMatchClause(const MatchClause& match) {
+  // The legacy walk resolves the default graph up front and fails the
+  // whole clause when none exists; keep that contract (differential
+  // equivalence) even though scans resolve their own locations.
+  GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* default_graph,
+                         ResolveGraph(""));
+  (void)default_graph;
+  Planner planner(this, PlannerOptions::FromContext(ctx_));
+  GCORE_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanMatch(match));
+  Executor executor(this);
+  return executor.Run(*plan);
+}
+
+Result<BindingTable> Matcher::LegacyEvalMatchClause(const MatchClause& match) {
   GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* default_graph,
                          ResolveGraph(""));
 
@@ -577,64 +657,18 @@ Result<BindingTable> Matcher::EvalMatchClause(const MatchClause& match) {
   // WHERE clause so chain evaluation filters as early as possible.
   pushdown_filters_.clear();
   if (match.where != nullptr && ctx_.enable_pushdown) {
-    std::vector<const Expr*> conjuncts;
-    std::vector<const Expr*> stack{match.where.get()};
-    while (!stack.empty()) {
-      const Expr* e = stack.back();
-      stack.pop_back();
-      if (e->kind == Expr::Kind::kBinary &&
-          e->binary_op == BinaryOp::kAnd) {
-        stack.push_back(e->args[0].get());
-        stack.push_back(e->args[1].get());
-      } else {
-        conjuncts.push_back(e);
-      }
-    }
-    for (const Expr* conjunct : conjuncts) {
-      if (conjunct->ContainsAggregate()) continue;
-      if (conjunct->kind == Expr::Kind::kExists) continue;
-      std::vector<std::string> vars;
-      conjunct->CollectVariables(&vars);
-      if (vars.size() == 1) {
-        pushdown_filters_[vars.front()].push_back(conjunct);
-      }
-    }
+    CollectSingleVarConjuncts(*match.where, &pushdown_filters_);
   }
 
   GCORE_ASSIGN_OR_RETURN(BindingTable table, EvalPatterns(match.patterns));
   pushdown_filters_.clear();
   if (match.where != nullptr) {
     GCORE_ASSIGN_OR_RETURN(table,
-                           ApplyWhere(std::move(table), *match.where,
-                                      default_graph));
+                           FilterTable(std::move(table), *match.where,
+                                       default_graph));
   }
 
-  // The syntactic restriction of [31] (end of Section 3): variables shared
-  // between OPTIONAL blocks must appear in the main pattern, making the
-  // evaluation order immaterial.
-  if (match.optionals.size() > 1) {
-    std::vector<std::string> main_vars;
-    for (const auto& p : match.patterns) p.CollectBoundVariables(&main_vars);
-    std::set<std::string> main_set(main_vars.begin(), main_vars.end());
-    std::vector<std::set<std::string>> block_vars;
-    for (const auto& block : match.optionals) {
-      std::vector<std::string> vars;
-      for (const auto& p : block.patterns) p.CollectBoundVariables(&vars);
-      block_vars.emplace_back(vars.begin(), vars.end());
-    }
-    for (size_t i = 0; i < block_vars.size(); ++i) {
-      for (size_t j = i + 1; j < block_vars.size(); ++j) {
-        for (const auto& v : block_vars[i]) {
-          if (block_vars[j].count(v) > 0 && main_set.count(v) == 0) {
-            return Status::BindError(
-                "variable '" + v +
-                "' is shared by OPTIONAL blocks but absent from the "
-                "enclosing pattern (evaluation-order ambiguity)");
-          }
-        }
-      }
-    }
-  }
+  GCORE_RETURN_NOT_OK(CheckOptionalVariableSharing(match));
 
   for (const auto& block : match.optionals) {
     GCORE_ASSIGN_OR_RETURN(BindingTable block_table,
@@ -642,25 +676,41 @@ Result<BindingTable> Matcher::EvalMatchClause(const MatchClause& match) {
     if (block.where != nullptr) {
       GCORE_ASSIGN_OR_RETURN(
           block_table,
-          ApplyWhere(std::move(block_table), *block.where, default_graph));
+          FilterTable(std::move(block_table), *block.where, default_graph));
     }
     table = TableLeftOuterJoin(table, block_table);
   }
 
-  // Drop matcher-internal columns and restore set semantics.
-  BindingTable result;
+  return ProjectResult(table, nullptr);
+}
+
+BindingTable Matcher::ProjectResult(
+    const BindingTable& table, const std::vector<std::string>* output) const {
+  // Visible columns: the requested order (planner mode, which records the
+  // source-binding order before join reordering) or table order (legacy).
   std::vector<size_t> kept;
-  {
-    std::vector<std::string> columns;
+  std::vector<std::string> columns;
+  if (output != nullptr) {
+    for (const auto& name : *output) {
+      const size_t c = table.ColumnIndex(name);
+      if (c != BindingTable::kNpos && !IsInternalColumn(name)) {
+        kept.push_back(c);
+        columns.push_back(name);
+      }
+    }
+  } else {
     for (size_t c = 0; c < table.columns().size(); ++c) {
       if (!IsInternalColumn(table.columns()[c])) {
         kept.push_back(c);
         columns.push_back(table.columns()[c]);
       }
     }
-    result = BindingTable(std::move(columns));
-    for (const auto& [v, g] : table.column_graphs()) {
-      if (!IsInternalColumn(v)) result.SetColumnGraph(v, g);
+  }
+  BindingTable result(std::move(columns));
+  for (const auto& [v, g] : table.column_graphs()) {
+    if (!IsInternalColumn(v) &&
+        result.ColumnIndex(v) != BindingTable::kNpos) {
+      result.SetColumnGraph(v, g);
     }
   }
   for (const auto& row : table.rows()) {

@@ -4,6 +4,13 @@
 // possibly different graphs) into binding tables, applies WHERE filters
 // (including EXISTS subqueries and implicit pattern predicates), and
 // chains OPTIONAL blocks with left outer joins in source order.
+//
+// Since the planner refactor, `EvalMatchClause` lowers the clause to a
+// logical plan (plan/planner.h), optimizes it, and runs it through the
+// pull-based executor (plan/executor.h). The pre-planner recursive
+// tree-walk is kept as a reference implementation (`use_planner = false`)
+// for differential testing; both paths share the pattern-element
+// primitives below, so their semantics cannot drift apart.
 #ifndef GCORE_EVAL_MATCHER_H_
 #define GCORE_EVAL_MATCHER_H_
 
@@ -29,12 +36,21 @@ struct MatcherContext {
   /// Graph used when a pattern has no ON clause.
   std::string default_graph;
   /// Correlated-EXISTS hook (wired by the engine; may be empty — EXISTS
-  /// then errors).
+  /// then errors, naming the subquery).
   ExprEvaluator::ExistsCallback exists_cb;
-  /// Selection pushdown of single-variable WHERE conjuncts into chain
-  /// evaluation. On by default; the ablation bench turns it off to show
-  /// the blow-up on selective path queries.
+  /// Optimizer flag: selection pushdown of single-variable WHERE conjuncts
+  /// into chain evaluation (a rewrite rule in planner mode, the ad-hoc
+  /// filter map in legacy mode). On by default; the ablation bench turns
+  /// it off to show the blow-up on selective path queries.
   bool enable_pushdown = true;
+  /// Optimizer flag: order independent pattern chains by estimated
+  /// cardinality before joining (planner mode only; the legacy walk always
+  /// joins in source order).
+  bool reorder_joins = true;
+  /// Evaluate through the logical-plan pipeline (default). Off = the
+  /// pre-planner recursive tree-walk, kept for differential tests and
+  /// as the executable spec of Appendix A.2.
+  bool use_planner = true;
   /// Resolved ON-(subquery) locations: the engine evaluates each
   /// pattern's subquery to a temporary catalog graph and records its name
   /// here before matching. May be null.
@@ -51,12 +67,16 @@ struct ChainResult {
   std::vector<std::string> element_columns;
 };
 
+/// The match runtime: pattern-element primitives plus per-evaluation
+/// caches (adjacency snapshots, anonymous-column counter). Shared by the
+/// legacy tree-walk and the plan executor.
 class Matcher {
  public:
   explicit Matcher(MatcherContext ctx);
 
   /// ⟦MATCH γ WHERE ξ OPTIONAL ...⟧. Internal (anonymous) columns are
-  /// dropped from the result.
+  /// dropped from the result. Plans + executes unless
+  /// `ctx.use_planner = false`.
   Result<BindingTable> EvalMatchClause(const MatchClause& match);
 
   /// Joined evaluation of comma-separated patterns (no WHERE).
@@ -81,13 +101,9 @@ class Matcher {
 
   const MatcherContext& context() const { return ctx_; }
 
- private:
-  Result<BindingTable> EvalChainInternal(const GraphPattern& pattern,
-                                         ChainResult* detail);
-  Result<BindingTable> ApplyWhere(BindingTable table, const Expr& where,
-                                  const PathPropertyGraph* graph);
+  // --- pattern-element primitives ------------------------------------------
+  // Used by both evaluation paths; they extend/filter `table` in place.
 
-  // Pattern-element helpers. All of them extend/filter `table` in place.
   Result<BindingTable> MatchStartNode(const NodePattern& node,
                                       const PathPropertyGraph& graph,
                                       const std::string& graph_name,
@@ -109,6 +125,29 @@ class Matcher {
                                      const PathPropertyGraph& graph,
                                      const std::string& graph_name);
 
+  /// Keeps the rows of `table` on which `predicate` holds.
+  Result<BindingTable> FilterTable(BindingTable table, const Expr& predicate,
+                                   const PathPropertyGraph* graph);
+
+  /// Applies each conjunct in turn (pushdown filters of one operator).
+  Result<BindingTable> FilterByConjuncts(
+      BindingTable table, const std::vector<const Expr*>& conjuncts,
+      const PathPropertyGraph* graph);
+
+  /// Drops matcher-internal columns (restoring `output` order when given)
+  /// and re-establishes set semantics. The shared tail of both paths.
+  BindingTable ProjectResult(const BindingTable& table,
+                             const std::vector<std::string>* output) const;
+
+  std::string FreshAnonName();
+  ExprEvaluator MakeEvaluator(const PathPropertyGraph* graph);
+
+ private:
+  Result<BindingTable> LegacyEvalMatchClause(const MatchClause& match);
+  Result<BindingTable> PlanAndRunMatchClause(const MatchClause& match);
+  Result<BindingTable> EvalChainInternal(const GraphPattern& pattern,
+                                         ChainResult* detail);
+
   /// Label-group test: every group must have at least one matching label.
   static bool LabelsMatch(const LabelSet& labels,
                           const std::vector<std::vector<std::string>>& groups);
@@ -124,11 +163,8 @@ class Matcher {
   Result<bool> NodeAdmits(const NodePattern& node, NodeId id,
                           const PathPropertyGraph& graph);
 
-  std::string FreshAnonName();
-  ExprEvaluator MakeEvaluator(const PathPropertyGraph* graph);
-
   /// Applies pushed-down single-variable WHERE conjuncts for `var` (no-op
-  /// when none are registered).
+  /// when none are registered; legacy path only).
   Result<BindingTable> ApplyPushdownFilters(BindingTable table,
                                             const std::string& var,
                                             const PathPropertyGraph* graph);
@@ -138,11 +174,13 @@ class Matcher {
   /// without their own ON use it (the paper writes clause-level ON, e.g.
   /// line 70: `MATCH (n)-/@p:toWagner/->(), (m:Person) ON social_graph2`).
   std::string clause_on_override_;
-  /// Selection pushdown: single-variable conjuncts of the clause's WHERE,
-  /// applied as soon as their variable is bound during chain evaluation —
-  /// essential so `WHERE n.firstName = 'John'` restricts the *sources* of
-  /// an expensive path hop instead of filtering afterwards. The full
-  /// WHERE still runs afterwards (re-checking is harmless).
+  /// Selection pushdown (legacy path): single-variable conjuncts of the
+  /// clause's WHERE, applied as soon as their variable is bound during
+  /// chain evaluation — essential so `WHERE n.firstName = 'John'`
+  /// restricts the *sources* of an expensive path hop instead of
+  /// filtering afterwards. The full WHERE still runs afterwards
+  /// (re-checking is harmless). In planner mode the same conjuncts live
+  /// in the plan's scan/expand nodes instead.
   std::map<std::string, std::vector<const Expr*>> pushdown_filters_;
   std::map<const PathPropertyGraph*, std::unique_ptr<AdjacencyIndex>>
       adj_cache_;
@@ -151,6 +189,22 @@ class Matcher {
 
 /// True for matcher-internal generated column names.
 bool IsInternalColumn(const std::string& name);
+
+/// Splits `where` into AND-conjuncts and registers every pushdown-safe
+/// single-variable conjunct under its variable (the pushdown rewrite rule;
+/// shared by the legacy walk and the planner).
+void CollectSingleVarConjuncts(
+    const Expr& where,
+    std::map<std::string, std::vector<const Expr*>>* out);
+
+/// The single distinct ON graph named by the clause's patterns, or ""
+/// (clause-level ON inference shared by both evaluation paths).
+std::string ClauseOnOverride(const MatchClause& match);
+
+/// The syntactic restriction of [31] (end of Section 3): variables shared
+/// between OPTIONAL blocks must appear in the main pattern, making the
+/// evaluation order immaterial.
+Status CheckOptionalVariableSharing(const MatchClause& match);
 
 }  // namespace gcore
 

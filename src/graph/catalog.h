@@ -20,6 +20,22 @@
 
 namespace gcore {
 
+/// Summary statistics of one catalog graph, used by the query planner's
+/// cardinality estimator (plan/cost.h). Computed lazily per graph and
+/// cached until the graph is re-registered or dropped.
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t num_paths = 0;
+  /// Number of nodes/edges carrying each label.
+  std::map<std::string, size_t> node_label_counts;
+  std::map<std::string, size_t> edge_label_counts;
+
+  /// Nodes carrying `label`; 0 when the label never occurs.
+  size_t NodesWithLabel(const std::string& label) const;
+  size_t EdgesWithLabel(const std::string& label) const;
+};
+
 class GraphCatalog {
  public:
   GraphCatalog() : ids_(std::make_shared<IdAllocator>()) {}
@@ -44,6 +60,10 @@ class GraphCatalog {
   Result<const Table*> LookupTable(const std::string& name) const;
   bool HasTable(const std::string& name) const;
 
+  /// Statistics of a registered graph, computed on first use and cached.
+  /// NotFound when the graph is unregistered.
+  Result<const GraphStats*> Stats(const std::string& name);
+
   /// Session-wide identifier allocator shared by all graphs.
   IdAllocator* ids() { return ids_.get(); }
   std::shared_ptr<IdAllocator> ids_ptr() { return ids_; }
@@ -52,6 +72,7 @@ class GraphCatalog {
   std::shared_ptr<IdAllocator> ids_;
   std::map<std::string, PathPropertyGraph> graphs_;
   std::map<std::string, Table> tables_;
+  std::map<std::string, GraphStats> stats_cache_;
   std::string default_graph_;
 };
 

@@ -1,5 +1,6 @@
 #include "parser/parser.h"
 
+#include <cctype>
 #include <optional>
 
 #include "parser/lexer.h"
@@ -13,7 +14,18 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<std::unique_ptr<Query>> ParseFullQuery() {
+    // EXPLAIN is a *contextual* keyword: recognized only as the first
+    // word of the outermost query and only when a query follows, so
+    // `explain` stays usable as an identifier (graph names, variables,
+    // property keys) everywhere else.
+    bool explain = false;
+    if (Check(TokenType::kIdentifier) && IsKeywordText(Peek(), "EXPLAIN") &&
+        StartsQuery(Peek(1))) {
+      Advance();
+      explain = true;
+    }
     GCORE_ASSIGN_OR_RETURN(auto query, ParseQueryInner());
+    query->explain = explain;
     GCORE_RETURN_NOT_OK(Expect(TokenType::kEof));
     return query;
   }
@@ -62,6 +74,35 @@ class Parser {
   }
   size_t Save() const { return pos_; }
   void Restore(size_t saved) { pos_ = saved; }
+
+  /// Case-insensitive identifier-text match (contextual keywords).
+  static bool IsKeywordText(const Token& token, const char* upper) {
+    const std::string& text = token.text;
+    size_t i = 0;
+    for (; upper[i] != '\0'; ++i) {
+      if (i >= text.size() ||
+          std::toupper(static_cast<unsigned char>(text[i])) != upper[i]) {
+        return false;
+      }
+    }
+    return i == text.size();
+  }
+
+  /// True when `token` can begin a query (head clause, basic query, or
+  /// graph-reference body).
+  static bool StartsQuery(const Token& token) {
+    switch (token.type) {
+      case TokenType::kConstruct:
+      case TokenType::kSelect:
+      case TokenType::kPath:
+      case TokenType::kGraph:
+      case TokenType::kIdentifier:
+      case TokenType::kLParen:
+        return true;
+      default:
+        return false;
+    }
+  }
 
   Result<std::string> ExpectIdentifier(const char* what) {
     if (!Check(TokenType::kIdentifier)) {

@@ -1,0 +1,160 @@
+#include "plan/cost.h"
+
+#include <algorithm>
+
+#include "ast/pattern.h"
+
+namespace gcore {
+
+namespace {
+
+/// Heuristic selectivities: a literal property filter in a pattern is
+/// assumed more selective than a pushed-down general predicate.
+constexpr double kPropFilterSelectivity = 0.1;
+constexpr double kPushedPredicateSelectivity = 0.25;
+constexpr double kResidualFilterSelectivity = 0.25;
+
+double PropSelectivity(const std::vector<PropPattern>& props) {
+  double s = 1.0;
+  for (const auto& p : props) {
+    if (p.mode == PropPattern::Mode::kFilter) s *= kPropFilterSelectivity;
+  }
+  return s;
+}
+
+double PushedSelectivity(const PlanNode& node) {
+  double s = 1.0;
+  for (size_t i = 0; i < node.pushed.size(); ++i) {
+    s *= kPushedPredicateSelectivity;
+  }
+  return s;
+}
+
+}  // namespace
+
+CardinalityEstimator::CardinalityEstimator(GraphCatalog* catalog,
+                                           std::string default_graph)
+    : catalog_(catalog), default_graph_(std::move(default_graph)) {}
+
+const GraphStats* CardinalityEstimator::StatsFor(
+    const std::string& location) {
+  const std::string& name = location.empty() ? default_graph_ : location;
+  if (name.empty() || catalog_ == nullptr) return nullptr;
+  auto stats = catalog_->Stats(name);
+  return stats.ok() ? *stats : nullptr;
+}
+
+double CardinalityEstimator::LabelSelectivity(
+    const std::vector<std::vector<std::string>>& groups,
+    const std::map<std::string, size_t>& label_counts, size_t total) {
+  if (total == 0) return 0.0;
+  double selectivity = 1.0;
+  for (const auto& group : groups) {
+    size_t group_count = 0;
+    for (const auto& label : group) {
+      auto it = label_counts.find(label);
+      if (it != label_counts.end()) group_count += it->second;
+    }
+    selectivity *=
+        std::min(1.0, static_cast<double>(group_count) /
+                          static_cast<double>(total));
+  }
+  return selectivity;
+}
+
+double CardinalityEstimator::Annotate(PlanNode* node) {
+  double child_est = -1.0;
+  for (auto& child : node->children) {
+    child_est = Annotate(child.get());
+  }
+  // A single-child operator uses its child's estimate; joins re-read both.
+  double est = -1.0;
+  switch (node->op) {
+    case PlanOp::kNodeScan: {
+      const GraphStats* stats = StatsFor(node->graph);
+      if (stats != nullptr) {
+        est = static_cast<double>(stats->num_nodes) *
+              LabelSelectivity(node->node->label_groups,
+                               stats->node_label_counts, stats->num_nodes) *
+              PropSelectivity(node->node->props) * PushedSelectivity(*node);
+      }
+      break;
+    }
+    case PlanOp::kExpandEdge: {
+      const GraphStats* stats = StatsFor(node->graph);
+      if (stats != nullptr && child_est >= 0.0) {
+        // Average fanout of a conforming edge times the target node's
+        // admission selectivity.
+        double edges = static_cast<double>(stats->num_edges) *
+                       LabelSelectivity(node->edge->label_groups,
+                                        stats->edge_label_counts,
+                                        stats->num_edges);
+        if (node->edge->direction == EdgePattern::Direction::kUndirected) {
+          edges *= 2.0;
+        }
+        const double fanout =
+            edges / std::max<double>(1.0, static_cast<double>(stats->num_nodes));
+        est = child_est * fanout *
+              LabelSelectivity(node->to->label_groups,
+                               stats->node_label_counts, stats->num_nodes) *
+              PropSelectivity(node->to->props) *
+              PropSelectivity(node->edge->props) * PushedSelectivity(*node);
+      }
+      break;
+    }
+    case PlanOp::kPathSearch: {
+      const GraphStats* stats = StatsFor(node->graph);
+      if (stats != nullptr && child_est >= 0.0) {
+        double per_source;
+        if (node->path->mode == PathPattern::Mode::kStoredMatch) {
+          per_source = static_cast<double>(stats->num_paths);
+        } else {
+          // Reachability-style searches can touch most of the graph.
+          per_source = static_cast<double>(stats->num_nodes) *
+                       LabelSelectivity(node->to->label_groups,
+                                        stats->node_label_counts,
+                                        stats->num_nodes);
+          if (node->path->mode == PathPattern::Mode::kShortest) {
+            per_source *= static_cast<double>(std::max<int64_t>(1, node->path->k));
+          }
+        }
+        est = child_est * std::max(1.0, per_source) *
+              PropSelectivity(node->to->props) * PushedSelectivity(*node);
+      }
+      break;
+    }
+    case PlanOp::kFilter:
+      if (child_est >= 0.0) est = child_est * kResidualFilterSelectivity;
+      break;
+    case PlanOp::kHashJoin: {
+      const double left = node->children[0]->est_rows;
+      const double right = node->children[1]->est_rows;
+      if (left >= 0.0 && right >= 0.0) {
+        // Correlated chains: assume the join keys are close to keys of
+        // the larger side; independent chains: cross product.
+        est = node->join_correlated ? std::max(left, right) : left * right;
+      }
+      break;
+    }
+    case PlanOp::kLeftOuterJoin:
+      // Every left row survives at least once.
+      est = node->children[0]->est_rows;
+      break;
+    case PlanOp::kProject:
+      est = child_est;
+      break;
+    case PlanOp::kGraphUnion:
+    case PlanOp::kGraphIntersect:
+    case PlanOp::kGraphMinus: {
+      const double left = node->children.empty()
+                              ? -1.0
+                              : node->children[0]->est_rows;
+      est = left;
+      break;
+    }
+  }
+  node->est_rows = est;
+  return est;
+}
+
+}  // namespace gcore

@@ -1,0 +1,46 @@
+// Cardinality estimation over GraphCatalog statistics.
+//
+// Estimates are coarse, heuristic row counts whose only job is to rank
+// alternatives (the planner orders independent pattern chains smallest-
+// first); they are not used for admission or limits. Unknown inputs —
+// unregistered graphs, ON-subquery locations, table-as-graph names —
+// degrade to "unknown" (negative), which disables ordering decisions that
+// would depend on them. The FD-aware join bounds of Abo Khamis et al.
+// (PAPERS.md) are the natural upgrade path for the join formula.
+#ifndef GCORE_PLAN_COST_H_
+#define GCORE_PLAN_COST_H_
+
+#include <string>
+
+#include "graph/catalog.h"
+#include "plan/plan.h"
+
+namespace gcore {
+
+class CardinalityEstimator {
+ public:
+  /// `default_graph` names the graph used by operators whose location is
+  /// empty (the clause-level/default ON resolution result).
+  CardinalityEstimator(GraphCatalog* catalog, std::string default_graph);
+
+  /// Annotates `node` and its subtree with estimated output rows
+  /// (PlanNode::est_rows); returns the root estimate, negative when
+  /// unknown.
+  double Annotate(PlanNode* node);
+
+ private:
+  const GraphStats* StatsFor(const std::string& location);
+
+  /// Fraction of objects admitted by conjunctive label groups, given the
+  /// per-label counts; 1.0 for an unconstrained pattern.
+  static double LabelSelectivity(
+      const std::vector<std::vector<std::string>>& groups,
+      const std::map<std::string, size_t>& label_counts, size_t total);
+
+  GraphCatalog* catalog_;
+  std::string default_graph_;
+};
+
+}  // namespace gcore
+
+#endif  // GCORE_PLAN_COST_H_

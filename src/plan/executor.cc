@@ -1,0 +1,262 @@
+#include "plan/executor.h"
+
+#include <utility>
+#include <vector>
+
+#include "eval/binding_ops.h"
+#include "eval/matcher.h"
+
+namespace gcore {
+
+namespace {
+
+using OpPtr = std::unique_ptr<PhysicalOp>;
+using Chunk = std::optional<BindingTable>;
+
+/// Lifts a table result into the chunk protocol (Result's implicit
+/// conversions do not chain through std::optional).
+Result<Chunk> AsChunk(Result<BindingTable> result) {
+  if (!result.ok()) return result.status();
+  return Chunk(std::move(result).value());
+}
+
+Result<Chunk> Exhausted() { return Chunk(); }
+
+/// Pulls every chunk of `op` into one table. Chunks of one operator share
+/// a schema (and column provenance), so rows concatenate directly.
+Result<BindingTable> Drain(PhysicalOp* op) {
+  BindingTable out;
+  bool first = true;
+  while (true) {
+    GCORE_ASSIGN_OR_RETURN(std::optional<BindingTable> chunk, op->Next());
+    if (!chunk.has_value()) break;
+    if (first) {
+      out = std::move(*chunk);
+      first = false;
+      continue;
+    }
+    for (auto& row : chunk->mutable_rows()) {
+      GCORE_RETURN_NOT_OK(out.AddRow(std::move(row)));
+    }
+  }
+  return out;
+}
+
+/// NodeScan: all admitted nodes of the operator's graph, with pushed
+/// predicates applied before anything downstream runs.
+class NodeScanOp : public PhysicalOp {
+ public:
+  NodeScanOp(Matcher* rt, const PlanNode* plan) : rt_(rt), plan_(plan) {}
+
+  Result<std::optional<BindingTable>> Next() override {
+    if (done_) return Exhausted();
+    done_ = true;
+    GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* graph,
+                           rt_->ResolveGraph(plan_->graph));
+    GCORE_ASSIGN_OR_RETURN(
+        BindingTable table,
+        rt_->MatchStartNode(*plan_->node, *graph, graph->name(), plan_->var));
+    return AsChunk(rt_->FilterByConjuncts(std::move(table), plan_->pushed, graph));
+  }
+
+ private:
+  Matcher* rt_;
+  const PlanNode* plan_;
+  bool done_ = false;
+};
+
+/// ExpandEdge: one edge hop per pulled chunk.
+class ExpandEdgeOp : public PhysicalOp {
+ public:
+  ExpandEdgeOp(Matcher* rt, const PlanNode* plan, OpPtr child)
+      : rt_(rt), plan_(plan), child_(std::move(child)) {}
+
+  Result<std::optional<BindingTable>> Next() override {
+    GCORE_ASSIGN_OR_RETURN(std::optional<BindingTable> chunk,
+                           child_->Next());
+    if (!chunk.has_value()) return Exhausted();
+    GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* graph,
+                           rt_->ResolveGraph(plan_->graph));
+    GCORE_ASSIGN_OR_RETURN(
+        BindingTable expanded,
+        rt_->ExpandEdgeHop(std::move(*chunk), plan_->from_var, *plan_->edge,
+                           plan_->edge_var, *plan_->to, plan_->to_var, *graph,
+                           graph->name()));
+    return AsChunk(rt_->FilterByConjuncts(std::move(expanded), plan_->pushed, graph));
+  }
+
+ private:
+  Matcher* rt_;
+  const PlanNode* plan_;
+  OpPtr child_;
+};
+
+/// PathSearch: one path hop (stored / SHORTEST / ALL / reachability) per
+/// pulled chunk.
+class PathSearchOp : public PhysicalOp {
+ public:
+  PathSearchOp(Matcher* rt, const PlanNode* plan, OpPtr child)
+      : rt_(rt), plan_(plan), child_(std::move(child)) {}
+
+  Result<std::optional<BindingTable>> Next() override {
+    GCORE_ASSIGN_OR_RETURN(std::optional<BindingTable> chunk,
+                           child_->Next());
+    if (!chunk.has_value()) return Exhausted();
+    GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* graph,
+                           rt_->ResolveGraph(plan_->graph));
+    GCORE_ASSIGN_OR_RETURN(
+        BindingTable expanded,
+        rt_->ExpandPathHop(std::move(*chunk), plan_->from_var, *plan_->path,
+                           plan_->path_var, *plan_->to, plan_->to_var, *graph,
+                           graph->name()));
+    return AsChunk(rt_->FilterByConjuncts(std::move(expanded), plan_->pushed, graph));
+  }
+
+ private:
+  Matcher* rt_;
+  const PlanNode* plan_;
+  OpPtr child_;
+};
+
+/// Residual WHERE filter.
+class FilterOp : public PhysicalOp {
+ public:
+  FilterOp(Matcher* rt, const PlanNode* plan, OpPtr child)
+      : rt_(rt), plan_(plan), child_(std::move(child)) {}
+
+  Result<std::optional<BindingTable>> Next() override {
+    GCORE_ASSIGN_OR_RETURN(std::optional<BindingTable> chunk,
+                           child_->Next());
+    if (!chunk.has_value()) return Exhausted();
+    // The fallback graph for λ/σ lookups of provenance-less columns;
+    // legitimately absent when every pattern carries its own ON.
+    const PathPropertyGraph* graph = nullptr;
+    auto resolved = rt_->ResolveGraph(plan_->graph);
+    if (resolved.ok()) graph = *resolved;
+    return AsChunk(rt_->FilterTable(std::move(*chunk), *plan_->predicate, graph));
+  }
+
+ private:
+  Matcher* rt_;
+  const PlanNode* plan_;
+  OpPtr child_;
+};
+
+/// Natural join of two subplans; both sides are drained (hash join builds
+/// over the full right input).
+class HashJoinOp : public PhysicalOp {
+ public:
+  HashJoinOp(OpPtr left, OpPtr right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  Result<std::optional<BindingTable>> Next() override {
+    if (done_) return Exhausted();
+    done_ = true;
+    GCORE_ASSIGN_OR_RETURN(BindingTable left, Drain(left_.get()));
+    GCORE_ASSIGN_OR_RETURN(BindingTable right, Drain(right_.get()));
+    // Static orientation, exactly as the legacy walk joins accumulated-
+    // result-first: shared-column graph provenance follows the left
+    // side deterministically (a runtime size-based swap would make
+    // provenance — and thus λ/σ lookups — data-dependent). Smallest-
+    // first chain ordering keeps the accumulated left side small.
+    return AsChunk(TableJoin(left, right));
+  }
+
+ private:
+  OpPtr left_;
+  OpPtr right_;
+  bool done_ = false;
+};
+
+/// OPTIONAL chaining: ⟕ of the main plan with one block.
+class LeftOuterJoinOp : public PhysicalOp {
+ public:
+  LeftOuterJoinOp(OpPtr left, OpPtr right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  Result<std::optional<BindingTable>> Next() override {
+    if (done_) return Exhausted();
+    done_ = true;
+    GCORE_ASSIGN_OR_RETURN(BindingTable left, Drain(left_.get()));
+    GCORE_ASSIGN_OR_RETURN(BindingTable right, Drain(right_.get()));
+    return AsChunk(TableLeftOuterJoin(left, right));
+  }
+
+ private:
+  OpPtr left_;
+  OpPtr right_;
+  bool done_ = false;
+};
+
+/// Final projection: drop internal columns in recorded binding order,
+/// restore set semantics.
+class ProjectOp : public PhysicalOp {
+ public:
+  ProjectOp(Matcher* rt, const PlanNode* plan, OpPtr child)
+      : rt_(rt), plan_(plan), child_(std::move(child)) {}
+
+  Result<std::optional<BindingTable>> Next() override {
+    if (done_) return Exhausted();
+    done_ = true;
+    GCORE_ASSIGN_OR_RETURN(BindingTable table, Drain(child_.get()));
+    return AsChunk(rt_->ProjectResult(table, &plan_->output));
+  }
+
+ private:
+  Matcher* rt_;
+  const PlanNode* plan_;
+  OpPtr child_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+Executor::Executor(Matcher* runtime) : runtime_(runtime) {}
+
+Result<std::unique_ptr<PhysicalOp>> Executor::Build(const PlanNode& plan) {
+  switch (plan.op) {
+    case PlanOp::kNodeScan:
+      return OpPtr(new NodeScanOp(runtime_, &plan));
+    case PlanOp::kExpandEdge: {
+      GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));
+      return OpPtr(new ExpandEdgeOp(runtime_, &plan, std::move(child)));
+    }
+    case PlanOp::kPathSearch: {
+      GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));
+      return OpPtr(new PathSearchOp(runtime_, &plan, std::move(child)));
+    }
+    case PlanOp::kFilter: {
+      GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));
+      return OpPtr(new FilterOp(runtime_, &plan, std::move(child)));
+    }
+    case PlanOp::kHashJoin: {
+      GCORE_ASSIGN_OR_RETURN(OpPtr left, Build(*plan.children[0]));
+      GCORE_ASSIGN_OR_RETURN(OpPtr right, Build(*plan.children[1]));
+      return OpPtr(new HashJoinOp(std::move(left), std::move(right)));
+    }
+    case PlanOp::kLeftOuterJoin: {
+      GCORE_ASSIGN_OR_RETURN(OpPtr left, Build(*plan.children[0]));
+      GCORE_ASSIGN_OR_RETURN(OpPtr right, Build(*plan.children[1]));
+      return OpPtr(new LeftOuterJoinOp(std::move(left), std::move(right)));
+    }
+    case PlanOp::kProject: {
+      GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));
+      return OpPtr(new ProjectOp(runtime_, &plan, std::move(child)));
+    }
+    case PlanOp::kGraphUnion:
+    case PlanOp::kGraphIntersect:
+    case PlanOp::kGraphMinus:
+      return Status::EvaluationError(
+          std::string(PlanOpName(plan.op)) +
+          " is a graph-level operator; the engine combines basic-query "
+          "results above the binding pipeline");
+  }
+  return Status::EvaluationError("unhandled plan operator");
+}
+
+Result<BindingTable> Executor::Run(const PlanNode& plan) {
+  GCORE_ASSIGN_OR_RETURN(std::unique_ptr<PhysicalOp> root, Build(plan));
+  return Drain(root.get());
+}
+
+}  // namespace gcore

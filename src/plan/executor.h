@@ -1,0 +1,56 @@
+// The physical operator pipeline: runs an optimized logical plan against
+// the Matcher runtime, producing the existing BindingTable.
+//
+// Volcano-style pull execution at BindingTable-chunk granularity: every
+// operator exposes Next() returning the next chunk of bindings (nullopt
+// when exhausted). Scans emit their result as one chunk today; expands
+// and filters transform chunks one-to-one as they are pulled, so pushed
+// predicates run before downstream operators ever see a row. Joins and
+// the final Project are pipeline breakers (they drain their inputs), as
+// in any hash-based executor. Finer-grained scan chunking / vectorized
+// bindings are ROADMAP open items — the operator protocol already
+// supports them.
+#ifndef GCORE_PLAN_EXECUTOR_H_
+#define GCORE_PLAN_EXECUTOR_H_
+
+#include <memory>
+#include <optional>
+
+#include "common/result.h"
+#include "eval/binding.h"
+#include "plan/plan.h"
+
+namespace gcore {
+
+class Matcher;
+
+/// One operator of the physical pipeline.
+class PhysicalOp {
+ public:
+  virtual ~PhysicalOp() = default;
+  /// Pulls the next chunk of bindings; nullopt when exhausted. Every
+  /// operator yields at least one (possibly empty) chunk so the binding
+  /// schema always propagates.
+  virtual Result<std::optional<BindingTable>> Next() = 0;
+};
+
+class Executor {
+ public:
+  /// `runtime` supplies graph resolution, adjacency caches and the
+  /// pattern-element primitives; it must outlive the execution.
+  explicit Executor(Matcher* runtime);
+
+  /// Builds the operator pipeline for `plan` and drains it.
+  Result<BindingTable> Run(const PlanNode& plan);
+
+  /// Builds the pipeline without draining (testing / future streaming
+  /// consumers).
+  Result<std::unique_ptr<PhysicalOp>> Build(const PlanNode& plan);
+
+ private:
+  Matcher* runtime_;
+};
+
+}  // namespace gcore
+
+#endif  // GCORE_PLAN_EXECUTOR_H_

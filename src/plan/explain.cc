@@ -1,0 +1,85 @@
+#include "plan/explain.h"
+
+#include "eval/matcher.h"
+#include "plan/planner.h"
+
+namespace gcore {
+
+namespace {
+
+Result<std::vector<std::string>> RenderBasic(const BasicQuery& basic,
+                                             Matcher* runtime) {
+  std::vector<std::string> lines;
+  lines.push_back(basic.select.has_value() ? "Select" : "Construct");
+  std::vector<std::string> sub;
+  if (basic.match.has_value()) {
+    // Planning never resolves graphs (the estimator reads statistics by
+    // name and degrades to unknown), so unmaterialized locations — e.g.
+    // ON-subquery graphs that only exist at execution time — are fine.
+    Planner planner(runtime, PlannerOptions::FromContext(runtime->context()));
+    GCORE_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanMatch(*basic.match));
+    planner.AnnotateEstimates(plan.get());
+    sub = plan->RenderLines();
+  } else if (!basic.from_table.empty()) {
+    sub.push_back("TableScan " + basic.from_table);
+  } else {
+    sub.push_back("Unit");
+  }
+  AppendChildLines(sub, /*last=*/true, &lines);
+  return lines;
+}
+
+Result<std::vector<std::string>> RenderBody(const QueryBody& body,
+                                            Matcher* runtime) {
+  switch (body.kind) {
+    case QueryBody::Kind::kBasic:
+      return RenderBasic(*body.basic, runtime);
+    case QueryBody::Kind::kGraphRef:
+      return std::vector<std::string>{"Graph " + body.graph_ref};
+    case QueryBody::Kind::kUnion:
+    case QueryBody::Kind::kIntersect:
+    case QueryBody::Kind::kMinus: {
+      const PlanOp op = body.kind == QueryBody::Kind::kUnion
+                            ? PlanOp::kGraphUnion
+                            : body.kind == QueryBody::Kind::kIntersect
+                                  ? PlanOp::kGraphIntersect
+                                  : PlanOp::kGraphMinus;
+      std::vector<std::string> lines{PlanOpName(op)};
+      GCORE_ASSIGN_OR_RETURN(std::vector<std::string> left,
+                             RenderBody(*body.left, runtime));
+      GCORE_ASSIGN_OR_RETURN(std::vector<std::string> right,
+                             RenderBody(*body.right, runtime));
+      AppendChildLines(left, /*last=*/false, &lines);
+      AppendChildLines(right, /*last=*/true, &lines);
+      return lines;
+    }
+  }
+  return Status::EvaluationError("unhandled query body kind");
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ExplainQuery(const Query& query,
+                                              Matcher* runtime) {
+  std::vector<std::string> lines;
+  for (const auto& path_clause : query.path_clauses) {
+    lines.push_back("PathView " + path_clause.name +
+                    " (materialized lazily on first reference)");
+  }
+  for (const auto& graph_clause : query.graph_clauses) {
+    lines.push_back(std::string(graph_clause.is_view ? "GraphView "
+                                                     : "Graph ") +
+                    graph_clause.name + " AS");
+    GCORE_ASSIGN_OR_RETURN(std::vector<std::string> sub,
+                           ExplainQuery(*graph_clause.query, runtime));
+    AppendChildLines(sub, /*last=*/true, &lines);
+  }
+  if (query.body != nullptr) {
+    GCORE_ASSIGN_OR_RETURN(std::vector<std::string> body,
+                           RenderBody(*query.body, runtime));
+    lines.insert(lines.end(), body.begin(), body.end());
+  }
+  return lines;
+}
+
+}  // namespace gcore

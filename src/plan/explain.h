@@ -1,0 +1,29 @@
+// EXPLAIN <query>: renders the optimized evaluation plan of a full
+// query without executing it.
+//
+// Every MATCH clause is planned through plan/planner.h (with unresolved
+// locations tolerated, since ON-subquery graphs only exist at execution
+// time); set operations over basic queries render as the graph-level
+// GraphUnion / GraphIntersect / GraphMinus operators above the binding
+// pipelines.
+#ifndef GCORE_PLAN_EXPLAIN_H_
+#define GCORE_PLAN_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/result.h"
+
+namespace gcore {
+
+class Matcher;
+
+/// Plan rendering of `query`, one string per output row. `runtime`
+/// supplies the catalog (statistics) and planner context.
+Result<std::vector<std::string>> ExplainQuery(const Query& query,
+                                              Matcher* runtime);
+
+}  // namespace gcore
+
+#endif  // GCORE_PLAN_EXPLAIN_H_

@@ -1,0 +1,134 @@
+#include "plan/plan.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "ast/pattern.h"
+
+namespace gcore {
+
+const char* PlanOpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kNodeScan:
+      return "NodeScan";
+    case PlanOp::kExpandEdge:
+      return "ExpandEdge";
+    case PlanOp::kPathSearch:
+      return "PathSearch";
+    case PlanOp::kFilter:
+      return "Filter";
+    case PlanOp::kHashJoin:
+      return "HashJoin";
+    case PlanOp::kLeftOuterJoin:
+      return "LeftOuterJoin";
+    case PlanOp::kProject:
+      return "Project";
+    case PlanOp::kGraphUnion:
+      return "GraphUnion";
+    case PlanOp::kGraphIntersect:
+      return "GraphIntersect";
+    case PlanOp::kGraphMinus:
+      return "GraphMinus";
+  }
+  return "?";
+}
+
+PlanPtr MakePlan(PlanOp op, std::vector<PlanPtr> children) {
+  auto node = std::make_unique<PlanNode>(op);
+  node->children = std::move(children);
+  return node;
+}
+
+namespace {
+
+void AppendPushed(const std::vector<const Expr*>& pushed,
+                  std::ostringstream* out) {
+  if (pushed.empty()) return;
+  *out << " push={";
+  for (size_t i = 0; i < pushed.size(); ++i) {
+    if (i > 0) *out << ", ";
+    *out << pushed[i]->ToString();
+  }
+  *out << "}";
+}
+
+}  // namespace
+
+std::string PlanNode::Describe() const {
+  std::ostringstream out;
+  out << PlanOpName(op);
+  switch (op) {
+    case PlanOp::kNodeScan:
+      out << " " << gcore::ToString(*node);
+      if (!graph.empty()) out << " on " << graph;
+      AppendPushed(pushed, &out);
+      break;
+    case PlanOp::kExpandEdge:
+      out << " (" << from_var << ")" << gcore::ToString(*edge, *to);
+      if (!graph.empty()) out << " on " << graph;
+      AppendPushed(pushed, &out);
+      break;
+    case PlanOp::kPathSearch:
+      out << " (" << from_var << ")" << gcore::ToString(*path, *to);
+      if (!graph.empty()) out << " on " << graph;
+      AppendPushed(pushed, &out);
+      break;
+    case PlanOp::kFilter:
+      out << " " << predicate->ToString();
+      break;
+    case PlanOp::kProject: {
+      out << " [";
+      for (size_t i = 0; i < output.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << output[i];
+      }
+      out << "] dedup";
+      break;
+    }
+    case PlanOp::kHashJoin:
+    case PlanOp::kLeftOuterJoin:
+    case PlanOp::kGraphUnion:
+    case PlanOp::kGraphIntersect:
+    case PlanOp::kGraphMinus:
+      break;
+  }
+  if (est_rows >= 0.0) {
+    // Limited precision, never truncated to an integer: sub-1 estimates
+    // (the ranking signal on selective plans) stay visible, and huge
+    // cross-product estimates print in scientific notation.
+    out << "  (est_rows=" << std::setprecision(3) << est_rows << ")";
+  }
+  return out.str();
+}
+
+void AppendChildLines(const std::vector<std::string>& child, bool last,
+                      std::vector<std::string>* lines) {
+  for (size_t j = 0; j < child.size(); ++j) {
+    if (j == 0) {
+      lines->push_back((last ? "└─ " : "├─ ") + child[j]);
+    } else {
+      lines->push_back((last ? "   " : "│  ") + child[j]);
+    }
+  }
+}
+
+std::vector<std::string> PlanNode::RenderLines() const {
+  std::vector<std::string> lines{Describe()};
+  for (size_t i = 0; i < children.size(); ++i) {
+    AppendChildLines(children[i]->RenderLines(), i + 1 == children.size(),
+                     &lines);
+  }
+  return lines;
+}
+
+std::string PlanNode::ToString() const {
+  const std::vector<std::string> lines = RenderLines();
+  std::ostringstream out;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (i > 0) out << "\n";
+    out << lines[i];
+  }
+  return out.str();
+}
+
+}  // namespace gcore

@@ -1,0 +1,114 @@
+// Logical plan IR for MATCH evaluation.
+//
+// The planner (plan/planner.h) lowers a MatchClause AST into a tree of
+// PlanNodes; the rule-based optimizer rewrites the tree (predicate
+// pushdown into scans/expands, chain ordering by estimated cardinality);
+// the executor (plan/executor.h) runs it bottom-up, pulling BindingTable
+// chunks through the operators. EXPLAIN renders the optimized tree.
+//
+// Binding-level operators (executed):
+//   NodeScan       — all admitted nodes of one graph into a fresh column
+//   ExpandEdge     — one edge hop from a bound node column
+//   PathSearch     — one path hop (stored / SHORTEST / ALL / reachability)
+//   Filter         — residual WHERE predicate
+//   HashJoin       — natural join of two subplans (comma patterns)
+//   LeftOuterJoin  — OPTIONAL block chaining
+//   Project        — drop internal columns, restore set semantics
+//
+// Graph-level operators (EXPLAIN rendering of full-query set operations):
+//   GraphUnion / GraphIntersect / GraphMinus
+#ifndef GCORE_PLAN_PLAN_H_
+#define GCORE_PLAN_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace gcore {
+
+enum class PlanOp : uint8_t {
+  kNodeScan,
+  kExpandEdge,
+  kPathSearch,
+  kFilter,
+  kHashJoin,
+  kLeftOuterJoin,
+  kProject,
+  kGraphUnion,
+  kGraphIntersect,
+  kGraphMinus,
+};
+
+const char* PlanOpName(PlanOp op);
+
+struct PlanNode;
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// One operator of a logical plan. Pattern members are non-owning
+/// pointers into the query AST, which outlives the plan.
+struct PlanNode {
+  PlanOp op{};
+  std::vector<PlanPtr> children;
+
+  /// Scans/expands: effective ON location (already combining pattern ON,
+  /// clause-level ON and engine location overrides; empty = default
+  /// graph). Filter: graph resolving λ/σ fallback lookups.
+  std::string graph;
+
+  // kNodeScan
+  const NodePattern* node = nullptr;
+  std::string var;
+
+  // kExpandEdge / kPathSearch
+  std::string from_var;
+  const EdgePattern* edge = nullptr;  // kExpandEdge
+  std::string edge_var;
+  const PathPattern* path = nullptr;  // kPathSearch
+  std::string path_var;
+  const NodePattern* to = nullptr;
+  std::string to_var;
+
+  /// Pushed-down single-variable WHERE conjuncts applied by this operator
+  /// as soon as their variable is bound (the optimizer's pushdown rule).
+  std::vector<const Expr*> pushed;
+
+  // kFilter
+  const Expr* predicate = nullptr;
+
+  // kProject: visible output columns in legacy binding order. Projection
+  // always deduplicates (bindings form a set, Appendix A.1).
+  std::vector<std::string> output;
+
+  /// kHashJoin: the joined chains share at least one variable (estimation
+  /// treats the join as key-correlated rather than a cross product).
+  bool join_correlated = false;
+
+  /// Estimated output rows (plan/cost.h); negative = unknown.
+  double est_rows = -1.0;
+
+  PlanNode() = default;
+  explicit PlanNode(PlanOp o) : op(o) {}
+
+  /// One-line description of this operator (no children).
+  std::string Describe() const;
+
+  /// Multi-line tree rendering (this node and its subtree).
+  std::string ToString() const;
+
+  /// Tree rendering as one string per output row.
+  std::vector<std::string> RenderLines() const;
+};
+
+/// Creates a node of kind `op` with the given children.
+PlanPtr MakePlan(PlanOp op, std::vector<PlanPtr> children = {});
+
+/// Appends a rendered child subtree to `lines` with the box-drawing
+/// prefixes of PlanNode::RenderLines (shared with the EXPLAIN wrappers).
+void AppendChildLines(const std::vector<std::string>& child, bool last,
+                      std::vector<std::string>* lines);
+
+}  // namespace gcore
+
+#endif  // GCORE_PLAN_PLAN_H_

@@ -1,0 +1,269 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "eval/matcher.h"
+#include "plan/cost.h"
+
+namespace gcore {
+
+PlannerOptions PlannerOptions::FromContext(const MatcherContext& ctx) {
+  PlannerOptions options;
+  options.enable_pushdown = ctx.enable_pushdown;
+  options.reorder_joins = ctx.reorder_joins;
+  return options;
+}
+
+Planner::Planner(Matcher* runtime, PlannerOptions options)
+    : runtime_(runtime), options_(options) {}
+
+std::string Planner::EffectiveLocation(const GraphPattern& pattern) const {
+  const auto* overrides = runtime_->context().location_overrides;
+  if (overrides != nullptr) {
+    auto it = overrides->find(&pattern);
+    if (it != overrides->end()) return it->second;
+  }
+  if (pattern.on_subquery != nullptr) {
+    // Only reachable in EXPLAIN mode: execution materializes subquery
+    // locations into overrides before planning.
+    return "(subquery)";
+  }
+  if (!pattern.on_graph.empty()) return pattern.on_graph;
+  return clause_override_;
+}
+
+void Planner::AttachPushed(
+    PlanNode* node, const std::string& var,
+    const std::map<std::string, std::vector<const Expr*>>* pushdown) {
+  if (pushdown == nullptr) return;
+  auto it = pushdown->find(var);
+  if (it == pushdown->end()) return;
+  node->pushed.insert(node->pushed.end(), it->second.begin(),
+                      it->second.end());
+}
+
+Result<PlanPtr> Planner::PlanChain(
+    const GraphPattern& pattern,
+    const std::map<std::string, std::vector<const Expr*>>* pushdown) {
+  const std::string location = EffectiveLocation(pattern);
+
+  auto scan = MakePlan(PlanOp::kNodeScan);
+  scan->graph = location;
+  scan->node = &pattern.start;
+  scan->var = pattern.start.var.empty() ? runtime_->FreshAnonName()
+                                        : pattern.start.var;
+  AttachPushed(scan.get(), scan->var, pushdown);
+
+  PlanPtr plan = std::move(scan);
+  std::string prev_var = plan->var;
+  for (const auto& hop : pattern.hops) {
+    const std::string to_var =
+        hop.to.var.empty() ? runtime_->FreshAnonName() : hop.to.var;
+    if (hop.kind == PatternHop::Kind::kEdge) {
+      auto expand = MakePlan(PlanOp::kExpandEdge);
+      expand->graph = location;
+      expand->from_var = prev_var;
+      expand->edge = &hop.edge;
+      expand->edge_var = hop.edge.var.empty() ? runtime_->FreshAnonName()
+                                              : hop.edge.var;
+      expand->to = &hop.to;
+      expand->to_var = to_var;
+      // Same application order as the legacy walk: the edge variable's
+      // conjuncts run before the target node's.
+      AttachPushed(expand.get(), expand->edge_var, pushdown);
+      AttachPushed(expand.get(), to_var, pushdown);
+      expand->children.push_back(std::move(plan));
+      plan = std::move(expand);
+    } else {
+      auto search = MakePlan(PlanOp::kPathSearch);
+      search->graph = location;
+      search->from_var = prev_var;
+      search->path = &hop.path;
+      search->path_var =
+          hop.path.var.empty()
+              ? (hop.path.mode == PathPattern::Mode::kReachability
+                     ? std::string()
+                     : runtime_->FreshAnonName())
+              : hop.path.var;
+      search->to = &hop.to;
+      search->to_var = to_var;
+      AttachPushed(search.get(), to_var, pushdown);
+      search->children.push_back(std::move(plan));
+      plan = std::move(search);
+    }
+    prev_var = to_var;
+  }
+  return plan;
+}
+
+namespace {
+
+void CollectChainVars(const GraphPattern& pattern,
+                      std::set<std::string>* out) {
+  std::vector<std::string> vars;
+  pattern.CollectBoundVariables(&vars);
+  out->insert(vars.begin(), vars.end());
+}
+
+bool SharesVariable(const std::set<std::string>& a,
+                    const std::set<std::string>& b) {
+  for (const auto& v : a) {
+    if (b.count(v) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<PlanPtr> Planner::PlanPatternsJoined(
+    const std::vector<GraphPattern>& patterns,
+    const std::map<std::string, std::vector<const Expr*>>* pushdown) {
+  std::vector<PlanPtr> chains;
+  chains.reserve(patterns.size());
+  for (const auto& pattern : patterns) {
+    GCORE_ASSIGN_OR_RETURN(PlanPtr chain, PlanChain(pattern, pushdown));
+    chains.push_back(std::move(chain));
+  }
+  if (chains.empty()) {
+    return Status::BindError("MATCH clause has no pattern");
+  }
+
+  // Chain-ordering rule: estimate each chain and join smallest-first.
+  // Stays in source order when disabled or when any estimate is unknown
+  // (keeping the plan deterministic under missing statistics).
+  std::vector<size_t> order(chains.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  if (options_.reorder_joins && chains.size() > 1) {
+    CardinalityEstimator estimator(runtime_->context().catalog,
+                                   default_location_);
+    bool all_known = true;
+    for (auto& chain : chains) {
+      if (estimator.Annotate(chain.get()) < 0.0) all_known = false;
+    }
+    if (all_known) {
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return chains[a]->est_rows < chains[b]->est_rows;
+      });
+    }
+  }
+
+  std::vector<std::set<std::string>> chain_vars(patterns.size());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    CollectChainVars(patterns[i], &chain_vars[i]);
+  }
+
+  PlanPtr plan = std::move(chains[order[0]]);
+  std::set<std::string> bound = chain_vars[order[0]];
+  for (size_t i = 1; i < order.size(); ++i) {
+    auto join = MakePlan(PlanOp::kHashJoin);
+    join->join_correlated = SharesVariable(bound, chain_vars[order[i]]);
+    join->children.push_back(std::move(plan));
+    join->children.push_back(std::move(chains[order[i]]));
+    bound.insert(chain_vars[order[i]].begin(), chain_vars[order[i]].end());
+    plan = std::move(join);
+  }
+  return plan;
+}
+
+void Planner::CollectOutputColumns(const GraphPattern& pattern,
+                                   std::vector<std::string>* out) const {
+  auto add = [out](const std::string& name) {
+    if (name.empty()) return;
+    if (std::find(out->begin(), out->end(), name) == out->end()) {
+      out->push_back(name);
+    }
+  };
+  auto add_bind_props = [&](const std::vector<PropPattern>& props) {
+    for (const auto& p : props) {
+      if (p.mode == PropPattern::Mode::kBindVariable) add(p.bind_var);
+    }
+  };
+  // Mirrors the column-creation order of chain evaluation: element
+  // variable(s) first, then the bind-variables of their property maps.
+  add(pattern.start.var);
+  add_bind_props(pattern.start.props);
+  for (const auto& hop : pattern.hops) {
+    if (hop.kind == PatternHop::Kind::kEdge) {
+      add(hop.edge.var);
+      add(hop.to.var);
+      add_bind_props(hop.edge.props);
+      add_bind_props(hop.to.props);
+    } else {
+      add(hop.path.var);
+      add(hop.to.var);
+      if (!hop.path.cost_var.empty()) add(hop.path.cost_var);
+      add_bind_props(hop.to.props);
+    }
+  }
+}
+
+Result<PlanPtr> Planner::PlanMatch(const MatchClause& match) {
+  clause_override_ = ClauseOnOverride(match);
+  default_location_ = clause_override_.empty()
+                          ? runtime_->context().default_graph
+                          : clause_override_;
+
+  GCORE_RETURN_NOT_OK(CheckOptionalVariableSharing(match));
+
+  // Pushdown rule: single-variable AND-conjuncts of the WHERE clause are
+  // attached to the operator binding their variable.
+  std::map<std::string, std::vector<const Expr*>> pushdown;
+  if (match.where != nullptr && options_.enable_pushdown) {
+    CollectSingleVarConjuncts(*match.where, &pushdown);
+  }
+
+  GCORE_ASSIGN_OR_RETURN(
+      PlanPtr plan,
+      PlanPatternsJoined(match.patterns,
+                         pushdown.empty() ? nullptr : &pushdown));
+
+  if (match.where != nullptr) {
+    auto filter = MakePlan(PlanOp::kFilter);
+    filter->predicate = match.where.get();
+    filter->children.push_back(std::move(plan));
+    plan = std::move(filter);
+  }
+
+  // OPTIONAL blocks chain with left outer joins in source order
+  // (Appendix A.2); block WHEREs filter the block before the join.
+  for (const auto& block : match.optionals) {
+    GCORE_ASSIGN_OR_RETURN(PlanPtr block_plan,
+                           PlanPatternsJoined(block.patterns, nullptr));
+    if (block.where != nullptr) {
+      auto filter = MakePlan(PlanOp::kFilter);
+      filter->predicate = block.where.get();
+      filter->children.push_back(std::move(block_plan));
+      block_plan = std::move(filter);
+    }
+    auto outer = MakePlan(PlanOp::kLeftOuterJoin);
+    outer->children.push_back(std::move(plan));
+    outer->children.push_back(std::move(block_plan));
+    plan = std::move(outer);
+  }
+
+  auto project = MakePlan(PlanOp::kProject);
+  for (const auto& pattern : match.patterns) {
+    CollectOutputColumns(pattern, &project->output);
+  }
+  for (const auto& block : match.optionals) {
+    for (const auto& pattern : block.patterns) {
+      CollectOutputColumns(pattern, &project->output);
+    }
+  }
+  project->output.erase(
+      std::remove_if(project->output.begin(), project->output.end(),
+                     IsInternalColumn),
+      project->output.end());
+  project->children.push_back(std::move(plan));
+  return project;
+}
+
+void Planner::AnnotateEstimates(PlanNode* plan) const {
+  CardinalityEstimator estimator(runtime_->context().catalog,
+                                 default_location_);
+  estimator.Annotate(plan);
+}
+
+}  // namespace gcore

@@ -1,0 +1,96 @@
+// The logical planner: lowers a MatchClause AST into the plan IR of
+// plan/plan.h and applies the rule-based optimizer.
+//
+// Rules (each gated by a PlannerOptions flag):
+//   * Predicate pushdown — single-variable WHERE conjuncts are attached
+//     to the scan/expand operator that binds their variable, so they run
+//     as soon as the variable exists (generalizes the matcher's old
+//     ad-hoc pushdown map). Label and property predicates written inside
+//     the pattern are inherently part of NodeScan/ExpandEdge admission.
+//   * Chain ordering — independent comma-separated pattern chains are
+//     joined smallest-first by estimated cardinality (plan/cost.h over
+//     GraphCatalog::Stats), building a left-deep HashJoin tree.
+//
+// The full WHERE is kept as a residual Filter above the joins (re-checking
+// pushed conjuncts is harmless and keeps the filter semantics of Appendix
+// A.2 literal); a final Project drops matcher-internal columns in the
+// source-binding order the legacy evaluator produced, so downstream
+// consumers see identical schemas regardless of join order.
+#ifndef GCORE_PLAN_PLANNER_H_
+#define GCORE_PLAN_PLANNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/result.h"
+#include "plan/plan.h"
+
+namespace gcore {
+
+class Matcher;
+struct MatcherContext;
+
+struct PlannerOptions {
+  /// Pushdown rewrite rule (MatcherContext::enable_pushdown).
+  bool enable_pushdown = true;
+  /// Cardinality-based chain ordering (MatcherContext::reorder_joins).
+  bool reorder_joins = true;
+
+  static PlannerOptions FromContext(const MatcherContext& ctx);
+};
+
+class Planner {
+ public:
+  /// `runtime` supplies graph resolution, catalog stats, location
+  /// overrides and fresh anonymous column names; it must outlive the
+  /// planner and the produced plan executes against it.
+  Planner(Matcher* runtime, PlannerOptions options);
+
+  /// Full clause: chains ⋈ … ⋈ chains, σ(WHERE), left-outer-joined
+  /// OPTIONAL blocks, final projection.
+  Result<PlanPtr> PlanMatch(const MatchClause& match);
+
+  /// Annotates `plan` with cardinality estimates (EXPLAIN display;
+  /// execution skips this — the chain-ordering rule estimates the
+  /// chains it compares internally, and full-tree annotation would
+  /// force a statistics scan per executed MATCH). Call after PlanMatch
+  /// on the same planner (uses its resolved default location).
+  void AnnotateEstimates(PlanNode* plan) const;
+
+  /// One pattern chain: NodeScan followed by Expand operators.
+  /// `pushdown` maps variables to pushed conjuncts (may be null).
+  Result<PlanPtr> PlanChain(
+      const GraphPattern& pattern,
+      const std::map<std::string, std::vector<const Expr*>>* pushdown);
+
+ private:
+  /// Joined plan over comma-separated chains (the chain-ordering rule).
+  Result<PlanPtr> PlanPatternsJoined(
+      const std::vector<GraphPattern>& patterns,
+      const std::map<std::string, std::vector<const Expr*>>* pushdown);
+
+  /// Effective ON location of a pattern (override > pattern ON > clause
+  /// ON > default); "" means the default graph.
+  std::string EffectiveLocation(const GraphPattern& pattern) const;
+
+  /// Appends the chain's visible output columns in binding order.
+  void CollectOutputColumns(const GraphPattern& pattern,
+                            std::vector<std::string>* out) const;
+
+  static void AttachPushed(
+      PlanNode* node, const std::string& var,
+      const std::map<std::string, std::vector<const Expr*>>* pushdown);
+
+  Matcher* runtime_;
+  PlannerOptions options_;
+  std::string clause_override_;
+  /// Graph used by operators with an empty location (clause override or
+  /// the context default).
+  std::string default_location_;
+};
+
+}  // namespace gcore
+
+#endif  // GCORE_PLAN_PLANNER_H_

@@ -41,6 +41,17 @@ class MatcherTest : public ::testing::Test {
   EdgeId e1_, e2_, e3_, e4_;
 };
 
+// A matcher without an engine-wired EXISTS callback must fail with an
+// error naming the offending subquery, not a generic message.
+TEST_F(MatcherTest, ExistsWithoutCallbackNamesSubquery) {
+  auto t = Match(
+      "MATCH (n) WHERE EXISTS (CONSTRUCT (m) MATCH (m:Person))");
+  ASSERT_FALSE(t.ok());
+  const std::string message = t.status().ToString();
+  EXPECT_NE(message.find("EXISTS subquery"), std::string::npos) << message;
+  EXPECT_NE(message.find("MATCH (m:Person)"), std::string::npos) << message;
+}
+
 TEST_F(MatcherTest, DirectedRightFollowsRho) {
   auto t = Match("MATCH (n)-[e:x]->(m)");
   ASSERT_TRUE(t.ok()) << t.status().ToString();

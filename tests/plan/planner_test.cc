@@ -1,0 +1,220 @@
+// Plan-shape golden tests: the planner must produce the expected
+// operator trees for the paper's guided-tour queries, with the pushdown
+// and chain-ordering rules visible in EXPLAIN output.
+#include "plan/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "eval/matcher.h"
+#include "parser/parser.h"
+#include "plan/executor.h"
+#include "snb/toy_graphs.h"
+
+namespace gcore {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() {
+    snb::RegisterToyData(&catalog);
+    catalog.SetDefaultGraph("social_graph");
+  }
+
+  /// EXPLAIN through the engine; returns the plan rows joined by '\n'.
+  std::string Explain(const std::string& query, bool pushdown = true) {
+    QueryEngine engine(&catalog);
+    engine.set_enable_pushdown(pushdown);
+    auto r = engine.Execute("EXPLAIN " + query);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) return "";
+    EXPECT_TRUE(r->IsTable());
+    std::string out;
+    for (size_t i = 0; i < r->table->NumRows(); ++i) {
+      if (i > 0) out += "\n";
+      out += r->table->At(i, 0).AsString();
+    }
+    return out;
+  }
+
+  /// Plans the MATCH clause of `query` directly. The parsed AST is kept
+  /// alive in the fixture: plans reference it.
+  PlanPtr PlanMatchOf(const std::string& query, Matcher* matcher) {
+    auto parsed = ParseQuery(query);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    if (!parsed.ok()) return nullptr;
+    parsed_queries_.push_back(std::move(*parsed));
+    PlannerOptions options = PlannerOptions::FromContext(matcher->context());
+    Planner planner(matcher, options);
+    auto plan =
+        planner.PlanMatch(*parsed_queries_.back()->body->basic->match);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    if (!plan.ok()) return nullptr;
+    planner.AnnotateEstimates(plan->get());
+    return std::move(*plan);
+  }
+
+  std::vector<std::unique_ptr<Query>> parsed_queries_;
+
+  Matcher MakeMatcher() {
+    MatcherContext ctx;
+    ctx.catalog = &catalog;
+    ctx.default_graph = "social_graph";
+    return Matcher(ctx);
+  }
+
+  GraphCatalog catalog;
+};
+
+// Q1 (paper lines 1-4): scan + pushed filter + residual WHERE + project.
+TEST_F(PlannerTest, Q1_ScanWithPushedFilter) {
+  const std::string plan = Explain(
+      "CONSTRUCT (n) MATCH (n:Person) ON social_graph "
+      "WHERE n.employer = 'Acme'");
+  EXPECT_NE(plan.find("Project [n] dedup"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Filter (n.employer = 'Acme')"), std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find(
+                "NodeScan (n:Person) on social_graph "
+                "push={(n.employer = 'Acme')}"),
+            std::string::npos)
+      << plan;
+}
+
+// Q2 (lines 5-9): cross-graph join under a graph-level union.
+TEST_F(PlannerTest, Q2_JoinUnderGraphUnion) {
+  const std::string plan = Explain(
+      "CONSTRUCT (c)<-[:worksAt]-(n) "
+      "MATCH (c:Company) ON company_graph, (n:Person) ON social_graph "
+      "WHERE c.name = n.employer UNION social_graph");
+  EXPECT_NE(plan.find("GraphUnion"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("HashJoin"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("NodeScan (c:Company) on company_graph"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("NodeScan (n:Person) on social_graph"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("Graph social_graph"), std::string::npos) << plan;
+}
+
+// Q5 (lines 20-22): property unrolling stays inside the scan; the bound
+// variable e is a visible output column.
+TEST_F(PlannerTest, Q5_PropertyUnrollingInScan) {
+  const std::string plan =
+      Explain("CONSTRUCT social_graph, "
+              "(x GROUP e :Company {name:=e})<-[y:worksAt]-(n) "
+              "MATCH (n:Person {employer=e})");
+  EXPECT_NE(plan.find("NodeScan (n:Person {employer = e})"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("Project [n, e] dedup"), std::string::npos) << plan;
+}
+
+// Q6 (lines 23-27): the selective source filters are pushed below the
+// expensive k-shortest path search.
+TEST_F(PlannerTest, Q6_FiltersPushedBelowPathSearch) {
+  const std::string plan = Explain(
+      "CONSTRUCT (n)-/@p:localPeople{distance:=c}/->(m) "
+      "MATCH (n)-/3 SHORTEST p<:knows*> COST c/->(m) "
+      "WHERE (n:Person) AND (m:Person) "
+      "AND n.firstName = 'John' AND n.lastName = 'Doe' "
+      "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)");
+  const size_t search = plan.find("PathSearch");
+  const size_t scan = plan.find("NodeScan");
+  ASSERT_NE(search, std::string::npos) << plan;
+  ASSERT_NE(scan, std::string::npos) << plan;
+  // The scan renders below (after) the search and carries the pushed
+  // source predicates.
+  EXPECT_LT(search, scan) << plan;
+  EXPECT_NE(plan.find("(n.firstName = 'John')"), std::string::npos) << plan;
+  const size_t push = plan.find("push={", scan);
+  EXPECT_NE(push, std::string::npos) << plan;
+  EXPECT_NE(plan.find("Project [n, p, m, c] dedup"), std::string::npos)
+      << plan;
+}
+
+// Q7 (lines 28-31): reachability search with an edge-pattern predicate
+// kept in the residual filter.
+TEST_F(PlannerTest, Q7_ReachabilityPlan) {
+  const std::string plan = Explain(
+      "CONSTRUCT (m) MATCH (n:Person)-/<:knows*>/->(m:Person) "
+      "WHERE n.firstName = 'John' AND n.lastName = 'Doe' "
+      "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)");
+  EXPECT_NE(plan.find("PathSearch"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Filter"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("isLocatedIn"), std::string::npos) << plan;
+}
+
+// The pushdown rule is an optimizer flag: disabling it removes every
+// pushed predicate but keeps the residual filter.
+TEST_F(PlannerTest, PushdownFlagControlsRule) {
+  const std::string query =
+      "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme'";
+  const std::string with = Explain(query, /*pushdown=*/true);
+  const std::string without = Explain(query, /*pushdown=*/false);
+  EXPECT_NE(with.find("push={"), std::string::npos) << with;
+  EXPECT_EQ(without.find("push={"), std::string::npos) << without;
+  EXPECT_NE(without.find("Filter (n.employer = 'Acme')"), std::string::npos)
+      << without;
+}
+
+// Chain-ordering rule: independent chains join smallest-first (4
+// companies before 5 persons), regardless of source order.
+TEST_F(PlannerTest, ChainsOrderedByEstimatedCardinality) {
+  const std::string plan = Explain(
+      "SELECT n.firstName AS f "
+      "MATCH (n:Person) ON social_graph, (c:Company) ON company_graph");
+  const size_t company = plan.find("NodeScan (c:Company)");
+  const size_t person = plan.find("NodeScan (n:Person)");
+  ASSERT_NE(company, std::string::npos) << plan;
+  ASSERT_NE(person, std::string::npos) << plan;
+  EXPECT_LT(company, person) << plan;
+}
+
+// OPTIONAL lowers to a left outer join above the main plan.
+TEST_F(PlannerTest, OptionalBecomesLeftOuterJoin) {
+  const std::string plan = Explain(
+      "CONSTRUCT (n) MATCH (n:Person) "
+      "OPTIONAL (n)-[e:knows]->(m)");
+  EXPECT_NE(plan.find("LeftOuterJoin"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("ExpandEdge"), std::string::npos) << plan;
+}
+
+// Direct planner output: estimates are annotated bottom-up and the
+// executor runs the plan to the same result as the clause evaluator.
+TEST_F(PlannerTest, PlanExecutesThroughExecutor) {
+  Matcher matcher = MakeMatcher();
+  PlanPtr plan = PlanMatchOf(
+      "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme'", &matcher);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->op, PlanOp::kProject);
+  EXPECT_GE(plan->est_rows, 0.0);
+  Executor executor(&matcher);
+  auto table = executor.Run(*plan);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->NumRows(), 2u);  // John and Alice
+  EXPECT_EQ(table->columns(), std::vector<std::string>{"n"});
+}
+
+// Graph-level operators refuse binding-level execution.
+TEST_F(PlannerTest, GraphUnionIsNotExecutable) {
+  Matcher matcher = MakeMatcher();
+  PlanPtr plan = MakePlan(PlanOp::kGraphUnion);
+  Executor executor(&matcher);
+  auto result = executor.Run(*plan);
+  EXPECT_FALSE(result.ok());
+}
+
+// EXPLAIN never executes: ON-subquery locations and head clauses stay
+// unmaterialized and render with unknown cardinality.
+TEST_F(PlannerTest, ExplainDoesNotExecuteSubqueries) {
+  const std::string plan = Explain(
+      "CONSTRUCT (n) "
+      "MATCH (n) ON (CONSTRUCT (p) MATCH (p:Person) WHERE p.employer = "
+      "'Acme')");
+  EXPECT_NE(plan.find("(subquery)"), std::string::npos) << plan;
+}
+
+}  // namespace
+}  // namespace gcore
