@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the join-dedup trajectory bench and records the numbers that the
+# acceptance criteria track into BENCH_join_dedup.json (google-benchmark
+# JSON format). Extra arguments pass through to the bench binary, e.g.
+#   scripts/run_bench.sh --benchmark_filter='BM_JoinDedup.*'
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build --target bench_join_dedup -j
+
+./build/bench_join_dedup \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_join_dedup.json \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  "$@"

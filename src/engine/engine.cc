@@ -49,6 +49,8 @@ Matcher QueryEngine::MakeMatcher(Scope* scope) {
   ctx.use_planner = use_planner_;
   ctx.enable_pushdown = enable_pushdown_;
   ctx.reorder_joins = reorder_joins_;
+  ctx.parallelism = parallelism_;
+  ctx.morsel_size = morsel_size_;
   ctx.exists_cb = [this, scope](const Query& subquery,
                                 const BindingTable& outer,
                                 size_t row) -> Result<bool> {

@@ -59,6 +59,11 @@ class QueryEngine {
   void set_use_planner(bool on) { use_planner_ = on; }
   void set_enable_pushdown(bool on) { enable_pushdown_ = on; }
   void set_reorder_joins(bool on) { reorder_joins_ = on; }
+  /// Morsel-parallel execution degree (0 = one worker per hardware
+  /// thread, 1 = serial) and morsel granularity (0 = default; tests use
+  /// tiny morsels to exercise multi-chunk execution on toy data).
+  void set_parallelism(size_t n) { parallelism_ = n; }
+  void set_morsel_size(size_t n) { morsel_size_ = n; }
 
  private:
   /// Per-execution scope: path views (materialized + pending clause ASTs)
@@ -101,6 +106,8 @@ class QueryEngine {
   bool use_planner_ = true;
   bool enable_pushdown_ = true;
   bool reorder_joins_ = true;
+  size_t parallelism_ = 0;
+  size_t morsel_size_ = 0;
 };
 
 }  // namespace gcore

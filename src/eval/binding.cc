@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_set>
+#include <unordered_map>
 
 namespace gcore {
 
@@ -169,37 +169,71 @@ const Datum& BindingTable::Get(size_t row, const std::string& var) const {
   return col == kNpos ? kUnboundDatum : rows_[row][col];
 }
 
-namespace {
-struct RowHash {
-  size_t operator()(const BindingRow* row) const {
-    size_t h = 0;
-    for (const Datum& d : *row) {
-      h ^= d.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
-    }
-    return h;
-  }
-};
-struct RowEq {
-  bool operator()(const BindingRow* a, const BindingRow* b) const {
-    return *a == *b;
-  }
-};
-}  // namespace
+size_t HashRow(const BindingRow& row) {
+  size_t h = 0;
+  for (const Datum& d : row) h = HashCombine(h, d.Hash());
+  return h;
+}
 
 void BindingTable::Deduplicate() {
-  std::unordered_set<const BindingRow*, RowHash, RowEq> seen;
-  seen.reserve(rows_.size());
-  std::vector<BindingRow> kept;
-  kept.reserve(rows_.size());
-  for (auto& row : rows_) {
-    if (seen.count(&row) > 0) continue;
-    kept.push_back(row);
-    seen.insert(&kept.back());
+  // Index-based in-place dedup: bucket kept rows by hash and compact
+  // forward with moves. Buckets store *compacted* positions, which are
+  // always ≤ the current read position, so every index they reference
+  // holds a live kept row — no pointer stability to reason about.
+  std::unordered_map<size_t, std::vector<size_t>> buckets;
+  buckets.reserve(rows_.size());
+  size_t out = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    auto& bucket = buckets[HashRow(rows_[i])];
+    bool dup = false;
+    for (size_t j : bucket) {
+      if (rows_[j] == rows_[i]) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    if (out != i) rows_[out] = std::move(rows_[i]);
+    bucket.push_back(out);
+    ++out;
   }
-  // Re-hash over the stable `kept` storage: the inserted pointers above
-  // pointed into `kept`, which does not reallocate after reserve... but
-  // reserve(rows_.size()) guarantees capacity, so pointers stay valid.
-  rows_ = std::move(kept);
+  rows_.resize(out);
+}
+
+RowIndexSet::RowIndexSet() : slots_(64, {0, 0}) {}
+
+void RowIndexSet::Reserve(size_t entries) {
+  while (slots_.size() * 7 < entries * 10) Grow();
+}
+
+void RowIndexSet::Grow() {
+  std::vector<std::pair<size_t, size_t>> old = std::move(slots_);
+  slots_.assign(old.size() * 2, {0, 0});
+  const size_t mask = slots_.size() - 1;
+  for (const auto& slot : old) {
+    if (slot.second == 0) continue;
+    size_t pos = slot.first & mask;
+    while (slots_[pos].second != 0) pos = (pos + 1) & mask;
+    slots_[pos] = slot;
+  }
+}
+
+RowDedupSink::RowDedupSink(BindingTable* out) : out_(out) {
+  seen_.Reserve(out->NumRows() + 1);
+  for (size_t i = 0; i < out->NumRows(); ++i) {
+    // Existing rows are indexed as-is (no dedup among them).
+    seen_.InsertIfNew(HashRow(out->Row(i)), i, [](size_t) { return false; });
+  }
+}
+
+bool RowDedupSink::Insert(BindingRow row, size_t hash) {
+  const bool fresh = seen_.InsertIfNew(hash, out_->NumRows(), [&](size_t i) {
+    return out_->Row(i) == row;
+  });
+  if (!fresh) return false;
+  Status st = out_->AddRow(std::move(row));
+  (void)st;
+  return true;
 }
 
 void BindingTable::SetColumnGraph(const std::string& var,

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/id.h"
@@ -127,7 +128,9 @@ class BindingTable {
   /// Datum of `var` in row `row`; kUnbound when the column is absent.
   const Datum& Get(size_t row, const std::string& var) const;
 
-  /// Removes duplicate rows (bindings form a *set*).
+  /// Removes duplicate rows (bindings form a *set*), keeping the first
+  /// occurrence of each binding in place. Fallback for tables built
+  /// without a RowDedupSink; fused construction paths never need it.
   void Deduplicate();
 
   /// Which graph each object column was matched on; used by CONSTRUCT to
@@ -146,6 +149,79 @@ class BindingTable {
   std::vector<std::string> columns_;
   std::vector<BindingRow> rows_;
   std::map<std::string, std::string> column_graphs_;
+};
+
+/// Order-sensitive hash mixing (the one formula every row/key hash in
+/// the engine uses — the dedup sinks rely on reproducing row hashes
+/// from row *parts*, so there must be exactly one mix).
+inline size_t HashCombine(size_t h, size_t value_hash) {
+  return h ^ (value_hash + 0x9e3779b9 + (h << 6) + (h >> 2));
+}
+
+/// Combined hash of a full binding row (order-sensitive over columns).
+size_t HashRow(const BindingRow& row);
+
+/// Open-addressed (hash, row index) set shared by the fused dedup sinks:
+/// linear probing over power-of-two slots, grown below ~70% load, no
+/// per-insert allocation.
+class RowIndexSet {
+ public:
+  RowIndexSet();
+  /// Pre-sizes for `entries` insertions.
+  void Reserve(size_t entries);
+
+  /// Inserts `index` under `hash` unless `eq(stored_index)` is true for
+  /// some already-stored index with an equal hash. Returns true when
+  /// inserted.
+  template <typename EqFn>
+  bool InsertIfNew(size_t hash, size_t index, EqFn eq) {
+    if ((used_ + 1) * 10 > slots_.size() * 7) Grow();
+    const size_t mask = slots_.size() - 1;
+    size_t pos = hash & mask;
+    while (slots_[pos].second != 0) {
+      if (slots_[pos].first == hash && eq(slots_[pos].second - 1)) {
+        return false;
+      }
+      pos = (pos + 1) & mask;
+    }
+    slots_[pos] = {hash, index + 1};
+    ++used_;
+    return true;
+  }
+
+ private:
+  void Grow();
+
+  /// (hash, row index + 1); second == 0 marks an empty slot.
+  std::vector<std::pair<size_t, size_t>> slots_;
+  size_t used_ = 0;
+};
+
+/// Fused duplicate elimination: rows are tested against the sink's seen
+/// set *as they are constructed*, so the target table is duplicate-free
+/// by construction — no trailing Deduplicate() pass and no re-hash of
+/// already-stored rows. The seen set holds row *indices* into the target
+/// table, so target-vector reallocation is harmless.
+///
+/// The target table must not gain rows behind the sink's back while the
+/// sink is live (indices would go stale); starting from a non-empty
+/// table is fine — existing rows are indexed on construction.
+class RowDedupSink {
+ public:
+  explicit RowDedupSink(BindingTable* out);
+
+  /// Appends `row` unless an equal row is already in the table. `hash`
+  /// must equal HashRow(row) — callers that already computed it (e.g.
+  /// parallel join merges) avoid re-hashing. Returns true if appended.
+  bool Insert(BindingRow row, size_t hash);
+  bool Insert(BindingRow row) {
+    const size_t h = HashRow(row);
+    return Insert(std::move(row), h);
+  }
+
+ private:
+  BindingTable* out_;
+  RowIndexSet seen_;
 };
 
 }  // namespace gcore

@@ -1,6 +1,10 @@
 #include "eval/binding_ops.h"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 
 namespace gcore {
 
@@ -85,7 +89,7 @@ struct ProbeIndex {
     for (const auto& cols : shared) {
       const Datum& d = row[std::get<kPairMember>(cols)];
       if (d.IsUnbound()) return false;
-      h ^= d.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+      h = HashCombine(h, d.Hash());
     }
     *hash = h;
     return true;
@@ -124,6 +128,33 @@ struct ProbeIndex {
     }
     for (size_t r : wildcard) fn(r);
   }
+
+  /// True when some row of b is compatible with `ra`; stops at the first
+  /// hit instead of enumerating every candidate (semijoin/antijoin probe).
+  bool AnyCompatible(const BindingTable& b, const BindingRow& ra,
+                     const std::vector<std::pair<size_t, size_t>>& shared)
+      const {
+    size_t h = 0;
+    if (HashShared<0>(ra, shared, &h)) {
+      auto it = keyed.find(h);
+      if (it != keyed.end()) {
+        for (size_t r : it->second) {
+          if (Compatible(ra, b.Row(r), shared)) return true;
+        }
+      }
+    } else {
+      for (const auto& [k, rows] : keyed) {
+        (void)k;
+        for (size_t r : rows) {
+          if (Compatible(ra, b.Row(r), shared)) return true;
+        }
+      }
+    }
+    for (size_t r : wildcard) {
+      if (Compatible(ra, b.Row(r), shared)) return true;
+    }
+    return false;
+  }
 };
 
 }  // namespace
@@ -131,12 +162,11 @@ struct ProbeIndex {
 BindingTable TableUnion(const BindingTable& a, const BindingTable& b) {
   std::vector<size_t> b_extra;
   BindingTable out = JoinSchema(a, b, &b_extra);
-  const auto shared = SharedColumns(a, b);
+  RowDedupSink sink(&out);
   for (const auto& ra : a.rows()) {
     BindingRow row = ra;
     row.resize(out.NumColumns());
-    Status st = out.AddRow(std::move(row));
-    (void)st;
+    sink.Insert(std::move(row));
   }
   for (const auto& rb : b.rows()) {
     BindingRow row(out.NumColumns());
@@ -144,27 +174,209 @@ BindingTable TableUnion(const BindingTable& a, const BindingTable& b) {
       const size_t col = out.ColumnIndex(b.columns()[j]);
       row[col] = rb[j];
     }
-    Status st = out.AddRow(std::move(row));
-    (void)st;
+    sink.Insert(std::move(row));
   }
-  out.Deduplicate();
   return out;
 }
+
+namespace {
+
+/// Duplicate elimination fused into join-output construction, one level
+/// deeper than RowDedupSink: the merged row's hash and equality are
+/// computed straight from the (probe row, build row) pair, so duplicate
+/// pairs are rejected *before* a merged row is ever materialized — the
+/// dominant cost on duplicate-heavy joins (Datum rows are fat: value
+/// sets, path pointers).
+class JoinDedupSink {
+ public:
+  JoinDedupSink(BindingTable* out, const BindingTable& a,
+                const std::vector<std::pair<size_t, size_t>>& shared,
+                const std::vector<size_t>& b_extra)
+      : out_(out), shared_(shared), b_extra_(b_extra) {
+    shared_of_a_.assign(a.NumColumns(), BindingTable::kNpos);
+    for (const auto& [ia, ib] : shared) shared_of_a_[ia] = ib;
+  }
+
+  /// The datum the merged row holds at position `i` of the a-prefix
+  /// (bound a-value wins; unbound shared positions fill from b).
+  const Datum& MergedAt(const BindingRow& ra, const BindingRow& rb,
+                        size_t i) const {
+    if (ra[i].IsBound() || shared_of_a_[i] == BindingTable::kNpos) {
+      return ra[i];
+    }
+    return rb[shared_of_a_[i]];
+  }
+
+  /// Appends µ1 ∪ µ2 unless an equal row is already present; the merged
+  /// row is only constructed on first occurrence. Returns the row hash
+  /// through `hash_out` when appended (parallel merge re-uses it).
+  bool InsertPair(const BindingRow& ra, const BindingRow& rb,
+                  size_t* hash_out = nullptr) {
+    // Reproduces HashRow over the would-be merged row (a-prefix, then
+    // b-extras) without building it.
+    size_t h = 0;
+    for (size_t i = 0; i < ra.size(); ++i) {
+      h = HashCombine(h, MergedAt(ra, rb, i).Hash());
+    }
+    for (size_t j : b_extra_) h = HashCombine(h, rb[j].Hash());
+    const bool fresh = seen_.InsertIfNew(h, out_->NumRows(), [&](size_t i) {
+      return MergedEquals(out_->Row(i), ra, rb);
+    });
+    if (!fresh) return false;
+    Status st = out_->AddRow(MergeRows(ra, rb, shared_, b_extra_));
+    (void)st;
+    if (hash_out != nullptr) *hash_out = h;
+    return true;
+  }
+
+ private:
+  bool MergedEquals(const BindingRow& stored, const BindingRow& ra,
+                    const BindingRow& rb) const {
+    for (size_t i = 0; i < ra.size(); ++i) {
+      if (!(stored[i] == MergedAt(ra, rb, i))) return false;
+    }
+    for (size_t k = 0; k < b_extra_.size(); ++k) {
+      if (!(stored[ra.size() + k] == rb[b_extra_[k]])) return false;
+    }
+    return true;
+  }
+
+  BindingTable* out_;
+  const std::vector<std::pair<size_t, size_t>>& shared_;
+  const std::vector<size_t>& b_extra_;
+  /// ia → ib for shared columns, kNpos elsewhere.
+  std::vector<size_t> shared_of_a_;
+  RowIndexSet seen_;
+};
+
+}  // namespace
 
 BindingTable TableJoin(const BindingTable& a, const BindingTable& b) {
   std::vector<size_t> b_extra;
   BindingTable out = JoinSchema(a, b, &b_extra);
   const auto shared = SharedColumns(a, b);
   const ProbeIndex index(b, shared);
+  JoinDedupSink sink(&out, a, shared, b_extra);
   for (const auto& ra : a.rows()) {
     index.ForEachCandidate(ra, shared, [&](size_t rb_idx) {
       const BindingRow& rb = b.Row(rb_idx);
       if (!Compatible(ra, rb, shared)) return;
-      Status st = out.AddRow(MergeRows(ra, rb, shared, b_extra));
-      (void)st;
+      sink.InsertPair(ra, rb);
     });
   }
-  out.Deduplicate();
+  return out;
+}
+
+namespace {
+
+/// Build side of the partitioned parallel join: b's keyed rows sharded
+/// by shared-column hash. Bucket vectors keep b-row order, so candidate
+/// enumeration per probe row matches the unpartitioned ProbeIndex.
+constexpr size_t kJoinPartitions = 16;  // power of two
+constexpr size_t kJoinMorselRows = 2048;
+
+struct PartitionedBuild {
+  std::vector<std::unordered_map<size_t, std::vector<size_t>>> keyed;
+  std::vector<size_t> wildcard;
+
+  PartitionedBuild(const BindingTable& b,
+                   const std::vector<std::pair<size_t, size_t>>& shared)
+      : keyed(kJoinPartitions) {
+    for (size_t r = 0; r < b.NumRows(); ++r) {
+      size_t h = 0;
+      if (ProbeIndex::HashShared<1>(b.Row(r), shared, &h)) {
+        keyed[h & (kJoinPartitions - 1)][h].push_back(r);
+      } else {
+        wildcard.push_back(r);
+      }
+    }
+  }
+};
+
+/// One probe morsel's duplicate-free output with the row hashes the
+/// worker already computed (the order-preserving merge re-uses them).
+struct MorselJoinOut {
+  BindingTable rows;
+  std::vector<size_t> hashes;
+};
+
+}  // namespace
+
+BindingTable TableJoinParallel(const BindingTable& a, const BindingTable& b,
+                               size_t parallelism, size_t morsel_rows) {
+  const size_t morsel = morsel_rows == 0 ? kJoinMorselRows : morsel_rows;
+  const auto shared = SharedColumns(a, b);
+  if (parallelism <= 1 || a.NumRows() < 2 * morsel) {
+    return TableJoin(a, b);
+  }
+  // Probe rows with an unbound shared column enumerate candidates in
+  // hash-index iteration order, which a partitioned index cannot
+  // reproduce; keep those joins on the serial path so the parallel join
+  // is a drop-in replacement (identical rows, identical order).
+  for (const auto& ra : a.rows()) {
+    size_t h = 0;
+    if (!ProbeIndex::HashShared<0>(ra, shared, &h)) return TableJoin(a, b);
+  }
+
+  std::vector<size_t> b_extra;
+  BindingTable out = JoinSchema(a, b, &b_extra);
+  const PartitionedBuild build(b, shared);
+
+  const size_t num_morsels = (a.NumRows() + morsel - 1) / morsel;
+  std::vector<MorselJoinOut> morsels(num_morsels);
+  std::atomic<size_t> next_morsel{0};
+
+  auto probe_morsel = [&](size_t m) {
+    MorselJoinOut& local = morsels[m];
+    local.rows = BindingTable(out.columns());
+    JoinDedupSink sink(&local.rows, a, shared, b_extra);
+    const size_t lo = m * morsel;
+    const size_t hi = std::min(a.NumRows(), lo + morsel);
+    for (size_t r = lo; r < hi; ++r) {
+      const BindingRow& ra = a.Row(r);
+      size_t h = 0;
+      ProbeIndex::HashShared<0>(ra, shared, &h);  // pre-checked bound
+      auto emit = [&](size_t rb_idx) {
+        const BindingRow& rb = b.Row(rb_idx);
+        if (!Compatible(ra, rb, shared)) return;
+        size_t row_hash = 0;
+        if (sink.InsertPair(ra, rb, &row_hash)) {
+          local.hashes.push_back(row_hash);
+        }
+      };
+      const auto& partition = build.keyed[h & (kJoinPartitions - 1)];
+      auto it = partition.find(h);
+      if (it != partition.end()) {
+        for (size_t rb_idx : it->second) emit(rb_idx);
+      }
+      for (size_t rb_idx : build.wildcard) emit(rb_idx);
+    }
+  };
+
+  auto worker = [&]() {
+    while (true) {
+      const size_t m = next_morsel.fetch_add(1);
+      if (m >= num_morsels) return;
+      probe_morsel(m);
+    }
+  };
+  std::vector<std::thread> pool;
+  const size_t threads = std::min(parallelism, num_morsels);
+  pool.reserve(threads);
+  for (size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread probes too
+  for (auto& t : pool) t.join();
+
+  // Ordered merge: morsel-local sets concatenate in probe order through
+  // a global seen-set keyed by the worker-computed hashes (cross-morsel
+  // duplicates die here; nothing is re-hashed).
+  RowDedupSink sink(&out);
+  for (auto& morsel : morsels) {
+    auto& rows = morsel.rows.mutable_rows();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      sink.Insert(std::move(rows[i]), morsel.hashes[i]);
+    }
+  }
   return out;
 }
 
@@ -176,12 +388,7 @@ BindingTable TableSemijoin(const BindingTable& a, const BindingTable& b) {
   const auto shared = SharedColumns(a, b);
   const ProbeIndex index(b, shared);
   for (const auto& ra : a.rows()) {
-    bool found = false;
-    index.ForEachCandidate(ra, shared, [&](size_t rb_idx) {
-      if (found) return;
-      if (Compatible(ra, b.Row(rb_idx), shared)) found = true;
-    });
-    if (found) {
+    if (index.AnyCompatible(b, ra, shared)) {
       Status st = out.AddRow(ra);
       (void)st;
     }
@@ -197,12 +404,7 @@ BindingTable TableAntijoin(const BindingTable& a, const BindingTable& b) {
   const auto shared = SharedColumns(a, b);
   const ProbeIndex index(b, shared);
   for (const auto& ra : a.rows()) {
-    bool found = false;
-    index.ForEachCandidate(ra, shared, [&](size_t rb_idx) {
-      if (found) return;
-      if (Compatible(ra, b.Row(rb_idx), shared)) found = true;
-    });
-    if (!found) {
+    if (!index.AnyCompatible(b, ra, shared)) {
       Status st = out.AddRow(ra);
       (void)st;
     }

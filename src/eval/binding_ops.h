@@ -15,11 +15,30 @@
 
 namespace gcore {
 
-/// Ω1 ∪ Ω2 over the merged schema.
+/// Ω1 ∪ Ω2 over the merged schema. Duplicate elimination is fused into
+/// output construction (RowDedupSink) — the result is a set without a
+/// second pass.
 BindingTable TableUnion(const BindingTable& a, const BindingTable& b);
 
-/// Ω1 ⋈ Ω2: one output row µ1 ∪ µ2 per compatible pair.
+/// Ω1 ⋈ Ω2: one output row µ1 ∪ µ2 per compatible pair. Dedup is fused
+/// into output construction: each merged row is hashed once, while hot,
+/// and appended only if new — duplicates are never materialized and the
+/// whole-table rehash of the old trailing Deduplicate() is gone.
 BindingTable TableJoin(const BindingTable& a, const BindingTable& b);
+
+/// Ω1 ⋈ Ω2 with a hash-partitioned build and a morsel-parallel probe:
+/// build rows are partitioned by shared-column hash, probe morsels run
+/// on `parallelism` worker threads each with its own seen-set, and the
+/// per-morsel fragments are merged in probe order re-using the hashes
+/// computed by the workers. Output rows *and their order* are identical
+/// to TableJoin for every parallelism value (falls back to the serial
+/// fused path for small inputs, parallelism <= 1, or probe rows with
+/// unbound shared columns, whose candidate enumeration order is
+/// index-dependent). `morsel_rows` sets the probe-morsel granularity
+/// (0 = default; the executor threads ExecContext::morsel_size through
+/// so tests can force the partitioned path on tiny inputs).
+BindingTable TableJoinParallel(const BindingTable& a, const BindingTable& b,
+                               size_t parallelism, size_t morsel_rows = 0);
 
 /// Ω1 ⋉ Ω2: rows of Ω1 with at least one compatible row in Ω2.
 BindingTable TableSemijoin(const BindingTable& a, const BindingTable& b);

@@ -126,6 +126,7 @@ Result<const PathPropertyGraph*> Matcher::ResolveGraph(
 }
 
 const AdjacencyIndex& Matcher::Adjacency(const PathPropertyGraph& graph) {
+  std::lock_guard<std::mutex> lock(adj_mu_);
   auto it = adj_cache_.find(&graph);
   if (it == adj_cache_.end()) {
     it = adj_cache_
@@ -645,7 +646,10 @@ Result<BindingTable> Matcher::PlanAndRunMatchClause(const MatchClause& match) {
   (void)default_graph;
   Planner planner(this, PlannerOptions::FromContext(ctx_));
   GCORE_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanMatch(match));
-  Executor executor(this);
+  ExecContext exec;
+  exec.parallelism = ctx_.parallelism;
+  exec.morsel_size = ctx_.morsel_size;
+  Executor executor(this, exec);
   return executor.Run(*plan);
 }
 
@@ -684,24 +688,28 @@ Result<BindingTable> Matcher::LegacyEvalMatchClause(const MatchClause& match) {
   return ProjectResult(table, nullptr);
 }
 
-BindingTable Matcher::ProjectResult(
-    const BindingTable& table, const std::vector<std::string>* output) const {
-  // Visible columns: the requested order (planner mode, which records the
-  // source-binding order before join reordering) or table order (legacy).
-  std::vector<size_t> kept;
+namespace {
+
+/// Visible columns of a projection: the requested order (planner mode,
+/// which records the source-binding order before join reordering) or
+/// table order (legacy). Fills `kept` with source column indices and
+/// returns the empty result table with schema and provenance set.
+BindingTable ProjectionSchema(const BindingTable& table,
+                              const std::vector<std::string>* output,
+                              std::vector<size_t>* kept) {
   std::vector<std::string> columns;
   if (output != nullptr) {
     for (const auto& name : *output) {
       const size_t c = table.ColumnIndex(name);
       if (c != BindingTable::kNpos && !IsInternalColumn(name)) {
-        kept.push_back(c);
+        kept->push_back(c);
         columns.push_back(name);
       }
     }
   } else {
     for (size_t c = 0; c < table.columns().size(); ++c) {
       if (!IsInternalColumn(table.columns()[c])) {
-        kept.push_back(c);
+        kept->push_back(c);
         columns.push_back(table.columns()[c]);
       }
     }
@@ -713,14 +721,39 @@ BindingTable Matcher::ProjectResult(
       result.SetColumnGraph(v, g);
     }
   }
+  return result;
+}
+
+BindingRow SlimRow(const BindingRow& row, const std::vector<size_t>& kept) {
+  BindingRow slim;
+  slim.reserve(kept.size());
+  for (size_t c : kept) slim.push_back(row[c]);
+  return slim;
+}
+
+}  // namespace
+
+BindingTable Matcher::ProjectResult(
+    const BindingTable& table, const std::vector<std::string>* output) const {
+  std::vector<size_t> kept;
+  BindingTable result = ProjectionSchema(table, output, &kept);
+  // Set semantics restored as rows are constructed (no trailing
+  // Deduplicate pass); first occurrences survive, as before.
+  RowDedupSink sink(&result);
   for (const auto& row : table.rows()) {
-    BindingRow slim;
-    slim.reserve(kept.size());
-    for (size_t c : kept) slim.push_back(row[c]);
-    Status st = result.AddRow(std::move(slim));
+    sink.Insert(SlimRow(row, kept));
+  }
+  return result;
+}
+
+BindingTable Matcher::ProjectChunk(
+    const BindingTable& table, const std::vector<std::string>* output) const {
+  std::vector<size_t> kept;
+  BindingTable result = ProjectionSchema(table, output, &kept);
+  for (const auto& row : table.rows()) {
+    Status st = result.AddRow(SlimRow(row, kept));
     (void)st;
   }
-  result.Deduplicate();
   return result;
 }
 

@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "ast/ast.h"
@@ -51,6 +52,13 @@ struct MatcherContext {
   /// pre-planner recursive tree-walk, kept for differential tests and
   /// as the executable spec of Appendix A.2.
   bool use_planner = true;
+  /// Morsel-parallel execution degree (planner mode): worker threads for
+  /// the executor's per-morsel stages and the partitioned hash join.
+  /// 0 = one per hardware thread; 1 = serial (differential-test mode).
+  size_t parallelism = 0;
+  /// Rows per executor morsel; 0 = the ExecContext default. Tests set a
+  /// tiny size to exercise multi-morsel execution on toy data.
+  size_t morsel_size = 0;
   /// Resolved ON-(subquery) locations: the engine evaluates each
   /// pattern's subquery to a temporary catalog graph and records its name
   /// here before matching. May be null.
@@ -96,7 +104,9 @@ class Matcher {
   /// (Section 5, "Interpreting tables as graphs").
   Result<const PathPropertyGraph*> ResolveGraph(const std::string& name);
 
-  /// Adjacency snapshot for `graph` (cached).
+  /// Adjacency snapshot for `graph` (cached). Thread-safe: executor
+  /// stages pre-warm the cache from the coordinator, but worker-thread
+  /// lookups (and stray builds) serialize on an internal mutex.
   const AdjacencyIndex& Adjacency(const PathPropertyGraph& graph);
 
   const MatcherContext& context() const { return ctx_; }
@@ -135,9 +145,16 @@ class Matcher {
       const PathPropertyGraph* graph);
 
   /// Drops matcher-internal columns (restoring `output` order when given)
-  /// and re-establishes set semantics. The shared tail of both paths.
+  /// and re-establishes set semantics. The shared tail of both paths;
+  /// duplicate elimination is fused into row construction.
   BindingTable ProjectResult(const BindingTable& table,
                              const std::vector<std::string>* output) const;
+
+  /// Column slicing of ProjectResult without the dedup: used by the
+  /// executor's per-morsel projection stage, whose chunks merge through
+  /// one fused dedup sink afterwards. Thread-safe.
+  BindingTable ProjectChunk(const BindingTable& table,
+                            const std::vector<std::string>* output) const;
 
   std::string FreshAnonName();
   ExprEvaluator MakeEvaluator(const PathPropertyGraph* graph);
@@ -182,6 +199,7 @@ class Matcher {
   /// (re-checking is harmless). In planner mode the same conjuncts live
   /// in the plan's scan/expand nodes instead.
   std::map<std::string, std::vector<const Expr*>> pushdown_filters_;
+  mutable std::mutex adj_mu_;
   std::map<const PathPropertyGraph*, std::unique_ptr<AdjacencyIndex>>
       adj_cache_;
   int anon_counter_ = 0;

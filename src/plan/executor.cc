@@ -1,5 +1,11 @@
 #include "plan/executor.h"
 
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -8,10 +14,54 @@
 
 namespace gcore {
 
+size_t ExecContext::Degree() const {
+  if (parallelism > 0) return parallelism;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+bool ExprParallelSafe(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kExists:
+    case Expr::Kind::kGraphPattern:
+    case Expr::Kind::kAggregate:
+      return false;
+    default:
+      break;
+  }
+  for (const auto& arg : expr.args) {
+    if (arg != nullptr && !ExprParallelSafe(*arg)) return false;
+  }
+  for (const auto& arm : expr.case_arms) {
+    if (arm.condition != nullptr && !ExprParallelSafe(*arm.condition)) {
+      return false;
+    }
+    if (arm.result != nullptr && !ExprParallelSafe(*arm.result)) return false;
+  }
+  if (expr.case_else != nullptr && !ExprParallelSafe(*expr.case_else)) {
+    return false;
+  }
+  return true;
+}
+
 namespace {
 
 using OpPtr = std::unique_ptr<PhysicalOp>;
 using Chunk = std::optional<BindingTable>;
+
+bool ExprsParallelSafe(const std::vector<const Expr*>& exprs) {
+  for (const Expr* e : exprs) {
+    if (e != nullptr && !ExprParallelSafe(*e)) return false;
+  }
+  return true;
+}
+
+bool PropsParallelSafe(const std::vector<PropPattern>& props) {
+  for (const auto& p : props) {
+    if (p.value != nullptr && !ExprParallelSafe(*p.value)) return false;
+  }
+  return true;
+}
 
 /// Lifts a table result into the chunk protocol (Result's implicit
 /// conversions do not chain through std::optional).
@@ -42,57 +92,239 @@ Result<BindingTable> Drain(PhysicalOp* op) {
   return out;
 }
 
-/// NodeScan: all admitted nodes of the operator's graph, with pushed
-/// predicates applied before anything downstream runs.
-class NodeScanOp : public PhysicalOp {
- public:
-  NodeScanOp(Matcher* rt, const PlanNode* plan) : rt_(rt), plan_(plan) {}
-
-  Result<std::optional<BindingTable>> Next() override {
-    if (done_) return Exhausted();
-    done_ = true;
-    GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* graph,
-                           rt_->ResolveGraph(plan_->graph));
-    GCORE_ASSIGN_OR_RETURN(
-        BindingTable table,
-        rt_->MatchStartNode(*plan_->node, *graph, graph->name(), plan_->var));
-    return AsChunk(rt_->FilterByConjuncts(std::move(table), plan_->pushed, graph));
+/// An empty table with `like`'s schema and column provenance.
+BindingTable EmptyLike(const BindingTable& like) {
+  BindingTable out(like.columns());
+  for (const auto& [var, graph] : like.column_graphs()) {
+    out.SetColumnGraph(var, graph);
   }
+  return out;
+}
 
- private:
-  Matcher* rt_;
-  const PlanNode* plan_;
-  bool done_ = false;
+/// Splits `chunk` into <= morsel_rows-row tables (at least one, so empty
+/// chunks still propagate the schema), appending to `out`.
+void SplitIntoMorsels(BindingTable chunk, size_t morsel_rows,
+                      std::deque<BindingTable>* out) {
+  if (chunk.NumRows() <= morsel_rows) {
+    out->push_back(std::move(chunk));
+    return;
+  }
+  auto& rows = chunk.mutable_rows();
+  for (size_t lo = 0; lo < rows.size(); lo += morsel_rows) {
+    BindingTable morsel = EmptyLike(chunk);
+    const size_t hi = std::min(rows.size(), lo + morsel_rows);
+    for (size_t r = lo; r < hi; ++r) {
+      Status st = morsel.AddRow(std::move(rows[r]));
+      (void)st;
+    }
+    out->push_back(std::move(morsel));
+  }
+}
+
+/// One fused per-morsel stage of a pipeline: `prepare` runs once on the
+/// coordinator thread (graph resolution, adjacency warm-up — anything
+/// that mutates shared runtime state); `fn` transforms one morsel and,
+/// when `thread_safe`, may run concurrently on worker threads.
+struct Stage {
+  std::function<Status()> prepare;
+  std::function<Result<BindingTable>(BindingTable)> fn;
+  bool thread_safe = true;
 };
 
-/// ExpandEdge: one edge hop per pulled chunk.
-class ExpandEdgeOp : public PhysicalOp {
+/// Morsel-parallel pipeline segment: pulls chunks from `child`, re-slices
+/// them into morsels, applies the fused stages to each morsel and emits
+/// results in input order (deterministic at every parallelism degree).
+/// With parallelism 1 — or when any stage's expressions could re-enter
+/// the runtime (EXISTS, pattern predicates) — everything runs serially
+/// on the calling thread, which is exactly the pre-morsel behavior.
+class PipelineOp : public PhysicalOp {
  public:
-  ExpandEdgeOp(Matcher* rt, const PlanNode* plan, OpPtr child)
-      : rt_(rt), plan_(plan), child_(std::move(child)) {}
+  PipelineOp(OpPtr child, ExecContext exec)
+      : child_(std::move(child)), exec_(exec) {}
+
+  ~PipelineOp() override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      abort_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  void AddStage(Stage stage) { stages_.push_back(std::move(stage)); }
+
+  Result<Chunk> Next() override {
+    if (!started_) {
+      started_ = true;
+      for (auto& stage : stages_) {
+        if (stage.prepare) GCORE_RETURN_NOT_OK(stage.prepare());
+      }
+      bool safe = !stages_.empty();
+      for (const auto& stage : stages_) safe = safe && stage.thread_safe;
+      if (safe && exec_.Degree() > 1) StartWorkers();
+    }
+    return workers_.empty() ? SerialNext() : ParallelNext();
+  }
+
+ private:
+  Result<BindingTable> ApplyStages(BindingTable morsel) {
+    for (const auto& stage : stages_) {
+      GCORE_ASSIGN_OR_RETURN(morsel, stage.fn(std::move(morsel)));
+    }
+    return morsel;
+  }
+
+  Result<Chunk> SerialNext() {
+    while (true) {
+      if (!pending_.empty()) {
+        BindingTable morsel = std::move(pending_.front());
+        pending_.pop_front();
+        return AsChunk(ApplyStages(std::move(morsel)));
+      }
+      GCORE_ASSIGN_OR_RETURN(Chunk chunk, child_->Next());
+      if (!chunk.has_value()) return Exhausted();
+      SplitIntoMorsels(std::move(*chunk), exec_.MorselRows(), &pending_);
+    }
+  }
+
+  void StartWorkers() {
+    // Loop over a local bound: a fast worker may drain the whole source
+    // and decrement active_workers_ before the next thread is spawned.
+    const size_t degree = exec_.Degree();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      active_workers_ = degree;
+    }
+    workers_.reserve(degree);
+    for (size_t t = 0; t < degree; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Workers pull the (serial) child under the pipeline mutex, transform
+  /// morsels unlocked, and deposit results keyed by sequence number.
+  void WorkerLoop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (true) {
+      if (abort_) break;
+      if (pending_.empty()) {
+        if (source_done_) break;
+        auto chunk = child_->Next();
+        if (!chunk.ok()) {
+          error_ = chunk.status();
+          abort_ = true;
+          break;
+        }
+        if (!chunk->has_value()) {
+          source_done_ = true;
+          break;
+        }
+        SplitIntoMorsels(std::move(**chunk), exec_.MorselRows(), &pending_);
+        continue;
+      }
+      BindingTable morsel = std::move(pending_.front());
+      pending_.pop_front();
+      const size_t seq = next_seq_++;
+      lk.unlock();
+      auto result = ApplyStages(std::move(morsel));
+      lk.lock();
+      if (!result.ok()) {
+        if (error_.ok()) error_ = result.status();
+        abort_ = true;
+      } else {
+        done_.emplace(seq, std::move(*result));
+      }
+      cv_.notify_all();
+    }
+    --active_workers_;
+    cv_.notify_all();
+  }
+
+  Result<Chunk> ParallelNext() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] {
+      return abort_ || done_.count(emit_seq_) > 0 ||
+             (active_workers_ == 0 && emit_seq_ >= next_seq_);
+    });
+    if (abort_) return error_.ok() ? Status::EvaluationError(
+                                         "pipeline aborted")
+                                   : error_;
+    auto it = done_.find(emit_seq_);
+    if (it == done_.end()) return Exhausted();
+    BindingTable chunk = std::move(it->second);
+    done_.erase(it);
+    ++emit_seq_;
+    return Chunk(std::move(chunk));
+  }
+
+  OpPtr child_;
+  ExecContext exec_;
+  std::vector<Stage> stages_;
+  bool started_ = false;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<BindingTable> pending_;
+  std::map<size_t, BindingTable> done_;
+  std::vector<std::thread> workers_;
+  size_t active_workers_ = 0;
+  size_t next_seq_ = 0;
+  size_t emit_seq_ = 0;
+  bool source_done_ = false;
+  bool abort_ = false;
+  Status error_ = Status::OK();
+};
+
+/// NodeScan: all admitted nodes of the operator's graph, emitted as
+/// fixed-size morsels. Pushed predicates run as a pipeline stage above.
+class NodeScanOp : public PhysicalOp {
+ public:
+  NodeScanOp(Matcher* rt, const PlanNode* plan, ExecContext exec)
+      : rt_(rt), plan_(plan), exec_(exec) {}
 
   Result<std::optional<BindingTable>> Next() override {
-    GCORE_ASSIGN_OR_RETURN(std::optional<BindingTable> chunk,
-                           child_->Next());
-    if (!chunk.has_value()) return Exhausted();
-    GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* graph,
-                           rt_->ResolveGraph(plan_->graph));
-    GCORE_ASSIGN_OR_RETURN(
-        BindingTable expanded,
-        rt_->ExpandEdgeHop(std::move(*chunk), plan_->from_var, *plan_->edge,
-                           plan_->edge_var, *plan_->to, plan_->to_var, *graph,
-                           graph->name()));
-    return AsChunk(rt_->FilterByConjuncts(std::move(expanded), plan_->pushed, graph));
+    if (!started_) {
+      started_ = true;
+      GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* graph,
+                             rt_->ResolveGraph(plan_->graph));
+      GCORE_ASSIGN_OR_RETURN(
+          table_,
+          rt_->MatchStartNode(*plan_->node, *graph, graph->name(),
+                              plan_->var));
+      offset_ = 0;
+      if (table_.Empty()) {
+        emitted_empty_ = true;
+        return Chunk(std::move(table_));
+      }
+    }
+    if (emitted_empty_ || offset_ >= table_.NumRows()) return Exhausted();
+    const size_t morsel = exec_.MorselRows();
+    if (offset_ == 0 && table_.NumRows() <= morsel) {
+      offset_ = table_.NumRows();
+      return Chunk(std::move(table_));
+    }
+    BindingTable chunk = EmptyLike(table_);
+    const size_t hi = std::min(table_.NumRows(), offset_ + morsel);
+    for (; offset_ < hi; ++offset_) {
+      Status st = chunk.AddRow(std::move(table_.mutable_rows()[offset_]));
+      (void)st;
+    }
+    return Chunk(std::move(chunk));
   }
 
  private:
   Matcher* rt_;
   const PlanNode* plan_;
-  OpPtr child_;
+  ExecContext exec_;
+  BindingTable table_;
+  size_t offset_ = 0;
+  bool started_ = false;
+  bool emitted_empty_ = false;
 };
 
 /// PathSearch: one path hop (stored / SHORTEST / ALL / reachability) per
-/// pulled chunk.
+/// pulled chunk. Serial: path searches allocate fresh path identifiers
+/// from the shared catalog, so this operator never runs on workers.
 class PathSearchOp : public PhysicalOp {
  public:
   PathSearchOp(Matcher* rt, const PlanNode* plan, OpPtr child)
@@ -118,36 +350,37 @@ class PathSearchOp : public PhysicalOp {
   OpPtr child_;
 };
 
-/// Residual WHERE filter.
-class FilterOp : public PhysicalOp {
+/// Residual WHERE filter over aggregate-bearing predicates: a pipeline
+/// breaker, because aggregates range over the whole binding table, not
+/// one morsel.
+class DrainingFilterOp : public PhysicalOp {
  public:
-  FilterOp(Matcher* rt, const PlanNode* plan, OpPtr child)
+  DrainingFilterOp(Matcher* rt, const PlanNode* plan, OpPtr child)
       : rt_(rt), plan_(plan), child_(std::move(child)) {}
 
   Result<std::optional<BindingTable>> Next() override {
-    GCORE_ASSIGN_OR_RETURN(std::optional<BindingTable> chunk,
-                           child_->Next());
-    if (!chunk.has_value()) return Exhausted();
-    // The fallback graph for λ/σ lookups of provenance-less columns;
-    // legitimately absent when every pattern carries its own ON.
+    if (done_) return Exhausted();
+    done_ = true;
+    GCORE_ASSIGN_OR_RETURN(BindingTable table, Drain(child_.get()));
     const PathPropertyGraph* graph = nullptr;
     auto resolved = rt_->ResolveGraph(plan_->graph);
     if (resolved.ok()) graph = *resolved;
-    return AsChunk(rt_->FilterTable(std::move(*chunk), *plan_->predicate, graph));
+    return AsChunk(rt_->FilterTable(std::move(table), *plan_->predicate, graph));
   }
 
  private:
   Matcher* rt_;
   const PlanNode* plan_;
   OpPtr child_;
+  bool done_ = false;
 };
 
 /// Natural join of two subplans; both sides are drained (hash join builds
 /// over the full right input).
 class HashJoinOp : public PhysicalOp {
  public:
-  HashJoinOp(OpPtr left, OpPtr right)
-      : left_(std::move(left)), right_(std::move(right)) {}
+  HashJoinOp(OpPtr left, OpPtr right, ExecContext exec)
+      : left_(std::move(left)), right_(std::move(right)), exec_(exec) {}
 
   Result<std::optional<BindingTable>> Next() override {
     if (done_) return Exhausted();
@@ -159,12 +392,14 @@ class HashJoinOp : public PhysicalOp {
     // side deterministically (a runtime size-based swap would make
     // provenance — and thus λ/σ lookups — data-dependent). Smallest-
     // first chain ordering keeps the accumulated left side small.
-    return AsChunk(TableJoin(left, right));
+    return Chunk(
+        TableJoinParallel(left, right, exec_.Degree(), exec_.MorselRows()));
   }
 
  private:
   OpPtr left_;
   OpPtr right_;
+  ExecContext exec_;
   bool done_ = false;
 };
 
@@ -179,7 +414,7 @@ class LeftOuterJoinOp : public PhysicalOp {
     done_ = true;
     GCORE_ASSIGN_OR_RETURN(BindingTable left, Drain(left_.get()));
     GCORE_ASSIGN_OR_RETURN(BindingTable right, Drain(right_.get()));
-    return AsChunk(TableLeftOuterJoin(left, right));
+    return Chunk(TableLeftOuterJoin(left, right));
   }
 
  private:
@@ -188,38 +423,145 @@ class LeftOuterJoinOp : public PhysicalOp {
   bool done_ = false;
 };
 
-/// Final projection: drop internal columns in recorded binding order,
-/// restore set semantics.
-class ProjectOp : public PhysicalOp {
+/// Final projection: the column slicing runs as a per-morsel stage below
+/// (its chunks arrive here already slimmed, in input order); this breaker
+/// merges them through a fused dedup sink, restoring set semantics
+/// without a whole-table second pass.
+class ProjectMergeOp : public PhysicalOp {
  public:
-  ProjectOp(Matcher* rt, const PlanNode* plan, OpPtr child)
-      : rt_(rt), plan_(plan), child_(std::move(child)) {}
+  explicit ProjectMergeOp(OpPtr child) : child_(std::move(child)) {}
 
   Result<std::optional<BindingTable>> Next() override {
     if (done_) return Exhausted();
     done_ = true;
-    GCORE_ASSIGN_OR_RETURN(BindingTable table, Drain(child_.get()));
-    return AsChunk(rt_->ProjectResult(table, &plan_->output));
+    BindingTable out;
+    std::unique_ptr<RowDedupSink> sink;
+    while (true) {
+      GCORE_ASSIGN_OR_RETURN(Chunk chunk, child_->Next());
+      if (!chunk.has_value()) break;
+      if (sink == nullptr) {
+        out = EmptyLike(*chunk);
+        sink = std::make_unique<RowDedupSink>(&out);
+      }
+      for (auto& row : chunk->mutable_rows()) {
+        sink->Insert(std::move(row));
+      }
+    }
+    return Chunk(std::move(out));
   }
 
  private:
-  Matcher* rt_;
-  const PlanNode* plan_;
   OpPtr child_;
   bool done_ = false;
 };
 
 }  // namespace
 
-Executor::Executor(Matcher* runtime) : runtime_(runtime) {}
+Executor::Executor(Matcher* runtime, ExecContext exec)
+    : runtime_(runtime), exec_(exec) {}
+
+namespace {
+
+/// Appends a stage to `child` if it is already a pipeline (stage fusion:
+/// one worker pool runs scan filters, expansions and projections of a
+/// segment back-to-back per morsel); otherwise opens a new pipeline.
+OpPtr FuseStage(OpPtr child, Stage stage, ExecContext exec) {
+  auto* pipeline = dynamic_cast<PipelineOp*>(child.get());
+  if (pipeline == nullptr) {
+    auto fresh = std::make_unique<PipelineOp>(std::move(child), exec);
+    pipeline = fresh.get();
+    child = std::move(fresh);
+  }
+  pipeline->AddStage(std::move(stage));
+  return child;
+}
+
+/// Shared stage state resolved once by Stage::prepare on the coordinator
+/// (graph resolution may register table-as-graph entries in the catalog;
+/// adjacency warm-up fills the Matcher cache) and read by workers.
+struct ResolvedGraph {
+  const PathPropertyGraph* graph = nullptr;
+};
+
+Stage MakePushedFilterStage(Matcher* rt, const PlanNode* plan) {
+  auto resolved = std::make_shared<ResolvedGraph>();
+  Stage stage;
+  stage.prepare = [rt, plan, resolved]() -> Status {
+    GCORE_ASSIGN_OR_RETURN(resolved->graph, rt->ResolveGraph(plan->graph));
+    return Status::OK();
+  };
+  stage.fn = [rt, plan, resolved](BindingTable morsel) {
+    return rt->FilterByConjuncts(std::move(morsel), plan->pushed,
+                                 resolved->graph);
+  };
+  stage.thread_safe = ExprsParallelSafe(plan->pushed);
+  return stage;
+}
+
+Stage MakeExpandEdgeStage(Matcher* rt, const PlanNode* plan) {
+  auto resolved = std::make_shared<ResolvedGraph>();
+  Stage stage;
+  stage.prepare = [rt, plan, resolved]() -> Status {
+    GCORE_ASSIGN_OR_RETURN(resolved->graph, rt->ResolveGraph(plan->graph));
+    rt->Adjacency(*resolved->graph);  // warm the cache off the workers
+    return Status::OK();
+  };
+  stage.fn = [rt, plan, resolved](BindingTable morsel) -> Result<BindingTable> {
+    GCORE_ASSIGN_OR_RETURN(
+        BindingTable expanded,
+        rt->ExpandEdgeHop(std::move(morsel), plan->from_var, *plan->edge,
+                          plan->edge_var, *plan->to, plan->to_var,
+                          *resolved->graph, resolved->graph->name()));
+    return rt->FilterByConjuncts(std::move(expanded), plan->pushed,
+                                 resolved->graph);
+  };
+  stage.thread_safe = ExprsParallelSafe(plan->pushed) &&
+                      PropsParallelSafe(plan->edge->props) &&
+                      PropsParallelSafe(plan->to->props);
+  return stage;
+}
+
+Stage MakeResidualFilterStage(Matcher* rt, const PlanNode* plan) {
+  auto resolved = std::make_shared<ResolvedGraph>();
+  Stage stage;
+  stage.prepare = [rt, plan, resolved]() -> Status {
+    // The fallback graph for λ/σ lookups of provenance-less columns;
+    // legitimately absent when every pattern carries its own ON.
+    auto graph = rt->ResolveGraph(plan->graph);
+    if (graph.ok()) resolved->graph = *graph;
+    return Status::OK();
+  };
+  stage.fn = [rt, plan, resolved](BindingTable morsel) {
+    return rt->FilterTable(std::move(morsel), *plan->predicate,
+                           resolved->graph);
+  };
+  stage.thread_safe = ExprParallelSafe(*plan->predicate);
+  return stage;
+}
+
+Stage MakeProjectStage(Matcher* rt, const PlanNode* plan) {
+  Stage stage;
+  stage.fn = [rt, plan](BindingTable morsel) -> Result<BindingTable> {
+    return rt->ProjectChunk(morsel, &plan->output);
+  };
+  stage.thread_safe = true;
+  return stage;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<PhysicalOp>> Executor::Build(const PlanNode& plan) {
   switch (plan.op) {
-    case PlanOp::kNodeScan:
-      return OpPtr(new NodeScanOp(runtime_, &plan));
+    case PlanOp::kNodeScan: {
+      OpPtr scan(new NodeScanOp(runtime_, &plan, exec_));
+      if (plan.pushed.empty()) return scan;
+      return FuseStage(std::move(scan),
+                       MakePushedFilterStage(runtime_, &plan), exec_);
+    }
     case PlanOp::kExpandEdge: {
       GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));
-      return OpPtr(new ExpandEdgeOp(runtime_, &plan, std::move(child)));
+      return FuseStage(std::move(child),
+                       MakeExpandEdgeStage(runtime_, &plan), exec_);
     }
     case PlanOp::kPathSearch: {
       GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));
@@ -227,12 +569,16 @@ Result<std::unique_ptr<PhysicalOp>> Executor::Build(const PlanNode& plan) {
     }
     case PlanOp::kFilter: {
       GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));
-      return OpPtr(new FilterOp(runtime_, &plan, std::move(child)));
+      if (plan.predicate->ContainsAggregate()) {
+        return OpPtr(new DrainingFilterOp(runtime_, &plan, std::move(child)));
+      }
+      return FuseStage(std::move(child),
+                       MakeResidualFilterStage(runtime_, &plan), exec_);
     }
     case PlanOp::kHashJoin: {
       GCORE_ASSIGN_OR_RETURN(OpPtr left, Build(*plan.children[0]));
       GCORE_ASSIGN_OR_RETURN(OpPtr right, Build(*plan.children[1]));
-      return OpPtr(new HashJoinOp(std::move(left), std::move(right)));
+      return OpPtr(new HashJoinOp(std::move(left), std::move(right), exec_));
     }
     case PlanOp::kLeftOuterJoin: {
       GCORE_ASSIGN_OR_RETURN(OpPtr left, Build(*plan.children[0]));
@@ -241,7 +587,9 @@ Result<std::unique_ptr<PhysicalOp>> Executor::Build(const PlanNode& plan) {
     }
     case PlanOp::kProject: {
       GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));
-      return OpPtr(new ProjectOp(runtime_, &plan, std::move(child)));
+      OpPtr sliced = FuseStage(std::move(child),
+                               MakeProjectStage(runtime_, &plan), exec_);
+      return OpPtr(new ProjectMergeOp(std::move(sliced)));
     }
     case PlanOp::kGraphUnion:
     case PlanOp::kGraphIntersect:

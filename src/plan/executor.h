@@ -1,18 +1,20 @@
 // The physical operator pipeline: runs an optimized logical plan against
 // the Matcher runtime, producing the existing BindingTable.
 //
-// Volcano-style pull execution at BindingTable-chunk granularity: every
-// operator exposes Next() returning the next chunk of bindings (nullopt
-// when exhausted). Scans emit their result as one chunk today; expands
-// and filters transform chunks one-to-one as they are pulled, so pushed
-// predicates run before downstream operators ever see a row. Joins and
-// the final Project are pipeline breakers (they drain their inputs), as
-// in any hash-based executor. Finer-grained scan chunking / vectorized
-// bindings are ROADMAP open items — the operator protocol already
-// supports them.
+// Volcano-style pull execution at morsel granularity: every operator
+// exposes Next() returning the next chunk of bindings (nullopt when
+// exhausted). Scans emit fixed-size morsels; the stateless operators
+// between pipeline breakers (pushed filters, edge expansion, residual
+// WHERE, projection) are fused into per-morsel stages that a small
+// worker pool runs concurrently, reassembling results in input order so
+// execution is deterministic at every parallelism degree. Joins and the
+// final Project are pipeline breakers (they drain their inputs), as in
+// any hash-based executor; HashJoin uses the hash-partitioned parallel
+// join with fused duplicate elimination (eval/binding_ops.h).
 #ifndef GCORE_PLAN_EXECUTOR_H_
 #define GCORE_PLAN_EXECUTOR_H_
 
+#include <cstddef>
 #include <memory>
 #include <optional>
 
@@ -23,6 +25,28 @@
 namespace gcore {
 
 class Matcher;
+
+/// Execution-wide knobs of the physical pipeline.
+struct ExecContext {
+  /// Worker threads for morsel-parallel operators. 0 = one per hardware
+  /// thread; 1 = serial pull execution (the differential-test mode —
+  /// morsel boundaries still exist but everything runs on the calling
+  /// thread in input order).
+  size_t parallelism = 0;
+  /// Rows per morsel: scans slice their output at this granularity and
+  /// pipelines re-slice oversized chunks (e.g. join results). 0 = the
+  /// default.
+  size_t morsel_size = 0;
+
+  static constexpr size_t kDefaultMorselRows = 1024;
+
+  /// Resolved worker count (>= 1).
+  size_t Degree() const;
+  /// Resolved morsel size (>= 1).
+  size_t MorselRows() const {
+    return morsel_size == 0 ? kDefaultMorselRows : morsel_size;
+  }
+};
 
 /// One operator of the physical pipeline.
 class PhysicalOp {
@@ -38,7 +62,7 @@ class Executor {
  public:
   /// `runtime` supplies graph resolution, adjacency caches and the
   /// pattern-element primitives; it must outlive the execution.
-  explicit Executor(Matcher* runtime);
+  explicit Executor(Matcher* runtime, ExecContext exec = ExecContext());
 
   /// Builds the operator pipeline for `plan` and drains it.
   Result<BindingTable> Run(const PlanNode& plan);
@@ -49,7 +73,14 @@ class Executor {
 
  private:
   Matcher* runtime_;
+  ExecContext exec_;
 };
+
+/// True when evaluating `expr` never re-enters the Matcher runtime:
+/// EXISTS subqueries, implicit pattern predicates and aggregates are the
+/// re-entrant (or whole-table) constructs. Stages whose expressions are
+/// all parallel-safe may run on worker threads.
+bool ExprParallelSafe(const Expr& expr);
 
 }  // namespace gcore
 

@@ -83,6 +83,7 @@ std::string PlanNode::Describe() const {
         out << output[i];
       }
       out << "] dedup";
+      if (parallelism > 0) out << " parallelism=" << parallelism;
       break;
     }
     case PlanOp::kHashJoin:

@@ -2,9 +2,11 @@
 //
 // The planner (plan/planner.h) lowers a MatchClause AST into a tree of
 // PlanNodes; the rule-based optimizer rewrites the tree (predicate
-// pushdown into scans/expands, chain ordering by estimated cardinality);
-// the executor (plan/executor.h) runs it bottom-up, pulling BindingTable
-// chunks through the operators. EXPLAIN renders the optimized tree.
+// pushdown into scans/expands — for the main WHERE and per OPTIONAL
+// block — and chain ordering by estimated cardinality); the executor
+// (plan/executor.h) runs it bottom-up, pulling BindingTable morsels
+// through the operators, in parallel between pipeline breakers. EXPLAIN
+// renders the optimized tree.
 //
 // Binding-level operators (executed):
 //   NodeScan       — all admitted nodes of one graph into a fresh column
@@ -84,6 +86,11 @@ struct PlanNode {
   /// kHashJoin: the joined chains share at least one variable (estimation
   /// treats the join as key-correlated rather than a cross product).
   bool join_correlated = false;
+
+  /// kProject (the plan root): resolved morsel-parallel execution degree
+  /// the executor will use; 0 = not annotated (plans built outside a
+  /// planner). Rendered by EXPLAIN.
+  size_t parallelism = 0;
 
   /// Estimated output rows (plan/cost.h); negative = unknown.
   double est_rows = -1.0;

@@ -6,6 +6,7 @@
 
 #include "eval/matcher.h"
 #include "plan/cost.h"
+#include "plan/executor.h"
 
 namespace gcore {
 
@@ -13,6 +14,7 @@ PlannerOptions PlannerOptions::FromContext(const MatcherContext& ctx) {
   PlannerOptions options;
   options.enable_pushdown = ctx.enable_pushdown;
   options.reorder_joins = ctx.reorder_joins;
+  options.parallelism = ctx.parallelism;
   return options;
 }
 
@@ -227,10 +229,20 @@ Result<PlanPtr> Planner::PlanMatch(const MatchClause& match) {
   }
 
   // OPTIONAL blocks chain with left outer joins in source order
-  // (Appendix A.2); block WHEREs filter the block before the join.
+  // (Appendix A.2); block WHEREs filter the block before the join, so
+  // their single-variable conjuncts push into the block's own chains
+  // exactly like the main WHERE does above (the residual block filter
+  // re-checks them, keeping the ⟕ semantics literal).
   for (const auto& block : match.optionals) {
-    GCORE_ASSIGN_OR_RETURN(PlanPtr block_plan,
-                           PlanPatternsJoined(block.patterns, nullptr));
+    std::map<std::string, std::vector<const Expr*>> block_pushdown;
+    if (block.where != nullptr && options_.enable_pushdown) {
+      CollectSingleVarConjuncts(*block.where, &block_pushdown);
+    }
+    GCORE_ASSIGN_OR_RETURN(
+        PlanPtr block_plan,
+        PlanPatternsJoined(block.patterns,
+                           block_pushdown.empty() ? nullptr
+                                                  : &block_pushdown));
     if (block.where != nullptr) {
       auto filter = MakePlan(PlanOp::kFilter);
       filter->predicate = block.where.get();
@@ -244,6 +256,11 @@ Result<PlanPtr> Planner::PlanMatch(const MatchClause& match) {
   }
 
   auto project = MakePlan(PlanOp::kProject);
+  {
+    ExecContext exec;
+    exec.parallelism = options_.parallelism;
+    project->parallelism = exec.Degree();
+  }
   for (const auto& pattern : match.patterns) {
     CollectOutputColumns(pattern, &project->output);
   }

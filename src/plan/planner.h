@@ -33,10 +33,14 @@ class Matcher;
 struct MatcherContext;
 
 struct PlannerOptions {
-  /// Pushdown rewrite rule (MatcherContext::enable_pushdown).
+  /// Pushdown rewrite rule (MatcherContext::enable_pushdown). Applies to
+  /// the main WHERE and, per block, to OPTIONAL block WHEREs.
   bool enable_pushdown = true;
   /// Cardinality-based chain ordering (MatcherContext::reorder_joins).
   bool reorder_joins = true;
+  /// Execution degree (MatcherContext::parallelism; 0 = hardware).
+  /// Annotated on the plan root for EXPLAIN.
+  size_t parallelism = 0;
 
   static PlannerOptions FromContext(const MatcherContext& ctx);
 };

@@ -76,6 +76,32 @@ TEST(BindingTable, DeduplicateSetSemantics) {
   EXPECT_EQ(t.NumRows(), 2u);
 }
 
+TEST(BindingTable, DeduplicateKeepsFirstOccurrenceOrder) {
+  BindingTable t = Make({"x"}, {{N(3)}, {N(1)}, {N(3)}, {N(2)}, {N(1)}});
+  t.Deduplicate();
+  ASSERT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.Get(0, "x"), N(3));
+  EXPECT_EQ(t.Get(1, "x"), N(1));
+  EXPECT_EQ(t.Get(2, "x"), N(2));
+}
+
+TEST(RowDedupSink, FusedConstructionIsDuplicateFree) {
+  BindingTable t({"x", "y"});
+  RowDedupSink sink(&t);
+  EXPECT_TRUE(sink.Insert({N(1), N(10)}));
+  EXPECT_FALSE(sink.Insert({N(1), N(10)}));
+  EXPECT_TRUE(sink.Insert({N(1), N(11)}));
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(RowDedupSink, IndexesPreexistingRows) {
+  BindingTable t = Make({"x"}, {{N(1)}, {N(2)}});
+  RowDedupSink sink(&t);
+  EXPECT_FALSE(sink.Insert({N(2)}));
+  EXPECT_TRUE(sink.Insert({N(3)}));
+  EXPECT_EQ(t.NumRows(), 3u);
+}
+
 TEST(BindingTable, ColumnGraphProvenance) {
   BindingTable t({"x"});
   t.SetColumnGraph("x", "social_graph");
@@ -109,6 +135,53 @@ TEST(TableJoin, UnboundSharedColumnIsCompatible) {
   ASSERT_EQ(j.NumRows(), 1u);
   // Merged row takes the bound value.
   EXPECT_EQ(j.Get(0, "y"), N(10));
+}
+
+TEST(TableJoin, DeduplicatesMergedRows) {
+  // Duplicate input rows collapse in the fused output set.
+  BindingTable a = Make({"x", "y"}, {{N(1), N(10)}, {N(1), N(10)}});
+  BindingTable b = Make({"y", "z"}, {{N(10), V("a")}});
+  EXPECT_EQ(TableJoin(a, b).NumRows(), 1u);
+}
+
+TEST(TableJoinParallel, IdenticalRowsAndOrderToSerialJoin) {
+  // Inputs large enough for the partitioned parallel path (> 2 morsels),
+  // with duplicate rows so cross-morsel dedup is exercised.
+  BindingTable a({"x", "y"});
+  for (uint64_t i = 0; i < 6000; ++i) {
+    ASSERT_TRUE(a.AddRow({N(i % 1500), N(10000 + i % 600)}).ok());
+  }
+  BindingTable b({"y", "z"});
+  for (uint64_t j = 0; j < 3000; ++j) {
+    ASSERT_TRUE(b.AddRow({N(10000 + j % 600), N(20000 + j % 900)}).ok());
+  }
+  const BindingTable serial = TableJoin(a, b);
+  for (size_t degree : {2, 4, 8}) {
+    const BindingTable parallel = TableJoinParallel(a, b, degree);
+    ASSERT_EQ(parallel.NumRows(), serial.NumRows()) << degree;
+    EXPECT_EQ(parallel.columns(), serial.columns());
+    for (size_t r = 0; r < serial.NumRows(); ++r) {
+      ASSERT_EQ(parallel.Row(r), serial.Row(r)) << "row " << r;
+    }
+  }
+}
+
+TEST(TableJoinParallel, UnboundSharedColumnsFallBackToSerial) {
+  BindingTable a({"x", "y"});
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(a.AddRow({N(i), N(10000 + i % 100)}).ok());
+  }
+  ASSERT_TRUE(a.AddRow({N(5000), Datum::Unbound()}).ok());
+  BindingTable b({"y", "z"});
+  for (uint64_t j = 0; j < 100; ++j) {
+    ASSERT_TRUE(b.AddRow({N(10000 + j), N(20000 + j)}).ok());
+  }
+  const BindingTable serial = TableJoin(a, b);
+  const BindingTable parallel = TableJoinParallel(a, b, 4);
+  ASSERT_EQ(parallel.NumRows(), serial.NumRows());
+  for (size_t r = 0; r < serial.NumRows(); ++r) {
+    ASSERT_EQ(parallel.Row(r), serial.Row(r)) << "row " << r;
+  }
 }
 
 TEST(TableJoin, EmptyOperandYieldsEmpty) {

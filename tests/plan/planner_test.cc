@@ -181,6 +181,43 @@ TEST_F(PlannerTest, OptionalBecomesLeftOuterJoin) {
   EXPECT_NE(plan.find("ExpandEdge"), std::string::npos) << plan;
 }
 
+// OPTIONAL block WHERE conjuncts push into the block's own chain: the
+// block-side ExpandEdge carries the pushed predicate, and the residual
+// block filter stays above it.
+TEST_F(PlannerTest, OptionalBlockWherePushesIntoBlockPlan) {
+  const std::string plan = Explain(
+      "CONSTRUCT (n) MATCH (n:Person) "
+      "OPTIONAL (n)-[e:knows]->(m) WHERE m.employer = 'Acme'");
+  const size_t outer = plan.find("LeftOuterJoin");
+  ASSERT_NE(outer, std::string::npos) << plan;
+  const size_t pushed =
+      plan.find("push={(m.employer = 'Acme')}", outer);
+  EXPECT_NE(pushed, std::string::npos) << plan;
+  EXPECT_NE(plan.find("Filter (m.employer = 'Acme')", outer),
+            std::string::npos)
+      << plan;
+  // The pushdown flag gates block pushdown like main-WHERE pushdown.
+  const std::string without = Explain(
+      "CONSTRUCT (n) MATCH (n:Person) "
+      "OPTIONAL (n)-[e:knows]->(m) WHERE m.employer = 'Acme'",
+      /*pushdown=*/false);
+  EXPECT_EQ(without.find("push={"), std::string::npos) << without;
+}
+
+// The plan root advertises the resolved execution degree.
+TEST_F(PlannerTest, ExplainShowsParallelism) {
+  QueryEngine engine(&catalog);
+  engine.set_parallelism(4);
+  auto r = engine.Execute("EXPLAIN CONSTRUCT (n) MATCH (n:Person)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::string out;
+  for (size_t i = 0; i < r->table->NumRows(); ++i) {
+    out += r->table->At(i, 0).AsString() + "\n";
+  }
+  EXPECT_NE(out.find("Project [n] dedup parallelism=4"), std::string::npos)
+      << out;
+}
+
 // Direct planner output: estimates are annotated bottom-up and the
 // executor runs the plan to the same result as the clause evaluator.
 TEST_F(PlannerTest, PlanExecutesThroughExecutor) {
