@@ -5,6 +5,13 @@
 namespace gcore {
 namespace bench {
 
+SeedRows MaterializeRows(const BindingTable& table) {
+  SeedRows rows;
+  rows.reserve(table.NumRows());
+  for (size_t r = 0; r < table.NumRows(); ++r) rows.push_back(table.Row(r));
+  return rows;
+}
+
 namespace {
 
 /// NFA states reachable from `states` via zero-width transitions at

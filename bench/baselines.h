@@ -11,12 +11,23 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
+#include "eval/binding.h"
 #include "graph/adjacency.h"
 #include "paths/nfa.h"
 
 namespace gcore {
 namespace bench {
+
+/// The seed's row-major Ω storage (BindingTable is columnar since the
+/// vectorized-Ω refactor), shared by the benches that reconstruct seed
+/// behavior so every "row path" baseline measures the same thing.
+using SeedRows = std::vector<BindingRow>;
+
+/// Materializes a columnar table into seed-style rows (done outside the
+/// timed loops: the seed stored its tables this way to begin with).
+SeedRows MaterializeRows(const BindingTable& table);
 
 /// Counts conforming walks from src to dst up to `max_hops` hops by naive
 /// enumeration (DFS over walks). Exponential in max_hops on dense graphs;

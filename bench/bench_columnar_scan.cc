@@ -1,0 +1,205 @@
+// Columnar-Ω trajectory bench (scripts/run_bench.sh →
+// BENCH_columnar_scan.json).
+//
+// Micro-benchmarks of the three hot binding-table primitives the
+// column-major refactor targets — filter row-gather, edge-hop expansion
+// and join key hashing — each in two variants:
+//
+//   *_Row       the seed's row-major behavior (vector<BindingRow>
+//               storage, whole-row copies per surviving/emitted row),
+//               reconstructed here so the layout is the only variable;
+//   *_Columnar  the shipped columnar path (kind/slot arrays, typed
+//               accessors, column-at-a-time gathers).
+//
+// The acceptance trajectory tracks the single-thread Row/Columnar ratio
+// on the filter and expand workloads (target >= 1.3x).
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "baselines.h"
+#include "eval/binding.h"
+#include "graph/adjacency.h"
+#include "graph/catalog.h"
+#include "snb/generator.h"
+
+namespace gcore {
+namespace {
+
+using bench::MaterializeRows;
+using bench::SeedRows;
+
+Datum N(uint64_t id) { return Datum::OfNode(NodeId(id)); }
+
+/// Input relation: a dense node column, a second dense node column and a
+/// heavy (singleton value-set) tag column — the shape intermediate
+/// tables take after a couple of hops with a bound property.
+void BuildScanInput(size_t rows, BindingTable* table) {
+  *table = BindingTable({"n", "m", "tag"});
+  table->ReserveRows(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    Status st = table->AddRow(
+        {N(i), N(1000000 + i % 4096),
+         Datum::OfValue(Value::String("t" + std::to_string(i % 7)))});
+    (void)st;
+  }
+}
+
+bool KeepRow(uint64_t node_id) { return node_id % 4 != 0; }
+
+// --- filter: keep ~3/4 of the rows --------------------------------------------
+
+void BM_ColumnarScan_FilterRow(benchmark::State& state) {
+  BindingTable table;
+  BuildScanInput(static_cast<size_t>(state.range(0)), &table);
+  const SeedRows rows = MaterializeRows(table);
+  size_t kept_rows = 0;
+  for (auto _ : state) {
+    SeedRows kept;
+    kept.reserve(rows.size());
+    for (const auto& row : rows) {
+      if (KeepRow(row[0].node().value())) kept.push_back(row);
+    }
+    kept_rows = kept.size();
+    benchmark::DoNotOptimize(kept);
+  }
+  state.counters["kept"] = static_cast<double>(kept_rows);
+}
+BENCHMARK(BM_ColumnarScan_FilterRow)->Arg(200000)->Unit(benchmark::kMillisecond);
+
+void BM_ColumnarScan_FilterColumnar(benchmark::State& state) {
+  BindingTable table;
+  BuildScanInput(static_cast<size_t>(state.range(0)), &table);
+  size_t kept_rows = 0;
+  for (auto _ : state) {
+    const Column& n = table.ColumnAt(0);
+    std::vector<size_t> kept;
+    kept.reserve(table.NumRows());
+    for (size_t r = 0; r < table.NumRows(); ++r) {
+      if (KeepRow(n.NodeAt(r).value())) kept.push_back(r);
+    }
+    BindingTable filtered(table.columns());
+    filtered.AppendRowsFrom(table, kept);
+    kept_rows = filtered.NumRows();
+    benchmark::DoNotOptimize(filtered);
+  }
+  state.counters["kept"] = static_cast<double>(kept_rows);
+}
+BENCHMARK(BM_ColumnarScan_FilterColumnar)
+    ->Arg(200000)
+    ->Unit(benchmark::kMillisecond);
+
+// --- expand: one knows-hop over a generated SNB graph -------------------------
+
+struct ExpandFixture {
+  GraphCatalog catalog;
+  const PathPropertyGraph* graph = nullptr;
+  std::unique_ptr<AdjacencyIndex> adj;
+  BindingTable table;
+
+  explicit ExpandFixture(size_t persons) {
+    snb::GeneratorOptions options;
+    options.num_persons = persons;
+    options.avg_knows_degree = 10.0;
+    catalog.RegisterGraph("snb", snb::Generate(options, catalog.ids()));
+    graph = *catalog.Lookup("snb");
+    adj = std::make_unique<AdjacencyIndex>(*graph);
+    table = BindingTable({"n", "tag"});
+    graph->ForEachNode([&](NodeId id) {
+      Status st = table.AddRow(
+          {N(id.value()),
+           Datum::OfValue(Value::String("t" + std::to_string(id.value() % 7)))});
+      (void)st;
+    });
+  }
+};
+
+void BM_ColumnarScan_ExpandRow(benchmark::State& state) {
+  ExpandFixture fx(static_cast<size_t>(state.range(0)));
+  const SeedRows rows = MaterializeRows(fx.table);
+  size_t out_rows = 0;
+  for (auto _ : state) {
+    SeedRows out;
+    for (const auto& row : rows) {
+      const Datum& from = row[0];
+      if (from.kind() != Datum::Kind::kNode) continue;
+      if (!fx.adj->Contains(from.node())) continue;
+      auto [b, e] = fx.adj->Out(fx.adj->IndexOf(from.node()));
+      for (const AdjacencyEntry* it = b; it != e; ++it) {
+        BindingRow next = row;
+        next.resize(row.size() + 2);
+        next[row.size()] = Datum::OfEdge(it->edge);
+        next[row.size() + 1] = N(fx.adj->IdOf(it->neighbor).value());
+        out.push_back(std::move(next));
+      }
+    }
+    out_rows = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+}
+BENCHMARK(BM_ColumnarScan_ExpandRow)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_ColumnarScan_ExpandColumnar(benchmark::State& state) {
+  ExpandFixture fx(static_cast<size_t>(state.range(0)));
+  size_t out_rows = 0;
+  for (auto _ : state) {
+    BindingTable next(
+        {fx.table.columns()[0], fx.table.columns()[1], "e", "m"});
+    const Column& from = fx.table.ColumnAt(0);
+    const size_t edge_col = 2, to_col = 3;
+    for (size_t r = 0; r < fx.table.NumRows(); ++r) {
+      if (from.KindAt(r) != Datum::Kind::kNode) continue;
+      const NodeId src = from.NodeAt(r);
+      if (!fx.adj->Contains(src)) continue;
+      auto [b, e] = fx.adj->Out(fx.adj->IndexOf(src));
+      for (const AdjacencyEntry* it = b; it != e; ++it) {
+        next.AppendRowFrom(fx.table, r);
+        next.SetCell(next.NumRows() - 1, edge_col, Datum::OfEdge(it->edge));
+        next.SetCell(next.NumRows() - 1, to_col,
+                     Datum::OfNode(fx.adj->IdOf(it->neighbor)));
+      }
+    }
+    out_rows = next.NumRows();
+    benchmark::DoNotOptimize(next);
+  }
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+}
+BENCHMARK(BM_ColumnarScan_ExpandColumnar)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+// --- join key hashing ---------------------------------------------------------
+
+void BM_ColumnarScan_KeyHashRow(benchmark::State& state) {
+  BindingTable table;
+  BuildScanInput(static_cast<size_t>(state.range(0)), &table);
+  const SeedRows rows = MaterializeRows(table);
+  for (auto _ : state) {
+    size_t acc = 0;
+    for (const auto& row : rows) acc ^= HashRow(row);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ColumnarScan_KeyHashRow)
+    ->Arg(200000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ColumnarScan_KeyHashColumnar(benchmark::State& state) {
+  BindingTable table;
+  BuildScanInput(static_cast<size_t>(state.range(0)), &table);
+  for (auto _ : state) {
+    size_t acc = 0;
+    for (size_t r = 0; r < table.NumRows(); ++r) acc ^= table.RowHash(r);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ColumnarScan_KeyHashColumnar)
+    ->Arg(200000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gcore
+
+BENCHMARK_MAIN();

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "baselines.h"
 #include "engine/engine.h"
 #include "eval/binding_ops.h"
 #include "snb/generator.h"
@@ -21,21 +22,16 @@
 namespace gcore {
 namespace {
 
-// --- seed baseline ------------------------------------------------------------
-// The pre-fused join, reconstructed verbatim: hash-probe, merge every
-// compatible pair into the output (duplicates included), then dedup in a
-// second pass that re-hashes and copies every surviving row — exactly
-// the constant factors the fused path removes.
+using bench::MaterializeRows;
+using bench::SeedRows;
 
-std::vector<std::pair<size_t, size_t>> SeedSharedColumns(
-    const BindingTable& a, const BindingTable& b) {
-  std::vector<std::pair<size_t, size_t>> shared;
-  for (size_t i = 0; i < a.columns().size(); ++i) {
-    const size_t j = b.ColumnIndex(a.columns()[i]);
-    if (j != BindingTable::kNpos) shared.emplace_back(i, j);
-  }
-  return shared;
-}
+// --- seed baseline ------------------------------------------------------------
+// The pre-fused join, reconstructed verbatim over the seed's row-major
+// storage (vector<BindingRow> — BindingTable is columnar since the
+// vectorized-Ω refactor): hash-probe, merge every compatible pair into
+// the output (duplicates included), then dedup in a second pass that
+// re-hashes and copies every surviving row — exactly the constant
+// factors the fused path removes.
 
 size_t SeedSharedHash(const BindingRow& row,
                       const std::vector<std::pair<size_t, size_t>>& shared,
@@ -56,41 +52,33 @@ struct SeedRowEq {
   }
 };
 
-void SeedDeduplicate(BindingTable* table) {
+void SeedDeduplicate(SeedRows* rows) {
   std::unordered_set<const BindingRow*, SeedRowHash, SeedRowEq> seen;
-  seen.reserve(table->NumRows());
-  std::vector<BindingRow> kept;
-  kept.reserve(table->NumRows());
-  for (auto& row : table->mutable_rows()) {
+  seen.reserve(rows->size());
+  SeedRows kept;
+  kept.reserve(rows->size());
+  for (auto& row : *rows) {
     if (seen.count(&row) > 0) continue;
     kept.push_back(row);
     seen.insert(&kept.back());
   }
-  table->mutable_rows() = std::move(kept);
+  *rows = std::move(kept);
 }
 
-BindingTable SeedTableJoin(const BindingTable& a, const BindingTable& b) {
-  const auto shared = SeedSharedColumns(a, b);
-  std::vector<size_t> b_extra;
-  std::vector<std::string> columns = a.columns();
-  for (size_t j = 0; j < b.columns().size(); ++j) {
-    if (a.ColumnIndex(b.columns()[j]) == BindingTable::kNpos) {
-      b_extra.push_back(j);
-      columns.push_back(b.columns()[j]);
-    }
-  }
-  BindingTable out(std::move(columns));
-
+SeedRows SeedTableJoin(const SeedRows& a, const SeedRows& b,
+                       const std::vector<std::pair<size_t, size_t>>& shared,
+                       const std::vector<size_t>& b_extra) {
+  SeedRows out;
   std::unordered_map<size_t, std::vector<size_t>> index;
-  index.reserve(b.NumRows());
-  for (size_t r = 0; r < b.NumRows(); ++r) {
-    index[SeedSharedHash(b.Row(r), shared, /*probe_side=*/false)].push_back(r);
+  index.reserve(b.size());
+  for (size_t r = 0; r < b.size(); ++r) {
+    index[SeedSharedHash(b[r], shared, /*probe_side=*/false)].push_back(r);
   }
-  for (const auto& ra : a.rows()) {
+  for (const auto& ra : a) {
     auto it = index.find(SeedSharedHash(ra, shared, /*probe_side=*/true));
     if (it == index.end()) continue;
     for (size_t rb_idx : it->second) {
-      const BindingRow& rb = b.Row(rb_idx);
+      const BindingRow& rb = b[rb_idx];
       bool compatible = true;
       for (const auto& [ia, ib] : shared) {
         if (!(ra[ia] == rb[ib])) {
@@ -103,8 +91,7 @@ BindingTable SeedTableJoin(const BindingTable& a, const BindingTable& b) {
       merged.reserve(ra.size() + b_extra.size());
       merged.insert(merged.end(), ra.begin(), ra.end());
       for (size_t j : b_extra) merged.push_back(rb[j]);
-      Status st = out.AddRow(std::move(merged));
-      (void)st;
+      out.push_back(std::move(merged));
     }
   }
   SeedDeduplicate(&out);
@@ -136,10 +123,25 @@ void BuildJoinInputs(size_t rows, BindingTable* a, BindingTable* b) {
 void BM_JoinDedup_Seed(benchmark::State& state) {
   BindingTable a, b;
   BuildJoinInputs(static_cast<size_t>(state.range(0)), &a, &b);
+  // Row-major inputs are materialized outside the timed loop: the seed
+  // stored its tables this way, so only join + dedup are measured.
+  const SeedRows a_rows = MaterializeRows(a);
+  const SeedRows b_rows = MaterializeRows(b);
+  std::vector<std::pair<size_t, size_t>> shared;
+  std::vector<size_t> b_extra;
+  for (size_t i = 0; i < a.columns().size(); ++i) {
+    const size_t j = b.ColumnIndex(a.columns()[i]);
+    if (j != BindingTable::kNpos) shared.emplace_back(i, j);
+  }
+  for (size_t j = 0; j < b.columns().size(); ++j) {
+    if (a.ColumnIndex(b.columns()[j]) == BindingTable::kNpos) {
+      b_extra.push_back(j);
+    }
+  }
   size_t out_rows = 0;
   for (auto _ : state) {
-    BindingTable j = SeedTableJoin(a, b);
-    out_rows = j.NumRows();
+    SeedRows j = SeedTableJoin(a_rows, b_rows, shared, b_extra);
+    out_rows = j.size();
     benchmark::DoNotOptimize(j);
   }
   state.counters["out_rows"] = static_cast<double>(out_rows);

@@ -1,18 +1,27 @@
 #!/usr/bin/env bash
-# Runs the join-dedup trajectory bench and records the numbers that the
-# acceptance criteria track into BENCH_join_dedup.json (google-benchmark
-# JSON format). Extra arguments pass through to the bench binary, e.g.
-#   scripts/run_bench.sh --benchmark_filter='BM_JoinDedup.*'
+# Runs the recorded trajectory benches and writes the numbers the
+# acceptance criteria track (google-benchmark JSON format):
+#   BENCH_join_dedup.json     — fused join dedup vs the seed path
+#   BENCH_columnar_scan.json  — columnar Ω vs row-major storage
+# Extra arguments pass through to both bench binaries, e.g.
+#   scripts/run_bench.sh --benchmark_filter='BM_ColumnarScan.*'
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build --target bench_join_dedup -j
+cmake --build build --target bench_join_dedup bench_columnar_scan -j
 
-./build/bench_join_dedup \
-  --benchmark_format=json \
-  --benchmark_out=BENCH_join_dedup.json \
-  --benchmark_out_format=json \
-  --benchmark_repetitions=3 \
-  --benchmark_report_aggregates_only=true \
-  "$@"
+run_bench() {
+  local binary="$1" out="$2"
+  shift 2
+  "./build/${binary}" \
+    --benchmark_format=json \
+    --benchmark_out="${out}" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    "$@"
+}
+
+run_bench bench_join_dedup BENCH_join_dedup.json "$@"
+run_bench bench_columnar_scan BENCH_columnar_scan.json "$@"

@@ -239,10 +239,7 @@ Result<PathViewRelation> QueryEngine::MaterializePathView(
     for (size_t r = 0; r < table.NumRows(); ++r) {
       GCORE_ASSIGN_OR_RETURN(bool keep,
                              eval.EvalPredicate(*clause.where, table, r));
-      if (keep) {
-        Status st = filtered.AddRow(table.Row(r));
-        (void)st;
-      }
+      if (keep) filtered.AppendRowFrom(table, r);
     }
     table = std::move(filtered);
   }
@@ -537,8 +534,7 @@ Result<bool> QueryEngine::EvalExists(const Query& subquery,
   GCORE_ASSIGN_OR_RETURN(BindingTable inner_bindings,
                          EvalBindings(*body->basic, scope));
   BindingTable outer_row(outer.columns());
-  Status st = outer_row.AddRow(outer.Row(row));
-  (void)st;
+  outer_row.AppendRowFrom(outer, row);
   BindingTable joined = TableSemijoin(outer_row, inner_bindings);
   return !joined.Empty();
 }

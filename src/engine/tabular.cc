@@ -33,10 +33,11 @@ BindingTable TableAsBindings(const Table& table) {
 
 Table BindingsAsTable(const BindingTable& bindings) {
   Table table(bindings.columns());
-  for (const auto& row : bindings.rows()) {
+  for (size_t r = 0; r < bindings.NumRows(); ++r) {
     std::vector<Value> cells;
-    cells.reserve(row.size());
-    for (const Datum& d : row) {
+    cells.reserve(bindings.NumColumns());
+    for (size_t c = 0; c < bindings.NumColumns(); ++c) {
+      const Datum d = bindings.At(r, c);
       if (d.kind() == Datum::Kind::kValues && d.values().is_singleton()) {
         cells.push_back(d.values().single());
       } else if (d.IsUnbound() ||

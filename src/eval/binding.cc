@@ -2,26 +2,28 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_map>
 
 namespace gcore {
 
 namespace {
-const Datum kUnboundDatum;
 const std::string kEmptyString;
+
+/// Datum::Hash of a kUnbound cell; Column::HashAt reproduces it without
+/// constructing the Datum.
+constexpr size_t kUnboundHash = 0x5bd1e995;
 }  // namespace
 
 Datum Datum::OfNode(NodeId id) {
   Datum d;
   d.kind_ = Kind::kNode;
-  d.node_ = id;
+  d.id_ = id.value();
   return d;
 }
 
 Datum Datum::OfEdge(EdgeId id) {
   Datum d;
   d.kind_ = Kind::kEdge;
-  d.edge_ = id;
+  d.id_ = id.value();
   return d;
 }
 
@@ -35,21 +37,27 @@ Datum Datum::OfPath(std::shared_ptr<const PathValue> path) {
 Datum Datum::OfValues(ValueSet values) {
   Datum d;
   d.kind_ = Kind::kValues;
-  d.values_ = std::move(values);
+  auto heavy = std::make_shared<Heavy>();
+  heavy->values = std::move(values);
+  d.heavy_ = std::move(heavy);
   return d;
 }
 
 Datum Datum::OfNodeList(std::vector<NodeId> nodes) {
   Datum d;
   d.kind_ = Kind::kNodeList;
-  d.nodes_ = std::move(nodes);
+  auto heavy = std::make_shared<Heavy>();
+  heavy->nodes = std::move(nodes);
+  d.heavy_ = std::move(heavy);
   return d;
 }
 
 Datum Datum::OfEdgeList(std::vector<EdgeId> edges) {
   Datum d;
   d.kind_ = Kind::kEdgeList;
-  d.edges_ = std::move(edges);
+  auto heavy = std::make_shared<Heavy>();
+  heavy->edges = std::move(edges);
+  d.heavy_ = std::move(heavy);
   return d;
 }
 
@@ -59,17 +67,16 @@ bool operator==(const Datum& a, const Datum& b) {
     case Datum::Kind::kUnbound:
       return true;
     case Datum::Kind::kNode:
-      return a.node_ == b.node_;
     case Datum::Kind::kEdge:
-      return a.edge_ == b.edge_;
+      return a.id_ == b.id_;
     case Datum::Kind::kPath:
       return a.path_->id == b.path_->id;
     case Datum::Kind::kValues:
-      return a.values_ == b.values_;
+      return a.heavy_ == b.heavy_ || a.heavy_->values == b.heavy_->values;
     case Datum::Kind::kNodeList:
-      return a.nodes_ == b.nodes_;
+      return a.heavy_ == b.heavy_ || a.heavy_->nodes == b.heavy_->nodes;
     case Datum::Kind::kEdgeList:
-      return a.edges_ == b.edges_;
+      return a.heavy_ == b.heavy_ || a.heavy_->edges == b.heavy_->edges;
   }
   return false;
 }
@@ -77,23 +84,23 @@ bool operator==(const Datum& a, const Datum& b) {
 size_t Datum::Hash() const {
   switch (kind_) {
     case Kind::kUnbound:
-      return 0x5bd1e995;
+      return kUnboundHash;
     case Kind::kNode:
-      return std::hash<NodeId>{}(node_) ^ 0x10;
+      return std::hash<uint64_t>{}(id_) ^ 0x10;
     case Kind::kEdge:
-      return std::hash<EdgeId>{}(edge_) ^ 0x20;
+      return std::hash<uint64_t>{}(id_) ^ 0x20;
     case Kind::kPath:
       return std::hash<PathId>{}(path_->id) ^ 0x30;
     case Kind::kValues:
-      return values_.Hash() ^ 0x40;
+      return heavy_->values.Hash() ^ 0x40;
     case Kind::kNodeList: {
       size_t h = 0x50;
-      for (NodeId n : nodes_) h = h * 31 + std::hash<NodeId>{}(n);
+      for (NodeId n : heavy_->nodes) h = h * 31 + std::hash<NodeId>{}(n);
       return h;
     }
     case Kind::kEdgeList: {
       size_t h = 0x60;
-      for (EdgeId e : edges_) h = h * 31 + std::hash<EdgeId>{}(e);
+      for (EdgeId e : heavy_->edges) h = h * 31 + std::hash<EdgeId>{}(e);
       return h;
     }
   }
@@ -105,26 +112,28 @@ std::string Datum::ToString() const {
     case Kind::kUnbound:
       return "⊥";
     case Kind::kNode:
-      return gcore::ToString(node_);
+      return gcore::ToString(node());
     case Kind::kEdge:
-      return gcore::ToString(edge_);
+      return gcore::ToString(edge());
     case Kind::kPath:
       return gcore::ToString(path_->id);
     case Kind::kValues:
-      return values_.ToString();
+      return heavy_->values.ToString();
     case Kind::kNodeList: {
       std::string out = "[";
-      for (size_t i = 0; i < nodes_.size(); ++i) {
+      const auto& nodes = heavy_->nodes;
+      for (size_t i = 0; i < nodes.size(); ++i) {
         if (i > 0) out += ", ";
-        out += gcore::ToString(nodes_[i]);
+        out += gcore::ToString(nodes[i]);
       }
       return out + "]";
     }
     case Kind::kEdgeList: {
       std::string out = "[";
-      for (size_t i = 0; i < edges_.size(); ++i) {
+      const auto& edges = heavy_->edges;
+      for (size_t i = 0; i < edges.size(); ++i) {
         if (i > 0) out += ", ";
-        out += gcore::ToString(edges_[i]);
+        out += gcore::ToString(edges[i]);
       }
       return out + "]";
     }
@@ -132,24 +141,188 @@ std::string Datum::ToString() const {
   return "?";
 }
 
+// --- Column -------------------------------------------------------------------
+
+Datum Column::DatumAt(size_t i) const {
+  switch (KindAt(i)) {
+    case Kind::kUnbound:
+      return Datum();
+    case Kind::kNode:
+      return Datum::OfNode(NodeId(slots_[i]));
+    case Kind::kEdge:
+      return Datum::OfEdge(EdgeId(slots_[i]));
+    default:
+      return overflow_[slots_[i]];
+  }
+}
+
+size_t Column::HashAt(size_t i) const {
+  switch (KindAt(i)) {
+    case Kind::kUnbound:
+      return kUnboundHash;
+    case Kind::kNode:
+      return std::hash<uint64_t>{}(slots_[i]) ^ 0x10;
+    case Kind::kEdge:
+      return std::hash<uint64_t>{}(slots_[i]) ^ 0x20;
+    default:
+      return overflow_[slots_[i]].Hash();
+  }
+}
+
+bool Column::EqualsAt(size_t i, const Datum& d) const {
+  const Kind k = KindAt(i);
+  if (k != d.kind()) return false;
+  switch (k) {
+    case Kind::kUnbound:
+      return true;
+    case Kind::kNode:
+      return slots_[i] == d.node().value();
+    case Kind::kEdge:
+      return slots_[i] == d.edge().value();
+    default:
+      return overflow_[slots_[i]] == d;
+  }
+}
+
+bool Column::CellsEqual(const Column& a, size_t i, const Column& b,
+                        size_t j) {
+  const Kind k = a.KindAt(i);
+  if (k != b.KindAt(j)) return false;
+  switch (k) {
+    case Kind::kUnbound:
+      return true;
+    case Kind::kNode:
+    case Kind::kEdge:
+      return a.slots_[i] == b.slots_[j];
+    default:
+      return a.overflow_[a.slots_[i]] == b.overflow_[b.slots_[j]];
+  }
+}
+
+void Column::Append(Datum d) {
+  const Kind k = d.kind();
+  kinds_.push_back(static_cast<uint8_t>(k));
+  switch (k) {
+    case Kind::kUnbound:
+      slots_.push_back(0);
+      break;
+    case Kind::kNode:
+      slots_.push_back(d.node().value());
+      break;
+    case Kind::kEdge:
+      slots_.push_back(d.edge().value());
+      break;
+    default:
+      overflow_.push_back(std::move(d));
+      slots_.push_back(overflow_.size() - 1);
+      break;
+  }
+}
+
+void Column::AppendFrom(const Column& src, size_t i) {
+  const Kind k = src.KindAt(i);
+  kinds_.push_back(static_cast<uint8_t>(k));
+  if (IsDense(k)) {
+    slots_.push_back(src.slots_[i]);
+  } else {
+    overflow_.push_back(src.overflow_[src.slots_[i]]);
+    slots_.push_back(overflow_.size() - 1);
+  }
+}
+
+void Column::AppendRange(const Column& src, size_t begin, size_t end) {
+  kinds_.insert(kinds_.end(), src.kinds_.begin() + begin,
+                src.kinds_.begin() + end);
+  if (src.overflow_.empty()) {
+    slots_.insert(slots_.end(), src.slots_.begin() + begin,
+                  src.slots_.begin() + end);
+    return;
+  }
+  slots_.reserve(slots_.size() + (end - begin));
+  for (size_t i = begin; i < end; ++i) {
+    if (IsDense(src.KindAt(i))) {
+      slots_.push_back(src.slots_[i]);
+    } else {
+      overflow_.push_back(src.overflow_[src.slots_[i]]);
+      slots_.push_back(overflow_.size() - 1);
+    }
+  }
+}
+
+void Column::AppendIndexed(const Column& src,
+                           const std::vector<size_t>& rows) {
+  kinds_.reserve(kinds_.size() + rows.size());
+  slots_.reserve(slots_.size() + rows.size());
+  if (src.overflow_.empty()) {
+    for (size_t r : rows) {
+      kinds_.push_back(src.kinds_[r]);
+      slots_.push_back(src.slots_[r]);
+    }
+    return;
+  }
+  for (size_t r : rows) AppendFrom(src, r);
+}
+
+void Column::Set(size_t i, Datum d) {
+  const Kind k = d.kind();
+  if (!IsDense(k)) {
+    if (!IsDense(KindAt(i))) {
+      // Reuse the existing overflow slot (each cell owns its slot).
+      overflow_[slots_[i]] = std::move(d);
+    } else {
+      overflow_.push_back(std::move(d));
+      slots_[i] = overflow_.size() - 1;
+    }
+  } else {
+    // A heavy→dense overwrite strands the old overflow entry; harmless
+    // (cells are append-mostly, CONSTRUCT only sets fresh objects).
+    switch (k) {
+      case Kind::kUnbound:
+        slots_[i] = 0;
+        break;
+      case Kind::kNode:
+        slots_[i] = d.node().value();
+        break;
+      case Kind::kEdge:
+        slots_[i] = d.edge().value();
+        break;
+      default:
+        break;
+    }
+  }
+  kinds_[i] = static_cast<uint8_t>(k);
+}
+
+// --- BindingTable -------------------------------------------------------------
+
+BindingTable::BindingTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)), cols_(columns_.size()) {
+  name_index_.reserve(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    name_index_.emplace(columns_[i], i);  // first index wins
+  }
+}
+
 BindingTable BindingTable::Unit() {
   BindingTable t;
-  t.rows_.emplace_back();
+  t.num_rows_ = 1;
   return t;
 }
 
 size_t BindingTable::ColumnIndex(const std::string& name) const {
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    if (columns_[i] == name) return i;
-  }
-  return kNpos;
+  auto it = name_index_.find(name);
+  return it == name_index_.end() ? kNpos : it->second;
 }
 
 size_t BindingTable::AddColumn(const std::string& name) {
   const size_t existing = ColumnIndex(name);
   if (existing != kNpos) return existing;
   columns_.push_back(name);
-  for (auto& row : rows_) row.emplace_back();
+  cols_.emplace_back();
+  Column& col = cols_.back();
+  col.Reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) col.AppendUnbound();
+  name_index_.emplace(name, columns_.size() - 1);
   return columns_.size() - 1;
 }
 
@@ -160,13 +333,87 @@ Status BindingTable::AddRow(BindingRow row) {
         " entries, table has " + std::to_string(columns_.size()) +
         " columns");
   }
-  rows_.push_back(std::move(row));
+  for (size_t c = 0; c < row.size(); ++c) {
+    cols_[c].Append(std::move(row[c]));
+  }
+  ++num_rows_;
   return Status::OK();
 }
 
-const Datum& BindingTable::Get(size_t row, const std::string& var) const {
+BindingRow BindingTable::Row(size_t i) const {
+  BindingRow row;
+  row.reserve(cols_.size());
+  for (const Column& c : cols_) row.push_back(c.DatumAt(i));
+  return row;
+}
+
+Datum BindingTable::Get(size_t row, const std::string& var) const {
   const size_t col = ColumnIndex(var);
-  return col == kNpos ? kUnboundDatum : rows_[row][col];
+  return col == kNpos ? Datum() : cols_[col].DatumAt(row);
+}
+
+size_t BindingTable::RowHash(size_t i) const {
+  size_t h = 0;
+  for (const Column& c : cols_) h = HashCombine(h, c.HashAt(i));
+  return h;
+}
+
+bool BindingTable::RowEquals(size_t i, const BindingRow& row) const {
+  if (row.size() != cols_.size()) return false;
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    if (!cols_[c].EqualsAt(i, row[c])) return false;
+  }
+  return true;
+}
+
+bool BindingTable::RowsEqual(const BindingTable& a, size_t i,
+                             const BindingTable& b, size_t j) {
+  for (size_t c = 0; c < a.cols_.size(); ++c) {
+    if (!Column::CellsEqual(a.cols_[c], i, b.cols_[c], j)) return false;
+  }
+  return true;
+}
+
+void BindingTable::AppendRowFrom(const BindingTable& src, size_t r) {
+  const size_t shared = src.cols_.size();
+  for (size_t c = 0; c < shared; ++c) cols_[c].AppendFrom(src.cols_[c], r);
+  for (size_t c = shared; c < cols_.size(); ++c) cols_[c].AppendUnbound();
+  ++num_rows_;
+}
+
+void BindingTable::AppendRowsFrom(const BindingTable& src,
+                                  const std::vector<size_t>& rows) {
+  const size_t shared = src.cols_.size();
+  for (size_t c = 0; c < shared; ++c) {
+    cols_[c].AppendIndexed(src.cols_[c], rows);
+  }
+  for (size_t c = shared; c < cols_.size(); ++c) {
+    for (size_t i = 0; i < rows.size(); ++i) cols_[c].AppendUnbound();
+  }
+  num_rows_ += rows.size();
+}
+
+void BindingTable::AppendSlice(const BindingTable& src, size_t begin,
+                               size_t end) {
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    cols_[c].AppendRange(src.cols_[c], begin, end);
+  }
+  num_rows_ += end - begin;
+}
+
+BindingTable BindingTable::Slice(size_t begin, size_t end) const {
+  BindingTable out(columns_);
+  out.column_graphs_ = column_graphs_;
+  out.AppendSlice(*this, begin, end);
+  return out;
+}
+
+void BindingTable::AdoptProjectedColumns(const BindingTable& src,
+                                         const std::vector<size_t>& kept) {
+  for (size_t k = 0; k < kept.size(); ++k) {
+    cols_[k] = src.cols_[kept[k]];
+  }
+  num_rows_ = src.num_rows_;
 }
 
 size_t HashRow(const BindingRow& row) {
@@ -176,28 +423,24 @@ size_t HashRow(const BindingRow& row) {
 }
 
 void BindingTable::Deduplicate() {
-  // Index-based in-place dedup: bucket kept rows by hash and compact
-  // forward with moves. Buckets store *compacted* positions, which are
-  // always ≤ the current read position, so every index they reference
-  // holds a live kept row — no pointer stability to reason about.
-  std::unordered_map<size_t, std::vector<size_t>> buckets;
-  buckets.reserve(rows_.size());
-  size_t out = 0;
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    auto& bucket = buckets[HashRow(rows_[i])];
-    bool dup = false;
-    for (size_t j : bucket) {
-      if (rows_[j] == rows_[i]) {
-        dup = true;
-        break;
-      }
-    }
-    if (dup) continue;
-    if (out != i) rows_[out] = std::move(rows_[i]);
-    bucket.push_back(out);
-    ++out;
+  RowIndexSet seen;
+  seen.Reserve(num_rows_);
+  std::vector<size_t> kept;
+  kept.reserve(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    const bool fresh =
+        seen.InsertIfNew(RowHash(i), kept.size(), [&](size_t j) {
+          return RowsEqual(*this, i, *this, kept[j]);
+        });
+    if (fresh) kept.push_back(i);
   }
-  rows_.resize(out);
+  if (kept.size() == num_rows_) return;
+  for (Column& col : cols_) {
+    Column compact;
+    compact.AppendIndexed(col, kept);
+    col = std::move(compact);
+  }
+  num_rows_ = kept.size();
 }
 
 RowIndexSet::RowIndexSet() : slots_(64, {0, 0}) {}
@@ -222,17 +465,27 @@ RowDedupSink::RowDedupSink(BindingTable* out) : out_(out) {
   seen_.Reserve(out->NumRows() + 1);
   for (size_t i = 0; i < out->NumRows(); ++i) {
     // Existing rows are indexed as-is (no dedup among them).
-    seen_.InsertIfNew(HashRow(out->Row(i)), i, [](size_t) { return false; });
+    seen_.InsertIfNew(out->RowHash(i), i, [](size_t) { return false; });
   }
 }
 
 bool RowDedupSink::Insert(BindingRow row, size_t hash) {
   const bool fresh = seen_.InsertIfNew(hash, out_->NumRows(), [&](size_t i) {
-    return out_->Row(i) == row;
+    return out_->RowEquals(i, row);
   });
   if (!fresh) return false;
   Status st = out_->AddRow(std::move(row));
   (void)st;
+  return true;
+}
+
+bool RowDedupSink::InsertFrom(const BindingTable& src, size_t r,
+                              size_t hash) {
+  const bool fresh = seen_.InsertIfNew(hash, out_->NumRows(), [&](size_t i) {
+    return BindingTable::RowsEqual(*out_, i, src, r);
+  });
+  if (!fresh) return false;
+  out_->AppendRowFrom(src, r);
   return true;
 }
 
@@ -254,10 +507,10 @@ std::string BindingTable::ToString() const {
     out << columns_[c];
   }
   out << "\n";
-  for (const auto& row : rows_) {
-    for (size_t c = 0; c < row.size(); ++c) {
+  for (size_t r = 0; r < num_rows_; ++r) {
+    for (size_t c = 0; c < cols_.size(); ++c) {
       if (c > 0) out << " | ";
-      out << row[c].ToString();
+      out << cols_[c].DatumAt(r).ToString();
     }
     out << "\n";
   }

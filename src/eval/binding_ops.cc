@@ -21,12 +21,18 @@ std::vector<std::pair<size_t, size_t>> SharedColumns(const BindingTable& a,
   return shared;
 }
 
-bool Compatible(const BindingRow& ra, const BindingRow& rb,
-                const std::vector<std::pair<size_t, size_t>>& shared) {
+/// µ1 ∼ µ2 on the shared columns, tested column-wise (no Datum is
+/// materialized: dense cells compare kind bytes and raw ids).
+bool CompatibleAt(const BindingTable& a, size_t ra, const BindingTable& b,
+                  size_t rb,
+                  const std::vector<std::pair<size_t, size_t>>& shared) {
   for (const auto& [ia, ib] : shared) {
-    const Datum& da = ra[ia];
-    const Datum& db = rb[ib];
-    if (da.IsBound() && db.IsBound() && da != db) return false;
+    const Column& ca = a.ColumnAt(ia);
+    const Column& cb = b.ColumnAt(ib);
+    if (ca.BoundAt(ra) && cb.BoundAt(rb) &&
+        !Column::CellsEqual(ca, ra, cb, rb)) {
+      return false;
+    }
   }
   return true;
 }
@@ -52,44 +58,29 @@ BindingTable JoinSchema(const BindingTable& a, const BindingTable& b,
   return out;
 }
 
-/// µ1 ∪ µ2 under the joined schema. On shared columns a bound value wins
-/// over unbound.
-BindingRow MergeRows(const BindingRow& ra, const BindingRow& rb,
-                     const std::vector<std::pair<size_t, size_t>>& shared,
-                     const std::vector<size_t>& b_extra) {
-  BindingRow merged;
-  merged.reserve(ra.size() + b_extra.size());
-  merged.insert(merged.end(), ra.begin(), ra.end());
-  for (const auto& [ia, ib] : shared) {
-    if (merged[ia].IsUnbound()) merged[ia] = rb[ib];
-  }
-  for (size_t j : b_extra) merged.push_back(rb[j]);
-  return merged;
-}
-
 /// Hash index over b's rows where all shared columns are bound; rows with
 /// an unbound shared column must be checked linearly against everything.
 ///
-/// Buckets are keyed by the *combined hash* of the shared Datums rather
-/// than by owned key vectors: probing and building never copy a Datum
-/// (ValueSets and path shared_ptrs stay untouched on this hot path), and
-/// hash collisions are harmless because every candidate is re-verified
-/// with Compatible() by the caller.
+/// Buckets are keyed by the *combined hash* of the shared cells rather
+/// than by owned key vectors: probing and building walk the typed key
+/// columns directly (ValueSets and path pointers stay untouched on this
+/// hot path), and hash collisions are harmless because every candidate is
+/// re-verified with CompatibleAt() by the caller.
 struct ProbeIndex {
   std::unordered_map<size_t, std::vector<size_t>> keyed;
   std::vector<size_t> wildcard;
 
-  /// Combined hash of the shared columns of `row` on side `ib` (or `ia`);
-  /// false when any of them is unbound.
+  /// Combined hash of the shared columns of row `r` of `t`, reading side
+  /// `kPairMember` of each pair; false when any of them is unbound.
   template <size_t kPairMember>
-  static bool HashShared(const BindingRow& row,
-                         const std::vector<std::pair<size_t, size_t>>& shared,
-                         size_t* hash) {
+  static bool HashSharedAt(
+      const BindingTable& t, size_t r,
+      const std::vector<std::pair<size_t, size_t>>& shared, size_t* hash) {
     size_t h = 0;
     for (const auto& cols : shared) {
-      const Datum& d = row[std::get<kPairMember>(cols)];
-      if (d.IsUnbound()) return false;
-      h = HashCombine(h, d.Hash());
+      const Column& c = t.ColumnAt(std::get<kPairMember>(cols));
+      if (!c.BoundAt(r)) return false;
+      h = HashCombine(h, c.HashAt(r));
     }
     *hash = h;
     return true;
@@ -100,7 +91,7 @@ struct ProbeIndex {
     keyed.reserve(b.NumRows());
     for (size_t r = 0; r < b.NumRows(); ++r) {
       size_t h = 0;
-      if (HashShared<1>(b.Row(r), shared, &h)) {
+      if (HashSharedAt<1>(b, r, shared, &h)) {
         keyed[h].push_back(r);
       } else {
         wildcard.push_back(r);
@@ -109,13 +100,14 @@ struct ProbeIndex {
   }
 
   /// Calls fn(row index in b) for each candidate potentially compatible
-  /// with `ra`; the caller must still verify with Compatible().
+  /// with row `ra` of `a`; the caller must still verify with
+  /// CompatibleAt().
   template <typename Fn>
-  void ForEachCandidate(const BindingRow& ra,
+  void ForEachCandidate(const BindingTable& a, size_t ra,
                         const std::vector<std::pair<size_t, size_t>>& shared,
                         Fn fn) const {
     size_t h = 0;
-    if (HashShared<0>(ra, shared, &h)) {
+    if (HashSharedAt<0>(a, ra, shared, &h)) {
       auto it = keyed.find(h);
       if (it != keyed.end()) {
         for (size_t r : it->second) fn(r);
@@ -129,29 +121,30 @@ struct ProbeIndex {
     for (size_t r : wildcard) fn(r);
   }
 
-  /// True when some row of b is compatible with `ra`; stops at the first
-  /// hit instead of enumerating every candidate (semijoin/antijoin probe).
-  bool AnyCompatible(const BindingTable& b, const BindingRow& ra,
+  /// True when some row of b is compatible with row `ra` of `a`; stops at
+  /// the first hit instead of enumerating every candidate
+  /// (semijoin/antijoin probe).
+  bool AnyCompatible(const BindingTable& a, size_t ra, const BindingTable& b,
                      const std::vector<std::pair<size_t, size_t>>& shared)
       const {
     size_t h = 0;
-    if (HashShared<0>(ra, shared, &h)) {
+    if (HashSharedAt<0>(a, ra, shared, &h)) {
       auto it = keyed.find(h);
       if (it != keyed.end()) {
         for (size_t r : it->second) {
-          if (Compatible(ra, b.Row(r), shared)) return true;
+          if (CompatibleAt(a, ra, b, r, shared)) return true;
         }
       }
     } else {
       for (const auto& [k, rows] : keyed) {
         (void)k;
         for (size_t r : rows) {
-          if (Compatible(ra, b.Row(r), shared)) return true;
+          if (CompatibleAt(a, ra, b, r, shared)) return true;
         }
       }
     }
     for (size_t r : wildcard) {
-      if (Compatible(ra, b.Row(r), shared)) return true;
+      if (CompatibleAt(a, ra, b, r, shared)) return true;
     }
     return false;
   }
@@ -162,19 +155,62 @@ struct ProbeIndex {
 BindingTable TableUnion(const BindingTable& a, const BindingTable& b) {
   std::vector<size_t> b_extra;
   BindingTable out = JoinSchema(a, b, &b_extra);
-  RowDedupSink sink(&out);
-  for (const auto& ra : a.rows()) {
-    BindingRow row = ra;
-    row.resize(out.NumColumns());
-    sink.Insert(std::move(row));
-  }
-  for (const auto& rb : b.rows()) {
-    BindingRow row(out.NumColumns());
-    for (size_t j = 0; j < b.columns().size(); ++j) {
-      const size_t col = out.ColumnIndex(b.columns()[j]);
-      row[col] = rb[j];
+  RowIndexSet seen;
+  seen.Reserve(a.NumRows() + b.NumRows());
+  const size_t unbound_hash = Datum().Hash();
+
+  // a-side: out's prefix is exactly a's columns, extras pad with kUnbound.
+  for (size_t ra = 0; ra < a.NumRows(); ++ra) {
+    size_t h = a.RowHash(ra);
+    for (size_t k = 0; k < b_extra.size(); ++k) {
+      h = HashCombine(h, unbound_hash);
     }
-    sink.Insert(std::move(row));
+    const bool fresh = seen.InsertIfNew(h, out.NumRows(), [&](size_t i) {
+      for (size_t c = 0; c < a.NumColumns(); ++c) {
+        if (!Column::CellsEqual(out.ColumnAt(c), i, a.ColumnAt(c), ra)) {
+          return false;
+        }
+      }
+      for (size_t c = a.NumColumns(); c < out.NumColumns(); ++c) {
+        if (out.ColumnAt(c).BoundAt(i)) return false;
+      }
+      return true;
+    });
+    if (fresh) out.AppendRowFrom(a, ra);
+  }
+
+  // b-side: scatter b's columns into out positions; the rest stay unbound.
+  std::vector<size_t> src_of_out(out.NumColumns(), BindingTable::kNpos);
+  for (size_t j = 0; j < b.columns().size(); ++j) {
+    src_of_out[out.ColumnIndex(b.columns()[j])] = j;
+  }
+  for (size_t rb = 0; rb < b.NumRows(); ++rb) {
+    size_t h = 0;
+    for (size_t c = 0; c < out.NumColumns(); ++c) {
+      h = HashCombine(h, src_of_out[c] == BindingTable::kNpos
+                             ? unbound_hash
+                             : b.ColumnAt(src_of_out[c]).HashAt(rb));
+    }
+    const bool fresh = seen.InsertIfNew(h, out.NumRows(), [&](size_t i) {
+      for (size_t c = 0; c < out.NumColumns(); ++c) {
+        if (src_of_out[c] == BindingTable::kNpos) {
+          if (out.ColumnAt(c).BoundAt(i)) return false;
+        } else if (!Column::CellsEqual(out.ColumnAt(c), i,
+                                       b.ColumnAt(src_of_out[c]), rb)) {
+          return false;
+        }
+      }
+      return true;
+    });
+    if (!fresh) continue;
+    for (size_t c = 0; c < out.NumColumns(); ++c) {
+      if (src_of_out[c] == BindingTable::kNpos) {
+        out.MutableColumn(c).AppendUnbound();
+      } else {
+        out.MutableColumn(c).AppendFrom(b.ColumnAt(src_of_out[c]), rb);
+      }
+    }
+    out.CommitRow();
   }
   return out;
 }
@@ -183,66 +219,81 @@ namespace {
 
 /// Duplicate elimination fused into join-output construction, one level
 /// deeper than RowDedupSink: the merged row's hash and equality are
-/// computed straight from the (probe row, build row) pair, so duplicate
-/// pairs are rejected *before* a merged row is ever materialized — the
-/// dominant cost on duplicate-heavy joins (Datum rows are fat: value
-/// sets, path pointers).
+/// computed straight from the (probe row, build row) index pair over the
+/// typed key columns, so duplicate pairs are rejected *before* a merged
+/// row is ever materialized — and accepted pairs append column-wise
+/// (dense cells are two array pushes; nothing row-shaped exists at all).
 class JoinDedupSink {
  public:
   JoinDedupSink(BindingTable* out, const BindingTable& a,
+                const BindingTable& b,
                 const std::vector<std::pair<size_t, size_t>>& shared,
                 const std::vector<size_t>& b_extra)
-      : out_(out), shared_(shared), b_extra_(b_extra) {
+      : out_(out), a_(a), b_(b), b_extra_(b_extra) {
     shared_of_a_.assign(a.NumColumns(), BindingTable::kNpos);
     for (const auto& [ia, ib] : shared) shared_of_a_[ia] = ib;
   }
 
-  /// The datum the merged row holds at position `i` of the a-prefix
+  /// The column/row the merged row reads at position `i` of the a-prefix
   /// (bound a-value wins; unbound shared positions fill from b).
-  const Datum& MergedAt(const BindingRow& ra, const BindingRow& rb,
-                        size_t i) const {
-    if (ra[i].IsBound() || shared_of_a_[i] == BindingTable::kNpos) {
-      return ra[i];
+  std::pair<const Column*, size_t> MergedSrc(size_t ra, size_t rb,
+                                             size_t i) const {
+    const Column& ca = a_.ColumnAt(i);
+    if (ca.BoundAt(ra) || shared_of_a_[i] == BindingTable::kNpos) {
+      return {&ca, ra};
     }
-    return rb[shared_of_a_[i]];
+    return {&b_.ColumnAt(shared_of_a_[i]), rb};
   }
 
   /// Appends µ1 ∪ µ2 unless an equal row is already present; the merged
   /// row is only constructed on first occurrence. Returns the row hash
   /// through `hash_out` when appended (parallel merge re-uses it).
-  bool InsertPair(const BindingRow& ra, const BindingRow& rb,
-                  size_t* hash_out = nullptr) {
+  bool InsertPair(size_t ra, size_t rb, size_t* hash_out = nullptr) {
     // Reproduces HashRow over the would-be merged row (a-prefix, then
     // b-extras) without building it.
     size_t h = 0;
-    for (size_t i = 0; i < ra.size(); ++i) {
-      h = HashCombine(h, MergedAt(ra, rb, i).Hash());
+    for (size_t i = 0; i < a_.NumColumns(); ++i) {
+      const auto [col, row] = MergedSrc(ra, rb, i);
+      h = HashCombine(h, col->HashAt(row));
     }
-    for (size_t j : b_extra_) h = HashCombine(h, rb[j].Hash());
+    for (size_t j : b_extra_) h = HashCombine(h, b_.ColumnAt(j).HashAt(rb));
     const bool fresh = seen_.InsertIfNew(h, out_->NumRows(), [&](size_t i) {
-      return MergedEquals(out_->Row(i), ra, rb);
+      return MergedEquals(i, ra, rb);
     });
     if (!fresh) return false;
-    Status st = out_->AddRow(MergeRows(ra, rb, shared_, b_extra_));
-    (void)st;
+    for (size_t i = 0; i < a_.NumColumns(); ++i) {
+      const auto [col, row] = MergedSrc(ra, rb, i);
+      out_->MutableColumn(i).AppendFrom(*col, row);
+    }
+    for (size_t k = 0; k < b_extra_.size(); ++k) {
+      out_->MutableColumn(a_.NumColumns() + k)
+          .AppendFrom(b_.ColumnAt(b_extra_[k]), rb);
+    }
+    out_->CommitRow();
     if (hash_out != nullptr) *hash_out = h;
     return true;
   }
 
  private:
-  bool MergedEquals(const BindingRow& stored, const BindingRow& ra,
-                    const BindingRow& rb) const {
-    for (size_t i = 0; i < ra.size(); ++i) {
-      if (!(stored[i] == MergedAt(ra, rb, i))) return false;
+  bool MergedEquals(size_t stored, size_t ra, size_t rb) const {
+    for (size_t i = 0; i < a_.NumColumns(); ++i) {
+      const auto [col, row] = MergedSrc(ra, rb, i);
+      if (!Column::CellsEqual(out_->ColumnAt(i), stored, *col, row)) {
+        return false;
+      }
     }
     for (size_t k = 0; k < b_extra_.size(); ++k) {
-      if (!(stored[ra.size() + k] == rb[b_extra_[k]])) return false;
+      if (!Column::CellsEqual(out_->ColumnAt(a_.NumColumns() + k), stored,
+                              b_.ColumnAt(b_extra_[k]), rb)) {
+        return false;
+      }
     }
     return true;
   }
 
   BindingTable* out_;
-  const std::vector<std::pair<size_t, size_t>>& shared_;
+  const BindingTable& a_;
+  const BindingTable& b_;
   const std::vector<size_t>& b_extra_;
   /// ia → ib for shared columns, kNpos elsewhere.
   std::vector<size_t> shared_of_a_;
@@ -256,11 +307,10 @@ BindingTable TableJoin(const BindingTable& a, const BindingTable& b) {
   BindingTable out = JoinSchema(a, b, &b_extra);
   const auto shared = SharedColumns(a, b);
   const ProbeIndex index(b, shared);
-  JoinDedupSink sink(&out, a, shared, b_extra);
-  for (const auto& ra : a.rows()) {
-    index.ForEachCandidate(ra, shared, [&](size_t rb_idx) {
-      const BindingRow& rb = b.Row(rb_idx);
-      if (!Compatible(ra, rb, shared)) return;
+  JoinDedupSink sink(&out, a, b, shared, b_extra);
+  for (size_t ra = 0; ra < a.NumRows(); ++ra) {
+    index.ForEachCandidate(a, ra, shared, [&](size_t rb) {
+      if (!CompatibleAt(a, ra, b, rb, shared)) return;
       sink.InsertPair(ra, rb);
     });
   }
@@ -284,7 +334,7 @@ struct PartitionedBuild {
       : keyed(kJoinPartitions) {
     for (size_t r = 0; r < b.NumRows(); ++r) {
       size_t h = 0;
-      if (ProbeIndex::HashShared<1>(b.Row(r), shared, &h)) {
+      if (ProbeIndex::HashSharedAt<1>(b, r, shared, &h)) {
         keyed[h & (kJoinPartitions - 1)][h].push_back(r);
       } else {
         wildcard.push_back(r);
@@ -313,9 +363,11 @@ BindingTable TableJoinParallel(const BindingTable& a, const BindingTable& b,
   // hash-index iteration order, which a partitioned index cannot
   // reproduce; keep those joins on the serial path so the parallel join
   // is a drop-in replacement (identical rows, identical order).
-  for (const auto& ra : a.rows()) {
+  for (size_t r = 0; r < a.NumRows(); ++r) {
     size_t h = 0;
-    if (!ProbeIndex::HashShared<0>(ra, shared, &h)) return TableJoin(a, b);
+    if (!ProbeIndex::HashSharedAt<0>(a, r, shared, &h)) {
+      return TableJoin(a, b);
+    }
   }
 
   std::vector<size_t> b_extra;
@@ -329,18 +381,16 @@ BindingTable TableJoinParallel(const BindingTable& a, const BindingTable& b,
   auto probe_morsel = [&](size_t m) {
     MorselJoinOut& local = morsels[m];
     local.rows = BindingTable(out.columns());
-    JoinDedupSink sink(&local.rows, a, shared, b_extra);
+    JoinDedupSink sink(&local.rows, a, b, shared, b_extra);
     const size_t lo = m * morsel;
     const size_t hi = std::min(a.NumRows(), lo + morsel);
     for (size_t r = lo; r < hi; ++r) {
-      const BindingRow& ra = a.Row(r);
       size_t h = 0;
-      ProbeIndex::HashShared<0>(ra, shared, &h);  // pre-checked bound
+      ProbeIndex::HashSharedAt<0>(a, r, shared, &h);  // pre-checked bound
       auto emit = [&](size_t rb_idx) {
-        const BindingRow& rb = b.Row(rb_idx);
-        if (!Compatible(ra, rb, shared)) return;
+        if (!CompatibleAt(a, r, b, rb_idx, shared)) return;
         size_t row_hash = 0;
-        if (sink.InsertPair(ra, rb, &row_hash)) {
+        if (sink.InsertPair(r, rb_idx, &row_hash)) {
           local.hashes.push_back(row_hash);
         }
       };
@@ -369,12 +419,11 @@ BindingTable TableJoinParallel(const BindingTable& a, const BindingTable& b,
 
   // Ordered merge: morsel-local sets concatenate in probe order through
   // a global seen-set keyed by the worker-computed hashes (cross-morsel
-  // duplicates die here; nothing is re-hashed).
+  // duplicates die here; rows move column-wise, nothing is re-hashed).
   RowDedupSink sink(&out);
-  for (auto& morsel : morsels) {
-    auto& rows = morsel.rows.mutable_rows();
-    for (size_t i = 0; i < rows.size(); ++i) {
-      sink.Insert(std::move(rows[i]), morsel.hashes[i]);
+  for (const auto& morsel_out : morsels) {
+    for (size_t i = 0; i < morsel_out.rows.NumRows(); ++i) {
+      sink.InsertFrom(morsel_out.rows, i, morsel_out.hashes[i]);
     }
   }
   return out;
@@ -387,10 +436,9 @@ BindingTable TableSemijoin(const BindingTable& a, const BindingTable& b) {
   }
   const auto shared = SharedColumns(a, b);
   const ProbeIndex index(b, shared);
-  for (const auto& ra : a.rows()) {
-    if (index.AnyCompatible(b, ra, shared)) {
-      Status st = out.AddRow(ra);
-      (void)st;
+  for (size_t ra = 0; ra < a.NumRows(); ++ra) {
+    if (index.AnyCompatible(a, ra, b, shared)) {
+      out.AppendRowFrom(a, ra);
     }
   }
   return out;
@@ -403,10 +451,9 @@ BindingTable TableAntijoin(const BindingTable& a, const BindingTable& b) {
   }
   const auto shared = SharedColumns(a, b);
   const ProbeIndex index(b, shared);
-  for (const auto& ra : a.rows()) {
-    if (!index.AnyCompatible(b, ra, shared)) {
-      Status st = out.AddRow(ra);
-      (void)st;
+  for (size_t ra = 0; ra < a.NumRows(); ++ra) {
+    if (!index.AnyCompatible(a, ra, b, shared)) {
+      out.AppendRowFrom(a, ra);
     }
   }
   return out;

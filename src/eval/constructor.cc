@@ -646,24 +646,21 @@ struct Constructor::ItemState {
     // Row index map original -> extended.
     std::unordered_map<size_t, size_t> row_map;
     for (size_t r : rows) {
-      BindingRow row = bindings.Row(r);
-      row.resize(extended.NumColumns());
       row_map[r] = extended.NumRows();
-      Status st = extended.AddRow(std::move(row));
-      (void)st;
+      extended.AppendRowFrom(bindings, r);
     }
     for (const auto& b : node_builds) {
       auto it = ctor_cols.find(b.var);
       if (it == ctor_cols.end()) continue;
       for (size_t r : b.rows) {
-        extended.mutable_rows()[row_map[r]][it->second] = Datum::OfNode(b.id);
+        extended.SetCell(row_map[r], it->second, Datum::OfNode(b.id));
       }
     }
     for (const auto& b : edge_builds) {
       auto it = ctor_cols.find(b.var);
       if (it == ctor_cols.end()) continue;
       for (size_t r : b.rows) {
-        extended.mutable_rows()[row_map[r]][it->second] = Datum::OfEdge(b.id);
+        extended.SetCell(row_map[r], it->second, Datum::OfEdge(b.id));
       }
     }
 

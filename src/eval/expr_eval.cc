@@ -581,8 +581,8 @@ Result<Datum> ExprEvaluator::EvalAggregate(
     int64_t complete = 0;
     for (size_t r : group_rows) {
       bool all_bound = true;
-      for (const Datum& d : table.Row(r)) {
-        if (d.IsUnbound()) {
+      for (size_t c = 0; c < table.NumColumns(); ++c) {
+        if (!table.ColumnAt(c).BoundAt(r)) {
           all_bound = false;
           break;
         }

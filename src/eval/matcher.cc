@@ -181,7 +181,10 @@ Result<BindingTable> Matcher::MatchStartNode(const NodePattern& node,
       return;
     }
     if (*admits) {
-      st = table.AddRow({Datum::OfNode(id)});
+      // Dense append straight into the node column (no per-row
+      // BindingRow allocation).
+      table.MutableColumn(0).Append(Datum::OfNode(id));
+      table.CommitRow();
     }
   });
   GCORE_RETURN_NOT_OK(st);
@@ -207,8 +210,9 @@ Result<BindingTable> Matcher::ApplyPropPatterns(
     if (p.mode == PropPattern::Mode::kBindVariable) {
       bind_col = next.AddColumn(p.bind_var);
     }
+    const size_t existing = table.ColumnIndex(p.bind_var);
     for (size_t r = 0; r < table.NumRows(); ++r) {
-      const Datum& obj = table.At(r, obj_col);
+      const Datum obj = table.At(r, obj_col);
       const ValueSet stored = DatumProperty(obj, p.key, graph);
       if (p.mode == PropPattern::Mode::kFilter) {
         GCORE_ASSIGN_OR_RETURN(Datum want, eval.Eval(*p.value, table, r));
@@ -216,32 +220,24 @@ Result<BindingTable> Matcher::ApplyPropPatterns(
         const ValueSet& w = want.values();
         const bool ok = w.is_singleton() ? stored.Contains(w.single())
                                          : stored == w;
-        if (ok) {
-          Status st = next.AddRow(table.Row(r));
-          (void)st;
-        }
+        if (ok) next.AppendRowFrom(table, r);
         continue;
       }
       // kBindVariable: unroll each stored value into its own binding
       // (p.9); an existing binding of the variable acts as a filter
       // (natural-join semantics).
-      const size_t existing = table.ColumnIndex(p.bind_var);
-      const Datum* bound =
-          existing != BindingTable::kNpos && table.At(r, existing).IsBound()
-              ? &table.At(r, existing)
-              : nullptr;
+      const Datum bound = existing != BindingTable::kNpos
+                              ? table.At(r, existing)
+                              : Datum::Unbound();
       for (const Value& value : stored) {
-        if (bound != nullptr) {
-          if (bound->kind() != Datum::Kind::kValues ||
-              !(bound->values() == ValueSet(value))) {
+        if (bound.IsBound()) {
+          if (bound.kind() != Datum::Kind::kValues ||
+              !(bound.values() == ValueSet(value))) {
             continue;
           }
         }
-        BindingRow row = table.Row(r);
-        row.resize(next.NumColumns());
-        row[bind_col] = Datum::OfValue(value);
-        Status st = next.AddRow(std::move(row));
-        (void)st;
+        next.AppendRowFrom(table, r);
+        next.SetCell(next.NumRows() - 1, bind_col, Datum::OfValue(value));
       }
     }
     table = std::move(next);
@@ -271,25 +267,36 @@ Result<BindingTable> Matcher::ExpandEdgeHop(
   const size_t to_existing = table.ColumnIndex(to_var);
   const size_t edge_existing = table.ColumnIndex(edge_var);
 
+  // Columnar fast path: the source/constraint columns are read through
+  // the typed accessors (one kind byte + one id per cell) and surviving
+  // rows are emitted column-wise — no BindingRow is materialized.
+  const Column& from_cells = table.ColumnAt(from_col);
+  const Column* edge_cells = edge_existing != BindingTable::kNpos
+                                 ? &table.ColumnAt(edge_existing)
+                                 : nullptr;
+  const Column* to_cells = to_existing != BindingTable::kNpos
+                               ? &table.ColumnAt(to_existing)
+                               : nullptr;
+
   Status st = Status::OK();
   for (size_t r = 0; r < table.NumRows(); ++r) {
-    const Datum& from = table.At(r, from_col);
-    if (from.kind() != Datum::Kind::kNode) continue;
-    if (!adj.Contains(from.node())) continue;
-    const DenseNodeIndex n = adj.IndexOf(from.node());
+    if (from_cells.KindAt(r) != Datum::Kind::kNode) continue;
+    const NodeId from_node = from_cells.NodeAt(r);
+    if (!adj.Contains(from_node)) continue;
+    const DenseNodeIndex n = adj.IndexOf(from_node);
 
     auto try_entry = [&](const AdjacencyEntry& entry) {
       if (!st.ok()) return;
       if (!LabelsMatch(graph.Labels(entry.edge), edge.label_groups)) return;
-      if (edge_existing != BindingTable::kNpos &&
-          table.At(r, edge_existing).IsBound() &&
-          !(table.At(r, edge_existing) == Datum::OfEdge(entry.edge))) {
+      if (edge_cells != nullptr && edge_cells->BoundAt(r) &&
+          !(edge_cells->KindAt(r) == Datum::Kind::kEdge &&
+            edge_cells->EdgeAt(r) == entry.edge)) {
         return;
       }
       const NodeId target = adj.IdOf(entry.neighbor);
-      if (to_existing != BindingTable::kNpos &&
-          table.At(r, to_existing).IsBound() &&
-          !(table.At(r, to_existing) == Datum::OfNode(target))) {
+      if (to_cells != nullptr && to_cells->BoundAt(r) &&
+          !(to_cells->KindAt(r) == Datum::Kind::kNode &&
+            to_cells->NodeAt(r) == target)) {
         return;
       }
       auto admits = NodeAdmits(to, target, graph);
@@ -298,11 +305,9 @@ Result<BindingTable> Matcher::ExpandEdgeHop(
         return;
       }
       if (!*admits) return;
-      BindingRow row = table.Row(r);
-      row.resize(next.NumColumns());
-      row[edge_col] = Datum::OfEdge(entry.edge);
-      row[to_col] = Datum::OfNode(target);
-      st = next.AddRow(std::move(row));
+      next.AppendRowFrom(table, r);
+      next.SetCell(next.NumRows() - 1, edge_col, Datum::OfEdge(entry.edge));
+      next.SetCell(next.NumRows() - 1, to_col, Datum::OfNode(target));
     };
 
     if (edge.direction == EdgePattern::Direction::kRight ||
@@ -327,7 +332,11 @@ Result<BindingTable> Matcher::ExpandPathHop(
     BindingTable table, const std::string& from_var, const PathPattern& path,
     const std::string& path_var, const NodePattern& to,
     const std::string& to_var, const PathPropertyGraph& graph,
-    const std::string& graph_name) {
+    const std::string& graph_name, const std::function<PathId()>* fresh_ids) {
+  auto next_path_id = [&]() {
+    return fresh_ids != nullptr ? (*fresh_ids)()
+                                : ctx_.catalog->ids()->NextPath();
+  };
   BindingTable next(table.columns());
   for (const auto& [v, g] : table.column_graphs()) next.SetColumnGraph(v, g);
   const bool has_var = !path_var.empty();
@@ -341,6 +350,15 @@ Result<BindingTable> Matcher::ExpandPathHop(
 
   const size_t from_col = table.ColumnIndex(from_var);
   const size_t to_existing = table.ColumnIndex(to_var);
+  const Column& from_cells = table.ColumnAt(from_col);
+  const Column* to_cells = to_existing != BindingTable::kNpos
+                               ? &table.ColumnAt(to_existing)
+                               : nullptr;
+  auto target_prebound_elsewhere = [&](size_t r, NodeId target) {
+    return to_cells != nullptr && to_cells->BoundAt(r) &&
+           !(to_cells->KindAt(r) == Datum::Kind::kNode &&
+             to_cells->NodeAt(r) == target);
+  };
 
   // --- stored-path matching: -/@p[:label][<regex>]/-> ---------------------------
   if (path.mode == PathPattern::Mode::kStoredMatch) {
@@ -349,44 +367,40 @@ Result<BindingTable> Matcher::ExpandPathHop(
     if (path.rpq != nullptr) conform_nfa = Nfa::Compile(*path.rpq);
     Status st = Status::OK();
     for (size_t r = 0; r < table.NumRows(); ++r) {
-      const Datum& from = table.At(r, from_col);
-      if (from.kind() != Datum::Kind::kNode) continue;
+      if (from_cells.KindAt(r) != Datum::Kind::kNode) continue;
+      const NodeId from_node = from_cells.NodeAt(r);
       graph.ForEachPath([&](PathId pid, const PathBody& body) {
         if (!st.ok()) return;
-        if (body.nodes.empty() || body.nodes.front() != from.node()) return;
+        if (body.nodes.empty() || body.nodes.front() != from_node) return;
         if (!LabelsMatch(graph.Labels(pid), path.label_groups)) return;
         if (conform_nfa.has_value() &&
             !BodyConformsToRegex(body, *conform_nfa, graph)) {
           return;
         }
         const NodeId target = body.nodes.back();
-        if (to_existing != BindingTable::kNpos &&
-            table.At(r, to_existing).IsBound() &&
-            !(table.At(r, to_existing) == Datum::OfNode(target))) {
-          return;
-        }
+        if (target_prebound_elsewhere(r, target)) return;
         auto admits = NodeAdmits(to, target, graph);
         if (!admits.ok()) {
           st = admits.status();
           return;
         }
         if (!*admits) return;
-        BindingRow row = table.Row(r);
-        row.resize(next.NumColumns());
+        next.AppendRowFrom(table, r);
+        const size_t out_row = next.NumRows() - 1;
         if (has_var) {
           auto pv = std::make_shared<PathValue>();
           pv->id = pid;
           pv->body = body;
           pv->cost = static_cast<double>(body.edges.size());
           pv->from_graph = true;
-          row[path_col] = Datum::OfPath(std::move(pv));
+          next.SetCell(out_row, path_col, Datum::OfPath(std::move(pv)));
         }
-        row[to_col] = Datum::OfNode(target);
+        next.SetCell(out_row, to_col, Datum::OfNode(target));
         if (has_cost) {
-          row[cost_col] = Datum::OfValue(
-              Value::Int(static_cast<int64_t>(body.edges.size())));
+          next.SetCell(out_row, cost_col,
+                       Datum::OfValue(
+                           Value::Int(static_cast<int64_t>(body.edges.size()))));
         }
-        st = next.AddRow(std::move(row));
       });
       GCORE_RETURN_NOT_OK(st);
     }
@@ -402,34 +416,24 @@ Result<BindingTable> Matcher::ExpandPathHop(
   ctx.nfa = &nfa;
   ctx.views = ctx_.views;
 
-  auto admit_target = [&](NodeId target, const BindingRow& base_row,
-                          size_t r) -> Result<bool> {
-    if (to_existing != BindingTable::kNpos &&
-        table.At(r, to_existing).IsBound() &&
-        !(table.At(r, to_existing) == Datum::OfNode(target))) {
-      return false;
-    }
-    (void)base_row;
+  auto admit_target = [&](NodeId target, size_t r) -> Result<bool> {
+    if (target_prebound_elsewhere(r, target)) return false;
     return NodeAdmits(to, target, graph);
   };
 
   for (size_t r = 0; r < table.NumRows(); ++r) {
-    const Datum& from = table.At(r, from_col);
-    if (from.kind() != Datum::Kind::kNode) continue;
-    if (!ctx.adj->Contains(from.node())) continue;
-    const NodeId src = from.node();
+    if (from_cells.KindAt(r) != Datum::Kind::kNode) continue;
+    const NodeId src = from_cells.NodeAt(r);
+    if (!ctx.adj->Contains(src)) continue;
 
     switch (path.mode) {
       case PathPattern::Mode::kReachability: {
         GCORE_ASSIGN_OR_RETURN(auto reachable, ReachableFrom(ctx, src));
         for (NodeId target : reachable) {
-          GCORE_ASSIGN_OR_RETURN(bool ok, admit_target(target, table.Row(r), r));
+          GCORE_ASSIGN_OR_RETURN(bool ok, admit_target(target, r));
           if (!ok) continue;
-          BindingRow row = table.Row(r);
-          row.resize(next.NumColumns());
-          row[to_col] = Datum::OfNode(target);
-          Status st = next.AddRow(std::move(row));
-          (void)st;
+          next.AppendRowFrom(table, r);
+          next.SetCell(next.NumRows() - 1, to_col, Datum::OfNode(target));
         }
         break;
       }
@@ -439,29 +443,28 @@ Result<BindingTable> Matcher::ExpandPathHop(
             auto per_dst,
             KShortestPathsFrom(ctx, src, static_cast<size_t>(path.k)));
         for (auto& [target, paths] : per_dst) {
-          GCORE_ASSIGN_OR_RETURN(bool ok, admit_target(target, table.Row(r), r));
+          GCORE_ASSIGN_OR_RETURN(bool ok, admit_target(target, r));
           if (!ok) continue;
           for (FoundPath& found : paths) {
-            BindingRow row = table.Row(r);
-            row.resize(next.NumColumns());
+            next.AppendRowFrom(table, r);
+            const size_t out_row = next.NumRows() - 1;
             if (has_var) {
               auto pv = std::make_shared<PathValue>();
-              pv->id = ctx_.catalog->ids()->NextPath();
+              pv->id = next_path_id();
               pv->body = std::move(found.body);
               pv->cost = found.cost;
               pv->from_graph = false;
-              row[path_col] = Datum::OfPath(std::move(pv));
+              next.SetCell(out_row, path_col, Datum::OfPath(std::move(pv)));
             }
-            row[to_col] = Datum::OfNode(target);
+            next.SetCell(out_row, to_col, Datum::OfNode(target));
             if (has_cost) {
               const double c = found.cost;
-              row[cost_col] =
+              next.SetCell(
+                  out_row, cost_col,
                   c == static_cast<int64_t>(c)
                       ? Datum::OfValue(Value::Int(static_cast<int64_t>(c)))
-                      : Datum::OfValue(Value::Double(c));
+                      : Datum::OfValue(Value::Double(c)));
             }
-            Status st = next.AddRow(std::move(row));
-            (void)st;
           }
         }
         break;
@@ -473,24 +476,22 @@ Result<BindingTable> Matcher::ExpandPathHop(
         // the projection sets, not materialized walks.
         GCORE_ASSIGN_OR_RETURN(auto reachable, ReachableFrom(ctx, src));
         for (NodeId target : reachable) {
-          GCORE_ASSIGN_OR_RETURN(bool ok, admit_target(target, table.Row(r), r));
+          GCORE_ASSIGN_OR_RETURN(bool ok, admit_target(target, r));
           if (!ok) continue;
           GCORE_ASSIGN_OR_RETURN(PathProjection proj,
                                  AllPathsProjection(ctx, src, target));
-          BindingRow row = table.Row(r);
-          row.resize(next.NumColumns());
+          next.AppendRowFrom(table, r);
+          const size_t out_row = next.NumRows() - 1;
           if (has_var) {
             auto pv = std::make_shared<PathValue>();
-            pv->id = ctx_.catalog->ids()->NextPath();
+            pv->id = next_path_id();
             pv->from_graph = false;
             pv->projection = std::make_pair(
                 std::vector<NodeId>(proj.nodes.begin(), proj.nodes.end()),
                 std::vector<EdgeId>(proj.edges.begin(), proj.edges.end()));
-            row[path_col] = Datum::OfPath(std::move(pv));
+            next.SetCell(out_row, path_col, Datum::OfPath(std::move(pv)));
           }
-          row[to_col] = Datum::OfNode(target);
-          Status st = next.AddRow(std::move(row));
-          (void)st;
+          next.SetCell(out_row, to_col, Datum::OfNode(target));
         }
         break;
       }
@@ -515,21 +516,25 @@ Result<BindingTable> Matcher::FilterByConjuncts(
     const PathPropertyGraph* graph) {
   if (conjuncts.empty()) return table;
   ExprEvaluator eval = MakeEvaluator(graph);
-  BindingTable filtered(table.columns());
-  for (const auto& [v, g] : table.column_graphs()) {
-    filtered.SetColumnGraph(v, g);
-  }
+  std::vector<size_t> kept;
+  kept.reserve(table.NumRows());
   for (size_t r = 0; r < table.NumRows(); ++r) {
     bool keep = true;
     for (const Expr* conjunct : conjuncts) {
       GCORE_ASSIGN_OR_RETURN(keep, eval.EvalPredicate(*conjunct, table, r));
       if (!keep) break;
     }
-    if (keep) {
-      Status st = filtered.AddRow(table.Row(r));
-      (void)st;
-    }
+    if (keep) kept.push_back(r);
   }
+  // Nothing dropped: hand the table back untouched (the common case for
+  // re-checked WHERE conjuncts).
+  if (kept.size() == table.NumRows()) return table;
+  BindingTable filtered(table.columns());
+  for (const auto& [v, g] : table.column_graphs()) {
+    filtered.SetColumnGraph(v, g);
+  }
+  // Column-at-a-time gather of the surviving rows.
+  filtered.AppendRowsFrom(table, kept);
   return filtered;
 }
 
@@ -615,17 +620,18 @@ Result<BindingTable> Matcher::FilterTable(BindingTable table,
                                           const Expr& where,
                                           const PathPropertyGraph* graph) {
   ExprEvaluator eval = MakeEvaluator(graph);
+  std::vector<size_t> kept;
+  kept.reserve(table.NumRows());
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    GCORE_ASSIGN_OR_RETURN(bool keep, eval.EvalPredicate(where, table, r));
+    if (keep) kept.push_back(r);
+  }
+  if (kept.size() == table.NumRows()) return table;
   BindingTable filtered(table.columns());
   for (const auto& [v, g] : table.column_graphs()) {
     filtered.SetColumnGraph(v, g);
   }
-  for (size_t r = 0; r < table.NumRows(); ++r) {
-    GCORE_ASSIGN_OR_RETURN(bool keep, eval.EvalPredicate(where, table, r));
-    if (keep) {
-      Status st = filtered.AddRow(table.Row(r));
-      (void)st;
-    }
-  }
+  filtered.AppendRowsFrom(table, kept);
   return filtered;
 }
 
@@ -724,25 +730,40 @@ BindingTable ProjectionSchema(const BindingTable& table,
   return result;
 }
 
-BindingRow SlimRow(const BindingRow& row, const std::vector<size_t>& kept) {
-  BindingRow slim;
-  slim.reserve(kept.size());
-  for (size_t c : kept) slim.push_back(row[c]);
-  return slim;
-}
-
 }  // namespace
 
 BindingTable Matcher::ProjectResult(
     const BindingTable& table, const std::vector<std::string>* output) const {
   std::vector<size_t> kept;
   BindingTable result = ProjectionSchema(table, output, &kept);
-  // Set semantics restored as rows are constructed (no trailing
-  // Deduplicate pass); first occurrences survive, as before.
-  RowDedupSink sink(&result);
-  for (const auto& row : table.rows()) {
-    sink.Insert(SlimRow(row, kept));
+  // Set semantics restored as rows are selected (no trailing Deduplicate
+  // pass); first occurrences survive, as before. Hash and equality walk
+  // the kept columns only — nothing row-shaped is built until the final
+  // column-wise gather of the surviving row indices.
+  RowIndexSet seen;
+  seen.Reserve(table.NumRows());
+  std::vector<size_t> fresh_rows;
+  fresh_rows.reserve(table.NumRows());
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    size_t h = 0;
+    for (size_t c : kept) h = HashCombine(h, table.ColumnAt(c).HashAt(r));
+    const bool fresh =
+        seen.InsertIfNew(h, fresh_rows.size(), [&](size_t j) {
+          for (size_t c : kept) {
+            if (!Column::CellsEqual(table.ColumnAt(c), r, table.ColumnAt(c),
+                                    fresh_rows[j])) {
+              return false;
+            }
+          }
+          return true;
+        });
+    if (fresh) fresh_rows.push_back(r);
   }
+  for (size_t k = 0; k < kept.size(); ++k) {
+    result.MutableColumn(k).AppendIndexed(table.ColumnAt(kept[k]),
+                                          fresh_rows);
+  }
+  for (size_t i = 0; i < fresh_rows.size(); ++i) result.CommitRow();
   return result;
 }
 
@@ -750,10 +771,9 @@ BindingTable Matcher::ProjectChunk(
     const BindingTable& table, const std::vector<std::string>* output) const {
   std::vector<size_t> kept;
   BindingTable result = ProjectionSchema(table, output, &kept);
-  for (const auto& row : table.rows()) {
-    Status st = result.AddRow(SlimRow(row, kept));
-    (void)st;
-  }
+  // Pure column slicing: each kept column is copied wholesale (memcpy
+  // for dense cells); no per-row work at all.
+  result.AdoptProjectedColumns(table, kept);
   return result;
 }
 
@@ -770,8 +790,7 @@ Result<bool> Matcher::PatternHasMatch(const GraphPattern& pattern,
   BindingTable t = std::move(*chain);
   // Correlate: keep only matches compatible with the outer row.
   BindingTable outer_row(outer.columns());
-  Status st = outer_row.AddRow(outer.Row(row));
-  (void)st;
+  outer_row.AppendRowFrom(outer, row);
   BindingTable joined = TableSemijoin(std::move(outer_row), t);
   return !joined.Empty();
 }

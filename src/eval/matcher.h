@@ -14,6 +14,7 @@
 #ifndef GCORE_EVAL_MATCHER_H_
 #define GCORE_EVAL_MATCHER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -126,14 +127,17 @@ class Matcher {
                                      const std::string& to_var,
                                      const PathPropertyGraph& graph,
                                      const std::string& graph_name);
-  Result<BindingTable> ExpandPathHop(BindingTable table,
-                                     const std::string& from_var,
-                                     const PathPattern& path,
-                                     const std::string& path_var,
-                                     const NodePattern& to,
-                                     const std::string& to_var,
-                                     const PathPropertyGraph& graph,
-                                     const std::string& graph_name);
+  /// `fresh_ids` overrides the source of fresh path identifiers for
+  /// computed paths (SHORTEST/ALL). Null draws from the shared catalog
+  /// allocator (the serial behavior); the executor's morsel-parallel
+  /// PathSearch passes per-morsel temporary generators and remaps the
+  /// ids into an atomically reserved range in morsel order afterwards.
+  Result<BindingTable> ExpandPathHop(
+      BindingTable table, const std::string& from_var,
+      const PathPattern& path, const std::string& path_var,
+      const NodePattern& to, const std::string& to_var,
+      const PathPropertyGraph& graph, const std::string& graph_name,
+      const std::function<PathId()>* fresh_ids = nullptr);
 
   /// Keeps the rows of `table` on which `predicate` holds.
   Result<BindingTable> FilterTable(BindingTable table, const Expr& predicate,

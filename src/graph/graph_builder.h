@@ -24,6 +24,14 @@ class IdAllocator {
   EdgeId NextEdge() { return EdgeId(next_edge_++); }
   PathId NextPath() { return PathId(next_path_++); }
 
+  /// Atomically reserves `count` consecutive path ids and returns the
+  /// first. Morsel-parallel PathSearch stages expand with temporary ids,
+  /// then remap them into one reserved range in morsel order, so fresh
+  /// path identifiers stay deterministic at every parallelism degree.
+  uint64_t ReservePathRange(uint64_t count) {
+    return next_path_.fetch_add(count);
+  }
+
   /// Makes sure future ids are strictly greater than `v`; used when a graph
   /// is loaded with externally chosen ids (e.g. the paper's toy instances
   /// use 101..106 / 201..207 / 301).

@@ -73,7 +73,8 @@ Result<Chunk> AsChunk(Result<BindingTable> result) {
 Result<Chunk> Exhausted() { return Chunk(); }
 
 /// Pulls every chunk of `op` into one table. Chunks of one operator share
-/// a schema (and column provenance), so rows concatenate directly.
+/// a schema (and column provenance), so columns concatenate directly
+/// (bulk range appends, no row walks).
 Result<BindingTable> Drain(PhysicalOp* op) {
   BindingTable out;
   bool first = true;
@@ -85,9 +86,7 @@ Result<BindingTable> Drain(PhysicalOp* op) {
       first = false;
       continue;
     }
-    for (auto& row : chunk->mutable_rows()) {
-      GCORE_RETURN_NOT_OK(out.AddRow(std::move(row)));
-    }
+    out.AppendTable(*chunk);
   }
   return out;
 }
@@ -102,22 +101,18 @@ BindingTable EmptyLike(const BindingTable& like) {
 }
 
 /// Splits `chunk` into <= morsel_rows-row tables (at least one, so empty
-/// chunks still propagate the schema), appending to `out`.
+/// chunks still propagate the schema), appending to `out`. Morsels are
+/// column-range slices — bulk copies of the dense kind/slot arrays, not
+/// row-by-row moves.
 void SplitIntoMorsels(BindingTable chunk, size_t morsel_rows,
                       std::deque<BindingTable>* out) {
   if (chunk.NumRows() <= morsel_rows) {
     out->push_back(std::move(chunk));
     return;
   }
-  auto& rows = chunk.mutable_rows();
-  for (size_t lo = 0; lo < rows.size(); lo += morsel_rows) {
-    BindingTable morsel = EmptyLike(chunk);
-    const size_t hi = std::min(rows.size(), lo + morsel_rows);
-    for (size_t r = lo; r < hi; ++r) {
-      Status st = morsel.AddRow(std::move(rows[r]));
-      (void)st;
-    }
-    out->push_back(std::move(morsel));
+  for (size_t lo = 0; lo < chunk.NumRows(); lo += morsel_rows) {
+    const size_t hi = std::min(chunk.NumRows(), lo + morsel_rows);
+    out->push_back(chunk.Slice(lo, hi));
   }
 }
 
@@ -303,12 +298,9 @@ class NodeScanOp : public PhysicalOp {
       offset_ = table_.NumRows();
       return Chunk(std::move(table_));
     }
-    BindingTable chunk = EmptyLike(table_);
     const size_t hi = std::min(table_.NumRows(), offset_ + morsel);
-    for (; offset_ < hi; ++offset_) {
-      Status st = chunk.AddRow(std::move(table_.mutable_rows()[offset_]));
-      (void)st;
-    }
+    BindingTable chunk = table_.Slice(offset_, hi);
+    offset_ = hi;
     return Chunk(std::move(chunk));
   }
 
@@ -322,32 +314,139 @@ class NodeScanOp : public PhysicalOp {
   bool emitted_empty_ = false;
 };
 
+/// Temporary fresh-path-id space used inside one parallel PathSearch
+/// chunk. Well above any real allocator value; every temporary is
+/// remapped to a reserved catalog id before the chunk is emitted.
+constexpr uint64_t kTempPathIdBase = uint64_t{1} << 62;
+
 /// PathSearch: one path hop (stored / SHORTEST / ALL / reachability) per
-/// pulled chunk. Serial: path searches allocate fresh path identifiers
-/// from the shared catalog, so this operator never runs on workers.
+/// pulled chunk. Morsel-parallel since the path-id allocator gained
+/// atomic range reservation: each worker expands one morsel, allocating
+/// *temporary* fresh-path ids from a morsel-local counter; afterwards the
+/// coordinator reserves exactly the needed range from the shared
+/// IdAllocator in one atomic step and remaps the temporaries in morsel
+/// order — ids (and rows) come out deterministic at every degree, and at
+/// degree 1 the operator behaves exactly as the serial original.
 class PathSearchOp : public PhysicalOp {
  public:
-  PathSearchOp(Matcher* rt, const PlanNode* plan, OpPtr child)
-      : rt_(rt), plan_(plan), child_(std::move(child)) {}
+  PathSearchOp(Matcher* rt, const PlanNode* plan, OpPtr child,
+               ExecContext exec)
+      : rt_(rt), plan_(plan), child_(std::move(child)), exec_(exec) {}
 
   Result<std::optional<BindingTable>> Next() override {
-    GCORE_ASSIGN_OR_RETURN(std::optional<BindingTable> chunk,
-                           child_->Next());
-    if (!chunk.has_value()) return Exhausted();
+    // A breaker: the child's chunks already arrive at morsel granularity,
+    // so parallelism needs the whole input — drain it (as HashJoin does)
+    // and fan the morsels out. Output rows, order and fresh path ids are
+    // identical to the per-chunk serial original: morsels are processed
+    // in input order and ids are remapped in that same order.
+    if (done_) return Exhausted();
+    done_ = true;
+    GCORE_ASSIGN_OR_RETURN(BindingTable input, Drain(child_.get()));
     GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* graph,
                            rt_->ResolveGraph(plan_->graph));
-    GCORE_ASSIGN_OR_RETURN(
-        BindingTable expanded,
-        rt_->ExpandPathHop(std::move(*chunk), plan_->from_var, *plan_->path,
-                           plan_->path_var, *plan_->to, plan_->to_var, *graph,
-                           graph->name()));
-    return AsChunk(rt_->FilterByConjuncts(std::move(expanded), plan_->pushed, graph));
+    const size_t morsel = exec_.MorselRows();
+    const size_t degree = exec_.Degree();
+    if (degree <= 1 || input.NumRows() <= morsel ||
+        !ExprsParallelSafe(plan_->pushed)) {
+      GCORE_ASSIGN_OR_RETURN(
+          BindingTable expanded,
+          rt_->ExpandPathHop(std::move(input), plan_->from_var,
+                             *plan_->path, plan_->path_var, *plan_->to,
+                             plan_->to_var, *graph, graph->name()));
+      return AsChunk(
+          rt_->FilterByConjuncts(std::move(expanded), plan_->pushed, graph));
+    }
+
+    rt_->Adjacency(*graph);  // warm the cache off the workers
+    const BindingTable* chunk = &input;
+    const size_t num_morsels = (chunk->NumRows() + morsel - 1) / morsel;
+    std::vector<Result<BindingTable>> outs(num_morsels,
+                                           Result<BindingTable>(BindingTable()));
+    // Temporaries allocated per morsel *before* the pushed filter runs: a
+    // serial run draws an id for every expanded row, including rows the
+    // filter then drops, so the remap must reserve and skip those too.
+    std::vector<uint64_t> temp_counts(num_morsels, 0);
+    std::atomic<size_t> next_morsel{0};
+    auto run_morsel = [&](size_t m) {
+      const size_t lo = m * morsel;
+      const size_t hi = std::min(chunk->NumRows(), lo + morsel);
+      uint64_t local = 0;
+      std::function<PathId()> temp_ids = [&local]() {
+        return PathId(kTempPathIdBase + local++);
+      };
+      auto expanded = rt_->ExpandPathHop(
+          chunk->Slice(lo, hi), plan_->from_var, *plan_->path,
+          plan_->path_var, *plan_->to, plan_->to_var, *graph, graph->name(),
+          &temp_ids);
+      temp_counts[m] = local;
+      if (!expanded.ok()) {
+        outs[m] = expanded.status();
+        return;
+      }
+      outs[m] = rt_->FilterByConjuncts(std::move(*expanded), plan_->pushed,
+                                       graph);
+    };
+    auto worker = [&]() {
+      while (true) {
+        const size_t m = next_morsel.fetch_add(1);
+        if (m >= num_morsels) return;
+        run_morsel(m);
+      }
+    };
+    std::vector<std::thread> pool;
+    const size_t threads = std::min(degree, num_morsels);
+    pool.reserve(threads);
+    for (size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
+    worker();
+    for (auto& t : pool) t.join();
+    for (auto& out : outs) {
+      if (!out.ok()) return out.status();
+    }
+
+    // Deterministic id remap: reserve one range covering every temporary
+    // drawn (filtered-away rows included), then translate each surviving
+    // temporary by its morsel's prefix offset plus its local index —
+    // exactly the ids (gaps and all) a serial run hands out in expansion
+    // order.
+    BindingTable merged = EmptyLike(*outs.front());
+    const size_t path_col = plan_->path_var.empty()
+                                ? BindingTable::kNpos
+                                : merged.ColumnIndex(plan_->path_var);
+    if (path_col != BindingTable::kNpos) {
+      uint64_t total_temps = 0;
+      std::vector<uint64_t> morsel_offset(num_morsels, 0);
+      for (size_t m = 0; m < num_morsels; ++m) {
+        morsel_offset[m] = total_temps;
+        total_temps += temp_counts[m];
+      }
+      if (total_temps > 0) {
+        const uint64_t base =
+            rt_->context().catalog->ids()->ReservePathRange(total_temps);
+        for (size_t m = 0; m < num_morsels; ++m) {
+          BindingTable& out = *outs[m];
+          const Column& col = out.ColumnAt(path_col);
+          for (size_t r = 0; r < out.NumRows(); ++r) {
+            if (col.KindAt(r) != Datum::Kind::kPath) continue;
+            const PathValue& pv = col.HeavyAt(r).path();
+            if (pv.from_graph || pv.id.value() < kTempPathIdBase) continue;
+            auto remapped = std::make_shared<PathValue>(pv);
+            remapped->id = PathId(base + morsel_offset[m] +
+                                  (pv.id.value() - kTempPathIdBase));
+            out.SetCell(r, path_col, Datum::OfPath(std::move(remapped)));
+          }
+        }
+      }
+    }
+    for (auto& out : outs) merged.AppendTable(*out);
+    return Chunk(std::move(merged));
   }
 
  private:
   Matcher* rt_;
   const PlanNode* plan_;
   OpPtr child_;
+  ExecContext exec_;
+  bool done_ = false;
 };
 
 /// Residual WHERE filter over aggregate-bearing predicates: a pipeline
@@ -443,8 +542,8 @@ class ProjectMergeOp : public PhysicalOp {
         out = EmptyLike(*chunk);
         sink = std::make_unique<RowDedupSink>(&out);
       }
-      for (auto& row : chunk->mutable_rows()) {
-        sink->Insert(std::move(row));
+      for (size_t r = 0; r < chunk->NumRows(); ++r) {
+        sink->InsertFrom(*chunk, r);
       }
     }
     return Chunk(std::move(out));
@@ -565,7 +664,8 @@ Result<std::unique_ptr<PhysicalOp>> Executor::Build(const PlanNode& plan) {
     }
     case PlanOp::kPathSearch: {
       GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));
-      return OpPtr(new PathSearchOp(runtime_, &plan, std::move(child)));
+      return OpPtr(
+          new PathSearchOp(runtime_, &plan, std::move(child), exec_));
     }
     case PlanOp::kFilter: {
       GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));

@@ -127,6 +127,10 @@ TEST_F(ParallelExecution, PathModes) {
   ExpectSameBindingSets(
       "MATCH (n)-/3 SHORTEST p<:knows*> COST c/->(m) "
       "WHERE n.firstName = 'John'");
+  // No pushed source filter: every person seeds a search, so 2-row
+  // morsels put the SHORTEST stage (and its fresh-path-id range
+  // reservation + morsel-order remap) on the worker pool.
+  ExpectSameBindingSets("MATCH (n:Person)-/2 SHORTEST p<:knows*>/->(m)");
 }
 
 TEST_F(ParallelExecution, OptionalsWithBlockWhere) {
@@ -146,6 +150,45 @@ TEST_F(ParallelExecution, ReentrantPredicatesStaySerialButCorrect) {
       "MATCH (m:Person), (n:Person) "
       "WHERE n.firstName = 'John' "
       "AND (n)-[:isLocatedIn]->()<-[:isLocatedIn]-(m)");
+}
+
+// Fresh path identifiers must come out *identical* to a serial run at
+// every degree — including the gaps a pushed filter leaves behind
+// (serial allocation draws an id for every expanded row, then drops the
+// filtered ones). Canonical() deliberately ignores computed-path ids,
+// so this pins them directly, on a fresh catalog per degree.
+TEST_F(ParallelExecution, PathSearchIdsDeterministicUnderFilter) {
+  auto parsed = ParseQuery(
+      "CONSTRUCT (z) MATCH (n:Person)-/2 SHORTEST p<:knows*>/->(m) "
+      "WHERE m.firstName = 'John'");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const MatchClause& match = *(*parsed)->body->basic->match;
+
+  auto ids_at = [&](size_t parallelism) {
+    GraphCatalog fresh;
+    snb::RegisterToyData(&fresh);
+    MatcherContext ctx;
+    ctx.catalog = &fresh;
+    ctx.default_graph = "social_graph";
+    ctx.use_planner = true;
+    ctx.parallelism = parallelism;
+    ctx.morsel_size = 2;
+    Matcher matcher(ctx);
+    auto table = matcher.EvalMatchClause(match);
+    EXPECT_TRUE(table.ok()) << table.status().ToString();
+    std::vector<PathId> ids;
+    for (size_t r = 0; r < table->NumRows(); ++r) {
+      const Datum d = table->Get(r, "p");
+      if (d.kind() == Datum::Kind::kPath) ids.push_back(d.path().id);
+    }
+    return ids;
+  };
+
+  const std::vector<PathId> serial = ids_at(1);
+  ASSERT_FALSE(serial.empty());
+  for (size_t parallelism : {size_t{2}, size_t{8}}) {
+    EXPECT_EQ(ids_at(parallelism), serial) << "degree " << parallelism;
+  }
 }
 
 // A 4-chain join at degree 8 on 1-row morsels, repeated: the worker
