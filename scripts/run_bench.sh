@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Runs the recorded trajectory benches and writes the numbers the
 # acceptance criteria track (google-benchmark JSON format):
-#   BENCH_join_dedup.json     — fused join dedup vs the seed path
-#   BENCH_columnar_scan.json  — columnar Ω vs row-major storage
-# Extra arguments pass through to both bench binaries, e.g.
+#   BENCH_join_dedup.json      — fused join dedup vs the seed path
+#   BENCH_columnar_scan.json   — columnar Ω vs row-major storage
+#   BENCH_stats_ablation.json  — stats-driven cardinality vs seed constants
+# Extra arguments pass through to every bench binary, e.g.
 #   scripts/run_bench.sh --benchmark_filter='BM_ColumnarScan.*'
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build --target bench_join_dedup bench_columnar_scan -j
+cmake --build build --target bench_join_dedup bench_columnar_scan \
+  bench_baseline_ablation -j
 
 run_bench() {
   local binary="$1" out="$2"
@@ -25,3 +27,8 @@ run_bench() {
 
 run_bench bench_join_dedup BENCH_join_dedup.json "$@"
 run_bench bench_columnar_scan BENCH_columnar_scan.json "$@"
+# The stats filter comes last: google-benchmark honors the final
+# --benchmark_filter, so a user-passed filter cannot swap which
+# benchmarks land in BENCH_stats_ablation.json.
+run_bench bench_baseline_ablation BENCH_stats_ablation.json "$@" \
+  --benchmark_filter='BM_Stats.*'

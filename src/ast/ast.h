@@ -128,6 +128,10 @@ struct Query {
   /// EXPLAIN <query>: plan and print the optimized evaluation plan
   /// instead of executing. Only meaningful on the outermost query.
   bool explain = false;
+  /// EXPLAIN ANALYZE <query>: additionally *execute* the query and
+  /// annotate every plan operator with its actual output row count next
+  /// to the estimate. Implies `explain`.
+  bool explain_analyze = false;
 
   Query();
   ~Query();

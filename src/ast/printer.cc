@@ -137,7 +137,9 @@ std::string PrintGraphClause(const GraphClause& graph) {
 
 std::string PrintQuery(const Query& query) {
   std::string out;
-  if (query.explain) out += "EXPLAIN ";
+  if (query.explain) {
+    out += query.explain_analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ";
+  }
   for (const auto& p : query.path_clauses) {
     out += PrintPathClause(p) + " ";
   }

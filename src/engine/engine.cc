@@ -9,6 +9,7 @@
 #include "eval/constructor.h"
 #include "graph/graph_ops.h"
 #include "parser/parser.h"
+#include "plan/executor.h"
 #include "plan/explain.h"
 
 namespace gcore {
@@ -49,6 +50,7 @@ Matcher QueryEngine::MakeMatcher(Scope* scope) {
   ctx.use_planner = use_planner_;
   ctx.enable_pushdown = enable_pushdown_;
   ctx.reorder_joins = reorder_joins_;
+  ctx.use_column_stats = use_column_stats_;
   ctx.parallelism = parallelism_;
   ctx.morsel_size = morsel_size_;
   ctx.exists_cb = [this, scope](const Query& subquery,
@@ -67,9 +69,13 @@ Result<QueryResult> QueryEngine::Execute(const std::string& query_text) {
 Result<QueryResult> QueryEngine::Execute(const Query& query) {
   GCORE_RETURN_NOT_OK(ValidateQuery(query));
   Scope scope;
-  if (query.explain) return Explain(query, &scope);
-  auto result = ExecuteWithScope(query, &scope);
-  // Query-local GRAPH names do not outlive the query.
+  // Plain EXPLAIN never executes; EXPLAIN ANALYZE runs the query through
+  // an instrumented executor — like normal execution it may register
+  // query-local graphs, which must not outlive the query.
+  auto result = query.explain
+                    ? (query.explain_analyze ? ExplainAnalyze(query, &scope)
+                                             : Explain(query, &scope))
+                    : ExecuteWithScope(query, &scope);
   for (const auto& name : scope.local_graphs) {
     catalog_->DropGraph(name);
   }
@@ -90,6 +96,129 @@ Result<QueryResult> QueryEngine::Explain(const Query& query, Scope* scope) {
   QueryResult result;
   result.table = std::move(table);
   return result;
+}
+
+Result<QueryResult> QueryEngine::ExplainAnalyze(const Query& query,
+                                                Scope* scope) {
+  std::vector<std::string> lines;
+  for (const auto& path_clause : query.path_clauses) {
+    scope->pending_paths.push_back(&path_clause);
+    lines.push_back("PathView " + path_clause.name +
+                    " (materialized lazily on first reference)");
+  }
+  for (const auto& graph_clause : query.graph_clauses) {
+    // Head clauses execute for real — the body runs against their
+    // graphs — but only the body's binding pipeline is instrumented.
+    GCORE_RETURN_NOT_OK(EvalGraphClause(graph_clause, scope));
+    lines.push_back(std::string(graph_clause.is_view ? "GraphView "
+                                                     : "Graph ") +
+                    graph_clause.name + " AS (materialized)");
+  }
+  if (query.body != nullptr) {
+    // Same dispatch as ExecuteWithScope: a top-level SELECT is the one
+    // basic body allowed to produce a table; everything else evaluates
+    // as a graph body (set operations included, with their typing
+    // checks), so ANALYZE fails exactly where plain execution would.
+    if (query.body->kind == QueryBody::Kind::kBasic &&
+        query.body->basic->select.has_value()) {
+      GCORE_ASSIGN_OR_RETURN(QueryResult finished,
+                             AnalyzeBasic(*query.body->basic, scope,
+                                          &lines));
+      (void)finished;
+    } else {
+      GCORE_ASSIGN_OR_RETURN(PathPropertyGraph graph,
+                             AnalyzeGraphBody(*query.body, scope, &lines));
+      (void)graph;
+    }
+  }
+  Table table({"plan"});
+  for (auto& line : lines) {
+    Status st = table.AddRow({Value::String(std::move(line))});
+    (void)st;
+  }
+  QueryResult result;
+  result.table = std::move(table);
+  return result;
+}
+
+Result<PathPropertyGraph> QueryEngine::AnalyzeGraphBody(
+    const QueryBody& body, Scope* scope, std::vector<std::string>* lines) {
+  switch (body.kind) {
+    case QueryBody::Kind::kBasic: {
+      GCORE_ASSIGN_OR_RETURN(QueryResult r,
+                             AnalyzeBasic(*body.basic, scope, lines));
+      if (!r.graph.has_value()) {
+        return Status::BindError(
+            "SELECT queries cannot participate in graph set operations");
+      }
+      return std::move(*r.graph);
+    }
+    case QueryBody::Kind::kGraphRef: {
+      GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* g,
+                             catalog_->Lookup(body.graph_ref));
+      lines->push_back("Graph " + body.graph_ref);
+      return PathPropertyGraph(*g);
+    }
+    case QueryBody::Kind::kUnion:
+    case QueryBody::Kind::kIntersect:
+    case QueryBody::Kind::kMinus: {
+      const PlanOp op = body.kind == QueryBody::Kind::kUnion
+                            ? PlanOp::kGraphUnion
+                            : body.kind == QueryBody::Kind::kIntersect
+                                  ? PlanOp::kGraphIntersect
+                                  : PlanOp::kGraphMinus;
+      lines->push_back(PlanOpName(op));
+      std::vector<std::string> left_lines;
+      std::vector<std::string> right_lines;
+      GCORE_ASSIGN_OR_RETURN(PathPropertyGraph left,
+                             AnalyzeGraphBody(*body.left, scope,
+                                              &left_lines));
+      GCORE_ASSIGN_OR_RETURN(PathPropertyGraph right,
+                             AnalyzeGraphBody(*body.right, scope,
+                                              &right_lines));
+      AppendChildLines(left_lines, /*last=*/false, lines);
+      AppendChildLines(right_lines, /*last=*/true, lines);
+      switch (body.kind) {
+        case QueryBody::Kind::kUnion:
+          return GraphUnion(left, right);
+        case QueryBody::Kind::kIntersect:
+          return GraphIntersect(left, right);
+        default:
+          return GraphMinus(left, right);
+      }
+    }
+  }
+  return Status::EvaluationError("unhandled query body kind");
+}
+
+Result<QueryResult> QueryEngine::AnalyzeBasic(const BasicQuery& basic,
+                                              Scope* scope,
+                                              std::vector<std::string>* lines) {
+  lines->push_back(basic.select.has_value() ? "Select" : "Construct");
+  // The exact execution path, instrumented: EvalBindings prepares path
+  // views and ON-(subquery) locations as usual (so the plan runs against
+  // resolved graphs, unlike plain EXPLAIN) and, given the stats sink,
+  // runs the MATCH through the ExecStats-recording executor.
+  ExecStats stats;
+  PlanPtr plan;
+  GCORE_ASSIGN_OR_RETURN(BindingTable bindings,
+                         EvalBindings(basic, scope, &stats, &plan));
+  std::vector<std::string> sub;
+  if (plan != nullptr) {
+    stats.AnnotateActuals(plan.get());
+    sub = plan->RenderLines();
+  } else if (!basic.from_table.empty()) {
+    sub.push_back("TableScan " + basic.from_table + "  (actual_rows=" +
+                  std::to_string(bindings.NumRows()) + ")");
+  } else {
+    sub.push_back("Unit");
+  }
+  // The consuming tail runs too (EXPLAIN ANALYZE executes the whole
+  // query); only the binding pipeline is rendered.
+  GCORE_ASSIGN_OR_RETURN(QueryResult finished,
+                         FinishBasic(basic, std::move(bindings), scope));
+  AppendChildLines(sub, /*last=*/true, lines);
+  return finished;
 }
 
 Result<QueryResult> QueryEngine::ExecuteWithScope(const Query& query,
@@ -302,48 +431,63 @@ Result<PathViewRelation> QueryEngine::MaterializePathView(
   return relation;
 }
 
-Result<BindingTable> QueryEngine::EvalBindings(const BasicQuery& basic,
-                                               Scope* scope) {
+Status QueryEngine::MaterializeOnLocations(
+    const MatchClause& match, Scope* scope,
+    std::map<const GraphPattern*, std::string>* overrides) {
+  auto materialize_locations =
+      [&](const std::vector<GraphPattern>& patterns) -> Status {
+    for (const auto& p : patterns) {
+      if (p.on_subquery == nullptr) continue;
+      GCORE_ASSIGN_OR_RETURN(QueryResult sub,
+                             ([&]() -> Result<QueryResult> {
+                               return ExecuteWithScope(*p.on_subquery,
+                                                       scope);
+                             })());
+      if (!sub.graph.has_value()) {
+        return Status::BindError(
+            "ON (subquery) must produce a graph, not a table");
+      }
+      const std::string name =
+          "__location" + std::to_string(overrides->size());
+      catalog_->RegisterGraph(name, std::move(*sub.graph));
+      scope->local_graphs.push_back(name);
+      overrides->emplace(&p, name);
+    }
+    return Status::OK();
+  };
+  GCORE_RETURN_NOT_OK(materialize_locations(match.patterns));
+  for (const auto& block : match.optionals) {
+    GCORE_RETURN_NOT_OK(materialize_locations(block.patterns));
+  }
+  return Status::OK();
+}
+
+Result<BindingTable> QueryEngine::EvalBindings(
+    const BasicQuery& basic, Scope* scope, ExecStats* stats,
+    std::unique_ptr<PlanNode>* plan_out) {
   if (basic.match.has_value()) {
     GCORE_RETURN_NOT_OK(MaterializePathViewsFor(*basic.match, scope));
 
     // ON (subquery) locations: evaluate each to a temporary catalog graph
     // (Appendix A.2: ⟦α ON Q⟧_G = ⟦α⟧_{⟦Q⟧_G}).
     std::map<const GraphPattern*, std::string> overrides;
-    auto materialize_locations =
-        [&](const std::vector<GraphPattern>& patterns) -> Status {
-      for (const auto& p : patterns) {
-        if (p.on_subquery == nullptr) continue;
-        GCORE_ASSIGN_OR_RETURN(QueryResult sub,
-                               ([&]() -> Result<QueryResult> {
-                                 return ExecuteWithScope(*p.on_subquery,
-                                                         scope);
-                               })());
-        if (!sub.graph.has_value()) {
-          return Status::BindError(
-              "ON (subquery) must produce a graph, not a table");
-        }
-        const std::string name =
-            "__location" + std::to_string(overrides.size());
-        catalog_->RegisterGraph(name, std::move(*sub.graph));
-        scope->local_graphs.push_back(name);
-        overrides.emplace(&p, name);
-      }
-      return Status::OK();
-    };
-    GCORE_RETURN_NOT_OK(materialize_locations(basic.match->patterns));
-    for (const auto& block : basic.match->optionals) {
-      GCORE_RETURN_NOT_OK(materialize_locations(block.patterns));
-    }
+    GCORE_RETURN_NOT_OK(
+        MaterializeOnLocations(*basic.match, scope, &overrides));
 
+    auto eval = [&](Matcher* matcher) {
+      return stats != nullptr
+                 ? matcher->EvalMatchClauseAnalyzed(*basic.match, stats,
+                                                    plan_out)
+                 : matcher->EvalMatchClause(*basic.match);
+    };
     Matcher matcher = MakeMatcher(scope);
     if (!overrides.empty()) {
       MatcherContext ctx = matcher.context();
       ctx.location_overrides = &overrides;
       Matcher located(std::move(ctx));
-      return located.EvalMatchClause(*basic.match);
+      return eval(&located);
     }
-    return matcher.EvalMatchClause(*basic.match);
+    return eval(&matcher);
   }
   if (!basic.from_table.empty()) {
     GCORE_ASSIGN_OR_RETURN(const Table* table,
@@ -356,7 +500,12 @@ Result<BindingTable> QueryEngine::EvalBindings(const BasicQuery& basic,
 Result<QueryResult> QueryEngine::EvalBasic(const BasicQuery& basic,
                                            Scope* scope) {
   GCORE_ASSIGN_OR_RETURN(BindingTable bindings, EvalBindings(basic, scope));
+  return FinishBasic(basic, std::move(bindings), scope);
+}
 
+Result<QueryResult> QueryEngine::FinishBasic(const BasicQuery& basic,
+                                             BindingTable bindings,
+                                             Scope* scope) {
   QueryResult result;
   if (basic.select.has_value()) {
     const SelectClause& select = *basic.select;

@@ -15,6 +15,7 @@
 #ifndef GCORE_ENGINE_ENGINE_H_
 #define GCORE_ENGINE_ENGINE_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -59,6 +60,10 @@ class QueryEngine {
   void set_use_planner(bool on) { use_planner_ = on; }
   void set_enable_pushdown(bool on) { enable_pushdown_ = on; }
   void set_reorder_joins(bool on) { reorder_joins_ = on; }
+  /// Per-column statistics in the cardinality estimator (graph/stats.h);
+  /// off falls back to the seed's constant selectivities (the
+  /// stats-ablation bench mode).
+  void set_use_column_stats(bool on) { use_column_stats_ = on; }
   /// Morsel-parallel execution degree (0 = one worker per hardware
   /// thread, 1 = serial) and morsel granularity (0 = default; tests use
   /// tiny morsels to exercise multi-chunk execution on toy data).
@@ -80,7 +85,23 @@ class QueryEngine {
   Status EvalGraphClause(const GraphClause& clause, Scope* scope);
 
   /// Binding-producing part of a basic query (MATCH / FROM / unit).
-  Result<BindingTable> EvalBindings(const BasicQuery& basic, Scope* scope);
+  /// A non-null `stats` instruments the MATCH pipeline (EXPLAIN
+  /// ANALYZE): actual rows record per operator and the executed plan is
+  /// handed out through `plan_out` (null for FROM/unit bodies).
+  Result<BindingTable> EvalBindings(const BasicQuery& basic, Scope* scope,
+                                    ExecStats* stats = nullptr,
+                                    std::unique_ptr<PlanNode>* plan_out =
+                                        nullptr);
+  /// Consuming tail of a basic query: SELECT projection or CONSTRUCT
+  /// over already-computed bindings.
+  Result<QueryResult> FinishBasic(const BasicQuery& basic,
+                                  BindingTable bindings, Scope* scope);
+  /// Evaluates every ON (subquery) location of `match` to a temporary
+  /// catalog graph and records pattern → name in `overrides`
+  /// (Appendix A.2: ⟦α ON Q⟧_G = ⟦α⟧_{⟦Q⟧_G}).
+  Status MaterializeOnLocations(
+      const MatchClause& match, Scope* scope,
+      std::map<const GraphPattern*, std::string>* overrides);
 
   /// Materializes every pending PATH view (transitively) referenced by the
   /// match clause, against the graph its first referencing pattern runs
@@ -102,10 +123,28 @@ class QueryEngine {
   /// as a one-column table.
   Result<QueryResult> Explain(const Query& query, Scope* scope);
 
+  /// EXPLAIN ANALYZE: plans, *executes* through an ExecStats-instrumented
+  /// executor (head clauses run for real; the CONSTRUCT/SELECT tail and
+  /// graph set operations run too, results discarded — execution errors
+  /// surface exactly as they would without ANALYZE) and renders the plan
+  /// with actual_rows annotated next to every estimate. Always analyzes
+  /// the planner pipeline, regardless of set_use_planner.
+  Result<QueryResult> ExplainAnalyze(const Query& query, Scope* scope);
+  /// Instrumented mirror of EvalBody: renders into `lines` while
+  /// evaluating (set operations included, with EvalBody's graph-typing
+  /// checks).
+  Result<PathPropertyGraph> AnalyzeGraphBody(const QueryBody& body,
+                                             Scope* scope,
+                                             std::vector<std::string>* lines);
+  /// Instrumented mirror of EvalBasic; returns the finished result.
+  Result<QueryResult> AnalyzeBasic(const BasicQuery& basic, Scope* scope,
+                                   std::vector<std::string>* lines);
+
   GraphCatalog* catalog_;
   bool use_planner_ = true;
   bool enable_pushdown_ = true;
   bool reorder_joins_ = true;
+  bool use_column_stats_ = true;
   size_t parallelism_ = 0;
   size_t morsel_size_ = 0;
 };

@@ -639,11 +639,22 @@ Result<BindingTable> Matcher::EvalMatchClause(const MatchClause& match) {
   // Clause-level ON: when the patterns name exactly one distinct graph,
   // patterns without their own ON run on it too.
   clause_on_override_ = ClauseOnOverride(match);
-  if (ctx_.use_planner) return PlanAndRunMatchClause(match);
+  if (ctx_.use_planner) {
+    return PlanAndRunMatchClause(match, nullptr, nullptr);
+  }
   return LegacyEvalMatchClause(match);
 }
 
-Result<BindingTable> Matcher::PlanAndRunMatchClause(const MatchClause& match) {
+Result<BindingTable> Matcher::EvalMatchClauseAnalyzed(
+    const MatchClause& match, ExecStats* stats,
+    std::unique_ptr<PlanNode>* plan_out) {
+  clause_on_override_ = ClauseOnOverride(match);
+  return PlanAndRunMatchClause(match, stats, plan_out);
+}
+
+Result<BindingTable> Matcher::PlanAndRunMatchClause(
+    const MatchClause& match, ExecStats* stats,
+    std::unique_ptr<PlanNode>* plan_out) {
   // The legacy walk resolves the default graph up front and fails the
   // whole clause when none exists; keep that contract (differential
   // equivalence) even though scans resolve their own locations.
@@ -652,11 +663,16 @@ Result<BindingTable> Matcher::PlanAndRunMatchClause(const MatchClause& match) {
   (void)default_graph;
   Planner planner(this, PlannerOptions::FromContext(ctx_));
   GCORE_ASSIGN_OR_RETURN(PlanPtr plan, planner.PlanMatch(match));
+  // Execution itself skips estimation (the chain-ordering rule already
+  // estimated what it compared); EXPLAIN ANALYZE wants the annotations.
+  if (stats != nullptr) planner.AnnotateEstimates(plan.get());
   ExecContext exec;
   exec.parallelism = ctx_.parallelism;
   exec.morsel_size = ctx_.morsel_size;
-  Executor executor(this, exec);
-  return executor.Run(*plan);
+  Executor executor(this, exec, stats);
+  auto result = executor.Run(*plan);
+  if (plan_out != nullptr) *plan_out = std::move(plan);
+  return result;
 }
 
 Result<BindingTable> Matcher::LegacyEvalMatchClause(const MatchClause& match) {

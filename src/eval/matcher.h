@@ -30,6 +30,9 @@
 
 namespace gcore {
 
+class ExecStats;  // plan/executor.h
+struct PlanNode;  // plan/plan.h
+
 /// Everything a match evaluation needs from its surroundings.
 struct MatcherContext {
   GraphCatalog* catalog = nullptr;
@@ -49,6 +52,14 @@ struct MatcherContext {
   /// cardinality before joining (planner mode only; the legacy walk always
   /// joins in source order).
   bool reorder_joins = true;
+  /// Optimizer flag: derive selectivities from the per-column statistics
+  /// of graph/stats.h (1/distinct equality, min/max range interpolation,
+  /// measured expansion degrees, degree-aware join bounds). Off falls
+  /// back to the seed's constant-selectivity model — the stats-ablation
+  /// bench mode and the stats-absent plan-shape goldens. (The
+  /// multi-label double-count fix in LabelSelectivity is a bug fix, not
+  /// a statistic, and applies in both modes.)
+  bool use_column_stats = true;
   /// Evaluate through the logical-plan pipeline (default). Off = the
   /// pre-planner recursive tree-walk, kept for differential tests and
   /// as the executable spec of Appendix A.2.
@@ -87,6 +98,15 @@ class Matcher {
   /// dropped from the result. Plans + executes unless
   /// `ctx.use_planner = false`.
   Result<BindingTable> EvalMatchClause(const MatchClause& match);
+
+  /// EvalMatchClause through the instrumented planner pipeline (EXPLAIN
+  /// ANALYZE; always plans, regardless of ctx.use_planner): estimates
+  /// are annotated, every operator records its actual output rows into
+  /// `stats`, and the executed plan is handed out through `plan_out` for
+  /// rendering (it references the match AST and this matcher's context).
+  Result<BindingTable> EvalMatchClauseAnalyzed(
+      const MatchClause& match, ExecStats* stats,
+      std::unique_ptr<PlanNode>* plan_out);
 
   /// Joined evaluation of comma-separated patterns (no WHERE).
   Result<BindingTable> EvalPatterns(
@@ -165,7 +185,11 @@ class Matcher {
 
  private:
   Result<BindingTable> LegacyEvalMatchClause(const MatchClause& match);
-  Result<BindingTable> PlanAndRunMatchClause(const MatchClause& match);
+  /// The one authoritative plan-and-run sequence; `stats`/`plan_out` are
+  /// the (nullable) EXPLAIN ANALYZE hooks.
+  Result<BindingTable> PlanAndRunMatchClause(
+      const MatchClause& match, ExecStats* stats,
+      std::unique_ptr<PlanNode>* plan_out);
   Result<BindingTable> EvalChainInternal(const GraphPattern& pattern,
                                          ChainResult* detail);
 

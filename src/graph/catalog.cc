@@ -2,21 +2,17 @@
 
 namespace gcore {
 
-size_t GraphStats::NodesWithLabel(const std::string& label) const {
-  auto it = node_label_counts.find(label);
-  return it == node_label_counts.end() ? 0 : it->second;
-}
-
-size_t GraphStats::EdgesWithLabel(const std::string& label) const {
-  auto it = edge_label_counts.find(label);
-  return it == edge_label_counts.end() ? 0 : it->second;
-}
-
 void GraphCatalog::RegisterGraph(const std::string& name,
                                  PathPropertyGraph graph) {
   graph.set_name(name);
   graphs_.insert_or_assign(name, std::move(graph));
   stats_cache_.erase(name);
+}
+
+void GraphCatalog::RegisterGraph(const std::string& name,
+                                 PathPropertyGraph graph, GraphStats stats) {
+  RegisterGraph(name, std::move(graph));
+  stats_cache_.insert_or_assign(name, std::move(stats));
 }
 
 Result<const PathPropertyGraph*> GraphCatalog::Lookup(
@@ -44,22 +40,9 @@ Result<const GraphStats*> GraphCatalog::Stats(const std::string& name) {
   if (it == graphs_.end()) {
     return Status::NotFound("graph '" + name + "' is not in the catalog");
   }
-  const PathPropertyGraph& graph = it->second;
-  GraphStats stats;
-  stats.num_nodes = graph.NumNodes();
-  stats.num_edges = graph.NumEdges();
-  stats.num_paths = graph.NumPaths();
-  graph.ForEachNode([&](NodeId id) {
-    for (const auto& label : graph.Labels(id)) {
-      ++stats.node_label_counts[label];
-    }
-  });
-  graph.ForEachEdge([&](EdgeId id, NodeId, NodeId) {
-    for (const auto& label : graph.Labels(id)) {
-      ++stats.edge_label_counts[label];
-    }
-  });
-  return &stats_cache_.emplace(name, std::move(stats)).first->second;
+  return &stats_cache_
+              .emplace(name, GraphStats::Collect(it->second))
+              .first->second;
 }
 
 std::vector<std::string> GraphCatalog::GraphNames() const {

@@ -16,25 +16,10 @@
 
 #include "graph/graph_builder.h"
 #include "graph/ppg.h"
+#include "graph/stats.h"
 #include "snb/table.h"
 
 namespace gcore {
-
-/// Summary statistics of one catalog graph, used by the query planner's
-/// cardinality estimator (plan/cost.h). Computed lazily per graph and
-/// cached until the graph is re-registered or dropped.
-struct GraphStats {
-  size_t num_nodes = 0;
-  size_t num_edges = 0;
-  size_t num_paths = 0;
-  /// Number of nodes/edges carrying each label.
-  std::map<std::string, size_t> node_label_counts;
-  std::map<std::string, size_t> edge_label_counts;
-
-  /// Nodes carrying `label`; 0 when the label never occurs.
-  size_t NodesWithLabel(const std::string& label) const;
-  size_t EdgesWithLabel(const std::string& label) const;
-};
 
 class GraphCatalog {
  public:
@@ -42,6 +27,11 @@ class GraphCatalog {
 
   /// Registers (or replaces) a named graph.
   void RegisterGraph(const std::string& name, PathPropertyGraph graph);
+  /// Registers a graph together with precomputed statistics (e.g. a
+  /// GraphBuilder's incrementally collected GraphBuilder::Stats()),
+  /// seeding the cache Stats() reads so no collection scan runs later.
+  void RegisterGraph(const std::string& name, PathPropertyGraph graph,
+                     GraphStats stats);
 
   /// gr(gid). NotFound when unregistered.
   Result<const PathPropertyGraph*> Lookup(const std::string& name) const;
@@ -60,8 +50,13 @@ class GraphCatalog {
   Result<const Table*> LookupTable(const std::string& name) const;
   bool HasTable(const std::string& name) const;
 
-  /// Statistics of a registered graph, computed on first use and cached.
-  /// NotFound when the graph is unregistered.
+  /// Statistics of a registered graph (graph/stats.h), computed on first
+  /// use and cached until the graph is re-registered or dropped.
+  /// NotFound when the graph is unregistered. Collection is one linear
+  /// scan whose cost (including the per-key distinct-value sets) is
+  /// proportional to the graph's own label/property payload — for
+  /// query-local graphs (ON subqueries) that is a constant factor on
+  /// the materialization that just produced them.
   Result<const GraphStats*> Stats(const std::string& name);
 
   /// Session-wide identifier allocator shared by all graphs.

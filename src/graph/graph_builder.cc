@@ -31,6 +31,9 @@ NodeId GraphBuilder::AddNode(std::initializer_list<std::string> labels,
   const NodeId id = ids_->NextNode();
   graph_.AddNode(id);
   ApplyLabelsProps(id, labels, props);
+  if (collect_stats_) {
+    stats_.AddNode(graph_.Labels(id), graph_.Properties(id));
+  }
   return id;
 }
 
@@ -41,14 +44,30 @@ NodeId GraphBuilder::AddNodeWithId(uint64_t raw_id,
   const NodeId id(raw_id);
   graph_.AddNode(id);
   ApplyLabelsProps(id, labels, props);
+  if (collect_stats_) {
+    stats_.AddNode(graph_.Labels(id), graph_.Properties(id));
+  }
   return id;
 }
 
 void GraphBuilder::AddNodePropertyValue(NodeId node, const std::string& key,
                                         Value value) {
   ValueSet values = graph_.Property(node, key);
+  if (collect_stats_) {
+    stats_.AddNodePropertyValue(key, value, values.empty());
+  }
   values.Insert(std::move(value));
   graph_.SetProperty(node, key, std::move(values));
+}
+
+void GraphBuilder::AddEdgePropertyValue(EdgeId edge, const std::string& key,
+                                        Value value) {
+  ValueSet values = graph_.Property(edge, key);
+  if (collect_stats_) {
+    stats_.AddEdgePropertyValue(key, value, values.empty());
+  }
+  values.Insert(std::move(value));
+  graph_.SetProperty(edge, key, std::move(values));
 }
 
 EdgeId GraphBuilder::AddEdge(NodeId src, NodeId dst, const std::string& label,
@@ -59,6 +78,10 @@ EdgeId GraphBuilder::AddEdge(NodeId src, NodeId dst, const std::string& label,
   if (!label.empty()) graph_.AddLabel(id, label);
   for (const auto& p : props) {
     graph_.SetProperty(id, p.key, ValueSet(p.value));
+  }
+  if (collect_stats_) {
+    stats_.AddEdge(graph_.Labels(id), graph_.Properties(id),
+                   graph_.Labels(src), graph_.Labels(dst));
   }
   return id;
 }
@@ -73,6 +96,10 @@ EdgeId GraphBuilder::AddEdgeWithId(uint64_t raw_id, NodeId src, NodeId dst,
   if (!label.empty()) graph_.AddLabel(id, label);
   for (const auto& p : props) {
     graph_.SetProperty(id, p.key, ValueSet(p.value));
+  }
+  if (collect_stats_) {
+    stats_.AddEdge(graph_.Labels(id), graph_.Properties(id),
+                   graph_.Labels(src), graph_.Labels(dst));
   }
   return id;
 }
@@ -99,6 +126,7 @@ Result<PathId> GraphBuilder::AddPathWithId(
   for (const auto& p : props) {
     graph_.SetProperty(id, p.key, ValueSet(p.value));
   }
+  if (collect_stats_) stats_.AddPath();
   return id;
 }
 

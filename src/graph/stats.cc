@@ -1,0 +1,159 @@
+#include "graph/stats.h"
+
+namespace gcore {
+
+namespace {
+
+/// Buckets of one endpoint-label map an edge contributes to: every label
+/// the endpoint carries, plus the "" any-label bucket.
+void CountEdgeBuckets(
+    const LabelSet& endpoint_labels, const LabelSet& edge_labels,
+    std::map<std::string, std::map<std::string, size_t>>* counts) {
+  auto count_edge_labels = [&](const std::string& endpoint_label) {
+    auto& by_edge_label = (*counts)[endpoint_label];
+    ++by_edge_label[""];
+    for (const auto& edge_label : edge_labels) ++by_edge_label[edge_label];
+  };
+  count_edge_labels("");
+  for (const auto& label : endpoint_labels) count_edge_labels(label);
+}
+
+/// Folds one property value into `stats` (count/distinct handled by the
+/// caller, which owns the distinct-tracking sets).
+void FoldRange(PropertyStats* stats, const Value& value) {
+  if (!value.is_numeric()) return;
+  const double v = value.NumericAsDouble();
+  if (!stats->has_range) {
+    stats->has_range = true;
+    stats->min = v;
+    stats->max = v;
+    return;
+  }
+  if (v < stats->min) stats->min = v;
+  if (v > stats->max) stats->max = v;
+}
+
+void FoldPropertyValue(const std::string& key, const Value& value,
+                       bool is_new_key,
+                       std::map<std::string, PropertyStats>* props,
+                       std::map<std::string, std::set<Value>>* values) {
+  PropertyStats& stats = (*props)[key];
+  if (is_new_key) ++stats.count;
+  (*values)[key].insert(value);
+  FoldRange(&stats, value);
+}
+
+void FoldPropertyMap(const PropertyMap& map,
+                     std::map<std::string, PropertyStats>* props,
+                     std::map<std::string, std::set<Value>>* values) {
+  for (const auto& [key, value_set] : map.entries()) {
+    if (value_set.empty()) continue;
+    bool first = true;
+    for (const auto& value : value_set) {
+      FoldPropertyValue(key, value, first, props, values);
+      first = false;
+    }
+  }
+}
+
+void ResolveDistinct(const std::map<std::string, std::set<Value>>& values,
+                     std::map<std::string, PropertyStats>* props) {
+  for (const auto& [key, set] : values) {
+    (*props)[key].distinct = set.size();
+  }
+}
+
+double AvgDegree(
+    const std::map<std::string, std::map<std::string, size_t>>& counts,
+    const std::string& endpoint_label, const std::string& edge_label,
+    size_t endpoint_count) {
+  if (endpoint_count == 0) return 0.0;
+  auto by_endpoint = counts.find(endpoint_label);
+  if (by_endpoint == counts.end()) return 0.0;
+  auto by_edge = by_endpoint->second.find(edge_label);
+  if (by_edge == by_endpoint->second.end()) return 0.0;
+  return static_cast<double>(by_edge->second) /
+         static_cast<double>(endpoint_count);
+}
+
+}  // namespace
+
+size_t GraphStats::NodesWithLabel(const std::string& label) const {
+  auto it = node_label_counts.find(label);
+  return it == node_label_counts.end() ? 0 : it->second;
+}
+
+size_t GraphStats::EdgesWithLabel(const std::string& label) const {
+  auto it = edge_label_counts.find(label);
+  return it == edge_label_counts.end() ? 0 : it->second;
+}
+
+double GraphStats::AvgOutDegree(const std::string& src_label,
+                                const std::string& edge_label) const {
+  const size_t sources =
+      src_label.empty() ? num_nodes : NodesWithLabel(src_label);
+  return AvgDegree(out_edge_counts, src_label, edge_label, sources);
+}
+
+double GraphStats::AvgInDegree(const std::string& dst_label,
+                               const std::string& edge_label) const {
+  const size_t targets =
+      dst_label.empty() ? num_nodes : NodesWithLabel(dst_label);
+  return AvgDegree(in_edge_counts, dst_label, edge_label, targets);
+}
+
+GraphStats GraphStats::Collect(const PathPropertyGraph& graph) {
+  StatsCollector collector;
+  graph.ForEachNode([&](NodeId id) {
+    collector.AddNode(graph.Labels(id), graph.Properties(id));
+  });
+  graph.ForEachEdge([&](EdgeId id, NodeId src, NodeId dst) {
+    collector.AddEdge(graph.Labels(id), graph.Properties(id),
+                      graph.Labels(src), graph.Labels(dst));
+  });
+  graph.ForEachPath([&](PathId, const PathBody&) { collector.AddPath(); });
+  return collector.Finish();
+}
+
+void StatsCollector::AddNode(const LabelSet& labels,
+                             const PropertyMap& props) {
+  ++stats_.num_nodes;
+  for (const auto& label : labels) ++stats_.node_label_counts[label];
+  FoldPropertyMap(props, &stats_.node_props, &node_values_);
+}
+
+void StatsCollector::AddEdge(const LabelSet& edge_labels,
+                             const PropertyMap& props,
+                             const LabelSet& src_labels,
+                             const LabelSet& dst_labels) {
+  ++stats_.num_edges;
+  for (const auto& label : edge_labels) ++stats_.edge_label_counts[label];
+  FoldPropertyMap(props, &stats_.edge_props, &edge_values_);
+  CountEdgeBuckets(src_labels, edge_labels, &stats_.out_edge_counts);
+  CountEdgeBuckets(dst_labels, edge_labels, &stats_.in_edge_counts);
+}
+
+void StatsCollector::AddPath() { ++stats_.num_paths; }
+
+void StatsCollector::AddNodePropertyValue(const std::string& key,
+                                          const Value& value,
+                                          bool is_new_key) {
+  FoldPropertyValue(key, value, is_new_key, &stats_.node_props,
+                    &node_values_);
+}
+
+void StatsCollector::AddEdgePropertyValue(const std::string& key,
+                                          const Value& value,
+                                          bool is_new_key) {
+  FoldPropertyValue(key, value, is_new_key, &stats_.edge_props,
+                    &edge_values_);
+}
+
+GraphStats StatsCollector::Finish() const {
+  GraphStats stats = stats_;
+  ResolveDistinct(node_values_, &stats.node_props);
+  ResolveDistinct(edge_values_, &stats.edge_props);
+  return stats;
+}
+
+}  // namespace gcore

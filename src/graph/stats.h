@@ -1,0 +1,131 @@
+// Per-graph summary statistics for the query planner's cardinality
+// estimator (plan/cost.h).
+//
+// Beyond the object/label counts of the original seed, a GraphStats
+// carries per-property-key distributions (how many objects hold the key,
+// how many distinct values it takes, the numeric min/max) and measured
+// edge-degree histograms keyed by (endpoint label, edge label) — the
+// ingredients for the estimator's 1/distinct equality rule, min/max range
+// interpolation and degree-based expansion fanout. The columnar layout of
+// the Ω layer makes all of these one linear scan to collect.
+//
+// Two collection paths produce identical statistics:
+//   * GraphStats::Collect(graph) — one full scan; what GraphCatalog::Stats
+//     runs lazily (and caches) on first use.
+//   * StatsCollector — incremental accumulation as objects are added;
+//     GraphBuilder maintains one so builder-constructed graphs can be
+//     registered with their statistics precomputed
+//     (GraphCatalog::RegisterGraph(name, graph, stats)), skipping the scan.
+#ifndef GCORE_GRAPH_STATS_H_
+#define GCORE_GRAPH_STATS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "graph/ppg.h"
+
+namespace gcore {
+
+/// Distribution summary of one property key over one object class
+/// (nodes or edges) of a graph.
+struct PropertyStats {
+  /// Objects carrying the key (σ(x, k) non-empty).
+  size_t count = 0;
+  /// Distinct values observed across all carrying objects.
+  size_t distinct = 0;
+  /// True when at least one numeric value was seen; min/max below are
+  /// then the numeric range (non-numeric values do not contribute).
+  bool has_range = false;
+  double min = 0.0;
+  double max = 0.0;
+
+  friend bool operator==(const PropertyStats& a, const PropertyStats& b) {
+    return a.count == b.count && a.distinct == b.distinct &&
+           a.has_range == b.has_range && a.min == b.min && a.max == b.max;
+  }
+};
+
+/// Summary statistics of one catalog graph. Computed lazily per graph by
+/// GraphCatalog::Stats (cached until the graph is re-registered or
+/// dropped), or handed in precomputed by a StatsCollector.
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t num_paths = 0;
+  /// Number of nodes/edges carrying each label.
+  std::map<std::string, size_t> node_label_counts;
+  std::map<std::string, size_t> edge_label_counts;
+  /// Per-property-key distributions of node / edge properties.
+  std::map<std::string, PropertyStats> node_props;
+  std::map<std::string, PropertyStats> edge_props;
+  /// Edge counts keyed by [endpoint label][edge label]: out_edge_counts
+  /// buckets every edge under each label of its *source* node,
+  /// in_edge_counts under each label of its *target*. The empty string is
+  /// the "any" bucket on either key, so out_edge_counts[""][""] is
+  /// num_edges.
+  std::map<std::string, std::map<std::string, size_t>> out_edge_counts;
+  std::map<std::string, std::map<std::string, size_t>> in_edge_counts;
+
+  /// Nodes carrying `label`; 0 when the label never occurs.
+  size_t NodesWithLabel(const std::string& label) const;
+  size_t EdgesWithLabel(const std::string& label) const;
+
+  /// Measured average out-degree: edges labeled `edge_label` leaving
+  /// nodes labeled `src_label`, divided by the count of such nodes.
+  /// Empty src_label averages over all nodes; empty edge_label counts
+  /// edges of any label. 0 when the label combination never occurs.
+  double AvgOutDegree(const std::string& src_label,
+                      const std::string& edge_label) const;
+  /// Average in-degree, keyed by the *target* node's label.
+  double AvgInDegree(const std::string& dst_label,
+                     const std::string& edge_label) const;
+
+  /// Full-scan collection (the lazy GraphCatalog::Stats path).
+  static GraphStats Collect(const PathPropertyGraph& graph);
+
+  friend bool operator==(const GraphStats& a, const GraphStats& b) {
+    return a.num_nodes == b.num_nodes && a.num_edges == b.num_edges &&
+           a.num_paths == b.num_paths &&
+           a.node_label_counts == b.node_label_counts &&
+           a.edge_label_counts == b.edge_label_counts &&
+           a.node_props == b.node_props && a.edge_props == b.edge_props &&
+           a.out_edge_counts == b.out_edge_counts &&
+           a.in_edge_counts == b.in_edge_counts;
+  }
+};
+
+/// Incremental statistics accumulator: feed it every object as it is
+/// added (GraphBuilder does this for its construction API) and Finish()
+/// yields the same GraphStats a full Collect() scan would produce.
+/// Distinct-value tracking keeps one value set per property key until
+/// Finish, so the collector costs what the graph's property data costs.
+class StatsCollector {
+ public:
+  void AddNode(const LabelSet& labels, const PropertyMap& props);
+  /// `src_labels`/`dst_labels` are the endpoint labels at insertion time;
+  /// GraphBuilder adds edges after their endpoints are fully labeled.
+  void AddEdge(const LabelSet& edge_labels, const PropertyMap& props,
+               const LabelSet& src_labels, const LabelSet& dst_labels);
+  void AddPath();
+  /// One value appended to a node/edge property; `is_new_key` is true
+  /// when the object held no value for `key` before.
+  void AddNodePropertyValue(const std::string& key, const Value& value,
+                            bool is_new_key);
+  void AddEdgePropertyValue(const std::string& key, const Value& value,
+                            bool is_new_key);
+
+  /// Snapshot of the accumulated statistics (distinct counts resolved).
+  GraphStats Finish() const;
+
+ private:
+  GraphStats stats_;
+  std::map<std::string, std::set<Value>> node_values_;
+  std::map<std::string, std::set<Value>> edge_values_;
+};
+
+}  // namespace gcore
+
+#endif  // GCORE_GRAPH_STATS_H_

@@ -14,18 +14,29 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<std::unique_ptr<Query>> ParseFullQuery() {
-    // EXPLAIN is a *contextual* keyword: recognized only as the first
-    // word of the outermost query and only when a query follows, so
-    // `explain` stays usable as an identifier (graph names, variables,
-    // property keys) everywhere else.
+    // EXPLAIN (ANALYZE) is a *contextual* keyword pair: recognized only
+    // as the first word(s) of the outermost query and only when a query
+    // follows, so `explain` and `analyze` stay usable as identifiers
+    // (graph names, variables, property keys) everywhere else — note the
+    // bare-identifier query body makes `EXPLAIN analyze` (no trailing
+    // query) an EXPLAIN of the graph named "analyze".
     bool explain = false;
-    if (Check(TokenType::kIdentifier) && IsKeywordText(Peek(), "EXPLAIN") &&
-        StartsQuery(Peek(1))) {
-      Advance();
-      explain = true;
+    bool analyze = false;
+    if (Check(TokenType::kIdentifier) && IsKeywordText(Peek(), "EXPLAIN")) {
+      if (Check(TokenType::kIdentifier, 1) &&
+          IsKeywordText(Peek(1), "ANALYZE") && StartsQuery(Peek(2))) {
+        Advance();
+        Advance();
+        explain = true;
+        analyze = true;
+      } else if (StartsQuery(Peek(1))) {
+        Advance();
+        explain = true;
+      }
     }
     GCORE_ASSIGN_OR_RETURN(auto query, ParseQueryInner());
     query->explain = explain;
+    query->explain_analyze = analyze;
     GCORE_RETURN_NOT_OK(Expect(TokenType::kEof));
     return query;
   }

@@ -1,6 +1,7 @@
 #include "plan/cost.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "ast/pattern.h"
 
@@ -8,13 +9,117 @@ namespace gcore {
 
 namespace {
 
-/// Heuristic selectivities: a literal property filter in a pattern is
-/// assumed more selective than a pushed-down general predicate.
+/// Seed-model constant selectivities: the fallbacks whenever the
+/// statistic a rule needs is missing (unknown property key, no numeric
+/// range) and the whole model when `use_column_stats` is off.
 constexpr double kPropFilterSelectivity = 0.1;
 constexpr double kPushedPredicateSelectivity = 0.25;
 constexpr double kResidualFilterSelectivity = 0.25;
 
-double PropSelectivity(const std::vector<PropPattern>& props) {
+/// One pushed conjunct decomposed into `x.k ⊙ literal` when it has that
+/// shape (either operand order); kind kOther for everything else.
+struct PredicateShape {
+  enum class Kind { kOther, kEquality, kRange };
+  Kind kind = Kind::kOther;
+  std::string var;
+  std::string key;
+  /// Range only: the comparison rewritten as `x.k op literal`.
+  BinaryOp op{};
+  Value literal;
+};
+
+PredicateShape ClassifyPredicate(const Expr& expr) {
+  PredicateShape shape;
+  if (expr.kind != Expr::Kind::kBinary || expr.args.size() != 2) return shape;
+  const Expr* lhs = expr.args[0].get();
+  const Expr* rhs = expr.args[1].get();
+  const Expr* prop = nullptr;
+  const Expr* literal = nullptr;
+  bool flipped = false;
+  if (lhs->kind == Expr::Kind::kProperty &&
+      rhs->kind == Expr::Kind::kLiteral) {
+    prop = lhs;
+    literal = rhs;
+  } else if (rhs->kind == Expr::Kind::kProperty &&
+             lhs->kind == Expr::Kind::kLiteral) {
+    prop = rhs;
+    literal = lhs;
+    flipped = true;
+  } else {
+    return shape;
+  }
+  switch (expr.binary_op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kIn:  // literal IN x.k / x.k IN set: one value of k
+      shape.kind = PredicateShape::Kind::kEquality;
+      break;
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      shape.kind = PredicateShape::Kind::kRange;
+      BinaryOp op = expr.binary_op;
+      if (flipped) {
+        // `c < x.k` is `x.k > c`, etc.
+        switch (op) {
+          case BinaryOp::kLt: op = BinaryOp::kGt; break;
+          case BinaryOp::kLe: op = BinaryOp::kGe; break;
+          case BinaryOp::kGt: op = BinaryOp::kLt; break;
+          case BinaryOp::kGe: op = BinaryOp::kLe; break;
+          default: break;
+        }
+      }
+      shape.op = op;
+      break;
+    }
+    default:
+      return shape;
+  }
+  shape.var = prop->var;
+  shape.key = prop->key;
+  shape.literal = literal->value;
+  return shape;
+}
+
+/// Fraction of objects with `stats.count` carriers of a key (out of
+/// `total` objects) expected to satisfy `k = <one value>`: carrying
+/// fraction × uniform 1/distinct.
+double EqualitySelectivity(const PropertyStats& stats, size_t total) {
+  if (total == 0 || stats.distinct == 0) return 0.0;
+  const double carrying =
+      static_cast<double>(stats.count) / static_cast<double>(total);
+  return carrying / static_cast<double>(stats.distinct);
+}
+
+/// Min/max interpolation of `x.k op c` into the measured numeric range;
+/// negative when the range cannot answer (non-numeric, degenerate span).
+double RangeSelectivity(const PropertyStats& stats, size_t total,
+                        BinaryOp op, const Value& literal) {
+  if (!stats.has_range || !literal.is_numeric() || total == 0) return -1.0;
+  const double span = stats.max - stats.min;
+  if (span <= 0.0) return -1.0;
+  const double c = literal.NumericAsDouble();
+  double fraction;
+  switch (op) {
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+      fraction = (c - stats.min) / span;
+      break;
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      fraction = (stats.max - c) / span;
+      break;
+    default:
+      return -1.0;
+  }
+  fraction = std::min(1.0, std::max(0.0, fraction));
+  const double carrying =
+      static_cast<double>(stats.count) / static_cast<double>(total);
+  return fraction * carrying;
+}
+
+/// Seed-model property-filter selectivity (constants only).
+double ConstantPropSelectivity(const std::vector<PropPattern>& props) {
   double s = 1.0;
   for (const auto& p : props) {
     if (p.mode == PropPattern::Mode::kFilter) s *= kPropFilterSelectivity;
@@ -22,7 +127,8 @@ double PropSelectivity(const std::vector<PropPattern>& props) {
   return s;
 }
 
-double PushedSelectivity(const PlanNode& node) {
+/// Seed-model pushed-predicate selectivity (constants only).
+double ConstantPushedSelectivity(const PlanNode& node) {
   double s = 1.0;
   for (size_t i = 0; i < node.pushed.size(); ++i) {
     s *= kPushedPredicateSelectivity;
@@ -30,11 +136,60 @@ double PushedSelectivity(const PlanNode& node) {
   return s;
 }
 
+/// Splits an AND tree into its conjuncts.
+void SplitConjuncts(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind == Expr::Kind::kBinary &&
+      expr.binary_op == BinaryOp::kAnd) {
+    SplitConjuncts(*expr.args[0], out);
+    SplitConjuncts(*expr.args[1], out);
+    return;
+  }
+  out->push_back(&expr);
+}
+
+/// True when `expr` (a conjunct of a residual WHERE) also appears in a
+/// pushed list below `node` — the pushdown rule shares the Expr nodes, so
+/// pointer identity suffices.
+bool IsPushedBelow(const PlanNode& node, const Expr* expr) {
+  for (const Expr* pushed : node.pushed) {
+    if (pushed == expr) return true;
+  }
+  for (const auto& child : node.children) {
+    if (IsPushedBelow(*child, expr)) return true;
+  }
+  return false;
+}
+
+/// The operator of `node`'s subtree that binds `var`, or null.
+const PlanNode* FindBinder(const PlanNode& node, const std::string& var) {
+  switch (node.op) {
+    case PlanOp::kNodeScan:
+      if (node.var == var) return &node;
+      break;
+    case PlanOp::kExpandEdge:
+      if (node.to_var == var || node.edge_var == var) return &node;
+      break;
+    case PlanOp::kPathSearch:
+      if (node.to_var == var || node.path_var == var) return &node;
+      break;
+    default:
+      break;
+  }
+  for (const auto& child : node.children) {
+    const PlanNode* binder = FindBinder(*child, var);
+    if (binder != nullptr) return binder;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 CardinalityEstimator::CardinalityEstimator(GraphCatalog* catalog,
-                                           std::string default_graph)
-    : catalog_(catalog), default_graph_(std::move(default_graph)) {}
+                                           std::string default_graph,
+                                           bool use_column_stats)
+    : catalog_(catalog),
+      default_graph_(std::move(default_graph)),
+      use_column_stats_(use_column_stats) {}
 
 const GraphStats* CardinalityEstimator::StatsFor(
     const std::string& location) {
@@ -50,16 +205,247 @@ double CardinalityEstimator::LabelSelectivity(
   if (total == 0) return 0.0;
   double selectivity = 1.0;
   for (const auto& group : groups) {
-    size_t group_count = 0;
+    // A group is a disjunction: combine the per-label fractions with the
+    // independence union 1 - Π(1 - fᵢ). Summing raw counts (the seed
+    // formula) double-counts multi-label objects and saturates the
+    // pre-clamp value past 1.
+    double none_match = 1.0;
     for (const auto& label : group) {
       auto it = label_counts.find(label);
-      if (it != label_counts.end()) group_count += it->second;
+      const size_t count = it != label_counts.end() ? it->second : 0;
+      const double fraction =
+          std::min(1.0, static_cast<double>(count) /
+                            static_cast<double>(total));
+      none_match *= 1.0 - fraction;
     }
-    selectivity *=
-        std::min(1.0, static_cast<double>(group_count) /
-                          static_cast<double>(total));
+    selectivity *= 1.0 - none_match;
   }
   return selectivity;
+}
+
+double CardinalityEstimator::PropSelectivity(
+    const std::vector<PropPattern>& props, const GraphStats* stats,
+    bool edge_props) const {
+  if (!use_column_stats_ || stats == nullptr) {
+    return ConstantPropSelectivity(props);
+  }
+  const auto& prop_stats = edge_props ? stats->edge_props : stats->node_props;
+  const size_t total = edge_props ? stats->num_edges : stats->num_nodes;
+  double s = 1.0;
+  for (const auto& p : props) {
+    if (p.mode != PropPattern::Mode::kFilter) continue;
+    auto it = prop_stats.find(p.key);
+    if (it != prop_stats.end() && it->second.distinct > 0) {
+      s *= EqualitySelectivity(it->second, total);
+    } else {
+      s *= kPropFilterSelectivity;
+    }
+  }
+  return s;
+}
+
+double CardinalityEstimator::PushedSelectivity(
+    const PlanNode& node, const GraphStats* stats,
+    const std::string& node_var, const std::string& edge_var) const {
+  if (!use_column_stats_ || stats == nullptr) {
+    return ConstantPushedSelectivity(node);
+  }
+  double s = 1.0;
+  for (const Expr* expr : node.pushed) {
+    double conjunct = -1.0;
+    const PredicateShape shape = ClassifyPredicate(*expr);
+    if (shape.kind != PredicateShape::Kind::kOther &&
+        (shape.var == node_var || shape.var == edge_var)) {
+      const bool on_edge = !edge_var.empty() && shape.var == edge_var;
+      const auto& prop_stats =
+          on_edge ? stats->edge_props : stats->node_props;
+      const size_t total = on_edge ? stats->num_edges : stats->num_nodes;
+      auto it = prop_stats.find(shape.key);
+      if (it != prop_stats.end()) {
+        conjunct = shape.kind == PredicateShape::Kind::kEquality
+                       ? EqualitySelectivity(it->second, total)
+                       : RangeSelectivity(it->second, total, shape.op,
+                                          shape.literal);
+      }
+    }
+    s *= conjunct >= 0.0 ? conjunct : kPushedPredicateSelectivity;
+  }
+  return s;
+}
+
+double CardinalityEstimator::EstimateScan(const PlanNode& node) {
+  const GraphStats* stats = StatsFor(node.graph);
+  if (stats == nullptr) return -1.0;
+  return static_cast<double>(stats->num_nodes) *
+         LabelSelectivity(node.node->label_groups, stats->node_label_counts,
+                          stats->num_nodes) *
+         PropSelectivity(node.node->props, stats, /*edge_props=*/false) *
+         PushedSelectivity(node, stats, node.var, "");
+}
+
+double CardinalityEstimator::EstimateExpand(const PlanNode& node,
+                                            double child_est) {
+  const GraphStats* stats = StatsFor(node.graph);
+  if (stats == nullptr || child_est < 0.0) return -1.0;
+
+  double fanout;
+  if (use_column_stats_) {
+    // Measured average degree of the (source label, edge label) pair.
+    // The source anchor is the most selective single-label group of the
+    // pattern element binding from_var (a disjunctive group does not pin
+    // one label); "" anchors on all nodes.
+    std::string src_label;
+    {
+      const PlanNode* binder = FindBinder(*node.children[0], node.from_var);
+      const NodePattern* from_pattern =
+          binder == nullptr ? nullptr
+          : binder->op == PlanOp::kNodeScan ? binder->node
+                                            : binder->to;
+      if (from_pattern != nullptr) {
+        size_t best = std::numeric_limits<size_t>::max();
+        for (const auto& group : from_pattern->label_groups) {
+          if (group.size() != 1) continue;
+          const size_t count = stats->NodesWithLabel(group[0]);
+          if (count < best) {
+            best = count;
+            src_label = group[0];
+          }
+        }
+      }
+    }
+    const EdgePattern::Direction direction = node.edge->direction;
+    auto degree_of = [&](const std::string& edge_label) {
+      switch (direction) {
+        case EdgePattern::Direction::kRight:
+          return stats->AvgOutDegree(src_label, edge_label);
+        case EdgePattern::Direction::kLeft:
+          return stats->AvgInDegree(src_label, edge_label);
+        case EdgePattern::Direction::kUndirected:
+          return stats->AvgOutDegree(src_label, edge_label) +
+                 stats->AvgInDegree(src_label, edge_label);
+      }
+      return 0.0;
+    };
+    if (node.edge->label_groups.empty()) {
+      fanout = degree_of("");
+    } else {
+      // Conjunction of disjunctions: a disjunctive group's degree is the
+      // sum of its labels' degrees (an upper bound); the conjunction
+      // takes the most selective group.
+      fanout = std::numeric_limits<double>::infinity();
+      for (const auto& group : node.edge->label_groups) {
+        double group_degree = 0.0;
+        for (const auto& label : group) group_degree += degree_of(label);
+        fanout = std::min(fanout, group_degree);
+      }
+    }
+  } else {
+    // Seed model: global edge count scaled by label frequency over the
+    // global node count.
+    double edges = static_cast<double>(stats->num_edges) *
+                   LabelSelectivity(node.edge->label_groups,
+                                    stats->edge_label_counts,
+                                    stats->num_edges);
+    if (node.edge->direction == EdgePattern::Direction::kUndirected) {
+      edges *= 2.0;
+    }
+    fanout = edges /
+             std::max<double>(1.0, static_cast<double>(stats->num_nodes));
+  }
+
+  return child_est * fanout *
+         LabelSelectivity(node.to->label_groups, stats->node_label_counts,
+                          stats->num_nodes) *
+         PropSelectivity(node.to->props, stats, /*edge_props=*/false) *
+         PropSelectivity(node.edge->props, stats, /*edge_props=*/true) *
+         PushedSelectivity(node, stats, node.to_var, node.edge_var);
+}
+
+double CardinalityEstimator::EstimatePathSearch(const PlanNode& node,
+                                                double child_est) {
+  const GraphStats* stats = StatsFor(node.graph);
+  if (stats == nullptr || child_est < 0.0) return -1.0;
+  double per_source;
+  if (node.path->mode == PathPattern::Mode::kStoredMatch) {
+    per_source = static_cast<double>(stats->num_paths);
+  } else {
+    // Reachability-style searches can touch most of the graph.
+    per_source = static_cast<double>(stats->num_nodes) *
+                 LabelSelectivity(node.to->label_groups,
+                                  stats->node_label_counts,
+                                  stats->num_nodes);
+    if (node.path->mode == PathPattern::Mode::kShortest) {
+      per_source *= static_cast<double>(std::max<int64_t>(1, node.path->k));
+    }
+  }
+  return child_est * std::max(1.0, per_source) *
+         PropSelectivity(node.to->props, stats, /*edge_props=*/false) *
+         PushedSelectivity(node, stats, node.to_var, "");
+}
+
+double CardinalityEstimator::EstimateJoin(const PlanNode& node) {
+  const double left = node.children[0]->est_rows;
+  const double right = node.children[1]->est_rows;
+  if (left < 0.0 || right < 0.0) return -1.0;
+  if (!node.join_correlated) return left * right;
+  const double cross = left * right;
+
+  if (use_column_stats_) {
+    // Degree-aware bound: per shared key v, each side holds at most
+    // V(v) = min(side rows, domain(v)) distinct keys, so matches per key
+    // on the denser side average side/V — the join is bounded by
+    // |L|·|R| / Π max(V_L, V_R). Falls back to the seed's max-of-inputs
+    // guess when no shared key has a measurable domain.
+    auto domain_of = [&](const PlanNode& side,
+                         const std::string& var) -> double {
+      const PlanNode* binder = FindBinder(side, var);
+      if (binder == nullptr) return -1.0;
+      const GraphStats* stats = StatsFor(binder->graph);
+      if (stats == nullptr) return -1.0;
+      switch (binder->op) {
+        case PlanOp::kNodeScan:
+          return static_cast<double>(stats->num_nodes) *
+                 LabelSelectivity(binder->node->label_groups,
+                                  stats->node_label_counts,
+                                  stats->num_nodes);
+        case PlanOp::kExpandEdge:
+          if (var == binder->edge_var) {
+            return static_cast<double>(stats->num_edges) *
+                   LabelSelectivity(binder->edge->label_groups,
+                                    stats->edge_label_counts,
+                                    stats->num_edges);
+          }
+          return static_cast<double>(stats->num_nodes) *
+                 LabelSelectivity(binder->to->label_groups,
+                                  stats->node_label_counts,
+                                  stats->num_nodes);
+        case PlanOp::kPathSearch:
+          if (var == binder->path_var) return -1.0;  // fresh path ids
+          return static_cast<double>(stats->num_nodes) *
+                 LabelSelectivity(binder->to->label_groups,
+                                  stats->node_label_counts,
+                                  stats->num_nodes);
+        default:
+          return -1.0;
+      }
+    };
+    double est = cross;
+    bool any_domain = false;
+    for (const auto& var : node.join_vars) {
+      const double dl = domain_of(*node.children[0], var);
+      const double dr = domain_of(*node.children[1], var);
+      if (dl < 0.0 && dr < 0.0) continue;
+      any_domain = true;
+      const double vl = dl < 0.0 ? left : std::min(left, dl);
+      const double vr = dr < 0.0 ? right : std::min(right, dr);
+      est /= std::max(1.0, std::max(vl, vr));
+    }
+    if (any_domain) return std::min(est, cross);
+  }
+
+  // Correlated chains, no usable key domain: assume the join keys are
+  // close to keys of the larger side.
+  return std::max(left, right);
 }
 
 double CardinalityEstimator::Annotate(PlanNode* node) {
@@ -70,72 +456,38 @@ double CardinalityEstimator::Annotate(PlanNode* node) {
   // A single-child operator uses its child's estimate; joins re-read both.
   double est = -1.0;
   switch (node->op) {
-    case PlanOp::kNodeScan: {
-      const GraphStats* stats = StatsFor(node->graph);
-      if (stats != nullptr) {
-        est = static_cast<double>(stats->num_nodes) *
-              LabelSelectivity(node->node->label_groups,
-                               stats->node_label_counts, stats->num_nodes) *
-              PropSelectivity(node->node->props) * PushedSelectivity(*node);
-      }
+    case PlanOp::kNodeScan:
+      est = EstimateScan(*node);
       break;
-    }
-    case PlanOp::kExpandEdge: {
-      const GraphStats* stats = StatsFor(node->graph);
-      if (stats != nullptr && child_est >= 0.0) {
-        // Average fanout of a conforming edge times the target node's
-        // admission selectivity.
-        double edges = static_cast<double>(stats->num_edges) *
-                       LabelSelectivity(node->edge->label_groups,
-                                        stats->edge_label_counts,
-                                        stats->num_edges);
-        if (node->edge->direction == EdgePattern::Direction::kUndirected) {
-          edges *= 2.0;
-        }
-        const double fanout =
-            edges / std::max<double>(1.0, static_cast<double>(stats->num_nodes));
-        est = child_est * fanout *
-              LabelSelectivity(node->to->label_groups,
-                               stats->node_label_counts, stats->num_nodes) *
-              PropSelectivity(node->to->props) *
-              PropSelectivity(node->edge->props) * PushedSelectivity(*node);
-      }
+    case PlanOp::kExpandEdge:
+      est = EstimateExpand(*node, child_est);
       break;
-    }
-    case PlanOp::kPathSearch: {
-      const GraphStats* stats = StatsFor(node->graph);
-      if (stats != nullptr && child_est >= 0.0) {
-        double per_source;
-        if (node->path->mode == PathPattern::Mode::kStoredMatch) {
-          per_source = static_cast<double>(stats->num_paths);
-        } else {
-          // Reachability-style searches can touch most of the graph.
-          per_source = static_cast<double>(stats->num_nodes) *
-                       LabelSelectivity(node->to->label_groups,
-                                        stats->node_label_counts,
-                                        stats->num_nodes);
-          if (node->path->mode == PathPattern::Mode::kShortest) {
-            per_source *= static_cast<double>(std::max<int64_t>(1, node->path->k));
-          }
-        }
-        est = child_est * std::max(1.0, per_source) *
-              PropSelectivity(node->to->props) * PushedSelectivity(*node);
-      }
+    case PlanOp::kPathSearch:
+      est = EstimatePathSearch(*node, child_est);
       break;
-    }
     case PlanOp::kFilter:
-      if (child_est >= 0.0) est = child_est * kResidualFilterSelectivity;
-      break;
-    case PlanOp::kHashJoin: {
-      const double left = node->children[0]->est_rows;
-      const double right = node->children[1]->est_rows;
-      if (left >= 0.0 && right >= 0.0) {
-        // Correlated chains: assume the join keys are close to keys of
-        // the larger side; independent chains: cross product.
-        est = node->join_correlated ? std::max(left, right) : left * right;
+      if (child_est >= 0.0) {
+        if (use_column_stats_) {
+          // The residual WHERE re-checks conjuncts the pushdown rule
+          // already applied inside the subtree; those filter nothing
+          // further. Only genuinely residual conjuncts charge the
+          // constant.
+          std::vector<const Expr*> conjuncts;
+          SplitConjuncts(*node->predicate, &conjuncts);
+          est = child_est;
+          for (const Expr* conjunct : conjuncts) {
+            if (!IsPushedBelow(*node->children[0], conjunct)) {
+              est *= kResidualFilterSelectivity;
+            }
+          }
+        } else {
+          est = child_est * kResidualFilterSelectivity;
+        }
       }
       break;
-    }
+    case PlanOp::kHashJoin:
+      est = EstimateJoin(*node);
+      break;
     case PlanOp::kLeftOuterJoin:
       // Every left row survives at least once.
       est = node->children[0]->est_rows;

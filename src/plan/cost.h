@@ -1,16 +1,43 @@
-// Cardinality estimation over GraphCatalog statistics.
+// Cardinality estimation over GraphCatalog statistics (graph/stats.h).
 //
-// Estimates are coarse, heuristic row counts whose only job is to rank
-// alternatives (the planner orders independent pattern chains smallest-
-// first); they are not used for admission or limits. Unknown inputs —
-// unregistered graphs, ON-subquery locations, table-as-graph names —
-// degrade to "unknown" (negative), which disables ordering decisions that
-// would depend on them. The FD-aware join bounds of Abo Khamis et al.
-// (PAPERS.md) are the natural upgrade path for the join formula.
+// Estimates are heuristic row counts whose job is to rank alternatives
+// (the planner orders independent pattern chains smallest-first); they
+// are not used for admission or limits. Unknown inputs — unregistered
+// graphs, ON-subquery locations, table-as-graph names — degrade to
+// "unknown" (negative), which disables ordering decisions that would
+// depend on them.
+//
+// The statistics block of a graph drives four estimator rules:
+//   * Equality — `x.k = literal` (a pattern `{k = v}` filter or a pushed
+//     WHERE conjunct) selects carrying-fraction × 1/distinct(k).
+//   * Range — `x.k < c` (and <=, >, >=) interpolates c into the measured
+//     numeric [min, max] of k.
+//   * Expansion — an edge hop multiplies by the measured average degree
+//     of the (source label, edge label) pair, directional (out-degree
+//     for `-[]->`, in-degree for `<-[]-`, their sum undirected).
+//   * Join — a correlated HashJoin is bounded by |L|·|R| / Π max(V_L(v),
+//     V_R(v)) over the shared variables v, where V(v) is the side's
+//     distinct-key estimate (min of side cardinality and the key's label-
+//     restricted domain) — i.e. the smaller side times the larger side's
+//     average key degree, instead of the old max-of-inputs guess.
+// Each rule falls back to the seed's constant selectivities when the
+// statistic it needs is absent (unknown property key, no numeric range,
+// label never measured), and the whole subsystem degrades to the label-
+// count-only model when `use_column_stats` is off (the bench ablation and
+// the stats-absent plan-shape goldens) — except LabelSelectivity's
+// multi-label double-count fix, which is unconditional. The FD-aware
+// bounds of Abo Khamis et al. (PAPERS.md) are the natural upgrade path
+// for the join formula.
+//
+// EXPLAIN renders est_rows per operator; EXPLAIN ANALYZE additionally
+// runs the query and prints actual_rows next to every estimate
+// (plan/executor.h ExecStats), which is what the estimator-accuracy test
+// suite asserts q-error bounds against.
 #ifndef GCORE_PLAN_COST_H_
 #define GCORE_PLAN_COST_H_
 
 #include <string>
+#include <vector>
 
 #include "graph/catalog.h"
 #include "plan/plan.h"
@@ -21,24 +48,47 @@ class CardinalityEstimator {
  public:
   /// `default_graph` names the graph used by operators whose location is
   /// empty (the clause-level/default ON resolution result).
-  CardinalityEstimator(GraphCatalog* catalog, std::string default_graph);
+  /// `use_column_stats` gates the per-column rules above; off reproduces
+  /// the seed's constant-selectivity model over label counts alone.
+  CardinalityEstimator(GraphCatalog* catalog, std::string default_graph,
+                       bool use_column_stats = true);
 
   /// Annotates `node` and its subtree with estimated output rows
   /// (PlanNode::est_rows); returns the root estimate, negative when
   /// unknown.
   double Annotate(PlanNode* node);
 
- private:
-  const GraphStats* StatsFor(const std::string& location);
-
   /// Fraction of objects admitted by conjunctive label groups, given the
-  /// per-label counts; 1.0 for an unconstrained pattern.
+  /// per-label counts; 1.0 for an unconstrained pattern. A group is a
+  /// disjunction whose selectivity combines per-label fractions with the
+  /// independence union formula 1 - Π(1 - fᵢ) — summing raw counts would
+  /// double-count objects carrying several of the group's labels.
   static double LabelSelectivity(
       const std::vector<std::vector<std::string>>& groups,
       const std::map<std::string, size_t>& label_counts, size_t total);
 
+ private:
+  const GraphStats* StatsFor(const std::string& location);
+
+  double EstimateScan(const PlanNode& node);
+  double EstimateExpand(const PlanNode& node, double child_est);
+  double EstimatePathSearch(const PlanNode& node, double child_est);
+  double EstimateJoin(const PlanNode& node);
+
+  /// Selectivity of the literal `{k = v}` filters of a pattern element:
+  /// 1/distinct per key when measured, the seed constant otherwise.
+  double PropSelectivity(const std::vector<PropPattern>& props,
+                         const GraphStats* stats, bool edge_props) const;
+  /// Combined selectivity of an operator's pushed-down WHERE conjuncts;
+  /// equality and range conjuncts on `var`'s properties use the measured
+  /// distributions, everything else the seed constant.
+  double PushedSelectivity(const PlanNode& node, const GraphStats* stats,
+                           const std::string& node_var,
+                           const std::string& edge_var) const;
+
   GraphCatalog* catalog_;
   std::string default_graph_;
+  bool use_column_stats_;
 };
 
 }  // namespace gcore

@@ -20,6 +20,23 @@ size_t ExecContext::Degree() const {
   return hw == 0 ? 1 : hw;
 }
 
+void ExecStats::Record(const PlanNode* node, size_t rows) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rows_[node] += rows;
+}
+
+int64_t ExecStats::Rows(const PlanNode* node) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = rows_.find(node);
+  return it == rows_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+void ExecStats::AnnotateActuals(PlanNode* plan) const {
+  const int64_t rows = Rows(plan);
+  if (rows >= 0) plan->actual_rows = rows;
+  for (auto& child : plan->children) AnnotateActuals(child.get());
+}
+
 bool ExprParallelSafe(const Expr& expr) {
   switch (expr.kind) {
     case Expr::Kind::kExists:
@@ -271,11 +288,14 @@ class PipelineOp : public PhysicalOp {
 };
 
 /// NodeScan: all admitted nodes of the operator's graph, emitted as
-/// fixed-size morsels. Pushed predicates run as a pipeline stage above.
+/// fixed-size morsels. Pushed predicates run as a pipeline stage above
+/// (which then owns the operator's actual-row recording — est_rows of a
+/// scan includes its pushed conjuncts, so actual_rows must too).
 class NodeScanOp : public PhysicalOp {
  public:
-  NodeScanOp(Matcher* rt, const PlanNode* plan, ExecContext exec)
-      : rt_(rt), plan_(plan), exec_(exec) {}
+  NodeScanOp(Matcher* rt, const PlanNode* plan, ExecContext exec,
+             ExecStats* stats)
+      : rt_(rt), plan_(plan), exec_(exec), stats_(stats) {}
 
   Result<std::optional<BindingTable>> Next() override {
     if (!started_) {
@@ -289,25 +309,33 @@ class NodeScanOp : public PhysicalOp {
       offset_ = 0;
       if (table_.Empty()) {
         emitted_empty_ = true;
-        return Chunk(std::move(table_));
+        return Emit(std::move(table_));
       }
     }
     if (emitted_empty_ || offset_ >= table_.NumRows()) return Exhausted();
     const size_t morsel = exec_.MorselRows();
     if (offset_ == 0 && table_.NumRows() <= morsel) {
       offset_ = table_.NumRows();
-      return Chunk(std::move(table_));
+      return Emit(std::move(table_));
     }
     const size_t hi = std::min(table_.NumRows(), offset_ + morsel);
     BindingTable chunk = table_.Slice(offset_, hi);
     offset_ = hi;
-    return Chunk(std::move(chunk));
+    return Emit(std::move(chunk));
   }
 
  private:
+  Result<Chunk> Emit(BindingTable chunk) {
+    if (stats_ != nullptr && plan_->pushed.empty()) {
+      stats_->Record(plan_, chunk.NumRows());
+    }
+    return Chunk(std::move(chunk));
+  }
+
   Matcher* rt_;
   const PlanNode* plan_;
   ExecContext exec_;
+  ExecStats* stats_;
   BindingTable table_;
   size_t offset_ = 0;
   bool started_ = false;
@@ -330,8 +358,12 @@ constexpr uint64_t kTempPathIdBase = uint64_t{1} << 62;
 class PathSearchOp : public PhysicalOp {
  public:
   PathSearchOp(Matcher* rt, const PlanNode* plan, OpPtr child,
-               ExecContext exec)
-      : rt_(rt), plan_(plan), child_(std::move(child)), exec_(exec) {}
+               ExecContext exec, ExecStats* stats)
+      : rt_(rt),
+        plan_(plan),
+        child_(std::move(child)),
+        exec_(exec),
+        stats_(stats) {}
 
   Result<std::optional<BindingTable>> Next() override {
     // A breaker: the child's chunks already arrive at morsel granularity,
@@ -353,8 +385,11 @@ class PathSearchOp : public PhysicalOp {
           rt_->ExpandPathHop(std::move(input), plan_->from_var,
                              *plan_->path, plan_->path_var, *plan_->to,
                              plan_->to_var, *graph, graph->name()));
-      return AsChunk(
+      GCORE_ASSIGN_OR_RETURN(
+          BindingTable filtered,
           rt_->FilterByConjuncts(std::move(expanded), plan_->pushed, graph));
+      if (stats_ != nullptr) stats_->Record(plan_, filtered.NumRows());
+      return Chunk(std::move(filtered));
     }
 
     rt_->Adjacency(*graph);  // warm the cache off the workers
@@ -438,6 +473,7 @@ class PathSearchOp : public PhysicalOp {
       }
     }
     for (auto& out : outs) merged.AppendTable(*out);
+    if (stats_ != nullptr) stats_->Record(plan_, merged.NumRows());
     return Chunk(std::move(merged));
   }
 
@@ -446,6 +482,7 @@ class PathSearchOp : public PhysicalOp {
   const PlanNode* plan_;
   OpPtr child_;
   ExecContext exec_;
+  ExecStats* stats_;
   bool done_ = false;
 };
 
@@ -454,8 +491,9 @@ class PathSearchOp : public PhysicalOp {
 /// one morsel.
 class DrainingFilterOp : public PhysicalOp {
  public:
-  DrainingFilterOp(Matcher* rt, const PlanNode* plan, OpPtr child)
-      : rt_(rt), plan_(plan), child_(std::move(child)) {}
+  DrainingFilterOp(Matcher* rt, const PlanNode* plan, OpPtr child,
+                   ExecStats* stats)
+      : rt_(rt), plan_(plan), child_(std::move(child)), stats_(stats) {}
 
   Result<std::optional<BindingTable>> Next() override {
     if (done_) return Exhausted();
@@ -464,13 +502,18 @@ class DrainingFilterOp : public PhysicalOp {
     const PathPropertyGraph* graph = nullptr;
     auto resolved = rt_->ResolveGraph(plan_->graph);
     if (resolved.ok()) graph = *resolved;
-    return AsChunk(rt_->FilterTable(std::move(table), *plan_->predicate, graph));
+    GCORE_ASSIGN_OR_RETURN(
+        BindingTable filtered,
+        rt_->FilterTable(std::move(table), *plan_->predicate, graph));
+    if (stats_ != nullptr) stats_->Record(plan_, filtered.NumRows());
+    return Chunk(std::move(filtered));
   }
 
  private:
   Matcher* rt_;
   const PlanNode* plan_;
   OpPtr child_;
+  ExecStats* stats_;
   bool done_ = false;
 };
 
@@ -478,8 +521,13 @@ class DrainingFilterOp : public PhysicalOp {
 /// over the full right input).
 class HashJoinOp : public PhysicalOp {
  public:
-  HashJoinOp(OpPtr left, OpPtr right, ExecContext exec)
-      : left_(std::move(left)), right_(std::move(right)), exec_(exec) {}
+  HashJoinOp(const PlanNode* plan, OpPtr left, OpPtr right, ExecContext exec,
+             ExecStats* stats)
+      : plan_(plan),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        exec_(exec),
+        stats_(stats) {}
 
   Result<std::optional<BindingTable>> Next() override {
     if (done_) return Exhausted();
@@ -491,34 +539,46 @@ class HashJoinOp : public PhysicalOp {
     // side deterministically (a runtime size-based swap would make
     // provenance — and thus λ/σ lookups — data-dependent). Smallest-
     // first chain ordering keeps the accumulated left side small.
-    return Chunk(
-        TableJoinParallel(left, right, exec_.Degree(), exec_.MorselRows()));
+    BindingTable joined =
+        TableJoinParallel(left, right, exec_.Degree(), exec_.MorselRows());
+    if (stats_ != nullptr) stats_->Record(plan_, joined.NumRows());
+    return Chunk(std::move(joined));
   }
 
  private:
+  const PlanNode* plan_;
   OpPtr left_;
   OpPtr right_;
   ExecContext exec_;
+  ExecStats* stats_;
   bool done_ = false;
 };
 
 /// OPTIONAL chaining: ⟕ of the main plan with one block.
 class LeftOuterJoinOp : public PhysicalOp {
  public:
-  LeftOuterJoinOp(OpPtr left, OpPtr right)
-      : left_(std::move(left)), right_(std::move(right)) {}
+  LeftOuterJoinOp(const PlanNode* plan, OpPtr left, OpPtr right,
+                  ExecStats* stats)
+      : plan_(plan),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        stats_(stats) {}
 
   Result<std::optional<BindingTable>> Next() override {
     if (done_) return Exhausted();
     done_ = true;
     GCORE_ASSIGN_OR_RETURN(BindingTable left, Drain(left_.get()));
     GCORE_ASSIGN_OR_RETURN(BindingTable right, Drain(right_.get()));
-    return Chunk(TableLeftOuterJoin(left, right));
+    BindingTable joined = TableLeftOuterJoin(left, right);
+    if (stats_ != nullptr) stats_->Record(plan_, joined.NumRows());
+    return Chunk(std::move(joined));
   }
 
  private:
+  const PlanNode* plan_;
   OpPtr left_;
   OpPtr right_;
+  ExecStats* stats_;
   bool done_ = false;
 };
 
@@ -528,7 +588,8 @@ class LeftOuterJoinOp : public PhysicalOp {
 /// without a whole-table second pass.
 class ProjectMergeOp : public PhysicalOp {
  public:
-  explicit ProjectMergeOp(OpPtr child) : child_(std::move(child)) {}
+  ProjectMergeOp(const PlanNode* plan, OpPtr child, ExecStats* stats)
+      : plan_(plan), child_(std::move(child)), stats_(stats) {}
 
   Result<std::optional<BindingTable>> Next() override {
     if (done_) return Exhausted();
@@ -546,18 +607,21 @@ class ProjectMergeOp : public PhysicalOp {
         sink->InsertFrom(*chunk, r);
       }
     }
+    if (stats_ != nullptr) stats_->Record(plan_, out.NumRows());
     return Chunk(std::move(out));
   }
 
  private:
+  const PlanNode* plan_;
   OpPtr child_;
+  ExecStats* stats_;
   bool done_ = false;
 };
 
 }  // namespace
 
-Executor::Executor(Matcher* runtime, ExecContext exec)
-    : runtime_(runtime), exec_(exec) {}
+Executor::Executor(Matcher* runtime, ExecContext exec, ExecStats* stats)
+    : runtime_(runtime), exec_(exec), stats_(stats) {}
 
 namespace {
 
@@ -582,22 +646,41 @@ struct ResolvedGraph {
   const PathPropertyGraph* graph = nullptr;
 };
 
-Stage MakePushedFilterStage(Matcher* rt, const PlanNode* plan) {
+/// Wraps a stage transform with actual-row recording against `plan`
+/// (per-morsel counts accumulate; stages may run on worker threads, which
+/// ExecStats::Record tolerates).
+std::function<Result<BindingTable>(BindingTable)> Recorded(
+    std::function<Result<BindingTable>(BindingTable)> fn,
+    const PlanNode* plan, ExecStats* stats) {
+  if (stats == nullptr) return fn;
+  return [fn = std::move(fn), plan, stats](
+             BindingTable morsel) -> Result<BindingTable> {
+    GCORE_ASSIGN_OR_RETURN(BindingTable out, fn(std::move(morsel)));
+    stats->Record(plan, out.NumRows());
+    return out;
+  };
+}
+
+Stage MakePushedFilterStage(Matcher* rt, const PlanNode* plan,
+                            ExecStats* stats) {
   auto resolved = std::make_shared<ResolvedGraph>();
   Stage stage;
   stage.prepare = [rt, plan, resolved]() -> Status {
     GCORE_ASSIGN_OR_RETURN(resolved->graph, rt->ResolveGraph(plan->graph));
     return Status::OK();
   };
-  stage.fn = [rt, plan, resolved](BindingTable morsel) {
-    return rt->FilterByConjuncts(std::move(morsel), plan->pushed,
-                                 resolved->graph);
-  };
+  stage.fn = Recorded(
+      [rt, plan, resolved](BindingTable morsel) {
+        return rt->FilterByConjuncts(std::move(morsel), plan->pushed,
+                                     resolved->graph);
+      },
+      plan, stats);
   stage.thread_safe = ExprsParallelSafe(plan->pushed);
   return stage;
 }
 
-Stage MakeExpandEdgeStage(Matcher* rt, const PlanNode* plan) {
+Stage MakeExpandEdgeStage(Matcher* rt, const PlanNode* plan,
+                          ExecStats* stats) {
   auto resolved = std::make_shared<ResolvedGraph>();
   Stage stage;
   stage.prepare = [rt, plan, resolved]() -> Status {
@@ -605,22 +688,25 @@ Stage MakeExpandEdgeStage(Matcher* rt, const PlanNode* plan) {
     rt->Adjacency(*resolved->graph);  // warm the cache off the workers
     return Status::OK();
   };
-  stage.fn = [rt, plan, resolved](BindingTable morsel) -> Result<BindingTable> {
-    GCORE_ASSIGN_OR_RETURN(
-        BindingTable expanded,
-        rt->ExpandEdgeHop(std::move(morsel), plan->from_var, *plan->edge,
-                          plan->edge_var, *plan->to, plan->to_var,
-                          *resolved->graph, resolved->graph->name()));
-    return rt->FilterByConjuncts(std::move(expanded), plan->pushed,
-                                 resolved->graph);
-  };
+  stage.fn = Recorded(
+      [rt, plan, resolved](BindingTable morsel) -> Result<BindingTable> {
+        GCORE_ASSIGN_OR_RETURN(
+            BindingTable expanded,
+            rt->ExpandEdgeHop(std::move(morsel), plan->from_var, *plan->edge,
+                              plan->edge_var, *plan->to, plan->to_var,
+                              *resolved->graph, resolved->graph->name()));
+        return rt->FilterByConjuncts(std::move(expanded), plan->pushed,
+                                     resolved->graph);
+      },
+      plan, stats);
   stage.thread_safe = ExprsParallelSafe(plan->pushed) &&
                       PropsParallelSafe(plan->edge->props) &&
                       PropsParallelSafe(plan->to->props);
   return stage;
 }
 
-Stage MakeResidualFilterStage(Matcher* rt, const PlanNode* plan) {
+Stage MakeResidualFilterStage(Matcher* rt, const PlanNode* plan,
+                              ExecStats* stats) {
   auto resolved = std::make_shared<ResolvedGraph>();
   Stage stage;
   stage.prepare = [rt, plan, resolved]() -> Status {
@@ -630,10 +716,12 @@ Stage MakeResidualFilterStage(Matcher* rt, const PlanNode* plan) {
     if (graph.ok()) resolved->graph = *graph;
     return Status::OK();
   };
-  stage.fn = [rt, plan, resolved](BindingTable morsel) {
-    return rt->FilterTable(std::move(morsel), *plan->predicate,
-                           resolved->graph);
-  };
+  stage.fn = Recorded(
+      [rt, plan, resolved](BindingTable morsel) {
+        return rt->FilterTable(std::move(morsel), *plan->predicate,
+                               resolved->graph);
+      },
+      plan, stats);
   stage.thread_safe = ExprParallelSafe(*plan->predicate);
   return stage;
 }
@@ -652,44 +740,50 @@ Stage MakeProjectStage(Matcher* rt, const PlanNode* plan) {
 Result<std::unique_ptr<PhysicalOp>> Executor::Build(const PlanNode& plan) {
   switch (plan.op) {
     case PlanOp::kNodeScan: {
-      OpPtr scan(new NodeScanOp(runtime_, &plan, exec_));
+      OpPtr scan(new NodeScanOp(runtime_, &plan, exec_, stats_));
       if (plan.pushed.empty()) return scan;
       return FuseStage(std::move(scan),
-                       MakePushedFilterStage(runtime_, &plan), exec_);
+                       MakePushedFilterStage(runtime_, &plan, stats_),
+                       exec_);
     }
     case PlanOp::kExpandEdge: {
       GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));
       return FuseStage(std::move(child),
-                       MakeExpandEdgeStage(runtime_, &plan), exec_);
+                       MakeExpandEdgeStage(runtime_, &plan, stats_), exec_);
     }
     case PlanOp::kPathSearch: {
       GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));
       return OpPtr(
-          new PathSearchOp(runtime_, &plan, std::move(child), exec_));
+          new PathSearchOp(runtime_, &plan, std::move(child), exec_,
+                           stats_));
     }
     case PlanOp::kFilter: {
       GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));
       if (plan.predicate->ContainsAggregate()) {
-        return OpPtr(new DrainingFilterOp(runtime_, &plan, std::move(child)));
+        return OpPtr(new DrainingFilterOp(runtime_, &plan, std::move(child),
+                                          stats_));
       }
       return FuseStage(std::move(child),
-                       MakeResidualFilterStage(runtime_, &plan), exec_);
+                       MakeResidualFilterStage(runtime_, &plan, stats_),
+                       exec_);
     }
     case PlanOp::kHashJoin: {
       GCORE_ASSIGN_OR_RETURN(OpPtr left, Build(*plan.children[0]));
       GCORE_ASSIGN_OR_RETURN(OpPtr right, Build(*plan.children[1]));
-      return OpPtr(new HashJoinOp(std::move(left), std::move(right), exec_));
+      return OpPtr(new HashJoinOp(&plan, std::move(left), std::move(right),
+                                  exec_, stats_));
     }
     case PlanOp::kLeftOuterJoin: {
       GCORE_ASSIGN_OR_RETURN(OpPtr left, Build(*plan.children[0]));
       GCORE_ASSIGN_OR_RETURN(OpPtr right, Build(*plan.children[1]));
-      return OpPtr(new LeftOuterJoinOp(std::move(left), std::move(right)));
+      return OpPtr(new LeftOuterJoinOp(&plan, std::move(left),
+                                       std::move(right), stats_));
     }
     case PlanOp::kProject: {
       GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));
       OpPtr sliced = FuseStage(std::move(child),
                                MakeProjectStage(runtime_, &plan), exec_);
-      return OpPtr(new ProjectMergeOp(std::move(sliced)));
+      return OpPtr(new ProjectMergeOp(&plan, std::move(sliced), stats_));
     }
     case PlanOp::kGraphUnion:
     case PlanOp::kGraphIntersect:

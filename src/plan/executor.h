@@ -15,7 +15,9 @@
 #define GCORE_PLAN_EXECUTOR_H_
 
 #include <cstddef>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "common/result.h"
@@ -25,6 +27,31 @@
 namespace gcore {
 
 class Matcher;
+
+/// Per-operator actual row counts, collected while a plan executes
+/// (EXPLAIN ANALYZE). Operators record the rows of every chunk (or fused
+/// per-morsel stage result) they emit against their PlanNode; counts
+/// accumulate, and recording is thread-safe because fused stages run on
+/// worker threads. Attribution matches the estimator's: an operator's
+/// count includes its pushed-down conjuncts, exactly what est_rows
+/// predicts for it.
+class ExecStats {
+ public:
+  /// Adds `rows` to the count of `node`. Thread-safe.
+  void Record(const PlanNode* node, size_t rows);
+
+  /// Rows recorded for `node`; negative when it never executed.
+  int64_t Rows(const PlanNode* node) const;
+
+  /// Copies the recorded counts into PlanNode::actual_rows over `plan`'s
+  /// subtree (operators that never ran stay at -1, so EXPLAIN ANALYZE
+  /// renders them estimate-only).
+  void AnnotateActuals(PlanNode* plan) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<const PlanNode*, uint64_t> rows_;
+};
 
 /// Execution-wide knobs of the physical pipeline.
 struct ExecContext {
@@ -61,8 +88,11 @@ class PhysicalOp {
 class Executor {
  public:
   /// `runtime` supplies graph resolution, adjacency caches and the
-  /// pattern-element primitives; it must outlive the execution.
-  explicit Executor(Matcher* runtime, ExecContext exec = ExecContext());
+  /// pattern-element primitives; it must outlive the execution. A
+  /// non-null `stats` instruments every operator with actual-row
+  /// recording (EXPLAIN ANALYZE); it must outlive the pipeline.
+  explicit Executor(Matcher* runtime, ExecContext exec = ExecContext(),
+                    ExecStats* stats = nullptr);
 
   /// Builds the operator pipeline for `plan` and drains it.
   Result<BindingTable> Run(const PlanNode& plan);
@@ -74,6 +104,7 @@ class Executor {
  private:
   Matcher* runtime_;
   ExecContext exec_;
+  ExecStats* stats_;
 };
 
 /// True when evaluating `expr` never re-enters the Matcher runtime:

@@ -93,11 +93,18 @@ std::string PlanNode::Describe() const {
     case PlanOp::kGraphMinus:
       break;
   }
-  if (est_rows >= 0.0) {
+  if (est_rows >= 0.0 || actual_rows >= 0) {
     // Limited precision, never truncated to an integer: sub-1 estimates
     // (the ranking signal on selective plans) stay visible, and huge
-    // cross-product estimates print in scientific notation.
-    out << "  (est_rows=" << std::setprecision(3) << est_rows << ")";
+    // cross-product estimates print in scientific notation. Actual row
+    // counts (EXPLAIN ANALYZE) are exact.
+    out << "  (";
+    if (est_rows >= 0.0) {
+      out << "est_rows=" << std::setprecision(3) << est_rows;
+      if (actual_rows >= 0) out << " ";
+    }
+    if (actual_rows >= 0) out << "actual_rows=" << actual_rows;
+    out << ")";
   }
   return out.str();
 }

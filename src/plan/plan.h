@@ -86,6 +86,10 @@ struct PlanNode {
   /// kHashJoin: the joined chains share at least one variable (estimation
   /// treats the join as key-correlated rather than a cross product).
   bool join_correlated = false;
+  /// kHashJoin: the shared variables (natural-join keys), sorted. The
+  /// estimator derives per-key domain sizes from the operators binding
+  /// them for its degree-aware join bound.
+  std::vector<std::string> join_vars;
 
   /// kProject (the plan root): resolved morsel-parallel execution degree
   /// the executor will use; 0 = not annotated (plans built outside a
@@ -94,6 +98,9 @@ struct PlanNode {
 
   /// Estimated output rows (plan/cost.h); negative = unknown.
   double est_rows = -1.0;
+  /// Measured output rows of the operator's last execution, filled by
+  /// EXPLAIN ANALYZE (ExecStats::AnnotateActuals); negative = not run.
+  int64_t actual_rows = -1;
 
   PlanNode() = default;
   explicit PlanNode(PlanOp o) : op(o) {}

@@ -14,6 +14,7 @@ PlannerOptions PlannerOptions::FromContext(const MatcherContext& ctx) {
   PlannerOptions options;
   options.enable_pushdown = ctx.enable_pushdown;
   options.reorder_joins = ctx.reorder_joins;
+  options.use_column_stats = ctx.use_column_stats;
   options.parallelism = ctx.parallelism;
   return options;
 }
@@ -109,14 +110,6 @@ void CollectChainVars(const GraphPattern& pattern,
   out->insert(vars.begin(), vars.end());
 }
 
-bool SharesVariable(const std::set<std::string>& a,
-                    const std::set<std::string>& b) {
-  for (const auto& v : a) {
-    if (b.count(v) > 0) return true;
-  }
-  return false;
-}
-
 }  // namespace
 
 Result<PlanPtr> Planner::PlanPatternsJoined(
@@ -139,7 +132,8 @@ Result<PlanPtr> Planner::PlanPatternsJoined(
   std::iota(order.begin(), order.end(), size_t{0});
   if (options_.reorder_joins && chains.size() > 1) {
     CardinalityEstimator estimator(runtime_->context().catalog,
-                                   default_location_);
+                                   default_location_,
+                                   options_.use_column_stats);
     bool all_known = true;
     for (auto& chain : chains) {
       if (estimator.Annotate(chain.get()) < 0.0) all_known = false;
@@ -160,7 +154,10 @@ Result<PlanPtr> Planner::PlanPatternsJoined(
   std::set<std::string> bound = chain_vars[order[0]];
   for (size_t i = 1; i < order.size(); ++i) {
     auto join = MakePlan(PlanOp::kHashJoin);
-    join->join_correlated = SharesVariable(bound, chain_vars[order[i]]);
+    for (const auto& v : chain_vars[order[i]]) {
+      if (bound.count(v) > 0) join->join_vars.push_back(v);
+    }
+    join->join_correlated = !join->join_vars.empty();
     join->children.push_back(std::move(plan));
     join->children.push_back(std::move(chains[order[i]]));
     bound.insert(chain_vars[order[i]].begin(), chain_vars[order[i]].end());
@@ -279,7 +276,8 @@ Result<PlanPtr> Planner::PlanMatch(const MatchClause& match) {
 
 void Planner::AnnotateEstimates(PlanNode* plan) const {
   CardinalityEstimator estimator(runtime_->context().catalog,
-                                 default_location_);
+                                 default_location_,
+                                 options_.use_column_stats);
   estimator.Annotate(plan);
 }
 

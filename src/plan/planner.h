@@ -38,6 +38,10 @@ struct PlannerOptions {
   bool enable_pushdown = true;
   /// Cardinality-based chain ordering (MatcherContext::reorder_joins).
   bool reorder_joins = true;
+  /// Per-column statistics in the estimator (MatcherContext::
+  /// use_column_stats); off degrades to the seed's constant-selectivity
+  /// model for ablation and the stats-absent plan-shape goldens.
+  bool use_column_stats = true;
   /// Execution degree (MatcherContext::parallelism; 0 = hardware).
   /// Annotated on the plan root for EXPLAIN.
   size_t parallelism = 0;

@@ -1,0 +1,161 @@
+// GraphStats tests: the incremental StatsCollector (GraphBuilder) must
+// match a full Collect() scan exactly, and the derived quantities the
+// estimator reads (distinct counts, numeric ranges, average degrees)
+// must be correct on a known graph.
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/catalog.h"
+#include "graph/graph_builder.h"
+
+namespace gcore {
+namespace {
+
+/// 4 :A nodes (k = 0,1,0,1; v = 10,20,30,40), 2 :B nodes (one also :C),
+/// edges: every A --:link--> B0 (4), B0 --:hop--> each A (4, with a
+/// weight prop), one unlabeled edge B1 -> B0, one stored path.
+GraphBuilder MakeKnownGraph(IdAllocator* ids) {
+  GraphBuilder b("g", ids);
+  b.EnableStatsCollection();
+  std::vector<NodeId> as;
+  for (int i = 0; i < 4; ++i) {
+    as.push_back(b.AddNode({"A"}, {{"k", int64_t{i % 2}},
+                                   {"v", int64_t{10 * (i + 1)}}}));
+  }
+  const NodeId b0 = b.AddNode({"B"});
+  const NodeId b1 = b.AddNode({"B", "C"});
+  std::vector<EdgeId> links;
+  for (const NodeId a : as) links.push_back(b.AddEdge(a, b0, "link"));
+  for (const NodeId a : as) b.AddEdge(b0, a, "hop", {{"weight", 1.5}});
+  b.AddEdge(b1, b0, "");
+  Status st = b.AddPath({as[0], b0}, {links[0]}).status();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return b;
+}
+
+TEST(GraphStatsTest, IncrementalCollectorMatchesFullScan) {
+  IdAllocator ids;
+  GraphBuilder builder = MakeKnownGraph(&ids);
+  const GraphStats incremental = builder.Stats();
+  const GraphStats scanned = GraphStats::Collect(builder.graph());
+  EXPECT_EQ(incremental, scanned);
+}
+
+TEST(GraphStatsTest, StatsWithoutOptInFallsBackToFullScan) {
+  IdAllocator ids;
+  GraphBuilder b("plain", &ids);  // no EnableStatsCollection()
+  const NodeId x = b.AddNode({"X"}, {{"p", int64_t{7}}});
+  b.AddEdge(x, b.AddNode({"Y"}), "e");
+  const GraphStats stats = b.Stats();
+  EXPECT_EQ(stats, GraphStats::Collect(b.graph()));
+  EXPECT_EQ(stats.num_nodes, 2u);
+  EXPECT_EQ(stats.node_props.at("p").distinct, 1u);
+}
+
+TEST(GraphStatsTest, CountsAndLabelHistograms) {
+  IdAllocator ids;
+  GraphBuilder builder = MakeKnownGraph(&ids);
+  const GraphStats stats = builder.Stats();
+  EXPECT_EQ(stats.num_nodes, 6u);
+  EXPECT_EQ(stats.num_edges, 9u);
+  EXPECT_EQ(stats.num_paths, 1u);
+  EXPECT_EQ(stats.NodesWithLabel("A"), 4u);
+  EXPECT_EQ(stats.NodesWithLabel("B"), 2u);
+  EXPECT_EQ(stats.NodesWithLabel("C"), 1u);
+  EXPECT_EQ(stats.NodesWithLabel("Z"), 0u);
+  EXPECT_EQ(stats.EdgesWithLabel("link"), 4u);
+  EXPECT_EQ(stats.EdgesWithLabel("hop"), 4u);
+}
+
+TEST(GraphStatsTest, PropertyDistributions) {
+  IdAllocator ids;
+  GraphBuilder builder = MakeKnownGraph(&ids);
+  const GraphStats stats = builder.Stats();
+
+  const PropertyStats& k = stats.node_props.at("k");
+  EXPECT_EQ(k.count, 4u);
+  EXPECT_EQ(k.distinct, 2u);
+  EXPECT_TRUE(k.has_range);
+  EXPECT_EQ(k.min, 0.0);
+  EXPECT_EQ(k.max, 1.0);
+
+  const PropertyStats& v = stats.node_props.at("v");
+  EXPECT_EQ(v.count, 4u);
+  EXPECT_EQ(v.distinct, 4u);
+  EXPECT_EQ(v.min, 10.0);
+  EXPECT_EQ(v.max, 40.0);
+
+  const PropertyStats& weight = stats.edge_props.at("weight");
+  EXPECT_EQ(weight.count, 4u);
+  EXPECT_EQ(weight.distinct, 1u);
+  EXPECT_EQ(weight.min, 1.5);
+  EXPECT_EQ(weight.max, 1.5);
+}
+
+TEST(GraphStatsTest, MultiValuedPropertyCountsObjectsOnce) {
+  IdAllocator ids;
+  GraphBuilder b("mv", &ids);
+  b.EnableStatsCollection();
+  const NodeId n = b.AddNode({"P"}, {{"employer", "CWI"}});
+  b.AddNodePropertyValue(n, "employer", Value::String("MIT"));
+  b.AddNodePropertyValue(n, "employer", Value::String("MIT"));  // dup value
+  const NodeId m = b.AddNode({"P"}, {{"employer", "Acme"}});
+  const EdgeId e = b.AddEdge(n, m, "rated", {{"score", int64_t{3}}});
+  b.AddEdgePropertyValue(e, "score", Value::Int(5));
+  const GraphStats stats = b.Stats();
+  const PropertyStats& employer = stats.node_props.at("employer");
+  EXPECT_EQ(employer.count, 2u);     // two carrying objects
+  EXPECT_EQ(employer.distinct, 3u);  // CWI, MIT, Acme
+  EXPECT_FALSE(employer.has_range);  // strings carry no numeric range
+  const PropertyStats& score = stats.edge_props.at("score");
+  EXPECT_EQ(score.count, 1u);
+  EXPECT_EQ(score.distinct, 2u);  // {3, 5} on one edge
+  EXPECT_EQ(score.min, 3.0);
+  EXPECT_EQ(score.max, 5.0);
+  EXPECT_EQ(stats, GraphStats::Collect(b.graph()));
+}
+
+TEST(GraphStatsTest, AverageDegrees) {
+  IdAllocator ids;
+  GraphBuilder builder = MakeKnownGraph(&ids);
+  const GraphStats stats = builder.Stats();
+  // Every A has exactly one :link out-edge; B0 has four :hop out-edges
+  // over two B nodes.
+  EXPECT_DOUBLE_EQ(stats.AvgOutDegree("A", "link"), 1.0);
+  EXPECT_DOUBLE_EQ(stats.AvgOutDegree("B", "hop"), 2.0);
+  EXPECT_DOUBLE_EQ(stats.AvgOutDegree("A", "hop"), 0.0);
+  // In-degrees key on the target: all 4 :link edges land on one of 2 Bs;
+  // each A receives one :hop.
+  EXPECT_DOUBLE_EQ(stats.AvgInDegree("B", "link"), 2.0);
+  EXPECT_DOUBLE_EQ(stats.AvgInDegree("A", "hop"), 1.0);
+  // "" buckets: any edge label / any endpoint label.
+  EXPECT_DOUBLE_EQ(stats.AvgOutDegree("", ""), 9.0 / 6.0);
+  EXPECT_DOUBLE_EQ(stats.AvgOutDegree("A", ""), 1.0);
+  EXPECT_DOUBLE_EQ(stats.AvgOutDegree("B", ""), 5.0 / 2.0);
+  // Unknown labels degrade to zero.
+  EXPECT_DOUBLE_EQ(stats.AvgOutDegree("Z", "link"), 0.0);
+  EXPECT_DOUBLE_EQ(stats.AvgOutDegree("A", "zzz"), 0.0);
+}
+
+TEST(GraphStatsTest, CatalogSeedsAndCachesPrecomputedStats) {
+  GraphCatalog catalog;
+  GraphBuilder builder = MakeKnownGraph(catalog.ids());
+  GraphStats stats = builder.Stats();
+  catalog.RegisterGraph("g", builder.Build(), std::move(stats));
+  auto cached = catalog.Stats("g");
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ((*cached)->num_nodes, 6u);
+  EXPECT_EQ((*cached)->node_props.at("k").distinct, 2u);
+  // Re-registering without stats invalidates the seeded cache and the
+  // lazy scan recomputes the same numbers.
+  GraphBuilder rebuilt = MakeKnownGraph(catalog.ids());
+  catalog.RegisterGraph("g", rebuilt.Build());
+  auto rescanned = catalog.Stats("g");
+  ASSERT_TRUE(rescanned.ok());
+  EXPECT_EQ((*rescanned)->num_nodes, 6u);
+  EXPECT_DOUBLE_EQ((*rescanned)->AvgOutDegree("A", "link"), 1.0);
+}
+
+}  // namespace
+}  // namespace gcore

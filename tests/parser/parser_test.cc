@@ -364,6 +364,44 @@ TEST(Parser, KeywordsUsableAsPropertyKeys) {
 // Round-trip: print → reparse → print must be a fixed point.
 class PrintRoundTrip : public ::testing::TestWithParam<const char*> {};
 
+// EXPLAIN / EXPLAIN ANALYZE are contextual keywords on the outermost
+// query; `explain` and `analyze` stay usable as identifiers.
+TEST(ExplainParsing, ExplainAnalyzeSetsBothFlags) {
+  auto q = MustParse("EXPLAIN ANALYZE CONSTRUCT (n) MATCH (n:Person)");
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(q->explain);
+  EXPECT_TRUE(q->explain_analyze);
+  const std::string printed = PrintQuery(*q);
+  EXPECT_EQ(printed.rfind("EXPLAIN ANALYZE ", 0), 0u) << printed;
+  auto reparsed = ParseQuery(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_TRUE((*reparsed)->explain_analyze);
+}
+
+TEST(ExplainParsing, PlainExplainDoesNotAnalyze) {
+  auto q = MustParse("EXPLAIN CONSTRUCT (n) MATCH (n:Person)");
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(q->explain);
+  EXPECT_FALSE(q->explain_analyze);
+}
+
+TEST(ExplainParsing, AnalyzeRemainsAnIdentifier) {
+  // No query follows ANALYZE, so it is the graph named "analyze" under a
+  // plain EXPLAIN.
+  auto q = MustParse("EXPLAIN analyze");
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(q->explain);
+  EXPECT_FALSE(q->explain_analyze);
+  ASSERT_NE(q->body, nullptr);
+  EXPECT_EQ(q->body->kind, QueryBody::Kind::kGraphRef);
+  EXPECT_EQ(q->body->graph_ref, "analyze");
+  // And with a query following, EXPLAIN ANALYZE of a bare graph ref.
+  auto q2 = MustParse("EXPLAIN ANALYZE social_graph");
+  ASSERT_NE(q2, nullptr);
+  EXPECT_TRUE(q2->explain_analyze);
+  EXPECT_EQ(q2->body->graph_ref, "social_graph");
+}
+
 TEST_P(PrintRoundTrip, PrintReparsePrintIsStable) {
   auto q1 = MustParse(GetParam());
   ASSERT_NE(q1, nullptr);

@@ -7,6 +7,7 @@
 
 #include "engine/engine.h"
 #include "eval/matcher.h"
+#include "graph/graph_builder.h"
 #include "parser/parser.h"
 #include "plan/executor.h"
 #include "snb/toy_graphs.h"
@@ -170,6 +171,60 @@ TEST_F(PlannerTest, ChainsOrderedByEstimatedCardinality) {
   ASSERT_NE(company, std::string::npos) << plan;
   ASSERT_NE(person, std::string::npos) << plan;
   EXPECT_LT(company, person) << plan;
+}
+
+// Stats-present variant of the chain-ordering golden: with per-column
+// statistics the ordering follows *measured* degrees — 5 :S hubs fan out
+// 16 dense edges each (est 80) while 20 :T nodes average 1.5 sparse
+// edges (est 30), so the T chain joins first. The seed's global-fanout
+// model (stats absent / use_column_stats off) divides both edge counts
+// by the same node total, ranks the chains the other way (400/N vs
+// 600/N) and keeps the S chain first — the existing goldens' behavior.
+TEST_F(PlannerTest, ChainReorderingFollowsMeasuredDegrees) {
+  GraphBuilder b("deg", catalog.ids());
+  b.EnableStatsCollection();
+  std::vector<NodeId> hubs;
+  for (int i = 0; i < 10; ++i) hubs.push_back(b.AddNode({"H"}));
+  for (int i = 0; i < 5; ++i) {
+    const NodeId s = b.AddNode({"S"});
+    for (int j = 0; j < 16; ++j) b.AddEdge(s, hubs[j % 10], "dense");
+  }
+  for (int i = 0; i < 20; ++i) {
+    const NodeId t = b.AddNode({"T"});
+    b.AddEdge(t, hubs[i % 10], "sparse");
+    if (i < 10) b.AddEdge(t, hubs[(i + 1) % 10], "sparse");
+  }
+  GraphStats stats = b.Stats();
+  catalog.RegisterGraph("deg", b.Build(), std::move(stats));
+
+  const std::string query =
+      "CONSTRUCT (s) MATCH (s:S)-[:dense]->(h) ON deg, "
+      "(t:T)-[:sparse]->(u) ON deg";
+  auto explain = [&](bool use_column_stats) {
+    QueryEngine engine(&catalog);
+    engine.set_use_column_stats(use_column_stats);
+    auto r = engine.Execute("EXPLAIN " + query);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    std::string out;
+    for (size_t i = 0; r.ok() && i < r->table->NumRows(); ++i) {
+      out += r->table->At(i, 0).AsString() + "\n";
+    }
+    return out;
+  };
+
+  const std::string with_stats = explain(true);
+  size_t t_scan = with_stats.find("NodeScan (t:T)");
+  size_t s_scan = with_stats.find("NodeScan (s:S)");
+  ASSERT_NE(t_scan, std::string::npos) << with_stats;
+  ASSERT_NE(s_scan, std::string::npos) << with_stats;
+  EXPECT_LT(t_scan, s_scan) << with_stats;
+
+  const std::string seed_model = explain(false);
+  t_scan = seed_model.find("NodeScan (t:T)");
+  s_scan = seed_model.find("NodeScan (s:S)");
+  ASSERT_NE(t_scan, std::string::npos) << seed_model;
+  ASSERT_NE(s_scan, std::string::npos) << seed_model;
+  EXPECT_LT(s_scan, t_scan) << seed_model;
 }
 
 // OPTIONAL lowers to a left outer join above the main plan.
