@@ -4,6 +4,8 @@
 #   BENCH_join_dedup.json      — fused join dedup vs the seed path
 #   BENCH_columnar_scan.json   — columnar Ω vs row-major storage
 #   BENCH_stats_ablation.json  — stats-driven cardinality vs seed constants
+#   BENCH_wcoj.json            — triangle/diamond motifs, binary joins vs
+#                                MultiwayExpand (worst-case-optimal)
 # Extra arguments pass through to every bench binary, e.g.
 #   scripts/run_bench.sh --benchmark_filter='BM_ColumnarScan.*'
 set -euo pipefail
@@ -11,7 +13,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
 cmake --build build --target bench_join_dedup bench_columnar_scan \
-  bench_baseline_ablation -j
+  bench_baseline_ablation bench_wcoj -j
 
 run_bench() {
   local binary="$1" out="$2"
@@ -27,6 +29,7 @@ run_bench() {
 
 run_bench bench_join_dedup BENCH_join_dedup.json "$@"
 run_bench bench_columnar_scan BENCH_columnar_scan.json "$@"
+run_bench bench_wcoj BENCH_wcoj.json "$@"
 # The stats filter comes last: google-benchmark honors the final
 # --benchmark_filter, so a user-passed filter cannot swap which
 # benchmarks land in BENCH_stats_ablation.json.

@@ -50,6 +50,8 @@ Matcher QueryEngine::MakeMatcher(Scope* scope) {
   ctx.use_planner = use_planner_;
   ctx.enable_pushdown = enable_pushdown_;
   ctx.reorder_joins = reorder_joins_;
+  ctx.enable_multiway = enable_multiway_;
+  ctx.choose_build_side = choose_build_side_;
   ctx.use_column_stats = use_column_stats_;
   ctx.parallelism = parallelism_;
   ctx.morsel_size = morsel_size_;

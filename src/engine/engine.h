@@ -60,6 +60,11 @@ class QueryEngine {
   void set_use_planner(bool on) { use_planner_ = on; }
   void set_enable_pushdown(bool on) { enable_pushdown_ = on; }
   void set_reorder_joins(bool on) { reorder_joins_ = on; }
+  /// Cycle → MultiwayExpand rewrite (worst-case-optimal multiway joins);
+  /// off keeps binary join trees — the bench_wcoj ablation mode.
+  void set_enable_multiway(bool on) { enable_multiway_ = on; }
+  /// Estimated-cost-driven HashJoin build-side swap.
+  void set_choose_build_side(bool on) { choose_build_side_ = on; }
   /// Per-column statistics in the cardinality estimator (graph/stats.h);
   /// off falls back to the seed's constant selectivities (the
   /// stats-ablation bench mode).
@@ -144,6 +149,8 @@ class QueryEngine {
   bool use_planner_ = true;
   bool enable_pushdown_ = true;
   bool reorder_joins_ = true;
+  bool enable_multiway_ = true;
+  bool choose_build_side_ = true;
   bool use_column_stats_ = true;
   size_t parallelism_ = 0;
   size_t morsel_size_ = 0;

@@ -416,6 +416,23 @@ void BindingTable::AdoptProjectedColumns(const BindingTable& src,
   num_rows_ = src.num_rows_;
 }
 
+void BindingTable::AdoptProjectedColumnsMove(BindingTable&& src,
+                                             const std::vector<size_t>& kept) {
+  std::unordered_map<size_t, size_t> first_pos;
+  first_pos.reserve(kept.size());
+  for (size_t k = 0; k < kept.size(); ++k) {
+    auto [it, fresh] = first_pos.emplace(kept[k], k);
+    if (fresh) {
+      cols_[k] = std::move(src.cols_[kept[k]]);
+    } else {
+      // Duplicate-named source column already moved: its value is equal
+      // by construction, copy the adopted one.
+      cols_[k] = cols_[it->second];
+    }
+  }
+  num_rows_ = src.num_rows_;
+}
+
 size_t HashRow(const BindingRow& row) {
   size_t h = 0;
   for (const Datum& d : row) h = HashCombine(h, d.Hash());

@@ -270,6 +270,13 @@ class BindingTable {
   /// kept.size() == NumColumns().
   void AdoptProjectedColumns(const BindingTable& src,
                              const std::vector<size_t>& kept);
+  /// AdoptProjectedColumns over an expiring source: columns *move* out of
+  /// src (left unspecified) instead of deep-copying their dense arrays; a
+  /// kept index repeated for several positions copies from the first
+  /// adopted one. The swapped-join canonical re-merge uses this so the
+  /// large join result is never materialized twice.
+  void AdoptProjectedColumnsMove(BindingTable&& src,
+                                 const std::vector<size_t>& kept);
   void ReserveRows(size_t rows) {
     for (auto& c : cols_) c.Reserve(rows);
   }

@@ -300,9 +300,12 @@ class JoinDedupSink {
   RowIndexSet seen_;
 };
 
-}  // namespace
-
-BindingTable TableJoin(const BindingTable& a, const BindingTable& b) {
+/// TableJoin with optional per-probe-row match tracking: `matched[ra]`
+/// is set whenever row ra of a has at least one compatible b row — the
+/// signal the left outer join's antijoin needs, harvested during the
+/// probe instead of by a second full pass.
+BindingTable JoinTracked(const BindingTable& a, const BindingTable& b,
+                         std::vector<char>* matched) {
   std::vector<size_t> b_extra;
   BindingTable out = JoinSchema(a, b, &b_extra);
   const auto shared = SharedColumns(a, b);
@@ -311,10 +314,17 @@ BindingTable TableJoin(const BindingTable& a, const BindingTable& b) {
   for (size_t ra = 0; ra < a.NumRows(); ++ra) {
     index.ForEachCandidate(a, ra, shared, [&](size_t rb) {
       if (!CompatibleAt(a, ra, b, rb, shared)) return;
+      if (matched != nullptr) (*matched)[ra] = 1;
       sink.InsertPair(ra, rb);
     });
   }
   return out;
+}
+
+}  // namespace
+
+BindingTable TableJoin(const BindingTable& a, const BindingTable& b) {
+  return JoinTracked(a, b, nullptr);
 }
 
 namespace {
@@ -352,12 +362,18 @@ struct MorselJoinOut {
 
 }  // namespace
 
-BindingTable TableJoinParallel(const BindingTable& a, const BindingTable& b,
-                               size_t parallelism, size_t morsel_rows) {
+namespace {
+
+/// TableJoinParallel with the same optional match tracking as
+/// JoinTracked (workers write disjoint probe-row ranges, so the bitmap
+/// needs no synchronization).
+BindingTable JoinParallelTracked(const BindingTable& a, const BindingTable& b,
+                                 size_t parallelism, size_t morsel_rows,
+                                 std::vector<char>* matched) {
   const size_t morsel = morsel_rows == 0 ? kJoinMorselRows : morsel_rows;
   const auto shared = SharedColumns(a, b);
   if (parallelism <= 1 || a.NumRows() < 2 * morsel) {
-    return TableJoin(a, b);
+    return JoinTracked(a, b, matched);
   }
   // Probe rows with an unbound shared column enumerate candidates in
   // hash-index iteration order, which a partitioned index cannot
@@ -366,7 +382,7 @@ BindingTable TableJoinParallel(const BindingTable& a, const BindingTable& b,
   for (size_t r = 0; r < a.NumRows(); ++r) {
     size_t h = 0;
     if (!ProbeIndex::HashSharedAt<0>(a, r, shared, &h)) {
-      return TableJoin(a, b);
+      return JoinTracked(a, b, matched);
     }
   }
 
@@ -389,6 +405,7 @@ BindingTable TableJoinParallel(const BindingTable& a, const BindingTable& b,
       ProbeIndex::HashSharedAt<0>(a, r, shared, &h);  // pre-checked bound
       auto emit = [&](size_t rb_idx) {
         if (!CompatibleAt(a, r, b, rb_idx, shared)) return;
+        if (matched != nullptr) (*matched)[r] = 1;
         size_t row_hash = 0;
         if (sink.InsertPair(r, rb_idx, &row_hash)) {
           local.hashes.push_back(row_hash);
@@ -429,6 +446,31 @@ BindingTable TableJoinParallel(const BindingTable& a, const BindingTable& b,
   return out;
 }
 
+}  // namespace
+
+BindingTable TableJoinParallel(const BindingTable& a, const BindingTable& b,
+                               size_t parallelism, size_t morsel_rows) {
+  return JoinParallelTracked(a, b, parallelism, morsel_rows, nullptr);
+}
+
+BindingTable TableJoinSwapBuild(const BindingTable& a, const BindingTable& b,
+                                size_t parallelism, size_t morsel_rows) {
+  // Build over a / probe b, then re-merge into the canonical a-first
+  // schema: every canonical column copies the equally-named column of the
+  // swapped result wholesale. Cell values agree pair-by-pair with the
+  // unswapped join (a bound shared cell equals the b cell it matched; an
+  // unbound one was filled from b either way), so only row order differs.
+  BindingTable swapped = TableJoinParallel(b, a, parallelism, morsel_rows);
+  std::vector<size_t> b_extra;
+  BindingTable out = JoinSchema(a, b, &b_extra);
+  std::vector<size_t> kept(out.NumColumns());
+  for (size_t c = 0; c < out.NumColumns(); ++c) {
+    kept[c] = swapped.ColumnIndex(out.columns()[c]);
+  }
+  out.AdoptProjectedColumnsMove(std::move(swapped), kept);
+  return out;
+}
+
 BindingTable TableSemijoin(const BindingTable& a, const BindingTable& b) {
   BindingTable out(a.columns());
   for (const auto& [var, graph] : a.column_graphs()) {
@@ -463,6 +505,30 @@ BindingTable TableLeftOuterJoin(const BindingTable& a,
                                 const BindingTable& b) {
   BindingTable joined = TableJoin(a, b);
   BindingTable missing = TableAntijoin(a, b);
+  return TableUnion(joined, missing);
+}
+
+BindingTable TableLeftOuterJoinParallel(const BindingTable& a,
+                                        const BindingTable& b,
+                                        size_t parallelism,
+                                        size_t morsel_rows) {
+  // The join probe already visits every candidate of every a-row, so it
+  // harvests the antijoin for free: rows that matched nothing are the
+  // ∖-side, gathered in a-order exactly as TableAntijoin would emit them
+  // — one hash build and one probe pass for the whole ⟕.
+  std::vector<char> matched(a.NumRows(), 0);
+  BindingTable joined =
+      JoinParallelTracked(a, b, parallelism, morsel_rows, &matched);
+  BindingTable missing(a.columns());
+  for (const auto& [var, graph] : a.column_graphs()) {
+    missing.SetColumnGraph(var, graph);
+  }
+  std::vector<size_t> kept;
+  kept.reserve(a.NumRows());
+  for (size_t r = 0; r < a.NumRows(); ++r) {
+    if (matched[r] == 0) kept.push_back(r);
+  }
+  missing.AppendRowsFrom(a, kept);
   return TableUnion(joined, missing);
 }
 

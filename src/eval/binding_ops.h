@@ -40,6 +40,25 @@ BindingTable TableJoin(const BindingTable& a, const BindingTable& b);
 BindingTable TableJoinParallel(const BindingTable& a, const BindingTable& b,
                                size_t parallelism, size_t morsel_rows = 0);
 
+/// Ω1 ⋈ Ω2 computed with the build/probe roles reversed — build over Ω1,
+/// probe Ω2 — and the result re-merged into the canonical Ω1-first column
+/// order of TableJoin(a, b), with identical schema and provenance. The
+/// output *set* equals TableJoin(a, b); only row order (probe order of b)
+/// differs. The planner requests this via PlanNode::swap_build when
+/// statistics predict the default build side (b) dwarfs a.
+BindingTable TableJoinSwapBuild(const BindingTable& a, const BindingTable& b,
+                                size_t parallelism, size_t morsel_rows = 0);
+
+/// Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 ∖ Ω2) with a morsel-parallel probe that
+/// computes both sides in one pass (rows matching nothing during the
+/// join probe are exactly the ∖ side) — OPTIONAL blocks stop serializing
+/// the pipeline. Byte-identical to TableLeftOuterJoin at every
+/// parallelism.
+BindingTable TableLeftOuterJoinParallel(const BindingTable& a,
+                                        const BindingTable& b,
+                                        size_t parallelism,
+                                        size_t morsel_rows = 0);
+
 /// Ω1 ⋉ Ω2: rows of Ω1 with at least one compatible row in Ω2.
 BindingTable TableSemijoin(const BindingTable& a, const BindingTable& b);
 

@@ -152,6 +152,17 @@ bool Matcher::LabelsMatch(
   return true;
 }
 
+bool Matcher::EdgeAdmits(const EdgePattern& edge, EdgeId id,
+                         const PathPropertyGraph& graph) const {
+  if (!LabelsMatch(graph.Labels(id), edge.label_groups)) return false;
+  for (const auto& p : edge.props) {
+    if (p.mode != PropPattern::Mode::kFilter) continue;
+    if (p.value->kind != Expr::Kind::kLiteral) continue;  // row-dependent
+    if (!graph.Property(id, p.key).Contains(p.value->value)) return false;
+  }
+  return true;
+}
+
 Result<bool> Matcher::NodeAdmits(const NodePattern& node, NodeId id,
                                  const PathPropertyGraph& graph) {
   if (!LabelsMatch(graph.Labels(id), node.label_groups)) return false;

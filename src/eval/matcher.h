@@ -48,10 +48,23 @@ struct MatcherContext {
   /// filter map in legacy mode). On by default; the ablation bench turns
   /// it off to show the blow-up on selective path queries.
   bool enable_pushdown = true;
-  /// Optimizer flag: order independent pattern chains by estimated
-  /// cardinality before joining (planner mode only; the legacy walk always
-  /// joins in source order).
+  /// Optimizer flag: enumerate join trees for independent pattern chains
+  /// by estimated cardinality (planner mode only; the legacy walk always
+  /// joins in source order). Since the bushy-join refactor the rule runs
+  /// a DP over connected subsets and may emit bushy trees; off keeps the
+  /// seed's source-order left-deep chain.
   bool reorder_joins = true;
+  /// Optimizer flag: rewrite cyclic conjunctive patterns (triangles,
+  /// diamonds) into a MultiwayExpand worst-case-optimal intersection when
+  /// the AGM/max-degree bound beats the binary join alternative. Requires
+  /// reorder_joins and usable statistics; off keeps binary joins (the
+  /// bench ablation mode).
+  bool enable_multiway = true;
+  /// Optimizer flag: let HashJoin build over its left (accumulated) side
+  /// when statistics predict the right side is much larger. Output
+  /// schema, provenance and the result *set* are unchanged; only the
+  /// build/probe roles (and thus intermediate work) move.
+  bool choose_build_side = true;
   /// Optimizer flag: derive selectivities from the per-column statistics
   /// of graph/stats.h (1/distinct equality, min/max range interpolation,
   /// measured expansion degrees, degree-aware join bounds). Off falls
@@ -159,6 +172,15 @@ class Matcher {
       const PathPropertyGraph& graph, const std::string& graph_name,
       const std::function<PathId()>* fresh_ids = nullptr);
 
+  /// Node-pattern admission (labels plus literal filter props; non-literal
+  /// and bind-mode props are the caller's business). Shared by hop
+  /// expansion and the multiway intersection operator (plan/wcoj.h).
+  Result<bool> NodeAdmits(const NodePattern& node, NodeId id,
+                          const PathPropertyGraph& graph);
+  /// Edge-pattern admission: label groups plus literal filter props.
+  bool EdgeAdmits(const EdgePattern& edge, EdgeId id,
+                  const PathPropertyGraph& graph) const;
+
   /// Keeps the rows of `table` on which `predicate` holds.
   Result<BindingTable> FilterTable(BindingTable table, const Expr& predicate,
                                    const PathPropertyGraph* graph);
@@ -203,10 +225,6 @@ class Matcher {
                                          const std::string& var,
                                          const std::vector<PropPattern>& props,
                                          const PathPropertyGraph& graph);
-
-  /// Target-node admission check used inside hop expansion.
-  Result<bool> NodeAdmits(const NodePattern& node, NodeId id,
-                          const PathPropertyGraph& graph);
 
   /// Applies pushed-down single-variable WHERE conjuncts for `var` (no-op
   /// when none are registered; legacy path only).

@@ -53,6 +53,17 @@ AdjacencyIndex::AdjacencyIndex(const PathPropertyGraph& graph)
   }
 }
 
+AdjacencyIndex::EntrySpan AdjacencyIndex::EdgesTo(EntrySpan span,
+                                                  DenseNodeIndex neighbor) {
+  const AdjacencyEntry* lo = std::lower_bound(
+      span.begin, span.end, neighbor,
+      [](const AdjacencyEntry& e, DenseNodeIndex n) { return e.neighbor < n; });
+  const AdjacencyEntry* hi = std::upper_bound(
+      lo, span.end, neighbor,
+      [](DenseNodeIndex n, const AdjacencyEntry& e) { return n < e.neighbor; });
+  return {lo, hi};
+}
+
 std::vector<AdjacencyEntry> AdjacencyIndex::AllNeighbors(
     DenseNodeIndex n) const {
   std::vector<AdjacencyEntry> all;

@@ -60,6 +60,34 @@ class AdjacencyIndex {
   /// is unconstrained.
   std::vector<AdjacencyEntry> AllNeighbors(DenseNodeIndex n) const;
 
+  // --- sorted-neighbor view -------------------------------------------------
+  // The CSR entries of each node are ordered by (neighbor, edge), and the
+  // dense numbering is ascending in node id, so every Out/In span doubles
+  // as a sorted adjacency list keyed by neighbor. The worst-case-optimal
+  // multiway join (plan/wcoj.h) intersects these spans directly.
+
+  /// Half-open, (neighbor, edge)-sorted span of half-edges.
+  struct EntrySpan {
+    const AdjacencyEntry* begin = nullptr;
+    const AdjacencyEntry* end = nullptr;
+    size_t size() const { return static_cast<size_t>(end - begin); }
+    bool empty() const { return begin == end; }
+  };
+
+  /// Sorted out-/in-neighbor list of `n` (same storage as Out/In).
+  EntrySpan OutSorted(DenseNodeIndex n) const {
+    return {out_entries_.data() + out_offsets_[n],
+            out_entries_.data() + out_offsets_[n + 1]};
+  }
+  EntrySpan InSorted(DenseNodeIndex n) const {
+    return {in_entries_.data() + in_offsets_[n],
+            in_entries_.data() + in_offsets_[n + 1]};
+  }
+
+  /// Entries of `span` connecting to `neighbor` (binary search — the
+  /// parallel-edge enumeration step of the multiway intersection).
+  static EntrySpan EdgesTo(EntrySpan span, DenseNodeIndex neighbor);
+
  private:
   const PathPropertyGraph* graph_;
   std::vector<NodeId> node_ids_;  // dense -> id, sorted ascending

@@ -54,7 +54,8 @@ void GraphBuilder::AddNodePropertyValue(NodeId node, const std::string& key,
                                         Value value) {
   ValueSet values = graph_.Property(node, key);
   if (collect_stats_) {
-    stats_.AddNodePropertyValue(key, value, values.empty());
+    stats_.AddNodePropertyValue(graph_.Labels(node), key, value,
+                                values.empty());
   }
   values.Insert(std::move(value));
   graph_.SetProperty(node, key, std::move(values));
@@ -64,7 +65,8 @@ void GraphBuilder::AddEdgePropertyValue(EdgeId edge, const std::string& key,
                                         Value value) {
   ValueSet values = graph_.Property(edge, key);
   if (collect_stats_) {
-    stats_.AddEdgePropertyValue(key, value, values.empty());
+    stats_.AddEdgePropertyValue(graph_.Labels(edge), key, value,
+                                values.empty());
   }
   values.Insert(std::move(value));
   graph_.SetProperty(edge, key, std::move(values));
@@ -81,7 +83,7 @@ EdgeId GraphBuilder::AddEdge(NodeId src, NodeId dst, const std::string& label,
   }
   if (collect_stats_) {
     stats_.AddEdge(graph_.Labels(id), graph_.Properties(id),
-                   graph_.Labels(src), graph_.Labels(dst));
+                   graph_.Labels(src), graph_.Labels(dst), src, dst);
   }
   return id;
 }
@@ -99,7 +101,7 @@ EdgeId GraphBuilder::AddEdgeWithId(uint64_t raw_id, NodeId src, NodeId dst,
   }
   if (collect_stats_) {
     stats_.AddEdge(graph_.Labels(id), graph_.Properties(id),
-                   graph_.Labels(src), graph_.Labels(dst));
+                   graph_.Labels(src), graph_.Labels(dst), src, dst);
   }
   return id;
 }

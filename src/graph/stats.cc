@@ -56,6 +56,17 @@ void FoldPropertyMap(const PropertyMap& map,
   }
 }
 
+/// True when the map holds at least one non-empty value set — only then
+/// does an object create per-label distribution buckets (so both
+/// collection paths create exactly the same buckets).
+bool HasAnyProperty(const PropertyMap& map) {
+  for (const auto& [key, value_set] : map.entries()) {
+    (void)key;
+    if (!value_set.empty()) return true;
+  }
+  return false;
+}
+
 void ResolveDistinct(const std::map<std::string, std::set<Value>>& values,
                      std::map<std::string, PropertyStats>* props) {
   for (const auto& [key, set] : values) {
@@ -74,6 +85,30 @@ double AvgDegree(
   if (by_edge == by_endpoint->second.end()) return 0.0;
   return static_cast<double>(by_edge->second) /
          static_cast<double>(endpoint_count);
+}
+
+size_t MaxDegree(
+    const std::map<std::string, std::map<std::string, size_t>>& maxima,
+    const std::string& endpoint_label, const std::string& edge_label) {
+  auto by_endpoint = maxima.find(endpoint_label);
+  if (by_endpoint == maxima.end()) return 0;
+  auto by_edge = by_endpoint->second.find(edge_label);
+  return by_edge == by_endpoint->second.end() ? 0 : by_edge->second;
+}
+
+const PropertyStats* PropStatsFor(
+    const std::map<std::string, std::map<std::string, PropertyStats>>&
+        by_label,
+    const std::map<std::string, PropertyStats>& global,
+    const std::string& label, const std::string& key) {
+  if (label.empty()) {
+    auto it = global.find(key);
+    return it == global.end() ? nullptr : &it->second;
+  }
+  auto bucket = by_label.find(label);
+  if (bucket == by_label.end()) return nullptr;
+  auto it = bucket->second.find(key);
+  return it == bucket->second.end() ? nullptr : &it->second;
 }
 
 }  // namespace
@@ -102,6 +137,26 @@ double GraphStats::AvgInDegree(const std::string& dst_label,
   return AvgDegree(in_edge_counts, dst_label, edge_label, targets);
 }
 
+size_t GraphStats::MaxOutDegree(const std::string& src_label,
+                                const std::string& edge_label) const {
+  return MaxDegree(out_degree_max, src_label, edge_label);
+}
+
+size_t GraphStats::MaxInDegree(const std::string& dst_label,
+                               const std::string& edge_label) const {
+  return MaxDegree(in_degree_max, dst_label, edge_label);
+}
+
+const PropertyStats* GraphStats::NodePropStatsFor(
+    const std::string& label, const std::string& key) const {
+  return PropStatsFor(node_props_by_label, node_props, label, key);
+}
+
+const PropertyStats* GraphStats::EdgePropStatsFor(
+    const std::string& label, const std::string& key) const {
+  return PropStatsFor(edge_props_by_label, edge_props, label, key);
+}
+
 GraphStats GraphStats::Collect(const PathPropertyGraph& graph) {
   StatsCollector collector;
   graph.ForEachNode([&](NodeId id) {
@@ -109,7 +164,7 @@ GraphStats GraphStats::Collect(const PathPropertyGraph& graph) {
   });
   graph.ForEachEdge([&](EdgeId id, NodeId src, NodeId dst) {
     collector.AddEdge(graph.Labels(id), graph.Properties(id),
-                      graph.Labels(src), graph.Labels(dst));
+                      graph.Labels(src), graph.Labels(dst), src, dst);
   });
   graph.ForEachPath([&](PathId, const PathBody&) { collector.AddPath(); });
   return collector.Finish();
@@ -119,40 +174,91 @@ void StatsCollector::AddNode(const LabelSet& labels,
                              const PropertyMap& props) {
   ++stats_.num_nodes;
   for (const auto& label : labels) ++stats_.node_label_counts[label];
-  FoldPropertyMap(props, &stats_.node_props, &node_values_);
+  FoldPropertyMap(props, &stats_.node_props, &node_values_.global);
+  if (HasAnyProperty(props)) {
+    for (const auto& label : labels) {
+      FoldPropertyMap(props, &stats_.node_props_by_label[label],
+                      &node_values_.by_label[label]);
+    }
+  }
 }
 
 void StatsCollector::AddEdge(const LabelSet& edge_labels,
                              const PropertyMap& props,
                              const LabelSet& src_labels,
-                             const LabelSet& dst_labels) {
+                             const LabelSet& dst_labels, NodeId src,
+                             NodeId dst) {
   ++stats_.num_edges;
   for (const auto& label : edge_labels) ++stats_.edge_label_counts[label];
-  FoldPropertyMap(props, &stats_.edge_props, &edge_values_);
+  FoldPropertyMap(props, &stats_.edge_props, &edge_values_.global);
+  if (HasAnyProperty(props)) {
+    for (const auto& label : edge_labels) {
+      FoldPropertyMap(props, &stats_.edge_props_by_label[label],
+                      &edge_values_.by_label[label]);
+    }
+  }
   CountEdgeBuckets(src_labels, edge_labels, &stats_.out_edge_counts);
   CountEdgeBuckets(dst_labels, edge_labels, &stats_.in_edge_counts);
+  CountEdgeBuckets(src_labels, edge_labels, &out_degrees_[src.value()]);
+  CountEdgeBuckets(dst_labels, edge_labels, &in_degrees_[dst.value()]);
 }
 
 void StatsCollector::AddPath() { ++stats_.num_paths; }
 
-void StatsCollector::AddNodePropertyValue(const std::string& key,
+void StatsCollector::AddNodePropertyValue(const LabelSet& labels,
+                                          const std::string& key,
                                           const Value& value,
                                           bool is_new_key) {
   FoldPropertyValue(key, value, is_new_key, &stats_.node_props,
-                    &node_values_);
+                    &node_values_.global);
+  for (const auto& label : labels) {
+    FoldPropertyValue(key, value, is_new_key,
+                      &stats_.node_props_by_label[label],
+                      &node_values_.by_label[label]);
+  }
 }
 
-void StatsCollector::AddEdgePropertyValue(const std::string& key,
+void StatsCollector::AddEdgePropertyValue(const LabelSet& labels,
+                                          const std::string& key,
                                           const Value& value,
                                           bool is_new_key) {
   FoldPropertyValue(key, value, is_new_key, &stats_.edge_props,
-                    &edge_values_);
+                    &edge_values_.global);
+  for (const auto& label : labels) {
+    FoldPropertyValue(key, value, is_new_key,
+                      &stats_.edge_props_by_label[label],
+                      &edge_values_.by_label[label]);
+  }
 }
 
 GraphStats StatsCollector::Finish() const {
   GraphStats stats = stats_;
-  ResolveDistinct(node_values_, &stats.node_props);
-  ResolveDistinct(edge_values_, &stats.edge_props);
+  ResolveDistinct(node_values_.global, &stats.node_props);
+  ResolveDistinct(edge_values_.global, &stats.edge_props);
+  for (const auto& [label, values] : node_values_.by_label) {
+    ResolveDistinct(values, &stats.node_props_by_label[label]);
+  }
+  for (const auto& [label, values] : edge_values_.by_label) {
+    ResolveDistinct(values, &stats.edge_props_by_label[label]);
+  }
+  // Per-node degree counters fold into the per-bucket maxima; the "" keys
+  // make out_degree_max[""][""] the global maximum degree.
+  auto fold_maxima =
+      [](const DegreeCounts& per_node,
+         std::map<std::string, std::map<std::string, size_t>>* maxima) {
+        for (const auto& [node, buckets] : per_node) {
+          (void)node;
+          for (const auto& [endpoint_label, by_edge] : buckets) {
+            auto& out = (*maxima)[endpoint_label];
+            for (const auto& [edge_label, count] : by_edge) {
+              size_t& slot = out[edge_label];
+              if (count > slot) slot = count;
+            }
+          }
+        }
+      };
+  fold_maxima(out_degrees_, &stats.out_degree_max);
+  fold_maxima(in_degrees_, &stats.in_degree_max);
   return stats;
 }
 

@@ -9,6 +9,16 @@
 // interpolation and degree-based expansion fanout. The columnar layout of
 // the Ω layer makes all of these one linear scan to collect.
 //
+// Two refinements feed the join subsystem (plan/cost.h):
+//   * per-bucket *maximum* degree next to every (endpoint label, edge
+//     label) average — the ingredient of the degree-aware AGM/FD upper
+//     bound that prices MultiwayExpand against binary join trees
+//     (Abo Khamis, Ngo & Suciu);
+//   * per-(label, key) property distributions, so a label-restricted
+//     scan with a property filter stops paying the carrying-fraction ×
+//     label-fraction independence double-charge (the global per-key
+//     distribution remains the fallback when a bucket is missing).
+//
 // Two collection paths produce identical statistics:
 //   * GraphStats::Collect(graph) — one full scan; what GraphCatalog::Stats
 //     runs lazily (and caches) on first use.
@@ -22,6 +32,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/value.h"
@@ -61,6 +72,15 @@ struct GraphStats {
   /// Per-property-key distributions of node / edge properties.
   std::map<std::string, PropertyStats> node_props;
   std::map<std::string, PropertyStats> edge_props;
+  /// Label-restricted distributions keyed [object label][property key]:
+  /// the same PropertyStats, but counted over the objects carrying the
+  /// label (count relative to the label's object count, distinct/range
+  /// over the label's carriers). Buckets exist only for labels whose
+  /// objects carry properties; the global maps above are the fallback.
+  std::map<std::string, std::map<std::string, PropertyStats>>
+      node_props_by_label;
+  std::map<std::string, std::map<std::string, PropertyStats>>
+      edge_props_by_label;
   /// Edge counts keyed by [endpoint label][edge label]: out_edge_counts
   /// buckets every edge under each label of its *source* node,
   /// in_edge_counts under each label of its *target*. The empty string is
@@ -68,6 +88,12 @@ struct GraphStats {
   /// num_edges.
   std::map<std::string, std::map<std::string, size_t>> out_edge_counts;
   std::map<std::string, std::map<std::string, size_t>> in_edge_counts;
+  /// Maximum per-node degree of each bucket above: out_degree_max[ℓ][e]
+  /// is the largest number of e-labeled edges leaving any single ℓ-labeled
+  /// node (the worst-case fanout the AGM/FD join bound multiplies by).
+  /// A bucket missing from the map means no such edge was measured.
+  std::map<std::string, std::map<std::string, size_t>> out_degree_max;
+  std::map<std::string, std::map<std::string, size_t>> in_degree_max;
 
   /// Nodes carrying `label`; 0 when the label never occurs.
   size_t NodesWithLabel(const std::string& label) const;
@@ -83,6 +109,21 @@ struct GraphStats {
   double AvgInDegree(const std::string& dst_label,
                      const std::string& edge_label) const;
 
+  /// Maximum out-degree of the (src_label, edge_label) bucket; 0 when the
+  /// combination was never measured (callers fall back to the average).
+  size_t MaxOutDegree(const std::string& src_label,
+                      const std::string& edge_label) const;
+  size_t MaxInDegree(const std::string& dst_label,
+                     const std::string& edge_label) const;
+
+  /// Distribution of `key` over nodes carrying `label`; null when the
+  /// bucket is missing (the caller falls back to node_props). An empty
+  /// label returns the global distribution.
+  const PropertyStats* NodePropStatsFor(const std::string& label,
+                                        const std::string& key) const;
+  const PropertyStats* EdgePropStatsFor(const std::string& label,
+                                        const std::string& key) const;
+
   /// Full-scan collection (the lazy GraphCatalog::Stats path).
   static GraphStats Collect(const PathPropertyGraph& graph);
 
@@ -92,8 +133,12 @@ struct GraphStats {
            a.node_label_counts == b.node_label_counts &&
            a.edge_label_counts == b.edge_label_counts &&
            a.node_props == b.node_props && a.edge_props == b.edge_props &&
+           a.node_props_by_label == b.node_props_by_label &&
+           a.edge_props_by_label == b.edge_props_by_label &&
            a.out_edge_counts == b.out_edge_counts &&
-           a.in_edge_counts == b.in_edge_counts;
+           a.in_edge_counts == b.in_edge_counts &&
+           a.out_degree_max == b.out_degree_max &&
+           a.in_degree_max == b.in_degree_max;
   }
 };
 
@@ -107,23 +152,43 @@ class StatsCollector {
   void AddNode(const LabelSet& labels, const PropertyMap& props);
   /// `src_labels`/`dst_labels` are the endpoint labels at insertion time;
   /// GraphBuilder adds edges after their endpoints are fully labeled.
+  /// `src`/`dst` identify the endpoints so per-node degree counters (the
+  /// max-degree histograms) can accumulate.
   void AddEdge(const LabelSet& edge_labels, const PropertyMap& props,
-               const LabelSet& src_labels, const LabelSet& dst_labels);
+               const LabelSet& src_labels, const LabelSet& dst_labels,
+               NodeId src, NodeId dst);
   void AddPath();
   /// One value appended to a node/edge property; `is_new_key` is true
-  /// when the object held no value for `key` before.
-  void AddNodePropertyValue(const std::string& key, const Value& value,
-                            bool is_new_key);
-  void AddEdgePropertyValue(const std::string& key, const Value& value,
-                            bool is_new_key);
+  /// when the object held no value for `key` before. `labels` are the
+  /// object's labels at that moment (per-label distribution buckets).
+  void AddNodePropertyValue(const LabelSet& labels, const std::string& key,
+                            const Value& value, bool is_new_key);
+  void AddEdgePropertyValue(const LabelSet& labels, const std::string& key,
+                            const Value& value, bool is_new_key);
 
-  /// Snapshot of the accumulated statistics (distinct counts resolved).
+  /// Snapshot of the accumulated statistics (distinct counts and degree
+  /// maxima resolved).
   GraphStats Finish() const;
 
  private:
+  /// Distinct-value tracking sets of one object class: global per key,
+  /// and per (label, key) for the label-restricted buckets.
+  struct ValueSets {
+    std::map<std::string, std::set<Value>> global;
+    std::map<std::string, std::map<std::string, std::set<Value>>> by_label;
+  };
+  /// Per-node edge counters of one direction, keyed
+  /// [node][endpoint label][edge label]; Finish() folds them into maxima
+  /// (order-independent, so the node key hashes — this sits on the
+  /// stats-enabled edge-ingest hot path).
+  using DegreeCounts = std::unordered_map<
+      uint64_t, std::map<std::string, std::map<std::string, size_t>>>;
+
   GraphStats stats_;
-  std::map<std::string, std::set<Value>> node_values_;
-  std::map<std::string, std::set<Value>> edge_values_;
+  ValueSets node_values_;
+  ValueSets edge_values_;
+  DegreeCounts out_degrees_;
+  DegreeCounts in_degrees_;
 };
 
 }  // namespace gcore

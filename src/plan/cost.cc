@@ -1,7 +1,9 @@
 #include "plan/cost.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <set>
 
 #include "ast/pattern.h"
 
@@ -172,6 +174,22 @@ const PlanNode* FindBinder(const PlanNode& node, const std::string& var) {
     case PlanOp::kPathSearch:
       if (node.to_var == var || node.path_var == var) return &node;
       break;
+    case PlanOp::kMultiwayExpand:
+      // Pre-bound cycle variables (the seed) belong to the child's
+      // binder — its pattern is more informative than the absorbed
+      // occurrences; the multiway node claims only what the child does
+      // not bind (free node variables and every edge variable).
+      for (const auto& child : node.children) {
+        const PlanNode* binder = FindBinder(*child, var);
+        if (binder != nullptr) return binder;
+      }
+      for (const MultiwayEdge& me : node.multi_edges) {
+        if (me.to_var == var || me.from_var == var ||
+            me.edge_var == var) {
+          return &node;
+        }
+      }
+      return nullptr;
     default:
       break;
   }
@@ -180,6 +198,55 @@ const PlanNode* FindBinder(const PlanNode& node, const std::string& var) {
     if (binder != nullptr) return binder;
   }
   return nullptr;
+}
+
+/// Most selective single-label group of a node pattern element (the label
+/// anchor of degree lookups and per-label property buckets); "" when no
+/// single-label group pins one.
+std::string AnchorNodeLabel(
+    const std::vector<std::vector<std::string>>& groups,
+    const GraphStats& stats) {
+  std::string anchor;
+  size_t best = std::numeric_limits<size_t>::max();
+  for (const auto& group : groups) {
+    if (group.size() != 1) continue;
+    const size_t count = stats.NodesWithLabel(group[0]);
+    if (count < best) {
+      best = count;
+      anchor = group[0];
+    }
+  }
+  return anchor;
+}
+
+std::string AnchorEdgeLabel(
+    const std::vector<std::vector<std::string>>& groups,
+    const GraphStats& stats) {
+  std::string anchor;
+  size_t best = std::numeric_limits<size_t>::max();
+  for (const auto& group : groups) {
+    if (group.size() != 1) continue;
+    const size_t count = stats.EdgesWithLabel(group[0]);
+    if (count < best) {
+      best = count;
+      anchor = group[0];
+    }
+  }
+  return anchor;
+}
+
+/// The node pattern a binder operator admits `var` with, or null.
+const NodePattern* BinderNodePattern(const PlanNode& binder,
+                                     const std::string& var) {
+  switch (binder.op) {
+    case PlanOp::kNodeScan:
+      return binder.var == var ? binder.node : nullptr;
+    case PlanOp::kExpandEdge:
+    case PlanOp::kPathSearch:
+      return binder.to_var == var ? binder.to : nullptr;
+    default:
+      return nullptr;
+  }
 }
 
 }  // namespace
@@ -225,18 +292,34 @@ double CardinalityEstimator::LabelSelectivity(
 
 double CardinalityEstimator::PropSelectivity(
     const std::vector<PropPattern>& props, const GraphStats* stats,
-    bool edge_props) const {
+    bool edge_props, const std::string& anchor_label) const {
   if (!use_column_stats_ || stats == nullptr) {
     return ConstantPropSelectivity(props);
   }
-  const auto& prop_stats = edge_props ? stats->edge_props : stats->node_props;
-  const size_t total = edge_props ? stats->num_edges : stats->num_nodes;
+  const auto& global = edge_props ? stats->edge_props : stats->node_props;
+  const size_t global_total =
+      edge_props ? stats->num_edges : stats->num_nodes;
+  const size_t anchor_total =
+      anchor_label.empty()
+          ? global_total
+          : (edge_props ? stats->EdgesWithLabel(anchor_label)
+                        : stats->NodesWithLabel(anchor_label));
   double s = 1.0;
   for (const auto& p : props) {
     if (p.mode != PropPattern::Mode::kFilter) continue;
-    auto it = prop_stats.find(p.key);
-    if (it != prop_stats.end() && it->second.distinct > 0) {
-      s *= EqualitySelectivity(it->second, total);
+    // (label, key) bucket first — the carrying fraction is then relative
+    // to the label's objects, so the label fraction already charged by
+    // LabelSelectivity is not re-paid.
+    const PropertyStats* bucket =
+        edge_props ? stats->EdgePropStatsFor(anchor_label, p.key)
+                   : stats->NodePropStatsFor(anchor_label, p.key);
+    if (bucket != nullptr && bucket->distinct > 0) {
+      s *= EqualitySelectivity(*bucket, anchor_total);
+      continue;
+    }
+    auto it = global.find(p.key);
+    if (it != global.end() && it->second.distinct > 0) {
+      s *= EqualitySelectivity(it->second, global_total);
     } else {
       s *= kPropFilterSelectivity;
     }
@@ -246,7 +329,8 @@ double CardinalityEstimator::PropSelectivity(
 
 double CardinalityEstimator::PushedSelectivity(
     const PlanNode& node, const GraphStats* stats,
-    const std::string& node_var, const std::string& edge_var) const {
+    const std::string& node_var, const std::string& edge_var,
+    const std::string& node_anchor, const std::string& edge_anchor) const {
   if (!use_column_stats_ || stats == nullptr) {
     return ConstantPushedSelectivity(node);
   }
@@ -257,15 +341,33 @@ double CardinalityEstimator::PushedSelectivity(
     if (shape.kind != PredicateShape::Kind::kOther &&
         (shape.var == node_var || shape.var == edge_var)) {
       const bool on_edge = !edge_var.empty() && shape.var == edge_var;
-      const auto& prop_stats =
-          on_edge ? stats->edge_props : stats->node_props;
-      const size_t total = on_edge ? stats->num_edges : stats->num_nodes;
-      auto it = prop_stats.find(shape.key);
-      if (it != prop_stats.end()) {
-        conjunct = shape.kind == PredicateShape::Kind::kEquality
-                       ? EqualitySelectivity(it->second, total)
-                       : RangeSelectivity(it->second, total, shape.op,
-                                          shape.literal);
+      const std::string& anchor = on_edge ? edge_anchor : node_anchor;
+      const auto& global = on_edge ? stats->edge_props : stats->node_props;
+      const size_t global_total =
+          on_edge ? stats->num_edges : stats->num_nodes;
+      const size_t anchor_total =
+          anchor.empty() ? global_total
+                         : (on_edge ? stats->EdgesWithLabel(anchor)
+                                    : stats->NodesWithLabel(anchor));
+      auto selectivity_from = [&](const PropertyStats& dist, size_t total) {
+        return shape.kind == PredicateShape::Kind::kEquality
+                   ? EqualitySelectivity(dist, total)
+                   : RangeSelectivity(dist, total, shape.op, shape.literal);
+      };
+      // (label, key) bucket first; an absent — or unusable (degenerate
+      // range, no distinct values) — bucket falls through to the global
+      // distribution, exactly like PropSelectivity.
+      const PropertyStats* bucket =
+          on_edge ? stats->EdgePropStatsFor(anchor, shape.key)
+                  : stats->NodePropStatsFor(anchor, shape.key);
+      if (bucket != nullptr) {
+        conjunct = selectivity_from(*bucket, anchor_total);
+      }
+      if (conjunct < 0.0) {
+        auto it = global.find(shape.key);
+        if (it != global.end()) {
+          conjunct = selectivity_from(it->second, global_total);
+        }
       }
     }
     s *= conjunct >= 0.0 ? conjunct : kPushedPredicateSelectivity;
@@ -276,11 +378,15 @@ double CardinalityEstimator::PushedSelectivity(
 double CardinalityEstimator::EstimateScan(const PlanNode& node) {
   const GraphStats* stats = StatsFor(node.graph);
   if (stats == nullptr) return -1.0;
+  const std::string anchor =
+      use_column_stats_ ? AnchorNodeLabel(node.node->label_groups, *stats)
+                        : std::string();
   return static_cast<double>(stats->num_nodes) *
          LabelSelectivity(node.node->label_groups, stats->node_label_counts,
                           stats->num_nodes) *
-         PropSelectivity(node.node->props, stats, /*edge_props=*/false) *
-         PushedSelectivity(node, stats, node.var, "");
+         PropSelectivity(node.node->props, stats, /*edge_props=*/false,
+                         anchor) *
+         PushedSelectivity(node, stats, node.var, "", anchor, "");
 }
 
 double CardinalityEstimator::EstimateExpand(const PlanNode& node,
@@ -288,6 +394,8 @@ double CardinalityEstimator::EstimateExpand(const PlanNode& node,
   const GraphStats* stats = StatsFor(node.graph);
   if (stats == nullptr || child_est < 0.0) return -1.0;
 
+  std::string to_anchor;
+  std::string edge_anchor;
   double fanout;
   if (use_column_stats_) {
     // Measured average degree of the (source label, edge label) pair.
@@ -300,17 +408,12 @@ double CardinalityEstimator::EstimateExpand(const PlanNode& node,
       const NodePattern* from_pattern =
           binder == nullptr ? nullptr
           : binder->op == PlanOp::kNodeScan ? binder->node
-                                            : binder->to;
+          : binder->op == PlanOp::kExpandEdge ||
+                  binder->op == PlanOp::kPathSearch
+              ? binder->to
+              : nullptr;
       if (from_pattern != nullptr) {
-        size_t best = std::numeric_limits<size_t>::max();
-        for (const auto& group : from_pattern->label_groups) {
-          if (group.size() != 1) continue;
-          const size_t count = stats->NodesWithLabel(group[0]);
-          if (count < best) {
-            best = count;
-            src_label = group[0];
-          }
-        }
+        src_label = AnchorNodeLabel(from_pattern->label_groups, *stats);
       }
     }
     const EdgePattern::Direction direction = node.edge->direction;
@@ -339,6 +442,8 @@ double CardinalityEstimator::EstimateExpand(const PlanNode& node,
         fanout = std::min(fanout, group_degree);
       }
     }
+    to_anchor = AnchorNodeLabel(node.to->label_groups, *stats);
+    edge_anchor = AnchorEdgeLabel(node.edge->label_groups, *stats);
   } else {
     // Seed model: global edge count scaled by label frequency over the
     // global node count.
@@ -356,9 +461,12 @@ double CardinalityEstimator::EstimateExpand(const PlanNode& node,
   return child_est * fanout *
          LabelSelectivity(node.to->label_groups, stats->node_label_counts,
                           stats->num_nodes) *
-         PropSelectivity(node.to->props, stats, /*edge_props=*/false) *
-         PropSelectivity(node.edge->props, stats, /*edge_props=*/true) *
-         PushedSelectivity(node, stats, node.to_var, node.edge_var);
+         PropSelectivity(node.to->props, stats, /*edge_props=*/false,
+                         to_anchor) *
+         PropSelectivity(node.edge->props, stats, /*edge_props=*/true,
+                         edge_anchor) *
+         PushedSelectivity(node, stats, node.to_var, node.edge_var,
+                           to_anchor, edge_anchor);
 }
 
 double CardinalityEstimator::EstimatePathSearch(const PlanNode& node,
@@ -378,62 +486,83 @@ double CardinalityEstimator::EstimatePathSearch(const PlanNode& node,
       per_source *= static_cast<double>(std::max<int64_t>(1, node.path->k));
     }
   }
+  const std::string to_anchor =
+      use_column_stats_ ? AnchorNodeLabel(node.to->label_groups, *stats)
+                        : std::string();
   return child_est * std::max(1.0, per_source) *
-         PropSelectivity(node.to->props, stats, /*edge_props=*/false) *
-         PushedSelectivity(node, stats, node.to_var, "");
+         PropSelectivity(node.to->props, stats, /*edge_props=*/false,
+                         to_anchor) *
+         PushedSelectivity(node, stats, node.to_var, "", to_anchor, "");
 }
 
-double CardinalityEstimator::EstimateJoin(const PlanNode& node) {
-  const double left = node.children[0]->est_rows;
-  const double right = node.children[1]->est_rows;
+double CardinalityEstimator::VarDomain(const PlanNode& tree,
+                                       const std::string& var) {
+  const PlanNode* binder = FindBinder(tree, var);
+  if (binder == nullptr) return -1.0;
+  const GraphStats* stats = StatsFor(binder->graph);
+  if (stats == nullptr) return -1.0;
+  switch (binder->op) {
+    case PlanOp::kNodeScan:
+      return static_cast<double>(stats->num_nodes) *
+             LabelSelectivity(binder->node->label_groups,
+                              stats->node_label_counts, stats->num_nodes);
+    case PlanOp::kExpandEdge:
+      if (var == binder->edge_var) {
+        return static_cast<double>(stats->num_edges) *
+               LabelSelectivity(binder->edge->label_groups,
+                                stats->edge_label_counts, stats->num_edges);
+      }
+      return static_cast<double>(stats->num_nodes) *
+             LabelSelectivity(binder->to->label_groups,
+                              stats->node_label_counts, stats->num_nodes);
+    case PlanOp::kPathSearch:
+      if (var == binder->path_var) return -1.0;  // fresh path ids
+      return static_cast<double>(stats->num_nodes) *
+             LabelSelectivity(binder->to->label_groups,
+                              stats->node_label_counts, stats->num_nodes);
+    case PlanOp::kMultiwayExpand: {
+      for (const MultiwayEdge& me : binder->multi_edges) {
+        if (var == me.edge_var) {
+          return static_cast<double>(stats->num_edges) *
+                 LabelSelectivity(me.edge->label_groups,
+                                  stats->edge_label_counts,
+                                  stats->num_edges);
+        }
+      }
+      // A cycle node variable: conjoin the label groups of every pattern
+      // occurrence the rewrite absorbed.
+      std::vector<std::vector<std::string>> groups;
+      for (const auto& [v, pattern] : binder->multi_nodes) {
+        if (v != var || pattern == nullptr) continue;
+        groups.insert(groups.end(), pattern->label_groups.begin(),
+                      pattern->label_groups.end());
+      }
+      return static_cast<double>(stats->num_nodes) *
+             LabelSelectivity(groups, stats->node_label_counts,
+                              stats->num_nodes);
+    }
+    default:
+      return -1.0;
+  }
+}
+
+double CardinalityEstimator::JoinEstimate(
+    double left, double right, bool correlated,
+    const std::vector<std::pair<double, double>>& key_domains,
+    bool use_column_stats) {
   if (left < 0.0 || right < 0.0) return -1.0;
-  if (!node.join_correlated) return left * right;
+  if (!correlated) return left * right;
   const double cross = left * right;
 
-  if (use_column_stats_) {
+  if (use_column_stats) {
     // Degree-aware bound: per shared key v, each side holds at most
     // V(v) = min(side rows, domain(v)) distinct keys, so matches per key
     // on the denser side average side/V — the join is bounded by
     // |L|·|R| / Π max(V_L, V_R). Falls back to the seed's max-of-inputs
     // guess when no shared key has a measurable domain.
-    auto domain_of = [&](const PlanNode& side,
-                         const std::string& var) -> double {
-      const PlanNode* binder = FindBinder(side, var);
-      if (binder == nullptr) return -1.0;
-      const GraphStats* stats = StatsFor(binder->graph);
-      if (stats == nullptr) return -1.0;
-      switch (binder->op) {
-        case PlanOp::kNodeScan:
-          return static_cast<double>(stats->num_nodes) *
-                 LabelSelectivity(binder->node->label_groups,
-                                  stats->node_label_counts,
-                                  stats->num_nodes);
-        case PlanOp::kExpandEdge:
-          if (var == binder->edge_var) {
-            return static_cast<double>(stats->num_edges) *
-                   LabelSelectivity(binder->edge->label_groups,
-                                    stats->edge_label_counts,
-                                    stats->num_edges);
-          }
-          return static_cast<double>(stats->num_nodes) *
-                 LabelSelectivity(binder->to->label_groups,
-                                  stats->node_label_counts,
-                                  stats->num_nodes);
-        case PlanOp::kPathSearch:
-          if (var == binder->path_var) return -1.0;  // fresh path ids
-          return static_cast<double>(stats->num_nodes) *
-                 LabelSelectivity(binder->to->label_groups,
-                                  stats->node_label_counts,
-                                  stats->num_nodes);
-        default:
-          return -1.0;
-      }
-    };
     double est = cross;
     bool any_domain = false;
-    for (const auto& var : node.join_vars) {
-      const double dl = domain_of(*node.children[0], var);
-      const double dr = domain_of(*node.children[1], var);
+    for (const auto& [dl, dr] : key_domains) {
       if (dl < 0.0 && dr < 0.0) continue;
       any_domain = true;
       const double vl = dl < 0.0 ? left : std::min(left, dl);
@@ -446,6 +575,163 @@ double CardinalityEstimator::EstimateJoin(const PlanNode& node) {
   // Correlated chains, no usable key domain: assume the join keys are
   // close to keys of the larger side.
   return std::max(left, right);
+}
+
+double CardinalityEstimator::EstimateJoin(const PlanNode& node) {
+  std::vector<std::pair<double, double>> key_domains;
+  key_domains.reserve(node.join_vars.size());
+  for (const auto& var : node.join_vars) {
+    key_domains.emplace_back(VarDomain(*node.children[0], var),
+                             VarDomain(*node.children[1], var));
+  }
+  return JoinEstimate(node.children[0]->est_rows,
+                      node.children[1]->est_rows, node.join_correlated,
+                      key_domains, use_column_stats_);
+}
+
+double CardinalityEstimator::EstimateMultiway(const PlanNode& node,
+                                              double child_est) {
+  const GraphStats* stats = StatsFor(node.graph);
+  if (stats == nullptr || child_est < 0.0 || node.children.empty() ||
+      node.multi_edges.empty()) {
+    return -1.0;
+  }
+
+  // Matching-edge count of one pattern edge (labels + literal props; an
+  // undirected pattern can cross each edge both ways).
+  auto edge_count = [&](const MultiwayEdge& me) {
+    const std::string anchor =
+        use_column_stats_ ? AnchorEdgeLabel(me.edge->label_groups, *stats)
+                          : std::string();
+    double c = static_cast<double>(stats->num_edges) *
+               LabelSelectivity(me.edge->label_groups,
+                                stats->edge_label_counts,
+                                stats->num_edges) *
+               PropSelectivity(me.edge->props, stats, /*edge_props=*/true,
+                               anchor);
+    if (me.edge->direction == EdgePattern::Direction::kUndirected) {
+      c *= 2.0;
+    }
+    return std::max(0.0, c);
+  };
+
+  // AGM bound with the cycle's optimal fractional edge cover (1/2 per
+  // edge): Π √|E_i|.
+  double agm = 1.0;
+  for (const MultiwayEdge& me : node.multi_edges) {
+    agm *= std::sqrt(edge_count(me));
+  }
+
+  // Degree-sequence bound (Abo Khamis et al., specialized to cycles over
+  // binary edge relations): walk the elimination order; each new
+  // variable multiplies by the smallest worst-case fanout over its
+  // already-bound neighbors — the per-bucket *maximum* degree, falling
+  // back to the average when the maximum was never measured.
+  //
+  // Both bounds assume at most one admitted edge per (endpoint pair,
+  // pattern edge) — exact on simple graphs. Parallel edges multiply the
+  // operator's edge-variable bindings past them (the statistics do not
+  // yet track per-pair multiplicities; see the ROADMAP follow-up), so on
+  // multigraphs this is an estimate, not a certified ceiling.
+  std::set<std::string> bound;
+  for (const std::string& v : MultiwayNodeVars(node)) {
+    if (FindBinder(*node.children[0], v) != nullptr) bound.insert(v);
+  }
+  if (bound.empty()) return -1.0;
+
+  // Label anchor of a cycle variable: the most selective single-label
+  // group over every absorbed pattern occurrence (and the child binder's
+  // pattern for pre-bound variables).
+  auto anchor_of = [&](const std::string& var) {
+    std::vector<std::vector<std::string>> groups;
+    for (const auto& [v, pattern] : node.multi_nodes) {
+      if (v != var || pattern == nullptr) continue;
+      groups.insert(groups.end(), pattern->label_groups.begin(),
+                    pattern->label_groups.end());
+    }
+    const PlanNode* binder = FindBinder(*node.children[0], var);
+    const NodePattern* bound_pattern =
+        binder == nullptr ? nullptr : BinderNodePattern(*binder, var);
+    if (bound_pattern != nullptr) {
+      groups.insert(groups.end(), bound_pattern->label_groups.begin(),
+                    bound_pattern->label_groups.end());
+    }
+    return AnchorNodeLabel(groups, *stats);
+  };
+
+  auto worst_fanout = [&](const std::string& bound_var,
+                          const MultiwayEdge& me) {
+    const std::string anchor = anchor_of(bound_var);
+    // Candidates leave the bound endpoint along the edge's direction:
+    // out-neighbors when the pattern points away from it, in-neighbors
+    // when it points at it, both when undirected.
+    const bool away = me.from_var == bound_var;
+    auto degree_of = [&](const std::string& edge_label) {
+      double max_deg = 0.0;
+      double avg_deg = 0.0;
+      switch (me.edge->direction) {
+        case EdgePattern::Direction::kRight:
+          max_deg = away ? stats->MaxOutDegree(anchor, edge_label)
+                         : stats->MaxInDegree(anchor, edge_label);
+          avg_deg = away ? stats->AvgOutDegree(anchor, edge_label)
+                         : stats->AvgInDegree(anchor, edge_label);
+          break;
+        case EdgePattern::Direction::kLeft:
+          max_deg = away ? stats->MaxInDegree(anchor, edge_label)
+                         : stats->MaxOutDegree(anchor, edge_label);
+          avg_deg = away ? stats->AvgInDegree(anchor, edge_label)
+                         : stats->AvgOutDegree(anchor, edge_label);
+          break;
+        case EdgePattern::Direction::kUndirected:
+          max_deg = stats->MaxOutDegree(anchor, edge_label) +
+                    stats->MaxInDegree(anchor, edge_label);
+          avg_deg = stats->AvgOutDegree(anchor, edge_label) +
+                    stats->AvgInDegree(anchor, edge_label);
+          break;
+      }
+      // A measured average with no measured maximum (e.g. statistics from
+      // an older collector) falls back to the average — still a usable
+      // estimate, no longer a hard bound.
+      return max_deg > 0.0 ? max_deg : avg_deg;
+    };
+    if (!use_column_stats_) {
+      // Seed model: global fanout, direction-blind.
+      double edges = static_cast<double>(stats->num_edges) *
+                     LabelSelectivity(me.edge->label_groups,
+                                      stats->edge_label_counts,
+                                      stats->num_edges);
+      if (me.edge->direction == EdgePattern::Direction::kUndirected) {
+        edges *= 2.0;
+      }
+      return edges /
+             std::max<double>(1.0, static_cast<double>(stats->num_nodes));
+    }
+    if (me.edge->label_groups.empty()) return degree_of("");
+    double fanout = std::numeric_limits<double>::infinity();
+    for (const auto& group : me.edge->label_groups) {
+      double group_degree = 0.0;
+      for (const auto& label : group) group_degree += degree_of(label);
+      fanout = std::min(fanout, group_degree);
+    }
+    return fanout;
+  };
+
+  double degree_bound = child_est;
+  for (const std::string& v : MultiwayEliminationOrder(node, bound)) {
+    double fanout = std::numeric_limits<double>::infinity();
+    for (const MultiwayEdge& me : node.multi_edges) {
+      const std::string& other = me.from_var == v ? me.to_var
+                                 : me.to_var == v ? me.from_var
+                                                  : std::string();
+      if (other.empty() || other == v || bound.count(other) == 0) continue;
+      fanout = std::min(fanout, worst_fanout(other, me));
+    }
+    if (!std::isfinite(fanout)) return -1.0;  // disconnected cycle edge
+    degree_bound *= fanout;
+    bound.insert(v);
+  }
+
+  return std::max(0.0, std::min(agm, degree_bound));
 }
 
 double CardinalityEstimator::Annotate(PlanNode* node) {
@@ -461,6 +747,9 @@ double CardinalityEstimator::Annotate(PlanNode* node) {
       break;
     case PlanOp::kExpandEdge:
       est = EstimateExpand(*node, child_est);
+      break;
+    case PlanOp::kMultiwayExpand:
+      est = EstimateMultiway(*node, child_est);
       break;
     case PlanOp::kPathSearch:
       est = EstimatePathSearch(*node, child_est);

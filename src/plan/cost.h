@@ -1,33 +1,40 @@
 // Cardinality estimation over GraphCatalog statistics (graph/stats.h).
 //
 // Estimates are heuristic row counts whose job is to rank alternatives
-// (the planner orders independent pattern chains smallest-first); they
-// are not used for admission or limits. Unknown inputs — unregistered
-// graphs, ON-subquery locations, table-as-graph names — degrade to
-// "unknown" (negative), which disables ordering decisions that would
-// depend on them.
+// (the planner's DP join enumeration compares bushy trees and prices
+// MultiwayExpand against the binary alternative); they are not used for
+// admission or limits. Unknown inputs — unregistered graphs, ON-subquery
+// locations, table-as-graph names — degrade to "unknown" (negative),
+// which disables ordering decisions that would depend on them.
 //
-// The statistics block of a graph drives four estimator rules:
+// The statistics block of a graph drives these estimator rules:
 //   * Equality — `x.k = literal` (a pattern `{k = v}` filter or a pushed
-//     WHERE conjunct) selects carrying-fraction × 1/distinct(k).
+//     WHERE conjunct) selects carrying-fraction × 1/distinct(k). When the
+//     pattern pins a label, the (label, key) bucket replaces the global
+//     distribution, removing the carrying-fraction × label-fraction
+//     independence double-charge.
 //   * Range — `x.k < c` (and <=, >, >=) interpolates c into the measured
-//     numeric [min, max] of k.
+//     numeric [min, max] of k (label-restricted when a bucket exists).
 //   * Expansion — an edge hop multiplies by the measured average degree
 //     of the (source label, edge label) pair, directional (out-degree
 //     for `-[]->`, in-degree for `<-[]-`, their sum undirected).
 //   * Join — a correlated HashJoin is bounded by |L|·|R| / Π max(V_L(v),
-//     V_R(v)) over the shared variables v, where V(v) is the side's
-//     distinct-key estimate (min of side cardinality and the key's label-
-//     restricted domain) — i.e. the smaller side times the larger side's
-//     average key degree, instead of the old max-of-inputs guess.
+//     V_R(v)) over the shared variables (PlanNode::join_vars), where
+//     V(v) is the side's distinct-key estimate. The same formula is
+//     exposed as JoinEstimate for the planner's DP enumeration.
+//   * Multiway — a MultiwayExpand cycle is priced by the smaller of the
+//     AGM bound (Π √|E_i| with the fractional edge cover of a cycle)
+//     and the degree-sequence bound of Abo Khamis, Ngo & Suciu seeded by
+//     the child estimate: each eliminated variable multiplies by the
+//     minimum per-bucket *maximum* degree over its already-bound
+//     neighbors (falling back to the average degree when a max bucket is
+//     missing).
 // Each rule falls back to the seed's constant selectivities when the
-// statistic it needs is absent (unknown property key, no numeric range,
-// label never measured), and the whole subsystem degrades to the label-
-// count-only model when `use_column_stats` is off (the bench ablation and
-// the stats-absent plan-shape goldens) — except LabelSelectivity's
-// multi-label double-count fix, which is unconditional. The FD-aware
-// bounds of Abo Khamis et al. (PAPERS.md) are the natural upgrade path
-// for the join formula.
+// statistic it needs is absent, and the whole subsystem degrades to the
+// label-count-only model when `use_column_stats` is off (the bench
+// ablation and the stats-absent plan-shape goldens) — except
+// LabelSelectivity's multi-label double-count fix, which is
+// unconditional.
 //
 // EXPLAIN renders est_rows per operator; EXPLAIN ANALYZE additionally
 // runs the query and prints actual_rows next to every estimate
@@ -37,6 +44,7 @@
 #define GCORE_PLAN_COST_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/catalog.h"
@@ -67,6 +75,27 @@ class CardinalityEstimator {
       const std::vector<std::vector<std::string>>& groups,
       const std::map<std::string, size_t>& label_counts, size_t total);
 
+  /// Distinct-key domain `tree` can bind `var` to (the binder pattern's
+  /// admitted object count); negative when unknown. Shared by the
+  /// HashJoin rule and the planner's DP join enumeration.
+  double VarDomain(const PlanNode& tree, const std::string& var);
+
+  /// The degree-aware correlated-join bound over precomputed inputs:
+  /// `key_domains` holds one (left domain, right domain) pair per shared
+  /// variable (negative = unknown). Mirrors the kHashJoin rule so the DP
+  /// enumeration prices candidate joins without materializing trees.
+  static double JoinEstimate(
+      double left, double right, bool correlated,
+      const std::vector<std::pair<double, double>>& key_domains,
+      bool use_column_stats);
+
+  /// AGM / max-degree upper bound on the output of a MultiwayExpand node
+  /// given its child estimate (a certified ceiling on simple graphs;
+  /// parallel edges can exceed it — per-pair multiplicities are not
+  /// tracked yet); negative when unknown. Public so the planner can
+  /// price a candidate rewrite before committing to it.
+  double EstimateMultiway(const PlanNode& node, double child_est);
+
  private:
   const GraphStats* StatsFor(const std::string& location);
 
@@ -76,15 +105,21 @@ class CardinalityEstimator {
   double EstimateJoin(const PlanNode& node);
 
   /// Selectivity of the literal `{k = v}` filters of a pattern element:
-  /// 1/distinct per key when measured, the seed constant otherwise.
+  /// 1/distinct per key when measured — against the (anchor_label, key)
+  /// bucket when present, the global distribution otherwise — and the
+  /// seed constant when neither exists.
   double PropSelectivity(const std::vector<PropPattern>& props,
-                         const GraphStats* stats, bool edge_props) const;
+                         const GraphStats* stats, bool edge_props,
+                         const std::string& anchor_label) const;
   /// Combined selectivity of an operator's pushed-down WHERE conjuncts;
   /// equality and range conjuncts on `var`'s properties use the measured
-  /// distributions, everything else the seed constant.
+  /// distributions (label-restricted via the anchors), everything else
+  /// the seed constant.
   double PushedSelectivity(const PlanNode& node, const GraphStats* stats,
                            const std::string& node_var,
-                           const std::string& edge_var) const;
+                           const std::string& edge_var,
+                           const std::string& node_anchor,
+                           const std::string& edge_anchor) const;
 
   GraphCatalog* catalog_;
   std::string default_graph_;

@@ -11,6 +11,7 @@
 
 #include "eval/binding_ops.h"
 #include "eval/matcher.h"
+#include "plan/wcoj.h"
 
 namespace gcore {
 
@@ -534,13 +535,17 @@ class HashJoinOp : public PhysicalOp {
     done_ = true;
     GCORE_ASSIGN_OR_RETURN(BindingTable left, Drain(left_.get()));
     GCORE_ASSIGN_OR_RETURN(BindingTable right, Drain(right_.get()));
-    // Static orientation, exactly as the legacy walk joins accumulated-
-    // result-first: shared-column graph provenance follows the left
-    // side deterministically (a runtime size-based swap would make
-    // provenance — and thus λ/σ lookups — data-dependent). Smallest-
-    // first chain ordering keeps the accumulated left side small.
+    // Orientation is fixed at *plan* time: provenance and schema always
+    // follow the left side (canonical order), and a swap_build plan
+    // builds over the left when statistics predicted the right side much
+    // larger — the choose_build_side rule. Never a runtime size check,
+    // so execution stays deterministic for a given plan.
     BindingTable joined =
-        TableJoinParallel(left, right, exec_.Degree(), exec_.MorselRows());
+        plan_->swap_build
+            ? TableJoinSwapBuild(left, right, exec_.Degree(),
+                                 exec_.MorselRows())
+            : TableJoinParallel(left, right, exec_.Degree(),
+                                exec_.MorselRows());
     if (stats_ != nullptr) stats_->Record(plan_, joined.NumRows());
     return Chunk(std::move(joined));
   }
@@ -554,14 +559,17 @@ class HashJoinOp : public PhysicalOp {
   bool done_ = false;
 };
 
-/// OPTIONAL chaining: ⟕ of the main plan with one block.
+/// OPTIONAL chaining: ⟕ of the main plan with one block. The composition
+/// (join ∪ antijoin) probes morsel-parallel (eval/binding_ops.h), so
+/// OPTIONAL blocks no longer serialize the pipeline.
 class LeftOuterJoinOp : public PhysicalOp {
  public:
   LeftOuterJoinOp(const PlanNode* plan, OpPtr left, OpPtr right,
-                  ExecStats* stats)
+                  ExecContext exec, ExecStats* stats)
       : plan_(plan),
         left_(std::move(left)),
         right_(std::move(right)),
+        exec_(exec),
         stats_(stats) {}
 
   Result<std::optional<BindingTable>> Next() override {
@@ -569,7 +577,8 @@ class LeftOuterJoinOp : public PhysicalOp {
     done_ = true;
     GCORE_ASSIGN_OR_RETURN(BindingTable left, Drain(left_.get()));
     GCORE_ASSIGN_OR_RETURN(BindingTable right, Drain(right_.get()));
-    BindingTable joined = TableLeftOuterJoin(left, right);
+    BindingTable joined = TableLeftOuterJoinParallel(
+        left, right, exec_.Degree(), exec_.MorselRows());
     if (stats_ != nullptr) stats_->Record(plan_, joined.NumRows());
     return Chunk(std::move(joined));
   }
@@ -578,6 +587,7 @@ class LeftOuterJoinOp : public PhysicalOp {
   const PlanNode* plan_;
   OpPtr left_;
   OpPtr right_;
+  ExecContext exec_;
   ExecStats* stats_;
   bool done_ = false;
 };
@@ -705,6 +715,35 @@ Stage MakeExpandEdgeStage(Matcher* rt, const PlanNode* plan,
   return stage;
 }
 
+/// MultiwayExpand: the worst-case-optimal cycle intersection (wcoj.h)
+/// runs as a fused per-morsel stage exactly like ExpandEdge — every input
+/// row expands independently, so the morsel protocol's ordered
+/// reassembly keeps output deterministic at every degree.
+Stage MakeMultiwayExpandStage(Matcher* rt, const PlanNode* plan,
+                              ExecStats* stats) {
+  auto resolved = std::make_shared<ResolvedGraph>();
+  Stage stage;
+  stage.prepare = [rt, plan, resolved]() -> Status {
+    GCORE_ASSIGN_OR_RETURN(resolved->graph, rt->ResolveGraph(plan->graph));
+    rt->Adjacency(*resolved->graph);  // warm the cache off the workers
+    return Status::OK();
+  };
+  stage.fn = Recorded(
+      [rt, plan, resolved](BindingTable morsel) -> Result<BindingTable> {
+        GCORE_ASSIGN_OR_RETURN(
+            BindingTable expanded,
+            MultiwayExpandChunk(rt, *plan, *resolved->graph,
+                                resolved->graph->name(), morsel));
+        return rt->FilterByConjuncts(std::move(expanded), plan->pushed,
+                                     resolved->graph);
+      },
+      plan, stats);
+  // The rewrite only absorbs literal-filter props (admission needs no row
+  // context), so thread safety hinges on the pushed conjuncts alone.
+  stage.thread_safe = ExprsParallelSafe(plan->pushed);
+  return stage;
+}
+
 Stage MakeResidualFilterStage(Matcher* rt, const PlanNode* plan,
                               ExecStats* stats) {
   auto resolved = std::make_shared<ResolvedGraph>();
@@ -751,6 +790,12 @@ Result<std::unique_ptr<PhysicalOp>> Executor::Build(const PlanNode& plan) {
       return FuseStage(std::move(child),
                        MakeExpandEdgeStage(runtime_, &plan, stats_), exec_);
     }
+    case PlanOp::kMultiwayExpand: {
+      GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));
+      return FuseStage(std::move(child),
+                       MakeMultiwayExpandStage(runtime_, &plan, stats_),
+                       exec_);
+    }
     case PlanOp::kPathSearch: {
       GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));
       return OpPtr(
@@ -777,7 +822,7 @@ Result<std::unique_ptr<PhysicalOp>> Executor::Build(const PlanNode& plan) {
       GCORE_ASSIGN_OR_RETURN(OpPtr left, Build(*plan.children[0]));
       GCORE_ASSIGN_OR_RETURN(OpPtr right, Build(*plan.children[1]));
       return OpPtr(new LeftOuterJoinOp(&plan, std::move(left),
-                                       std::move(right), stats_));
+                                       std::move(right), exec_, stats_));
     }
     case PlanOp::kProject: {
       GCORE_ASSIGN_OR_RETURN(OpPtr child, Build(*plan.children[0]));

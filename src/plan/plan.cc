@@ -1,5 +1,6 @@
 #include "plan/plan.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
@@ -13,6 +14,8 @@ const char* PlanOpName(PlanOp op) {
       return "NodeScan";
     case PlanOp::kExpandEdge:
       return "ExpandEdge";
+    case PlanOp::kMultiwayExpand:
+      return "MultiwayExpand";
     case PlanOp::kPathSearch:
       return "PathSearch";
     case PlanOp::kFilter:
@@ -37,6 +40,50 @@ PlanPtr MakePlan(PlanOp op, std::vector<PlanPtr> children) {
   auto node = std::make_unique<PlanNode>(op);
   node->children = std::move(children);
   return node;
+}
+
+std::vector<std::string> MultiwayNodeVars(const PlanNode& node) {
+  std::vector<std::string> vars;
+  auto add = [&vars](const std::string& v) {
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+    }
+  };
+  for (const MultiwayEdge& me : node.multi_edges) {
+    add(me.from_var);
+    add(me.to_var);
+  }
+  return vars;
+}
+
+std::vector<std::string> MultiwayEliminationOrder(
+    const PlanNode& node, const std::set<std::string>& bound) {
+  const std::vector<std::string> all = MultiwayNodeVars(node);
+  std::set<std::string> placed = bound;
+  std::vector<std::string> order;
+  while (true) {
+    std::string best;
+    size_t best_edges = 0;
+    for (const std::string& v : all) {
+      if (placed.count(v) > 0) continue;
+      size_t incident = 0;
+      for (const MultiwayEdge& me : node.multi_edges) {
+        const bool touches_v = me.from_var == v || me.to_var == v;
+        const std::string& other = me.from_var == v ? me.to_var
+                                                    : me.from_var;
+        if (touches_v && placed.count(other) > 0) ++incident;
+      }
+      // First appearance wins ties (`all` is in appearance order and the
+      // comparison is strict).
+      if (best.empty() || incident > best_edges) {
+        best = v;
+        best_edges = incident;
+      }
+    }
+    if (best.empty()) return order;
+    order.push_back(best);
+    placed.insert(best);
+  }
 }
 
 namespace {
@@ -68,6 +115,21 @@ std::string PlanNode::Describe() const {
       if (!graph.empty()) out << " on " << graph;
       AppendPushed(pushed, &out);
       break;
+    case PlanOp::kMultiwayExpand: {
+      out << " cycle=[";
+      for (size_t i = 0; i < multi_edges.size(); ++i) {
+        if (i > 0) out << ", ";
+        const MultiwayEdge& me = multi_edges[i];
+        NodePattern to_node;
+        to_node.var = me.to_var;
+        out << "(" << me.from_var << ")"
+            << gcore::ToString(*me.edge, to_node);
+      }
+      out << "]";
+      if (!graph.empty()) out << " on " << graph;
+      AppendPushed(pushed, &out);
+      break;
+    }
     case PlanOp::kPathSearch:
       out << " (" << from_var << ")" << gcore::ToString(*path, *to);
       if (!graph.empty()) out << " on " << graph;
@@ -87,6 +149,8 @@ std::string PlanNode::Describe() const {
       break;
     }
     case PlanOp::kHashJoin:
+      if (swap_build) out << " swap_build";
+      break;
     case PlanOp::kLeftOuterJoin:
     case PlanOp::kGraphUnion:
     case PlanOp::kGraphIntersect:

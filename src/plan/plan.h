@@ -11,9 +11,13 @@
 // Binding-level operators (executed):
 //   NodeScan       — all admitted nodes of one graph into a fresh column
 //   ExpandEdge     — one edge hop from a bound node column
+//   MultiwayExpand — k pattern edges closing a cycle, evaluated by
+//                    worst-case-optimal multiway intersection (wcoj.h)
 //   PathSearch     — one path hop (stored / SHORTEST / ALL / reachability)
 //   Filter         — residual WHERE predicate
-//   HashJoin       — natural join of two subplans (comma patterns)
+//   HashJoin       — natural join of two subplans; join trees may be
+//                    bushy (the planner's DP enumeration), not only
+//                    left-deep chains
 //   LeftOuterJoin  — OPTIONAL block chaining
 //   Project        — drop internal columns, restore set semantics
 //
@@ -23,6 +27,7 @@
 #define GCORE_PLAN_PLAN_H_
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -33,6 +38,7 @@ namespace gcore {
 enum class PlanOp : uint8_t {
   kNodeScan,
   kExpandEdge,
+  kMultiwayExpand,
   kPathSearch,
   kFilter,
   kHashJoin,
@@ -47,6 +53,15 @@ const char* PlanOpName(PlanOp op);
 
 struct PlanNode;
 using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// One pattern edge of a MultiwayExpand cycle (kMultiwayExpand). The
+/// edge pattern pointer is non-owning into the query AST.
+struct MultiwayEdge {
+  std::string from_var;
+  const EdgePattern* edge = nullptr;
+  std::string edge_var;
+  std::string to_var;
+};
 
 /// One operator of a logical plan. Pattern members are non-owning
 /// pointers into the query AST, which outlives the plan.
@@ -90,6 +105,22 @@ struct PlanNode {
   /// estimator derives per-key domain sizes from the operators binding
   /// them for its degree-aware join bound.
   std::vector<std::string> join_vars;
+  /// kHashJoin: build over the left (accumulated) side instead of the
+  /// right — set by the planner's choose_build_side rule when statistics
+  /// predict the right side is much larger. The executor re-merges the
+  /// swapped join into canonical (left-first) column order, so schema and
+  /// provenance are identical either way.
+  bool swap_build = false;
+
+  /// kMultiwayExpand: the cycle's pattern edges, in source order. The
+  /// child subplan binds at least one of the cycle's node variables (the
+  /// seed); the operator binds the remaining node variables by sorted
+  /// adjacency-list intersection and every edge variable by enumeration.
+  std::vector<MultiwayEdge> multi_edges;
+  /// kMultiwayExpand: every node-pattern occurrence of the cycle's
+  /// variables absorbed by the rewrite (admission checks for the new
+  /// columns; entries for pre-bound variables re-check trivially).
+  std::vector<std::pair<std::string, const NodePattern*>> multi_nodes;
 
   /// kProject (the plan root): resolved morsel-parallel execution degree
   /// the executor will use; 0 = not annotated (plans built outside a
@@ -117,6 +148,17 @@ struct PlanNode {
 
 /// Creates a node of kind `op` with the given children.
 PlanPtr MakePlan(PlanOp op, std::vector<PlanPtr> children = {});
+
+/// Distinct node variables of a MultiwayExpand cycle, in first-appearance
+/// order over multi_edges (from before to, edge by edge).
+std::vector<std::string> MultiwayNodeVars(const PlanNode& node);
+
+/// Deterministic elimination order of the cycle's node variables outside
+/// `bound`: repeatedly the free variable with the most pattern edges into
+/// the bound/placed set, ties broken by first appearance. The executor
+/// and the cost model's degree bound walk the same order.
+std::vector<std::string> MultiwayEliminationOrder(
+    const PlanNode& node, const std::set<std::string>& bound);
 
 /// Appends a rendered child subtree to `lines` with the box-drawing
 /// prefixes of PlanNode::RenderLines (shared with the EXPLAIN wrappers).

@@ -1,6 +1,9 @@
 #include "plan/planner.h"
 
 #include <algorithm>
+#include <deque>
+#include <functional>
+#include <limits>
 #include <numeric>
 #include <set>
 
@@ -14,6 +17,8 @@ PlannerOptions PlannerOptions::FromContext(const MatcherContext& ctx) {
   PlannerOptions options;
   options.enable_pushdown = ctx.enable_pushdown;
   options.reorder_joins = ctx.reorder_joins;
+  options.enable_multiway = ctx.enable_multiway;
+  options.choose_build_side = ctx.choose_build_side;
   options.use_column_stats = ctx.use_column_stats;
   options.parallelism = ctx.parallelism;
   return options;
@@ -110,7 +115,483 @@ void CollectChainVars(const GraphPattern& pattern,
   out->insert(vars.begin(), vars.end());
 }
 
+/// True when a pattern element's props are all literal filters — the
+/// shapes NodeAdmits/EdgeAdmits check without a row context, which is
+/// what the multiway operator's admission can evaluate.
+bool LiteralFilterPropsOnly(const std::vector<PropPattern>& props) {
+  for (const auto& p : props) {
+    if (p.mode != PropPattern::Mode::kFilter) return false;
+    if (p.value == nullptr || p.value->kind != Expr::Kind::kLiteral) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A chain unit decomposed for the cycle rewrite: its NodeScan and the
+/// ExpandEdge nodes in chain (bottom-up) order; eligible only when the
+/// whole chain is scan + edge expansions with literal-only props.
+struct ChainShape {
+  bool eligible = false;
+  PlanNode* scan = nullptr;
+  std::vector<PlanNode*> expands;  // in chain order (scan outwards)
+};
+
+ChainShape AnalyzeChain(PlanNode* root) {
+  ChainShape shape;
+  PlanNode* node = root;
+  std::vector<PlanNode*> top_down;
+  while (node->op == PlanOp::kExpandEdge) {
+    top_down.push_back(node);
+    node = node->children[0].get();
+  }
+  if (node->op != PlanOp::kNodeScan) return shape;
+  shape.scan = node;
+  shape.expands.assign(top_down.rbegin(), top_down.rend());
+  if (!LiteralFilterPropsOnly(node->node->props)) return shape;
+  for (const PlanNode* expand : shape.expands) {
+    if (!LiteralFilterPropsOnly(expand->edge->props) ||
+        !LiteralFilterPropsOnly(expand->to->props) ||
+        expand->from_var == expand->to_var) {
+      return shape;
+    }
+  }
+  shape.eligible = true;
+  return shape;
+}
+
+/// Mention count of every bound variable name over a chain plan (scan
+/// var, edge vars, target vars, path vars) — the edge-var uniqueness
+/// check of the rewrite.
+void CountVarMentions(const PlanNode& node,
+                      std::map<std::string, size_t>* counts) {
+  switch (node.op) {
+    case PlanOp::kNodeScan:
+      ++(*counts)[node.var];
+      break;
+    case PlanOp::kExpandEdge:
+      ++(*counts)[node.edge_var];
+      ++(*counts)[node.to_var];
+      break;
+    case PlanOp::kPathSearch:
+      if (!node.path_var.empty()) ++(*counts)[node.path_var];
+      ++(*counts)[node.to_var];
+      break;
+    default:
+      break;
+  }
+  for (const auto& child : node.children) CountVarMentions(*child, counts);
+}
+
+/// Pulls the NodeScan leaf out of a fully-consumed chain, discarding the
+/// expansion nodes above it (their patterns live on in the MultiwayExpand
+/// node, which points into the query AST).
+PlanPtr TakeScan(PlanPtr root) {
+  while (root->op != PlanOp::kNodeScan) {
+    root = std::move(root->children[0]);
+  }
+  return root;
+}
+
+/// Leaf copy of a NodeScan for rewrite pricing (children excluded; the
+/// pattern pointers are non-owning into the AST).
+PlanPtr CopyScanLeaf(const PlanNode& scan) {
+  auto copy = std::make_unique<PlanNode>(PlanOp::kNodeScan);
+  copy->graph = scan.graph;
+  copy->node = scan.node;
+  copy->var = scan.var;
+  copy->pushed = scan.pushed;
+  return copy;
+}
+
+/// One candidate cycle: edges are (unit index, expand index) pairs.
+struct CycleCandidate {
+  std::vector<std::pair<size_t, size_t>> edges;
+};
+
+/// The right side of a join is predicted "much larger" than the left at
+/// this factor — the build-side swap threshold.
+constexpr double kSwapBuildFactor = 4.0;
+
 }  // namespace
+
+Planner::GreedyFold Planner::GreedyJoinFold(
+    const std::vector<JoinUnit>& units, std::vector<size_t> members,
+    CardinalityEstimator* estimator) const {
+  GreedyFold fold;
+  std::stable_sort(members.begin(), members.end(), [&](size_t a, size_t b) {
+    return units[a].est < units[b].est;
+  });
+  fold.order = std::move(members);
+  double acc_est = -1.0;
+  std::set<std::string> acc_vars;
+  std::vector<size_t> acc_members;
+  for (size_t u : fold.order) {
+    const JoinUnit& unit = units[u];
+    if (acc_est < 0.0) {
+      acc_est = unit.est;
+    } else {
+      std::vector<std::pair<double, double>> key_domains;
+      bool correlated = false;
+      for (const auto& v : unit.vars) {
+        if (acc_vars.count(v) == 0) continue;
+        correlated = true;
+        double dl = -1.0;
+        for (size_t prior : acc_members) {
+          const double d = estimator->VarDomain(*units[prior].plan, v);
+          if (d >= 0.0 && (dl < 0.0 || d < dl)) dl = d;
+        }
+        key_domains.emplace_back(dl,
+                                 estimator->VarDomain(*unit.plan, v));
+      }
+      acc_est = CardinalityEstimator::JoinEstimate(
+          acc_est, unit.est, correlated, key_domains,
+          options_.use_column_stats);
+      fold.join_ests.push_back(acc_est);
+    }
+    acc_members.push_back(u);
+    acc_vars.insert(unit.vars.begin(), unit.vars.end());
+  }
+  return fold;
+}
+
+void Planner::TryMultiwayRewrite(std::vector<JoinUnit>* units) {
+  // Decompose chains and count variable mentions across the clause.
+  std::vector<ChainShape> shapes(units->size());
+  std::map<std::string, size_t> mentions;
+  for (size_t i = 0; i < units->size(); ++i) {
+    shapes[i] = AnalyzeChain((*units)[i].plan.get());
+    CountVarMentions(*(*units)[i].plan, &mentions);
+  }
+
+  // Eligible pattern edges over node variables.
+  struct EdgeRec {
+    size_t unit;
+    size_t expand;
+    const PlanNode* node;
+  };
+  std::vector<EdgeRec> edges;
+  for (size_t i = 0; i < units->size(); ++i) {
+    if (!shapes[i].eligible) continue;
+    for (size_t e = 0; e < shapes[i].expands.size(); ++e) {
+      const PlanNode* expand = shapes[i].expands[e];
+      // The edge variable must be bound nowhere else: the operator
+      // enumerates it fresh, with no pre-bound column to respect.
+      if (mentions[expand->edge_var] != 1) continue;
+      edges.push_back({i, e, expand});
+    }
+  }
+  if (edges.size() < 3) return;
+
+  // Smallest simple cycle per base edge: BFS from one endpoint to the
+  // other over the remaining eligible edges (girth-style).
+  std::vector<CycleCandidate> candidates;
+  for (size_t base = 0; base < edges.size(); ++base) {
+    const std::string& src = edges[base].node->from_var;
+    const std::string& dst = edges[base].node->to_var;
+    std::map<std::string, std::pair<std::string, size_t>> parent;
+    std::deque<std::string> frontier{src};
+    parent[src] = {src, edges.size()};
+    while (!frontier.empty() && parent.count(dst) == 0) {
+      const std::string at = frontier.front();
+      frontier.pop_front();
+      for (size_t j = 0; j < edges.size(); ++j) {
+        if (j == base) continue;
+        const PlanNode* n = edges[j].node;
+        const std::string* next = nullptr;
+        if (n->from_var == at) {
+          next = &n->to_var;
+        } else if (n->to_var == at) {
+          next = &n->from_var;
+        } else {
+          continue;
+        }
+        if (parent.count(*next) > 0) continue;
+        parent[*next] = {at, j};
+        frontier.push_back(*next);
+      }
+    }
+    if (parent.count(dst) == 0) continue;
+    CycleCandidate cand;
+    cand.edges.emplace_back(edges[base].unit, edges[base].expand);
+    std::set<size_t> used;
+    for (std::string at = dst; at != src;) {
+      const auto& [prev, via] = parent[at];
+      if (used.count(via) > 0) break;  // defensive
+      used.insert(via);
+      cand.edges.emplace_back(edges[via].unit, edges[via].expand);
+      at = prev;
+    }
+    if (cand.edges.size() >= 3) candidates.push_back(std::move(cand));
+  }
+  if (candidates.empty()) return;
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const CycleCandidate& a, const CycleCandidate& b) {
+                     return a.edges.size() < b.edges.size();
+                   });
+
+  CardinalityEstimator estimator(runtime_->context().catalog,
+                                 default_location_,
+                                 options_.use_column_stats);
+
+  for (const CycleCandidate& cand : candidates) {
+    // Consumed units: every expansion of a touched chain must be a cycle
+    // edge (the rewrite replaces whole chains), and all on one graph.
+    std::set<size_t> consumed;
+    std::set<std::pair<size_t, size_t>> cycle_edges(cand.edges.begin(),
+                                                    cand.edges.end());
+    for (const auto& [u, e] : cand.edges) {
+      (void)e;
+      consumed.insert(u);
+    }
+    bool covered = true;
+    const std::string& location =
+        shapes[*consumed.begin()].scan->graph;
+    for (size_t u : consumed) {
+      if (shapes[u].scan->graph != location) covered = false;
+      for (size_t e = 0; e < shapes[u].expands.size() && covered; ++e) {
+        if (cycle_edges.count({u, e}) == 0) covered = false;
+      }
+      if (!covered) break;
+    }
+    if (!covered) continue;
+
+    // Seed: the most selective consumed scan (estimates were annotated by
+    // the caller; unknown estimates abort the rewrite).
+    size_t seed_unit = *consumed.begin();
+    for (size_t u : consumed) {
+      if (shapes[u].scan->est_rows < 0.0) {
+        seed_unit = units->size();
+        break;
+      }
+      if (shapes[u].scan->est_rows < shapes[seed_unit].scan->est_rows) {
+        seed_unit = u;
+      }
+    }
+    if (seed_unit == units->size()) continue;
+
+    // Assemble the candidate node (source order: units ascending, chain
+    // order within).
+    auto node = MakePlan(PlanOp::kMultiwayExpand);
+    node->graph = location;
+    for (size_t u : consumed) {
+      const ChainShape& shape = shapes[u];
+      if (u != seed_unit) {
+        node->multi_nodes.emplace_back(shape.scan->var, shape.scan->node);
+        node->pushed.insert(node->pushed.end(), shape.scan->pushed.begin(),
+                            shape.scan->pushed.end());
+      }
+      for (const PlanNode* expand : shape.expands) {
+        node->multi_edges.push_back(MultiwayEdge{
+            expand->from_var, expand->edge, expand->edge_var,
+            expand->to_var});
+        node->multi_nodes.emplace_back(expand->to_var, expand->to);
+        node->pushed.insert(node->pushed.end(), expand->pushed.begin(),
+                            expand->pushed.end());
+      }
+    }
+
+    // Price the rewrite: seed scan + AGM/max-degree output bound against
+    // the binary alternative's materialized volume (each consumed chain
+    // plus its greedy smallest-first join intermediates).
+    node->children.push_back(CopyScanLeaf(*shapes[seed_unit].scan));
+    const double multiway_est = estimator.Annotate(node.get());
+    const double seed_est = node->children[0]->est_rows;
+    if (multiway_est < 0.0 || seed_est < 0.0) continue;
+    const double multiway_cost = seed_est + multiway_est;
+
+    const GreedyFold fold = GreedyJoinFold(
+        *units, std::vector<size_t>(consumed.begin(), consumed.end()),
+        &estimator);
+    double binary_cost = 0.0;
+    for (size_t u : fold.order) binary_cost += (*units)[u].est;
+    for (double join_est : fold.join_ests) binary_cost += join_est;
+    if (!(multiway_cost < binary_cost)) continue;
+
+    // Commit: the real seed scan becomes the child; consumed units merge
+    // into one multiway unit.
+    node->children.clear();
+    node->children.push_back(
+        TakeScan(std::move((*units)[seed_unit].plan)));
+    JoinUnit merged;
+    merged.est = multiway_est;
+    merged.min_source = *consumed.begin();
+    for (size_t u : consumed) {
+      merged.vars.insert((*units)[u].vars.begin(), (*units)[u].vars.end());
+    }
+    merged.plan = std::move(node);
+    std::vector<JoinUnit> next;
+    next.reserve(units->size() - consumed.size() + 1);
+    bool placed = false;
+    for (size_t i = 0; i < units->size(); ++i) {
+      if (consumed.count(i) > 0) {
+        if (!placed) {
+          next.push_back(std::move(merged));
+          placed = true;
+        }
+        continue;
+      }
+      next.push_back(std::move((*units)[i]));
+    }
+    *units = std::move(next);
+    return;  // one cycle per clause; nested rewrites are future work
+  }
+}
+
+PlanPtr Planner::EnumerateJoins(std::vector<JoinUnit> units) {
+  const size_t n = units.size();
+  CardinalityEstimator estimator(runtime_->context().catalog,
+                                 default_location_,
+                                 options_.use_column_stats);
+
+  // Per-unit key domains (shared by DP pricing and swap marking).
+  std::vector<std::map<std::string, double>> domains(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& v : units[i].vars) {
+      domains[i][v] = estimator.VarDomain(*units[i].plan, v);
+    }
+  }
+
+  auto make_join = [&](PlanPtr left, PlanPtr right,
+                       const std::set<std::string>& shared, double left_est,
+                       double right_est) {
+    auto join = MakePlan(PlanOp::kHashJoin);
+    join->join_vars.assign(shared.begin(), shared.end());
+    join->join_correlated = !join->join_vars.empty();
+    // Build-side rule: HashJoin builds over its right input; when the
+    // right (fresh) side dwarfs the accumulated left, building over the
+    // left is cheaper. The executor re-merges canonically, so this is
+    // invisible to schema, provenance and the result set.
+    if (options_.choose_build_side && left_est >= 0.0 &&
+        right_est > kSwapBuildFactor * left_est) {
+      join->swap_build = true;
+    }
+    join->children.push_back(std::move(left));
+    join->children.push_back(std::move(right));
+    return join;
+  };
+
+  auto side_domain = [&](const std::vector<size_t>& members,
+                         const std::string& v) {
+    double dom = -1.0;
+    for (size_t u : members) {
+      auto it = domains[u].find(v);
+      if (it == domains[u].end() || it->second < 0.0) continue;
+      if (dom < 0.0 || it->second < dom) dom = it->second;
+    }
+    return dom;
+  };
+
+  if (n > kMaxDpUnits) {
+    // Greedy smallest-first left-deep — the pre-DP rule, for pathological
+    // clause sizes where 3^n subset splits would not pay off. The fold
+    // (order + join estimates) is the same computation the cycle rewrite
+    // prices its binary alternative with.
+    std::vector<size_t> members(n);
+    std::iota(members.begin(), members.end(), size_t{0});
+    const GreedyFold fold =
+        GreedyJoinFold(units, std::move(members), &estimator);
+    PlanPtr plan = std::move(units[fold.order[0]].plan);
+    double acc_est = units[fold.order[0]].est;
+    std::set<std::string> bound = units[fold.order[0]].vars;
+    for (size_t i = 1; i < fold.order.size(); ++i) {
+      JoinUnit& unit = units[fold.order[i]];
+      std::set<std::string> shared;
+      for (const auto& v : unit.vars) {
+        if (bound.count(v) > 0) shared.insert(v);
+      }
+      plan = make_join(std::move(plan), std::move(unit.plan), shared,
+                       acc_est, unit.est);
+      acc_est = fold.join_ests[i - 1];
+      bound.insert(unit.vars.begin(), unit.vars.end());
+    }
+    return plan;
+  }
+
+  // DP over subsets, minimizing C_out (the summed intermediate join
+  // cardinality). Cross-product splits participate too — their estimates
+  // price them out unless nothing connected exists.
+  const size_t full = (size_t{1} << n) - 1;
+  std::vector<double> cost(full + 1,
+                           std::numeric_limits<double>::infinity());
+  std::vector<double> est(full + 1, -1.0);
+  std::vector<size_t> left_of(full + 1, 0);  // 0 = leaf
+  std::vector<std::set<std::string>> mask_vars(full + 1);
+  std::vector<std::vector<size_t>> members(full + 1);
+  std::vector<size_t> min_source(full + 1, 0);
+
+  for (size_t i = 0; i < n; ++i) {
+    const size_t m = size_t{1} << i;
+    cost[m] = 0.0;
+    est[m] = units[i].est;
+    mask_vars[m] = units[i].vars;
+    members[m] = {i};
+    min_source[m] = units[i].min_source;
+  }
+
+  for (size_t mask = 1; mask <= full; ++mask) {
+    if ((mask & (mask - 1)) == 0) continue;  // singleton
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (size_t{1} << i)) {
+        members[mask].push_back(i);
+        mask_vars[mask].insert(units[i].vars.begin(), units[i].vars.end());
+      }
+    }
+    min_source[mask] = units[members[mask].front()].min_source;
+    for (size_t i : members[mask]) {
+      min_source[mask] = std::min(min_source[mask], units[i].min_source);
+    }
+    for (size_t s = (mask - 1) & mask; s > 0; s = (s - 1) & mask) {
+      const size_t t = mask ^ s;
+      if (s > t) continue;  // each unordered split once
+      std::set<std::string> shared;
+      std::vector<std::pair<double, double>> key_domains;
+      for (const auto& v : mask_vars[s]) {
+        if (mask_vars[t].count(v) == 0) continue;
+        shared.insert(v);
+        key_domains.emplace_back(side_domain(members[s], v),
+                                 side_domain(members[t], v));
+      }
+      const double join_est = CardinalityEstimator::JoinEstimate(
+          est[s], est[t], !shared.empty(), key_domains,
+          options_.use_column_stats);
+      const double c = cost[s] + cost[t] + join_est;
+      // Always record the first split: with astronomically large
+      // estimates every candidate cost can overflow to +inf, and a
+      // multi-unit mask must still reconstruct as a join, not a leaf.
+      if (left_of[mask] == 0 || c < cost[mask]) {
+        cost[mask] = c;
+        est[mask] = join_est;
+        // Orientation: the smaller side accumulates on the left (what the
+        // greedy smallest-first rule produced for two units); ties go to
+        // the side appearing first in the source.
+        const bool s_left =
+            est[s] < est[t] ||
+            (est[s] == est[t] && min_source[s] <= min_source[t]);
+        left_of[mask] = s_left ? s : t;
+      }
+    }
+  }
+
+  std::function<PlanPtr(size_t)> build = [&](size_t mask) -> PlanPtr {
+    if (left_of[mask] == 0) {
+      size_t i = 0;
+      while ((size_t{1} << i) != mask) ++i;
+      return std::move(units[i].plan);
+    }
+    const size_t l = left_of[mask];
+    const size_t r = mask ^ l;
+    std::set<std::string> shared;
+    for (const auto& v : mask_vars[l]) {
+      if (mask_vars[r].count(v) > 0) shared.insert(v);
+    }
+    PlanPtr left = build(l);
+    PlanPtr right = build(r);
+    return make_join(std::move(left), std::move(right), shared, est[l],
+                     est[r]);
+  };
+  return build(full);
+}
 
 Result<PlanPtr> Planner::PlanPatternsJoined(
     const std::vector<GraphPattern>& patterns,
@@ -125,45 +606,79 @@ Result<PlanPtr> Planner::PlanPatternsJoined(
     return Status::BindError("MATCH clause has no pattern");
   }
 
-  // Chain-ordering rule: estimate each chain and join smallest-first.
-  // Stays in source order when disabled or when any estimate is unknown
-  // (keeping the plan deterministic under missing statistics).
-  std::vector<size_t> order(chains.size());
-  std::iota(order.begin(), order.end(), size_t{0});
-  if (options_.reorder_joins && chains.size() > 1) {
+  std::vector<JoinUnit> units(chains.size());
+  for (size_t i = 0; i < chains.size(); ++i) {
+    units[i].plan = std::move(chains[i]);
+    CollectChainVars(patterns[i], &units[i].vars);
+    units[i].min_source = i;
+  }
+
+  // A lone chain can still hold a cycle (a closed walk re-using its start
+  // variable); only then is single-chain estimation worth the scan.
+  auto single_chain_cycle = [&]() {
+    if (patterns.size() != 1) return false;
+    size_t edge_hops = 0;
+    std::map<std::string, size_t> node_var_uses;
+    ++node_var_uses[patterns[0].start.var];
+    for (const auto& hop : patterns[0].hops) {
+      if (hop.kind == PatternHop::Kind::kEdge) ++edge_hops;
+      ++node_var_uses[hop.to.var];
+    }
+    if (edge_hops < 3) return false;
+    for (const auto& [v, uses] : node_var_uses) {
+      if (!v.empty() && uses > 1) return true;
+    }
+    return false;
+  };
+
+  // Estimation rule: estimate when the join enumeration needs to compare
+  // alternatives (several chains) or when a single chain might close a
+  // rewritable cycle. Stays in source order when disabled or when any
+  // estimate is unknown (keeping the plan deterministic under missing
+  // statistics).
+  bool all_known = false;
+  const bool want_estimates =
+      options_.reorder_joins &&
+      (units.size() > 1 ||
+       (options_.enable_multiway && options_.use_column_stats &&
+        single_chain_cycle()));
+  if (want_estimates) {
     CardinalityEstimator estimator(runtime_->context().catalog,
                                    default_location_,
                                    options_.use_column_stats);
-    bool all_known = true;
-    for (auto& chain : chains) {
-      if (estimator.Annotate(chain.get()) < 0.0) all_known = false;
-    }
-    if (all_known) {
-      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        return chains[a]->est_rows < chains[b]->est_rows;
-      });
+    all_known = true;
+    for (auto& unit : units) {
+      unit.est = estimator.Annotate(unit.plan.get());
+      if (unit.est < 0.0) all_known = false;
     }
   }
 
-  std::vector<std::set<std::string>> chain_vars(patterns.size());
-  for (size_t i = 0; i < patterns.size(); ++i) {
-    CollectChainVars(patterns[i], &chain_vars[i]);
+  if (all_known && options_.enable_multiway && options_.use_column_stats) {
+    TryMultiwayRewrite(&units);
   }
 
-  PlanPtr plan = std::move(chains[order[0]]);
-  std::set<std::string> bound = chain_vars[order[0]];
-  for (size_t i = 1; i < order.size(); ++i) {
-    auto join = MakePlan(PlanOp::kHashJoin);
-    for (const auto& v : chain_vars[order[i]]) {
-      if (bound.count(v) > 0) join->join_vars.push_back(v);
+  if (units.size() == 1) return std::move(units[0].plan);
+
+  if (!all_known) {
+    // Source-order left-deep fold — the seed behavior under missing
+    // statistics or reorder_joins = false.
+    PlanPtr plan = std::move(units[0].plan);
+    std::set<std::string> bound = units[0].vars;
+    for (size_t i = 1; i < units.size(); ++i) {
+      auto join = MakePlan(PlanOp::kHashJoin);
+      for (const auto& v : units[i].vars) {
+        if (bound.count(v) > 0) join->join_vars.push_back(v);
+      }
+      join->join_correlated = !join->join_vars.empty();
+      join->children.push_back(std::move(plan));
+      join->children.push_back(std::move(units[i].plan));
+      bound.insert(units[i].vars.begin(), units[i].vars.end());
+      plan = std::move(join);
     }
-    join->join_correlated = !join->join_vars.empty();
-    join->children.push_back(std::move(plan));
-    join->children.push_back(std::move(chains[order[i]]));
-    bound.insert(chain_vars[order[i]].begin(), chain_vars[order[i]].end());
-    plan = std::move(join);
+    return plan;
   }
-  return plan;
+
+  return EnumerateJoins(std::move(units));
 }
 
 void Planner::CollectOutputColumns(const GraphPattern& pattern,

@@ -7,9 +7,18 @@
 //     as soon as the variable exists (generalizes the matcher's old
 //     ad-hoc pushdown map). Label and property predicates written inside
 //     the pattern are inherently part of NodeScan/ExpandEdge admission.
-//   * Chain ordering — independent comma-separated pattern chains are
-//     joined smallest-first by estimated cardinality (plan/cost.h over
-//     GraphCatalog::Stats), building a left-deep HashJoin tree.
+//   * Join enumeration — comma-separated pattern chains are combined by a
+//     DP over subsets (plan/cost.h estimates over GraphCatalog::Stats)
+//     that minimizes the summed intermediate cardinality (C_out) and may
+//     emit *bushy* HashJoin trees; with unknown estimates the plan stays
+//     the seed's source-order left-deep chain.
+//   * Cycle rewrite — when the chains close a cycle (triangle, diamond)
+//     whose AGM/max-degree bound undercuts the binary alternative, the
+//     cycle collapses into one MultiwayExpand node evaluated by
+//     worst-case-optimal multiway intersection (plan/wcoj.h).
+//   * Build-side choice — a HashJoin whose right side is predicted much
+//     larger than the accumulated left gets swap_build: the executor
+//     builds over the left and re-merges in canonical column order.
 //
 // The full WHERE is kept as a residual Filter above the joins (re-checking
 // pushed conjuncts is harmless and keeps the filter semantics of Appendix
@@ -20,6 +29,7 @@
 #define GCORE_PLAN_PLANNER_H_
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -29,6 +39,7 @@
 
 namespace gcore {
 
+class CardinalityEstimator;
 class Matcher;
 struct MatcherContext;
 
@@ -36,8 +47,17 @@ struct PlannerOptions {
   /// Pushdown rewrite rule (MatcherContext::enable_pushdown). Applies to
   /// the main WHERE and, per block, to OPTIONAL block WHEREs.
   bool enable_pushdown = true;
-  /// Cardinality-based chain ordering (MatcherContext::reorder_joins).
+  /// Cardinality-based join enumeration (MatcherContext::reorder_joins):
+  /// DP over connected subsets, bushy trees allowed. Off keeps the
+  /// source-order left-deep chain.
   bool reorder_joins = true;
+  /// Cycle → MultiwayExpand rewrite (MatcherContext::enable_multiway).
+  /// Effective only with reorder_joins, use_column_stats and usable
+  /// statistics — the rewrite is priced, never unconditional.
+  bool enable_multiway = true;
+  /// Estimated-cost-driven HashJoin build-side swap
+  /// (MatcherContext::choose_build_side).
+  bool choose_build_side = true;
   /// Per-column statistics in the estimator (MatcherContext::
   /// use_column_stats); off degrades to the seed's constant-selectivity
   /// model for ablation and the stats-absent plan-shape goldens.
@@ -74,10 +94,47 @@ class Planner {
       const std::map<std::string, std::vector<const Expr*>>* pushdown);
 
  private:
-  /// Joined plan over comma-separated chains (the chain-ordering rule).
+  /// One joinable subplan of the enumeration: a pattern chain or the
+  /// MultiwayExpand unit a cycle rewrite produced.
+  struct JoinUnit {
+    PlanPtr plan;
+    std::set<std::string> vars;
+    double est = -1.0;
+    /// Smallest source chain index inside the unit (deterministic
+    /// tie-breaks).
+    size_t min_source = 0;
+  };
+
+  /// Joined plan over comma-separated chains: builds the chain units,
+  /// attempts the cycle rewrite, then enumerates the join tree.
   Result<PlanPtr> PlanPatternsJoined(
       const std::vector<GraphPattern>& patterns,
       const std::map<std::string, std::vector<const Expr*>>* pushdown);
+
+  /// Collapses a priced-favorable cycle among the units into one
+  /// MultiwayExpand unit (in place); no-op when no eligible cycle wins.
+  void TryMultiwayRewrite(std::vector<JoinUnit>* units);
+
+  /// The greedy smallest-first left-deep fold over `members` (indices
+  /// into `units`): the join order and the estimate of each successive
+  /// join. One implementation prices the binary alternative of the cycle
+  /// rewrite *and* builds the beyond-DP-size fallback plan, so the two
+  /// cost models cannot drift apart.
+  struct GreedyFold {
+    std::vector<size_t> order;
+    std::vector<double> join_ests;  // one per fold step (order.size()-1)
+  };
+  GreedyFold GreedyJoinFold(const std::vector<JoinUnit>& units,
+                            std::vector<size_t> members,
+                            CardinalityEstimator* estimator) const;
+
+  /// DP join enumeration over `units` (all estimates known): minimizes
+  /// summed intermediate cardinality, emits possibly-bushy HashJoin
+  /// trees, and marks swap_build per the build-side rule. Falls back to
+  /// greedy smallest-first left-deep beyond kMaxDpUnits.
+  PlanPtr EnumerateJoins(std::vector<JoinUnit> units);
+
+  static constexpr size_t kMaxDpUnits = 12;
 
   /// Effective ON location of a pattern (override > pattern ON > clause
   /// ON > default); "" means the default graph.

@@ -1,0 +1,45 @@
+// Worst-case-optimal multiway intersection for cyclic patterns: the
+// physical evaluation of PlanOp::kMultiwayExpand.
+//
+// A MultiwayExpand node carries k pattern edges closing a cycle over
+// shared node variables; its child binds at least one of them (the seed,
+// typically a NodeScan). Instead of materializing binary-join
+// intermediates — provably Θ(N·d) for a triangle under *any* binary plan
+// — the operator eliminates one free variable at a time in leapfrog
+// style: the candidate set of a variable is the sorted-merge
+// *intersection* of the adjacency lists of its already-bound neighbors
+// (AdjacencyIndex's sorted-neighbor view), so work is proportional to
+// the smallest incident adjacency list, matching the AGM-bound flavor of
+// Ngo/Abo Khamis et al. Edge variables bind by enumerating the parallel
+// edges between each fixed endpoint pair (binary-search sub-spans).
+//
+// Output is deterministic: input rows in order; per row, candidates
+// ascend by node id and edge bindings ascend by edge id, so the operator
+// runs unchanged as a fused per-morsel pipeline stage under the morsel
+// protocol (identical results at every parallelism degree).
+#ifndef GCORE_PLAN_WCOJ_H_
+#define GCORE_PLAN_WCOJ_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "eval/binding.h"
+#include "plan/plan.h"
+
+namespace gcore {
+
+class Matcher;
+class PathPropertyGraph;
+
+/// Applies the cycle of `plan` (a kMultiwayExpand node) to one chunk of
+/// bindings: every free cycle variable and every edge variable becomes a
+/// new column (feeding columnar BindingTable chunks, like ExpandEdgeHop).
+/// Thread-safe for concurrent morsels once the adjacency cache is warm.
+Result<BindingTable> MultiwayExpandChunk(Matcher* rt, const PlanNode& plan,
+                                         const PathPropertyGraph& graph,
+                                         const std::string& graph_name,
+                                         const BindingTable& input);
+
+}  // namespace gcore
+
+#endif  // GCORE_PLAN_WCOJ_H_

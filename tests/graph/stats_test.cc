@@ -138,6 +138,52 @@ TEST(GraphStatsTest, AverageDegrees) {
   EXPECT_DOUBLE_EQ(stats.AvgOutDegree("A", "zzz"), 0.0);
 }
 
+TEST(GraphStatsTest, MaxDegrees) {
+  IdAllocator ids;
+  GraphBuilder builder = MakeKnownGraph(&ids);
+  const GraphStats stats = builder.Stats();
+  // Each A has exactly one :link out-edge; B0 alone holds all four :hop
+  // out-edges (the bucket's maximum, vs the 2.0 average over both Bs).
+  EXPECT_EQ(stats.MaxOutDegree("A", "link"), 1u);
+  EXPECT_EQ(stats.MaxOutDegree("B", "hop"), 4u);
+  EXPECT_EQ(stats.MaxInDegree("B", "link"), 4u);  // all 4 land on B0
+  EXPECT_EQ(stats.MaxInDegree("A", "hop"), 1u);
+  // "" buckets (any endpoint / any edge label): B0 sends the 4 hops and
+  // receives the 4 links plus B1's unlabeled edge.
+  EXPECT_EQ(stats.MaxOutDegree("", ""), 4u);
+  EXPECT_EQ(stats.MaxInDegree("", ""), 5u);
+  // Unmeasured combinations answer 0 (callers fall back to averages).
+  EXPECT_EQ(stats.MaxOutDegree("A", "hop"), 0u);
+  EXPECT_EQ(stats.MaxOutDegree("Z", "link"), 0u);
+}
+
+TEST(GraphStatsTest, PerLabelPropertyDistributions) {
+  IdAllocator ids;
+  GraphBuilder b("pl", &ids);
+  b.EnableStatsCollection();
+  // k lives only on :A nodes (4 of them, 2 distinct values); :B nodes
+  // carry a disjoint key.
+  for (int i = 0; i < 4; ++i) b.AddNode({"A"}, {{"k", int64_t{i % 2}}});
+  for (int i = 0; i < 6; ++i) b.AddNode({"B"}, {{"m", int64_t{i}}});
+  const GraphStats stats = b.Stats();
+  const PropertyStats* a_k = stats.NodePropStatsFor("A", "k");
+  ASSERT_NE(a_k, nullptr);
+  EXPECT_EQ(a_k->count, 4u);     // every :A carries k
+  EXPECT_EQ(a_k->distinct, 2u);
+  // The global distribution still reports the carrying fraction over all
+  // nodes (4 of 10) — the independence double-charge the bucket removes.
+  EXPECT_EQ(stats.node_props.at("k").count, 4u);
+  EXPECT_EQ(stats.num_nodes, 10u);
+  // Missing buckets answer null: the estimator's global fallback.
+  EXPECT_EQ(stats.NodePropStatsFor("B", "k"), nullptr);
+  EXPECT_EQ(stats.NodePropStatsFor("Z", "k"), nullptr);
+  // The empty label addresses the global distribution.
+  ASSERT_NE(stats.NodePropStatsFor("", "k"), nullptr);
+  EXPECT_EQ(stats.NodePropStatsFor("", "k")->count, 4u);
+  // Incremental path stays identical (per-label buckets included).
+  EXPECT_EQ(stats, GraphStats::Collect(b.graph()));
+}
+
 TEST(GraphStatsTest, CatalogSeedsAndCachesPrecomputedStats) {
   GraphCatalog catalog;
   GraphBuilder builder = MakeKnownGraph(catalog.ids());

@@ -148,8 +148,11 @@ TEST_F(CostTest, PatternPropertyFilterUsesOneOverDistinct) {
   PlanPtr plan = Plan("CONSTRUCT (a) MATCH (a:A {k=2})");
   ASSERT_NE(plan, nullptr);
   const PlanNode* scan = FindOp(plan.get(), PlanOp::kNodeScan);
-  // 30 × P(:A) × (carrying 20/30) × 1/5 distinct.
-  EXPECT_NEAR(scan->est_rows, kNodes * kASel * (kASel / 5.0), 1e-9);
+  // The (label, key) bucket removes the old carrying-fraction ×
+  // label-fraction double-charge: every :A node carries k, so the
+  // estimate is 30 × P(:A) × (carrying 20/20) × 1/5 distinct = 4 — the
+  // true count — not the seed's 30 × P(:A) × (20/30) × 1/5 ≈ 2.67.
+  EXPECT_NEAR(scan->est_rows, kNodes * kASel * (1.0 / 5.0), 1e-9);
 }
 
 TEST_F(CostTest, PushedEqualityUsesOneOverDistinct) {
@@ -157,12 +160,23 @@ TEST_F(CostTest, PushedEqualityUsesOneOverDistinct) {
   ASSERT_NE(plan, nullptr);
   const PlanNode* scan = FindOp(plan.get(), PlanOp::kNodeScan);
   ASSERT_FALSE(scan->pushed.empty());
-  EXPECT_NEAR(scan->est_rows, kNodes * kASel * (kASel / 5.0), 1e-9);
+  // Label-restricted bucket, as above: 20 × 1/5 = 4, the exact count.
+  EXPECT_NEAR(scan->est_rows, kNodes * kASel * (1.0 / 5.0), 1e-9);
   // The residual filter re-checks the pushed conjunct: no further
   // reduction is charged.
   const PlanNode* filter = FindOp(plan.get(), PlanOp::kFilter);
   ASSERT_NE(filter, nullptr);
   EXPECT_NEAR(filter->est_rows, scan->est_rows, 1e-9);
+}
+
+// A pattern without a pinned label keeps the global per-key distribution
+// (the carrying fraction is then genuinely informative).
+TEST_F(CostTest, UnlabeledPropertyFilterUsesGlobalDistribution) {
+  PlanPtr plan = Plan("CONSTRUCT (a) MATCH (a {k=2})");
+  ASSERT_NE(plan, nullptr);
+  const PlanNode* scan = FindOp(plan.get(), PlanOp::kNodeScan);
+  // 30 × (carrying 20/30) × 1/5.
+  EXPECT_NEAR(scan->est_rows, kNodes * kASel * (1.0 / 5.0), 1e-9);
 }
 
 // --- range interpolation -----------------------------------------------------
@@ -171,20 +185,20 @@ TEST_F(CostTest, RangePredicateInterpolatesMinMax) {
   PlanPtr below = Plan("CONSTRUCT (a) MATCH (a:A) WHERE a.v < 10");
   ASSERT_NE(below, nullptr);
   const PlanNode* scan = FindOp(below.get(), PlanOp::kNodeScan);
-  // v spans [0, 19]: fraction (10-0)/19 of the carrying 20/30.
-  EXPECT_NEAR(scan->est_rows, kNodes * kASel * ((10.0 / 19.0) * kASel),
-              1e-9);
+  // v spans [0, 19] and every :A node carries it (the label bucket's
+  // carrying fraction is 1): fraction (10-0)/19 of the 20 :A nodes.
+  EXPECT_NEAR(scan->est_rows, kNodes * kASel * (10.0 / 19.0), 1e-9);
   PlanPtr above = Plan("CONSTRUCT (a) MATCH (a:A) WHERE a.v >= 10");
   EXPECT_NEAR(FindOp(above.get(), PlanOp::kNodeScan)->est_rows,
-              kNodes * kASel * ((9.0 / 19.0) * kASel), 1e-9);
+              kNodes * kASel * (9.0 / 19.0), 1e-9);
   // Literal-on-the-left comparisons flip: 10 > a.v  ⇔  a.v < 10.
   PlanPtr flipped = Plan("CONSTRUCT (a) MATCH (a:A) WHERE 10 > a.v");
   EXPECT_NEAR(FindOp(flipped.get(), PlanOp::kNodeScan)->est_rows,
-              kNodes * kASel * ((10.0 / 19.0) * kASel), 1e-9);
+              kNodes * kASel * (10.0 / 19.0), 1e-9);
   // Out-of-range constants clamp to the full carrying fraction.
   PlanPtr all = Plan("CONSTRUCT (a) MATCH (a:A) WHERE a.v < 100");
   EXPECT_NEAR(FindOp(all.get(), PlanOp::kNodeScan)->est_rows,
-              kNodes * kASel * kASel, 1e-9);
+              kNodes * kASel, 1e-9);
 }
 
 // --- degree-based expansion --------------------------------------------------
