@@ -1,0 +1,185 @@
+// Storage trajectory bench (scripts/run_bench.sh → BENCH_storage.json).
+//
+// Measures the GraphSnapshot payoff on a generated SNB graph, each read
+// primitive in two variants:
+//
+//   *_MapWalk   the mutable PathPropertyGraph representation the read
+//               path used before the snapshot: ordered-map walks over
+//               λ label sets and σ ValueSets per object;
+//   *_Span /    the frozen columnar image: per-label sorted index spans,
+//   *_Column    typed (kind, slot) property columns, CSR adjacency.
+//
+// Plus the one-off cost the payoff buys: BM_Storage_SnapshotBuild. The
+// acceptance trajectory tracks the single-thread MapWalk/Span ratio on
+// the label scan and the pushed property filter.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "graph/catalog.h"
+#include "graph/snapshot.h"
+#include "snb/generator.h"
+#include "snb/schema.h"
+
+namespace gcore {
+namespace {
+
+struct StorageFixture {
+  GraphCatalog catalog;
+  const PathPropertyGraph* graph = nullptr;
+  std::unique_ptr<GraphSnapshot> snap;
+
+  explicit StorageFixture(size_t persons) {
+    snb::GeneratorOptions options;
+    options.num_persons = persons;
+    options.avg_knows_degree = 10.0;
+    catalog.RegisterGraph("snb", snb::Generate(options, catalog.ids()));
+    graph = *catalog.Lookup("snb");
+    snap = std::make_unique<GraphSnapshot>(*graph);
+  }
+};
+
+// --- snapshot build: the one-off freeze cost ----------------------------------
+
+void BM_Storage_SnapshotBuild(benchmark::State& state) {
+  StorageFixture fx(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    GraphSnapshot snap(*fx.graph);
+    benchmark::DoNotOptimize(snap);
+  }
+  state.counters["nodes"] = static_cast<double>(fx.snap->num_nodes());
+  state.counters["edges"] = static_cast<double>(fx.snap->num_edges());
+}
+BENCHMARK(BM_Storage_SnapshotBuild)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+// --- NodeScan (a:Person): full filter scan vs contiguous label span -----------
+
+void BM_Storage_LabelScanMapWalk(benchmark::State& state) {
+  StorageFixture fx(static_cast<size_t>(state.range(0)));
+  size_t persons = 0;
+  for (auto _ : state) {
+    std::vector<NodeId> hits;
+    fx.graph->ForEachNode([&](NodeId id) {
+      if (fx.graph->Labels(id).Contains(snb::kPerson)) hits.push_back(id);
+    });
+    persons = hits.size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["persons"] = static_cast<double>(persons);
+}
+BENCHMARK(BM_Storage_LabelScanMapWalk)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Storage_LabelScanSpan(benchmark::State& state) {
+  StorageFixture fx(static_cast<size_t>(state.range(0)));
+  const uint32_t person = fx.snap->LabelId(snb::kPerson);
+  const AdjacencyIndex& adj = fx.snap->adjacency();
+  size_t persons = 0;
+  for (auto _ : state) {
+    std::vector<NodeId> hits;
+    const auto span = fx.snap->NodesWithLabel(person);
+    hits.reserve(span.size());
+    for (const DenseNodeIndex n : span) hits.push_back(adj.IdOf(n));
+    persons = hits.size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["persons"] = static_cast<double>(persons);
+}
+BENCHMARK(BM_Storage_LabelScanSpan)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+// --- pushed property filter: σ map walk vs typed column scan ------------------
+
+void BM_Storage_PushedFilterMapWalk(benchmark::State& state) {
+  StorageFixture fx(static_cast<size_t>(state.range(0)));
+  const Value literal = Value::String("Alice");
+  size_t hits = 0;
+  for (auto _ : state) {
+    size_t count = 0;
+    fx.graph->ForEachNode([&](NodeId id) {
+      if (fx.graph->Property(id, snb::kFirstName).Contains(literal)) ++count;
+    });
+    hits = count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_Storage_PushedFilterMapWalk)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Storage_PushedFilterColumn(benchmark::State& state) {
+  StorageFixture fx(static_cast<size_t>(state.range(0)));
+  const Value literal = Value::String("Alice");
+  const GraphSnapshot::PropertyColumn* col =
+      fx.snap->NodeColumn(snb::kFirstName);
+  size_t hits = 0;
+  for (auto _ : state) {
+    size_t count = 0;
+    const size_t n = fx.snap->num_nodes();
+    for (size_t i = 0; i < n; ++i) {
+      if (fx.snap->CellContains(*col, i, literal)) ++count;
+    }
+    hits = count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_Storage_PushedFilterColumn)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+// --- expand: one knows-hop from every Person via the CSR topology -------------
+
+void BM_Storage_ExpandCsr(benchmark::State& state) {
+  StorageFixture fx(static_cast<size_t>(state.range(0)));
+  const uint32_t person = fx.snap->LabelId(snb::kPerson);
+  const uint32_t knows = fx.snap->LabelId(snb::kKnows);
+  const AdjacencyIndex& adj = fx.snap->adjacency();
+  size_t out_rows = 0;
+  for (auto _ : state) {
+    size_t count = 0;
+    for (const DenseNodeIndex n : fx.snap->NodesWithLabel(person)) {
+      const auto [b, e] = adj.Out(n);
+      for (const AdjacencyEntry* it = b; it != e; ++it) {
+        if (fx.snap->EdgeHasLabel(fx.snap->EdgeIndexOf(it->edge), knows)) {
+          ++count;
+        }
+      }
+    }
+    out_rows = count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+}
+BENCHMARK(BM_Storage_ExpandCsr)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_Storage_ExpandMapWalk(benchmark::State& state) {
+  StorageFixture fx(static_cast<size_t>(state.range(0)));
+  const AdjacencyIndex& adj = fx.snap->adjacency();
+  size_t out_rows = 0;
+  for (auto _ : state) {
+    size_t count = 0;
+    fx.graph->ForEachNode([&](NodeId id) {
+      if (!fx.graph->Labels(id).Contains(snb::kPerson)) return;
+      const auto [b, e] = adj.Out(adj.IndexOf(id));
+      for (const AdjacencyEntry* it = b; it != e; ++it) {
+        if (fx.graph->Labels(it->edge).Contains(snb::kKnows)) ++count;
+      }
+    });
+    out_rows = count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+}
+BENCHMARK(BM_Storage_ExpandMapWalk)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gcore
+
+BENCHMARK_MAIN();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -229,16 +230,21 @@ class JoinDedupSink {
                 const BindingTable& b,
                 const std::vector<std::pair<size_t, size_t>>& shared,
                 const std::vector<size_t>& b_extra)
-      : out_(out), a_(a), b_(b), b_extra_(b_extra) {
+      : out_(out), a_(&a), b_(b), b_extra_(b_extra) {
     shared_of_a_.assign(a.NumColumns(), BindingTable::kNpos);
     for (const auto& [ia, ib] : shared) shared_of_a_[ia] = ib;
   }
+
+  /// Re-points the probe side at another table with the same schema; the
+  /// dedup state carries over (the streaming probe joins one chunk at a
+  /// time against a common build table).
+  void SetProbe(const BindingTable& a) { a_ = &a; }
 
   /// The column/row the merged row reads at position `i` of the a-prefix
   /// (bound a-value wins; unbound shared positions fill from b).
   std::pair<const Column*, size_t> MergedSrc(size_t ra, size_t rb,
                                              size_t i) const {
-    const Column& ca = a_.ColumnAt(i);
+    const Column& ca = a_->ColumnAt(i);
     if (ca.BoundAt(ra) || shared_of_a_[i] == BindingTable::kNpos) {
       return {&ca, ra};
     }
@@ -252,7 +258,7 @@ class JoinDedupSink {
     // Reproduces HashRow over the would-be merged row (a-prefix, then
     // b-extras) without building it.
     size_t h = 0;
-    for (size_t i = 0; i < a_.NumColumns(); ++i) {
+    for (size_t i = 0; i < a_->NumColumns(); ++i) {
       const auto [col, row] = MergedSrc(ra, rb, i);
       h = HashCombine(h, col->HashAt(row));
     }
@@ -261,12 +267,12 @@ class JoinDedupSink {
       return MergedEquals(i, ra, rb);
     });
     if (!fresh) return false;
-    for (size_t i = 0; i < a_.NumColumns(); ++i) {
+    for (size_t i = 0; i < a_->NumColumns(); ++i) {
       const auto [col, row] = MergedSrc(ra, rb, i);
       out_->MutableColumn(i).AppendFrom(*col, row);
     }
     for (size_t k = 0; k < b_extra_.size(); ++k) {
-      out_->MutableColumn(a_.NumColumns() + k)
+      out_->MutableColumn(a_->NumColumns() + k)
           .AppendFrom(b_.ColumnAt(b_extra_[k]), rb);
     }
     out_->CommitRow();
@@ -276,14 +282,14 @@ class JoinDedupSink {
 
  private:
   bool MergedEquals(size_t stored, size_t ra, size_t rb) const {
-    for (size_t i = 0; i < a_.NumColumns(); ++i) {
+    for (size_t i = 0; i < a_->NumColumns(); ++i) {
       const auto [col, row] = MergedSrc(ra, rb, i);
       if (!Column::CellsEqual(out_->ColumnAt(i), stored, *col, row)) {
         return false;
       }
     }
     for (size_t k = 0; k < b_extra_.size(); ++k) {
-      if (!Column::CellsEqual(out_->ColumnAt(a_.NumColumns() + k), stored,
+      if (!Column::CellsEqual(out_->ColumnAt(a_->NumColumns() + k), stored,
                               b_.ColumnAt(b_extra_[k]), rb)) {
         return false;
       }
@@ -292,7 +298,8 @@ class JoinDedupSink {
   }
 
   BindingTable* out_;
-  const BindingTable& a_;
+  /// The current probe table (re-pointable, see SetProbe).
+  const BindingTable* a_;
   const BindingTable& b_;
   const std::vector<size_t>& b_extra_;
   /// ia → ib for shared columns, kNpos elsewhere.
@@ -469,6 +476,74 @@ BindingTable TableJoinSwapBuild(const BindingTable& a, const BindingTable& b,
   }
   out.AdoptProjectedColumnsMove(std::move(swapped), kept);
   return out;
+}
+
+/// Owns the build index and the chunk-spanning dedup state; lazily
+/// initialized from the first probe chunk (which fixes the schema the
+/// same way draining the probe side would).
+struct StreamingJoinProbe::Impl {
+  BindingTable build;
+  bool swap_output;
+  bool started = false;
+  std::vector<std::pair<size_t, size_t>> shared;
+  std::vector<size_t> b_extra;
+  /// Accumulated join output in probe-first column order.
+  BindingTable out;
+  /// Empty table carrying the probe side's columns and provenance (the
+  /// swap-output re-merge rebuilds the canonical schema from it).
+  BindingTable probe_schema;
+  std::optional<ProbeIndex> index;
+  std::optional<JoinDedupSink> sink;
+
+  Impl(BindingTable b, bool swap)
+      : build(std::move(b)), swap_output(swap) {}
+
+  void Start(const BindingTable& chunk) {
+    started = true;
+    shared = SharedColumns(chunk, build);
+    out = JoinSchema(chunk, build, &b_extra);
+    probe_schema = BindingTable(chunk.columns());
+    for (const auto& [var, graph] : chunk.column_graphs()) {
+      probe_schema.SetColumnGraph(var, graph);
+    }
+    index.emplace(build, shared);
+    sink.emplace(&out, chunk, build, shared, b_extra);
+  }
+};
+
+StreamingJoinProbe::StreamingJoinProbe(BindingTable build, bool swap_output)
+    : impl_(new Impl(std::move(build), swap_output)) {}
+
+StreamingJoinProbe::~StreamingJoinProbe() = default;
+
+void StreamingJoinProbe::Probe(const BindingTable& chunk) {
+  Impl& s = *impl_;
+  if (!s.started) s.Start(chunk);
+  s.sink->SetProbe(chunk);
+  for (size_t ra = 0; ra < chunk.NumRows(); ++ra) {
+    s.index->ForEachCandidate(chunk, ra, s.shared, [&](size_t rb) {
+      if (!CompatibleAt(chunk, ra, s.build, rb, s.shared)) return;
+      s.sink->InsertPair(ra, rb);
+    });
+  }
+}
+
+BindingTable StreamingJoinProbe::Finish() {
+  Impl& s = *impl_;
+  // No chunks at all: behave exactly like joining the empty table a
+  // drained probe side would have produced.
+  if (!s.started) s.Start(BindingTable());
+  if (!s.swap_output) return std::move(s.out);
+  // Canonical build-first schema, every column moved wholesale from the
+  // equally-named probe-first column (the TableJoinSwapBuild re-merge).
+  std::vector<size_t> extra;
+  BindingTable canonical = JoinSchema(s.build, s.probe_schema, &extra);
+  std::vector<size_t> kept(canonical.NumColumns());
+  for (size_t c = 0; c < canonical.NumColumns(); ++c) {
+    kept[c] = s.out.ColumnIndex(canonical.columns()[c]);
+  }
+  canonical.AdoptProjectedColumnsMove(std::move(s.out), kept);
+  return canonical;
 }
 
 BindingTable TableSemijoin(const BindingTable& a, const BindingTable& b) {

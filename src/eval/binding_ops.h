@@ -11,6 +11,8 @@
 #ifndef GCORE_EVAL_BINDING_OPS_H_
 #define GCORE_EVAL_BINDING_OPS_H_
 
+#include <memory>
+
 #include "eval/binding.h"
 
 namespace gcore {
@@ -48,6 +50,33 @@ BindingTable TableJoinParallel(const BindingTable& a, const BindingTable& b,
 /// statistics predict the default build side (b) dwarfs a.
 BindingTable TableJoinSwapBuild(const BindingTable& a, const BindingTable& b,
                                 size_t parallelism, size_t morsel_rows = 0);
+
+/// Streaming probe side of Ω1 ⋈ Ω2: the build table is indexed once up
+/// front, then probe chunks are pushed in arrival order — the hash join
+/// no longer drains its probe input, so probing overlaps the upstream
+/// pipeline that is still producing it. Dedup state spans chunks, so the
+/// result is pinned byte-identical (rows *and* order) to draining the
+/// probe side and calling TableJoinParallel(probe, build) — or, with
+/// `swap_output`, to TableJoinSwapBuild(build, probe): Finish() re-merges
+/// the probe-first columns into the canonical build-first schema.
+class StreamingJoinProbe {
+ public:
+  StreamingJoinProbe(BindingTable build, bool swap_output);
+  ~StreamingJoinProbe();
+  StreamingJoinProbe(const StreamingJoinProbe&) = delete;
+  StreamingJoinProbe& operator=(const StreamingJoinProbe&) = delete;
+
+  /// Joins one probe chunk against the build table. All chunks must share
+  /// one schema (they come from one operator); the first chunk fixes the
+  /// output schema exactly as draining would.
+  void Probe(const BindingTable& chunk);
+  /// The joined table. No chunks pushed behaves as an empty probe input.
+  BindingTable Finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 ∖ Ω2) with a morsel-parallel probe that
 /// computes both sides in one pass (rows matching nothing during the

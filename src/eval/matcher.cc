@@ -85,6 +85,88 @@ Status CheckOptionalVariableSharing(const MatchClause& match) {
   return Status::OK();
 }
 
+namespace {
+const std::vector<PropPattern> kNoProps;
+}  // namespace
+
+SnapshotPred::SnapshotPred(
+    const GraphSnapshot& snap, bool node_side,
+    const std::vector<std::vector<std::string>>& label_groups,
+    const std::vector<PropPattern>& props)
+    : snap_(&snap), node_side_(node_side) {
+  for (const auto& group : label_groups) {
+    std::vector<uint32_t> ids;
+    for (const auto& name : group) {
+      const uint32_t id = snap.LabelId(name);
+      if (id != GraphSnapshot::kNoLabel) ids.push_back(id);
+    }
+    if (ids.empty()) {
+      // No object in the graph carries any label of this group.
+      never_ = true;
+      return;
+    }
+    groups_.push_back(std::move(ids));
+  }
+  for (const auto& p : props) {
+    if (p.mode != PropPattern::Mode::kFilter) continue;
+    if (p.value->kind != Expr::Kind::kLiteral) continue;  // row-dependent
+    const GraphSnapshot::PropertyColumn* col =
+        node_side ? snap.NodeColumn(p.key) : snap.EdgeColumn(p.key);
+    if (col == nullptr) {
+      // σ(x, key) = ∅ for every member: Contains can never hold.
+      never_ = true;
+      return;
+    }
+    filters_.emplace_back(col, &p.value->value);
+  }
+  if (node_side) {
+    size_t best = ~size_t{0};
+    for (const auto& ids : groups_) {
+      if (ids.size() != 1) continue;  // a disjunction can't drive the scan
+      const size_t span = snap.NodesWithLabel(ids[0]).size();
+      if (span < best) {
+        best = span;
+        scan_label_ = ids[0];
+      }
+    }
+  }
+}
+
+SnapshotPred SnapshotPred::ForNode(const GraphSnapshot& snap,
+                                   const NodePattern& node) {
+  return SnapshotPred(snap, /*node_side=*/true, node.label_groups, node.props);
+}
+
+SnapshotPred SnapshotPred::ForEdge(const GraphSnapshot& snap,
+                                   const EdgePattern& edge) {
+  return SnapshotPred(snap, /*node_side=*/false, edge.label_groups,
+                      edge.props);
+}
+
+SnapshotPred SnapshotPred::ForEdgeLabels(const GraphSnapshot& snap,
+                                         const EdgePattern& edge) {
+  return SnapshotPred(snap, /*node_side=*/false, edge.label_groups, kNoProps);
+}
+
+bool SnapshotPred::Admits(uint32_t idx) const {
+  if (never_) return false;
+  for (const auto& ids : groups_) {
+    bool any = false;
+    for (const uint32_t l : ids) {
+      if (node_side_ ? snap_->NodeHasLabel(idx, l)
+                     : snap_->EdgeHasLabel(idx, l)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  for (const auto& [col, v] : filters_) {
+    if (!snap_->CellContains(*col, idx, *v)) return false;
+  }
+  return true;
+}
+
 Matcher::Matcher(MatcherContext ctx) : ctx_(std::move(ctx)) {}
 
 std::string Matcher::FreshAnonName() {
@@ -125,13 +207,22 @@ Result<const PathPropertyGraph*> Matcher::ResolveGraph(
   return Status::NotFound("graph '" + resolved + "' is not in the catalog");
 }
 
-const AdjacencyIndex& Matcher::Adjacency(const PathPropertyGraph& graph) {
+const GraphSnapshot& Matcher::Snapshot(const PathPropertyGraph& graph) const {
   std::lock_guard<std::mutex> lock(adj_mu_);
-  auto it = adj_cache_.find(&graph);
-  if (it == adj_cache_.end()) {
-    it = adj_cache_
-             .emplace(&graph, std::make_unique<AdjacencyIndex>(graph))
-             .first;
+  auto it = snapshot_cache_.find(&graph);
+  if (it == snapshot_cache_.end()) {
+    std::shared_ptr<const GraphSnapshot> snap;
+    // When `graph` is the catalog-registered instance, share (and seed)
+    // the catalog's snapshot cache instead of freezing a second copy.
+    if (ctx_.catalog != nullptr && !graph.name().empty()) {
+      auto registered = ctx_.catalog->Lookup(graph.name());
+      if (registered.ok() && *registered == &graph) {
+        auto cached = ctx_.catalog->Snapshot(graph.name());
+        if (cached.ok()) snap = *cached;
+      }
+    }
+    if (snap == nullptr) snap = std::make_shared<const GraphSnapshot>(graph);
+    it = snapshot_cache_.emplace(&graph, std::move(snap)).first;
   }
   return *it->second;
 }
@@ -154,27 +245,23 @@ bool Matcher::LabelsMatch(
 
 bool Matcher::EdgeAdmits(const EdgePattern& edge, EdgeId id,
                          const PathPropertyGraph& graph) const {
-  if (!LabelsMatch(graph.Labels(id), edge.label_groups)) return false;
-  for (const auto& p : edge.props) {
-    if (p.mode != PropPattern::Mode::kFilter) continue;
-    if (p.value->kind != Expr::Kind::kLiteral) continue;  // row-dependent
-    if (!graph.Property(id, p.key).Contains(p.value->value)) return false;
-  }
-  return true;
+  const GraphSnapshot& snap = Snapshot(graph);
+  const SnapshotPred pred = SnapshotPred::ForEdge(snap, edge);
+  const DenseEdgeIndex e = snap.FindEdge(id);
+  // A non-member has empty λ/σ: it admits exactly when the pattern
+  // imposes nothing (the PPG accessors' missing-id semantics).
+  if (e == GraphSnapshot::kNoEdge) return pred.unconstrained();
+  return pred.Admits(e);
 }
 
 Result<bool> Matcher::NodeAdmits(const NodePattern& node, NodeId id,
                                  const PathPropertyGraph& graph) {
-  if (!LabelsMatch(graph.Labels(id), node.label_groups)) return false;
   // Filter-mode props are checked here; bind-mode props are applied by
   // ApplyPropPatterns after the column exists.
-  for (const auto& p : node.props) {
-    if (p.mode != PropPattern::Mode::kFilter) continue;
-    if (p.value->kind != Expr::Kind::kLiteral) continue;  // row-dependent
-    const ValueSet& stored = graph.Property(id, p.key);
-    if (!stored.Contains(p.value->value)) return false;
-  }
-  return true;
+  const GraphSnapshot& snap = Snapshot(graph);
+  const SnapshotPred pred = SnapshotPred::ForNode(snap, node);
+  if (!snap.adjacency().Contains(id)) return pred.unconstrained();
+  return pred.Admits(snap.adjacency().IndexOf(id));
 }
 
 Result<BindingTable> Matcher::MatchStartNode(const NodePattern& node,
@@ -183,22 +270,29 @@ Result<BindingTable> Matcher::MatchStartNode(const NodePattern& node,
                                              const std::string& var) {
   BindingTable table({var});
   table.SetColumnGraph(var, graph_name);
-  Status st = Status::OK();
-  graph.ForEachNode([&](NodeId id) {
-    if (!st.ok()) return;
-    auto admits = NodeAdmits(node, id, graph);
-    if (!admits.ok()) {
-      st = admits.status();
-      return;
+  const GraphSnapshot& snap = Snapshot(graph);
+  const SnapshotPred pred = SnapshotPred::ForNode(snap, node);
+  const AdjacencyIndex& adj = snap.adjacency();
+  auto emit = [&](DenseNodeIndex n) {
+    if (!pred.Admits(n)) return;
+    // Dense append straight into the node column (no per-row
+    // BindingRow allocation).
+    table.MutableColumn(0).Append(Datum::OfNode(adj.IdOf(n)));
+    table.CommitRow();
+  };
+  if (pred.never()) {
+    // Fall through with no rows.
+  } else if (pred.scan_label() != GraphSnapshot::kNoLabel) {
+    // Label-span scan: only the nodes carrying a required label, already
+    // in ascending id order (the order ForEachNode would visit).
+    for (const DenseNodeIndex n : snap.NodesWithLabel(pred.scan_label())) {
+      emit(n);
     }
-    if (*admits) {
-      // Dense append straight into the node column (no per-row
-      // BindingRow allocation).
-      table.MutableColumn(0).Append(Datum::OfNode(id));
-      table.CommitRow();
+  } else {
+    for (size_t n = 0; n < snap.num_nodes(); ++n) {
+      emit(static_cast<DenseNodeIndex>(n));
     }
-  });
-  GCORE_RETURN_NOT_OK(st);
+  }
   return ApplyPropPatterns(std::move(table), var, node.props, graph);
 }
 
@@ -265,7 +359,13 @@ Result<BindingTable> Matcher::ExpandEdgeHop(
     return Status::BindError(
         "copy syntax -[=y]- is only valid in CONSTRUCT patterns");
   }
-  const AdjacencyIndex& adj = Adjacency(graph);
+  const GraphSnapshot& snap = Snapshot(graph);
+  const AdjacencyIndex& adj = snap.adjacency();
+  // Labels only, matching the pre-snapshot inline check: literal edge
+  // props are applied by ApplyPropPatterns below with expression
+  // semantics (null literal = ∅), which are not Contains semantics.
+  const SnapshotPred edge_pred = SnapshotPred::ForEdgeLabels(snap, edge);
+  const SnapshotPred to_pred = SnapshotPred::ForNode(snap, to);
 
   BindingTable next(table.columns());
   for (const auto& [v, g] : table.column_graphs()) next.SetColumnGraph(v, g);
@@ -289,36 +389,30 @@ Result<BindingTable> Matcher::ExpandEdgeHop(
                                ? &table.ColumnAt(to_existing)
                                : nullptr;
 
-  Status st = Status::OK();
-  for (size_t r = 0; r < table.NumRows(); ++r) {
+  const bool nothing_admits = edge_pred.never() || to_pred.never();
+  for (size_t r = 0; !nothing_admits && r < table.NumRows(); ++r) {
     if (from_cells.KindAt(r) != Datum::Kind::kNode) continue;
     const NodeId from_node = from_cells.NodeAt(r);
     if (!adj.Contains(from_node)) continue;
     const DenseNodeIndex n = adj.IndexOf(from_node);
 
     auto try_entry = [&](const AdjacencyEntry& entry) {
-      if (!st.ok()) return;
-      if (!LabelsMatch(graph.Labels(entry.edge), edge.label_groups)) return;
+      if (!edge_pred.Admits(snap.EdgeIndexOf(entry.edge))) return;
       if (edge_cells != nullptr && edge_cells->BoundAt(r) &&
           !(edge_cells->KindAt(r) == Datum::Kind::kEdge &&
             edge_cells->EdgeAt(r) == entry.edge)) {
         return;
       }
-      const NodeId target = adj.IdOf(entry.neighbor);
       if (to_cells != nullptr && to_cells->BoundAt(r) &&
           !(to_cells->KindAt(r) == Datum::Kind::kNode &&
-            to_cells->NodeAt(r) == target)) {
+            to_cells->NodeAt(r) == adj.IdOf(entry.neighbor))) {
         return;
       }
-      auto admits = NodeAdmits(to, target, graph);
-      if (!admits.ok()) {
-        st = admits.status();
-        return;
-      }
-      if (!*admits) return;
+      if (!to_pred.Admits(entry.neighbor)) return;
       next.AppendRowFrom(table, r);
       next.SetCell(next.NumRows() - 1, edge_col, Datum::OfEdge(entry.edge));
-      next.SetCell(next.NumRows() - 1, to_col, Datum::OfNode(target));
+      next.SetCell(next.NumRows() - 1, to_col,
+                   Datum::OfNode(adj.IdOf(entry.neighbor)));
     };
 
     if (edge.direction == EdgePattern::Direction::kRight ||
@@ -331,7 +425,6 @@ Result<BindingTable> Matcher::ExpandEdgeHop(
       auto [b, e] = adj.In(n);
       for (const AdjacencyEntry* it = b; it != e; ++it) try_entry(*it);
     }
-    GCORE_RETURN_NOT_OK(st);
   }
 
   GCORE_ASSIGN_OR_RETURN(
@@ -347,6 +440,12 @@ Result<BindingTable> Matcher::ExpandPathHop(
   auto next_path_id = [&]() {
     return fresh_ids != nullptr ? (*fresh_ids)()
                                 : ctx_.catalog->ids()->NextPath();
+  };
+  const GraphSnapshot& snap = Snapshot(graph);
+  const SnapshotPred to_pred = SnapshotPred::ForNode(snap, to);
+  auto to_admits = [&](NodeId target) {
+    if (!snap.adjacency().Contains(target)) return to_pred.unconstrained();
+    return to_pred.Admits(snap.adjacency().IndexOf(target));
   };
   BindingTable next(table.columns());
   for (const auto& [v, g] : table.column_graphs()) next.SetColumnGraph(v, g);
@@ -376,12 +475,10 @@ Result<BindingTable> Matcher::ExpandPathHop(
     if (has_var) next.SetColumnGraph(path_var, graph_name);
     std::optional<Nfa> conform_nfa;
     if (path.rpq != nullptr) conform_nfa = Nfa::Compile(*path.rpq);
-    Status st = Status::OK();
     for (size_t r = 0; r < table.NumRows(); ++r) {
       if (from_cells.KindAt(r) != Datum::Kind::kNode) continue;
       const NodeId from_node = from_cells.NodeAt(r);
       graph.ForEachPath([&](PathId pid, const PathBody& body) {
-        if (!st.ok()) return;
         if (body.nodes.empty() || body.nodes.front() != from_node) return;
         if (!LabelsMatch(graph.Labels(pid), path.label_groups)) return;
         if (conform_nfa.has_value() &&
@@ -390,12 +487,7 @@ Result<BindingTable> Matcher::ExpandPathHop(
         }
         const NodeId target = body.nodes.back();
         if (target_prebound_elsewhere(r, target)) return;
-        auto admits = NodeAdmits(to, target, graph);
-        if (!admits.ok()) {
-          st = admits.status();
-          return;
-        }
-        if (!*admits) return;
+        if (!to_admits(target)) return;
         next.AppendRowFrom(table, r);
         const size_t out_row = next.NumRows() - 1;
         if (has_var) {
@@ -413,7 +505,6 @@ Result<BindingTable> Matcher::ExpandPathHop(
                            Value::Int(static_cast<int64_t>(body.edges.size()))));
         }
       });
-      GCORE_RETURN_NOT_OK(st);
     }
     return next;
   }
@@ -423,13 +514,13 @@ Result<BindingTable> Matcher::ExpandPathHop(
   }
   const Nfa nfa = Nfa::Compile(*path.rpq);
   PathSearchContext ctx;
-  ctx.adj = &Adjacency(graph);
+  ctx.adj = &snap.adjacency();
   ctx.nfa = &nfa;
   ctx.views = ctx_.views;
 
   auto admit_target = [&](NodeId target, size_t r) -> Result<bool> {
     if (target_prebound_elsewhere(r, target)) return false;
-    return NodeAdmits(to, target, graph);
+    return to_admits(target);
   };
 
   for (size_t r = 0; r < table.NumRows(); ++r) {
@@ -522,24 +613,189 @@ Result<BindingTable> Matcher::ApplyPushdownFilters(
   return FilterByConjuncts(std::move(table), it->second, graph);
 }
 
+namespace {
+
+/// One pushed conjunct of the shape `x.key CMP literal` (either operand
+/// order) compiled against the typed property columns: the per-row test
+/// reads one kind byte and one 64-bit slot instead of materializing
+/// ValueSets through the expression evaluator.
+struct ColumnFilterSpec {
+  /// Normalized so the property is the left operand (order ops flip).
+  BinaryOp op{};
+  size_t obj_col = 0;
+  const GraphSnapshot* snap = nullptr;
+  /// Columns of the key over each object class; null = no carrier.
+  const GraphSnapshot::PropertyColumn* node_col = nullptr;
+  const GraphSnapshot::PropertyColumn* edge_col = nullptr;
+  /// Null when the literal is `null`, which evaluates to the empty set
+  /// (so equality means "property absent").
+  const Value* literal = nullptr;
+};
+
+bool IsComparisonOp(BinaryOp op) {
+  return op == BinaryOp::kEq || op == BinaryOp::kNe || op == BinaryOp::kLt ||
+         op == BinaryOp::kLe || op == BinaryOp::kGt || op == BinaryOp::kGe;
+}
+
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // eq/ne are symmetric
+  }
+}
+
+bool TrySpecializeConjunct(const Matcher& matcher, const Expr& conjunct,
+                           const BindingTable& table,
+                           const ExprEvaluator& eval,
+                           ColumnFilterSpec* spec) {
+  if (conjunct.kind != Expr::Kind::kBinary) return false;
+  if (!IsComparisonOp(conjunct.binary_op)) return false;
+  const Expr* a = conjunct.args[0].get();
+  const Expr* b = conjunct.args[1].get();
+  const Expr* prop = nullptr;
+  const Expr* lit = nullptr;
+  bool flipped = false;
+  if (a->kind == Expr::Kind::kProperty && b->kind == Expr::Kind::kLiteral) {
+    prop = a;
+    lit = b;
+  } else if (a->kind == Expr::Kind::kLiteral &&
+             b->kind == Expr::Kind::kProperty) {
+    prop = b;
+    lit = a;
+    flipped = true;
+  } else {
+    return false;
+  }
+  spec->obj_col = table.ColumnIndex(prop->var);
+  if (spec->obj_col == BindingTable::kNpos) return false;
+  // σ must be read from the graph the evaluator would resolve for this
+  // column (provenance, else the stage default); null means ∅ for every
+  // row — rare enough to leave to the generic path.
+  const PathPropertyGraph* resolved = eval.GraphFor(table, prop->var);
+  if (resolved == nullptr) return false;
+  spec->op = flipped ? FlipComparison(conjunct.binary_op) : conjunct.binary_op;
+  spec->snap = &matcher.Snapshot(*resolved);
+  spec->node_col = spec->snap->NodeColumn(prop->key);
+  spec->edge_col = spec->snap->EdgeColumn(prop->key);
+  spec->literal = lit->value.is_null() ? nullptr : &lit->value;
+  return true;
+}
+
+/// The specialized per-row test; `fallback` is set for path-valued cells
+/// (virtual cost/length properties), which take the generic evaluator.
+bool SpecKeepsRow(const ColumnFilterSpec& s, const Column& cells, size_t r,
+                  bool* fallback) {
+  const GraphSnapshot::PropertyColumn* col = nullptr;
+  uint32_t idx = 0;
+  bool member = false;
+  switch (cells.KindAt(r)) {
+    case Datum::Kind::kNode: {
+      const NodeId id = cells.NodeAt(r);
+      if (s.snap->adjacency().Contains(id)) {
+        member = true;
+        col = s.node_col;
+        idx = s.snap->adjacency().IndexOf(id);
+      }
+      break;
+    }
+    case Datum::Kind::kEdge: {
+      const DenseEdgeIndex e = s.snap->FindEdge(cells.EdgeAt(r));
+      if (e != GraphSnapshot::kNoEdge) {
+        member = true;
+        col = s.edge_col;
+        idx = e;
+      }
+      break;
+    }
+    case Datum::Kind::kPath:
+      *fallback = true;
+      return false;
+    default:
+      break;  // unbound / value / list objects: σ is ∅
+  }
+  const bool absent = !member || col == nullptr || col->AbsentAt(idx);
+  switch (s.op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe: {
+      const bool eq =
+          s.literal == nullptr
+              ? absent  // σ(x, k) == ∅
+              : !absent && s.snap->CellEqualsSingleton(*col, idx, *s.literal);
+      return s.op == BinaryOp::kEq ? eq : !eq;
+    }
+    default: {
+      // Order comparisons: both sides must be singletons, else FALSE.
+      if (s.literal == nullptr || absent) return false;
+      bool ok = false;
+      const int cmp = s.snap->CompareCellSingleton(*col, idx, *s.literal, &ok);
+      if (!ok) return false;
+      switch (s.op) {
+        case BinaryOp::kLt:
+          return cmp < 0;
+        case BinaryOp::kLe:
+          return cmp <= 0;
+        case BinaryOp::kGt:
+          return cmp > 0;
+        default:
+          return cmp >= 0;
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Result<BindingTable> Matcher::FilterByConjuncts(
     BindingTable table, const std::vector<const Expr*>& conjuncts,
     const PathPropertyGraph* graph) {
   if (conjuncts.empty()) return table;
   ExprEvaluator eval = MakeEvaluator(graph);
+  // Conjunct-at-a-time over the surviving row set: property-vs-literal
+  // comparisons scan the snapshot's typed columns, everything else runs
+  // the generic evaluator — only on rows still alive (short-circuit).
   std::vector<size_t> kept;
-  kept.reserve(table.NumRows());
-  for (size_t r = 0; r < table.NumRows(); ++r) {
-    bool keep = true;
-    for (const Expr* conjunct : conjuncts) {
-      GCORE_ASSIGN_OR_RETURN(keep, eval.EvalPredicate(*conjunct, table, r));
-      if (!keep) break;
+  bool narrowed = false;  // false = every row still alive, `kept` unset
+  for (const Expr* conjunct : conjuncts) {
+    const size_t live = narrowed ? kept.size() : table.NumRows();
+    if (live == 0) break;
+    std::vector<size_t> next;
+    next.reserve(live);
+    ColumnFilterSpec spec;
+    if (TrySpecializeConjunct(*this, *conjunct, table, eval, &spec)) {
+      const Column& cells = table.ColumnAt(spec.obj_col);
+      for (size_t i = 0; i < live; ++i) {
+        const size_t r = narrowed ? kept[i] : i;
+        bool fallback = false;
+        bool keep = SpecKeepsRow(spec, cells, r, &fallback);
+        if (fallback) {
+          GCORE_ASSIGN_OR_RETURN(keep,
+                                 eval.EvalPredicate(*conjunct, table, r));
+        }
+        if (keep) next.push_back(r);
+      }
+    } else {
+      for (size_t i = 0; i < live; ++i) {
+        const size_t r = narrowed ? kept[i] : i;
+        GCORE_ASSIGN_OR_RETURN(bool keep,
+                               eval.EvalPredicate(*conjunct, table, r));
+        if (keep) next.push_back(r);
+      }
     }
-    if (keep) kept.push_back(r);
+    if (!narrowed && next.size() == table.NumRows()) continue;
+    kept = std::move(next);
+    narrowed = true;
   }
   // Nothing dropped: hand the table back untouched (the common case for
   // re-checked WHERE conjuncts).
-  if (kept.size() == table.NumRows()) return table;
+  if (!narrowed) return table;
   BindingTable filtered(table.columns());
   for (const auto& [v, g] : table.column_graphs()) {
     filtered.SetColumnGraph(v, g);

@@ -25,6 +25,7 @@
 #include "eval/expr_eval.h"
 #include "graph/adjacency.h"
 #include "graph/catalog.h"
+#include "graph/snapshot.h"
 #include "paths/k_shortest.h"
 #include "paths/path_view.h"
 
@@ -100,8 +101,59 @@ struct ChainResult {
   std::vector<std::string> element_columns;
 };
 
+/// Pattern admission compiled once against a GraphSnapshot: label groups
+/// are resolved to interned ids and literal kFilter props to (typed
+/// column, literal) pairs, so the per-candidate test touches only dense
+/// arrays — no string lookup, no std::map walk, no ValueSet
+/// materialization. Semantics are exactly NodeAdmits/EdgeAdmits
+/// (non-literal and bind-mode props stay the caller's business).
+class SnapshotPred {
+ public:
+  static SnapshotPred ForNode(const GraphSnapshot& snap,
+                              const NodePattern& node);
+  static SnapshotPred ForEdge(const GraphSnapshot& snap,
+                              const EdgePattern& edge);
+  /// Labels only — the edge-side test ExpandEdgeHop applies inline
+  /// (literal edge props are re-checked by ApplyPropPatterns with
+  /// expression semantics, as before).
+  static SnapshotPred ForEdgeLabels(const GraphSnapshot& snap,
+                                    const EdgePattern& edge);
+
+  /// Admission of a member object by dense node/edge index.
+  bool Admits(uint32_t idx) const;
+  /// True when no member can match (a label group with no interned label,
+  /// or a filtered key no object carries): callers skip the scan.
+  bool never() const { return never_; }
+  /// True when the pattern constrains nothing — every object admits,
+  /// including ids outside the snapshot (whose λ/σ are empty).
+  bool unconstrained() const {
+    return !never_ && groups_.empty() && filters_.empty();
+  }
+  /// A label every match must carry (some singleton label group), chosen
+  /// with the smallest per-label index span — node scans iterate
+  /// NodesWithLabel(scan_label()) instead of every node. kNoLabel when
+  /// the pattern has no singleton group.
+  uint32_t scan_label() const { return scan_label_; }
+
+ private:
+  SnapshotPred(const GraphSnapshot& snap, bool node_side,
+               const std::vector<std::vector<std::string>>& label_groups,
+               const std::vector<PropPattern>& props);
+
+  const GraphSnapshot* snap_;
+  bool node_side_;
+  /// Interned label ids per group (any-of within, all-of across).
+  std::vector<std::vector<uint32_t>> groups_;
+  /// (column, literal) of each literal kFilter prop; the Value pointers
+  /// alias the pattern AST, which outlives the predicate.
+  std::vector<std::pair<const GraphSnapshot::PropertyColumn*, const Value*>>
+      filters_;
+  bool never_ = false;
+  uint32_t scan_label_ = GraphSnapshot::kNoLabel;
+};
+
 /// The match runtime: pattern-element primitives plus per-evaluation
-/// caches (adjacency snapshots, anonymous-column counter). Shared by the
+/// caches (graph snapshots, anonymous-column counter). Shared by the
 /// legacy tree-walk and the plan executor.
 class Matcher {
  public:
@@ -138,10 +190,16 @@ class Matcher {
   /// (Section 5, "Interpreting tables as graphs").
   Result<const PathPropertyGraph*> ResolveGraph(const std::string& name);
 
-  /// Adjacency snapshot for `graph` (cached). Thread-safe: executor
-  /// stages pre-warm the cache from the coordinator, but worker-thread
-  /// lookups (and stray builds) serialize on an internal mutex.
-  const AdjacencyIndex& Adjacency(const PathPropertyGraph& graph);
+  /// Columnar snapshot of `graph` (cached per graph pointer for the
+  /// matcher's lifetime; shared with the catalog's cache when `graph` is
+  /// the registered instance). Thread-safe: executor stages pre-warm the
+  /// cache from the coordinator, but worker-thread lookups (and stray
+  /// builds) serialize on an internal mutex.
+  const GraphSnapshot& Snapshot(const PathPropertyGraph& graph) const;
+  /// The snapshot's CSR topology (same cache).
+  const AdjacencyIndex& Adjacency(const PathPropertyGraph& graph) {
+    return Snapshot(graph).adjacency();
+  }
 
   const MatcherContext& context() const { return ctx_; }
 
@@ -246,8 +304,12 @@ class Matcher {
   /// in the plan's scan/expand nodes instead.
   std::map<std::string, std::vector<const Expr*>> pushdown_filters_;
   mutable std::mutex adj_mu_;
-  std::map<const PathPropertyGraph*, std::unique_ptr<AdjacencyIndex>>
-      adj_cache_;
+  /// Per-query snapshot cache keyed by graph pointer; entries hold shared
+  /// ownership so a catalog re-register cannot pull a snapshot out from
+  /// under an in-flight evaluation.
+  mutable std::map<const PathPropertyGraph*,
+                   std::shared_ptr<const GraphSnapshot>>
+      snapshot_cache_;
   int anon_counter_ = 0;
 };
 

@@ -64,15 +64,4 @@ AdjacencyIndex::EntrySpan AdjacencyIndex::EdgesTo(EntrySpan span,
   return {lo, hi};
 }
 
-std::vector<AdjacencyEntry> AdjacencyIndex::AllNeighbors(
-    DenseNodeIndex n) const {
-  std::vector<AdjacencyEntry> all;
-  auto [ob, oe] = Out(n);
-  auto [ib, ie] = In(n);
-  all.reserve(static_cast<size_t>(oe - ob) + static_cast<size_t>(ie - ib));
-  all.insert(all.end(), ob, oe);
-  all.insert(all.end(), ib, ie);
-  return all;
-}
-
 }  // namespace gcore

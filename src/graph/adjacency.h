@@ -1,4 +1,7 @@
-// CSR adjacency snapshot of a PPG, used by the matcher and path finders.
+// CSR adjacency topology of a PPG, used by the matcher and path finders.
+// GraphSnapshot (snapshot.h) embeds one and layers label spans and typed
+// property columns over its dense numbering; the read path reaches it
+// through the snapshot.
 //
 // Path evaluation (Appendix A.1) is defined over graph traversal in both
 // edge directions (an edge e with ρ(e) = (a, b) may be crossed a→b as ℓ or
@@ -56,10 +59,6 @@ class AdjacencyIndex {
             in_entries_.data() + in_offsets_[n + 1]};
   }
 
-  /// All traversable half-edges (Out followed by In) — use when direction
-  /// is unconstrained.
-  std::vector<AdjacencyEntry> AllNeighbors(DenseNodeIndex n) const;
-
   // --- sorted-neighbor view -------------------------------------------------
   // The CSR entries of each node are ordered by (neighbor, edge), and the
   // dense numbering is ascending in node id, so every Out/In span doubles
@@ -87,6 +86,22 @@ class AdjacencyIndex {
   /// Entries of `span` connecting to `neighbor` (binary search — the
   /// parallel-edge enumeration step of the multiway intersection).
   static EntrySpan EdgesTo(EntrySpan span, DenseNodeIndex neighbor);
+
+  /// Both traversable half-edge spans of one node, Out before In — the
+  /// unconstrained-direction view. Borrowed from the CSR arrays; nothing
+  /// is copied or allocated.
+  struct NeighborSpans {
+    EntrySpan out;
+    EntrySpan in;
+    size_t size() const { return out.size() + in.size(); }
+    bool empty() const { return out.empty() && in.empty(); }
+  };
+
+  /// All traversable half-edges of `n` — use when direction is
+  /// unconstrained.
+  NeighborSpans AllNeighbors(DenseNodeIndex n) const {
+    return {OutSorted(n), InSorted(n)};
+  }
 
  private:
   const PathPropertyGraph* graph_;

@@ -1,12 +1,16 @@
 #include "graph/catalog.h"
 
+#include "graph/snapshot.h"
+
 namespace gcore {
 
 void GraphCatalog::RegisterGraph(const std::string& name,
                                  PathPropertyGraph graph) {
   graph.set_name(name);
   graphs_.insert_or_assign(name, std::move(graph));
+  // Stats and snapshot describe the replaced graph state — drop both.
   stats_cache_.erase(name);
+  snapshot_cache_.erase(name);
 }
 
 void GraphCatalog::RegisterGraph(const std::string& name,
@@ -31,18 +35,30 @@ bool GraphCatalog::HasGraph(const std::string& name) const {
 void GraphCatalog::DropGraph(const std::string& name) {
   graphs_.erase(name);
   stats_cache_.erase(name);
+  snapshot_cache_.erase(name);
 }
 
 Result<const GraphStats*> GraphCatalog::Stats(const std::string& name) {
   auto cached = stats_cache_.find(name);
   if (cached != stats_cache_.end()) return &cached->second;
+  auto snapshot = Snapshot(name);
+  if (!snapshot.ok()) return snapshot.status();
+  return &stats_cache_
+              .emplace(name, GraphStats::CollectFromSnapshot(**snapshot))
+              .first->second;
+}
+
+Result<std::shared_ptr<const GraphSnapshot>> GraphCatalog::Snapshot(
+    const std::string& name) {
+  auto cached = snapshot_cache_.find(name);
+  if (cached != snapshot_cache_.end()) return cached->second;
   auto it = graphs_.find(name);
   if (it == graphs_.end()) {
     return Status::NotFound("graph '" + name + "' is not in the catalog");
   }
-  return &stats_cache_
-              .emplace(name, GraphStats::Collect(it->second))
-              .first->second;
+  return snapshot_cache_
+      .emplace(name, std::make_shared<const GraphSnapshot>(it->second))
+      .first->second;
 }
 
 std::vector<std::string> GraphCatalog::GraphNames() const {

@@ -6,6 +6,12 @@
 // query-local one (the engine scopes those by snapshotting/restoring).
 // Both are materialized at registration time, which matches the paper's
 // presentation (Figure 5 shows the views as concrete graphs).
+//
+// Per registered graph the catalog lazily builds and caches the two
+// read-path derivatives — GraphStats (stats.h) and the frozen columnar
+// GraphSnapshot (snapshot.h) — and drops both when the name is
+// re-registered, so they can never go stale against the graph they
+// describe.
 #ifndef GCORE_GRAPH_CATALOG_H_
 #define GCORE_GRAPH_CATALOG_H_
 
@@ -20,6 +26,8 @@
 #include "snb/table.h"
 
 namespace gcore {
+
+class GraphSnapshot;
 
 class GraphCatalog {
  public:
@@ -59,6 +67,16 @@ class GraphCatalog {
   /// the materialization that just produced them.
   Result<const GraphStats*> Stats(const std::string& name);
 
+  /// Columnar snapshot of a registered graph (graph/snapshot.h), built on
+  /// first use and cached until the graph is re-registered or dropped —
+  /// the same lifetime as the stats cache, and in fact Stats() derives
+  /// uncached statistics from this snapshot with a column sweep, so the
+  /// two caches always describe the same graph state. Shared ownership:
+  /// in-flight queries keep their snapshot alive across a re-register.
+  /// NotFound when the graph is unregistered.
+  Result<std::shared_ptr<const GraphSnapshot>> Snapshot(
+      const std::string& name);
+
   /// Session-wide identifier allocator shared by all graphs.
   IdAllocator* ids() { return ids_.get(); }
   std::shared_ptr<IdAllocator> ids_ptr() { return ids_; }
@@ -68,6 +86,7 @@ class GraphCatalog {
   std::map<std::string, PathPropertyGraph> graphs_;
   std::map<std::string, Table> tables_;
   std::map<std::string, GraphStats> stats_cache_;
+  std::map<std::string, std::shared_ptr<const GraphSnapshot>> snapshot_cache_;
   std::string default_graph_;
 };
 

@@ -11,6 +11,13 @@
 // "Construction that respects identities"). Each PPG stores its own λ and
 // σ for its members; the graph-level set operations (graph_ops.h) merge
 // them per Appendix A.5.
+//
+// Role in the engine: the PPG is the *mutable build representation* —
+// GraphBuilder fills it, CONSTRUCT emits it, graph_ops combine it. The
+// read path (scans, expansions, filters, stats) executes against the
+// frozen columnar image derived from it, GraphSnapshot (snapshot.h);
+// GraphCatalog caches one snapshot per registered graph and invalidates
+// it together with the statistics on re-registration.
 #ifndef GCORE_GRAPH_PPG_H_
 #define GCORE_GRAPH_PPG_H_
 

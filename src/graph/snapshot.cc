@@ -1,0 +1,373 @@
+#include "graph/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gcore {
+
+namespace {
+
+/// Ranks mirroring Value::Compare's TypeRank so encoded cells order
+/// exactly as materialized Values would.
+int RankOfKind(GraphSnapshot::PropKind k) {
+  switch (k) {
+    case GraphSnapshot::PropKind::kNull:
+      return 0;
+    case GraphSnapshot::PropKind::kBool:
+      return 1;
+    case GraphSnapshot::PropKind::kInt:
+    case GraphSnapshot::PropKind::kDouble:
+      return 2;
+    case GraphSnapshot::PropKind::kString:
+      return 3;
+    case GraphSnapshot::PropKind::kDate:
+      return 4;
+    default:
+      return 5;  // kAbsent/kOverflow never reach the rank comparison
+  }
+}
+
+int RankOfType(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 2;
+    case ValueType::kString:
+      return 3;
+    case ValueType::kDate:
+      return 4;
+  }
+  return 5;
+}
+
+template <typename T>
+int Cmp(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+uint64_t EncodeInt(int64_t v) { return static_cast<uint64_t>(v); }
+
+uint64_t EncodeDouble(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+double GraphSnapshot::PropertyColumn::DoubleAt(size_t i) const {
+  double v = 0;
+  std::memcpy(&v, &slots_[i], sizeof(v));
+  return v;
+}
+
+GraphSnapshot::GraphSnapshot(const PathPropertyGraph& graph) : adj_(graph) {
+  InternLabels(graph);
+  BuildEdges(graph);
+  BuildLabelTopology(graph);
+  BuildPropertyColumns(graph);
+}
+
+void GraphSnapshot::InternLabels(const PathPropertyGraph& graph) {
+  // Ids in sorted-name order: a LabelSet (sorted by name) translates to
+  // a sorted id list, so per-object spans stay binary-searchable.
+  graph.ForEachNode([&](NodeId id) {
+    for (const auto& l : graph.Labels(id)) label_index_.emplace(l, 0);
+  });
+  graph.ForEachEdge([&](EdgeId id, NodeId, NodeId) {
+    for (const auto& l : graph.Labels(id)) label_index_.emplace(l, 0);
+  });
+  label_names_.reserve(label_index_.size());
+  for (auto& [name, id] : label_index_) {
+    id = static_cast<uint32_t>(label_names_.size());
+    label_names_.push_back(name);
+  }
+}
+
+uint32_t GraphSnapshot::LabelId(const std::string& name) const {
+  auto it = label_index_.find(name);
+  return it == label_index_.end() ? kNoLabel : it->second;
+}
+
+void GraphSnapshot::BuildEdges(const PathPropertyGraph& graph) {
+  edge_ids_.reserve(graph.NumEdges());
+  edge_src_.reserve(graph.NumEdges());
+  edge_dst_.reserve(graph.NumEdges());
+  graph.ForEachEdge([&](EdgeId id, NodeId src, NodeId dst) {
+    edge_ids_.push_back(id);  // ForEachEdge visits ascending by id
+    edge_src_.push_back(adj_.IndexOf(src));
+    edge_dst_.push_back(adj_.IndexOf(dst));
+  });
+}
+
+DenseEdgeIndex GraphSnapshot::EdgeIndexOf(EdgeId id) const {
+  auto it = std::lower_bound(edge_ids_.begin(), edge_ids_.end(), id);
+  return static_cast<DenseEdgeIndex>(it - edge_ids_.begin());
+}
+
+DenseEdgeIndex GraphSnapshot::FindEdge(EdgeId id) const {
+  auto it = std::lower_bound(edge_ids_.begin(), edge_ids_.end(), id);
+  if (it == edge_ids_.end() || !(*it == id)) return kNoEdge;
+  return static_cast<DenseEdgeIndex>(it - edge_ids_.begin());
+}
+
+namespace {
+
+/// Fills the two CSRs linking objects and labels: per-object sorted
+/// label-id spans, and per-label ascending object-index lists.
+template <typename ForEachLabels>
+void BuildLabelCsr(size_t num_objects, size_t num_labels,
+                   ForEachLabels for_each_labels,
+                   std::vector<uint32_t>* obj_offsets,
+                   std::vector<uint32_t>* obj_ids,
+                   std::vector<uint32_t>* label_offsets,
+                   std::vector<uint32_t>* label_objs) {
+  obj_offsets->assign(num_objects + 1, 0);
+  std::vector<uint32_t> label_counts(num_labels, 0);
+  for_each_labels([&](size_t obj, uint32_t label) {
+    ++(*obj_offsets)[obj + 1];
+    ++label_counts[label];
+  });
+  for (size_t i = 0; i < num_objects; ++i) {
+    (*obj_offsets)[i + 1] += (*obj_offsets)[i];
+  }
+  obj_ids->assign(obj_offsets->back(), 0);
+  label_offsets->assign(num_labels + 1, 0);
+  for (size_t l = 0; l < num_labels; ++l) {
+    (*label_offsets)[l + 1] = (*label_offsets)[l] + label_counts[l];
+  }
+  label_objs->assign(label_offsets->back(), 0);
+  std::vector<uint32_t> obj_fill(num_objects, 0);
+  std::vector<uint32_t> label_fill(num_labels, 0);
+  for_each_labels([&](size_t obj, uint32_t label) {
+    // Objects are visited in ascending dense order and labels in
+    // ascending id order, so both CSRs come out sorted.
+    (*obj_ids)[(*obj_offsets)[obj] + obj_fill[obj]++] = label;
+    (*label_objs)[(*label_offsets)[label] + label_fill[label]++] =
+        static_cast<uint32_t>(obj);
+  });
+}
+
+}  // namespace
+
+void GraphSnapshot::BuildLabelTopology(const PathPropertyGraph& graph) {
+  BuildLabelCsr(
+      num_nodes(), num_labels(),
+      [&](auto emit) {
+        for (size_t n = 0; n < num_nodes(); ++n) {
+          for (const auto& l : graph.Labels(adj_.IdOf(
+                   static_cast<DenseNodeIndex>(n)))) {
+            emit(n, label_index_.at(l));
+          }
+        }
+      },
+      &node_label_offsets_, &node_label_ids_, &label_node_offsets_,
+      &label_nodes_);
+  BuildLabelCsr(
+      num_edges(), num_labels(),
+      [&](auto emit) {
+        for (size_t e = 0; e < num_edges(); ++e) {
+          for (const auto& l : graph.Labels(edge_ids_[e])) {
+            emit(e, label_index_.at(l));
+          }
+        }
+      },
+      &edge_label_offsets_, &edge_label_ids_, &label_edge_offsets_,
+      &label_edges_);
+}
+
+bool GraphSnapshot::NodeHasLabel(DenseNodeIndex n, uint32_t label) const {
+  const auto span = NodeLabelIds(n);
+  return std::binary_search(span.begin(), span.end(), label);
+}
+
+bool GraphSnapshot::EdgeHasLabel(DenseEdgeIndex e, uint32_t label) const {
+  const auto span = EdgeLabelIds(e);
+  return std::binary_search(span.begin(), span.end(), label);
+}
+
+void GraphSnapshot::EncodeCell(const ValueSet& values, PropertyColumn* col,
+                               size_t i) {
+  if (values.empty()) return;  // kAbsent (PropertyMap erases empties)
+  ++col->num_carriers_;
+  if (values.is_singleton()) {
+    const Value& v = values.single();
+    switch (v.type()) {
+      case ValueType::kNull:
+        col->kinds_[i] = static_cast<uint8_t>(PropKind::kNull);
+        return;
+      case ValueType::kBool:
+        col->kinds_[i] = static_cast<uint8_t>(PropKind::kBool);
+        col->slots_[i] = v.AsBool() ? 1 : 0;
+        return;
+      case ValueType::kInt:
+        col->kinds_[i] = static_cast<uint8_t>(PropKind::kInt);
+        col->slots_[i] = EncodeInt(v.AsInt());
+        return;
+      case ValueType::kDouble:
+        col->kinds_[i] = static_cast<uint8_t>(PropKind::kDouble);
+        col->slots_[i] = EncodeDouble(v.AsDouble());
+        return;
+      case ValueType::kString: {
+        auto [it, fresh] = string_index_.emplace(
+            v.AsString(), static_cast<uint32_t>(strings_.size()));
+        if (fresh) strings_.push_back(v.AsString());
+        col->kinds_[i] = static_cast<uint8_t>(PropKind::kString);
+        col->slots_[i] = it->second;
+        return;
+      }
+      case ValueType::kDate:
+        // Epoch days round-trip only for real calendar dates; anything
+        // else keeps its exact Value out of line.
+        if (v.AsDate().IsValid()) {
+          col->kinds_[i] = static_cast<uint8_t>(PropKind::kDate);
+          col->slots_[i] = EncodeInt(v.AsDate().ToEpochDays());
+          return;
+        }
+        break;
+    }
+  }
+  col->kinds_[i] = static_cast<uint8_t>(PropKind::kOverflow);
+  col->slots_[i] = col->overflow_.size();
+  col->overflow_.push_back(values);
+}
+
+void GraphSnapshot::BuildPropertyColumns(const PathPropertyGraph& graph) {
+  auto column_of = [](std::map<std::string, PropertyColumn>* columns,
+                      const std::string& key,
+                      size_t num_objects) -> PropertyColumn* {
+    auto [it, fresh] = columns->try_emplace(key);
+    if (fresh) {
+      it->second.kinds_.assign(num_objects, 0);  // kAbsent
+      it->second.slots_.assign(num_objects, 0);
+    }
+    return &it->second;
+  };
+  for (size_t n = 0; n < num_nodes(); ++n) {
+    const auto& props =
+        graph.Properties(adj_.IdOf(static_cast<DenseNodeIndex>(n)));
+    for (const auto& [key, values] : props.entries()) {
+      EncodeCell(values, column_of(&node_columns_, key, num_nodes()), n);
+    }
+  }
+  for (size_t e = 0; e < num_edges(); ++e) {
+    for (const auto& [key, values] : graph.Properties(edge_ids_[e]).entries()) {
+      EncodeCell(values, column_of(&edge_columns_, key, num_edges()), e);
+    }
+  }
+}
+
+const GraphSnapshot::PropertyColumn* GraphSnapshot::NodeColumn(
+    const std::string& key) const {
+  auto it = node_columns_.find(key);
+  return it == node_columns_.end() ? nullptr : &it->second;
+}
+
+const GraphSnapshot::PropertyColumn* GraphSnapshot::EdgeColumn(
+    const std::string& key) const {
+  auto it = edge_columns_.find(key);
+  return it == edge_columns_.end() ? nullptr : &it->second;
+}
+
+uint32_t GraphSnapshot::InternedString(const std::string& s) const {
+  auto it = string_index_.find(s);
+  return it == string_index_.end() ? kNoString : it->second;
+}
+
+int GraphSnapshot::CompareCellSingleton(const PropertyColumn& col, size_t i,
+                                        const Value& v, bool* ok) const {
+  const PropKind kind = col.KindAt(i);
+  switch (kind) {
+    case PropKind::kAbsent:
+      *ok = false;
+      return 0;
+    case PropKind::kOverflow: {
+      const ValueSet& s = col.OverflowAt(i);
+      if (!s.is_singleton()) {
+        *ok = false;
+        return 0;
+      }
+      *ok = true;
+      return s.single().Compare(v);
+    }
+    default:
+      break;
+  }
+  *ok = true;
+  const int rl = RankOfKind(kind);
+  const int rr = RankOfType(v.type());
+  if (rl != rr) return rl < rr ? -1 : 1;
+  switch (kind) {
+    case PropKind::kNull:
+      return 0;
+    case PropKind::kBool:
+      return Cmp(col.BoolAt(i), v.AsBool());
+    case PropKind::kInt:
+      // Int-int compares exactly; mixed numerics through double, as
+      // Value::Compare does.
+      if (v.is_int()) return Cmp(col.IntAt(i), v.AsInt());
+      return Cmp(static_cast<double>(col.IntAt(i)), v.NumericAsDouble());
+    case PropKind::kDouble:
+      return Cmp(col.DoubleAt(i), v.NumericAsDouble());
+    case PropKind::kString: {
+      const int c = StringAt(col.StringIdAt(i)).compare(v.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case PropKind::kDate:
+      return Cmp(col.DateDaysAt(i), v.AsDate().ToEpochDays());
+    default:
+      return 0;  // unreachable
+  }
+}
+
+bool GraphSnapshot::CellEqualsSingleton(const PropertyColumn& col, size_t i,
+                                        const Value& v) const {
+  // String equality short-circuits on pool ids (the common pushed-filter
+  // case): equal strings share one id by construction.
+  if (col.KindAt(i) == PropKind::kString && v.is_string()) {
+    return StringAt(col.StringIdAt(i)) == v.AsString();
+  }
+  bool ok = false;
+  const int cmp = CompareCellSingleton(col, i, v, &ok);
+  return ok && cmp == 0;
+}
+
+bool GraphSnapshot::CellContains(const PropertyColumn& col, size_t i,
+                                 const Value& v) const {
+  if (col.KindAt(i) == PropKind::kOverflow) {
+    return col.OverflowAt(i).Contains(v);
+  }
+  return CellEqualsSingleton(col, i, v);
+}
+
+ValueSet GraphSnapshot::CellValues(const PropertyColumn& col,
+                                   size_t i) const {
+  switch (col.KindAt(i)) {
+    case PropKind::kAbsent:
+      return ValueSet();
+    case PropKind::kNull:
+      return ValueSet(Value::Null());
+    case PropKind::kBool:
+      return ValueSet(Value::Bool(col.BoolAt(i)));
+    case PropKind::kInt:
+      return ValueSet(Value::Int(col.IntAt(i)));
+    case PropKind::kDouble:
+      return ValueSet(Value::Double(col.DoubleAt(i)));
+    case PropKind::kString:
+      return ValueSet(Value::String(StringAt(col.StringIdAt(i))));
+    case PropKind::kDate:
+      return ValueSet(Value::OfDate(Date::FromEpochDays(col.DateDaysAt(i))));
+    case PropKind::kOverflow:
+      return col.OverflowAt(i);
+  }
+  return ValueSet();
+}
+
+}  // namespace gcore

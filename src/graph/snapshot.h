@@ -1,0 +1,249 @@
+// The immutable columnar snapshot the read path executes against.
+//
+// A PathPropertyGraph stores Definition 2.1 directly — ordered maps from
+// ids to label sets and per-key ValueSets — which is the right shape for
+// construction and CONSTRUCT-time mutation, but pointer-chases on every
+// admission check. A GraphSnapshot freezes one PPG into scan-friendly
+// arrays (the Katana PropertyGraph layout: compact CSR topology plus
+// typed property columns):
+//
+//   * dense node/edge numbering (ascending id order, shared with the
+//     embedded AdjacencyIndex, so path finders and the snapshot agree on
+//     dense indices);
+//   * interned label ids with per-object sorted label-id spans, and a
+//     per-label sorted node/edge index list — NodeScan (a:Person)
+//     iterates one contiguous span instead of filtering every node;
+//   * one typed property column per (object class, key): a kind tag plus
+//     a 64-bit slot per object, mirroring BindingTable's column layout,
+//     with multi-valued / non-inlinable ValueSets out of line in an
+//     overflow vector (the FSET(V) semantics of Section 2 survive
+//     unchanged — a column cell *is* σ(x, k), just stored columnar).
+//
+// Invalidation: a snapshot is valid for exactly the graph state it was
+// built from. GraphCatalog caches one snapshot per registered graph next
+// to its GraphStats and drops both on RegisterGraph/DropGraph; the
+// Matcher's per-query cache keys by graph pointer and dies with the
+// query. CONSTRUCT and the builder APIs keep mutating the PPG — they
+// never see a snapshot.
+#ifndef GCORE_GRAPH_SNAPSHOT_H_
+#define GCORE_GRAPH_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+#include "graph/adjacency.h"
+#include "graph/ppg.h"
+
+namespace gcore {
+
+/// Dense index of an edge inside a GraphSnapshot (ascending edge-id
+/// order, the edge analogue of DenseNodeIndex).
+using DenseEdgeIndex = uint32_t;
+
+class GraphSnapshot {
+ public:
+  /// Sentinel for "label/string not interned in this snapshot".
+  static constexpr uint32_t kNoLabel = ~uint32_t{0};
+  static constexpr uint32_t kNoString = ~uint32_t{0};
+  /// Sentinel for "edge id not a member of this snapshot".
+  static constexpr DenseEdgeIndex kNoEdge = ~DenseEdgeIndex{0};
+
+  /// Cell tag of a property column. kAbsent is σ(x, k) = ∅; the middle
+  /// kinds inline a singleton set into the 64-bit slot; kOverflow points
+  /// the slot at an out-of-line ValueSet (multi-valued sets, plus rare
+  /// singletons the slot cannot encode, e.g. non-calendar dates).
+  enum class PropKind : uint8_t {
+    kAbsent = 0,
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,  // slot = interned string-pool id
+    kDate,    // slot = days since epoch
+    kOverflow,
+  };
+
+  /// Borrowed view over a snapshot-owned array.
+  template <typename T>
+  struct Span {
+    const T* data = nullptr;
+    size_t count = 0;
+    const T* begin() const { return data; }
+    const T* end() const { return data + count; }
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    T operator[](size_t i) const { return data[i]; }
+  };
+
+  /// One property key over one object class: a kind tag and a 64-bit
+  /// slot per dense object index (BindingTable's column layout), heavy
+  /// cells out of line.
+  class PropertyColumn {
+   public:
+    size_t size() const { return kinds_.size(); }
+    PropKind KindAt(size_t i) const {
+      return static_cast<PropKind>(kinds_[i]);
+    }
+    bool AbsentAt(size_t i) const { return KindAt(i) == PropKind::kAbsent; }
+    uint64_t SlotAt(size_t i) const { return slots_[i]; }
+    bool BoolAt(size_t i) const { return slots_[i] != 0; }
+    int64_t IntAt(size_t i) const { return static_cast<int64_t>(slots_[i]); }
+    double DoubleAt(size_t i) const;
+    int64_t DateDaysAt(size_t i) const {
+      return static_cast<int64_t>(slots_[i]);
+    }
+    uint32_t StringIdAt(size_t i) const {
+      return static_cast<uint32_t>(slots_[i]);
+    }
+    const ValueSet& OverflowAt(size_t i) const {
+      return overflow_[slots_[i]];
+    }
+    /// Cells with a non-empty value set.
+    size_t num_carriers() const { return num_carriers_; }
+
+   private:
+    friend class GraphSnapshot;
+    std::vector<uint8_t> kinds_;
+    std::vector<uint64_t> slots_;
+    std::vector<ValueSet> overflow_;
+    size_t num_carriers_ = 0;
+  };
+
+  /// Freezes the current state of `graph`. O(graph payload).
+  explicit GraphSnapshot(const PathPropertyGraph& graph);
+
+  const PathPropertyGraph& graph() const { return adj_.graph(); }
+  /// The CSR out/in topology (same dense node numbering as the rest of
+  /// the snapshot); path finders keep consuming this type directly.
+  const AdjacencyIndex& adjacency() const { return adj_; }
+
+  size_t num_nodes() const { return adj_.num_nodes(); }
+  size_t num_edges() const { return edge_ids_.size(); }
+
+  // --- labels ----------------------------------------------------------------
+
+  /// Labels of nodes and edges, interned. Ids are assigned in sorted name
+  /// order, so a translated label list is sorted iff the name list was.
+  size_t num_labels() const { return label_names_.size(); }
+  const std::string& LabelName(uint32_t id) const { return label_names_[id]; }
+  /// kNoLabel when the name occurs nowhere in the graph.
+  uint32_t LabelId(const std::string& name) const;
+
+  /// Sorted interned-label ids of one object.
+  Span<uint32_t> NodeLabelIds(DenseNodeIndex n) const {
+    return {node_label_ids_.data() + node_label_offsets_[n],
+            node_label_offsets_[n + 1] - node_label_offsets_[n]};
+  }
+  Span<uint32_t> EdgeLabelIds(DenseEdgeIndex e) const {
+    return {edge_label_ids_.data() + edge_label_offsets_[e],
+            edge_label_offsets_[e + 1] - edge_label_offsets_[e]};
+  }
+  bool NodeHasLabel(DenseNodeIndex n, uint32_t label) const;
+  bool EdgeHasLabel(DenseEdgeIndex e, uint32_t label) const;
+
+  /// All dense node indices carrying `label`, ascending (== ascending
+  /// node id — the order ForEachNode visits); label scans iterate this
+  /// span instead of the whole node range.
+  Span<DenseNodeIndex> NodesWithLabel(uint32_t label) const {
+    return {label_nodes_.data() + label_node_offsets_[label],
+            label_node_offsets_[label + 1] - label_node_offsets_[label]};
+  }
+  Span<DenseEdgeIndex> EdgesWithLabel(uint32_t label) const {
+    return {label_edges_.data() + label_edge_offsets_[label],
+            label_edge_offsets_[label + 1] - label_edge_offsets_[label]};
+  }
+
+  // --- edges -----------------------------------------------------------------
+
+  EdgeId EdgeIdOf(DenseEdgeIndex e) const { return edge_ids_[e]; }
+  /// Dense index of `id` (binary search over the ascending id array —
+  /// no per-edge hash map); requires the edge to be a member.
+  DenseEdgeIndex EdgeIndexOf(EdgeId id) const;
+  /// Dense index of `id`, or kNoEdge when the edge is not a member.
+  DenseEdgeIndex FindEdge(EdgeId id) const;
+  DenseNodeIndex EdgeSrc(DenseEdgeIndex e) const { return edge_src_[e]; }
+  DenseNodeIndex EdgeDst(DenseEdgeIndex e) const { return edge_dst_[e]; }
+
+  // --- property columns ------------------------------------------------------
+
+  /// Column of `key` over nodes/edges; null when no object carries the
+  /// key (σ(x, key) = ∅ for every x).
+  const PropertyColumn* NodeColumn(const std::string& key) const;
+  const PropertyColumn* EdgeColumn(const std::string& key) const;
+  const std::map<std::string, PropertyColumn>& node_columns() const {
+    return node_columns_;
+  }
+  const std::map<std::string, PropertyColumn>& edge_columns() const {
+    return edge_columns_;
+  }
+
+  // --- string pool -----------------------------------------------------------
+
+  const std::string& StringAt(uint32_t id) const { return strings_[id]; }
+  /// Pool id of `s`, or kNoString when no inline cell holds it (pushed
+  /// string-equality filters pre-resolve their literal once and then
+  /// compare 32-bit ids per row).
+  uint32_t InternedString(const std::string& s) const;
+
+  // --- cell semantics --------------------------------------------------------
+  // These reproduce ValueSet/Value semantics over encoded cells so the
+  // matcher's admission checks and the vectorized pushed filters never
+  // materialize a ValueSet.
+
+  /// σ(x, k).Contains(v) on cell `i` of `col`.
+  bool CellContains(const PropertyColumn& col, size_t i,
+                    const Value& v) const;
+  /// σ(x, k) == {v}: true only for a singleton cell equal to `v`.
+  bool CellEqualsSingleton(const PropertyColumn& col, size_t i,
+                           const Value& v) const;
+  /// Value::Compare of the cell's singleton against `v`; `ok` is set
+  /// false (and 0 returned) when the cell is not a singleton.
+  int CompareCellSingleton(const PropertyColumn& col, size_t i,
+                           const Value& v, bool* ok) const;
+  /// Materializes the cell as a ValueSet (tests and slow paths only).
+  ValueSet CellValues(const PropertyColumn& col, size_t i) const;
+
+ private:
+  void InternLabels(const PathPropertyGraph& graph);
+  void BuildLabelTopology(const PathPropertyGraph& graph);
+  void BuildEdges(const PathPropertyGraph& graph);
+  void BuildPropertyColumns(const PathPropertyGraph& graph);
+  /// Encodes one value set into (kind, slot), appending to the overflow
+  /// vector / string pool as needed.
+  void EncodeCell(const ValueSet& values, PropertyColumn* col, size_t i);
+
+  AdjacencyIndex adj_;
+
+  std::vector<std::string> label_names_;  // id -> name, sorted
+  std::map<std::string, uint32_t> label_index_;
+
+  // Per-object sorted label-id lists (CSR over objects).
+  std::vector<uint32_t> node_label_offsets_;
+  std::vector<uint32_t> node_label_ids_;
+  std::vector<uint32_t> edge_label_offsets_;
+  std::vector<uint32_t> edge_label_ids_;
+
+  // Per-label sorted object-index lists (CSR over labels).
+  std::vector<uint32_t> label_node_offsets_;
+  std::vector<DenseNodeIndex> label_nodes_;
+  std::vector<uint32_t> label_edge_offsets_;
+  std::vector<DenseEdgeIndex> label_edges_;
+
+  std::vector<EdgeId> edge_ids_;  // dense -> id, ascending
+  std::vector<DenseNodeIndex> edge_src_;
+  std::vector<DenseNodeIndex> edge_dst_;
+
+  std::map<std::string, PropertyColumn> node_columns_;
+  std::map<std::string, PropertyColumn> edge_columns_;
+
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t> string_index_;
+};
+
+}  // namespace gcore
+
+#endif  // GCORE_GRAPH_SNAPSHOT_H_

@@ -1,5 +1,7 @@
 #include "graph/stats.h"
 
+#include "graph/snapshot.h"
+
 namespace gcore {
 
 namespace {
@@ -111,6 +113,44 @@ const PropertyStats* PropStatsFor(
   return it == bucket->second.end() ? nullptr : &it->second;
 }
 
+/// Folds one typed column into the global and per-label distributions —
+/// the columnar mirror of FoldPropertyMap: one count per carrying cell,
+/// distinct/range over the cell's values, per-label buckets created
+/// exactly for (label of a carrier, key) pairs.
+template <typename LabelIdsFn>
+void SweepColumn(const GraphSnapshot& snap, const std::string& key,
+                 const GraphSnapshot::PropertyColumn& col,
+                 LabelIdsFn label_ids_of,
+                 std::map<std::string, PropertyStats>* global,
+                 std::map<std::string, std::map<std::string, PropertyStats>>*
+                     by_label) {
+  PropertyStats& g = (*global)[key];
+  g.count = col.num_carriers();
+  std::set<Value> distinct;
+  std::map<uint32_t, std::set<Value>> distinct_by_label;
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (col.AbsentAt(i)) continue;
+    const ValueSet values = snap.CellValues(col, i);
+    for (const Value& v : values) {
+      distinct.insert(v);
+      FoldRange(&g, v);
+    }
+    for (const uint32_t label : label_ids_of(i)) {
+      PropertyStats& b = (*by_label)[snap.LabelName(label)][key];
+      ++b.count;
+      auto& label_distinct = distinct_by_label[label];
+      for (const Value& v : values) {
+        label_distinct.insert(v);
+        FoldRange(&b, v);
+      }
+    }
+  }
+  g.distinct = distinct.size();
+  for (const auto& [label, set] : distinct_by_label) {
+    (*by_label)[snap.LabelName(label)][key].distinct = set.size();
+  }
+}
+
 }  // namespace
 
 size_t GraphStats::NodesWithLabel(const std::string& label) const {
@@ -168,6 +208,84 @@ GraphStats GraphStats::Collect(const PathPropertyGraph& graph) {
   });
   graph.ForEachPath([&](PathId, const PathBody&) { collector.AddPath(); });
   return collector.Finish();
+}
+
+GraphStats GraphStats::CollectFromSnapshot(const GraphSnapshot& snap) {
+  GraphStats stats;
+  stats.num_nodes = snap.num_nodes();
+  stats.num_edges = snap.num_edges();
+  snap.graph().ForEachPath(
+      [&](PathId, const PathBody&) { ++stats.num_paths; });
+
+  // Label counts are the sizes of the per-label index spans; entries only
+  // for labels that occur on the object class (as the collector produces).
+  for (uint32_t l = 0; l < snap.num_labels(); ++l) {
+    const auto nodes = snap.NodesWithLabel(l);
+    if (!nodes.empty()) {
+      stats.node_label_counts[snap.LabelName(l)] = nodes.size();
+    }
+    const auto edges = snap.EdgesWithLabel(l);
+    if (!edges.empty()) {
+      stats.edge_label_counts[snap.LabelName(l)] = edges.size();
+    }
+  }
+
+  for (const auto& [key, col] : snap.node_columns()) {
+    SweepColumn(
+        snap, key, col, [&](size_t i) {
+          return snap.NodeLabelIds(static_cast<DenseNodeIndex>(i));
+        },
+        &stats.node_props, &stats.node_props_by_label);
+  }
+  for (const auto& [key, col] : snap.edge_columns()) {
+    SweepColumn(
+        snap, key, col, [&](size_t i) {
+          return snap.EdgeLabelIds(static_cast<DenseEdgeIndex>(i));
+        },
+        &stats.edge_props, &stats.edge_props_by_label);
+  }
+
+  // Edge buckets and per-node degree counters. Label ids are assigned in
+  // sorted-name order, so translating a sorted id span gives the LabelSet
+  // the collector saw.
+  auto names_of = [&](GraphSnapshot::Span<uint32_t> ids) {
+    std::vector<std::string> names;
+    names.reserve(ids.size());
+    for (const uint32_t l : ids) names.push_back(snap.LabelName(l));
+    return LabelSet(std::move(names));
+  };
+  std::vector<LabelSet> node_labels(snap.num_nodes());
+  for (size_t n = 0; n < snap.num_nodes(); ++n) {
+    node_labels[n] = names_of(snap.NodeLabelIds(static_cast<DenseNodeIndex>(n)));
+  }
+  using Buckets = std::map<std::string, std::map<std::string, size_t>>;
+  std::vector<Buckets> out_deg(snap.num_nodes());
+  std::vector<Buckets> in_deg(snap.num_nodes());
+  for (size_t e = 0; e < snap.num_edges(); ++e) {
+    const LabelSet edge_labels =
+        names_of(snap.EdgeLabelIds(static_cast<DenseEdgeIndex>(e)));
+    const DenseNodeIndex src = snap.EdgeSrc(static_cast<DenseEdgeIndex>(e));
+    const DenseNodeIndex dst = snap.EdgeDst(static_cast<DenseEdgeIndex>(e));
+    CountEdgeBuckets(node_labels[src], edge_labels, &stats.out_edge_counts);
+    CountEdgeBuckets(node_labels[dst], edge_labels, &stats.in_edge_counts);
+    CountEdgeBuckets(node_labels[src], edge_labels, &out_deg[src]);
+    CountEdgeBuckets(node_labels[dst], edge_labels, &in_deg[dst]);
+  }
+  auto fold_maxima = [](const std::vector<Buckets>& per_node,
+                        Buckets* maxima) {
+    for (const Buckets& buckets : per_node) {
+      for (const auto& [endpoint_label, by_edge] : buckets) {
+        auto& out = (*maxima)[endpoint_label];
+        for (const auto& [edge_label, count] : by_edge) {
+          size_t& slot = out[edge_label];
+          if (count > slot) slot = count;
+        }
+      }
+    }
+  };
+  fold_maxima(out_deg, &stats.out_degree_max);
+  fold_maxima(in_deg, &stats.in_degree_max);
+  return stats;
 }
 
 void StatsCollector::AddNode(const LabelSet& labels,

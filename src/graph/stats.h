@@ -19,9 +19,12 @@
 //     label-fraction independence double-charge (the global per-key
 //     distribution remains the fallback when a bucket is missing).
 //
-// Two collection paths produce identical statistics:
-//   * GraphStats::Collect(graph) — one full scan; what GraphCatalog::Stats
-//     runs lazily (and caches) on first use.
+// Three collection paths produce identical statistics:
+//   * GraphStats::CollectFromSnapshot(snapshot) — a column sweep over the
+//     frozen GraphSnapshot; what GraphCatalog::Stats runs lazily (and
+//     caches) on first use, sharing the snapshot it caches anyway.
+//   * GraphStats::Collect(graph) — one full scan of the mutable PPG; the
+//     reference implementation the other two are pinned against.
 //   * StatsCollector — incremental accumulation as objects are added;
 //     GraphBuilder maintains one so builder-constructed graphs can be
 //     registered with their statistics precomputed
@@ -39,6 +42,8 @@
 #include "graph/ppg.h"
 
 namespace gcore {
+
+class GraphSnapshot;
 
 /// Distribution summary of one property key over one object class
 /// (nodes or edges) of a graph.
@@ -124,8 +129,15 @@ struct GraphStats {
   const PropertyStats* EdgePropStatsFor(const std::string& label,
                                         const std::string& key) const;
 
-  /// Full-scan collection (the lazy GraphCatalog::Stats path).
+  /// Full-scan collection over the mutable PPG (kept as the reference
+  /// path; tests pin CollectFromSnapshot against it).
   static GraphStats Collect(const PathPropertyGraph& graph);
+  /// Column sweep over a frozen snapshot: label counts read off the
+  /// per-label index spans, property distributions off the typed columns.
+  /// Produces statistics identical to Collect on the snapshotted graph —
+  /// this is what GraphCatalog::Stats runs, since the catalog builds the
+  /// snapshot anyway.
+  static GraphStats CollectFromSnapshot(const GraphSnapshot& snapshot);
 
   friend bool operator==(const GraphStats& a, const GraphStats& b) {
     return a.num_nodes == b.num_nodes && a.num_edges == b.num_edges &&

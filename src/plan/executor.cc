@@ -393,7 +393,7 @@ class PathSearchOp : public PhysicalOp {
       return Chunk(std::move(filtered));
     }
 
-    rt_->Adjacency(*graph);  // warm the cache off the workers
+    rt_->Snapshot(*graph);  // warm the snapshot cache off the workers
     const BindingTable* chunk = &input;
     const size_t num_morsels = (chunk->NumRows() + morsel - 1) / morsel;
     std::vector<Result<BindingTable>> outs(num_morsels,
@@ -518,8 +518,9 @@ class DrainingFilterOp : public PhysicalOp {
   bool done_ = false;
 };
 
-/// Natural join of two subplans; both sides are drained (hash join builds
-/// over the full right input).
+/// Natural join of two subplans. Only the build side is drained; the
+/// probe side's chunks are joined as they arrive (StreamingJoinProbe),
+/// so probing overlaps whatever pipeline is still producing them.
 class HashJoinOp : public PhysicalOp {
  public:
   HashJoinOp(const PlanNode* plan, OpPtr left, OpPtr right, ExecContext exec,
@@ -533,19 +534,24 @@ class HashJoinOp : public PhysicalOp {
   Result<std::optional<BindingTable>> Next() override {
     if (done_) return Exhausted();
     done_ = true;
-    GCORE_ASSIGN_OR_RETURN(BindingTable left, Drain(left_.get()));
-    GCORE_ASSIGN_OR_RETURN(BindingTable right, Drain(right_.get()));
     // Orientation is fixed at *plan* time: provenance and schema always
     // follow the left side (canonical order), and a swap_build plan
     // builds over the left when statistics predicted the right side much
     // larger — the choose_build_side rule. Never a runtime size check,
-    // so execution stays deterministic for a given plan.
-    BindingTable joined =
-        plan_->swap_build
-            ? TableJoinSwapBuild(left, right, exec_.Degree(),
-                                 exec_.MorselRows())
-            : TableJoinParallel(left, right, exec_.Degree(),
-                                exec_.MorselRows());
+    // so execution stays deterministic for a given plan. The streamed
+    // result is pinned byte-identical to draining both sides and calling
+    // TableJoinParallel / TableJoinSwapBuild.
+    PhysicalOp* build_op = plan_->swap_build ? left_.get() : right_.get();
+    PhysicalOp* probe_op = plan_->swap_build ? right_.get() : left_.get();
+    GCORE_ASSIGN_OR_RETURN(BindingTable build, Drain(build_op));
+    StreamingJoinProbe probe(std::move(build), plan_->swap_build);
+    while (true) {
+      GCORE_ASSIGN_OR_RETURN(std::optional<BindingTable> chunk,
+                             probe_op->Next());
+      if (!chunk.has_value()) break;
+      probe.Probe(*chunk);
+    }
+    BindingTable joined = probe.Finish();
     if (stats_ != nullptr) stats_->Record(plan_, joined.NumRows());
     return Chunk(std::move(joined));
   }
@@ -695,7 +701,7 @@ Stage MakeExpandEdgeStage(Matcher* rt, const PlanNode* plan,
   Stage stage;
   stage.prepare = [rt, plan, resolved]() -> Status {
     GCORE_ASSIGN_OR_RETURN(resolved->graph, rt->ResolveGraph(plan->graph));
-    rt->Adjacency(*resolved->graph);  // warm the cache off the workers
+    rt->Snapshot(*resolved->graph);  // warm the snapshot cache off the workers
     return Status::OK();
   };
   stage.fn = Recorded(
@@ -725,7 +731,7 @@ Stage MakeMultiwayExpandStage(Matcher* rt, const PlanNode* plan,
   Stage stage;
   stage.prepare = [rt, plan, resolved]() -> Status {
     GCORE_ASSIGN_OR_RETURN(resolved->graph, rt->ResolveGraph(plan->graph));
-    rt->Adjacency(*resolved->graph);  // warm the cache off the workers
+    rt->Snapshot(*resolved->graph);  // warm the snapshot cache off the workers
     return Status::OK();
   };
   stage.fn = Recorded(

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <functional>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "eval/matcher.h"
 #include "graph/adjacency.h"
+#include "graph/snapshot.h"
 
 namespace gcore {
 
@@ -17,35 +17,24 @@ using EntrySpan = AdjacencyIndex::EntrySpan;
 
 constexpr size_t kNpos = BindingTable::kNpos;
 
-/// Chunk-lifetime memo of EdgeAdmits verdicts for one pattern edge. The
-/// same graph edge is examined once per in-/out-neighbor of its endpoints
-/// across a chunk's rows; the PPG label lookup behind EdgeAdmits is an
-/// ordered-map walk, so caching the verdict takes it off the intersection
-/// hot path.
-class EdgeAdmitMemo {
+/// Chunk-lifetime admission test for one pattern edge, compiled once
+/// against the snapshot's interned labels and typed property columns.
+/// The per-edge test is a span probe plus inline cell compares — cheap
+/// enough for the intersection hot path without a verdict memo.
+class EdgePred {
  public:
-  EdgeAdmitMemo(Matcher* rt, const EdgePattern* pattern,
-                const PathPropertyGraph* graph)
-      : rt_(rt), pattern_(pattern), graph_(graph) {
-    // An unconstrained pattern admits everything — skip the map.
-    trivial_ = pattern->label_groups.empty() && pattern->props.empty();
-  }
+  EdgePred(const GraphSnapshot& snap, const EdgePattern& pattern)
+      : snap_(&snap), pred_(SnapshotPred::ForEdge(snap, pattern)) {}
 
-  bool Admits(EdgeId id) {
-    if (trivial_) return true;
-    auto [it, fresh] = verdicts_.try_emplace(id.value(), 0);
-    if (fresh) {
-      it->second = rt_->EdgeAdmits(*pattern_, id, *graph_) ? 1 : 0;
-    }
-    return it->second != 0;
+  bool Admits(EdgeId id) const {
+    // Unconstrained patterns admit everything — skip the index lookup.
+    if (pred_.unconstrained()) return true;
+    return pred_.Admits(snap_->EdgeIndexOf(id));
   }
 
  private:
-  Matcher* rt_;
-  const EdgePattern* pattern_;
-  const PathPropertyGraph* graph_;
-  bool trivial_ = false;
-  std::unordered_map<uint64_t, uint8_t> verdicts_;
+  const GraphSnapshot* snap_;
+  SnapshotPred pred_;
 };
 
 /// Appends the label/prop-admitted neighbors of `u` along pattern edge
@@ -54,11 +43,11 @@ class EdgeAdmitMemo {
 /// the result is sorted; parallel edges leave duplicates for the caller's
 /// unique pass.
 void CollectNeighbors(const AdjacencyIndex& adj, const MultiwayEdge& me,
-                      EdgeAdmitMemo* memo, bool away, DenseNodeIndex u,
+                      const EdgePred& pred, bool away, DenseNodeIndex u,
                       std::vector<DenseNodeIndex>* out) {
   auto collect = [&](EntrySpan span) {
     for (const AdjacencyEntry* it = span.begin; it != span.end; ++it) {
-      if (memo->Admits(it->edge)) {
+      if (pred.Admits(it->edge)) {
         out->push_back(it->neighbor);
       }
     }
@@ -82,13 +71,13 @@ void CollectNeighbors(const AdjacencyIndex& adj, const MultiwayEdge& me,
 /// Admitted edges between the bound endpoints of `me` (from at dense
 /// index `from`, to at `to`) into `out` (cleared), ascending by edge id.
 void MatchingEdges(const AdjacencyIndex& adj, const MultiwayEdge& me,
-                   EdgeAdmitMemo* memo, DenseNodeIndex from,
+                   const EdgePred& pred, DenseNodeIndex from,
                    DenseNodeIndex to, std::vector<EdgeId>* out) {
   out->clear();
   auto collect = [&](EntrySpan span) {
     const EntrySpan hits = AdjacencyIndex::EdgesTo(span, to);
     for (const AdjacencyEntry* it = hits.begin; it != hits.end; ++it) {
-      if (memo->Admits(it->edge)) {
+      if (pred.Admits(it->edge)) {
         out->push_back(it->edge);
       }
     }
@@ -134,7 +123,7 @@ void IntersectSorted(std::vector<std::vector<DenseNodeIndex>>* lists,
 /// pattern edges whose endpoints are all bound once it is placed.
 struct Step {
   size_t var_slot = kNpos;
-  std::vector<const NodePattern*> checks;
+  std::vector<SnapshotPred> checks;
   std::vector<size_t> edges;
 };
 
@@ -144,7 +133,8 @@ Result<BindingTable> MultiwayExpandChunk(Matcher* rt, const PlanNode& plan,
                                          const PathPropertyGraph& graph,
                                          const std::string& graph_name,
                                          const BindingTable& input) {
-  const AdjacencyIndex& adj = rt->Adjacency(graph);
+  const GraphSnapshot& snap = rt->Snapshot(graph);
+  const AdjacencyIndex& adj = snap.adjacency();
   const std::vector<std::string> vars = MultiwayNodeVars(plan);
   const size_t nvars = vars.size();
   const size_t nedges = plan.multi_edges.size();
@@ -205,23 +195,26 @@ Result<BindingTable> MultiwayExpandChunk(Matcher* rt, const PlanNode& plan,
     steps[s].edges.push_back(e);
   }
   // Admission checks: free variables check at their own step; absorbed
-  // occurrences of pre-bound variables re-check in step 0.
-  std::vector<std::pair<size_t, const NodePattern*>> bound_checks;
+  // occurrences of pre-bound variables re-check in step 0. Compiled to
+  // snapshot predicates once per chunk; candidates arrive as dense
+  // indices, so the per-candidate test never resolves an id.
+  std::vector<std::pair<size_t, SnapshotPred>> bound_checks;
   for (const auto& [v, pattern] : plan.multi_nodes) {
     if (pattern == nullptr) continue;
     const size_t slot = slot_of(v);
     if (slot >= nvars) continue;  // not a cycle node variable
     if (var_step[slot] == 0) {
-      bound_checks.emplace_back(slot, pattern);
+      bound_checks.emplace_back(slot, SnapshotPred::ForNode(snap, *pattern));
     } else {
-      steps[var_step[slot]].checks.push_back(pattern);
+      steps[var_step[slot]].checks.push_back(
+          SnapshotPred::ForNode(snap, *pattern));
     }
   }
 
-  std::vector<EdgeAdmitMemo> memos;
-  memos.reserve(nedges);
+  std::vector<EdgePred> preds;
+  preds.reserve(nedges);
   for (size_t e = 0; e < nedges; ++e) {
-    memos.emplace_back(rt, plan.multi_edges[e].edge, &graph);
+    preds.emplace_back(snap, *plan.multi_edges[e].edge);
   }
 
   // Chunk-lifetime scratch, reused across rows: each pattern edge owns
@@ -257,7 +250,7 @@ Result<BindingTable> MultiwayExpandChunk(Matcher* rt, const PlanNode& plan,
     }
     const size_t e = step.edges[k];
     const MultiwayEdge& me = plan.multi_edges[e];
-    MatchingEdges(adj, me, &memos[e], cur_node[from_slot[e]],
+    MatchingEdges(adj, me, preds[e], cur_node[from_slot[e]],
                   cur_node[to_slot[e]], &edge_ids[e]);
     for (EdgeId id : edge_ids[e]) {
       cur_edge[e] = id;
@@ -301,20 +294,14 @@ Result<BindingTable> MultiwayExpandChunk(Matcher* rt, const PlanNode& plan,
       const bool v_is_from = from_slot[e] == step.var_slot;
       const size_t other = v_is_from ? to_slot[e] : from_slot[e];
       sc.lists[k].clear();
-      CollectNeighbors(adj, me, &memos[e], /*away=*/!v_is_from,
+      CollectNeighbors(adj, me, preds[e], /*away=*/!v_is_from,
                        cur_node[other], &sc.lists[k]);
     }
     IntersectSorted(&sc.lists, &sc.candidates, &sc.tmp);
     for (const DenseNodeIndex candidate : sc.candidates) {
-      const NodeId id = adj.IdOf(candidate);
       bool admitted = true;
-      for (const NodePattern* pattern : step.checks) {
-        auto admits = rt->NodeAdmits(*pattern, id, graph);
-        if (!admits.ok()) {
-          st = admits.status();
-          return;
-        }
-        if (!*admits) {
+      for (const SnapshotPred& check : step.checks) {
+        if (!check.Admits(candidate)) {
           admitted = false;
           break;
         }
@@ -339,10 +326,8 @@ Result<BindingTable> MultiwayExpandChunk(Matcher* rt, const PlanNode& plan,
       cur_node[i] = adj.IndexOf(c.NodeAt(input_row));
     }
     if (!row_ok) continue;
-    for (const auto& [slot, pattern] : bound_checks) {
-      auto admits = rt->NodeAdmits(*pattern, adj.IdOf(cur_node[slot]), graph);
-      if (!admits.ok()) return admits.status();
-      if (!*admits) {
+    for (const auto& [slot, check] : bound_checks) {
+      if (!check.Admits(cur_node[slot])) {
         row_ok = false;
         break;
       }

@@ -191,6 +191,94 @@ TEST(TableJoin, EmptyOperandYieldsEmpty) {
   EXPECT_TRUE(TableJoin(b, a).Empty());
 }
 
+// --- streaming probe -----------------------------------------------------------
+
+/// Pushes `probe` through a StreamingJoinProbe in chunks of `chunk_rows`
+/// (the last one ragged), as the executor would on arriving morsels.
+BindingTable StreamJoin(const BindingTable& probe, const BindingTable& build,
+                        bool swap_output, size_t chunk_rows) {
+  StreamingJoinProbe stream(build, swap_output);
+  for (size_t lo = 0; lo < probe.NumRows(); lo += chunk_rows) {
+    BindingTable chunk(probe.columns());
+    for (const auto& [var, graph] : probe.column_graphs()) {
+      chunk.SetColumnGraph(var, graph);
+    }
+    std::vector<size_t> rows;
+    const size_t hi = std::min(probe.NumRows(), lo + chunk_rows);
+    for (size_t r = lo; r < hi; ++r) rows.push_back(r);
+    chunk.AppendRowsFrom(probe, rows);
+    stream.Probe(chunk);
+  }
+  return stream.Finish();
+}
+
+void ExpectSameRowsAndOrder(const BindingTable& got,
+                            const BindingTable& want) {
+  ASSERT_EQ(got.NumRows(), want.NumRows());
+  ASSERT_EQ(got.columns(), want.columns());
+  for (size_t r = 0; r < want.NumRows(); ++r) {
+    ASSERT_EQ(got.Row(r), want.Row(r)) << "row " << r;
+  }
+}
+
+TEST(StreamingJoinProbe, PinnedToDrainedJoinAtEveryChunking) {
+  // Duplicates across chunk boundaries exercise the chunk-spanning dedup
+  // state; unbound shared cells exercise the wildcard paths.
+  BindingTable a({"x", "y"});
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(a.AddRow({N(i % 120), N(10000 + i % 40)}).ok());
+  }
+  ASSERT_TRUE(a.AddRow({N(7), Datum::Unbound()}).ok());
+  BindingTable b({"y", "z"});
+  for (uint64_t j = 0; j < 200; ++j) {
+    ASSERT_TRUE(b.AddRow({N(10000 + j % 40), N(20000 + j % 60)}).ok());
+  }
+  ASSERT_TRUE(b.AddRow({Datum::Unbound(), N(20001)}).ok());
+  const BindingTable drained = TableJoin(a, b);
+  for (size_t chunk_rows : {1, 7, 64, 100000}) {
+    ExpectSameRowsAndOrder(StreamJoin(a, b, /*swap_output=*/false,
+                                      chunk_rows),
+                           drained);
+  }
+}
+
+TEST(StreamingJoinProbe, SwapOutputPinnedToTableJoinSwapBuild) {
+  BindingTable a({"x", "y"});
+  for (uint64_t i = 0; i < 60; ++i) {
+    ASSERT_TRUE(a.AddRow({N(i % 20), N(10000 + i % 15)}).ok());
+  }
+  BindingTable b({"y", "z"});
+  for (uint64_t j = 0; j < 300; ++j) {
+    ASSERT_TRUE(b.AddRow({N(10000 + j % 15), N(20000 + j % 45)}).ok());
+  }
+  // TableJoinSwapBuild(a, b) builds over a and probes b, then re-merges
+  // into the canonical a-first schema — the streaming probe side is b.
+  const BindingTable drained = TableJoinSwapBuild(a, b, /*parallelism=*/1);
+  for (size_t chunk_rows : {3, 50, 100000}) {
+    ExpectSameRowsAndOrder(StreamJoin(b, a, /*swap_output=*/true,
+                                      chunk_rows),
+                           drained);
+  }
+}
+
+TEST(StreamingJoinProbe, NoChunksBehavesAsEmptyDrainedProbe) {
+  BindingTable build = Make({"y"}, {{N(1)}, {N(2)}});
+  {
+    StreamingJoinProbe stream(build, /*swap_output=*/false);
+    const BindingTable out = stream.Finish();
+    // Drain of a chunkless operator yields the default empty table; the
+    // join of that with the build side keeps only the build columns.
+    EXPECT_EQ(out.NumRows(), 0u);
+    EXPECT_EQ(out.columns(), build.columns());
+  }
+  {
+    StreamingJoinProbe stream(build, /*swap_output=*/true);
+    const BindingTable out = stream.Finish();
+    EXPECT_EQ(out.NumRows(), 0u);
+    EXPECT_EQ(out.columns(), build.columns());
+  }
+}
+
 // --- ∪ -------------------------------------------------------------------------
 
 TEST(TableUnion, MergesSchemasAndDeduplicates) {

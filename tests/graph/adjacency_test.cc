@@ -68,11 +68,19 @@ TEST(AdjacencyIndex, SelfLoopAppearsBothDirections) {
   EXPECT_EQ(loop_in, 1);
 }
 
-TEST(AdjacencyIndex, AllNeighborsConcatenatesBothLists) {
+TEST(AdjacencyIndex, AllNeighborsExposesBothSpans) {
   SmallGraph f;
   AdjacencyIndex adj(f.g);
   auto all = adj.AllNeighbors(adj.IndexOf(NodeId(1)));
   EXPECT_EQ(all.size(), 3u);
+  EXPECT_FALSE(all.empty());
+  // The spans alias the CSR storage: Out first, then In.
+  EXPECT_EQ(all.out.begin, adj.Out(adj.IndexOf(NodeId(1))).first);
+  EXPECT_EQ(all.in.begin, adj.In(adj.IndexOf(NodeId(1))).first);
+  ASSERT_EQ(all.out.size(), 2u);
+  ASSERT_EQ(all.in.size(), 1u);
+  EXPECT_EQ(all.out.begin[0].edge, EdgeId(10));
+  EXPECT_EQ(all.in.begin[0].edge, EdgeId(12));
 }
 
 TEST(AdjacencyIndex, EmptyGraph) {
