@@ -147,7 +147,7 @@ void BM_Storage_ExpandCsr(benchmark::State& state) {
     for (const DenseNodeIndex n : fx.snap->NodesWithLabel(person)) {
       const auto [b, e] = adj.Out(n);
       for (const AdjacencyEntry* it = b; it != e; ++it) {
-        if (fx.snap->EdgeHasLabel(fx.snap->EdgeIndexOf(it->edge), knows)) {
+        if (fx.snap->EdgeHasLabel(it->edge_dense, knows)) {
           ++count;
         }
       }

@@ -8,6 +8,9 @@
 #                                MultiwayExpand (worst-case-optimal)
 #   BENCH_storage.json         — GraphSnapshot label spans / typed columns
 #                                vs the PPG map-walk read path
+#   BENCH_paths.json           — parallel path engine ablation: serial
+#                                spec vs delta-stepping / batched waves /
+#                                bidirectional probes, parallelism 1 and max
 # Extra arguments pass through to every bench binary, e.g.
 #   scripts/run_bench.sh --benchmark_filter='BM_ColumnarScan.*'
 set -euo pipefail
@@ -15,7 +18,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
 cmake --build build --target bench_join_dedup bench_columnar_scan \
-  bench_baseline_ablation bench_wcoj bench_storage -j
+  bench_baseline_ablation bench_wcoj bench_storage bench_path_finding -j
 
 run_bench() {
   local binary="$1" out="$2"
@@ -33,6 +36,7 @@ run_bench bench_join_dedup BENCH_join_dedup.json "$@"
 run_bench bench_columnar_scan BENCH_columnar_scan.json "$@"
 run_bench bench_wcoj BENCH_wcoj.json "$@"
 run_bench bench_storage BENCH_storage.json "$@"
+run_bench bench_path_finding BENCH_paths.json "$@"
 # The stats filter comes last: google-benchmark honors the final
 # --benchmark_filter, so a user-passed filter cannot swap which
 # benchmarks land in BENCH_stats_ablation.json.

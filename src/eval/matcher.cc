@@ -6,7 +6,11 @@
 #include "engine/tabular.h"
 #include "eval/binding_ops.h"
 #include "paths/all_paths.h"
+#include "paths/batched_bfs.h"
+#include "paths/delta_stepping.h"
+#include "paths/frontier.h"
 #include "paths/product_bfs.h"
+#include "paths/rpq.h"
 #include "plan/executor.h"
 #include "plan/planner.h"
 
@@ -397,7 +401,7 @@ Result<BindingTable> Matcher::ExpandEdgeHop(
     const DenseNodeIndex n = adj.IndexOf(from_node);
 
     auto try_entry = [&](const AdjacencyEntry& entry) {
-      if (!edge_pred.Admits(snap.EdgeIndexOf(entry.edge))) return;
+      if (!edge_pred.Admits(entry.edge_dense)) return;
       if (edge_cells != nullptr && edge_cells->BoundAt(r) &&
           !(edge_cells->KindAt(r) == Datum::Kind::kEdge &&
             edge_cells->EdgeAt(r) == entry.edge)) {
@@ -436,11 +440,7 @@ Result<BindingTable> Matcher::ExpandPathHop(
     BindingTable table, const std::string& from_var, const PathPattern& path,
     const std::string& path_var, const NodePattern& to,
     const std::string& to_var, const PathPropertyGraph& graph,
-    const std::string& graph_name, const std::function<PathId()>* fresh_ids) {
-  auto next_path_id = [&]() {
-    return fresh_ids != nullptr ? (*fresh_ids)()
-                                : ctx_.catalog->ids()->NextPath();
-  };
+    const std::string& graph_name) {
   const GraphSnapshot& snap = Snapshot(graph);
   const SnapshotPred to_pred = SnapshotPred::ForNode(snap, to);
   auto to_admits = [&](NodeId target) {
@@ -517,43 +517,183 @@ Result<BindingTable> Matcher::ExpandPathHop(
   ctx.adj = &snap.adjacency();
   ctx.nfa = &nfa;
   ctx.views = ctx_.views;
+  ctx.snap = &snap;
+  ctx.parallelism = ctx_.parallelism;
 
-  auto admit_target = [&](NodeId target, size_t r) -> Result<bool> {
-    if (target_prebound_elsewhere(r, target)) return false;
-    return to_admits(target);
+  // --- batch phase --------------------------------------------------------
+  // One kernel launch per *distinct* source instead of one traversal per
+  // row: sources are deduplicated in first-appearance order, answered by
+  // the batched kernels (internally parallel, degree-invariant), and the
+  // serial emission loop replays the rows in input order against the
+  // caches — rows, row order and fresh path ids match per-row serial
+  // evaluation exactly.
+  std::map<NodeId, size_t> src_slot;
+  std::vector<NodeId> sources;
+  auto slot_of = [&](NodeId src) {
+    auto [it, inserted] = src_slot.try_emplace(src, sources.size());
+    if (inserted) sources.push_back(src);
+    return it->second;
+  };
+  auto valid_src = [&](size_t r, NodeId* src) {
+    if (from_cells.KindAt(r) != Datum::Kind::kNode) return false;
+    *src = from_cells.NodeAt(r);
+    return ctx.adj->Contains(*src);
+  };
+  auto target_bound_to_node = [&](size_t r) {
+    return to_cells != nullptr && to_cells->BoundAt(r) &&
+           to_cells->KindAt(r) == Datum::Kind::kNode;
+  };
+  auto target_bound_to_other = [&](size_t r) {
+    return to_cells != nullptr && to_cells->BoundAt(r) &&
+           to_cells->KindAt(r) != Datum::Kind::kNode;
   };
 
-  for (size_t r = 0; r < table.NumRows(); ++r) {
-    if (from_cells.KindAt(r) != Datum::Kind::kNode) continue;
-    const NodeId src = from_cells.NodeAt(r);
-    if (!ctx.adj->Contains(src)) continue;
-
-    switch (path.mode) {
-      case PathPattern::Mode::kReachability: {
-        GCORE_ASSIGN_OR_RETURN(auto reachable, ReachableFrom(ctx, src));
-        for (NodeId target : reachable) {
-          GCORE_ASSIGN_OR_RETURN(bool ok, admit_target(target, r));
-          if (!ok) continue;
-          next.AppendRowFrom(table, r);
-          next.SetCell(next.NumRows() - 1, to_col, Datum::OfNode(target));
+  switch (path.mode) {
+    case PathPattern::Mode::kReachability: {
+      // A row with an unbound target needs its source's full reachable
+      // set (one lane of a multi-source wave); a row whose target is
+      // prebound to a node only needs a membership bit, which the
+      // bidirectional meet-in-the-middle probe answers without computing
+      // either full fixpoint.
+      std::vector<char> needs_full;
+      for (size_t r = 0; r < table.NumRows(); ++r) {
+        NodeId src;
+        if (!valid_src(r, &src)) continue;
+        const size_t slot = slot_of(src);
+        needs_full.resize(sources.size(), 0);
+        if (!target_bound_to_node(r) && !target_bound_to_other(r)) {
+          needs_full[slot] = 1;
         }
-        break;
+      }
+      std::vector<NodeId> full_sources;
+      std::vector<size_t> full_idx(sources.size(), 0);
+      for (size_t s = 0; s < sources.size(); ++s) {
+        if (!needs_full[s]) continue;
+        full_idx[s] = full_sources.size();
+        full_sources.push_back(sources[s]);
+      }
+      GCORE_ASSIGN_OR_RETURN(const std::vector<std::set<NodeId>> full_sets,
+                             BatchedReachableFrom(ctx, full_sources));
+      auto full_of = [&](size_t slot) -> const std::set<NodeId>* {
+        return needs_full[slot] ? &full_sets[full_idx[slot]] : nullptr;
+      };
+
+      // Distinct (source, bound target) pairs not covered by a full set.
+      std::map<std::pair<NodeId, NodeId>, size_t> pair_idx;
+      std::vector<std::pair<NodeId, NodeId>> pairs;
+      for (size_t r = 0; r < table.NumRows(); ++r) {
+        NodeId src;
+        if (!valid_src(r, &src) || !target_bound_to_node(r)) continue;
+        if (needs_full[src_slot.at(src)]) continue;
+        const NodeId target = to_cells->NodeAt(r);
+        if (pair_idx.try_emplace({src, target}, pairs.size()).second) {
+          pairs.emplace_back(src, target);
+        }
+      }
+      std::vector<char> pair_reach(pairs.size(), 0);
+      std::vector<Status> pair_status(pairs.size(), Status::OK());
+      ParallelFor(ctx.parallelism, pairs.size(), [&](size_t i) {
+        auto reach = IsReachable(ctx, pairs[i].first, pairs[i].second);
+        if (reach.ok()) {
+          pair_reach[i] = *reach ? 1 : 0;
+        } else {
+          pair_status[i] = reach.status();
+        }
+      });
+      for (const Status& st : pair_status) {
+        if (!st.ok()) return st;
       }
 
-      case PathPattern::Mode::kShortest: {
-        GCORE_ASSIGN_OR_RETURN(
-            auto per_dst,
-            KShortestPathsFrom(ctx, src, static_cast<size_t>(path.k)));
-        for (auto& [target, paths] : per_dst) {
-          GCORE_ASSIGN_OR_RETURN(bool ok, admit_target(target, r));
-          if (!ok) continue;
-          for (FoundPath& found : paths) {
+      for (size_t r = 0; r < table.NumRows(); ++r) {
+        NodeId src;
+        if (!valid_src(r, &src)) continue;
+        const size_t slot = src_slot.at(src);
+        if (target_bound_to_other(r)) continue;
+        if (target_bound_to_node(r)) {
+          const NodeId target = to_cells->NodeAt(r);
+          const std::set<NodeId>* full = full_of(slot);
+          const bool reachable =
+              full != nullptr ? full->count(target) > 0
+                              : pair_reach[pair_idx.at({src, target})] != 0;
+          if (!reachable || !to_admits(target)) continue;
+          next.AppendRowFrom(table, r);
+          next.SetCell(next.NumRows() - 1, to_col, Datum::OfNode(target));
+        } else {
+          for (NodeId target : *full_of(slot)) {
+            if (!to_admits(target)) continue;
+            next.AppendRowFrom(table, r);
+            next.SetCell(next.NumRows() - 1, to_col, Datum::OfNode(target));
+          }
+        }
+      }
+      break;
+    }
+
+    case PathPattern::Mode::kShortest: {
+      for (size_t r = 0; r < table.NumRows(); ++r) {
+        NodeId src;
+        if (valid_src(r, &src)) slot_of(src);
+      }
+      const size_t k = static_cast<size_t>(path.k);
+      std::vector<std::map<NodeId, std::vector<FoundPath>>> per_src;
+      std::string view_name;
+      if (!sources.empty() && k == 1 && ctx.max_hops == 0 &&
+          IsViewStar(*path.rpq, &view_name)) {
+        // `<~view*>` degenerates the product search to plain SSSP over
+        // the view's segment graph — run the delta-stepping kernel per
+        // source instead of the product Dijkstra.
+        if (ctx_.views == nullptr) {
+          return Status::EvaluationError("regex references PATH view '~" +
+                                         view_name +
+                                         "' but no views are in scope");
+        }
+        GCORE_ASSIGN_OR_RETURN(const PathViewRelation* view,
+                               ctx_.views->Lookup(view_name));
+        per_src.resize(sources.size());
+        std::vector<Status> status(sources.size(), Status::OK());
+        ParallelSsspOptions opts;
+        // Sources fan across threads already; nest workers only when a
+        // lone source would leave the pool idle.
+        opts.parallelism = sources.size() > 1 ? 1 : ctx.parallelism;
+        ParallelFor(ctx.parallelism, sources.size(), [&](size_t i) {
+          auto sssp = ViewStarSssp(*ctx.adj, *view, sources[i], opts);
+          if (!sssp.ok()) {
+            status[i] = sssp.status();
+            return;
+          }
+          for (size_t n = 0; n < ctx.adj->num_nodes(); ++n) {
+            const DenseNodeIndex dn = static_cast<DenseNodeIndex>(n);
+            if (!sssp->Reached(dn)) continue;
+            const NodeId dst = ctx.adj->IdOf(dn);
+            auto body = ReconstructViewWalk(*ctx.adj, *sssp, sources[i], dst);
+            FoundPath found;
+            found.cost = sssp->distance[dn];
+            found.body = std::move(*body);
+            found.hops = found.body.edges.size();
+            per_src[i][dst].push_back(std::move(found));
+          }
+        });
+        for (const Status& st : status) {
+          if (!st.ok()) return st;
+        }
+      } else if (!sources.empty()) {
+        GCORE_ASSIGN_OR_RETURN(per_src, BatchedKShortestFrom(ctx, sources, k));
+      }
+
+      for (size_t r = 0; r < table.NumRows(); ++r) {
+        NodeId src;
+        if (!valid_src(r, &src)) continue;
+        const auto& per_dst = per_src[src_slot.at(src)];
+        for (const auto& [target, paths] : per_dst) {
+          if (target_prebound_elsewhere(r, target)) continue;
+          if (!to_admits(target)) continue;
+          for (const FoundPath& found : paths) {
             next.AppendRowFrom(table, r);
             const size_t out_row = next.NumRows() - 1;
             if (has_var) {
               auto pv = std::make_shared<PathValue>();
-              pv->id = next_path_id();
-              pv->body = std::move(found.body);
+              pv->id = ctx_.catalog->ids()->NextPath();
+              pv->body = found.body;  // copy: the cache is shared by rows
               pv->cost = found.cost;
               pv->from_graph = false;
               next.SetCell(out_row, path_col, Datum::OfPath(std::move(pv)));
@@ -569,24 +709,62 @@ Result<BindingTable> Matcher::ExpandPathHop(
             }
           }
         }
-        break;
+      }
+      break;
+    }
+
+    case PathPattern::Mode::kAll: {
+      // ALL with a bound path variable is only legal when the variable
+      // is used for graph projection (Section 3); the binding carries
+      // the projection sets, not materialized walks.
+      for (size_t r = 0; r < table.NumRows(); ++r) {
+        NodeId src;
+        if (valid_src(r, &src)) slot_of(src);
+      }
+      GCORE_ASSIGN_OR_RETURN(const std::vector<std::set<NodeId>> full_sets,
+                             BatchedReachableFrom(ctx, sources));
+      // Distinct admitted (source, target) pairs, projected in parallel
+      // before the serial emission loop.
+      std::map<std::pair<NodeId, NodeId>, size_t> pair_idx;
+      std::vector<std::pair<NodeId, NodeId>> pairs;
+      for (size_t r = 0; r < table.NumRows(); ++r) {
+        NodeId src;
+        if (!valid_src(r, &src)) continue;
+        for (NodeId target : full_sets[src_slot.at(src)]) {
+          if (target_prebound_elsewhere(r, target)) continue;
+          if (!to_admits(target)) continue;
+          if (pair_idx.try_emplace({src, target}, pairs.size()).second) {
+            pairs.emplace_back(src, target);
+          }
+        }
+      }
+      std::vector<PathProjection> projections(pairs.size());
+      std::vector<Status> proj_status(pairs.size(), Status::OK());
+      ParallelFor(ctx.parallelism, pairs.size(), [&](size_t i) {
+        auto proj = AllPathsProjection(ctx, pairs[i].first, pairs[i].second);
+        if (proj.ok()) {
+          projections[i] = std::move(*proj);
+        } else {
+          proj_status[i] = proj.status();
+        }
+      });
+      for (const Status& st : proj_status) {
+        if (!st.ok()) return st;
       }
 
-      case PathPattern::Mode::kAll: {
-        // ALL with a bound path variable is only legal when the variable
-        // is used for graph projection (Section 3); the binding carries
-        // the projection sets, not materialized walks.
-        GCORE_ASSIGN_OR_RETURN(auto reachable, ReachableFrom(ctx, src));
-        for (NodeId target : reachable) {
-          GCORE_ASSIGN_OR_RETURN(bool ok, admit_target(target, r));
-          if (!ok) continue;
-          GCORE_ASSIGN_OR_RETURN(PathProjection proj,
-                                 AllPathsProjection(ctx, src, target));
+      for (size_t r = 0; r < table.NumRows(); ++r) {
+        NodeId src;
+        if (!valid_src(r, &src)) continue;
+        for (NodeId target : full_sets[src_slot.at(src)]) {
+          if (target_prebound_elsewhere(r, target)) continue;
+          if (!to_admits(target)) continue;
+          const PathProjection& proj =
+              projections[pair_idx.at({src, target})];
           next.AppendRowFrom(table, r);
           const size_t out_row = next.NumRows() - 1;
           if (has_var) {
             auto pv = std::make_shared<PathValue>();
-            pv->id = next_path_id();
+            pv->id = ctx_.catalog->ids()->NextPath();
             pv->from_graph = false;
             pv->projection = std::make_pair(
                 std::vector<NodeId>(proj.nodes.begin(), proj.nodes.end()),
@@ -595,12 +773,12 @@ Result<BindingTable> Matcher::ExpandPathHop(
           }
           next.SetCell(out_row, to_col, Datum::OfNode(target));
         }
-        break;
       }
-
-      case PathPattern::Mode::kStoredMatch:
-        break;  // handled above
+      break;
     }
+
+    case PathPattern::Mode::kStoredMatch:
+      break;  // handled above
   }
   return next;
 }
@@ -761,9 +939,16 @@ Result<BindingTable> Matcher::FilterByConjuncts(
   // Conjunct-at-a-time over the surviving row set: property-vs-literal
   // comparisons scan the snapshot's typed columns, everything else runs
   // the generic evaluator — only on rows still alive (short-circuit).
+  auto gather = [](const BindingTable& t, const std::vector<size_t>& rows) {
+    BindingTable g(t.columns());
+    for (const auto& [v, gr] : t.column_graphs()) g.SetColumnGraph(v, gr);
+    g.AppendRowsFrom(t, rows);
+    return g;
+  };
   std::vector<size_t> kept;
   bool narrowed = false;  // false = every row still alive, `kept` unset
-  for (const Expr* conjunct : conjuncts) {
+  for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+    const Expr* conjunct = conjuncts[ci];
     const size_t live = narrowed ? kept.size() : table.NumRows();
     if (live == 0) break;
     std::vector<size_t> next;
@@ -792,17 +977,21 @@ Result<BindingTable> Matcher::FilterByConjuncts(
     if (!narrowed && next.size() == table.NumRows()) continue;
     kept = std::move(next);
     narrowed = true;
+    // Compaction pre-pass: later conjuncts (the generic evaluator in
+    // particular) read rows through the kept-index indirection; once the
+    // live set drops below half, gather the survivors column-at-a-time
+    // into a dense table so the remaining conjuncts scan contiguously.
+    // The gather keeps row order, so the final output is unchanged.
+    if (ci + 1 < conjuncts.size() && kept.size() * 2 < table.NumRows()) {
+      table = gather(table, kept);
+      kept.clear();
+      narrowed = false;
+    }
   }
-  // Nothing dropped: hand the table back untouched (the common case for
-  // re-checked WHERE conjuncts).
+  // Nothing dropped since the last compaction: the table is already the
+  // answer (the common case for re-checked WHERE conjuncts).
   if (!narrowed) return table;
-  BindingTable filtered(table.columns());
-  for (const auto& [v, g] : table.column_graphs()) {
-    filtered.SetColumnGraph(v, g);
-  }
-  // Column-at-a-time gather of the surviving rows.
-  filtered.AppendRowsFrom(table, kept);
-  return filtered;
+  return gather(table, kept);
 }
 
 Result<BindingTable> Matcher::EvalChainInternal(const GraphPattern& pattern,

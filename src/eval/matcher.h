@@ -218,17 +218,20 @@ class Matcher {
                                      const std::string& to_var,
                                      const PathPropertyGraph& graph,
                                      const std::string& graph_name);
-  /// `fresh_ids` overrides the source of fresh path identifiers for
-  /// computed paths (SHORTEST/ALL). Null draws from the shared catalog
-  /// allocator (the serial behavior); the executor's morsel-parallel
-  /// PathSearch passes per-morsel temporary generators and remaps the
-  /// ids into an atomically reserved range in morsel order afterwards.
+  /// Batch-oriented: the source column is deduplicated and each distinct
+  /// source answered by one batched kernel launch — multi-source product
+  /// BFS for reachable sets, batched k-shortest, bidirectional pair
+  /// probes for prebound targets, the `<~view*>` SSSP fast path — then a
+  /// serial emission loop replays the rows in input order against the
+  /// caches. Output rows, row order and fresh path ids are exactly those
+  /// of per-row serial evaluation at every MatcherContext::parallelism
+  /// degree (the kernels are degree-invariant and ids are drawn in
+  /// row-emission order).
   Result<BindingTable> ExpandPathHop(
       BindingTable table, const std::string& from_var,
       const PathPattern& path, const std::string& path_var,
       const NodePattern& to, const std::string& to_var,
-      const PathPropertyGraph& graph, const std::string& graph_name,
-      const std::function<PathId()>* fresh_ids = nullptr);
+      const PathPropertyGraph& graph, const std::string& graph_name);
 
   /// Node-pattern admission (labels plus literal filter props; non-literal
   /// and bind-mode props are the caller's business). Shared by hop

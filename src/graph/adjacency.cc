@@ -29,13 +29,27 @@ AdjacencyIndex::AdjacencyIndex(const PathPropertyGraph& graph)
   out_entries_.resize(out_offsets_[n]);
   in_entries_.resize(in_offsets_[n]);
 
+  // Dense edge numbering: ascending edge-id order, the same rule
+  // GraphSnapshot::BuildEdges applies — the two numberings must agree so
+  // entry.edge_dense indexes snapshot label spans and property columns.
+  std::vector<EdgeId> edge_ids;
+  edge_ids.reserve(graph.NumEdges());
+  graph.ForEachEdge([&](EdgeId e, NodeId, NodeId) { edge_ids.push_back(e); });
+  std::sort(edge_ids.begin(), edge_ids.end());
+  auto dense_edge = [&](EdgeId e) {
+    return static_cast<DenseEdgeIndex>(
+        std::lower_bound(edge_ids.begin(), edge_ids.end(), e) -
+        edge_ids.begin());
+  };
+
   std::vector<uint32_t> out_pos(out_offsets_.begin(), out_offsets_.end() - 1);
   std::vector<uint32_t> in_pos(in_offsets_.begin(), in_offsets_.end() - 1);
   graph.ForEachEdge([&](EdgeId e, NodeId src, NodeId dst) {
     const DenseNodeIndex s = index_of_[src];
     const DenseNodeIndex d = index_of_[dst];
-    out_entries_[out_pos[s]++] = AdjacencyEntry{d, e, /*forward=*/true};
-    in_entries_[in_pos[d]++] = AdjacencyEntry{s, e, /*forward=*/false};
+    const DenseEdgeIndex de = dense_edge(e);
+    out_entries_[out_pos[s]++] = AdjacencyEntry{d, de, e, /*forward=*/true};
+    in_entries_[in_pos[d]++] = AdjacencyEntry{s, de, e, /*forward=*/false};
   });
 
   // Deterministic neighbor order: by neighbor index, then edge id. This is

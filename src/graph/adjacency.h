@@ -23,9 +23,19 @@ namespace gcore {
 /// Dense index of a node inside an AdjacencyIndex.
 using DenseNodeIndex = uint32_t;
 
+/// Dense index of an edge (ascending edge-id order). The numbering is
+/// shared with GraphSnapshot — both number edges by ascending id — so an
+/// entry's `edge_dense` indexes directly into the snapshot's label spans
+/// and typed property columns.
+using DenseEdgeIndex = uint32_t;
+
 /// One traversable half-edge.
 struct AdjacencyEntry {
   DenseNodeIndex neighbor;
+  /// Dense index of `edge` (fills the alignment hole before `edge`, so
+  /// carrying it is free). Path kernels and the multiway join use it for
+  /// snapshot label/column admission without a per-edge binary search.
+  DenseEdgeIndex edge_dense;
   EdgeId edge;
   /// True when the traversal follows ρ(e) = (here, neighbor); false when it
   /// crosses the edge against its direction (matches ℓ⁻ in path regexes).

@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "graph/snapshot.h"
+#include "paths/frontier.h"
 #include "paths/product_bfs.h"
 
 namespace gcore {
@@ -10,11 +12,14 @@ namespace {
 
 /// Backward product reachability: marks (node, state) pairs from which
 /// (dst, accept) is reachable. Implemented as forward reachability over
-/// the reversed NFA with flipped edge-direction semantics.
+/// the reversed NFA with flipped edge-direction semantics; view segments
+/// are consumed dst-to-src through a ViewBackIndex instead of rescanning
+/// AllSegments per visited node.
 Status BackwardProductReachability(const PathSearchContext& ctx, NodeId dst,
                                    std::vector<bool>* marks) {
   const Nfa rev = ctx.nfa->Reversed();
-  const size_t num_states = rev.num_states();
+  const CompiledNfa nfa(rev, *ctx.adj, ctx.snap);
+  const size_t num_states = nfa.num_states();
   marks->assign(ctx.adj->num_nodes() * num_states, false);
 
   std::deque<std::pair<DenseNodeIndex, NfaStateId>> queue;
@@ -26,21 +31,18 @@ Status BackwardProductReachability(const PathSearchContext& ctx, NodeId dst,
   };
   push(ctx.adj->IndexOf(dst), rev.start());  // rev.start == original accept
 
-  // Per-destination index over view segments for the backward sweep.
-  const PathPropertyGraph& graph = ctx.adj->graph();
+  ViewBackIndex back_index;
   while (!queue.empty()) {
     auto [n, q] = queue.front();
     queue.pop_front();
-    const NodeId here = ctx.adj->IdOf(n);
-    const LabelSet& node_labels = graph.Labels(here);
 
-    for (const NfaTransition& t : rev.TransitionsFrom(q)) {
+    for (const CompiledTransition& t : nfa.TransitionsFrom(q)) {
       switch (t.type) {
         case NfaTransition::Type::kEpsilon:
           push(n, t.target);
           break;
         case NfaTransition::Type::kNodeTest:
-          if (node_labels.Contains(t.label)) push(n, t.target);
+          if (nfa.NodeAdmitted(t, n)) push(n, t.target);
           break;
         case NfaTransition::Type::kAnyEdge:
         case NfaTransition::Type::kEdgeForward:
@@ -51,11 +53,7 @@ Status BackwardProductReachability(const PathSearchContext& ctx, NodeId dst,
           auto try_entries = [&](const AdjacencyEntry* begin,
                                  const AdjacencyEntry* end) {
             for (const AdjacencyEntry* e = begin; e != end; ++e) {
-              if (t.type != NfaTransition::Type::kAnyEdge &&
-                  !graph.Labels(e->edge).Contains(t.label)) {
-                continue;
-              }
-              push(e->neighbor, t.target);
+              if (nfa.EdgeAdmitted(t, *e)) push(e->neighbor, t.target);
             }
           };
           if (t.type != NfaTransition::Type::kEdgeBackward) {
@@ -71,14 +69,15 @@ Status BackwardProductReachability(const PathSearchContext& ctx, NodeId dst,
         case NfaTransition::Type::kViewRef: {
           if (ctx.views == nullptr) {
             return Status::EvaluationError(
-                "regex references PATH view '~" + t.label +
+                "regex references PATH view '~" + *t.label +
                 "' but no views are in scope");
           }
-          auto rel = ctx.views->Lookup(t.label);
+          auto rel = ctx.views->Lookup(*t.label);
           if (!rel.ok()) return rel.status();
-          for (const PathViewSegment& seg : (*rel)->AllSegments()) {
-            if (seg.dst != here || !ctx.adj->Contains(seg.src)) continue;
-            push(ctx.adj->IndexOf(seg.src), t.target);
+          for (const PathViewSegment* seg :
+               back_index.SegmentsInto(**rel, ctx.adj->IdOf(n))) {
+            if (!ctx.adj->Contains(seg->src)) continue;
+            push(ctx.adj->IndexOf(seg->src), t.target);
           }
           break;
         }
@@ -104,14 +103,14 @@ Result<PathProjection> AllPathsProjection(const PathSearchContext& ctx,
   std::vector<bool> bwd;
   GCORE_RETURN_NOT_OK(BackwardProductReachability(ctx, dst, &bwd));
 
-  const size_t num_states = ctx.nfa->num_states();
+  const CompiledNfa nfa(*ctx.nfa, *ctx.adj, ctx.snap);
+  const size_t num_states = nfa.num_states();
   auto useful = [&](DenseNodeIndex n, NfaStateId q) {
     const size_t idx = static_cast<size_t>(n) * num_states + q;
     return fwd[idx] && bwd[idx];
   };
 
   PathProjection out;
-  const PathPropertyGraph& graph = ctx.adj->graph();
 
   // An edge participates in a conforming walk iff some edge transition
   // (v, q) -> (u, q') crosses it with (v, q) forward-reachable and
@@ -119,10 +118,9 @@ Result<PathProjection> AllPathsProjection(const PathSearchContext& ctx,
   for (size_t ni = 0; ni < ctx.adj->num_nodes(); ++ni) {
     const DenseNodeIndex n = static_cast<DenseNodeIndex>(ni);
     const NodeId here = ctx.adj->IdOf(n);
-    const LabelSet& node_labels = graph.Labels(here);
     for (NfaStateId q = 0; q < num_states; ++q) {
       if (!fwd[ni * num_states + q]) continue;
-      for (const NfaTransition& t : ctx.nfa->TransitionsFrom(q)) {
+      for (const CompiledTransition& t : nfa.TransitionsFrom(q)) {
         switch (t.type) {
           case NfaTransition::Type::kEpsilon:
             if (bwd[ni * num_states + t.target] && useful(n, q)) {
@@ -130,8 +128,7 @@ Result<PathProjection> AllPathsProjection(const PathSearchContext& ctx,
             }
             break;
           case NfaTransition::Type::kNodeTest:
-            if (node_labels.Contains(t.label) &&
-                bwd[ni * num_states + t.target]) {
+            if (nfa.NodeAdmitted(t, n) && bwd[ni * num_states + t.target]) {
               out.nodes.insert(here);
             }
             break;
@@ -141,10 +138,7 @@ Result<PathProjection> AllPathsProjection(const PathSearchContext& ctx,
             auto try_entries = [&](const AdjacencyEntry* begin,
                                    const AdjacencyEntry* end) {
               for (const AdjacencyEntry* e = begin; e != end; ++e) {
-                if (t.type != NfaTransition::Type::kAnyEdge &&
-                    !graph.Labels(e->edge).Contains(t.label)) {
-                  continue;
-                }
+                if (!nfa.EdgeAdmitted(t, *e)) continue;
                 if (!bwd[static_cast<size_t>(e->neighbor) * num_states +
                          t.target]) {
                   continue;
@@ -166,7 +160,7 @@ Result<PathProjection> AllPathsProjection(const PathSearchContext& ctx,
           }
           case NfaTransition::Type::kViewRef: {
             if (ctx.views == nullptr) break;
-            auto rel = ctx.views->Lookup(t.label);
+            auto rel = ctx.views->Lookup(*t.label);
             if (!rel.ok()) break;
             for (const PathViewSegment& seg : (*rel)->SegmentsFrom(here)) {
               if (!ctx.adj->Contains(seg.dst)) continue;
@@ -185,8 +179,11 @@ Result<PathProjection> AllPathsProjection(const PathSearchContext& ctx,
     }
   }
 
-  // The endpoints themselves participate when any walk exists at all.
-  GCORE_ASSIGN_OR_RETURN(bool reachable, IsReachable(ctx, src, dst));
+  // The endpoints themselves participate when any walk exists at all —
+  // read off the forward sweep directly instead of a third traversal.
+  const bool reachable =
+      fwd[static_cast<size_t>(ctx.adj->IndexOf(dst)) * num_states +
+          ctx.nfa->accept()];
   if (reachable) {
     out.nodes.insert(src);
     out.nodes.insert(dst);

@@ -1,0 +1,173 @@
+#include "paths/batched_bfs.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/snapshot.h"
+#include "paths/frontier.h"
+
+namespace gcore {
+
+namespace {
+
+/// One wave: product reachability for up to 64 sources at once. Each
+/// product state (node, nfa-state) carries the mask of wave sources that
+/// reach it; propagation is a monotone bitwise-OR fixpoint, so the result
+/// is order-independent and one traversal serves the whole wave.
+Status RunWave(const PathSearchContext& ctx, const CompiledNfa& nfa,
+               const NodeId* sources, size_t count,
+               std::set<NodeId>* out_sets) {
+  const AdjacencyIndex& adj = *ctx.adj;
+  const size_t num_states = nfa.num_states();
+  std::vector<uint64_t> masks(adj.num_nodes() * num_states, 0);
+  std::deque<size_t> worklist;
+  std::vector<bool> queued(masks.size(), false);
+
+  auto merge = [&](size_t idx, uint64_t add) {
+    add &= ~masks[idx];
+    if (add == 0) return;
+    masks[idx] |= add;
+    if (!queued[idx]) {
+      queued[idx] = true;
+      worklist.push_back(idx);
+    }
+  };
+
+  for (size_t i = 0; i < count; ++i) {
+    merge(static_cast<size_t>(adj.IndexOf(sources[i])) * num_states +
+              nfa.start(),
+          uint64_t{1} << i);
+  }
+
+  // Per-wave view cache: resolved once per distinct view name.
+  std::map<std::string, const PathViewRelation*> view_cache;
+
+  while (!worklist.empty()) {
+    const size_t p = worklist.front();
+    worklist.pop_front();
+    queued[p] = false;
+    const uint64_t m = masks[p];  // current mask, not the enqueue-time one
+    const DenseNodeIndex n = static_cast<DenseNodeIndex>(p / num_states);
+    const NfaStateId q = static_cast<NfaStateId>(p % num_states);
+
+    for (const CompiledTransition& t : nfa.TransitionsFrom(q)) {
+      switch (t.type) {
+        case NfaTransition::Type::kEpsilon:
+          merge(static_cast<size_t>(n) * num_states + t.target, m);
+          break;
+        case NfaTransition::Type::kNodeTest:
+          if (nfa.NodeAdmitted(t, n)) {
+            merge(static_cast<size_t>(n) * num_states + t.target, m);
+          }
+          break;
+        case NfaTransition::Type::kAnyEdge:
+        case NfaTransition::Type::kEdgeForward:
+        case NfaTransition::Type::kEdgeBackward: {
+          auto try_entries = [&](const AdjacencyEntry* begin,
+                                 const AdjacencyEntry* end) {
+            for (const AdjacencyEntry* e = begin; e != end; ++e) {
+              if (!nfa.EdgeAdmitted(t, *e)) continue;
+              merge(static_cast<size_t>(e->neighbor) * num_states + t.target,
+                    m);
+            }
+          };
+          if (t.type != NfaTransition::Type::kEdgeBackward) {
+            auto [b, e] = adj.Out(n);
+            try_entries(b, e);
+          }
+          if (t.type != NfaTransition::Type::kEdgeForward) {
+            auto [b, e] = adj.In(n);
+            try_entries(b, e);
+          }
+          break;
+        }
+        case NfaTransition::Type::kViewRef: {
+          auto [it, inserted] = view_cache.try_emplace(*t.label, nullptr);
+          if (inserted) {
+            if (ctx.views == nullptr) {
+              return Status::EvaluationError(
+                  "regex references PATH view '~" + *t.label +
+                  "' but no views are in scope");
+            }
+            auto rel = ctx.views->Lookup(*t.label);
+            if (!rel.ok()) return rel.status();
+            it->second = *rel;
+          }
+          for (const PathViewSegment& seg :
+               it->second->SegmentsFrom(adj.IdOf(n))) {
+            if (!adj.Contains(seg.dst)) continue;
+            merge(static_cast<size_t>(adj.IndexOf(seg.dst)) * num_states +
+                      t.target,
+                  m);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Dense indices ascend with node id, so end-hinted insertion keeps the
+  // materialization linear in the output size.
+  const NfaStateId accept = nfa.accept();
+  for (size_t n = 0; n < adj.num_nodes(); ++n) {
+    uint64_t m = masks[n * num_states + accept];
+    if (m == 0) continue;
+    const NodeId id = adj.IdOf(static_cast<DenseNodeIndex>(n));
+    while (m != 0) {
+      const size_t i = static_cast<size_t>(__builtin_ctzll(m));
+      m &= m - 1;
+      out_sets[i].emplace_hint(out_sets[i].end(), id);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::set<NodeId>>> BatchedReachableFrom(
+    const PathSearchContext& ctx, const std::vector<NodeId>& sources) {
+  if (ctx.adj == nullptr || ctx.nfa == nullptr) {
+    return Status::InvalidArgument("path search context is incomplete");
+  }
+  for (NodeId src : sources) {
+    if (!ctx.adj->Contains(src)) {
+      return Status::InvalidArgument("source node is not in the graph");
+    }
+  }
+  std::vector<std::set<NodeId>> out(sources.size());
+  if (sources.empty()) return out;
+
+  const CompiledNfa nfa(*ctx.nfa, *ctx.adj, ctx.snap);
+  const size_t num_waves = (sources.size() + 63) / 64;
+  std::vector<Status> wave_status(num_waves, Status::OK());
+  ParallelFor(ctx.parallelism, num_waves, [&](size_t w) {
+    const size_t lo = w * 64;
+    const size_t count = std::min<size_t>(64, sources.size() - lo);
+    wave_status[w] = RunWave(ctx, nfa, sources.data() + lo, count, &out[lo]);
+  });
+  for (const Status& st : wave_status) {
+    if (!st.ok()) return st;
+  }
+  return out;
+}
+
+Result<std::vector<std::map<NodeId, std::vector<FoundPath>>>>
+BatchedKShortestFrom(const PathSearchContext& ctx,
+                     const std::vector<NodeId>& sources, size_t k) {
+  std::vector<std::map<NodeId, std::vector<FoundPath>>> out(sources.size());
+  std::vector<Status> status(sources.size(), Status::OK());
+  ParallelFor(ctx.parallelism, sources.size(), [&](size_t i) {
+    auto r = KShortestPathsFrom(ctx, sources[i], k);
+    if (r.ok()) {
+      out[i] = std::move(*r);
+    } else {
+      status[i] = r.status();
+    }
+  });
+  for (const Status& st : status) {
+    if (!st.ok()) return st;
+  }
+  return out;
+}
+
+}  // namespace gcore

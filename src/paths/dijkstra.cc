@@ -82,6 +82,21 @@ Result<SsspResult> DijkstraFrom(const AdjacencyIndex& adj, NodeId src,
           r.parent[e->neighbor] = n;
           r.parent_edge[e->neighbor] = e->edge;
           heap.emplace(nd, e->neighbor);
+        } else if (nd == r.distance[e->neighbor] && *w > 0.0 &&
+                   r.parent[e->neighbor] >= 0 &&
+                   (static_cast<int64_t>(n) < r.parent[e->neighbor] ||
+                    (static_cast<int64_t>(n) == r.parent[e->neighbor] &&
+                     e->edge < r.parent_edge[e->neighbor]))) {
+          // Canonical tiebreak: at equal distance, prefer the smallest
+          // (parent, edge) pair — the fixed lexicographic criterion of
+          // Appendix A.1 footnote 4, and the rule the parallel
+          // delta-stepping kernel applies, so serial and parallel SSSP
+          // agree on the whole parent forest, not just distances.
+          // Positive weight only: such a parent is strictly closer, so
+          // the forest stays acyclic (a zero-weight tie parent need not
+          // be).
+          r.parent[e->neighbor] = n;
+          r.parent_edge[e->neighbor] = e->edge;
         }
       }
     };

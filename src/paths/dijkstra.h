@@ -40,7 +40,11 @@ struct SsspResult {
 SsspResult BfsFrom(const AdjacencyIndex& adj, NodeId src,
                    bool follow_forward = true, bool follow_backward = false);
 
-/// Dijkstra with per-edge weights; negative weights are an error.
+/// Dijkstra with per-edge weights; negative weights are an error. Parents
+/// are canonical: at equal distance (over positive-weight edges) the
+/// lexicographically smallest (parent, edge id) pair wins, the same rule
+/// DeltaSsspFrom (delta_stepping.h) applies — this function is that
+/// kernel's executable spec.
 Result<SsspResult> DijkstraFrom(const AdjacencyIndex& adj, NodeId src,
                                 const EdgeWeightFn& weight,
                                 bool follow_forward = true,

@@ -3,6 +3,9 @@
 #include <cstdint>
 #include <queue>
 
+#include "graph/snapshot.h"
+#include "paths/frontier.h"
+
 namespace gcore {
 
 namespace {
@@ -41,6 +44,7 @@ class ProductDijkstra {
   ProductDijkstra(const PathSearchContext& ctx, NodeId src, size_t k,
                   std::optional<NodeId> single_dst)
       : ctx_(ctx),
+        nfa_(*ctx.nfa, *ctx.adj, ctx.snap),
         k_(k),
         single_dst_(single_dst),
         num_states_(ctx.nfa->num_states()) {
@@ -129,9 +133,8 @@ class ProductDijkstra {
     const Label lab = labels_[label_idx];
     if (ctx_.max_hops != 0 && lab.hops >= ctx_.max_hops) return Status::OK();
     const NodeId here = ctx_.adj->IdOf(lab.node);
-    const LabelSet& node_labels = ctx_.adj->graph().Labels(here);
 
-    for (const NfaTransition& t : ctx_.nfa->TransitionsFrom(lab.state)) {
+    for (const CompiledTransition& t : nfa_.TransitionsFrom(lab.state)) {
       switch (t.type) {
         case NfaTransition::Type::kEpsilon: {
           if (ZeroWidthCycle(label_idx, lab.node, t.target)) break;
@@ -141,7 +144,7 @@ class ProductDijkstra {
           break;
         }
         case NfaTransition::Type::kNodeTest: {
-          if (!node_labels.Contains(t.label)) break;
+          if (!nfa_.NodeAdmitted(t, lab.node)) break;
           if (ZeroWidthCycle(label_idx, lab.node, t.target)) break;
           PushLabel(Label{lab.cost, lab.hops, lab.node, t.target,
                           static_cast<int32_t>(label_idx),
@@ -157,11 +160,11 @@ class ProductDijkstra {
         case NfaTransition::Type::kViewRef: {
           if (ctx_.views == nullptr) {
             return Status::EvaluationError(
-                "regex references PATH view '~" + t.label +
+                "regex references PATH view '~" + *t.label +
                 "' but no views are in scope");
           }
           GCORE_ASSIGN_OR_RETURN(const PathViewRelation* rel,
-                                 ctx_.views->Lookup(t.label));
+                                 ctx_.views->Lookup(*t.label));
           for (const PathViewSegment& seg : rel->SegmentsFrom(here)) {
             if (!ctx_.adj->Contains(seg.dst)) continue;
             TraversalStep step;
@@ -181,15 +184,11 @@ class ProductDijkstra {
   }
 
   void ExpandEdges(uint32_t label_idx, const Label& lab,
-                   const NfaTransition& t) {
-    const PathPropertyGraph& graph = ctx_.adj->graph();
+                   const CompiledTransition& t) {
     auto try_entries = [&](const AdjacencyEntry* begin,
                            const AdjacencyEntry* end) {
       for (const AdjacencyEntry* e = begin; e != end; ++e) {
-        if (t.type != NfaTransition::Type::kAnyEdge &&
-            !graph.Labels(e->edge).Contains(t.label)) {
-          continue;
-        }
+        if (!nfa_.EdgeAdmitted(t, *e)) continue;
         TraversalStep step;
         step.kind = TraversalStep::Kind::kEdge;
         step.edge = e->edge;
@@ -247,6 +246,8 @@ class ProductDijkstra {
   }
 
   const PathSearchContext& ctx_;
+  /// Admission over interned snapshot labels when ctx.snap is set.
+  const CompiledNfa nfa_;
   const size_t k_;
   const std::optional<NodeId> single_dst_;
   const size_t num_states_;

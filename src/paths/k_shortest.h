@@ -24,6 +24,8 @@
 
 namespace gcore {
 
+class GraphSnapshot;
+
 /// One discovered conforming walk.
 struct FoundPath {
   PathBody body;
@@ -40,8 +42,16 @@ struct PathSearchContext {
   const Nfa* nfa = nullptr;
   /// Required iff the regex references `~view` atoms.
   const PathViewRegistry* views = nullptr;
+  /// Optional frozen snapshot of the same graph. When set, kernels admit
+  /// edge/node labels via interned ids over dense indices (CompiledNfa)
+  /// instead of the PPG's string label sets — same semantics, no string
+  /// compares on the hot path.
+  const GraphSnapshot* snap = nullptr;
   /// Safety bound on walk length in edges (0 = unlimited).
   size_t max_hops = 0;
+  /// Worker threads for the batched kernels (1 = serial, 0 = one per
+  /// hardware thread). Kernel results are identical at every degree.
+  size_t parallelism = 1;
 };
 
 /// Finds, for every destination node reachable from `src` by a walk

@@ -2,7 +2,38 @@
 
 #include <deque>
 
+#include "graph/snapshot.h"
+#include "paths/frontier.h"
+
 namespace gcore {
+
+namespace {
+
+/// Resolves the view of a kViewRef transition, caching by name.
+class ViewResolver {
+ public:
+  explicit ViewResolver(const PathViewRegistry* views) : views_(views) {}
+
+  Result<const PathViewRelation*> Resolve(const std::string& name) {
+    auto [it, inserted] = cache_.try_emplace(name, nullptr);
+    if (inserted) {
+      if (views_ == nullptr) {
+        return Status::EvaluationError("regex references PATH view '~" + name +
+                                       "' but no views are in scope");
+      }
+      auto rel = views_->Lookup(name);
+      if (!rel.ok()) return rel.status();
+      it->second = *rel;
+    }
+    return it->second;
+  }
+
+ private:
+  const PathViewRegistry* views_;
+  std::map<std::string, const PathViewRelation*> cache_;
+};
+
+}  // namespace
 
 Status ProductReachability(const PathSearchContext& ctx, NodeId src,
                            std::vector<bool>* marks) {
@@ -12,37 +43,32 @@ Status ProductReachability(const PathSearchContext& ctx, NodeId src,
   if (!ctx.adj->Contains(src)) {
     return Status::InvalidArgument("source node is not in the graph");
   }
-  const size_t num_states = ctx.nfa->num_states();
-  marks->assign(ctx.adj->num_nodes() * num_states, false);
-
-  auto mark_index = [&](DenseNodeIndex n, NfaStateId q) {
-    return static_cast<size_t>(n) * num_states + q;
-  };
+  const AdjacencyIndex& adj = *ctx.adj;
+  const CompiledNfa nfa(*ctx.nfa, adj, ctx.snap);
+  const size_t num_states = nfa.num_states();
+  marks->assign(adj.num_nodes() * num_states, false);
 
   std::deque<std::pair<DenseNodeIndex, NfaStateId>> queue;
   auto push = [&](DenseNodeIndex n, NfaStateId q) {
-    const size_t idx = mark_index(n, q);
+    const size_t idx = static_cast<size_t>(n) * num_states + q;
     if ((*marks)[idx]) return;
     (*marks)[idx] = true;
     queue.emplace_back(n, q);
   };
 
-  push(ctx.adj->IndexOf(src), ctx.nfa->start());
+  push(adj.IndexOf(src), nfa.start());
 
-  const PathPropertyGraph& graph = ctx.adj->graph();
+  ViewResolver resolver(ctx.views);
   while (!queue.empty()) {
     auto [n, q] = queue.front();
     queue.pop_front();
-    const NodeId here = ctx.adj->IdOf(n);
-    const LabelSet& node_labels = graph.Labels(here);
-
-    for (const NfaTransition& t : ctx.nfa->TransitionsFrom(q)) {
+    for (const CompiledTransition& t : nfa.TransitionsFrom(q)) {
       switch (t.type) {
         case NfaTransition::Type::kEpsilon:
           push(n, t.target);
           break;
         case NfaTransition::Type::kNodeTest:
-          if (node_labels.Contains(t.label)) push(n, t.target);
+          if (nfa.NodeAdmitted(t, n)) push(n, t.target);
           break;
         case NfaTransition::Type::kAnyEdge:
         case NfaTransition::Type::kEdgeForward:
@@ -50,34 +76,25 @@ Status ProductReachability(const PathSearchContext& ctx, NodeId src,
           auto try_entries = [&](const AdjacencyEntry* begin,
                                  const AdjacencyEntry* end) {
             for (const AdjacencyEntry* e = begin; e != end; ++e) {
-              if (t.type != NfaTransition::Type::kAnyEdge &&
-                  !graph.Labels(e->edge).Contains(t.label)) {
-                continue;
-              }
-              push(e->neighbor, t.target);
+              if (nfa.EdgeAdmitted(t, *e)) push(e->neighbor, t.target);
             }
           };
           if (t.type != NfaTransition::Type::kEdgeBackward) {
-            auto [b, e] = ctx.adj->Out(n);
+            auto [b, e] = adj.Out(n);
             try_entries(b, e);
           }
           if (t.type != NfaTransition::Type::kEdgeForward) {
-            auto [b, e] = ctx.adj->In(n);
+            auto [b, e] = adj.In(n);
             try_entries(b, e);
           }
           break;
         }
         case NfaTransition::Type::kViewRef: {
-          if (ctx.views == nullptr) {
-            return Status::EvaluationError(
-                "regex references PATH view '~" + t.label +
-                "' but no views are in scope");
-          }
-          auto rel = ctx.views->Lookup(t.label);
-          if (!rel.ok()) return rel.status();
-          for (const PathViewSegment& seg : (*rel)->SegmentsFrom(here)) {
-            if (!ctx.adj->Contains(seg.dst)) continue;
-            push(ctx.adj->IndexOf(seg.dst), t.target);
+          GCORE_ASSIGN_OR_RETURN(const PathViewRelation* rel,
+                                 resolver.Resolve(*t.label));
+          for (const PathViewSegment& seg : rel->SegmentsFrom(adj.IdOf(n))) {
+            if (!adj.Contains(seg.dst)) continue;
+            push(adj.IndexOf(seg.dst), t.target);
           }
           break;
         }
@@ -148,18 +165,170 @@ Result<std::set<NodeId>> ReachableFrom(const PathSearchContext& ctx,
   const size_t num_states = ctx.nfa->num_states();
   const NfaStateId accept = ctx.nfa->accept();
   std::set<NodeId> out;
+  // Dense indices ascend with node id: end-hinted insertion is O(1).
   for (size_t n = 0; n < ctx.adj->num_nodes(); ++n) {
     if (marks[n * num_states + accept]) {
-      out.insert(ctx.adj->IdOf(static_cast<DenseNodeIndex>(n)));
+      out.emplace_hint(out.end(),
+                       ctx.adj->IdOf(static_cast<DenseNodeIndex>(n)));
     }
   }
   return out;
 }
 
+namespace {
+
+/// One side of the bidirectional search: marks, the current BFS level and
+/// the expansion rule (forward product moves vs. reversed-NFA backward
+/// moves — backward edge transitions scan the opposite adjacency spans,
+/// and view refs consume segments dst-to-src via ViewBackIndex).
+class BidirSide {
+ public:
+  BidirSide(const PathSearchContext& ctx, const Nfa& nfa, bool backward)
+      : adj_(*ctx.adj),
+        nfa_(nfa, *ctx.adj, ctx.snap),
+        resolver_(ctx.views),
+        backward_(backward),
+        marks_(ctx.adj->num_nodes() * nfa.num_states(), false) {}
+
+  const std::vector<bool>& marks() const { return marks_; }
+  size_t frontier_size() const { return frontier_.size(); }
+  bool exhausted() const { return frontier_.empty(); }
+
+  /// Seeds (n, q); returns true when the other side already marked it.
+  bool Seed(DenseNodeIndex n, NfaStateId q, const BidirSide& other) {
+    return Mark(n, q, other);
+  }
+
+  /// Expands one BFS level; returns true on a meet with `other`, sets
+  /// `error` (and stops) on a view-resolution failure.
+  bool ExpandLevel(const BidirSide& other, Status* error) {
+    std::vector<std::pair<DenseNodeIndex, NfaStateId>> level;
+    level.swap(frontier_);
+    for (auto [n, q] : level) {
+      for (const CompiledTransition& t : nfa_.TransitionsFrom(q)) {
+        switch (t.type) {
+          case NfaTransition::Type::kEpsilon:
+            if (Mark(n, t.target, other)) return true;
+            break;
+          case NfaTransition::Type::kNodeTest:
+            if (nfa_.NodeAdmitted(t, n) && Mark(n, t.target, other)) {
+              return true;
+            }
+            break;
+          case NfaTransition::Type::kAnyEdge:
+          case NfaTransition::Type::kEdgeForward:
+          case NfaTransition::Type::kEdgeBackward: {
+            // Forward side: kEdgeForward scans Out, kEdgeBackward scans
+            // In, kAnyEdge both. The reversed automaton's transitions
+            // mean "this edge was crossed towards me", so the backward
+            // side swaps the spans.
+            const bool scan_out =
+                t.type != (backward_ ? NfaTransition::Type::kEdgeForward
+                                     : NfaTransition::Type::kEdgeBackward);
+            const bool scan_in =
+                t.type != (backward_ ? NfaTransition::Type::kEdgeBackward
+                                     : NfaTransition::Type::kEdgeForward);
+            if (scan_out) {
+              auto [b, e] = adj_.Out(n);
+              for (const AdjacencyEntry* it = b; it != e; ++it) {
+                if (nfa_.EdgeAdmitted(t, *it) &&
+                    Mark(it->neighbor, t.target, other)) {
+                  return true;
+                }
+              }
+            }
+            if (scan_in) {
+              auto [b, e] = adj_.In(n);
+              for (const AdjacencyEntry* it = b; it != e; ++it) {
+                if (nfa_.EdgeAdmitted(t, *it) &&
+                    Mark(it->neighbor, t.target, other)) {
+                  return true;
+                }
+              }
+            }
+            break;
+          }
+          case NfaTransition::Type::kViewRef: {
+            auto rel = resolver_.Resolve(*t.label);
+            if (!rel.ok()) {
+              *error = rel.status();
+              return false;
+            }
+            if (backward_) {
+              for (const PathViewSegment* seg :
+                   back_index_.SegmentsInto(**rel, adj_.IdOf(n))) {
+                if (!adj_.Contains(seg->src)) continue;
+                if (Mark(adj_.IndexOf(seg->src), t.target, other)) {
+                  return true;
+                }
+              }
+            } else {
+              for (const PathViewSegment& seg :
+                   (*rel)->SegmentsFrom(adj_.IdOf(n))) {
+                if (!adj_.Contains(seg.dst)) continue;
+                if (Mark(adj_.IndexOf(seg.dst), t.target, other)) {
+                  return true;
+                }
+              }
+            }
+            break;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  bool Mark(DenseNodeIndex n, NfaStateId q, const BidirSide& other) {
+    const size_t idx = static_cast<size_t>(n) * nfa_.num_states() + q;
+    if (!marks_[idx]) {
+      marks_[idx] = true;
+      frontier_.emplace_back(n, q);
+    }
+    // State ids are shared between the automaton and its reversal, so a
+    // pair marked on both sides splices a conforming prefix and suffix.
+    return other.marks_[idx];
+  }
+
+  const AdjacencyIndex& adj_;
+  CompiledNfa nfa_;
+  ViewResolver resolver_;
+  ViewBackIndex back_index_;
+  bool backward_;
+  std::vector<bool> marks_;
+  std::vector<std::pair<DenseNodeIndex, NfaStateId>> frontier_;
+};
+
+}  // namespace
+
 Result<bool> IsReachable(const PathSearchContext& ctx, NodeId src,
                          NodeId dst) {
-  GCORE_ASSIGN_OR_RETURN(auto reachable, ReachableFrom(ctx, src));
-  return reachable.count(dst) > 0;
+  if (ctx.adj == nullptr || ctx.nfa == nullptr) {
+    return Status::InvalidArgument("path search context is incomplete");
+  }
+  if (!ctx.adj->Contains(src)) {
+    return Status::InvalidArgument("source node is not in the graph");
+  }
+  if (!ctx.adj->Contains(dst)) return false;
+
+  const Nfa reversed = ctx.nfa->Reversed();
+  BidirSide fwd(ctx, *ctx.nfa, /*backward=*/false);
+  BidirSide bwd(ctx, reversed, /*backward=*/true);
+  if (fwd.Seed(ctx.adj->IndexOf(src), ctx.nfa->start(), bwd)) return true;
+  if (bwd.Seed(ctx.adj->IndexOf(dst), reversed.start(), fwd)) return true;
+
+  // Alternate expanding the smaller frontier; a side running dry has
+  // computed its full fixpoint, so no meet means no conforming walk.
+  Status error = Status::OK();
+  while (!fwd.exhausted() && !bwd.exhausted()) {
+    const bool meet = fwd.frontier_size() <= bwd.frontier_size()
+                          ? fwd.ExpandLevel(bwd, &error)
+                          : bwd.ExpandLevel(fwd, &error);
+    if (!error.ok()) return error;
+    if (meet) return true;
+  }
+  return false;
 }
 
 }  // namespace gcore

@@ -343,19 +343,16 @@ class NodeScanOp : public PhysicalOp {
   bool emitted_empty_ = false;
 };
 
-/// Temporary fresh-path-id space used inside one parallel PathSearch
-/// chunk. Well above any real allocator value; every temporary is
-/// remapped to a reserved catalog id before the chunk is emitted.
-constexpr uint64_t kTempPathIdBase = uint64_t{1} << 62;
-
 /// PathSearch: one path hop (stored / SHORTEST / ALL / reachability) per
-/// pulled chunk. Morsel-parallel since the path-id allocator gained
-/// atomic range reservation: each worker expands one morsel, allocating
-/// *temporary* fresh-path ids from a morsel-local counter; afterwards the
-/// coordinator reserves exactly the needed range from the shared
-/// IdAllocator in one atomic step and remaps the temporaries in morsel
-/// order — ids (and rows) come out deterministic at every degree, and at
-/// degree 1 the operator behaves exactly as the serial original.
+/// pulled chunk. A breaker: the child's chunks arrive at morsel
+/// granularity, but the batched path kernels inside ExpandPathHop want
+/// the whole source set at once — one multi-source wave / batched
+/// k-shortest launch instead of N independent traversals — so the op
+/// drains its input (as HashJoin does) and expands it in a single
+/// internally-parallel call. Rows, row order and fresh path ids match
+/// per-row serial evaluation at every degree: the kernels are
+/// degree-invariant and the matcher draws ids in row-emission order,
+/// which made the old per-morsel temp-id remap machinery obsolete.
 class PathSearchOp : public PhysicalOp {
  public:
   PathSearchOp(Matcher* rt, const PlanNode* plan, OpPtr child,
@@ -367,115 +364,21 @@ class PathSearchOp : public PhysicalOp {
         stats_(stats) {}
 
   Result<std::optional<BindingTable>> Next() override {
-    // A breaker: the child's chunks already arrive at morsel granularity,
-    // so parallelism needs the whole input — drain it (as HashJoin does)
-    // and fan the morsels out. Output rows, order and fresh path ids are
-    // identical to the per-chunk serial original: morsels are processed
-    // in input order and ids are remapped in that same order.
     if (done_) return Exhausted();
     done_ = true;
     GCORE_ASSIGN_OR_RETURN(BindingTable input, Drain(child_.get()));
     GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* graph,
                            rt_->ResolveGraph(plan_->graph));
-    const size_t morsel = exec_.MorselRows();
-    const size_t degree = exec_.Degree();
-    if (degree <= 1 || input.NumRows() <= morsel ||
-        !ExprsParallelSafe(plan_->pushed)) {
-      GCORE_ASSIGN_OR_RETURN(
-          BindingTable expanded,
-          rt_->ExpandPathHop(std::move(input), plan_->from_var,
-                             *plan_->path, plan_->path_var, *plan_->to,
-                             plan_->to_var, *graph, graph->name()));
-      GCORE_ASSIGN_OR_RETURN(
-          BindingTable filtered,
-          rt_->FilterByConjuncts(std::move(expanded), plan_->pushed, graph));
-      if (stats_ != nullptr) stats_->Record(plan_, filtered.NumRows());
-      return Chunk(std::move(filtered));
-    }
-
-    rt_->Snapshot(*graph);  // warm the snapshot cache off the workers
-    const BindingTable* chunk = &input;
-    const size_t num_morsels = (chunk->NumRows() + morsel - 1) / morsel;
-    std::vector<Result<BindingTable>> outs(num_morsels,
-                                           Result<BindingTable>(BindingTable()));
-    // Temporaries allocated per morsel *before* the pushed filter runs: a
-    // serial run draws an id for every expanded row, including rows the
-    // filter then drops, so the remap must reserve and skip those too.
-    std::vector<uint64_t> temp_counts(num_morsels, 0);
-    std::atomic<size_t> next_morsel{0};
-    auto run_morsel = [&](size_t m) {
-      const size_t lo = m * morsel;
-      const size_t hi = std::min(chunk->NumRows(), lo + morsel);
-      uint64_t local = 0;
-      std::function<PathId()> temp_ids = [&local]() {
-        return PathId(kTempPathIdBase + local++);
-      };
-      auto expanded = rt_->ExpandPathHop(
-          chunk->Slice(lo, hi), plan_->from_var, *plan_->path,
-          plan_->path_var, *plan_->to, plan_->to_var, *graph, graph->name(),
-          &temp_ids);
-      temp_counts[m] = local;
-      if (!expanded.ok()) {
-        outs[m] = expanded.status();
-        return;
-      }
-      outs[m] = rt_->FilterByConjuncts(std::move(*expanded), plan_->pushed,
-                                       graph);
-    };
-    auto worker = [&]() {
-      while (true) {
-        const size_t m = next_morsel.fetch_add(1);
-        if (m >= num_morsels) return;
-        run_morsel(m);
-      }
-    };
-    std::vector<std::thread> pool;
-    const size_t threads = std::min(degree, num_morsels);
-    pool.reserve(threads);
-    for (size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
-    worker();
-    for (auto& t : pool) t.join();
-    for (auto& out : outs) {
-      if (!out.ok()) return out.status();
-    }
-
-    // Deterministic id remap: reserve one range covering every temporary
-    // drawn (filtered-away rows included), then translate each surviving
-    // temporary by its morsel's prefix offset plus its local index —
-    // exactly the ids (gaps and all) a serial run hands out in expansion
-    // order.
-    BindingTable merged = EmptyLike(*outs.front());
-    const size_t path_col = plan_->path_var.empty()
-                                ? BindingTable::kNpos
-                                : merged.ColumnIndex(plan_->path_var);
-    if (path_col != BindingTable::kNpos) {
-      uint64_t total_temps = 0;
-      std::vector<uint64_t> morsel_offset(num_morsels, 0);
-      for (size_t m = 0; m < num_morsels; ++m) {
-        morsel_offset[m] = total_temps;
-        total_temps += temp_counts[m];
-      }
-      if (total_temps > 0) {
-        const uint64_t base =
-            rt_->context().catalog->ids()->ReservePathRange(total_temps);
-        for (size_t m = 0; m < num_morsels; ++m) {
-          BindingTable& out = *outs[m];
-          const Column& col = out.ColumnAt(path_col);
-          for (size_t r = 0; r < out.NumRows(); ++r) {
-            if (col.KindAt(r) != Datum::Kind::kPath) continue;
-            const PathValue& pv = col.HeavyAt(r).path();
-            if (pv.from_graph || pv.id.value() < kTempPathIdBase) continue;
-            auto remapped = std::make_shared<PathValue>(pv);
-            remapped->id = PathId(base + morsel_offset[m] +
-                                  (pv.id.value() - kTempPathIdBase));
-            out.SetCell(r, path_col, Datum::OfPath(std::move(remapped)));
-          }
-        }
-      }
-    }
-    for (auto& out : outs) merged.AppendTable(*out);
-    if (stats_ != nullptr) stats_->Record(plan_, merged.NumRows());
-    return Chunk(std::move(merged));
+    GCORE_ASSIGN_OR_RETURN(
+        BindingTable expanded,
+        rt_->ExpandPathHop(std::move(input), plan_->from_var, *plan_->path,
+                           plan_->path_var, *plan_->to, plan_->to_var, *graph,
+                           graph->name()));
+    GCORE_ASSIGN_OR_RETURN(
+        BindingTable filtered,
+        rt_->FilterByConjuncts(std::move(expanded), plan_->pushed, graph));
+    if (stats_ != nullptr) stats_->Record(plan_, filtered.NumRows());
+    return Chunk(std::move(filtered));
   }
 
  private:

@@ -32,6 +32,13 @@ class EdgePred {
     return pred_.Admits(snap_->EdgeIndexOf(id));
   }
 
+  /// Span-entry form: the CSR entry carries its dense edge index, so no
+  /// binary search is needed.
+  bool Admits(const AdjacencyEntry& e) const {
+    if (pred_.unconstrained()) return true;
+    return pred_.Admits(e.edge_dense);
+  }
+
  private:
   const GraphSnapshot* snap_;
   SnapshotPred pred_;
@@ -47,7 +54,7 @@ void CollectNeighbors(const AdjacencyIndex& adj, const MultiwayEdge& me,
                       std::vector<DenseNodeIndex>* out) {
   auto collect = [&](EntrySpan span) {
     for (const AdjacencyEntry* it = span.begin; it != span.end; ++it) {
-      if (pred.Admits(it->edge)) {
+      if (pred.Admits(*it)) {
         out->push_back(it->neighbor);
       }
     }
@@ -77,7 +84,7 @@ void MatchingEdges(const AdjacencyIndex& adj, const MultiwayEdge& me,
   auto collect = [&](EntrySpan span) {
     const EntrySpan hits = AdjacencyIndex::EdgesTo(span, to);
     for (const AdjacencyEntry* it = hits.begin; it != hits.end; ++it) {
-      if (pred.Admits(it->edge)) {
+      if (pred.Admits(*it)) {
         out->push_back(it->edge);
       }
     }

@@ -1,0 +1,434 @@
+// Differential suite for the parallel/batched path kernels: every kernel
+// must be *result-identical* to its serial executable spec at parallelism
+// 1 / 2 / 8 —
+//   DeltaSsspFrom        ≡ DijkstraFrom   (distances, parents, edges),
+//   DeltaKSsspFrom       ≡ KSsspHeapFrom  (k-cheapest cost multisets),
+//   BatchedReachableFrom ≡ ReachableFrom per source (incl. >64 sources,
+//                          so the 64-lane wave split is exercised),
+//   IsReachable (bidirectional) ≡ membership in the full fixpoint,
+//   ViewStarSssp         ≡ the product Dijkstra on `~view*`.
+// Weight fixtures draw from {1, 2} so equal-distance ties are common and
+// the canonical (parent, edge) tiebreak is actually exercised; the
+// engine-level suite (tests/plan/parallel_test.cc) pins tables and path
+// ids on top, and this file adds the 1-row-morsel degree sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "eval/matcher.h"
+#include "parser/parser.h"
+#include "paths/batched_bfs.h"
+#include "paths/delta_stepping.h"
+#include "paths/dijkstra.h"
+#include "paths/k_shortest.h"
+#include "paths/product_bfs.h"
+#include "snb/toy_graphs.h"
+
+namespace gcore {
+namespace {
+
+/// Deterministic pseudo-random multigraph: `nodes` nodes, `edges` edges
+/// labeled "a", endpoints from an LCG. Dense enough for shortcut-induced
+/// distance ties.
+struct RandomGraph {
+  PathPropertyGraph g;
+  std::unique_ptr<AdjacencyIndex> adj;
+  size_t num_nodes;
+
+  RandomGraph(size_t nodes, size_t edges) : num_nodes(nodes) {
+    for (uint64_t i = 1; i <= nodes; ++i) g.AddNode(NodeId(i));
+    uint64_t state = 0x9e3779b97f4a7c15ull;
+    auto next = [&state]() {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      return state >> 33;
+    };
+    for (uint64_t e = 0; e < edges; ++e) {
+      const uint64_t s = 1 + next() % nodes;
+      uint64_t d = 1 + next() % nodes;
+      if (d == s) d = 1 + d % nodes;
+      const EdgeId id(1000 + e);
+      if (!g.AddEdge(id, NodeId(s), NodeId(d)).ok()) std::abort();
+      g.AddLabel(id, "a");
+    }
+    adj = std::make_unique<AdjacencyIndex>(g);
+  }
+};
+
+/// Weights from {1.0, 2.0} keyed on edge id — plenty of equal-distance
+/// ties, so the canonical tiebreak decides many parents.
+std::optional<double> TieWeight(EdgeId edge, bool) {
+  return edge.value() % 2 == 0 ? 1.0 : 2.0;
+}
+
+Nfa CompileRegex(const std::string& text) {
+  auto r = ParseRpq(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return Nfa::Compile(**r);
+}
+
+void ExpectSameSssp(const SsspResult& want, const SsspResult& got,
+                    const std::string& label) {
+  EXPECT_EQ(want.distance, got.distance) << label;
+  EXPECT_EQ(want.parent, got.parent) << label;
+  ASSERT_EQ(want.parent_edge.size(), got.parent_edge.size()) << label;
+  for (size_t n = 0; n < want.parent_edge.size(); ++n) {
+    EXPECT_EQ(want.parent_edge[n], got.parent_edge[n])
+        << label << " parent_edge of dense node " << n;
+  }
+}
+
+TEST(DeltaStepping, MatchesDijkstraWithTies) {
+  RandomGraph rg(180, 700);
+  auto want = DijkstraFrom(*rg.adj, NodeId(1), TieWeight);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  const DenseEdgeWeightFn weight = WrapWeightFn(TieWeight);
+  for (size_t parallelism : {size_t{1}, size_t{2}, size_t{8}}) {
+    for (double delta : {0.0, 0.5, 1.0, 10.0}) {
+      ParallelSsspOptions opts;
+      opts.parallelism = parallelism;
+      opts.delta = delta;
+      opts.serial_cutoff = 0;  // force the bucketed kernel
+      auto got = DeltaSsspFrom(*rg.adj, NodeId(1), weight, opts);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectSameSssp(*want, *got,
+                     "parallelism " + std::to_string(parallelism) +
+                         " delta " + std::to_string(delta));
+    }
+  }
+}
+
+TEST(DeltaStepping, MatchesDijkstraUndirected) {
+  RandomGraph rg(120, 360);
+  auto want = DijkstraFrom(*rg.adj, NodeId(7), TieWeight,
+                           /*follow_forward=*/true, /*follow_backward=*/true);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  ParallelSsspOptions opts;
+  opts.parallelism = 8;
+  opts.serial_cutoff = 0;
+  auto got = DeltaSsspFrom(*rg.adj, NodeId(7), WrapWeightFn(TieWeight), opts,
+                           /*follow_forward=*/true, /*follow_backward=*/true);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectSameSssp(*want, *got, "undirected");
+}
+
+TEST(DeltaStepping, SerialCutoffFallbackIdentical) {
+  // Below the cutoff the heap runs; both routes must agree anyway.
+  RandomGraph rg(60, 150);
+  ParallelSsspOptions bucketed;
+  bucketed.serial_cutoff = 0;
+  ParallelSsspOptions heap;
+  heap.serial_cutoff = 1u << 20;
+  const DenseEdgeWeightFn weight = WrapWeightFn(TieWeight);
+  auto a = DeltaSsspFrom(*rg.adj, NodeId(3), weight, bucketed);
+  auto b = DeltaSsspFrom(*rg.adj, NodeId(3), weight, heap);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectSameSssp(*a, *b, "cutoff");
+}
+
+TEST(DeltaStepping, NegativeWeightRejected) {
+  RandomGraph rg(20, 40);
+  auto negative = [](const AdjacencyEntry&) {
+    return std::optional<double>(-1.0);
+  };
+  ParallelSsspOptions opts;
+  opts.serial_cutoff = 0;
+  EXPECT_FALSE(DeltaSsspFrom(*rg.adj, NodeId(1), negative, opts).ok());
+}
+
+TEST(KSssp, DeltaMatchesHeap) {
+  RandomGraph rg(100, 400);
+  const DenseEdgeWeightFn weight = WrapWeightFn(TieWeight);
+  for (size_t k : {size_t{1}, size_t{3}, size_t{4}}) {
+    auto want = KSsspHeapFrom(*rg.adj, NodeId(1), weight, k);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    for (size_t parallelism : {size_t{1}, size_t{2}, size_t{8}}) {
+      ParallelSsspOptions opts;
+      opts.parallelism = parallelism;
+      opts.serial_cutoff = 0;
+      auto got = DeltaKSsspFrom(*rg.adj, NodeId(1), weight, k, opts);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(*want, *got)
+          << "k " << k << " parallelism " << parallelism;
+    }
+  }
+}
+
+TEST(BatchedReachability, MatchesPerSourceAcrossWaveSplit) {
+  // 100 sources > 64 forces two waves; every lane must equal the
+  // single-source fixpoint.
+  RandomGraph rg(100, 300);
+  Nfa nfa = CompileRegex(":a*");
+  PathSearchContext ctx;
+  ctx.adj = rg.adj.get();
+  ctx.nfa = &nfa;
+
+  std::vector<NodeId> sources;
+  for (uint64_t i = 1; i <= rg.num_nodes; ++i) sources.push_back(NodeId(i));
+  std::vector<std::set<NodeId>> want;
+  for (NodeId src : sources) {
+    auto r = ReachableFrom(ctx, src);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    want.push_back(std::move(*r));
+  }
+  for (size_t parallelism : {size_t{1}, size_t{2}, size_t{8}}) {
+    ctx.parallelism = parallelism;
+    auto got = BatchedReachableFrom(ctx, sources);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ((*got)[i], want[i])
+          << "source " << ToString(sources[i]) << " @ parallelism "
+          << parallelism;
+    }
+  }
+}
+
+/// Shared fixture with a PATH view and a node label, so view-ref and
+/// node-test transitions are covered too.
+struct ViewFixture {
+  RandomGraph rg{40, 120};
+  PathViewRegistry views;
+
+  ViewFixture() {
+    PathViewRelation rel("w");
+    size_t i = 0;
+    rg.g.ForEachEdge([&](EdgeId e, NodeId src, NodeId dst) {
+      if (++i % 2 == 0) return;  // view over half the edges
+      PathViewSegment seg;
+      seg.src = src;
+      seg.dst = dst;
+      seg.cost = 1.0 + static_cast<double>(e.value() % 3);
+      seg.body.nodes = {src, dst};
+      seg.body.edges = {e};
+      ASSERT_TRUE(rel.AddSegment(std::move(seg)).ok());
+    });
+    views.Register(std::move(rel));
+    rg.g.AddLabel(NodeId(5), "Hub");
+  }
+
+  PathSearchContext Ctx(const Nfa* nfa) {
+    PathSearchContext ctx;
+    ctx.adj = rg.adj.get();
+    ctx.nfa = nfa;
+    ctx.views = &views;
+    return ctx;
+  }
+};
+
+TEST(BatchedReachability, MatchesPerSourceWithViews) {
+  ViewFixture f;
+  Nfa nfa = CompileRegex("(~w | :a)*");
+  PathSearchContext ctx = f.Ctx(&nfa);
+  std::vector<NodeId> sources;
+  for (uint64_t i = 1; i <= f.rg.num_nodes; ++i) sources.push_back(NodeId(i));
+  std::vector<std::set<NodeId>> want;
+  for (NodeId src : sources) {
+    auto r = ReachableFrom(ctx, src);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    want.push_back(std::move(*r));
+  }
+  ctx.parallelism = 4;
+  auto got = BatchedReachableFrom(ctx, sources);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ((*got)[i], want[i]) << "source " << ToString(sources[i]);
+  }
+}
+
+TEST(BidirectionalReachability, MatchesFullFixpointAllPairs) {
+  ViewFixture f;
+  for (const char* regex :
+       {":a*", ":a :a", "(:a-)*", "(~w | :a)*", "(:a !Hub :a)?"}) {
+    Nfa nfa = CompileRegex(regex);
+    PathSearchContext ctx = f.Ctx(&nfa);
+    for (uint64_t s = 1; s <= f.rg.num_nodes; ++s) {
+      auto full = ReachableFrom(ctx, NodeId(s));
+      ASSERT_TRUE(full.ok()) << full.status().ToString();
+      for (uint64_t d = 1; d <= f.rg.num_nodes; ++d) {
+        auto got = IsReachable(ctx, NodeId(s), NodeId(d));
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_EQ(*got, full->count(NodeId(d)) > 0)
+            << regex << ": " << s << " -> " << d;
+      }
+    }
+  }
+}
+
+TEST(ViewStarSssp, MatchesProductDijkstraOnTree) {
+  // Segment costs over a tree: conforming walks are unique, so costs
+  // *and* bodies must match the product search exactly.
+  PathPropertyGraph g;
+  for (uint64_t i = 1; i <= 10; ++i) g.AddNode(NodeId(i));
+  PathViewRelation rel("w");
+  uint64_t edge_id = 100;
+  auto add_seg = [&](uint64_t s, uint64_t d, double cost) {
+    const EdgeId e(edge_id++);
+    ASSERT_TRUE(g.AddEdge(e, NodeId(s), NodeId(d)).ok());
+    PathViewSegment seg;
+    seg.src = NodeId(s);
+    seg.dst = NodeId(d);
+    seg.cost = cost;
+    seg.body.nodes = {NodeId(s), NodeId(d)};
+    seg.body.edges = {e};
+    ASSERT_TRUE(rel.AddSegment(std::move(seg)).ok());
+  };
+  add_seg(1, 2, 1.0);
+  add_seg(1, 3, 2.5);
+  add_seg(2, 4, 0.5);
+  add_seg(2, 5, 1.25);
+  add_seg(3, 6, 4.0);
+  add_seg(4, 7, 2.0);
+  add_seg(5, 8, 0.75);
+  AdjacencyIndex adj(g);
+  PathViewRegistry views;
+  views.Register(std::move(rel));
+
+  Nfa nfa = CompileRegex("~w*");
+  PathSearchContext ctx;
+  ctx.adj = &adj;
+  ctx.nfa = &nfa;
+  ctx.views = &views;
+  auto want = KShortestPathsFrom(ctx, NodeId(1), 1);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  auto lookup = views.Lookup("w");
+  ASSERT_TRUE(lookup.ok());
+  for (size_t parallelism : {size_t{1}, size_t{2}, size_t{8}}) {
+    ParallelSsspOptions opts;
+    opts.parallelism = parallelism;
+    auto sssp = ViewStarSssp(adj, **lookup, NodeId(1), opts);
+    ASSERT_TRUE(sssp.ok()) << sssp.status().ToString();
+    size_t reached = 0;
+    for (size_t n = 0; n < adj.num_nodes(); ++n) {
+      const DenseNodeIndex dn = static_cast<DenseNodeIndex>(n);
+      if (!sssp->Reached(dn)) continue;
+      ++reached;
+      const NodeId dst = adj.IdOf(dn);
+      auto it = want->find(dst);
+      ASSERT_NE(it, want->end()) << "extra destination " << ToString(dst);
+      EXPECT_EQ(sssp->distance[dn], it->second.front().cost)
+          << ToString(dst) << " @ parallelism " << parallelism;
+      auto body = ReconstructViewWalk(adj, *sssp, NodeId(1), dst);
+      ASSERT_TRUE(body.has_value());
+      EXPECT_EQ(body->nodes, it->second.front().body.nodes)
+          << ToString(dst) << " @ parallelism " << parallelism;
+      EXPECT_EQ(body->edges, it->second.front().body.edges)
+          << ToString(dst) << " @ parallelism " << parallelism;
+    }
+    EXPECT_EQ(reached, want->size());
+  }
+}
+
+TEST(ViewStarSssp, MatchesProductDijkstraCostsWithTies) {
+  // Equal-cost alternatives: distances must still agree (bodies may
+  // legitimately differ between the two tiebreak families).
+  ViewFixture f;
+  Nfa nfa = CompileRegex("~w*");
+  PathSearchContext ctx = f.Ctx(&nfa);
+  auto lookup = f.views.Lookup("w");
+  ASSERT_TRUE(lookup.ok());
+  for (uint64_t s = 1; s <= f.rg.num_nodes; s += 7) {
+    auto want = KShortestPathsFrom(ctx, NodeId(s), 1);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    ParallelSsspOptions opts;
+    opts.parallelism = 4;
+    auto sssp = ViewStarSssp(*f.rg.adj, **lookup, NodeId(s), opts);
+    ASSERT_TRUE(sssp.ok()) << sssp.status().ToString();
+    size_t reached = 0;
+    for (size_t n = 0; n < f.rg.adj->num_nodes(); ++n) {
+      const DenseNodeIndex dn = static_cast<DenseNodeIndex>(n);
+      if (!sssp->Reached(dn)) continue;
+      ++reached;
+      const NodeId dst = f.rg.adj->IdOf(dn);
+      auto it = want->find(dst);
+      ASSERT_NE(it, want->end());
+      EXPECT_EQ(sssp->distance[dn], it->second.front().cost)
+          << "source " << s << " dst " << ToString(dst);
+    }
+    EXPECT_EQ(reached, want->size()) << "source " << s;
+  }
+}
+
+TEST(BatchedKShortest, MatchesPerSource) {
+  RandomGraph rg(60, 200);
+  Nfa nfa = CompileRegex(":a*");
+  PathSearchContext ctx;
+  ctx.adj = rg.adj.get();
+  ctx.nfa = &nfa;
+  std::vector<NodeId> sources;
+  for (uint64_t i = 1; i <= rg.num_nodes; i += 3) sources.push_back(NodeId(i));
+  for (size_t parallelism : {size_t{1}, size_t{8}}) {
+    ctx.parallelism = parallelism;
+    auto got = BatchedKShortestFrom(ctx, sources, 2);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    for (size_t i = 0; i < sources.size(); ++i) {
+      auto want = KShortestPathsFrom(ctx, sources[i], 2);
+      ASSERT_TRUE(want.ok());
+      ASSERT_EQ((*got)[i].size(), want->size());
+      for (const auto& [dst, paths] : *want) {
+        const auto it = (*got)[i].find(dst);
+        ASSERT_NE(it, (*got)[i].end());
+        ASSERT_EQ(it->second.size(), paths.size());
+        for (size_t p = 0; p < paths.size(); ++p) {
+          EXPECT_EQ(it->second[p].cost, paths[p].cost);
+          EXPECT_EQ(it->second[p].body.nodes, paths[p].body.nodes);
+          EXPECT_EQ(it->second[p].body.edges, paths[p].body.edges);
+        }
+      }
+    }
+  }
+}
+
+// Engine-level: the path stages on 1-row morsels at every degree — the
+// batched ExpandPathHop sees the whole drained input either way, and the
+// result tables (including fresh path ids) must be byte-identical to the
+// serial run.
+TEST(EngineDegreeSweep, PathModesOnOneRowMorsels) {
+  auto run = [](const char* query, size_t parallelism) {
+    GraphCatalog catalog;
+    snb::RegisterToyData(&catalog);
+    auto parsed = ParseQuery(query);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const MatchClause& match = *(*parsed)->body->basic->match;
+    MatcherContext ctx;
+    ctx.catalog = &catalog;
+    ctx.default_graph = "social_graph";
+    ctx.use_planner = true;
+    ctx.parallelism = parallelism;
+    ctx.morsel_size = 1;
+    Matcher matcher(ctx);
+    auto table = matcher.EvalMatchClause(match);
+    EXPECT_TRUE(table.ok()) << table.status().ToString();
+    std::string rendered;
+    for (size_t r = 0; r < table->NumRows(); ++r) {
+      for (const auto& col : table->columns()) {
+        const Datum d = table->Get(r, col);
+        rendered += col + "=" + d.ToString();
+        if (d.kind() == Datum::Kind::kPath) {
+          rendered += "#" + std::to_string(d.path().id.value());
+          for (NodeId n : d.path().body.nodes) rendered += ToString(n) + ",";
+        }
+        rendered += ";";
+      }
+      rendered += "\n";
+    }
+    return rendered;
+  };
+  for (const char* query :
+       {"CONSTRUCT (z) MATCH (n:Person)-/<:knows*>/->(m:Person)",
+        "CONSTRUCT (z) MATCH (n:Person)-/2 SHORTEST p<:knows*> COST c/->(m)",
+        "CONSTRUCT (z) MATCH (n:Person)-/p<:knows*>/->(m) "
+        "WHERE n.firstName = 'John'"}) {
+    const std::string serial = run(query, 1);
+    EXPECT_FALSE(serial.empty()) << query;
+    for (size_t parallelism : {size_t{2}, size_t{8}}) {
+      EXPECT_EQ(run(query, parallelism), serial)
+          << query << " @ parallelism " << parallelism;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gcore
