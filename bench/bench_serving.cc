@@ -1,0 +1,209 @@
+// Concurrent serving throughput bench (scripts/run_bench.sh →
+// BENCH_serving.json).
+//
+// An SNB query mix — point lookups, one-hop expands and a reachability
+// path query — driven through QuerySessions at 1, 2 and
+// hardware_concurrency threads, cold (plan cache disabled: every call
+// parses and re-plans) vs warm (default cache: steady-state serving pays
+// execution only). Each episode runs every worker through kRounds copies
+// of the mix with per-query latency recording; the JSON carries QPS
+// (items_per_second / the qps counter) and p50/p95/p99 latency counters.
+// Intra-query parallelism is pinned to 1 so thread counts compare
+// inter-query scaling, not morsel scheduling. Every result is compared
+// byte-for-byte against the serial reference — a mismatch aborts the
+// benchmark — which is the acceptance check that concurrent sessions
+// return identical results at every thread count.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "snb/generator.h"
+
+namespace gcore {
+namespace {
+
+/// One "profile card" star join per anchored person: the SNB
+/// interactive-complex shape whose 7-relation DP join enumeration makes
+/// planning the dominant cold cost — exactly what a plan cache amortizes.
+std::string ProfileCardQuery(const char* first, const char* last) {
+  return std::string(
+             "SELECT co1.name AS employer, c1.name AS city, "
+             "COUNT(*) AS fanout "
+             "MATCH (a:Person)-[:knows]->(b:Person), "
+             "(a)-[:isLocatedIn]->(c1:City), (b)-[:isLocatedIn]->(c2:City), "
+             "(a)-[:worksAt]->(co1:Company), (b)-[:worksAt]->(co2:Company), "
+             "(a)-[:hasInterest]->(t1:Tag), (b)-[:hasInterest]->(t2:Tag) "
+             "WHERE a.firstName = '") +
+         first + "' AND a.lastName = '" + last + "'";
+}
+
+/// The serving mix: lookup-heavy (six point lookups), two one-hop
+/// expands, two profile-card star joins and one reachability path query.
+/// ('Wei','Chen'), ('Raj','Patel') and ('Yuki','Sato') each name exactly
+/// one generated person (first/last name cycles align below index 400).
+std::vector<std::string> MakeMix() {
+  std::vector<std::string> mix;
+  for (const char* name : {"Wei", "Amina", "Hugo", "Nina", "Sofia", "Ivan"}) {
+    mix.push_back(
+        std::string(
+            "SELECT n.lastName AS l MATCH (n:Person) WHERE n.firstName = '") +
+        name + "'");
+  }
+  mix.push_back(
+      "SELECT COUNT(*) AS deg "
+      "MATCH (n:Person)-[:knows]->(m:Person) WHERE n.firstName = 'Maria'");
+  mix.push_back(
+      "SELECT c.name AS city, COUNT(*) AS people "
+      "MATCH (n:Person)-[:isLocatedIn]->(c:City) WHERE n.firstName = 'Omar'");
+  mix.push_back(ProfileCardQuery("Wei", "Chen"));
+  mix.push_back(ProfileCardQuery("Raj", "Patel"));
+  mix.push_back(
+      "SELECT COUNT(*) AS reach "
+      "MATCH (a:Person)-/<:knows*>/->(b:Person) "
+      "WHERE a.firstName = 'Yuki' AND a.lastName = 'Sato'");
+  return mix;
+}
+constexpr int kRoundsPerEpisode = 4;
+
+EngineOptions ServingOptions() {
+  EngineOptions options;
+  options.parallelism = 1;  // inter-query concurrency only
+  return options;
+}
+
+/// Shared across all benchmark runs: one catalog + engine over a
+/// deterministic SNB graph, plus the serial reference results.
+struct ServingBench {
+  static ServingBench& Get() {
+    static ServingBench* instance = new ServingBench();
+    return *instance;
+  }
+
+  GraphCatalog catalog;
+  std::unique_ptr<QueryEngine> engine;
+  std::vector<std::string> mix;
+  std::vector<std::string> expected;
+
+  ServingBench() {
+    // Small hot graph: a serving tier's working set, where per-query
+    // planning cost and execution cost are the same order of magnitude.
+    snb::GeneratorOptions gen;
+    gen.num_persons = 300;
+    catalog.RegisterGraph("snb", snb::Generate(gen, catalog.ids()));
+    catalog.SetDefaultGraph("snb");
+    engine = std::make_unique<QueryEngine>(&catalog);
+    mix = MakeMix();
+    const EngineOptions options = ServingOptions();
+    for (const std::string& q : mix) {
+      auto r = engine->Execute(q, options);
+      if (!r.ok()) {
+        fprintf(stderr, "serving bench reference failed: %s\n",
+                r.status().ToString().c_str());
+        abort();
+      }
+      expected.push_back(r->ToString());
+    }
+  }
+};
+
+void BM_ServingMix(benchmark::State& state) {
+  const int num_threads = static_cast<int>(state.range(0));
+  const bool warm = state.range(1) != 0;
+  ServingBench& sb = ServingBench::Get();
+
+  sb.engine->set_plan_cache_capacity(warm ? PlanCache::kDefaultCapacity : 0);
+  sb.engine->clear_plan_cache();
+  if (warm) {
+    // Steady-state serving: the mix is already resident.
+    for (const std::string& q : sb.mix) {
+      auto r = sb.engine->Execute(q, ServingOptions());
+      if (!r.ok()) state.SkipWithError("warmup failed");
+    }
+  }
+  const size_t mix_size = sb.mix.size();
+
+  std::vector<double> latencies_us;
+  std::atomic<int> mismatches{0};
+  for (auto _ : state) {
+    std::vector<std::vector<double>> per_thread(num_threads);
+    std::atomic<int> start_barrier{0};
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    const auto episode_start = std::chrono::steady_clock::now();
+    for (int t = 0; t < num_threads; ++t) {
+      QuerySession session = sb.engine->CreateSession(ServingOptions());
+      workers.emplace_back([&, t, session]() mutable {
+        start_barrier.fetch_add(1);
+        while (start_barrier.load(std::memory_order_acquire) < num_threads) {
+        }
+        auto& local = per_thread[t];
+        local.reserve(kRoundsPerEpisode * mix_size);
+        for (int round = 0; round < kRoundsPerEpisode; ++round) {
+          for (size_t q = 0; q < mix_size; ++q) {
+            const auto begin = std::chrono::steady_clock::now();
+            auto r = session.Execute(sb.mix[q]);
+            const auto end = std::chrono::steady_clock::now();
+            local.push_back(
+                std::chrono::duration<double, std::micro>(end - begin)
+                    .count());
+            if (!r.ok() || r->ToString() != sb.expected[q]) ++mismatches;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const auto episode_end = std::chrono::steady_clock::now();
+    state.SetIterationTime(
+        std::chrono::duration<double>(episode_end - episode_start).count());
+    for (auto& local : per_thread) {
+      latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+    }
+  }
+  if (mismatches.load() != 0) {
+    state.SkipWithError("concurrent results diverged from serial reference");
+    return;
+  }
+
+  const double total_queries = static_cast<double>(latencies_us.size());
+  state.SetItemsProcessed(static_cast<int64_t>(total_queries));
+  state.counters["qps"] =
+      benchmark::Counter(total_queries, benchmark::Counter::kIsRate);
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto pct = [&](double p) {
+    if (latencies_us.empty()) return 0.0;
+    const size_t idx = std::min(
+        latencies_us.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(latencies_us.size())));
+    return latencies_us[idx];
+  };
+  state.counters["p50_us"] = pct(0.50);
+  state.counters["p95_us"] = pct(0.95);
+  state.counters["p99_us"] = pct(0.99);
+}
+
+void ServingArgs(benchmark::internal::Benchmark* b) {
+  const int max_threads = static_cast<int>(
+      std::max(2u, std::thread::hardware_concurrency()));
+  b->ArgNames({"threads", "warm"});
+  for (int threads : {1, 2, max_threads}) {
+    b->Args({threads, 0});
+    b->Args({threads, 1});
+    if (max_threads == 2 && threads == 2) break;  // dedupe 1-CPU boxes
+  }
+}
+
+BENCHMARK(BM_ServingMix)->Apply(ServingArgs)->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gcore
+
+BENCHMARK_MAIN();

@@ -11,6 +11,9 @@
 #   BENCH_paths.json           — parallel path engine ablation: serial
 #                                spec vs delta-stepping / batched waves /
 #                                bidirectional probes, parallelism 1 and max
+#   BENCH_serving.json         — concurrent session serving: SNB query mix
+#                                QPS + p50/p95/p99, cold vs warm plan
+#                                cache, 1/2/max threads
 # Extra arguments pass through to every bench binary, e.g.
 #   scripts/run_bench.sh --benchmark_filter='BM_ColumnarScan.*'
 set -euo pipefail
@@ -18,7 +21,8 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
 cmake --build build --target bench_join_dedup bench_columnar_scan \
-  bench_baseline_ablation bench_wcoj bench_storage bench_path_finding -j
+  bench_baseline_ablation bench_wcoj bench_storage bench_path_finding \
+  bench_serving -j
 
 run_bench() {
   local binary="$1" out="$2"
@@ -37,6 +41,7 @@ run_bench bench_columnar_scan BENCH_columnar_scan.json "$@"
 run_bench bench_wcoj BENCH_wcoj.json "$@"
 run_bench bench_storage BENCH_storage.json "$@"
 run_bench bench_path_finding BENCH_paths.json "$@"
+run_bench bench_serving BENCH_serving.json "$@"
 # The stats filter comes last: google-benchmark honors the final
 # --benchmark_filter, so a user-passed filter cannot swap which
 # benchmarks land in BENCH_stats_ablation.json.

@@ -1,0 +1,77 @@
+// The engine's evaluation knobs, extracted into one value type.
+//
+// One EngineOptions instance travels the whole pipeline: QueryEngine
+// stores its defaults, QuerySession freezes a copy at session creation
+// (so concurrent sessions can never race knob mutation), MatcherContext
+// and PlannerOptions inherit the struct (the fields below *are* their
+// fields — no copy-by-hand forwarding), and Fingerprint() keys the plan
+// cache so sessions with different knobs never share a cached plan.
+#ifndef GCORE_COMMON_OPTIONS_H_
+#define GCORE_COMMON_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gcore {
+
+struct EngineOptions {
+  /// Evaluate through the logical-plan pipeline (default). Off = the
+  /// pre-planner recursive tree-walk, kept for differential tests and as
+  /// the executable spec of Appendix A.2.
+  bool use_planner = true;
+  /// Optimizer rule: selection pushdown of single-variable WHERE
+  /// conjuncts into chain evaluation.
+  bool enable_pushdown = true;
+  /// Optimizer rule: join enumeration (DP over connected subsets, bushy
+  /// trees). Off keeps the seed's source-order left-deep chain.
+  bool reorder_joins = true;
+  /// Optimizer rule: cyclic patterns → MultiwayExpand worst-case-optimal
+  /// intersection when the AGM/max-degree bound wins. Requires
+  /// reorder_joins and usable statistics.
+  bool enable_multiway = true;
+  /// Optimizer rule: estimated-cost-driven HashJoin build-side swap.
+  bool choose_build_side = true;
+  /// Per-column statistics in the cardinality estimator; off falls back
+  /// to the seed's constant selectivities (the ablation mode).
+  bool use_column_stats = true;
+  /// Morsel-parallel execution degree: 0 = one worker per hardware
+  /// thread, 1 = serial (the differential-test mode).
+  size_t parallelism = 0;
+  /// Rows per executor morsel; 0 = the ExecContext default.
+  size_t morsel_size = 0;
+
+  /// Stable fingerprint of every knob, a component of the plan-cache key:
+  /// two option sets fingerprint equal iff a plan built under one is the
+  /// plan the other would build (and annotate) too.
+  uint64_t Fingerprint() const {
+    uint64_t f = 0;
+    f |= static_cast<uint64_t>(use_planner) << 0;
+    f |= static_cast<uint64_t>(enable_pushdown) << 1;
+    f |= static_cast<uint64_t>(reorder_joins) << 2;
+    f |= static_cast<uint64_t>(enable_multiway) << 3;
+    f |= static_cast<uint64_t>(choose_build_side) << 4;
+    f |= static_cast<uint64_t>(use_column_stats) << 5;
+    // Mix the two size knobs in with distinct odd multipliers (the knob
+    // space is tiny; this only has to separate, not avalanche).
+    f ^= static_cast<uint64_t>(parallelism) * 0x9e3779b97f4a7c15ull;
+    f ^= static_cast<uint64_t>(morsel_size) * 0xc2b2ae3d27d4eb4full;
+    return f;
+  }
+
+  friend bool operator==(const EngineOptions& a, const EngineOptions& b) {
+    return a.use_planner == b.use_planner &&
+           a.enable_pushdown == b.enable_pushdown &&
+           a.reorder_joins == b.reorder_joins &&
+           a.enable_multiway == b.enable_multiway &&
+           a.choose_build_side == b.choose_build_side &&
+           a.use_column_stats == b.use_column_stats &&
+           a.parallelism == b.parallelism && a.morsel_size == b.morsel_size;
+  }
+  friend bool operator!=(const EngineOptions& a, const EngineOptions& b) {
+    return !(a == b);
+  }
+};
+
+}  // namespace gcore
+
+#endif  // GCORE_COMMON_OPTIONS_H_

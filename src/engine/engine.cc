@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -40,21 +41,32 @@ void CollectPatternViewRefs(const std::vector<GraphPattern>& patterns,
 
 }  // namespace
 
-QueryEngine::QueryEngine(GraphCatalog* catalog) : catalog_(catalog) {}
+QueryEngine::QueryEngine(GraphCatalog* catalog) : catalog_(catalog) {
+  // Eager plan-cache invalidation: a re-registered or dropped graph
+  // evicts its entries immediately (version validation at lookup is the
+  // backstop for listeners racing an in-flight insert).
+  invalidation_listener_ = catalog_->AddInvalidationListener(
+      [this](const std::string& graph) {
+        plan_cache_.InvalidateGraph(graph);
+      });
+}
+
+QueryEngine::~QueryEngine() {
+  catalog_->RemoveInvalidationListener(invalidation_listener_);
+}
+
+QuerySession QueryEngine::CreateSession() { return CreateSession(options_); }
+
+QuerySession QueryEngine::CreateSession(EngineOptions options) {
+  return QuerySession(this, options);
+}
 
 Matcher QueryEngine::MakeMatcher(Scope* scope) {
   MatcherContext ctx;
+  static_cast<EngineOptions&>(ctx) = scope->options;
   ctx.catalog = catalog_;
   ctx.views = &scope->views;
   ctx.default_graph = catalog_->default_graph();
-  ctx.use_planner = use_planner_;
-  ctx.enable_pushdown = enable_pushdown_;
-  ctx.reorder_joins = reorder_joins_;
-  ctx.enable_multiway = enable_multiway_;
-  ctx.choose_build_side = choose_build_side_;
-  ctx.use_column_stats = use_column_stats_;
-  ctx.parallelism = parallelism_;
-  ctx.morsel_size = morsel_size_;
   ctx.exists_cb = [this, scope](const Query& subquery,
                                 const BindingTable& outer,
                                 size_t row) -> Result<bool> {
@@ -63,22 +75,128 @@ Matcher QueryEngine::MakeMatcher(Scope* scope) {
   return Matcher(ctx);
 }
 
+bool QueryEngine::CacheableShape(const Query& query) {
+  if (query.explain) return false;
+  if (!query.path_clauses.empty() || !query.graph_clauses.empty()) {
+    return false;
+  }
+  if (query.body == nullptr ||
+      query.body->kind != QueryBody::Kind::kBasic) {
+    return false;
+  }
+  const BasicQuery& basic = *query.body->basic;
+  if (basic.match.has_value()) {
+    auto has_subquery =
+        [](const std::vector<GraphPattern>& patterns) {
+          for (const auto& p : patterns) {
+            if (p.on_subquery != nullptr) return true;
+          }
+          return false;
+        };
+    if (has_subquery(basic.match->patterns)) return false;
+    for (const auto& block : basic.match->optionals) {
+      if (has_subquery(block.patterns)) return false;
+    }
+  }
+  return true;
+}
+
+void QueryEngine::CollectPlanGraphs(const PlanNode& plan,
+                                    const std::string& default_graph,
+                                    std::vector<std::string>* out) {
+  const std::string& name = plan.graph.empty() ? default_graph : plan.graph;
+  if (std::find(out->begin(), out->end(), name) == out->end()) {
+    out->push_back(name);
+  }
+  for (const auto& child : plan.children) {
+    CollectPlanGraphs(*child, default_graph, out);
+  }
+}
+
 Result<QueryResult> QueryEngine::Execute(const std::string& query_text) {
-  GCORE_ASSIGN_OR_RETURN(auto query, ParseQuery(query_text));
-  return Execute(*query);
+  return Execute(query_text, options_);
+}
+
+Result<QueryResult> QueryEngine::Execute(const std::string& query_text,
+                                         const EngineOptions& options) {
+  // One reader epoch per execution: raw graph/stats pointers handed out
+  // by the catalog stay valid even if another session re-registers the
+  // graph mid-flight (the old image is retired, not destroyed).
+  GraphCatalog::ReaderGuard guard(catalog_);
+
+  PlanCacheKey key;
+  key.text = NormalizeQueryText(query_text);
+  key.graph = catalog_->default_graph();
+  key.knobs = options.Fingerprint();
+
+  Scope scope;
+  scope.options = options;
+
+  // Hit: skip parse + plan, execute the cached tree. The shared_ptr keeps
+  // the entry (query AST + plan) alive even if it is evicted mid-flight.
+  if (std::shared_ptr<const PlanCache::Entry> entry =
+          plan_cache_.Lookup(key, *catalog_)) {
+    if (entry->plan != nullptr) {
+      scope.cache_basic = entry->query->body->basic.get();
+      scope.cached_plan = entry->plan.get();
+    }
+    return ExecuteParsed(*entry->query, &scope);
+  }
+
+  // Miss: parse, execute (capturing the optimized plan of a cacheable
+  // body), then insert.
+  GCORE_ASSIGN_OR_RETURN(auto parsed, ParseQuery(query_text));
+  std::shared_ptr<const Query> query = std::move(parsed);
+  const bool cacheable = CacheableShape(*query);
+  if (cacheable) scope.cache_basic = query->body->basic.get();
+  auto result = ExecuteParsed(*query, &scope);
+  if (!result.ok()) return result;
+  if (cacheable) {
+    PlanCache::Entry entry;
+    entry.query = query;
+    if (scope.built_plan != nullptr) {
+      plan_cache_.RecordPlanBuild();
+      std::vector<std::string> graphs;
+      CollectPlanGraphs(*scope.built_plan, key.graph, &graphs);
+      for (const auto& g : graphs) {
+        entry.graph_versions.emplace_back(g, catalog_->GraphVersion(g));
+      }
+      entry.plan =
+          std::shared_ptr<const PlanNode>(scope.built_plan.release());
+    } else {
+      // Match-less (FROM <table> / unit) or legacy-walk execution: the
+      // entry still saves the re-parse, pinned to the default graph.
+      entry.graph_versions.emplace_back(key.graph,
+                                        catalog_->GraphVersion(key.graph));
+    }
+    plan_cache_.Insert(key, std::move(entry));
+  }
+  return result;
 }
 
 Result<QueryResult> QueryEngine::Execute(const Query& query) {
-  GCORE_RETURN_NOT_OK(ValidateQuery(query));
+  return Execute(query, options_);
+}
+
+Result<QueryResult> QueryEngine::Execute(const Query& query,
+                                         const EngineOptions& options) {
+  GraphCatalog::ReaderGuard guard(catalog_);
   Scope scope;
+  scope.options = options;
+  return ExecuteParsed(query, &scope);
+}
+
+Result<QueryResult> QueryEngine::ExecuteParsed(const Query& query,
+                                               Scope* scope) {
+  GCORE_RETURN_NOT_OK(ValidateQuery(query));
   // Plain EXPLAIN never executes; EXPLAIN ANALYZE runs the query through
   // an instrumented executor — like normal execution it may register
   // query-local graphs, which must not outlive the query.
   auto result = query.explain
-                    ? (query.explain_analyze ? ExplainAnalyze(query, &scope)
-                                             : Explain(query, &scope))
-                    : ExecuteWithScope(query, &scope);
-  for (const auto& name : scope.local_graphs) {
+                    ? (query.explain_analyze ? ExplainAnalyze(query, scope)
+                                             : Explain(query, scope))
+                    : ExecuteWithScope(query, scope);
+  for (const auto& name : scope->local_graphs) {
     catalog_->DropGraph(name);
   }
   return result;
@@ -335,6 +453,7 @@ Result<PathViewRelation> QueryEngine::MaterializePathView(
                              "' has no pattern");
   }
   MatcherContext ctx;
+  static_cast<EngineOptions&>(ctx) = scope->options;
   ctx.catalog = catalog_;
   ctx.views = &scope->views;
   ctx.default_graph = graph_name;
@@ -450,7 +569,9 @@ Status QueryEngine::MaterializeOnLocations(
             "ON (subquery) must produce a graph, not a table");
       }
       const std::string name =
-          "__location" + std::to_string(overrides->size());
+          "__location" +
+          std::to_string(temp_graph_seq_.fetch_add(
+              1, std::memory_order_relaxed));
       catalog_->RegisterGraph(name, std::move(*sub.graph));
       scope->local_graphs.push_back(name);
       overrides->emplace(&p, name);
@@ -476,11 +597,22 @@ Result<BindingTable> QueryEngine::EvalBindings(
     GCORE_RETURN_NOT_OK(
         MaterializeOnLocations(*basic.match, scope, &overrides));
 
-    auto eval = [&](Matcher* matcher) {
-      return stats != nullptr
-                 ? matcher->EvalMatchClauseAnalyzed(*basic.match, stats,
-                                                    plan_out)
-                 : matcher->EvalMatchClause(*basic.match);
+    auto eval = [&](Matcher* matcher) -> Result<BindingTable> {
+      if (stats != nullptr) {
+        return matcher->EvalMatchClauseAnalyzed(*basic.match, stats,
+                                                plan_out);
+      }
+      // Plan-cache hooks apply only to the query body's own basic query
+      // (EXISTS subqueries re-enter here with a different BasicQuery).
+      if (scope->cache_basic == &basic) {
+        if (scope->cached_plan != nullptr) {
+          return matcher->EvalMatchClauseWithPlan(*basic.match,
+                                                  *scope->cached_plan);
+        }
+        return matcher->EvalMatchClausePlanning(*basic.match,
+                                                &scope->built_plan);
+      }
+      return matcher->EvalMatchClause(*basic.match);
     };
     Matcher matcher = MakeMatcher(scope);
     if (!overrides.empty()) {

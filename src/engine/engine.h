@@ -7,6 +7,23 @@
 //   auto result = engine.Execute(
 //       "CONSTRUCT (n) MATCH (n:Person) WHERE n.employer = 'Acme'");
 //
+// Concurrent serving goes through sessions: each QuerySession freezes the
+// engine's evaluation knobs (an immutable EngineOptions copy) at creation,
+// so N threads can execute through one engine/catalog without racing knob
+// mutation, each query pinned to a consistent (graph, snapshot, stats)
+// view even under concurrent re-registration:
+//
+//   QuerySession session = engine.CreateSession();
+//   std::thread worker([&] {
+//     auto r = session.Execute("SELECT n.firstName MATCH (n:Person)");
+//   });
+//
+// Repeated queries pay near-zero planning cost: Execute-by-text consults
+// a bounded LRU plan cache keyed on (normalized text, default graph,
+// graph version, knob fingerprint) before parsing and planning;
+// re-registering a graph invalidates its entries. Hit/miss/eviction
+// counters are exposed via plan_cache_counters().
+//
 // Execution follows Appendix A: PATH head clauses become weighted path
 // views, GRAPH / GRAPH VIEW clauses register (materialized) graphs, the
 // body evaluates CONSTRUCT∘MATCH per basic query and combines full graph
@@ -15,6 +32,7 @@
 #ifndef GCORE_ENGINE_ENGINE_H_
 #define GCORE_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -22,12 +40,16 @@
 #include <vector>
 
 #include "ast/ast.h"
+#include "common/options.h"
+#include "engine/plan_cache.h"
 #include "eval/matcher.h"
 #include "graph/catalog.h"
 #include "paths/path_view.h"
 #include "snb/table.h"
 
 namespace gcore {
+
+class QuerySession;
 
 /// Outcome of a query: a graph (the normal, closed case) or a table
 /// (SELECT extension).
@@ -43,46 +65,95 @@ struct QueryResult {
 class QueryEngine {
  public:
   /// The engine does not own the catalog; GRAPH VIEW definitions persist
-  /// into it across Execute calls.
+  /// into it across Execute calls (and the engine hooks the catalog's
+  /// invalidation listeners for its plan cache).
   explicit QueryEngine(GraphCatalog* catalog);
+  ~QueryEngine();
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
 
-  /// Parses and executes `query_text`.
+  /// Parses and executes `query_text` under the engine's default options,
+  /// consulting the plan cache first. Thread-safe against other Execute
+  /// calls (but not against concurrent set_* knob mutation — freeze knobs
+  /// into sessions for concurrent serving).
   Result<QueryResult> Execute(const std::string& query_text);
+  /// Same, under explicitly supplied (typically session-frozen) options.
+  Result<QueryResult> Execute(const std::string& query_text,
+                              const EngineOptions& options);
 
-  /// Executes an already-parsed query.
+  /// Executes an already-parsed query (no plan-cache consultation — the
+  /// cache needs the text key).
   Result<QueryResult> Execute(const Query& query);
+  Result<QueryResult> Execute(const Query& query,
+                              const EngineOptions& options);
+
+  /// A session with the engine's current options frozen in (or explicit
+  /// ones). Sessions are cheap value handles; create one per serving
+  /// thread.
+  QuerySession CreateSession();
+  QuerySession CreateSession(EngineOptions options);
 
   GraphCatalog* catalog() { return catalog_; }
 
-  /// Evaluation knobs forwarded into every MatcherContext the engine
-  /// creates (planner on/off for differential testing, optimizer rules
-  /// for ablation).
-  void set_use_planner(bool on) { use_planner_ = on; }
-  void set_enable_pushdown(bool on) { enable_pushdown_ = on; }
-  void set_reorder_joins(bool on) { reorder_joins_ = on; }
+  /// Default evaluation knobs, forwarded into every MatcherContext the
+  /// engine creates (planner on/off for differential testing, optimizer
+  /// rules for ablation). Not synchronized: configure before spawning
+  /// concurrent sessions — sessions carry their own frozen copy.
+  const EngineOptions& options() const { return options_; }
+  void set_options(const EngineOptions& options) { options_ = options; }
+  void set_use_planner(bool on) { options_.use_planner = on; }
+  void set_enable_pushdown(bool on) { options_.enable_pushdown = on; }
+  void set_reorder_joins(bool on) { options_.reorder_joins = on; }
   /// Cycle → MultiwayExpand rewrite (worst-case-optimal multiway joins);
   /// off keeps binary join trees — the bench_wcoj ablation mode.
-  void set_enable_multiway(bool on) { enable_multiway_ = on; }
+  void set_enable_multiway(bool on) { options_.enable_multiway = on; }
   /// Estimated-cost-driven HashJoin build-side swap.
-  void set_choose_build_side(bool on) { choose_build_side_ = on; }
+  void set_choose_build_side(bool on) { options_.choose_build_side = on; }
   /// Per-column statistics in the cardinality estimator (graph/stats.h);
   /// off falls back to the seed's constant selectivities (the
   /// stats-ablation bench mode).
-  void set_use_column_stats(bool on) { use_column_stats_ = on; }
+  void set_use_column_stats(bool on) { options_.use_column_stats = on; }
   /// Morsel-parallel execution degree (0 = one worker per hardware
   /// thread, 1 = serial) and morsel granularity (0 = default; tests use
   /// tiny morsels to exercise multi-chunk execution on toy data).
-  void set_parallelism(size_t n) { parallelism_ = n; }
-  void set_morsel_size(size_t n) { morsel_size_ = n; }
+  void set_parallelism(size_t n) { options_.parallelism = n; }
+  void set_morsel_size(size_t n) { options_.morsel_size = n; }
+
+  /// Plan-cache introspection (tests, the serving bench). Capacity 0
+  /// disables caching — the cold re-plan-every-call mode.
+  PlanCacheCounters plan_cache_counters() const {
+    return plan_cache_.counters();
+  }
+  size_t plan_cache_size() const { return plan_cache_.size(); }
+  void set_plan_cache_capacity(size_t n) { plan_cache_.set_capacity(n); }
+  void clear_plan_cache() { plan_cache_.Clear(); }
 
  private:
-  /// Per-execution scope: path views (materialized + pending clause ASTs)
-  /// and query-local graph names.
+  /// Per-execution scope: path views (materialized + pending clause ASTs),
+  /// query-local graph names, the frozen options of this execution and
+  /// the plan-cache hooks of its outermost basic query.
   struct Scope {
     PathViewRegistry views;
     std::vector<const PathClause*> pending_paths;
     std::vector<std::string> local_graphs;
+    /// Options this execution runs under (the engine default or a
+    /// session's frozen copy) — every MakeMatcher reads these.
+    EngineOptions options;
+    /// Plan-cache hit: execute this plan for `cache_basic` instead of
+    /// planning (owned by the cache entry, which outlives the scope).
+    const PlanNode* cached_plan = nullptr;
+    /// Plan-cache miss on a cacheable query: EvalBindings deposits the
+    /// freshly optimized plan of `cache_basic` here for insertion.
+    std::unique_ptr<PlanNode> built_plan;
+    /// The one basic query the cache slot refers to (the query body's
+    /// own; EXISTS subqueries re-enter EvalBindings and must not touch
+    /// the slot).
+    const BasicQuery* cache_basic = nullptr;
   };
+
+  /// The post-parse execution path shared by every entry point:
+  /// validation, EXPLAIN dispatch, local-graph cleanup.
+  Result<QueryResult> ExecuteParsed(const Query& query, Scope* scope);
 
   Result<QueryResult> ExecuteWithScope(const Query& query, Scope* scope);
   Result<PathPropertyGraph> EvalBody(const QueryBody& body, Scope* scope);
@@ -103,7 +174,8 @@ class QueryEngine {
                                   BindingTable bindings, Scope* scope);
   /// Evaluates every ON (subquery) location of `match` to a temporary
   /// catalog graph and records pattern → name in `overrides`
-  /// (Appendix A.2: ⟦α ON Q⟧_G = ⟦α⟧_{⟦Q⟧_G}).
+  /// (Appendix A.2: ⟦α ON Q⟧_G = ⟦α⟧_{⟦Q⟧_G}). Temporary names draw from
+  /// an engine-wide atomic counter so concurrent sessions cannot collide.
   Status MaterializeOnLocations(
       const MatchClause& match, Scope* scope,
       std::map<const GraphPattern*, std::string>* overrides);
@@ -123,6 +195,17 @@ class QueryEngine {
                           size_t row, Scope* scope);
 
   Matcher MakeMatcher(Scope* scope);
+
+  /// True when Execute-by-text may cache this query's parse + plan: a
+  /// plain (non-EXPLAIN) single-basic-query body without head clauses or
+  /// ON (subquery) locations — the shapes whose planning depends only on
+  /// (text, default graph, graph versions, knobs).
+  static bool CacheableShape(const Query& query);
+  /// Distinct graph locations the plan's operators touch (empty location
+  /// = the resolved default), for version recording.
+  static void CollectPlanGraphs(const PlanNode& plan,
+                                const std::string& default_graph,
+                                std::vector<std::string>* out);
 
   /// EXPLAIN: plans (without executing) and renders the optimized plan
   /// as a one-column table.
@@ -146,14 +229,35 @@ class QueryEngine {
                                    std::vector<std::string>* lines);
 
   GraphCatalog* catalog_;
-  bool use_planner_ = true;
-  bool enable_pushdown_ = true;
-  bool reorder_joins_ = true;
-  bool enable_multiway_ = true;
-  bool choose_build_side_ = true;
-  bool use_column_stats_ = true;
-  size_t parallelism_ = 0;
-  size_t morsel_size_ = 0;
+  EngineOptions options_;
+  PlanCache plan_cache_;
+  uint64_t invalidation_listener_ = 0;
+  /// Engine-wide sequence for temporary catalog names (__locationN):
+  /// concurrent sessions materializing ON (subquery) locations must not
+  /// register under colliding names.
+  std::atomic<uint64_t> temp_graph_seq_{0};
+};
+
+/// A serving handle: one engine, frozen evaluation knobs. Sessions are
+/// copyable value objects; Execute is safe to call from many threads (one
+/// session shared, or one session per thread — both work, the engine and
+/// catalog do the synchronization).
+class QuerySession {
+ public:
+  Result<QueryResult> Execute(const std::string& query_text) {
+    return engine_->Execute(query_text, options_);
+  }
+
+  const EngineOptions& options() const { return options_; }
+  QueryEngine* engine() { return engine_; }
+
+ private:
+  friend class QueryEngine;
+  QuerySession(QueryEngine* engine, EngineOptions options)
+      : engine_(engine), options_(options) {}
+
+  QueryEngine* engine_;
+  EngineOptions options_;
 };
 
 }  // namespace gcore

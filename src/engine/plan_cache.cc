@@ -1,0 +1,136 @@
+#include "engine/plan_cache.h"
+
+#include <cctype>
+
+namespace gcore {
+
+std::string NormalizeQueryText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_string = false;
+  bool pending_space = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      out.push_back(c);
+      // The lexer escapes a quote inside a literal by doubling it; a
+      // lone quote closes. Either way flipping on every quote is right:
+      // '' re-enters string mode immediately.
+      if (c == '\'') in_string = false;
+      continue;
+    }
+    if (c == '\'') {
+      if (pending_space && !out.empty()) out.push_back(' ');
+      pending_space = false;
+      in_string = true;
+      out.push_back(c);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::shared_ptr<const PlanCache::Entry> PlanCache::Lookup(
+    const PlanCacheKey& key, const GraphCatalog& catalog) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  const std::shared_ptr<const Entry>& entry = it->second->second;
+  for (const auto& [graph, version] : entry->graph_versions) {
+    if (catalog.GraphVersion(graph) != version) {
+      // Stale: the graph was re-registered (new statistics, possibly a
+      // different optimal plan) or dropped. Evict and replan.
+      EvictLocked(it->second);
+      ++counters_.misses;
+      return nullptr;
+    }
+  }
+  // Move to the LRU front.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++counters_.hits;
+  return entry;
+}
+
+void PlanCache::Insert(const PlanCacheKey& key, Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) EvictLocked(it->second);
+  lru_.emplace_front(key,
+                     std::make_shared<const Entry>(std::move(entry)));
+  index_.emplace(key, lru_.begin());
+  ShrinkToCapacityLocked();
+}
+
+void PlanCache::InvalidateGraph(const std::string& graph) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto next = std::next(it);
+    bool touches = it->first.graph == graph;
+    if (!touches) {
+      for (const auto& [name, version] : it->second->graph_versions) {
+        if (name == graph) {
+          touches = true;
+          break;
+        }
+      }
+    }
+    if (touches) EvictLocked(it);
+    it = next;
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.evictions += lru_.size();
+  lru_.clear();
+  index_.clear();
+}
+
+void PlanCache::RecordPlanBuild() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.plans;
+}
+
+PlanCacheCounters PlanCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+size_t PlanCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void PlanCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  ShrinkToCapacityLocked();
+}
+
+void PlanCache::EvictLocked(LruList::iterator it) {
+  index_.erase(it->first);
+  lru_.erase(it);
+  ++counters_.evictions;
+}
+
+void PlanCache::ShrinkToCapacityLocked() {
+  while (lru_.size() > capacity_) EvictLocked(std::prev(lru_.end()));
+}
+
+}  // namespace gcore

@@ -1,0 +1,123 @@
+// The plan cache: repeated queries pay near-zero planning cost.
+//
+// A bounded LRU map in front of parse + plan. The key is (normalized
+// query text, default graph name, knob fingerprint); an entry stores the
+// parsed Query (owner of every AST node the plan points into) and the
+// optimized PlanNode tree of the body's MATCH, plus the (graph name,
+// version) pairs the plan was built against. A lookup validates those
+// versions against the catalog — a re-registered graph bumps its version,
+// so stale entries miss (and are erased); the engine additionally hooks
+// GraphCatalog's invalidation listeners to evict entries for a name
+// eagerly. Hit/miss/eviction/plan counters are exposed for tests and the
+// serving bench.
+//
+// Thread-safe: sessions on N threads consult one cache; entries are
+// handed out as shared_ptr<const Entry>, so an entry evicted mid-flight
+// stays alive for the queries executing it (the same epoch discipline as
+// the catalog's snapshots).
+#ifndef GCORE_ENGINE_PLAN_CACHE_H_
+#define GCORE_ENGINE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "ast/ast.h"
+#include "graph/catalog.h"
+#include "plan/plan.h"
+
+namespace gcore {
+
+/// Whitespace-insensitive form of a query text: runs of whitespace
+/// outside single-quoted string literals collapse to one space (quoted
+/// content is preserved byte-for-byte, so two texts normalize equal only
+/// if they parse identically).
+std::string NormalizeQueryText(const std::string& text);
+
+struct PlanCacheKey {
+  std::string text;      // normalized query text
+  std::string graph;     // default graph at submission
+  uint64_t knobs = 0;    // EngineOptions::Fingerprint()
+
+  friend bool operator<(const PlanCacheKey& a, const PlanCacheKey& b) {
+    return std::tie(a.text, a.graph, a.knobs) <
+           std::tie(b.text, b.graph, b.knobs);
+  }
+};
+
+struct PlanCacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;      // capacity + invalidation + staleness
+  uint64_t plans = 0;          // optimizer runs through the cached path
+};
+
+class PlanCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 128;
+
+  explicit PlanCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  struct Entry {
+    /// The parsed (and validated) query; owns the AST `plan` points into.
+    std::shared_ptr<const Query> query;
+    /// Optimized plan of the body's MATCH; null for match-less cacheable
+    /// bodies (FROM <table> / unit) and legacy-walk sessions, where the
+    /// entry still saves the re-parse.
+    std::shared_ptr<const PlanNode> plan;
+    /// Versions of every graph the plan touches, recorded at insert.
+    std::vector<std::pair<std::string, uint64_t>> graph_versions;
+  };
+
+  /// Returns the entry for `key` when present AND its recorded graph
+  /// versions still match `catalog`; counts a hit. A version mismatch
+  /// erases the stale entry and counts a miss + eviction, like absence
+  /// counts a miss.
+  std::shared_ptr<const Entry> Lookup(const PlanCacheKey& key,
+                                      const GraphCatalog& catalog);
+
+  /// Inserts (or replaces) the entry, evicting the least-recently-used
+  /// entry beyond capacity. No-op when capacity is 0.
+  void Insert(const PlanCacheKey& key, Entry entry);
+
+  /// Evicts every entry whose plan touches `graph` (catalog invalidation
+  /// listener — a re-registered or dropped name).
+  void InvalidateGraph(const std::string& graph);
+
+  void Clear();
+  /// Counts one optimizer run on the cached execution path (a miss that
+  /// went on to plan).
+  void RecordPlanBuild();
+
+  PlanCacheCounters counters() const;
+  size_t size() const;
+  size_t capacity() const;
+  /// Re-bounds the cache; shrinking evicts LRU-first. Capacity 0 empties
+  /// it and disables insertion (the cold-path bench mode).
+  void set_capacity(size_t capacity);
+
+ private:
+  using LruList =
+      std::list<std::pair<PlanCacheKey, std::shared_ptr<const Entry>>>;
+
+  /// Erases `it` from both structures. Caller holds mu_.
+  void EvictLocked(LruList::iterator it);
+  void ShrinkToCapacityLocked();
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::map<PlanCacheKey, LruList::iterator> index_;
+  PlanCacheCounters counters_;
+};
+
+}  // namespace gcore
+
+#endif  // GCORE_ENGINE_PLAN_CACHE_H_

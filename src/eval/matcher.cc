@@ -195,20 +195,35 @@ Result<const PathPropertyGraph*> Matcher::ResolveGraph(
     return Status::BindError(
         "no ON graph given and no default graph is set");
   }
-  if (ctx_.catalog->HasGraph(resolved)) {
-    return ctx_.catalog->Lookup(resolved);
+  // Pin on first resolution: the name maps to one graph image for this
+  // matcher's whole lifetime, so a concurrent catalog re-registration
+  // cannot swap the graph out mid-evaluation (new sessions see the new
+  // version; we finish on ours).
+  {
+    std::lock_guard<std::mutex> lock(adj_mu_);
+    auto pinned = graph_pins_.find(resolved);
+    if (pinned != graph_pins_.end()) return pinned->second.get();
   }
-  // Section 5: a table name after ON denotes a graph of isolated nodes.
-  // The synthesized graph is registered in the catalog (under the table's
-  // name) so provenance-based λ/σ lookups resolve during CONSTRUCT.
-  if (ctx_.catalog->HasTable(resolved)) {
+  auto shared = ctx_.catalog->LookupShared(resolved);
+  if (!shared.ok()) {
+    // Section 5: a table name after ON denotes a graph of isolated nodes.
+    // The synthesized graph is registered in the catalog (under the
+    // table's name) so provenance-based λ/σ lookups resolve during
+    // CONSTRUCT.
+    if (!ctx_.catalog->HasTable(resolved)) {
+      return Status::NotFound("graph '" + resolved +
+                              "' is not in the catalog");
+    }
     GCORE_ASSIGN_OR_RETURN(const Table* table,
                            ctx_.catalog->LookupTable(resolved));
     PathPropertyGraph graph = TableAsGraph(*table, ctx_.catalog->ids());
     ctx_.catalog->RegisterGraph(resolved, std::move(graph));
-    return ctx_.catalog->Lookup(resolved);
+    shared = ctx_.catalog->LookupShared(resolved);
+    if (!shared.ok()) return shared.status();
   }
-  return Status::NotFound("graph '" + resolved + "' is not in the catalog");
+  std::lock_guard<std::mutex> lock(adj_mu_);
+  auto [it, inserted] = graph_pins_.emplace(resolved, std::move(*shared));
+  return it->second.get();
 }
 
 const GraphSnapshot& Matcher::Snapshot(const PathPropertyGraph& graph) const {
@@ -1106,6 +1121,28 @@ Result<BindingTable> Matcher::EvalMatchClauseAnalyzed(
     std::unique_ptr<PlanNode>* plan_out) {
   clause_on_override_ = ClauseOnOverride(match);
   return PlanAndRunMatchClause(match, stats, plan_out);
+}
+
+Result<BindingTable> Matcher::EvalMatchClausePlanning(
+    const MatchClause& match, std::unique_ptr<PlanNode>* plan_out) {
+  clause_on_override_ = ClauseOnOverride(match);
+  if (!ctx_.use_planner) return LegacyEvalMatchClause(match);
+  return PlanAndRunMatchClause(match, nullptr, plan_out);
+}
+
+Result<BindingTable> Matcher::EvalMatchClauseWithPlan(const MatchClause& match,
+                                                      const PlanNode& plan) {
+  clause_on_override_ = ClauseOnOverride(match);
+  // Keep the legacy up-front default-graph contract (a clause with no
+  // resolvable default fails wholesale), exactly like the planning path.
+  GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* default_graph,
+                         ResolveGraph(""));
+  (void)default_graph;
+  ExecContext exec;
+  exec.parallelism = ctx_.parallelism;
+  exec.morsel_size = ctx_.morsel_size;
+  Executor executor(this, exec, nullptr);
+  return executor.Run(plan);
 }
 
 Result<BindingTable> Matcher::PlanAndRunMatchClause(

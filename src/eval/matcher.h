@@ -21,6 +21,7 @@
 #include <string>
 
 #include "ast/ast.h"
+#include "common/options.h"
 #include "eval/binding.h"
 #include "eval/expr_eval.h"
 #include "graph/adjacency.h"
@@ -34,8 +35,12 @@ namespace gcore {
 class ExecStats;  // plan/executor.h
 struct PlanNode;  // plan/plan.h
 
-/// Everything a match evaluation needs from its surroundings.
-struct MatcherContext {
+/// Everything a match evaluation needs from its surroundings. The
+/// evaluation knobs (planner on/off, optimizer rules, parallelism —
+/// see common/options.h) are the inherited EngineOptions fields: the
+/// engine assigns one frozen options struct in a single statement
+/// instead of forwarding field by field.
+struct MatcherContext : EngineOptions {
   GraphCatalog* catalog = nullptr;
   /// PATH views in scope (query head clauses). May be null.
   const PathViewRegistry* views = nullptr;
@@ -44,47 +49,6 @@ struct MatcherContext {
   /// Correlated-EXISTS hook (wired by the engine; may be empty — EXISTS
   /// then errors, naming the subquery).
   ExprEvaluator::ExistsCallback exists_cb;
-  /// Optimizer flag: selection pushdown of single-variable WHERE conjuncts
-  /// into chain evaluation (a rewrite rule in planner mode, the ad-hoc
-  /// filter map in legacy mode). On by default; the ablation bench turns
-  /// it off to show the blow-up on selective path queries.
-  bool enable_pushdown = true;
-  /// Optimizer flag: enumerate join trees for independent pattern chains
-  /// by estimated cardinality (planner mode only; the legacy walk always
-  /// joins in source order). Since the bushy-join refactor the rule runs
-  /// a DP over connected subsets and may emit bushy trees; off keeps the
-  /// seed's source-order left-deep chain.
-  bool reorder_joins = true;
-  /// Optimizer flag: rewrite cyclic conjunctive patterns (triangles,
-  /// diamonds) into a MultiwayExpand worst-case-optimal intersection when
-  /// the AGM/max-degree bound beats the binary join alternative. Requires
-  /// reorder_joins and usable statistics; off keeps binary joins (the
-  /// bench ablation mode).
-  bool enable_multiway = true;
-  /// Optimizer flag: let HashJoin build over its left (accumulated) side
-  /// when statistics predict the right side is much larger. Output
-  /// schema, provenance and the result *set* are unchanged; only the
-  /// build/probe roles (and thus intermediate work) move.
-  bool choose_build_side = true;
-  /// Optimizer flag: derive selectivities from the per-column statistics
-  /// of graph/stats.h (1/distinct equality, min/max range interpolation,
-  /// measured expansion degrees, degree-aware join bounds). Off falls
-  /// back to the seed's constant-selectivity model — the stats-ablation
-  /// bench mode and the stats-absent plan-shape goldens. (The
-  /// multi-label double-count fix in LabelSelectivity is a bug fix, not
-  /// a statistic, and applies in both modes.)
-  bool use_column_stats = true;
-  /// Evaluate through the logical-plan pipeline (default). Off = the
-  /// pre-planner recursive tree-walk, kept for differential tests and
-  /// as the executable spec of Appendix A.2.
-  bool use_planner = true;
-  /// Morsel-parallel execution degree (planner mode): worker threads for
-  /// the executor's per-morsel stages and the partitioned hash join.
-  /// 0 = one per hardware thread; 1 = serial (differential-test mode).
-  size_t parallelism = 0;
-  /// Rows per executor morsel; 0 = the ExecContext default. Tests set a
-  /// tiny size to exercise multi-morsel execution on toy data.
-  size_t morsel_size = 0;
   /// Resolved ON-(subquery) locations: the engine evaluates each
   /// pattern's subquery to a temporary catalog graph and records its name
   /// here before matching. May be null.
@@ -172,6 +136,22 @@ class Matcher {
   Result<BindingTable> EvalMatchClauseAnalyzed(
       const MatchClause& match, ExecStats* stats,
       std::unique_ptr<PlanNode>* plan_out);
+
+  /// EvalMatchClause that hands the optimized plan out through `plan_out`
+  /// after executing it (the plan-cache fill path). Planner mode only:
+  /// with ctx.use_planner = false the legacy walk runs and `plan_out`
+  /// stays null. The plan holds non-owning pointers into the match AST;
+  /// the engine keeps the parsed query alive next to the cached tree.
+  Result<BindingTable> EvalMatchClausePlanning(
+      const MatchClause& match, std::unique_ptr<PlanNode>* plan_out);
+
+  /// Executes `match` against an already-optimized plan (a plan-cache
+  /// hit): no planning, no optimizer walk — straight to the executor.
+  /// `plan` is shared, concurrently executed and never mutated; `match`
+  /// must be the clause the plan was built from (same AST object, kept
+  /// alive by the cache entry).
+  Result<BindingTable> EvalMatchClauseWithPlan(const MatchClause& match,
+                                               const PlanNode& plan);
 
   /// Joined evaluation of comma-separated patterns (no WHERE).
   Result<BindingTable> EvalPatterns(
@@ -313,6 +293,13 @@ class Matcher {
   mutable std::map<const PathPropertyGraph*,
                    std::shared_ptr<const GraphSnapshot>>
       snapshot_cache_;
+  /// Per-query graph pins keyed by resolved name: the first ResolveGraph
+  /// of a name takes shared ownership, so every later resolution within
+  /// this evaluation returns the same image even if the catalog
+  /// re-registered the name mid-flight — an in-progress reader finishes
+  /// on the graph version it started with.
+  mutable std::map<std::string, std::shared_ptr<const PathPropertyGraph>>
+      graph_pins_;
   int anon_counter_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "graph/catalog.h"
 
+#include <utility>
+
 #include "graph/snapshot.h"
 
 namespace gcore {
@@ -7,81 +9,211 @@ namespace gcore {
 void GraphCatalog::RegisterGraph(const std::string& name,
                                  PathPropertyGraph graph) {
   graph.set_name(name);
-  graphs_.insert_or_assign(name, std::move(graph));
-  // Stats and snapshot describe the replaced graph state — drop both.
-  stats_cache_.erase(name);
-  snapshot_cache_.erase(name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = graphs_[name];
+    Entry old = std::move(entry);
+    entry.graph =
+        std::make_shared<const PathPropertyGraph>(std::move(graph));
+    entry.version = next_version_++;
+    entry.stats = nullptr;
+    entry.snapshot = nullptr;
+    RetireLocked(std::move(old));
+  }
+  NotifyInvalidation(name);
 }
 
 void GraphCatalog::RegisterGraph(const std::string& name,
                                  PathPropertyGraph graph, GraphStats stats) {
-  RegisterGraph(name, std::move(graph));
-  stats_cache_.insert_or_assign(name, std::move(stats));
+  graph.set_name(name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = graphs_[name];
+    Entry old = std::move(entry);
+    entry.graph =
+        std::make_shared<const PathPropertyGraph>(std::move(graph));
+    entry.version = next_version_++;
+    entry.stats = std::make_shared<const GraphStats>(std::move(stats));
+    entry.snapshot = nullptr;
+    RetireLocked(std::move(old));
+  }
+  NotifyInvalidation(name);
 }
 
 Result<const PathPropertyGraph*> GraphCatalog::Lookup(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = graphs_.find(name);
   if (it == graphs_.end()) {
     return Status::NotFound("graph '" + name + "' is not in the catalog");
   }
-  return &it->second;
+  return it->second.graph.get();
+}
+
+Result<std::shared_ptr<const PathPropertyGraph>> GraphCatalog::LookupShared(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    return Status::NotFound("graph '" + name + "' is not in the catalog");
+  }
+  return it->second.graph;
 }
 
 bool GraphCatalog::HasGraph(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return graphs_.count(name) > 0;
 }
 
 void GraphCatalog::DropGraph(const std::string& name) {
-  graphs_.erase(name);
-  stats_cache_.erase(name);
-  snapshot_cache_.erase(name);
+  bool existed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = graphs_.find(name);
+    if (it != graphs_.end()) {
+      existed = true;
+      RetireLocked(std::move(it->second));
+      graphs_.erase(it);
+    }
+  }
+  if (existed) NotifyInvalidation(name);
 }
 
-Result<const GraphStats*> GraphCatalog::Stats(const std::string& name) {
-  auto cached = stats_cache_.find(name);
-  if (cached != stats_cache_.end()) return &cached->second;
-  auto snapshot = Snapshot(name);
-  if (!snapshot.ok()) return snapshot.status();
-  return &stats_cache_
-              .emplace(name, GraphStats::CollectFromSnapshot(**snapshot))
-              .first->second;
+uint64_t GraphCatalog::GraphVersion(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(name);
+  return it == graphs_.end() ? 0 : it->second.version;
 }
 
-Result<std::shared_ptr<const GraphSnapshot>> GraphCatalog::Snapshot(
+void GraphCatalog::SetDefaultGraph(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_graph_ = name;
+}
+
+std::string GraphCatalog::default_graph() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return default_graph_;
+}
+
+Result<std::shared_ptr<const GraphStats>> GraphCatalog::Stats(
     const std::string& name) {
-  auto cached = snapshot_cache_.find(name);
-  if (cached != snapshot_cache_.end()) return cached->second;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = graphs_.find(name);
   if (it == graphs_.end()) {
     return Status::NotFound("graph '" + name + "' is not in the catalog");
   }
-  return snapshot_cache_
-      .emplace(name, std::make_shared<const GraphSnapshot>(it->second))
-      .first->second;
+  Entry& entry = it->second;
+  if (entry.stats == nullptr) {
+    if (entry.snapshot == nullptr) {
+      entry.snapshot = std::make_shared<const GraphSnapshot>(*entry.graph);
+    }
+    entry.stats = std::make_shared<const GraphStats>(
+        GraphStats::CollectFromSnapshot(*entry.snapshot));
+  }
+  return entry.stats;
+}
+
+Result<std::shared_ptr<const GraphSnapshot>> GraphCatalog::Snapshot(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    return Status::NotFound("graph '" + name + "' is not in the catalog");
+  }
+  Entry& entry = it->second;
+  if (entry.snapshot == nullptr) {
+    entry.snapshot = std::make_shared<const GraphSnapshot>(*entry.graph);
+  }
+  return entry.snapshot;
 }
 
 std::vector<std::string> GraphCatalog::GraphNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(graphs_.size());
-  for (const auto& [name, graph] : graphs_) names.push_back(name);
+  for (const auto& [name, entry] : graphs_) names.push_back(name);
   return names;
 }
 
 void GraphCatalog::RegisterTable(const std::string& name, Table table) {
-  tables_.insert_or_assign(name, std::move(table));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it != tables_.end() && active_readers_.load() > 0) {
+    retired_.push_back(std::move(it->second));
+  }
+  tables_[name] = std::make_shared<const Table>(std::move(table));
 }
 
 Result<const Table*> GraphCatalog::LookupTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' is not in the catalog");
   }
-  return &it->second;
+  return it->second.get();
 }
 
 bool GraphCatalog::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return tables_.count(name) > 0;
+}
+
+uint64_t GraphCatalog::AddInvalidationListener(
+    std::function<void(const std::string&)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_listener_++;
+  listeners_.emplace(id, std::move(fn));
+  return id;
+}
+
+void GraphCatalog::RemoveInvalidationListener(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.erase(id);
+}
+
+void GraphCatalog::NotifyInvalidation(const std::string& name) {
+  // Copy the listeners out so callbacks run outside the catalog mutex
+  // (they typically take their own lock, e.g. the plan cache's).
+  std::vector<std::function<void(const std::string&)>> fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fns.reserve(listeners_.size());
+    for (const auto& [id, fn] : listeners_) fns.push_back(fn);
+  }
+  for (const auto& fn : fns) fn(name);
+}
+
+void GraphCatalog::RetireLocked(Entry entry) {
+  if (active_readers_.load(std::memory_order_acquire) > 0) {
+    if (entry.graph != nullptr) retired_.push_back(std::move(entry.graph));
+    if (entry.stats != nullptr) retired_.push_back(std::move(entry.stats));
+    if (entry.snapshot != nullptr) {
+      retired_.push_back(std::move(entry.snapshot));
+    }
+  }
+  // Otherwise `entry` destructs here — no reader can hold a raw pointer.
+}
+
+void GraphCatalog::EnterReader() {
+  active_readers_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void GraphCatalog::ExitReader() {
+  if (active_readers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last reader out drains the retired epoch. Destruction happens
+    // outside the lock; a shared_ptr still held elsewhere (a matcher pin)
+    // defers that payload further, which is exactly the contract.
+    std::vector<std::shared_ptr<const void>> drained;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      drained.swap(retired_);
+    }
+  }
+}
+
+size_t GraphCatalog::RetiredCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_.size();
 }
 
 }  // namespace gcore

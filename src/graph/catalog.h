@@ -12,11 +12,27 @@
 // GraphSnapshot (snapshot.h) — and drops both when the name is
 // re-registered, so they can never go stale against the graph they
 // describe.
+//
+// Concurrency model (the serving layer): every public member serializes
+// on one mutex held only across the lookup/registration itself, so N
+// sessions may call in concurrently. Each registered graph carries a
+// monotonically increasing *version*, bumped on re-registration and
+// drop — the plan cache keys on it, and tests can pin that an in-flight
+// reader stayed on the version it started with. Graphs, stats, snapshots
+// and tables are handed out through shared_ptr images; replacing an
+// entry retires the old image into an epoch list that is reclaimed only
+// when no reader is active (ReaderGuard), so raw pointers held by an
+// in-flight query stay valid until that query finishes, while new
+// sessions immediately see the new version.
 #ifndef GCORE_GRAPH_CATALOG_H_
 #define GCORE_GRAPH_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,7 +49,9 @@ class GraphCatalog {
  public:
   GraphCatalog() : ids_(std::make_shared<IdAllocator>()) {}
 
-  /// Registers (or replaces) a named graph.
+  /// Registers (or replaces) a named graph. Replacement bumps the name's
+  /// version; the old graph/stats/snapshot images are epoch-retired (kept
+  /// alive until no reader is active).
   void RegisterGraph(const std::string& name, PathPropertyGraph graph);
   /// Registers a graph together with precomputed statistics (e.g. a
   /// GraphBuilder's incrementally collected GraphBuilder::Stats()),
@@ -41,16 +59,31 @@ class GraphCatalog {
   void RegisterGraph(const std::string& name, PathPropertyGraph graph,
                      GraphStats stats);
 
-  /// gr(gid). NotFound when unregistered.
+  /// gr(gid). NotFound when unregistered. The pointer stays valid for as
+  /// long as the caller's ReaderGuard is open (epoch reclamation), even
+  /// across a concurrent re-registration; callers without a guard should
+  /// prefer LookupShared.
   Result<const PathPropertyGraph*> Lookup(const std::string& name) const;
+  /// Lookup handing out shared ownership: the image survives any later
+  /// re-registration for as long as the caller holds the pointer (the
+  /// matcher pins every graph it resolves this way, so one query always
+  /// finishes on the images it started with).
+  Result<std::shared_ptr<const PathPropertyGraph>> LookupShared(
+      const std::string& name) const;
   bool HasGraph(const std::string& name) const;
   void DropGraph(const std::string& name);
   std::vector<std::string> GraphNames() const;
 
+  /// Version of a registered graph: monotonically increasing across the
+  /// whole catalog, bumped on every (re-)registration. 0 when the name is
+  /// unregistered. A plan-cache entry recorded under version v is stale
+  /// iff GraphVersion(name) != v.
+  uint64_t GraphVersion(const std::string& name) const;
+
   /// Default graph used when MATCH has no ON clause (Section 3: "Systems
   /// may omit ON if there is a default graph").
-  void SetDefaultGraph(const std::string& name) { default_graph_ = name; }
-  const std::string& default_graph() const { return default_graph_; }
+  void SetDefaultGraph(const std::string& name);
+  std::string default_graph() const;
 
   /// Tabular inputs for the Section 5 extensions (FROM <table>,
   /// MATCH (o) ON <table>).
@@ -60,12 +93,12 @@ class GraphCatalog {
 
   /// Statistics of a registered graph (graph/stats.h), computed on first
   /// use and cached until the graph is re-registered or dropped.
-  /// NotFound when the graph is unregistered. Collection is one linear
-  /// scan whose cost (including the per-key distinct-value sets) is
-  /// proportional to the graph's own label/property payload — for
-  /// query-local graphs (ON subqueries) that is a constant factor on
-  /// the materialization that just produced them.
-  Result<const GraphStats*> Stats(const std::string& name);
+  /// NotFound when the graph is unregistered. Shared ownership: the
+  /// returned statistics cannot dangle across a re-registration (they
+  /// describe the graph version they were collected from). Collection is
+  /// one column sweep over the (equally cached) snapshot, serialized on
+  /// the catalog mutex — a one-off per graph version.
+  Result<std::shared_ptr<const GraphStats>> Stats(const std::string& name);
 
   /// Columnar snapshot of a registered graph (graph/snapshot.h), built on
   /// first use and cached until the graph is re-registered or dropped —
@@ -77,17 +110,69 @@ class GraphCatalog {
   Result<std::shared_ptr<const GraphSnapshot>> Snapshot(
       const std::string& name);
 
+  /// Invalidation listeners: called (outside the catalog mutex) with the
+  /// graph name after every RegisterGraph/DropGraph. The engine hooks its
+  /// plan cache here so stale entries disappear eagerly. Remove before
+  /// the listening object dies.
+  uint64_t AddInvalidationListener(std::function<void(const std::string&)> fn);
+  void RemoveInvalidationListener(uint64_t id);
+
+  /// Epoch-based reclamation: a ReaderGuard marks one in-flight reader
+  /// (the engine opens one per Execute). While any reader is active,
+  /// replaced graph/stats/snapshot/table images are parked on a retired
+  /// list instead of destroyed; the last reader to leave drains it. Raw
+  /// pointers obtained from the catalog are therefore stable for the
+  /// guard's lifetime.
+  class ReaderGuard {
+   public:
+    explicit ReaderGuard(GraphCatalog* catalog) : catalog_(catalog) {
+      catalog_->EnterReader();
+    }
+    ~ReaderGuard() {
+      if (catalog_ != nullptr) catalog_->ExitReader();
+    }
+    ReaderGuard(const ReaderGuard&) = delete;
+    ReaderGuard& operator=(const ReaderGuard&) = delete;
+
+   private:
+    GraphCatalog* catalog_;
+  };
+
+  /// Retired-but-unreclaimed images (testing/introspection).
+  size_t RetiredCount() const;
+
   /// Session-wide identifier allocator shared by all graphs.
   IdAllocator* ids() { return ids_.get(); }
   std::shared_ptr<IdAllocator> ids_ptr() { return ids_; }
 
  private:
+  /// One registered graph with its lazily built read-path derivatives.
+  struct Entry {
+    std::shared_ptr<const PathPropertyGraph> graph;
+    uint64_t version = 0;
+    std::shared_ptr<const GraphStats> stats;
+    std::shared_ptr<const GraphSnapshot> snapshot;
+  };
+
+  void EnterReader();
+  void ExitReader();
+  /// Parks every image of `entry` on the retired list when readers are
+  /// active (destroyed immediately otherwise). Caller holds mu_.
+  void RetireLocked(Entry entry);
+  void NotifyInvalidation(const std::string& name);
+
   std::shared_ptr<IdAllocator> ids_;
-  std::map<std::string, PathPropertyGraph> graphs_;
-  std::map<std::string, Table> tables_;
-  std::map<std::string, GraphStats> stats_cache_;
-  std::map<std::string, std::shared_ptr<const GraphSnapshot>> snapshot_cache_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> graphs_;
+  std::map<std::string, std::shared_ptr<const Table>> tables_;
+  uint64_t next_version_ = 1;
+  std::atomic<int64_t> active_readers_{0};
+  /// Type-erased retired images: shared_ptr<void> keeps each payload's
+  /// real deleter.
+  std::vector<std::shared_ptr<const void>> retired_;
   std::string default_graph_;
+  std::map<uint64_t, std::function<void(const std::string&)>> listeners_;
+  uint64_t next_listener_ = 1;
 };
 
 }  // namespace gcore

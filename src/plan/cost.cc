@@ -262,8 +262,11 @@ const GraphStats* CardinalityEstimator::StatsFor(
     const std::string& location) {
   const std::string& name = location.empty() ? default_graph_ : location;
   if (name.empty() || catalog_ == nullptr) return nullptr;
+  auto pinned = pinned_stats_.find(name);
+  if (pinned != pinned_stats_.end()) return pinned->second.get();
   auto stats = catalog_->Stats(name);
-  return stats.ok() ? *stats : nullptr;
+  if (!stats.ok()) return nullptr;
+  return pinned_stats_.emplace(name, std::move(*stats)).first->second.get();
 }
 
 double CardinalityEstimator::LabelSelectivity(

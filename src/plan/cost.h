@@ -43,6 +43,8 @@
 #ifndef GCORE_PLAN_COST_H_
 #define GCORE_PLAN_COST_H_
 
+#include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -124,6 +126,11 @@ class CardinalityEstimator {
   GraphCatalog* catalog_;
   std::string default_graph_;
   bool use_column_stats_;
+  /// Pinned statistics per location: StatsFor hands out raw pointers into
+  /// these shared images, so a concurrent catalog re-registration cannot
+  /// invalidate them mid-estimation (and one estimation run prices every
+  /// candidate against one consistent statistics version per graph).
+  std::map<std::string, std::shared_ptr<const GraphStats>> pinned_stats_;
 };
 
 }  // namespace gcore

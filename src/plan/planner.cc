@@ -14,13 +14,10 @@
 namespace gcore {
 
 PlannerOptions PlannerOptions::FromContext(const MatcherContext& ctx) {
+  // MatcherContext and PlannerOptions share the EngineOptions base: one
+  // slice assignment, no field-by-field forwarding to drift.
   PlannerOptions options;
-  options.enable_pushdown = ctx.enable_pushdown;
-  options.reorder_joins = ctx.reorder_joins;
-  options.enable_multiway = ctx.enable_multiway;
-  options.choose_build_side = ctx.choose_build_side;
-  options.use_column_stats = ctx.use_column_stats;
-  options.parallelism = ctx.parallelism;
+  static_cast<EngineOptions&>(options) = ctx;
   return options;
 }
 

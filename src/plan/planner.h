@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "ast/ast.h"
+#include "common/options.h"
 #include "common/result.h"
 #include "plan/plan.h"
 
@@ -43,29 +44,17 @@ class CardinalityEstimator;
 class Matcher;
 struct MatcherContext;
 
-struct PlannerOptions {
-  /// Pushdown rewrite rule (MatcherContext::enable_pushdown). Applies to
-  /// the main WHERE and, per block, to OPTIONAL block WHEREs.
-  bool enable_pushdown = true;
-  /// Cardinality-based join enumeration (MatcherContext::reorder_joins):
-  /// DP over connected subsets, bushy trees allowed. Off keeps the
-  /// source-order left-deep chain.
-  bool reorder_joins = true;
-  /// Cycle → MultiwayExpand rewrite (MatcherContext::enable_multiway).
-  /// Effective only with reorder_joins, use_column_stats and usable
-  /// statistics — the rewrite is priced, never unconditional.
-  bool enable_multiway = true;
-  /// Estimated-cost-driven HashJoin build-side swap
-  /// (MatcherContext::choose_build_side).
-  bool choose_build_side = true;
-  /// Per-column statistics in the estimator (MatcherContext::
-  /// use_column_stats); off degrades to the seed's constant-selectivity
-  /// model for ablation and the stats-absent plan-shape goldens.
-  bool use_column_stats = true;
-  /// Execution degree (MatcherContext::parallelism; 0 = hardware).
-  /// Annotated on the plan root for EXPLAIN.
-  size_t parallelism = 0;
-
+/// The planner's knobs are the shared EngineOptions fields
+/// (common/options.h): enable_pushdown gates the pushdown rewrite (main
+/// WHERE and per OPTIONAL block), reorder_joins the subset-DP join
+/// enumeration, enable_multiway the cycle → MultiwayExpand rewrite
+/// (priced, never unconditional), choose_build_side the HashJoin
+/// build-side swap, use_column_stats the statistics-backed estimator
+/// (off = seed constants, the ablation mode), and parallelism is
+/// annotated on the plan root for EXPLAIN. use_planner/morsel_size ride
+/// along unused — the struct exists so MatcherContext → PlannerOptions
+/// is one slice assignment.
+struct PlannerOptions : EngineOptions {
   static PlannerOptions FromContext(const MatcherContext& ctx);
 };
 

@@ -1,0 +1,243 @@
+// Concurrent serving tests: sessions on N threads produce exactly the
+// serial results, a mid-flight reader stays on its graph image across a
+// re-registration (epoch-retired snapshots), and the plan cache
+// hits/misses/invalidates as specified. The whole file doubles as the
+// ThreadSanitizer workload of the CI tsan job.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/plan_cache.h"
+#include "snb/toy_graphs.h"
+
+namespace gcore {
+namespace {
+
+/// The serving mix: a point lookup, a one-hop expand and a path query
+/// (the same shapes bench_serving drives at scale).
+const char* const kQueryMix[] = {
+    "SELECT n.firstName AS name MATCH (n:Person) "
+    "WHERE n.employer = 'Acme'",
+    "SELECT n.firstName AS src, m.firstName AS dst "
+    "MATCH (n:Person)-[:knows]->(m:Person)",
+    "CONSTRUCT (n) MATCH (n:Person)-/<:knows*>/->(m:Person) "
+    "WHERE m.firstName = 'Frank'",
+};
+
+class ServingTest : public ::testing::Test {
+ protected:
+  ServingTest() { snb::RegisterToyData(&catalog); }
+  GraphCatalog catalog;
+};
+
+TEST_F(ServingTest, ConcurrentSessionsMatchSerialResults) {
+  QueryEngine engine(&catalog);
+
+  // Serial reference, computed with a cold cache.
+  std::vector<std::string> expected;
+  for (const char* q : kQueryMix) {
+    auto r = engine.Execute(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    expected.push_back(r->ToString());
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const size_t num_threads = hw > 1 ? hw : 2;
+  constexpr int kItersPerThread = 16;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    // One session per thread; all share the engine, catalog, plan cache.
+    QuerySession session = engine.CreateSession();
+    threads.emplace_back([session, &expected, &mismatches,
+                          &failures]() mutable {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        for (size_t q = 0; q < expected.size(); ++q) {
+          auto r = session.Execute(kQueryMix[q]);
+          if (!r.ok()) {
+            ++failures;
+          } else if (r->ToString() != expected[q]) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Every (query, knobs) pair planned exactly once; everything else hit.
+  const PlanCacheCounters counters = engine.plan_cache_counters();
+  EXPECT_EQ(counters.misses, 3u);
+  EXPECT_EQ(counters.hits,
+            3u * (num_threads * kItersPerThread + 1) - counters.misses);
+}
+
+TEST_F(ServingTest, SessionsFreezeKnobsIndependently) {
+  QueryEngine engine(&catalog);
+  EngineOptions legacy;
+  legacy.use_planner = false;
+  QuerySession planned = engine.CreateSession();
+  QuerySession walker = engine.CreateSession(legacy);
+  // Flipping the engine default after creation must not affect either.
+  engine.set_use_planner(false);
+  EXPECT_TRUE(planned.options().use_planner);
+  EXPECT_FALSE(walker.options().use_planner);
+  EXPECT_NE(planned.options().Fingerprint(), walker.options().Fingerprint());
+
+  auto a = planned.Execute(kQueryMix[1]);
+  auto b = walker.Execute(kQueryMix[1]);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->ToString(), b->ToString());
+}
+
+TEST_F(ServingTest, WarmSecondExecutionIsOneHitZeroPlans) {
+  QueryEngine engine(&catalog);
+  ASSERT_TRUE(engine.Execute(kQueryMix[0]).ok());
+  const PlanCacheCounters cold = engine.plan_cache_counters();
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_EQ(cold.misses, 1u);
+  EXPECT_EQ(cold.plans, 1u);
+  ASSERT_EQ(engine.plan_cache_size(), 1u);
+
+  ASSERT_TRUE(engine.Execute(kQueryMix[0]).ok());
+  const PlanCacheCounters warm = engine.plan_cache_counters();
+  EXPECT_EQ(warm.hits, 1u);
+  EXPECT_EQ(warm.misses, 1u);
+  EXPECT_EQ(warm.plans, 1u);  // no second optimizer run
+  EXPECT_EQ(warm.evictions, 0u);
+
+  // Whitespace-insensitive: a reformatted text is the same entry ...
+  ASSERT_TRUE(engine
+                  .Execute("SELECT n.firstName   AS name\n"
+                           "MATCH (n:Person) WHERE n.employer = 'Acme'")
+                  .ok());
+  EXPECT_EQ(engine.plan_cache_counters().hits, 2u);
+  // ... but whitespace inside a string literal is load-bearing.
+  ASSERT_TRUE(engine
+                  .Execute("SELECT n.firstName AS name "
+                           "MATCH (n:Person) WHERE n.employer = ' Acme'")
+                  .ok());
+  EXPECT_EQ(engine.plan_cache_counters().misses, 2u);
+
+  // Different knobs → different fingerprint → separate entry.
+  EngineOptions no_pushdown;
+  no_pushdown.enable_pushdown = false;
+  ASSERT_TRUE(engine.Execute(kQueryMix[0], no_pushdown).ok());
+  EXPECT_EQ(engine.plan_cache_counters().misses, 3u);
+}
+
+TEST_F(ServingTest, ReRegistrationInvalidatesPlanCache) {
+  QueryEngine engine(&catalog);
+  ASSERT_TRUE(engine.Execute(kQueryMix[0]).ok());
+  ASSERT_EQ(engine.plan_cache_size(), 1u);
+  const uint64_t v1 = catalog.GraphVersion("social_graph");
+  ASSERT_GT(v1, 0u);
+
+  // Re-register the default graph: version bumps, the listener evicts.
+  catalog.RegisterGraph("social_graph", snb::MakeSocialGraph(catalog.ids()));
+  EXPECT_GT(catalog.GraphVersion("social_graph"), v1);
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
+  EXPECT_GE(engine.plan_cache_counters().evictions, 1u);
+
+  // The next execution re-plans against the new image.
+  ASSERT_TRUE(engine.Execute(kQueryMix[0]).ok());
+  EXPECT_EQ(engine.plan_cache_counters().plans, 2u);
+}
+
+TEST_F(ServingTest, ReaderKeepsImageAcrossReRegistration) {
+  // A "mid-flight" reader modeled explicitly: pin the graph the way a
+  // query does (shared_ptr via LookupShared under a ReaderGuard), then
+  // re-register from the outside.
+  GraphCatalog::ReaderGuard guard(&catalog);
+  auto pinned = catalog.LookupShared("social_graph");
+  ASSERT_TRUE(pinned.ok());
+  const PathPropertyGraph* old_image = pinned->get();
+  const size_t old_nodes = old_image->NumNodes();
+  const uint64_t v1 = catalog.GraphVersion("social_graph");
+
+  catalog.RegisterGraph("social_graph", PathPropertyGraph());  // empty now
+
+  // The reader's image is unaffected; new lookups see the new version.
+  EXPECT_EQ(pinned->get(), old_image);
+  EXPECT_EQ((*pinned)->NumNodes(), old_nodes);
+  auto fresh = catalog.LookupShared("social_graph");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(fresh->get(), old_image);
+  EXPECT_EQ((*fresh)->NumNodes(), 0u);
+  EXPECT_GT(catalog.GraphVersion("social_graph"), v1);
+}
+
+TEST_F(ServingTest, ExecutionsSurviveConcurrentReRegistration) {
+  QueryEngine engine(&catalog);
+  // Both images answer the point query with a well-known result set:
+  // the replacement graph is the same toy graph, so every read — old
+  // snapshot or new — must return the identical table.
+  const char* query = kQueryMix[0];
+  auto reference = engine.Execute(query);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const std::string expected = reference->ToString();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    QuerySession session = engine.CreateSession();
+    readers.emplace_back([session, query, &expected, &stop, &bad]() mutable {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = session.Execute(query);
+        if (!r.ok() || r->ToString() != expected) ++bad;
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    catalog.RegisterGraph("social_graph",
+                          snb::MakeSocialGraph(catalog.ids()));
+  }
+  stop = true;
+  for (auto& thread : readers) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+  // All retired images drained once the last reader left.
+  EXPECT_EQ(catalog.RetiredCount(), 0u);
+}
+
+TEST_F(ServingTest, CapacityBoundsAndLruEviction) {
+  QueryEngine engine(&catalog);
+  engine.set_plan_cache_capacity(2);
+  ASSERT_TRUE(engine.Execute(kQueryMix[0]).ok());
+  ASSERT_TRUE(engine.Execute(kQueryMix[1]).ok());
+  ASSERT_TRUE(engine.Execute(kQueryMix[0]).ok());  // 0 most recent
+  ASSERT_TRUE(engine.Execute(kQueryMix[2]).ok());  // evicts 1 (LRU)
+  EXPECT_EQ(engine.plan_cache_size(), 2u);
+  ASSERT_TRUE(engine.Execute(kQueryMix[0]).ok());
+  EXPECT_EQ(engine.plan_cache_counters().hits, 2u);
+  ASSERT_TRUE(engine.Execute(kQueryMix[1]).ok());  // re-planned
+  EXPECT_EQ(engine.plan_cache_counters().plans, 4u);
+
+  // Capacity 0 disables caching entirely (the cold bench mode).
+  engine.set_plan_cache_capacity(0);
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
+  const uint64_t plans_before = engine.plan_cache_counters().plans;
+  ASSERT_TRUE(engine.Execute(kQueryMix[0]).ok());
+  ASSERT_TRUE(engine.Execute(kQueryMix[0]).ok());
+  EXPECT_EQ(engine.plan_cache_counters().plans, plans_before + 2);
+}
+
+TEST_F(ServingTest, NormalizeQueryTextIsQuoteAware) {
+  EXPECT_EQ(NormalizeQueryText("  SELECT\tn.a\n FROM   t "),
+            "SELECT n.a FROM t");
+  EXPECT_EQ(NormalizeQueryText("WHERE x = 'a  b'"), "WHERE x = 'a  b'");
+  EXPECT_EQ(NormalizeQueryText("WHERE x = 'it''s  ok'   AND y"),
+            "WHERE x = 'it''s  ok' AND y");
+}
+
+}  // namespace
+}  // namespace gcore
