@@ -43,8 +43,10 @@ void CollectPatternViewRefs(const std::vector<GraphPattern>& patterns,
 
 QueryEngine::QueryEngine(GraphCatalog* catalog) : catalog_(catalog) {
   // Eager plan-cache invalidation: a re-registered or dropped graph
-  // evicts its entries immediately (version validation at lookup is the
-  // backstop for listeners racing an in-flight insert).
+  // evicts its entries immediately. A listener racing an in-flight
+  // insert cannot resurrect a stale plan: Execute skips the insert when
+  // the catalog's mutation epoch moved during the execution, and the
+  // version validation at lookup backstops everything else.
   invalidation_listener_ = catalog_->AddInvalidationListener(
       [this](const std::string& graph) {
         plan_cache_.InvalidateGraph(graph);
@@ -124,6 +126,11 @@ Result<QueryResult> QueryEngine::Execute(const std::string& query_text,
   // graph mid-flight (the old image is retired, not destroyed).
   GraphCatalog::ReaderGuard guard(catalog_);
 
+  // Mutation epoch at entry, i.e. before any graph image is pinned. An
+  // unchanged epoch at insert time proves the versions read then are the
+  // ones the plan was built against (see below).
+  const uint64_t catalog_epoch = catalog_->MutationEpoch();
+
   PlanCacheKey key;
   key.text = NormalizeQueryText(query_text);
   key.graph = catalog_->default_graph();
@@ -169,7 +176,14 @@ Result<QueryResult> QueryEngine::Execute(const std::string& query_text,
       entry.graph_versions.emplace_back(key.graph,
                                         catalog_->GraphVersion(key.graph));
     }
-    plan_cache_.Insert(key, std::move(entry));
+    // The versions above were read after execution. If a registration
+    // raced the execution (epoch moved), they may describe a newer
+    // catalog state than the graphs the plan was actually built against
+    // — inserting would cache a stale plan that validates as fresh. Skip
+    // the insert; the next execution re-plans and caches cleanly.
+    if (catalog_->MutationEpoch() == catalog_epoch) {
+      plan_cache_.Insert(key, std::move(entry));
+    }
   }
   return result;
 }

@@ -217,7 +217,7 @@ Result<const PathPropertyGraph*> Matcher::ResolveGraph(
     GCORE_ASSIGN_OR_RETURN(const Table* table,
                            ctx_.catalog->LookupTable(resolved));
     PathPropertyGraph graph = TableAsGraph(*table, ctx_.catalog->ids());
-    ctx_.catalog->RegisterGraph(resolved, std::move(graph));
+    ctx_.catalog->RegisterGraphFromTable(resolved, std::move(graph));
     shared = ctx_.catalog->LookupShared(resolved);
     if (!shared.ok()) return shared.status();
   }

@@ -6,8 +6,9 @@
 
 namespace gcore {
 
-void GraphCatalog::RegisterGraph(const std::string& name,
-                                 PathPropertyGraph graph) {
+void GraphCatalog::RegisterGraphImpl(
+    const std::string& name, PathPropertyGraph graph,
+    std::shared_ptr<const GraphStats> stats, bool from_table) {
   graph.set_name(name);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -16,28 +17,30 @@ void GraphCatalog::RegisterGraph(const std::string& name,
     entry.graph =
         std::make_shared<const PathPropertyGraph>(std::move(graph));
     entry.version = next_version_++;
-    entry.stats = nullptr;
+    entry.stats = std::move(stats);
     entry.snapshot = nullptr;
+    entry.from_table = from_table;
+    ++mutation_epoch_;
     RetireLocked(std::move(old));
   }
   NotifyInvalidation(name);
 }
 
 void GraphCatalog::RegisterGraph(const std::string& name,
+                                 PathPropertyGraph graph) {
+  RegisterGraphImpl(name, std::move(graph), nullptr, /*from_table=*/false);
+}
+
+void GraphCatalog::RegisterGraph(const std::string& name,
                                  PathPropertyGraph graph, GraphStats stats) {
-  graph.set_name(name);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    Entry& entry = graphs_[name];
-    Entry old = std::move(entry);
-    entry.graph =
-        std::make_shared<const PathPropertyGraph>(std::move(graph));
-    entry.version = next_version_++;
-    entry.stats = std::make_shared<const GraphStats>(std::move(stats));
-    entry.snapshot = nullptr;
-    RetireLocked(std::move(old));
-  }
-  NotifyInvalidation(name);
+  RegisterGraphImpl(name, std::move(graph),
+                    std::make_shared<const GraphStats>(std::move(stats)),
+                    /*from_table=*/false);
+}
+
+void GraphCatalog::RegisterGraphFromTable(const std::string& name,
+                                          PathPropertyGraph graph) {
+  RegisterGraphImpl(name, std::move(graph), nullptr, /*from_table=*/true);
 }
 
 Result<const PathPropertyGraph*> GraphCatalog::Lookup(
@@ -74,9 +77,15 @@ void GraphCatalog::DropGraph(const std::string& name) {
       existed = true;
       RetireLocked(std::move(it->second));
       graphs_.erase(it);
+      ++mutation_epoch_;
     }
   }
   if (existed) NotifyInvalidation(name);
+}
+
+uint64_t GraphCatalog::MutationEpoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mutation_epoch_;
 }
 
 uint64_t GraphCatalog::GraphVersion(const std::string& name) const {
@@ -97,34 +106,58 @@ std::string GraphCatalog::default_graph() const {
 
 Result<std::shared_ptr<const GraphStats>> GraphCatalog::Stats(
     const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = graphs_.find(name);
+    if (it == graphs_.end()) {
+      return Status::NotFound("graph '" + name + "' is not in the catalog");
+    }
+    if (it->second.stats != nullptr) return it->second.stats;
+  }
+  GCORE_ASSIGN_OR_RETURN(std::shared_ptr<const GraphSnapshot> snapshot,
+                         Snapshot(name));
+  // Collect outside the lock: a first stats sweep over a large graph
+  // must not block concurrent lookups on every other graph. Concurrent
+  // first requests may each collect once; the publish below keeps one.
+  auto stats = std::make_shared<const GraphStats>(
+      GraphStats::CollectFromSnapshot(*snapshot));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = graphs_.find(name);
-  if (it == graphs_.end()) {
-    return Status::NotFound("graph '" + name + "' is not in the catalog");
+  // Publish only when the entry's snapshot is the one we collected from
+  // (re-registration nulls it, so identity implies same graph version);
+  // otherwise hand the caller its own consistent copy unpublished.
+  if (it != graphs_.end() && it->second.snapshot == snapshot) {
+    if (it->second.stats == nullptr) it->second.stats = stats;
+    return it->second.stats;
   }
-  Entry& entry = it->second;
-  if (entry.stats == nullptr) {
-    if (entry.snapshot == nullptr) {
-      entry.snapshot = std::make_shared<const GraphSnapshot>(*entry.graph);
-    }
-    entry.stats = std::make_shared<const GraphStats>(
-        GraphStats::CollectFromSnapshot(*entry.snapshot));
-  }
-  return entry.stats;
+  return stats;
 }
 
 Result<std::shared_ptr<const GraphSnapshot>> GraphCatalog::Snapshot(
     const std::string& name) {
+  std::shared_ptr<const PathPropertyGraph> graph;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = graphs_.find(name);
+    if (it == graphs_.end()) {
+      return Status::NotFound("graph '" + name + "' is not in the catalog");
+    }
+    if (it->second.snapshot != nullptr) return it->second.snapshot;
+    graph = it->second.graph;
+  }
+  // Freeze outside the lock (same head-of-line rationale as Stats).
+  auto snapshot = std::make_shared<const GraphSnapshot>(*graph);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = graphs_.find(name);
-  if (it == graphs_.end()) {
-    return Status::NotFound("graph '" + name + "' is not in the catalog");
+  // Publish only when the entry still holds the image we froze; a
+  // graph replaced mid-build keeps the new entry's snapshot slot empty
+  // for a fresh freeze, and the caller gets the copy matching the image
+  // it started from.
+  if (it != graphs_.end() && it->second.graph == graph) {
+    if (it->second.snapshot == nullptr) it->second.snapshot = snapshot;
+    return it->second.snapshot;
   }
-  Entry& entry = it->second;
-  if (entry.snapshot == nullptr) {
-    entry.snapshot = std::make_shared<const GraphSnapshot>(*entry.graph);
-  }
-  return entry.snapshot;
+  return snapshot;
 }
 
 std::vector<std::string> GraphCatalog::GraphNames() const {
@@ -136,12 +169,30 @@ std::vector<std::string> GraphCatalog::GraphNames() const {
 }
 
 void GraphCatalog::RegisterTable(const std::string& name, Table table) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tables_.find(name);
-  if (it != tables_.end() && active_readers_.load() > 0) {
-    retired_.push_back(std::move(it->second));
+  bool invalidate = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it != tables_.end()) {
+      invalidate = true;
+      if (active_readers_.load(std::memory_order_acquire) > 0) {
+        retired_.push_back(std::move(it->second));
+      }
+    }
+    tables_[name] = std::make_shared<const Table>(std::move(table));
+    // A node graph synthesized from the previous table contents
+    // (Matcher::ResolveGraph on "ON <table>") is now stale: drop it so
+    // the next reference re-synthesizes under a fresh version, making
+    // plan-cache entries recorded against it miss their version check.
+    auto git = graphs_.find(name);
+    if (git != graphs_.end() && git->second.from_table) {
+      RetireLocked(std::move(git->second));
+      graphs_.erase(git);
+      invalidate = true;
+    }
+    ++mutation_epoch_;
   }
-  tables_[name] = std::make_shared<const Table>(std::move(table));
+  if (invalidate) NotifyInvalidation(name);
 }
 
 Result<const Table*> GraphCatalog::LookupTable(const std::string& name) const {
@@ -206,7 +257,14 @@ void GraphCatalog::ExitReader() {
     std::vector<std::shared_ptr<const void>> drained;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      drained.swap(retired_);
+      // Re-check under the lock: between our decrement and acquiring mu_
+      // a new reader can enter and Lookup() a raw pointer that a writer
+      // then retires (RetireLocked observes the count under mu_ too, so
+      // this handoff is race-free). If any reader is active now, leave
+      // the list for that reader to drain on its own exit.
+      if (active_readers_.load(std::memory_order_acquire) == 0) {
+        drained.swap(retired_);
+      }
     }
   }
 }

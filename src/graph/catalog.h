@@ -58,6 +58,12 @@ class GraphCatalog {
   /// seeding the cache Stats() reads so no collection scan runs later.
   void RegisterGraph(const std::string& name, PathPropertyGraph graph,
                      GraphStats stats);
+  /// Registers a graph synthesized from the same-name table (the
+  /// Section 5 "ON <table>" node graph, built by Matcher::ResolveGraph).
+  /// The entry is marked so a later RegisterTable of that name drops it —
+  /// the synthesis describes one table image and must not outlive it.
+  void RegisterGraphFromTable(const std::string& name,
+                              PathPropertyGraph graph);
 
   /// gr(gid). NotFound when unregistered. The pointer stays valid for as
   /// long as the caller's ReaderGuard is open (epoch reclamation), even
@@ -80,13 +86,24 @@ class GraphCatalog {
   /// iff GraphVersion(name) != v.
   uint64_t GraphVersion(const std::string& name) const;
 
+  /// Catalog-wide mutation epoch: bumped by every RegisterGraph /
+  /// DropGraph / RegisterTable. An unchanged epoch across a window
+  /// proves no registration completed inside it — the engine uses this
+  /// to refuse caching a plan whose graph versions were read after a
+  /// racing re-registration (the versions would describe a newer catalog
+  /// state than the plan was built against).
+  uint64_t MutationEpoch() const;
+
   /// Default graph used when MATCH has no ON clause (Section 3: "Systems
   /// may omit ON if there is a default graph").
   void SetDefaultGraph(const std::string& name);
   std::string default_graph() const;
 
   /// Tabular inputs for the Section 5 extensions (FROM <table>,
-  /// MATCH (o) ON <table>).
+  /// MATCH (o) ON <table>). Re-registration retires the old table image,
+  /// drops the graph synthesized from it (RegisterGraphFromTable) and
+  /// notifies invalidation listeners, so neither a stale node graph nor
+  /// a plan-cache entry keeps serving the old table contents.
   void RegisterTable(const std::string& name, Table table);
   Result<const Table*> LookupTable(const std::string& name) const;
   bool HasTable(const std::string& name) const;
@@ -96,17 +113,21 @@ class GraphCatalog {
   /// NotFound when the graph is unregistered. Shared ownership: the
   /// returned statistics cannot dangle across a re-registration (they
   /// describe the graph version they were collected from). Collection is
-  /// one column sweep over the (equally cached) snapshot, serialized on
-  /// the catalog mutex — a one-off per graph version.
+  /// one column sweep over the (equally cached) snapshot, run *outside*
+  /// the catalog mutex with a double-checked publish, so a first stats
+  /// request on a large graph never blocks concurrent lookups.
   Result<std::shared_ptr<const GraphStats>> Stats(const std::string& name);
 
   /// Columnar snapshot of a registered graph (graph/snapshot.h), built on
   /// first use and cached until the graph is re-registered or dropped —
   /// the same lifetime as the stats cache, and in fact Stats() derives
   /// uncached statistics from this snapshot with a column sweep, so the
-  /// two caches always describe the same graph state. Shared ownership:
-  /// in-flight queries keep their snapshot alive across a re-register.
-  /// NotFound when the graph is unregistered.
+  /// two caches always describe the same graph state. The freeze runs
+  /// outside the catalog mutex (double-checked publish; a build racing a
+  /// re-registration hands the caller its consistent-but-unpublished
+  /// copy). Shared ownership: in-flight queries keep their snapshot
+  /// alive across a re-register. NotFound when the graph is
+  /// unregistered.
   Result<std::shared_ptr<const GraphSnapshot>> Snapshot(
       const std::string& name);
 
@@ -152,7 +173,16 @@ class GraphCatalog {
     uint64_t version = 0;
     std::shared_ptr<const GraphStats> stats;
     std::shared_ptr<const GraphSnapshot> snapshot;
+    /// Synthesized from the same-name table: dropped when that table is
+    /// re-registered (RegisterTable), not only on an explicit DropGraph.
+    bool from_table = false;
   };
+
+  /// Shared body of the RegisterGraph variants: install the new entry,
+  /// bump version + mutation epoch, retire the old images, notify.
+  void RegisterGraphImpl(const std::string& name, PathPropertyGraph graph,
+                         std::shared_ptr<const GraphStats> stats,
+                         bool from_table);
 
   void EnterReader();
   void ExitReader();
@@ -166,6 +196,7 @@ class GraphCatalog {
   std::map<std::string, Entry> graphs_;
   std::map<std::string, std::shared_ptr<const Table>> tables_;
   uint64_t next_version_ = 1;
+  uint64_t mutation_epoch_ = 0;
   std::atomic<int64_t> active_readers_{0};
   /// Type-erased retired images: shared_ptr<void> keeps each payload's
   /// real deleter.

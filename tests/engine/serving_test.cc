@@ -209,6 +209,79 @@ TEST_F(ServingTest, ExecutionsSurviveConcurrentReRegistration) {
   EXPECT_EQ(catalog.RetiredCount(), 0u);
 }
 
+TEST_F(ServingTest, RapidGuardChurnUnderReRegistration) {
+  // Hammers the exact ExitReader window: guards opening/closing while a
+  // writer retires images. A drain racing a just-entered reader is a
+  // use-after-free that ASan/TSan catches through the Lookup below.
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([this, &stop, &bad]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        GraphCatalog::ReaderGuard guard(&catalog);
+        auto g = catalog.Lookup("social_graph");
+        if (!g.ok() || (*g)->NumNodes() == 0 ||
+            (*g)->name() != "social_graph") {
+          ++bad;
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    catalog.RegisterGraph("social_graph",
+                          snb::MakeSocialGraph(catalog.ids()));
+  }
+  stop = true;
+  for (auto& thread : readers) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_F(ServingTest, RegisterTableInvalidatesSynthesizedGraphAndPlans) {
+  QueryEngine engine(&catalog);
+  const char* query =
+      "SELECT o.custName AS c, o.prodCode AS p MATCH (o) ON orders";
+
+  // First run synthesizes the node graph from the table mid-execution —
+  // a catalog mutation, so the epoch check refuses to cache the plan.
+  auto first = engine.Execute(query);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(catalog.HasGraph("orders"));
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
+
+  // Second run plans against a stable catalog and caches.
+  ASSERT_TRUE(engine.Execute(query).ok());
+  ASSERT_EQ(engine.plan_cache_size(), 1u);
+  ASSERT_GT(catalog.GraphVersion("orders"), 0u);
+
+  // Re-registering the table drops the synthesized graph and evicts the
+  // plan-cache entry built against it.
+  Table orders({"custName", "prodCode"});
+  ASSERT_TRUE(
+      orders.AddRow({Value::String("Zed"), Value::String("P9")}).ok());
+  catalog.RegisterTable("orders", std::move(orders));
+  EXPECT_FALSE(catalog.HasGraph("orders"));
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
+
+  // The next execution re-synthesizes from the new contents.
+  auto fresh = engine.Execute(query);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_NE(fresh->ToString(), first->ToString());
+  EXPECT_NE(fresh->ToString().find("Zed"), std::string::npos);
+}
+
+TEST_F(ServingTest, MutationEpochAdvancesOnEveryCatalogMutation) {
+  const uint64_t e0 = catalog.MutationEpoch();
+  catalog.RegisterGraph("tmp", PathPropertyGraph());
+  const uint64_t e1 = catalog.MutationEpoch();
+  EXPECT_GT(e1, e0);
+  catalog.DropGraph("tmp");
+  const uint64_t e2 = catalog.MutationEpoch();
+  EXPECT_GT(e2, e1);
+  catalog.RegisterTable("orders", snb::MakeOrdersTable());
+  EXPECT_GT(catalog.MutationEpoch(), e2);
+}
+
 TEST_F(ServingTest, CapacityBoundsAndLruEviction) {
   QueryEngine engine(&catalog);
   engine.set_plan_cache_capacity(2);
