@@ -12,13 +12,23 @@
 // Plus the one-off cost the payoff buys: BM_Storage_SnapshotBuild. The
 // acceptance trajectory tracks the single-thread MapWalk/Span ratio on
 // the label scan and the pushed property filter.
+//
+// Persistence timings ride along: BM_Storage_SnapshotSave (arena →
+// file), BM_Storage_SnapshotLoad (read-back + checksum + validation),
+// and BM_Storage_SnapshotMmap (zero-copy map + validation). The
+// load-vs-freeze ratio at 20k persons is the acceptance number for the
+// flat-arena format — opening a saved file must beat re-freezing the
+// PPG by ≥ 10×.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "graph/catalog.h"
 #include "graph/snapshot.h"
+#include "graph/snapshot_io.h"
 #include "snb/generator.h"
 #include "snb/schema.h"
 
@@ -52,6 +62,71 @@ void BM_Storage_SnapshotBuild(benchmark::State& state) {
   state.counters["edges"] = static_cast<double>(fx.snap->num_edges());
 }
 BENCHMARK(BM_Storage_SnapshotBuild)
+    ->Arg(2000)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+// --- persistence: save / load / mmap the frozen arena -------------------------
+
+std::string BenchSnapshotPath(int64_t persons) {
+  return "/tmp/gcore_bench_" + std::to_string(persons) + ".snap";
+}
+
+void BM_Storage_SnapshotSave(benchmark::State& state) {
+  StorageFixture fx(static_cast<size_t>(state.range(0)));
+  const std::string path = BenchSnapshotPath(state.range(0));
+  for (auto _ : state) {
+    const Status s = SaveSnapshot(*fx.snap, path);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.counters["bytes"] = static_cast<double>(fx.snap->arena().size());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_Storage_SnapshotSave)
+    ->Arg(2000)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Storage_SnapshotLoad(benchmark::State& state) {
+  StorageFixture fx(static_cast<size_t>(state.range(0)));
+  const std::string path = BenchSnapshotPath(state.range(0));
+  if (!SaveSnapshot(*fx.snap, path).ok()) {
+    state.SkipWithError("save failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto snap = LoadSnapshotFile(path);
+    if (!snap.ok()) state.SkipWithError(snap.status().ToString().c_str());
+    benchmark::DoNotOptimize(snap);
+  }
+  state.counters["nodes"] = static_cast<double>(fx.snap->num_nodes());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_Storage_SnapshotLoad)
+    ->Arg(2000)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Storage_SnapshotMmap(benchmark::State& state) {
+  StorageFixture fx(static_cast<size_t>(state.range(0)));
+  const std::string path = BenchSnapshotPath(state.range(0));
+  if (!SaveSnapshot(*fx.snap, path).ok()) {
+    state.SkipWithError("save failed");
+    return;
+  }
+  const uint32_t person = fx.snap->LabelId(snb::kPerson);
+  for (auto _ : state) {
+    auto snap = MmapSnapshotFile(path);
+    if (!snap.ok()) state.SkipWithError(snap.status().ToString().c_str());
+    // Touch the label index so the map is actually usable, not just
+    // created lazily.
+    benchmark::DoNotOptimize((*snap)->NodesWithLabel(person).size());
+  }
+  state.counters["nodes"] = static_cast<double>(fx.snap->num_nodes());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_Storage_SnapshotMmap)
+    ->Arg(2000)
     ->Arg(20000)
     ->Unit(benchmark::kMillisecond);
 

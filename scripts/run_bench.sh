@@ -7,7 +7,9 @@
 #   BENCH_wcoj.json            — triangle/diamond motifs, binary joins vs
 #                                MultiwayExpand (worst-case-optimal)
 #   BENCH_storage.json         — GraphSnapshot label spans / typed columns
-#                                vs the PPG map-walk read path
+#                                vs the PPG map-walk read path, plus
+#                                arena persistence: save / load / mmap
+#                                vs re-freeze at SNB 2k and 20k persons
 #   BENCH_paths.json           — parallel path engine ablation: serial
 #                                spec vs delta-stepping / batched waves /
 #                                bidirectional probes, parallelism 1 and max

@@ -70,8 +70,21 @@ int Value::Compare(const Value& other) const {
       return Cmp(NumericAsDouble(), other.NumericAsDouble());
     case ValueType::kString:
       return Cmp(AsString(), other.AsString());
-    case ValueType::kDate:
-      return Cmp(AsDate().ToEpochDays(), other.AsDate().ToEpochDays());
+    case ValueType::kDate: {
+      // Chronological order via epoch days, but that projection is not
+      // injective over non-calendar literals (2020-01-40 lands on the
+      // same day count as 2020-02-09), so a tie falls back to the
+      // field-wise order — distinct Date literals must never compare
+      // equal, or sets would merge them. Valid dates are untouched: for
+      // them, equal day counts imply identical fields.
+      const int c =
+          Cmp(AsDate().ToEpochDays(), other.AsDate().ToEpochDays());
+      if (c != 0) return c;
+      const Date& a = AsDate();
+      const Date& b = other.AsDate();
+      if (!(a == b)) return a < b ? -1 : 1;
+      return 0;
+    }
   }
   return 0;
 }

@@ -2,37 +2,74 @@
 
 #include <cctype>
 
+#include "parser/token.h"
+
 namespace gcore {
 
 std::string NormalizeQueryText(const std::string& text) {
   std::string out;
   out.reserve(text.size());
-  bool in_string = false;
   bool pending_space = false;
-  for (size_t i = 0; i < text.size(); ++i) {
+  auto emit_pending = [&] {
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+  };
+  size_t i = 0;
+  while (i < text.size()) {
     const char c = text[i];
-    if (in_string) {
-      out.push_back(c);
-      // The lexer escapes a quote inside a literal by doubling it; a
-      // lone quote closes. Either way flipping on every quote is right:
-      // '' re-enters string mode immediately.
-      if (c == '\'') in_string = false;
-      continue;
-    }
-    if (c == '\'') {
-      if (pending_space && !out.empty()) out.push_back(' ');
-      pending_space = false;
-      in_string = true;
-      out.push_back(c);
+    if (c == '\'' || c == '"') {
+      // String literal (the lexer accepts both quote kinds): preserved
+      // byte-for-byte through the matching close quote, honoring the
+      // lexer's backslash escapes. A doubled quote closes-and-reopens
+      // here where the lexer reads it as an escaped quote — the bytes
+      // are copied verbatim either way, so the normal form is identical.
+      emit_pending();
+      const char quote = c;
+      out.push_back(text[i++]);
+      while (i < text.size()) {
+        const char s = text[i++];
+        out.push_back(s);
+        if (s == '\\' && i < text.size()) {
+          out.push_back(text[i++]);
+          continue;
+        }
+        if (s == quote) break;
+      }
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c)) != 0) {
       pending_space = true;
+      ++i;
       continue;
     }
-    if (pending_space && !out.empty()) out.push_back(' ');
-    pending_space = false;
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      // A word token. The lexer recognizes keywords case-insensitively
+      // (it uppercases only for the lookup), so `match` and `MATCH` parse
+      // identically — fold keywords to their uppercase form here so they
+      // share one cache entry. Non-keyword words are identifiers, which
+      // are case-sensitive and stay byte-exact.
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) != 0 ||
+              text[j] == '_')) {
+        ++j;
+      }
+      std::string upper = text.substr(i, j - i);
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      emit_pending();
+      if (upper != "_" && KeywordOrIdentifier(upper) != TokenType::kIdentifier) {
+        out += upper;
+      } else {
+        out.append(text, i, j - i);
+      }
+      i = j;
+      continue;
+    }
+    emit_pending();
     out.push_back(c);
+    ++i;
   }
   return out;
 }

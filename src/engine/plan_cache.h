@@ -34,10 +34,12 @@
 
 namespace gcore {
 
-/// Whitespace-insensitive form of a query text: runs of whitespace
-/// outside single-quoted string literals collapse to one space (quoted
-/// content is preserved byte-for-byte, so two texts normalize equal only
-/// if they parse identically).
+/// Canonical form of a query text for cache keying: runs of whitespace
+/// outside string literals collapse to one space, and keyword tokens
+/// fold to uppercase (the lexer recognizes them case-insensitively, so
+/// `match` and `MATCH` must share an entry). Identifiers and quoted
+/// literals are preserved byte-for-byte — they are case-sensitive to the
+/// parser — so two texts normalize equal only if they parse identically.
 std::string NormalizeQueryText(const std::string& text);
 
 struct PlanCacheKey {

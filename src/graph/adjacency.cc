@@ -1,23 +1,24 @@
 #include "graph/adjacency.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace gcore {
 
-AdjacencyIndex::AdjacencyIndex(const PathPropertyGraph& graph)
-    : graph_(&graph) {
+AdjacencyIndex::AdjacencyIndex(const PathPropertyGraph& graph) {
   node_ids_ = graph.NodeIds();  // already ascending (map iteration)
-  index_of_.reserve(node_ids_.size());
+  std::unordered_map<NodeId, DenseNodeIndex> index_of;
+  index_of.reserve(node_ids_.size());
   for (size_t i = 0; i < node_ids_.size(); ++i) {
-    index_of_.emplace(node_ids_[i], static_cast<DenseNodeIndex>(i));
+    index_of.emplace(node_ids_[i], static_cast<DenseNodeIndex>(i));
   }
 
   const size_t n = node_ids_.size();
   std::vector<uint32_t> out_deg(n, 0);
   std::vector<uint32_t> in_deg(n, 0);
   graph.ForEachEdge([&](EdgeId, NodeId src, NodeId dst) {
-    ++out_deg[index_of_[src]];
-    ++in_deg[index_of_[dst]];
+    ++out_deg[index_of[src]];
+    ++in_deg[index_of[dst]];
   });
 
   out_offsets_.assign(n + 1, 0);
@@ -45,8 +46,8 @@ AdjacencyIndex::AdjacencyIndex(const PathPropertyGraph& graph)
   std::vector<uint32_t> out_pos(out_offsets_.begin(), out_offsets_.end() - 1);
   std::vector<uint32_t> in_pos(in_offsets_.begin(), in_offsets_.end() - 1);
   graph.ForEachEdge([&](EdgeId e, NodeId src, NodeId dst) {
-    const DenseNodeIndex s = index_of_[src];
-    const DenseNodeIndex d = index_of_[dst];
+    const DenseNodeIndex s = index_of[src];
+    const DenseNodeIndex d = index_of[dst];
     const DenseEdgeIndex de = dense_edge(e);
     out_entries_[out_pos[s]++] = AdjacencyEntry{d, de, e, /*forward=*/true};
     in_entries_[in_pos[d]++] = AdjacencyEntry{s, de, e, /*forward=*/false};
@@ -65,6 +66,27 @@ AdjacencyIndex::AdjacencyIndex(const PathPropertyGraph& graph)
     std::sort(in_entries_.begin() + in_offsets_[i],
               in_entries_.begin() + in_offsets_[i + 1], cmp);
   }
+
+  view_.graph = &graph;
+  view_.node_ids = node_ids_.data();
+  view_.num_nodes = n;
+  view_.num_edges = graph.NumEdges();
+  view_.out_offsets = out_offsets_.data();
+  view_.out_entries = out_entries_.data();
+  view_.in_offsets = in_offsets_.data();
+  view_.in_entries = in_entries_.data();
+}
+
+DenseNodeIndex AdjacencyIndex::IndexOf(NodeId id) const {
+  const NodeId* begin = view_.node_ids;
+  const NodeId* end = begin + view_.num_nodes;
+  return static_cast<DenseNodeIndex>(std::lower_bound(begin, end, id) - begin);
+}
+
+bool AdjacencyIndex::Contains(NodeId id) const {
+  const NodeId* begin = view_.node_ids;
+  const NodeId* end = begin + view_.num_nodes;
+  return std::binary_search(begin, end, id);
 }
 
 AdjacencyIndex::EntrySpan AdjacencyIndex::EdgesTo(EntrySpan span,

@@ -9,11 +9,19 @@
 // also fixes the dense node numbering that realizes the paper's "fixed
 // lexicographical order on nodes" used to pick deterministic shortest
 // paths.
+//
+// Storage comes in two modes behind one accessor surface:
+//   * owned  — built from a PPG; the CSR arrays live in this object's
+//     vectors (the standalone construction path finders use directly);
+//   * borrowed — a View over arrays that live elsewhere, in practice the
+//     flat arena of a GraphSnapshot (freshly frozen or loaded from disk).
+// Either way the accessors read raw pointer + count members, so the read
+// path is identical; node lookup is a binary search over the ascending
+// node-id array (no per-node hash map to serialize).
 #ifndef GCORE_GRAPH_ADJACENCY_H_
 #define GCORE_GRAPH_ADJACENCY_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/ppg.h"
@@ -45,28 +53,69 @@ struct AdjacencyEntry {
 /// Immutable CSR over one PPG. Invalidated by any mutation of the graph.
 class AdjacencyIndex {
  public:
-  explicit AdjacencyIndex(const PathPropertyGraph& graph);
+  /// The raw CSR storage: pointers + counts, either into this index's own
+  /// vectors (owned mode) or into a GraphSnapshot arena (borrowed mode).
+  /// GraphSnapshot packs an owned index into its arena through this view
+  /// and re-attaches one over the arena on load. `graph` may be null for
+  /// an image loaded from disk until a reconstructed PPG is bound.
+  struct View {
+    const PathPropertyGraph* graph = nullptr;
+    const NodeId* node_ids = nullptr;  // dense -> id, sorted ascending
+    size_t num_nodes = 0;
+    size_t num_edges = 0;
+    const uint32_t* out_offsets = nullptr;  // num_nodes + 1 entries
+    const AdjacencyEntry* out_entries = nullptr;
+    const uint32_t* in_offsets = nullptr;  // num_nodes + 1 entries
+    const AdjacencyEntry* in_entries = nullptr;
+  };
 
-  size_t num_nodes() const { return node_ids_.size(); }
-  size_t num_edges() const { return graph_->NumEdges(); }
-  const PathPropertyGraph& graph() const { return *graph_; }
+  /// Empty index (no nodes); assign a real one before use.
+  AdjacencyIndex() = default;
+  /// Builds and owns the CSR arrays for the current state of `graph`.
+  explicit AdjacencyIndex(const PathPropertyGraph& graph);
+  /// Borrows CSR arrays owned elsewhere; `view`'s pointers must outlive
+  /// this index (GraphSnapshot guarantees that via its arena buffer).
+  explicit AdjacencyIndex(const View& view) : view_(view) {}
+
+  // Moving transfers the owned vectors; the view pointers keep aiming at
+  // the vectors' (stable) heap buffers, so defaults are correct. Copying
+  // would alias owned storage and is disallowed.
+  AdjacencyIndex(AdjacencyIndex&&) = default;
+  AdjacencyIndex& operator=(AdjacencyIndex&&) = default;
+  AdjacencyIndex(const AdjacencyIndex&) = delete;
+  AdjacencyIndex& operator=(const AdjacencyIndex&) = delete;
+
+  /// The raw storage (GraphSnapshot serializes through this).
+  const View& view() const { return view_; }
+  /// (Re)binds the source graph — snapshot loaders attach the CSR first
+  /// and bind the reconstructed PPG afterwards.
+  void set_graph(const PathPropertyGraph* graph) { view_.graph = graph; }
+  bool has_graph() const { return view_.graph != nullptr; }
+
+  size_t num_nodes() const { return view_.num_nodes; }
+  size_t num_edges() const { return view_.num_edges; }
+  /// The source PPG; requires has_graph() (true for every index built from
+  /// a PPG, and for loaded snapshots once the catalog binds the
+  /// reconstruction).
+  const PathPropertyGraph& graph() const { return *view_.graph; }
 
   /// Dense index of `id`; nodes are numbered in increasing id order.
-  DenseNodeIndex IndexOf(NodeId id) const { return index_of_.at(id); }
-  bool Contains(NodeId id) const { return index_of_.count(id) > 0; }
-  NodeId IdOf(DenseNodeIndex idx) const { return node_ids_[idx]; }
+  /// Binary search over the ascending id array; requires membership.
+  DenseNodeIndex IndexOf(NodeId id) const;
+  bool Contains(NodeId id) const;
+  NodeId IdOf(DenseNodeIndex idx) const { return view_.node_ids[idx]; }
 
   /// Outgoing half-edges of `n` in forward direction.
   std::pair<const AdjacencyEntry*, const AdjacencyEntry*> Out(
       DenseNodeIndex n) const {
-    return {out_entries_.data() + out_offsets_[n],
-            out_entries_.data() + out_offsets_[n + 1]};
+    return {view_.out_entries + view_.out_offsets[n],
+            view_.out_entries + view_.out_offsets[n + 1]};
   }
   /// Incoming half-edges of `n` (traversals against edge direction).
   std::pair<const AdjacencyEntry*, const AdjacencyEntry*> In(
       DenseNodeIndex n) const {
-    return {in_entries_.data() + in_offsets_[n],
-            in_entries_.data() + in_offsets_[n + 1]};
+    return {view_.in_entries + view_.in_offsets[n],
+            view_.in_entries + view_.in_offsets[n + 1]};
   }
 
   // --- sorted-neighbor view -------------------------------------------------
@@ -85,12 +134,12 @@ class AdjacencyIndex {
 
   /// Sorted out-/in-neighbor list of `n` (same storage as Out/In).
   EntrySpan OutSorted(DenseNodeIndex n) const {
-    return {out_entries_.data() + out_offsets_[n],
-            out_entries_.data() + out_offsets_[n + 1]};
+    return {view_.out_entries + view_.out_offsets[n],
+            view_.out_entries + view_.out_offsets[n + 1]};
   }
   EntrySpan InSorted(DenseNodeIndex n) const {
-    return {in_entries_.data() + in_offsets_[n],
-            in_entries_.data() + in_offsets_[n + 1]};
+    return {view_.in_entries + view_.in_offsets[n],
+            view_.in_entries + view_.in_offsets[n + 1]};
   }
 
   /// Entries of `span` connecting to `neighbor` (binary search — the
@@ -114,9 +163,10 @@ class AdjacencyIndex {
   }
 
  private:
-  const PathPropertyGraph* graph_;
-  std::vector<NodeId> node_ids_;  // dense -> id, sorted ascending
-  std::unordered_map<NodeId, DenseNodeIndex> index_of_;
+  View view_;
+  // Owned storage of the PPG-built mode; empty in borrowed mode. view_
+  // points into these when non-empty.
+  std::vector<NodeId> node_ids_;
   std::vector<uint32_t> out_offsets_;
   std::vector<AdjacencyEntry> out_entries_;
   std::vector<uint32_t> in_offsets_;

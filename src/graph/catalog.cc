@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "graph/snapshot.h"
+#include "graph/snapshot_io.h"
 
 namespace gcore {
 
@@ -41,6 +42,44 @@ void GraphCatalog::RegisterGraph(const std::string& name,
 void GraphCatalog::RegisterGraphFromTable(const std::string& name,
                                           PathPropertyGraph graph) {
   RegisterGraphImpl(name, std::move(graph), nullptr, /*from_table=*/true);
+}
+
+Status GraphCatalog::RegisterSnapshotFile(const std::string& name,
+                                          const std::string& path,
+                                          bool use_mmap) {
+  GCORE_ASSIGN_OR_RETURN(std::shared_ptr<GraphSnapshot> snap,
+                         use_mmap ? MmapSnapshotFile(path)
+                                  : LoadSnapshotFile(path));
+  // Rebuild the PPG the image describes and bind it, so the evaluation
+  // tail that reads the source graph (CONSTRUCT, expression eval over
+  // stored paths) works exactly as on a freshly registered graph.
+  auto graph = std::make_shared<const PathPropertyGraph>(
+      snap->ReconstructGraph(name));
+  snap->BindGraph(graph);
+
+  // Loaded ids were chosen by the saving session; keep this session's
+  // allocator from re-issuing them.
+  const auto node_ids = graph->NodeIds();
+  if (!node_ids.empty()) ids_->ReserveNodeUpTo(node_ids.back().value());
+  const auto edge_ids = graph->EdgeIds();
+  if (!edge_ids.empty()) ids_->ReserveEdgeUpTo(edge_ids.back().value());
+  const auto path_ids = graph->PathIds();
+  if (!path_ids.empty()) ids_->ReservePathUpTo(path_ids.back().value());
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = graphs_[name];
+    Entry old = std::move(entry);
+    entry.graph = std::move(graph);
+    entry.version = next_version_++;
+    entry.stats = nullptr;
+    entry.snapshot = std::move(snap);  // pre-seeded: no freeze on first read
+    entry.from_table = false;
+    ++mutation_epoch_;
+    RetireLocked(std::move(old));
+  }
+  NotifyInvalidation(name);
+  return Status::OK();
 }
 
 Result<const PathPropertyGraph*> GraphCatalog::Lookup(

@@ -11,7 +11,11 @@
 // read-path derivatives — GraphStats (stats.h) and the frozen columnar
 // GraphSnapshot (snapshot.h) — and drops both when the name is
 // re-registered, so they can never go stale against the graph they
-// describe.
+// describe. Registration has a third entry point beside RegisterGraph
+// and RegisterGraphFromTable: RegisterSnapshotFile attaches a snapshot
+// image saved by graph/snapshot_io.h (read-back or zero-copy mmap),
+// reconstructs its PPG and pre-seeds the snapshot cache, so a cold start
+// skips the O(|V|+|E|+|σ|) freeze entirely.
 //
 // Concurrency model (the serving layer): every public member serializes
 // on one mutex held only across the lookup/registration itself, so N
@@ -64,6 +68,17 @@ class GraphCatalog {
   /// the synthesis describes one table image and must not outlive it.
   void RegisterGraphFromTable(const std::string& name,
                               PathPropertyGraph graph);
+
+  /// Registers a graph from a snapshot image saved by SaveSnapshot
+  /// (graph/snapshot_io.h): loads the arena (zero-copy mmap when
+  /// `use_mmap`), reconstructs the PPG it describes, reserves its ids in
+  /// the session allocator, and installs both with the usual
+  /// version/epoch bump and retirement of any replaced entry. The entry's
+  /// snapshot cache is pre-seeded with the loaded image, so the read path
+  /// skips the freeze a cold RegisterGraph would pay. InvalidArgument on
+  /// a corrupt or version-mismatched file.
+  Status RegisterSnapshotFile(const std::string& name, const std::string& path,
+                              bool use_mmap = false);
 
   /// gr(gid). NotFound when unregistered. The pointer stays valid for as
   /// long as the caller's ReaderGuard is open (epoch reclamation), even

@@ -16,8 +16,24 @@
 //   * one typed property column per (object class, key): a kind tag plus
 //     a 64-bit slot per object, mirroring BindingTable's column layout,
 //     with multi-valued / non-inlinable ValueSets out of line in an
-//     overflow vector (the FSET(V) semantics of Section 2 survive
+//     overflow region (the FSET(V) semantics of Section 2 survive
 //     unchanged — a column cell *is* σ(x, k), just stored columnar).
+//
+// Storage: one flat arena. Every array above lives as an offset-addressed
+// region inside a single contiguous byte buffer, described by a versioned
+// header + region table at the buffer's head (see snapshot.cc for the
+// layout and ROADMAP.md for the format policy). The freeze builds the
+// regions and packs them once; accessors read raw pointer + count members
+// aimed into the buffer. Name lookups that used to hash (label names,
+// interned strings, column keys) binary-search sorted offset tables in
+// place. Because the arena is self-contained and position-independent,
+// the image is directly serializable: snapshot_io.h writes it to disk
+// with a checksummed file header and re-attaches a GraphSnapshot over
+// either a read-back buffer or a zero-copy mmap — through the same
+// accessor surface, so the matcher, the multiway join, the path kernels
+// and the pushed filters never see the difference. Stored paths (δ, path
+// labels/properties) ride along in an encoded region so a loaded image
+// can reconstruct the full PPG.
 //
 // Invalidation: a snapshot is valid for exactly the graph state it was
 // built from. GraphCatalog caches one snapshot per registered graph next
@@ -29,10 +45,11 @@
 #define GCORE_GRAPH_SNAPSHOT_H_
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/value.h"
@@ -44,6 +61,35 @@ namespace gcore {
 // DenseEdgeIndex (adjacency.h) is the snapshot's edge numbering too:
 // both number edges by ascending id, and AdjacencyEntry::edge_dense is
 // built by the same rule, so entries index snapshot arrays directly.
+
+/// The backing bytes of a GraphSnapshot's flat arena: a pointer + size
+/// over storage kept alive by a type-erased owner (a heap buffer for
+/// freshly frozen or read-back images, an mmap'ed file for zero-copy
+/// loads — the owner's deleter unmaps). Copies share the owner.
+class ArenaBuffer {
+ public:
+  ArenaBuffer() = default;
+  ArenaBuffer(std::shared_ptr<const void> owner, const uint8_t* data,
+              size_t size)
+      : owner_(std::move(owner)), data_(data), size_(size) {}
+
+  /// Wraps a heap buffer, taking ownership.
+  static ArenaBuffer Own(std::vector<uint8_t> bytes) {
+    auto owner = std::make_shared<std::vector<uint8_t>>(std::move(bytes));
+    const uint8_t* data = owner->data();
+    const size_t size = owner->size();
+    return ArenaBuffer(std::move(owner), data, size);
+  }
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
 
 class GraphSnapshot {
  public:
@@ -82,10 +128,13 @@ class GraphSnapshot {
 
   /// One property key over one object class: a kind tag and a 64-bit
   /// slot per dense object index (BindingTable's column layout), heavy
-  /// cells out of line.
+  /// cells out of line. The kind/slot arrays live in the arena; the
+  /// overflow ValueSets are decoded from their arena region at attach
+  /// time (rare cells, kept materialized so OverflowAt stays a
+  /// reference).
   class PropertyColumn {
    public:
-    size_t size() const { return kinds_.size(); }
+    size_t size() const { return size_; }
     PropKind KindAt(size_t i) const {
       return static_cast<PropKind>(kinds_[i]);
     }
@@ -108,39 +157,70 @@ class GraphSnapshot {
 
    private:
     friend class GraphSnapshot;
-    std::vector<uint8_t> kinds_;
-    std::vector<uint64_t> slots_;
+    const uint8_t* kinds_ = nullptr;   // arena region, size_ entries
+    const uint64_t* slots_ = nullptr;  // arena region, size_ entries
+    size_t size_ = 0;
     std::vector<ValueSet> overflow_;
     size_t num_carriers_ = 0;
   };
 
-  /// Freezes the current state of `graph`. O(graph payload).
+  /// Freezes the current state of `graph` into a newly packed arena.
+  /// O(graph payload).
   explicit GraphSnapshot(const PathPropertyGraph& graph);
 
+  /// Attaches a snapshot over an existing arena image (the snapshot_io.h
+  /// loaders produce these). Validates the header, region table and
+  /// intra-region invariants; InvalidArgument on a malformed image. The
+  /// result has no bound PPG (has_graph() is false) until BindGraph —
+  /// column reads, label spans, topology and the path kernels all work
+  /// without one, only graph() itself needs the binding.
+  static Result<std::shared_ptr<GraphSnapshot>> FromArena(ArenaBuffer arena);
+
+  /// The packed image (snapshot_io.h serializes these bytes verbatim).
+  const ArenaBuffer& arena() const { return arena_; }
+
+  /// Rebuilds a full PathPropertyGraph — nodes, edges, stored paths,
+  /// labels, properties — from the arena. Exact inverse of the freeze:
+  /// freezing the reconstruction yields a byte-identical image.
+  PathPropertyGraph ReconstructGraph(std::string name = "") const;
+
+  /// Binds (shared ownership) the PPG this image describes — for loaded
+  /// snapshots, typically the ReconstructGraph() result — making graph()
+  /// and the PPG-reading evaluation tail (CONSTRUCT, expression eval)
+  /// usable on it.
+  void BindGraph(std::shared_ptr<const PathPropertyGraph> graph);
+
+  /// True when a source PPG is attached (always, for frozen snapshots).
+  bool has_graph() const { return adj_.has_graph(); }
   const PathPropertyGraph& graph() const { return adj_.graph(); }
   /// The CSR out/in topology (same dense node numbering as the rest of
   /// the snapshot); path finders keep consuming this type directly.
   const AdjacencyIndex& adjacency() const { return adj_; }
 
   size_t num_nodes() const { return adj_.num_nodes(); }
-  size_t num_edges() const { return edge_ids_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  /// Stored paths carried in the arena's path region (σ/λ/δ of P);
+  /// available without a bound PPG.
+  size_t num_paths() const { return num_paths_; }
 
   // --- labels ----------------------------------------------------------------
 
-  /// Labels of nodes and edges, interned. Ids are assigned in sorted name
-  /// order, so a translated label list is sorted iff the name list was.
+  /// Labels of nodes, edges and stored paths, interned. Ids are assigned
+  /// in sorted name order, so a translated label list is sorted iff the
+  /// name list was.
   size_t num_labels() const { return label_names_.size(); }
   const std::string& LabelName(uint32_t id) const { return label_names_[id]; }
-  /// kNoLabel when the name occurs nowhere in the graph.
+  /// kNoLabel when the name occurs nowhere in the graph (binary search
+  /// over the sorted name table).
   uint32_t LabelId(const std::string& name) const;
 
   /// Sorted interned-label ids of one object.
   Span<uint32_t> NodeLabelIds(DenseNodeIndex n) const {
-    return {node_label_ids_.data() + node_label_offsets_[n],
+    return {node_label_ids_ + node_label_offsets_[n],
             node_label_offsets_[n + 1] - node_label_offsets_[n]};
   }
   Span<uint32_t> EdgeLabelIds(DenseEdgeIndex e) const {
-    return {edge_label_ids_.data() + edge_label_offsets_[e],
+    return {edge_label_ids_ + edge_label_offsets_[e],
             edge_label_offsets_[e + 1] - edge_label_offsets_[e]};
   }
   bool NodeHasLabel(DenseNodeIndex n, uint32_t label) const;
@@ -148,13 +228,17 @@ class GraphSnapshot {
 
   /// All dense node indices carrying `label`, ascending (== ascending
   /// node id — the order ForEachNode visits); label scans iterate this
-  /// span instead of the whole node range.
+  /// span instead of the whole node range. An out-of-range id (kNoLabel,
+  /// the LabelId miss sentinel, or a path-only label) yields the empty
+  /// span — no node carries it.
   Span<DenseNodeIndex> NodesWithLabel(uint32_t label) const {
-    return {label_nodes_.data() + label_node_offsets_[label],
+    if (label >= num_labels()) return {};
+    return {label_nodes_ + label_node_offsets_[label],
             label_node_offsets_[label + 1] - label_node_offsets_[label]};
   }
   Span<DenseEdgeIndex> EdgesWithLabel(uint32_t label) const {
-    return {label_edges_.data() + label_edge_offsets_[label],
+    if (label >= num_labels()) return {};
+    return {label_edges_ + label_edge_offsets_[label],
             label_edge_offsets_[label + 1] - label_edge_offsets_[label]};
   }
 
@@ -172,13 +256,17 @@ class GraphSnapshot {
   // --- property columns ------------------------------------------------------
 
   /// Column of `key` over nodes/edges; null when no object carries the
-  /// key (σ(x, key) = ∅ for every x).
+  /// key (σ(x, key) = ∅ for every x). Binary search over the sorted
+  /// column directory.
   const PropertyColumn* NodeColumn(const std::string& key) const;
   const PropertyColumn* EdgeColumn(const std::string& key) const;
-  const std::map<std::string, PropertyColumn>& node_columns() const {
+  /// All columns, sorted by key.
+  const std::vector<std::pair<std::string, PropertyColumn>>& node_columns()
+      const {
     return node_columns_;
   }
-  const std::map<std::string, PropertyColumn>& edge_columns() const {
+  const std::vector<std::pair<std::string, PropertyColumn>>& edge_columns()
+      const {
     return edge_columns_;
   }
 
@@ -209,12 +297,20 @@ class GraphSnapshot {
   }
 
   // --- string pool -----------------------------------------------------------
+  // The pool is sorted by content (ids are assigned at pack time), so
+  // InternedString is a binary search over the offset table — no hash map
+  // survives into the arena image.
 
-  const std::string& StringAt(uint32_t id) const { return strings_[id]; }
-  /// Pool id of `s`, or kNoString when no inline cell holds it (pushed
+  size_t num_strings() const { return num_strings_; }
+  std::string_view StringAt(uint32_t id) const {
+    return {string_blob_ + string_offsets_[id],
+            static_cast<size_t>(string_offsets_[id + 1] -
+                                string_offsets_[id])};
+  }
+  /// Pool id of `s`, or kNoString when no cell holds it (pushed
   /// string-equality filters pre-resolve their literal once and then
   /// compare 32-bit ids per row).
-  uint32_t InternedString(const std::string& s) const;
+  uint32_t InternedString(std::string_view s) const;
 
   // --- cell semantics --------------------------------------------------------
   // These reproduce ValueSet/Value semantics over encoded cells so the
@@ -234,41 +330,61 @@ class GraphSnapshot {
   /// Materializes the cell as a ValueSet (tests and slow paths only).
   ValueSet CellValues(const PropertyColumn& col, size_t i) const;
 
+  // Copying would duplicate the attach bookkeeping for no caller; moving
+  // transfers the arena (pointer members stay valid — they aim at the
+  // arena buffer, whose address the move preserves).
+  GraphSnapshot(GraphSnapshot&&) = default;
+  GraphSnapshot& operator=(GraphSnapshot&&) = default;
+  GraphSnapshot(const GraphSnapshot&) = delete;
+  GraphSnapshot& operator=(const GraphSnapshot&) = delete;
+
  private:
-  void InternLabels(const PathPropertyGraph& graph);
-  void BuildLabelTopology(const PathPropertyGraph& graph);
-  void BuildEdges(const PathPropertyGraph& graph);
-  void BuildPropertyColumns(const PathPropertyGraph& graph);
-  /// Encodes one value set into (kind, slot), appending to the overflow
-  /// vector / string pool as needed.
-  void EncodeCell(const ValueSet& values, PropertyColumn* col, size_t i);
+  GraphSnapshot() = default;
 
-  AdjacencyIndex adj_;
+  /// Points every accessor member into arena_ (and decodes the small
+  /// materialized side tables: label names, column directory, overflow
+  /// sets). `graph` is the PPG to bind (null for loaded images);
+  /// `trusted` skips the structural validation for freshly packed arenas.
+  Status Attach(const PathPropertyGraph* graph, bool trusted);
 
-  std::vector<std::string> label_names_;  // id -> name, sorted
-  std::map<std::string, uint32_t> label_index_;
+  ArenaBuffer arena_;
+  /// Keeps a reconstructed PPG alive for loaded images (BindGraph).
+  std::shared_ptr<const PathPropertyGraph> bound_graph_;
 
-  // Per-object sorted label-id lists (CSR over objects).
-  std::vector<uint32_t> node_label_offsets_;
-  std::vector<uint32_t> node_label_ids_;
-  std::vector<uint32_t> edge_label_offsets_;
-  std::vector<uint32_t> edge_label_ids_;
+  AdjacencyIndex adj_;  // borrowed mode, over the arena
 
-  // Per-label sorted object-index lists (CSR over labels).
-  std::vector<uint32_t> label_node_offsets_;
-  std::vector<DenseNodeIndex> label_nodes_;
-  std::vector<uint32_t> label_edge_offsets_;
-  std::vector<DenseEdgeIndex> label_edges_;
+  std::vector<std::string> label_names_;  // id -> name, sorted (decoded)
 
-  std::vector<EdgeId> edge_ids_;  // dense -> id, ascending
-  std::vector<DenseNodeIndex> edge_src_;
-  std::vector<DenseNodeIndex> edge_dst_;
+  // Per-object sorted label-id lists (CSR over objects) — arena regions.
+  const uint32_t* node_label_offsets_ = nullptr;
+  const uint32_t* node_label_ids_ = nullptr;
+  const uint32_t* edge_label_offsets_ = nullptr;
+  const uint32_t* edge_label_ids_ = nullptr;
 
-  std::map<std::string, PropertyColumn> node_columns_;
-  std::map<std::string, PropertyColumn> edge_columns_;
+  // Per-label sorted object-index lists (CSR over labels) — arena regions.
+  const uint32_t* label_node_offsets_ = nullptr;
+  const DenseNodeIndex* label_nodes_ = nullptr;
+  const uint32_t* label_edge_offsets_ = nullptr;
+  const DenseEdgeIndex* label_edges_ = nullptr;
 
-  std::vector<std::string> strings_;
-  std::unordered_map<std::string, uint32_t> string_index_;
+  const EdgeId* edge_ids_ = nullptr;  // dense -> id, ascending
+  const DenseNodeIndex* edge_src_ = nullptr;
+  const DenseNodeIndex* edge_dst_ = nullptr;
+  size_t num_edges_ = 0;
+
+  // Column directory: sorted by key; kind/slot pointers into the arena.
+  std::vector<std::pair<std::string, PropertyColumn>> node_columns_;
+  std::vector<std::pair<std::string, PropertyColumn>> edge_columns_;
+
+  // String pool: sorted-content offset table + byte blob.
+  const uint64_t* string_offsets_ = nullptr;
+  const char* string_blob_ = nullptr;
+  size_t num_strings_ = 0;
+
+  // Encoded stored-path region (decoded only by ReconstructGraph).
+  const uint8_t* paths_data_ = nullptr;
+  size_t paths_size_ = 0;
+  size_t num_paths_ = 0;
 };
 
 }  // namespace gcore

@@ -1,0 +1,181 @@
+#include "graph/snapshot_io.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace gcore {
+
+namespace {
+
+constexpr uint64_t kFileMagic = 0x50414E5345524347ULL;  // "GCRESNAP"
+constexpr uint32_t kFileVersion = 1;
+
+/// 32 bytes, so the payload that follows stays 8-aligned both in a heap
+/// buffer (read whole-file) and in an mmap'ed view (page-aligned base).
+struct FileHeader {
+  uint64_t magic = kFileMagic;
+  uint32_t version = kFileVersion;
+  uint32_t flags = 0;  // reserved
+  uint64_t payload_size = 0;
+  uint64_t checksum = 0;  // word-wise FNV-1a 64 over the payload
+};
+static_assert(sizeof(FileHeader) == 32, "header must keep payload 8-aligned");
+
+/// FNV-1a folding 8 little-endian bytes per step instead of 1 — the
+/// arena is tens of MB and the byte-wise chain of dependent multiplies
+/// dominated LoadSnapshotFile. Any flipped bit still flips the word it
+/// lands in, so corruption detection is unchanged; the value simply
+/// *is* the format's checksum (the arena's 8-aligned tail pads with
+/// zeros, and version 1 has no byte-wise files to stay compatible with).
+uint64_t Fnv1a(const uint8_t* data, size_t size) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, data + i, 8);
+    h ^= word;
+    h *= 0x100000001b3ULL;
+  }
+  if (i < size) {
+    uint64_t word = 0;
+    std::memcpy(&word, data + i, size - i);
+    h ^= word;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::InvalidArgument("snapshot file " + path + ": " + what +
+                                 (errno != 0 ? std::string(": ") +
+                                                   std::strerror(errno)
+                                             : std::string()));
+}
+
+/// Reads and sanity-checks the header; on success `*header` is filled and
+/// the stream is positioned at the payload.
+Status ReadHeader(std::FILE* f, const std::string& path, size_t file_size,
+                  FileHeader* header) {
+  if (file_size < sizeof(FileHeader)) {
+    return Status::InvalidArgument("snapshot file " + path +
+                                   ": smaller than the header");
+  }
+  if (std::fread(header, sizeof(*header), 1, f) != 1) {
+    return IoError("short header read", path);
+  }
+  if (header->magic != kFileMagic) {
+    return Status::InvalidArgument("snapshot file " + path + ": bad magic");
+  }
+  if (header->version != kFileVersion) {
+    return Status::InvalidArgument(
+        "snapshot file " + path + ": format version " +
+        std::to_string(header->version) + " (expected " +
+        std::to_string(kFileVersion) + "); re-freeze from the source graph");
+  }
+  if (header->payload_size != file_size - sizeof(FileHeader)) {
+    return Status::InvalidArgument("snapshot file " + path +
+                                   ": truncated payload");
+  }
+  return Status::OK();
+}
+
+Result<size_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return IoError("stat failed", path);
+  }
+  return static_cast<size_t>(st.st_size);
+}
+
+}  // namespace
+
+Status SaveSnapshot(const GraphSnapshot& snap, const std::string& path) {
+  const ArenaBuffer& arena = snap.arena();
+  FileHeader header;
+  header.payload_size = arena.size();
+  header.checksum = Fnv1a(arena.data(), arena.size());
+
+  errno = 0;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IoError("open for write failed", path);
+  const bool ok =
+      std::fwrite(&header, sizeof(header), 1, f) == 1 &&
+      (arena.size() == 0 ||
+       std::fwrite(arena.data(), arena.size(), 1, f) == 1);
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    std::remove(path.c_str());  // no partial files
+    return IoError("write failed", path);
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<GraphSnapshot>> LoadSnapshotFile(
+    const std::string& path) {
+  GCORE_ASSIGN_OR_RETURN(const size_t file_size, FileSize(path));
+  errno = 0;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return IoError("open failed", path);
+  FileHeader header;
+  Status st = ReadHeader(f, path, file_size, &header);
+  if (!st.ok()) {
+    std::fclose(f);
+    return st;
+  }
+  std::vector<uint8_t> payload(header.payload_size);
+  if (header.payload_size > 0 &&
+      std::fread(payload.data(), payload.size(), 1, f) != 1) {
+    std::fclose(f);
+    return IoError("short payload read", path);
+  }
+  std::fclose(f);
+  if (Fnv1a(payload.data(), payload.size()) != header.checksum) {
+    return Status::InvalidArgument("snapshot file " + path +
+                                   ": checksum mismatch");
+  }
+  return GraphSnapshot::FromArena(ArenaBuffer::Own(std::move(payload)));
+}
+
+Result<std::shared_ptr<GraphSnapshot>> MmapSnapshotFile(
+    const std::string& path, bool verify_checksum) {
+  GCORE_ASSIGN_OR_RETURN(const size_t file_size, FileSize(path));
+  errno = 0;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return IoError("open failed", path);
+  std::FILE* f = ::fdopen(::dup(fd), "rb");
+  FileHeader header;
+  Status st = f == nullptr ? IoError("fdopen failed", path)
+                           : ReadHeader(f, path, file_size, &header);
+  if (f != nullptr) std::fclose(f);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+
+  void* base = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (base == MAP_FAILED) return IoError("mmap failed", path);
+
+  // The deleter unmaps when the last ArenaBuffer copy (hence the last
+  // snapshot sharing the mapping) goes away.
+  std::shared_ptr<const void> owner(
+      base, [file_size](void* p) { ::munmap(p, file_size); });
+  const uint8_t* payload =
+      static_cast<const uint8_t*>(base) + sizeof(FileHeader);
+  if (verify_checksum &&
+      Fnv1a(payload, header.payload_size) != header.checksum) {
+    return Status::InvalidArgument("snapshot file " + path +
+                                   ": checksum mismatch");
+  }
+  return GraphSnapshot::FromArena(
+      ArenaBuffer(std::move(owner), payload, header.payload_size));
+}
+
+}  // namespace gcore

@@ -1,0 +1,51 @@
+// Snapshot persistence: GraphSnapshot's flat arena to and from disk.
+//
+// The on-disk format is a small file header — magic, format version,
+// payload size, FNV-1a checksum — followed by the arena bytes verbatim.
+// Because the arena is position-independent (offset-addressed regions, no
+// pointers), the payload needs no rewriting in either direction: saving
+// is one write of arena(), loading is attaching a GraphSnapshot over the
+// bytes wherever they land. Two loaders cover the two placements:
+//
+//   * LoadSnapshotFile — reads the payload into a heap buffer and
+//     verifies the checksum; the safe default.
+//   * MmapSnapshotFile — maps the file read-only and attaches zero-copy,
+//     so load cost is O(metadata) and pages fault in on first touch. The
+//     checksum is skipped by default (verifying would touch every page,
+//     defeating the laziness); opt in for untrusted files.
+//
+// Both loaders run the full structural validation in
+// GraphSnapshot::Attach, so a corrupt or truncated image fails with
+// InvalidArgument rather than undefined reads. The version field rejects
+// images from other format revisions outright — the arena layout is not
+// migrated, a stale file must be re-frozen from its source graph (see
+// ROADMAP.md, "Arena snapshot format").
+#ifndef GCORE_GRAPH_SNAPSHOT_IO_H_
+#define GCORE_GRAPH_SNAPSHOT_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "graph/snapshot.h"
+
+namespace gcore {
+
+/// Writes `snap`'s arena to `path` (replacing any existing file).
+Status SaveSnapshot(const GraphSnapshot& snap, const std::string& path);
+
+/// Reads a saved snapshot into memory, verifying the checksum.
+Result<std::shared_ptr<GraphSnapshot>> LoadSnapshotFile(
+    const std::string& path);
+
+/// Maps a saved snapshot read-only and attaches zero-copy. The mapping
+/// lives as long as any copy of the returned snapshot's arena. Set
+/// `verify_checksum` to pay one full read up front in exchange for
+/// integrity checking (off by default — it forfeits the lazy paging that
+/// is the point of mmap).
+Result<std::shared_ptr<GraphSnapshot>> MmapSnapshotFile(
+    const std::string& path, bool verify_checksum = false);
+
+}  // namespace gcore
+
+#endif  // GCORE_GRAPH_SNAPSHOT_IO_H_

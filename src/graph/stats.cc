@@ -214,8 +214,7 @@ GraphStats GraphStats::CollectFromSnapshot(const GraphSnapshot& snap) {
   GraphStats stats;
   stats.num_nodes = snap.num_nodes();
   stats.num_edges = snap.num_edges();
-  snap.graph().ForEachPath(
-      [&](PathId, const PathBody&) { ++stats.num_paths; });
+  stats.num_paths = snap.num_paths();
 
   // Label counts are the sizes of the per-label index spans; entries only
   // for labels that occur on the object class (as the collector produces).

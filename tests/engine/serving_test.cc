@@ -310,6 +310,55 @@ TEST_F(ServingTest, NormalizeQueryTextIsQuoteAware) {
   EXPECT_EQ(NormalizeQueryText("WHERE x = 'a  b'"), "WHERE x = 'a  b'");
   EXPECT_EQ(NormalizeQueryText("WHERE x = 'it''s  ok'   AND y"),
             "WHERE x = 'it''s  ok' AND y");
+  // Both quote kinds the lexer accepts, plus its backslash escapes.
+  EXPECT_EQ(NormalizeQueryText("WHERE x = \"a  b\""), "WHERE x = \"a  b\"");
+  EXPECT_EQ(NormalizeQueryText("WHERE x = 'a\\'  b'   AND y"),
+            "WHERE x = 'a\\'  b' AND y");
+}
+
+TEST_F(ServingTest, NormalizeQueryTextFoldsKeywordCase) {
+  // The lexer recognizes keywords case-insensitively, so `match` and
+  // `MATCH` parse identically and must normalize to one cache key.
+  EXPECT_EQ(NormalizeQueryText("select n.a match (n)"),
+            NormalizeQueryText("SELECT n.a MATCH (n)"));
+  EXPECT_EQ(NormalizeQueryText("Select n.a Match (n)"),
+            "SELECT n.a MATCH (n)");
+  // Identifiers are case-sensitive and must stay byte-exact — `Ab` is a
+  // different variable than `ab`, and a label is not a keyword.
+  EXPECT_EQ(NormalizeQueryText("MATCH (Ab:Person)"), "MATCH (Ab:Person)");
+  EXPECT_NE(NormalizeQueryText("MATCH (ab:person)"),
+            NormalizeQueryText("MATCH (AB:PERSON)"));
+  // Quoted literals never fold, whichever quote kind, even when their
+  // content spells a keyword.
+  EXPECT_EQ(NormalizeQueryText("WHERE x = 'match'"), "WHERE x = 'match'");
+  EXPECT_EQ(NormalizeQueryText("WHERE x = \"match\""),
+            "WHERE x = \"match\"");
+}
+
+TEST_F(ServingTest, KeywordCaseSharesOnePlanCacheEntry) {
+  QueryEngine engine(&catalog);
+  ASSERT_TRUE(engine
+                  .Execute("select n.firstName as name match (n:Person) "
+                           "where n.employer = 'Acme'")
+                  .ok());
+  const PlanCacheCounters cold = engine.plan_cache_counters();
+  EXPECT_EQ(cold.misses, 1u);
+  EXPECT_EQ(cold.plans, 1u);
+
+  // The uppercase spelling of the same query is a hit, not a second plan.
+  ASSERT_TRUE(engine.Execute(kQueryMix[0]).ok());
+  const PlanCacheCounters warm = engine.plan_cache_counters();
+  EXPECT_EQ(warm.hits, 1u);
+  EXPECT_EQ(warm.misses, 1u);
+  EXPECT_EQ(warm.plans, 1u);
+  EXPECT_EQ(engine.plan_cache_size(), 1u);
+
+  // Changing case inside the string literal is a different query.
+  ASSERT_TRUE(engine
+                  .Execute("SELECT n.firstName AS name MATCH (n:Person) "
+                           "WHERE n.employer = 'ACME'")
+                  .ok());
+  EXPECT_EQ(engine.plan_cache_counters().misses, 2u);
 }
 
 }  // namespace

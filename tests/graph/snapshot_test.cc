@@ -312,5 +312,87 @@ TEST(GraphSnapshot, CatalogCachesAndInvalidatesWithStats) {
   EXPECT_FALSE(catalog.Snapshot("nope").ok());
 }
 
+TEST(GraphSnapshot, LabelSpansOnOutOfRangeIdsAreEmpty) {
+  IdAllocator ids;
+  GraphBuilder b = MakeMixedGraph(&ids);
+  const GraphSnapshot snap(b.graph());
+
+  // kNoLabel is the documented LabelId miss sentinel; passing it (or any
+  // out-of-range id) to the span accessors must yield an empty span, not
+  // an out-of-bounds offset read.
+  EXPECT_EQ(snap.LabelId("nope"), GraphSnapshot::kNoLabel);
+  EXPECT_TRUE(snap.NodesWithLabel(GraphSnapshot::kNoLabel).empty());
+  EXPECT_TRUE(snap.EdgesWithLabel(GraphSnapshot::kNoLabel).empty());
+  EXPECT_TRUE(
+      snap.NodesWithLabel(static_cast<uint32_t>(snap.num_labels())).empty());
+  EXPECT_TRUE(
+      snap.EdgesWithLabel(static_cast<uint32_t>(snap.num_labels())).empty());
+}
+
+/// Differential pin of satellite semantics: for every (cell, literal)
+/// pair, CompareCellSingleton must order exactly as Value::Compare over
+/// the materialized cell — including Date literals that are not calendar
+/// dates, where epoch days alias distinct field triples.
+TEST(GraphSnapshot, DateCellComparisonsMatchValueCompare) {
+  // 2015-02-37 is not a calendar date; arithmetically it lands on the
+  // same epoch day as 2015-03-09. The two literals must still be
+  // distinguishable — distinct dates comparing equal would merge them in
+  // ValueSets and admit wrong filter matches.
+  const Date valid{2015, 3, 9};
+  const Date aliasing{2015, 2, 37};
+  ASSERT_FALSE(aliasing.IsValid());
+  ASSERT_EQ(valid.ToEpochDays(), aliasing.ToEpochDays());
+  EXPECT_NE(Value::OfDate(valid).Compare(Value::OfDate(aliasing)), 0);
+  EXPECT_EQ(Value::OfDate(aliasing).Compare(Value::OfDate(aliasing)), 0);
+  // The tie-break keeps the field-wise order: month 2 < month 3.
+  EXPECT_LT(Value::OfDate(aliasing).Compare(Value::OfDate(valid)), 0);
+
+  IdAllocator ids;
+  GraphBuilder b = MakeMixedGraph(&ids);
+  const GraphSnapshot snap(b.graph());
+  const auto* since = snap.NodeColumn("since");
+  ASSERT_NE(since, nullptr);
+  const uint32_t p1 = snap.adjacency().IndexOf(b.graph().NodeIds()[1]);
+  ASSERT_EQ(since->KindAt(p1), GraphSnapshot::PropKind::kDate);  // {2015,3,9}
+  const Value cell = snap.CellValues(*since, p1).single();
+
+  const Value literals[] = {
+      Value::OfDate(valid),          Value::OfDate(aliasing),
+      Value::OfDate({2015, 3, 8}),   Value::OfDate({2015, 2, 38}),
+      Value::OfDate({2014, 14, 9}),  // month overflow aliasing 2015-02-09
+      Value::OfDate({2015, 3, 10}),  Value::OfDate({2016, 1, 1}),
+  };
+  for (const Value& lit : literals) {
+    bool ok = false;
+    const int got = snap.CompareCellSingleton(*since, p1, lit, &ok);
+    ASSERT_TRUE(ok) << lit.ToString();
+    EXPECT_EQ(got, cell.Compare(lit)) << lit.ToString();
+    EXPECT_EQ(snap.CellEqualsSingleton(*since, p1, lit),
+              cell.Compare(lit) == 0)
+        << lit.ToString();
+    EXPECT_EQ(snap.CellContains(*since, p1, lit), cell.Compare(lit) == 0)
+        << lit.ToString();
+  }
+  // The aliasing literal ties on epoch days but must not equal the cell.
+  EXPECT_FALSE(snap.CellEqualsSingleton(*since, p1, Value::OfDate(aliasing)));
+
+  // A non-calendar date stored as a cell goes out of line (epoch days
+  // cannot represent it); comparisons against it run through the exact
+  // Value path and observe the same total order.
+  GraphBuilder b2("invalid-dates", &ids);
+  const NodeId n = b2.AddNode({"X"}, {{"d", Value::OfDate(aliasing)}});
+  const GraphSnapshot snap2(b2.graph());
+  const auto* d = snap2.NodeColumn("d");
+  ASSERT_NE(d, nullptr);
+  const uint32_t nx = snap2.adjacency().IndexOf(n);
+  ASSERT_EQ(d->KindAt(nx), GraphSnapshot::PropKind::kOverflow);
+  bool ok = false;
+  EXPECT_EQ(snap2.CompareCellSingleton(*d, nx, Value::OfDate(valid), &ok),
+            Value::OfDate(aliasing).Compare(Value::OfDate(valid)));
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(snap2.CellEqualsSingleton(*d, nx, Value::OfDate(aliasing)));
+  EXPECT_FALSE(snap2.CellEqualsSingleton(*d, nx, Value::OfDate(valid)));
+}
+
 }  // namespace
 }  // namespace gcore
