@@ -16,6 +16,10 @@
 #   BENCH_serving.json         — concurrent session serving: SNB query mix
 #                                QPS + p50/p95/p99, cold vs warm plan
 #                                cache, 1/2/max threads
+#   BENCH_expr.json            — vectorized expression kernels vs the
+#                                row-at-a-time evaluator: arithmetic WHERE,
+#                                3-conjunct AND, computed projection at
+#                                SNB 2k/20k, single-threaded
 # Extra arguments pass through to every bench binary, e.g.
 #   scripts/run_bench.sh --benchmark_filter='BM_ColumnarScan.*'
 set -euo pipefail
@@ -24,7 +28,7 @@ cd "$(dirname "$0")/.."
 cmake -B build -S . >/dev/null
 cmake --build build --target bench_join_dedup bench_columnar_scan \
   bench_baseline_ablation bench_wcoj bench_storage bench_path_finding \
-  bench_serving -j
+  bench_serving bench_expr -j
 
 run_bench() {
   local binary="$1" out="$2"
@@ -44,6 +48,7 @@ run_bench bench_wcoj BENCH_wcoj.json "$@"
 run_bench bench_storage BENCH_storage.json "$@"
 run_bench bench_path_finding BENCH_paths.json "$@"
 run_bench bench_serving BENCH_serving.json "$@"
+run_bench bench_expr BENCH_expr.json "$@"
 # The stats filter comes last: google-benchmark honors the final
 # --benchmark_filter, so a user-passed filter cannot swap which
 # benchmarks land in BENCH_stats_ablation.json.

@@ -34,6 +34,10 @@ struct EngineOptions {
   /// Per-column statistics in the cardinality estimator; off falls back
   /// to the seed's constant selectivities (the ablation mode).
   bool use_column_stats = true;
+  /// Vectorized expression kernels (eval/expr_vec.h) for generic WHERE
+  /// conjuncts, residual filters and computed projections; off keeps the
+  /// row-at-a-time ExprEvaluator everywhere (the ablation/spec mode).
+  bool enable_vectorized_exprs = true;
   /// Morsel-parallel execution degree: 0 = one worker per hardware
   /// thread, 1 = serial (the differential-test mode).
   size_t parallelism = 0;
@@ -51,6 +55,7 @@ struct EngineOptions {
     f |= static_cast<uint64_t>(enable_multiway) << 3;
     f |= static_cast<uint64_t>(choose_build_side) << 4;
     f |= static_cast<uint64_t>(use_column_stats) << 5;
+    f |= static_cast<uint64_t>(enable_vectorized_exprs) << 6;
     // Mix the two size knobs in with distinct odd multipliers (the knob
     // space is tiny; this only has to separate, not avalanche).
     f ^= static_cast<uint64_t>(parallelism) * 0x9e3779b97f4a7c15ull;
@@ -65,6 +70,7 @@ struct EngineOptions {
            a.enable_multiway == b.enable_multiway &&
            a.choose_build_side == b.choose_build_side &&
            a.use_column_stats == b.use_column_stats &&
+           a.enable_vectorized_exprs == b.enable_vectorized_exprs &&
            a.parallelism == b.parallelism && a.morsel_size == b.morsel_size;
   }
   friend bool operator!=(const EngineOptions& a, const EngineOptions& b) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <set>
 
 #include "engine/tabular.h"
@@ -670,8 +671,10 @@ Result<QueryResult> QueryEngine::FinishBasic(const BasicQuery& basic,
     // graph is only a fallback and may legitimately be absent (e.g. all
     // patterns carry ON).
     const PathPropertyGraph* default_graph = nullptr;
+    // The matcher lives through the whole projection: its snapshot cache
+    // pins every snapshot the compiled programs below gather from.
+    Matcher matcher = MakeMatcher(scope);
     {
-      Matcher matcher = MakeMatcher(scope);
       auto resolved = matcher.ResolveGraph("");
       if (resolved.ok()) default_graph = *resolved;
     }
@@ -714,15 +717,48 @@ Result<QueryResult> QueryEngine::FinishBasic(const BasicQuery& basic,
       };
       std::vector<ProjectedRow> rows;
       rows.reserve(bindings.NumRows());
+      // Computed projections run vectorized (eval/expr_vec.h) when the
+      // expression compiles: one column-major batch per ORDER BY key and
+      // select item, then a row-major assembly loop. Rows a kernel could
+      // not decide — and every expression when the knob is off — evaluate
+      // through the row evaluator inside that same loop, so row-level
+      // errors surface for exactly the (row, expression) the serial loop
+      // would reach first.
+      const size_t num_keys = select.order_by.size();
+      std::vector<const Expr*> exprs;
+      exprs.reserve(num_keys + select.items.size());
+      for (const auto& key : select.order_by) exprs.push_back(key.expr.get());
+      for (const auto& item : select.items) exprs.push_back(item.expr.get());
+      std::vector<std::vector<Datum>> vec_vals(exprs.size());
+      std::vector<std::vector<uint8_t>> vec_fb(exprs.size());
+      std::vector<uint8_t> vectorized(exprs.size(), 0);
+      if (options_.enable_vectorized_exprs && bindings.NumRows() > 0) {
+        std::vector<size_t> all(bindings.NumRows());
+        std::iota(all.begin(), all.end(), size_t{0});
+        for (size_t e = 0; e < exprs.size(); ++e) {
+          auto prog =
+              matcher.VecProgramFor(*exprs[e], bindings, eval, default_graph);
+          if (prog != nullptr) {
+            prog->EvalValues(bindings, all.data(), all.size(), &vec_vals[e],
+                             &vec_fb[e]);
+            vectorized[e] = 1;
+          }
+        }
+      }
+      auto eval_cell = [&](size_t e, size_t r) -> Result<Value> {
+        if (vectorized[e] && vec_fb[e][r] == 0) return cell_of(vec_vals[e][r]);
+        GCORE_ASSIGN_OR_RETURN(Datum d, eval.Eval(*exprs[e], bindings, r));
+        return cell_of(d);
+      };
       for (size_t r = 0; r < bindings.NumRows(); ++r) {
         ProjectedRow out;
-        for (const auto& key : select.order_by) {
-          GCORE_ASSIGN_OR_RETURN(Datum d, eval.Eval(*key.expr, bindings, r));
-          out.keys.push_back(cell_of(d));
+        for (size_t e = 0; e < num_keys; ++e) {
+          GCORE_ASSIGN_OR_RETURN(Value v, eval_cell(e, r));
+          out.keys.push_back(std::move(v));
         }
-        for (const auto& item : select.items) {
-          GCORE_ASSIGN_OR_RETURN(Datum d, eval.Eval(*item.expr, bindings, r));
-          out.cells.push_back(cell_of(d));
+        for (size_t e = num_keys; e < exprs.size(); ++e) {
+          GCORE_ASSIGN_OR_RETURN(Value v, eval_cell(e, r));
+          out.cells.push_back(std::move(v));
         }
         rows.push_back(std::move(out));
       }

@@ -113,6 +113,12 @@ class QueryEngine {
   /// off falls back to the seed's constant selectivities (the
   /// stats-ablation bench mode).
   void set_use_column_stats(bool on) { options_.use_column_stats = on; }
+  /// Vectorized expression kernels (eval/expr_vec.h) for generic WHERE
+  /// conjuncts, residual filters and computed projections; off keeps the
+  /// row-at-a-time ExprEvaluator everywhere (the ablation/spec mode).
+  void set_enable_vectorized_exprs(bool on) {
+    options_.enable_vectorized_exprs = on;
+  }
   /// Morsel-parallel execution degree (0 = one worker per hardware
   /// thread, 1 = serial) and morsel granularity (0 = default; tests use
   /// tiny morsels to exercise multi-chunk execution on toy data).

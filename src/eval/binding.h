@@ -28,7 +28,12 @@
 //   * ProjectChunk adopts whole columns (`AdoptProjectedColumns`) — the
 //     executor's per-morsel projection stage does no per-row work at all;
 //   * the executor slices morsels as column ranges (`Slice`,
-//     `AppendSlice`) instead of copying rows.
+//     `AppendSlice`) instead of copying rows;
+//   * the vectorized expression kernels (eval/expr_vec.h) read predicate
+//     and projection inputs straight from the kind/slot arrays (node and
+//     edge columns feed property gathers against GraphSnapshot typed
+//     columns), producing selection vectors over row indices instead of
+//     materialized Datums.
 //
 // Datum itself is slim: dense kinds are stored inline, heavy payloads sit
 // behind one immutable shared pointer, so copying a Datum never allocates.

@@ -5,6 +5,14 @@
 // (singleton unwrap, `=` as set equality, `IN`, `SUBSET`, absent = ∅)
 // are implemented here. EXISTS subqueries and implicit pattern
 // predicates are delegated through callbacks wired by the engine.
+//
+// This row-at-a-time evaluator is the *executable spec* of expression
+// semantics. The hot paths (WHERE conjuncts, residual filters, computed
+// projections) run the vectorized kernel programs of eval/expr_vec.h
+// instead, which are compiled from the same Expr trees and pinned to
+// this evaluator cell-for-cell (including null/absent/multi-valued
+// behavior and error precedence) by tests/eval/expr_vec_test.cc; rows
+// the kernels can't decide replay through Eval/EvalPredicate here.
 #ifndef GCORE_EVAL_EXPR_EVAL_H_
 #define GCORE_EVAL_EXPR_EVAL_H_
 

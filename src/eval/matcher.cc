@@ -1,10 +1,13 @@
 #include "eval/matcher.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <numeric>
 #include <set>
 
 #include "engine/tabular.h"
 #include "eval/binding_ops.h"
+#include "graph/stats.h"
 #include "paths/all_paths.h"
 #include "paths/batched_bfs.h"
 #include "paths/delta_stepping.h"
@@ -184,6 +187,44 @@ ExprEvaluator Matcher::MakeEvaluator(const PathPropertyGraph* graph) {
              size_t row) { return PatternHasMatch(pattern, outer, row); });
   if (ctx_.exists_cb) eval.set_exists_callback(ctx_.exists_cb);
   return eval;
+}
+
+std::shared_ptr<const VecProgram> Matcher::VecProgramFor(
+    const Expr& expr, const BindingTable& table, const ExprEvaluator& eval,
+    const PathPropertyGraph* default_graph) const {
+  // Schema signature: default-graph identity plus every column name and
+  // every per-column provenance entry, in order. Equal signatures mean
+  // Compile would resolve the same column indices against the same
+  // property columns, so the cached program is exactly the one a fresh
+  // compilation would produce.
+  std::string sig =
+      std::to_string(reinterpret_cast<uintptr_t>(default_graph));
+  for (const auto& name : table.columns()) {
+    sig += '|';
+    sig += name;
+  }
+  for (const auto& [var, graph_name] : table.column_graphs()) {
+    sig += ';';
+    sig += var;
+    sig += '=';
+    sig += graph_name;
+  }
+  std::pair<const Expr*, std::string> key(&expr, std::move(sig));
+  {
+    std::lock_guard<std::mutex> lock(vec_mu_);
+    auto it = vec_cache_.find(key);
+    if (it != vec_cache_.end()) return it->second;
+  }
+  // Compile outside the lock (it walks the expression and may freeze a
+  // snapshot); a racing duplicate compilation is harmless — emplace keeps
+  // the first program and drops ours.
+  std::shared_ptr<const VecProgram> prog = VecProgram::Compile(
+      expr, table, eval,
+      [this](const PathPropertyGraph& g) -> const GraphSnapshot& {
+        return Snapshot(g);
+      });
+  std::lock_guard<std::mutex> lock(vec_mu_);
+  return vec_cache_.emplace(std::move(key), std::move(prog)).first->second;
 }
 
 Result<const PathPropertyGraph*> Matcher::ResolveGraph(
@@ -944,6 +985,86 @@ bool SpecKeepsRow(const ColumnFilterSpec& s, const Column& cells, size_t r,
   }
 }
 
+/// Estimated fraction of rows a conjunct keeps, from the graph's column
+/// statistics (graph/stats.h). Only `x.key CMP literal` shapes get a real
+/// estimate — the carrier fraction scaled by 1/distinct for equality and
+/// by the literal's position in the [min, max] range for order
+/// comparisons. Everything else answers the textbook 0.5, so an unknown
+/// conjunct is never hoisted ahead of a demonstrably selective one.
+double EstimateConjunctSelectivity(const Expr& c, const GraphStats& stats) {
+  if (c.kind != Expr::Kind::kBinary || !IsComparisonOp(c.binary_op)) {
+    return 0.5;
+  }
+  const Expr* a = c.args[0].get();
+  const Expr* b = c.args[1].get();
+  const Expr* prop = nullptr;
+  const Expr* lit = nullptr;
+  BinaryOp op = c.binary_op;
+  if (a->kind == Expr::Kind::kProperty && b->kind == Expr::Kind::kLiteral) {
+    prop = a;
+    lit = b;
+  } else if (a->kind == Expr::Kind::kLiteral &&
+             b->kind == Expr::Kind::kProperty) {
+    prop = b;
+    lit = a;
+    op = FlipComparison(op);
+  } else {
+    return 0.5;
+  }
+  // The binding's object class is unknown here; take the key's stats from
+  // whichever side carries it (keys rarely straddle both classes).
+  const PropertyStats* ps = nullptr;
+  double total = 0.0;
+  auto node_it = stats.node_props.find(prop->key);
+  if (node_it != stats.node_props.end()) {
+    ps = &node_it->second;
+    total = static_cast<double>(stats.num_nodes);
+  } else {
+    auto edge_it = stats.edge_props.find(prop->key);
+    if (edge_it != stats.edge_props.end()) {
+      ps = &edge_it->second;
+      total = static_cast<double>(stats.num_edges);
+    }
+  }
+  const double carrier_frac =
+      (ps == nullptr || total <= 0.0)
+          ? 0.0
+          : std::min(1.0, static_cast<double>(ps->count) / total);
+  if (lit->value.is_null()) {
+    // ⟦null⟧ = ∅: equality is the absence test, inequality its complement,
+    // order comparisons against ∅ never hold.
+    switch (op) {
+      case BinaryOp::kEq:
+        return 1.0 - carrier_frac;
+      case BinaryOp::kNe:
+        return carrier_frac;
+      default:
+        return 0.0;
+    }
+  }
+  if (ps == nullptr) {
+    // Key carried by nothing: σ is ∅ on every member row.
+    return op == BinaryOp::kNe ? 1.0 : 0.0;
+  }
+  switch (op) {
+    case BinaryOp::kEq:
+      return carrier_frac / static_cast<double>(std::max<size_t>(1u, ps->distinct));
+    case BinaryOp::kNe:
+      return 1.0 -
+             carrier_frac / static_cast<double>(std::max<size_t>(1u, ps->distinct));
+    default: {
+      if (ps->has_range && lit->value.is_numeric() && ps->max > ps->min) {
+        const double frac = std::min(
+            1.0, std::max(0.0, (lit->value.NumericAsDouble() - ps->min) /
+                                   (ps->max - ps->min)));
+        const bool below = op == BinaryOp::kLt || op == BinaryOp::kLe;
+        return carrier_frac * (below ? frac : 1.0 - frac);
+      }
+      return carrier_frac / 3.0;
+    }
+  }
+}
+
 }  // namespace
 
 Result<BindingTable> Matcher::FilterByConjuncts(
@@ -960,10 +1081,46 @@ Result<BindingTable> Matcher::FilterByConjuncts(
     g.AppendRowsFrom(t, rows);
     return g;
   };
+  // Evaluation-order pre-pass (only with column statistics on — the seed
+  // order is the ablation baseline): rank conjuncts by estimated
+  // selectivity gain per unit cost, (sel − 1) / cost, so a cheap
+  // column-specialized filter that drops most rows runs before an
+  // expensive generic predicate that keeps most of them. The sort is
+  // stable: conjuncts the statistics cannot tell apart stay in source
+  // order. Reordering is semantics-preserving for the *result* (AND is
+  // commutative over these error-free rows) but can change which
+  // erroring row is reached first — the documented trade of this knob.
+  std::vector<const Expr*> ordered(conjuncts);
+  if (ctx_.use_column_stats && graph != nullptr && ctx_.catalog != nullptr &&
+      ordered.size() > 1) {
+    auto stats = ctx_.catalog->Stats(graph->name());
+    if (stats.ok()) {
+      std::vector<double> rank(ordered.size());
+      for (size_t i = 0; i < ordered.size(); ++i) {
+        const double sel = EstimateConjunctSelectivity(*ordered[i], **stats);
+        ColumnFilterSpec spec;
+        double cost = 25.0;  // generic row-at-a-time evaluation
+        if (TrySpecializeConjunct(*this, *ordered[i], table, eval, &spec)) {
+          cost = 1.0;  // typed column probe
+        } else if (ctx_.enable_vectorized_exprs &&
+                   VecProgramFor(*ordered[i], table, eval, graph) != nullptr) {
+          cost = 4.0;  // vectorized kernels
+        }
+        rank[i] = (sel - 1.0) / cost;
+      }
+      std::vector<size_t> order(ordered.size());
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::stable_sort(order.begin(), order.end(),
+                       [&rank](size_t a, size_t b) { return rank[a] < rank[b]; });
+      std::vector<const Expr*> sorted(ordered.size());
+      for (size_t i = 0; i < order.size(); ++i) sorted[i] = ordered[order[i]];
+      ordered = std::move(sorted);
+    }
+  }
   std::vector<size_t> kept;
   bool narrowed = false;  // false = every row still alive, `kept` unset
-  for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
-    const Expr* conjunct = conjuncts[ci];
+  for (size_t ci = 0; ci < ordered.size(); ++ci) {
+    const Expr* conjunct = ordered[ci];
     const size_t live = narrowed ? kept.size() : table.NumRows();
     if (live == 0) break;
     std::vector<size_t> next;
@@ -982,11 +1139,32 @@ Result<BindingTable> Matcher::FilterByConjuncts(
         if (keep) next.push_back(r);
       }
     } else {
-      for (size_t i = 0; i < live; ++i) {
-        const size_t r = narrowed ? kept[i] : i;
-        GCORE_ASSIGN_OR_RETURN(bool keep,
-                               eval.EvalPredicate(*conjunct, table, r));
-        if (keep) next.push_back(r);
+      // Generic conjunct: vectorized kernels over the live selection when
+      // the expression compiles (eval/expr_vec.h), the row evaluator
+      // otherwise — and row-for-row identical either way, including which
+      // row's error surfaces first (kernel-undecidable rows replay
+      // through the same EvalPredicate in the same order).
+      std::shared_ptr<const VecProgram> prog =
+          ctx_.enable_vectorized_exprs
+              ? VecProgramFor(*conjunct, table, eval, graph)
+              : nullptr;
+      if (prog != nullptr) {
+        if (narrowed) {
+          GCORE_RETURN_NOT_OK(
+              prog->FilterRows(table, kept.data(), live, eval, &next));
+        } else {
+          std::vector<size_t> rows(live);
+          std::iota(rows.begin(), rows.end(), size_t{0});
+          GCORE_RETURN_NOT_OK(
+              prog->FilterRows(table, rows.data(), live, eval, &next));
+        }
+      } else {
+        for (size_t i = 0; i < live; ++i) {
+          const size_t r = narrowed ? kept[i] : i;
+          GCORE_ASSIGN_OR_RETURN(bool keep,
+                                 eval.EvalPredicate(*conjunct, table, r));
+          if (keep) next.push_back(r);
+        }
       }
     }
     if (!narrowed && next.size() == table.NumRows()) continue;
@@ -997,7 +1175,7 @@ Result<BindingTable> Matcher::FilterByConjuncts(
     // live set drops below half, gather the survivors column-at-a-time
     // into a dense table so the remaining conjuncts scan contiguously.
     // The gather keeps row order, so the final output is unchanged.
-    if (ci + 1 < conjuncts.size() && kept.size() * 2 < table.NumRows()) {
+    if (ci + 1 < ordered.size() && kept.size() * 2 < table.NumRows()) {
       table = gather(table, kept);
       kept.clear();
       narrowed = false;
@@ -1093,9 +1271,23 @@ Result<BindingTable> Matcher::FilterTable(BindingTable table,
   ExprEvaluator eval = MakeEvaluator(graph);
   std::vector<size_t> kept;
   kept.reserve(table.NumRows());
-  for (size_t r = 0; r < table.NumRows(); ++r) {
-    GCORE_ASSIGN_OR_RETURN(bool keep, eval.EvalPredicate(where, table, r));
-    if (keep) kept.push_back(r);
+  // Residual WHERE: one vectorized pass over the whole table when the
+  // predicate compiles; kernel-undecidable rows replay through the same
+  // EvalPredicate in ascending row order, so results and error order
+  // match the serial loop below exactly.
+  std::shared_ptr<const VecProgram> prog =
+      ctx_.enable_vectorized_exprs ? VecProgramFor(where, table, eval, graph)
+                                   : nullptr;
+  if (prog != nullptr) {
+    std::vector<size_t> rows(table.NumRows());
+    std::iota(rows.begin(), rows.end(), size_t{0});
+    GCORE_RETURN_NOT_OK(
+        prog->FilterRows(table, rows.data(), rows.size(), eval, &kept));
+  } else {
+    for (size_t r = 0; r < table.NumRows(); ++r) {
+      GCORE_ASSIGN_OR_RETURN(bool keep, eval.EvalPredicate(where, table, r));
+      if (keep) kept.push_back(r);
+    }
   }
   if (kept.size() == table.NumRows()) return table;
   BindingTable filtered(table.columns());

@@ -24,6 +24,7 @@
 #include "common/options.h"
 #include "eval/binding.h"
 #include "eval/expr_eval.h"
+#include "eval/expr_vec.h"
 #include "graph/adjacency.h"
 #include "graph/catalog.h"
 #include "graph/snapshot.h"
@@ -246,6 +247,16 @@ class Matcher {
   std::string FreshAnonName();
   ExprEvaluator MakeEvaluator(const PathPropertyGraph* graph);
 
+  /// Vectorized program for `expr` over `table`'s schema (eval/expr_vec.h),
+  /// or null when the expression needs the row evaluator. Compiled once
+  /// and cached for the matcher's lifetime per (expression, schema,
+  /// default graph); the snapshot cache pins every snapshot a program
+  /// gathers from. Thread-safe; `expr` must outlive the matcher's use of
+  /// the program (plan/AST lifetime — both outlive the evaluation).
+  std::shared_ptr<const VecProgram> VecProgramFor(
+      const Expr& expr, const BindingTable& table, const ExprEvaluator& eval,
+      const PathPropertyGraph* default_graph) const;
+
  private:
   Result<BindingTable> LegacyEvalMatchClause(const MatchClause& match);
   /// The one authoritative plan-and-run sequence; `stats`/`plan_out` are
@@ -300,6 +311,14 @@ class Matcher {
   /// on the graph version it started with.
   mutable std::map<std::string, std::shared_ptr<const PathPropertyGraph>>
       graph_pins_;
+  /// Compiled vectorized programs keyed by (expression identity, schema
+  /// signature): the same conjunct is compiled once per schema even
+  /// though morsels arrive chunk by chunk. Negative results (null) are
+  /// cached too, so uncompilable expressions pay the walk only once.
+  mutable std::mutex vec_mu_;
+  mutable std::map<std::pair<const Expr*, std::string>,
+                   std::shared_ptr<const VecProgram>>
+      vec_cache_;
   int anon_counter_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "plan/executor.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -26,17 +27,40 @@ void ExecStats::Record(const PlanNode* node, size_t rows) {
   rows_[node] += rows;
 }
 
+void ExecStats::RecordTime(const PlanNode* node, double ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ms_[node] += ms;
+}
+
 int64_t ExecStats::Rows(const PlanNode* node) const {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = rows_.find(node);
   return it == rows_.end() ? -1 : static_cast<int64_t>(it->second);
 }
 
+double ExecStats::TimeMs(const PlanNode* node) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = ms_.find(node);
+  return it == ms_.end() ? -1.0 : it->second;
+}
+
 void ExecStats::AnnotateActuals(PlanNode* plan) const {
   const int64_t rows = Rows(plan);
   if (rows >= 0) plan->actual_rows = rows;
+  const double ms = TimeMs(plan);
+  if (ms >= 0.0) plan->actual_ms = ms;
   for (auto& child : plan->children) AnnotateActuals(child.get());
 }
+
+namespace {
+/// Elapsed wall time since `t0` in milliseconds (operator self-timing
+/// for EXPLAIN ANALYZE's actual_ms).
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
 
 bool ExprParallelSafe(const Expr& expr) {
   switch (expr.kind) {
@@ -299,6 +323,7 @@ class NodeScanOp : public PhysicalOp {
       : rt_(rt), plan_(plan), exec_(exec), stats_(stats) {}
 
   Result<std::optional<BindingTable>> Next() override {
+    const auto t0 = std::chrono::steady_clock::now();
     if (!started_) {
       started_ = true;
       GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* graph,
@@ -310,25 +335,27 @@ class NodeScanOp : public PhysicalOp {
       offset_ = 0;
       if (table_.Empty()) {
         emitted_empty_ = true;
-        return Emit(std::move(table_));
+        return Emit(std::move(table_), t0);
       }
     }
     if (emitted_empty_ || offset_ >= table_.NumRows()) return Exhausted();
     const size_t morsel = exec_.MorselRows();
     if (offset_ == 0 && table_.NumRows() <= morsel) {
       offset_ = table_.NumRows();
-      return Emit(std::move(table_));
+      return Emit(std::move(table_), t0);
     }
     const size_t hi = std::min(table_.NumRows(), offset_ + morsel);
     BindingTable chunk = table_.Slice(offset_, hi);
     offset_ = hi;
-    return Emit(std::move(chunk));
+    return Emit(std::move(chunk), t0);
   }
 
  private:
-  Result<Chunk> Emit(BindingTable chunk) {
+  Result<Chunk> Emit(BindingTable chunk,
+                     std::chrono::steady_clock::time_point t0) {
     if (stats_ != nullptr && plan_->pushed.empty()) {
       stats_->Record(plan_, chunk.NumRows());
+      stats_->RecordTime(plan_, MsSince(t0));
     }
     return Chunk(std::move(chunk));
   }
@@ -367,6 +394,9 @@ class PathSearchOp : public PhysicalOp {
     if (done_) return Exhausted();
     done_ = true;
     GCORE_ASSIGN_OR_RETURN(BindingTable input, Drain(child_.get()));
+    // Own-work timing starts after the child is drained: actual_ms is
+    // this operator's search + filter time, not its input's.
+    const auto t0 = std::chrono::steady_clock::now();
     GCORE_ASSIGN_OR_RETURN(const PathPropertyGraph* graph,
                            rt_->ResolveGraph(plan_->graph));
     GCORE_ASSIGN_OR_RETURN(
@@ -377,7 +407,10 @@ class PathSearchOp : public PhysicalOp {
     GCORE_ASSIGN_OR_RETURN(
         BindingTable filtered,
         rt_->FilterByConjuncts(std::move(expanded), plan_->pushed, graph));
-    if (stats_ != nullptr) stats_->Record(plan_, filtered.NumRows());
+    if (stats_ != nullptr) {
+      stats_->Record(plan_, filtered.NumRows());
+      stats_->RecordTime(plan_, MsSince(t0));
+    }
     return Chunk(std::move(filtered));
   }
 
@@ -403,13 +436,17 @@ class DrainingFilterOp : public PhysicalOp {
     if (done_) return Exhausted();
     done_ = true;
     GCORE_ASSIGN_OR_RETURN(BindingTable table, Drain(child_.get()));
+    const auto t0 = std::chrono::steady_clock::now();
     const PathPropertyGraph* graph = nullptr;
     auto resolved = rt_->ResolveGraph(plan_->graph);
     if (resolved.ok()) graph = *resolved;
     GCORE_ASSIGN_OR_RETURN(
         BindingTable filtered,
         rt_->FilterTable(std::move(table), *plan_->predicate, graph));
-    if (stats_ != nullptr) stats_->Record(plan_, filtered.NumRows());
+    if (stats_ != nullptr) {
+      stats_->Record(plan_, filtered.NumRows());
+      stats_->RecordTime(plan_, MsSince(t0));
+    }
     return Chunk(std::move(filtered));
   }
 
@@ -447,15 +484,27 @@ class HashJoinOp : public PhysicalOp {
     PhysicalOp* build_op = plan_->swap_build ? left_.get() : right_.get();
     PhysicalOp* probe_op = plan_->swap_build ? right_.get() : left_.get();
     GCORE_ASSIGN_OR_RETURN(BindingTable build, Drain(build_op));
+    // Own-work timing covers hash-table build, every probe and the final
+    // merge — but not the probe child's Next() calls in between.
+    double own_ms = 0.0;
+    auto t0 = std::chrono::steady_clock::now();
     StreamingJoinProbe probe(std::move(build), plan_->swap_build);
+    own_ms += MsSince(t0);
     while (true) {
       GCORE_ASSIGN_OR_RETURN(std::optional<BindingTable> chunk,
                              probe_op->Next());
       if (!chunk.has_value()) break;
+      t0 = std::chrono::steady_clock::now();
       probe.Probe(*chunk);
+      own_ms += MsSince(t0);
     }
+    t0 = std::chrono::steady_clock::now();
     BindingTable joined = probe.Finish();
-    if (stats_ != nullptr) stats_->Record(plan_, joined.NumRows());
+    own_ms += MsSince(t0);
+    if (stats_ != nullptr) {
+      stats_->Record(plan_, joined.NumRows());
+      stats_->RecordTime(plan_, own_ms);
+    }
     return Chunk(std::move(joined));
   }
 
@@ -486,9 +535,13 @@ class LeftOuterJoinOp : public PhysicalOp {
     done_ = true;
     GCORE_ASSIGN_OR_RETURN(BindingTable left, Drain(left_.get()));
     GCORE_ASSIGN_OR_RETURN(BindingTable right, Drain(right_.get()));
+    const auto t0 = std::chrono::steady_clock::now();
     BindingTable joined = TableLeftOuterJoinParallel(
         left, right, exec_.Degree(), exec_.MorselRows());
-    if (stats_ != nullptr) stats_->Record(plan_, joined.NumRows());
+    if (stats_ != nullptr) {
+      stats_->Record(plan_, joined.NumRows());
+      stats_->RecordTime(plan_, MsSince(t0));
+    }
     return Chunk(std::move(joined));
   }
 
@@ -515,9 +568,13 @@ class ProjectMergeOp : public PhysicalOp {
     done_ = true;
     BindingTable out;
     std::unique_ptr<RowDedupSink> sink;
+    // Own-work timing covers only the dedup-merge inserts, not the
+    // child's chunk production between them.
+    double own_ms = 0.0;
     while (true) {
       GCORE_ASSIGN_OR_RETURN(Chunk chunk, child_->Next());
       if (!chunk.has_value()) break;
+      const auto t0 = std::chrono::steady_clock::now();
       if (sink == nullptr) {
         out = EmptyLike(*chunk);
         sink = std::make_unique<RowDedupSink>(&out);
@@ -525,8 +582,12 @@ class ProjectMergeOp : public PhysicalOp {
       for (size_t r = 0; r < chunk->NumRows(); ++r) {
         sink->InsertFrom(*chunk, r);
       }
+      own_ms += MsSince(t0);
     }
-    if (stats_ != nullptr) stats_->Record(plan_, out.NumRows());
+    if (stats_ != nullptr) {
+      stats_->Record(plan_, out.NumRows());
+      stats_->RecordTime(plan_, own_ms);
+    }
     return Chunk(std::move(out));
   }
 
@@ -565,17 +626,20 @@ struct ResolvedGraph {
   const PathPropertyGraph* graph = nullptr;
 };
 
-/// Wraps a stage transform with actual-row recording against `plan`
-/// (per-morsel counts accumulate; stages may run on worker threads, which
-/// ExecStats::Record tolerates).
+/// Wraps a stage transform with actual-row and wall-time recording
+/// against `plan` (per-morsel counts and times accumulate; stages may run
+/// on worker threads, which ExecStats tolerates — worker times sum, so a
+/// parallel stage's actual_ms can exceed the query's wall clock).
 std::function<Result<BindingTable>(BindingTable)> Recorded(
     std::function<Result<BindingTable>(BindingTable)> fn,
     const PlanNode* plan, ExecStats* stats) {
   if (stats == nullptr) return fn;
   return [fn = std::move(fn), plan, stats](
              BindingTable morsel) -> Result<BindingTable> {
+    const auto t0 = std::chrono::steady_clock::now();
     GCORE_ASSIGN_OR_RETURN(BindingTable out, fn(std::move(morsel)));
     stats->Record(plan, out.NumRows());
+    stats->RecordTime(plan, MsSince(t0));
     return out;
   };
 }

@@ -40,17 +40,26 @@ class ExecStats {
   /// Adds `rows` to the count of `node`. Thread-safe.
   void Record(const PlanNode* node, size_t rows);
 
+  /// Adds `ms` of measured operator work time to `node`. Thread-safe;
+  /// per-morsel slices accumulate, and parallel stages accumulate across
+  /// workers (so a stage's total can exceed the query's wall clock).
+  void RecordTime(const PlanNode* node, double ms);
+
   /// Rows recorded for `node`; negative when it never executed.
   int64_t Rows(const PlanNode* node) const;
 
-  /// Copies the recorded counts into PlanNode::actual_rows over `plan`'s
-  /// subtree (operators that never ran stay at -1, so EXPLAIN ANALYZE
-  /// renders them estimate-only).
+  /// Milliseconds recorded for `node`; negative when it was never timed.
+  double TimeMs(const PlanNode* node) const;
+
+  /// Copies the recorded counts and times into PlanNode::actual_rows /
+  /// actual_ms over `plan`'s subtree (operators that never ran stay at
+  /// -1, so EXPLAIN ANALYZE renders them estimate-only).
   void AnnotateActuals(PlanNode* plan) const;
 
  private:
   mutable std::mutex mu_;
   std::map<const PlanNode*, uint64_t> rows_;
+  std::map<const PlanNode*, double> ms_;
 };
 
 /// Execution-wide knobs of the physical pipeline.

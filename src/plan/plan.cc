@@ -157,17 +157,30 @@ std::string PlanNode::Describe() const {
     case PlanOp::kGraphMinus:
       break;
   }
-  if (est_rows >= 0.0 || actual_rows >= 0) {
+  if (est_rows >= 0.0 || actual_rows >= 0 || actual_ms >= 0.0) {
     // Limited precision, never truncated to an integer: sub-1 estimates
     // (the ranking signal on selective plans) stay visible, and huge
     // cross-product estimates print in scientific notation. Actual row
-    // counts (EXPLAIN ANALYZE) are exact.
+    // counts (EXPLAIN ANALYZE) are exact; actual_ms is the operator's
+    // own measured wall time.
     out << "  (";
+    bool first = true;
+    auto sep = [&out, &first] {
+      if (!first) out << " ";
+      first = false;
+    };
     if (est_rows >= 0.0) {
+      sep();
       out << "est_rows=" << std::setprecision(3) << est_rows;
-      if (actual_rows >= 0) out << " ";
     }
-    if (actual_rows >= 0) out << "actual_rows=" << actual_rows;
+    if (actual_rows >= 0) {
+      sep();
+      out << "actual_rows=" << actual_rows;
+    }
+    if (actual_ms >= 0.0) {
+      sep();
+      out << "actual_ms=" << std::setprecision(3) << actual_ms;
+    }
     out << ")";
   }
   return out.str();

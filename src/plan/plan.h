@@ -132,6 +132,12 @@ struct PlanNode {
   /// Measured output rows of the operator's last execution, filled by
   /// EXPLAIN ANALYZE (ExecStats::AnnotateActuals); negative = not run.
   int64_t actual_rows = -1;
+  /// Measured wall time (milliseconds) the operator spent producing those
+  /// rows, filled next to actual_rows by EXPLAIN ANALYZE; negative = not
+  /// run. Pipelined operators report their own work (child Next() time is
+  /// excluded at the recording sites); parallel stages sum the time their
+  /// workers spent, so actual_ms can exceed the query's wall clock.
+  double actual_ms = -1.0;
 
   PlanNode() = default;
   explicit PlanNode(PlanOp o) : op(o) {}
